@@ -1,0 +1,47 @@
+//! Figure-regeneration benchmarks: one Criterion target per paper table and
+//! figure. Each target regenerates its artifact end-to-end (graph build,
+//! device timing, aggregation) and additionally prints the artifact once, so
+//! `cargo bench --bench figures` both times the harness and reproduces the
+//! paper's evaluation output.
+
+use bertscope::prelude::*;
+use bertscope_bench::figures;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+
+static PRINT_ONCE: Once = Once::new();
+
+fn print_all_once() {
+    PRINT_ONCE.call_once(|| {
+        let gpu = GpuModel::mi100();
+        println!("\n===== regenerated paper artifacts (bertscope) =====\n");
+        println!("{}", figures::all(&gpu));
+        println!("\n===== end artifacts =====\n");
+    });
+}
+
+fn bench_figures(c: &mut Criterion) {
+    print_all_once();
+    let gpu = GpuModel::mi100();
+    let cfg = BertConfig::bert_large();
+    let link = Link::pcie4();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("table1", |b| b.iter(|| figures::table1(&gpu)));
+    group.bench_function("table2b", |b| b.iter(|| figures::table2b(&cfg)));
+    group.bench_function("fig3", |b| b.iter(|| figures::fig3(&gpu)));
+    group.bench_function("fig4", |b| b.iter(|| figures::fig4(&gpu)));
+    group.bench_function("fig6", |b| b.iter(|| figures::fig6(&cfg)));
+    group.bench_function("fig7", |b| b.iter(|| figures::fig7(&gpu, &cfg)));
+    group.bench_function("fig8", |b| b.iter(|| figures::fig8(&gpu)));
+    group.bench_function("fig9", |b| b.iter(|| figures::fig9(&gpu)));
+    group.bench_function("fig11", |b| b.iter(|| figures::fig11(&gpu, &link)));
+    group.bench_function("fig12a", |b| b.iter(|| figures::fig12a(&gpu)));
+    group.bench_function("fig12b", |b| b.iter(|| figures::fig12b(&gpu)));
+    group.bench_function("checkpointing", |b| b.iter(|| figures::checkpointing(&gpu)));
+    group.bench_function("nmc", |b| b.iter(|| figures::nmc(&gpu)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

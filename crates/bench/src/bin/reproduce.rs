@@ -1,0 +1,49 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! Usage: `reproduce [table1|table2b|fig3|fig4|fig6|fig7|fig8|fig9|fig11|
+//! fig12a|fig12b|checkpointing|nmc|inventory|traffic|all]`
+
+use bertscope::prelude::*;
+use bertscope_bench::figures;
+
+fn main() {
+    let gpu = GpuModel::mi100();
+    let cfg = BertConfig::bert_large();
+    let link = Link::pcie4();
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let out = match arg.as_str() {
+        "table1" => figures::table1(&gpu),
+        "table2b" => figures::table2b(&cfg),
+        "fig3" => figures::fig3(&gpu),
+        "fig4" => figures::fig4(&gpu),
+        "fig6" => figures::fig6(&cfg),
+        "fig7" => figures::fig7(&gpu, &cfg),
+        "fig8" => figures::fig8(&gpu),
+        "fig9" => figures::fig9(&gpu),
+        "fig11" => figures::fig11(&gpu, &link),
+        "fig12a" => figures::fig12a(&gpu),
+        "fig12b" => figures::fig12b(&gpu),
+        "checkpointing" => figures::checkpointing(&gpu),
+        "nmc" => figures::nmc(&gpu),
+        "inventory" => figures::inventory(&cfg),
+        "traffic" => figures::traffic(&cfg),
+        "memory" => figures::memory(&cfg),
+        "zoo" => figures::zoo(&gpu),
+        "inference" => figures::inference(&gpu),
+        "finetune" => figures::finetune(&gpu),
+        "devices" => figures::devices(),
+        "heterogeneity" => figures::heterogeneity(&gpu),
+        "energy" => figures::energy(&gpu),
+        "ablations" => figures::ablations(&gpu),
+        "extensions" => figures::extensions(&gpu),
+        "all" => figures::all(&gpu),
+        other => {
+            eprintln!(
+                "unknown artifact '{other}'. choose from: table1 table2b fig3 fig4 fig6 fig7 \
+                 fig8 fig9 fig11 fig12a fig12b checkpointing nmc inventory traffic memory zoo inference finetune devices heterogeneity energy ablations extensions all"
+            );
+            std::process::exit(2);
+        }
+    };
+    println!("{out}");
+}

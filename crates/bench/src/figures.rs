@@ -1,0 +1,748 @@
+//! Figure- and table-regeneration routines: each function renders one
+//! artifact of the paper's evaluation as text, with the paper's reported
+//! values alongside the reproduction's measurements.
+
+use bertscope::prelude::*;
+use bertscope_model::update_groups;
+use bertscope_tensor::OpRecord;
+use std::fmt::Write as _;
+
+/// Render Table 1: the takeaway summary, re-derived and checked.
+#[must_use]
+pub fn table1(gpu: &GpuModel) -> String {
+    let mut t = TextTable::new(["id", "paper claim", "measured here", "holds"]);
+    for f in derive_findings(gpu) {
+        t.row([f.id, f.claim, f.measured, if f.holds { "yes".into() } else { "NO".into() }]);
+    }
+    format!("Table 1 — takeaway summary (re-derived)\n{}", t.render())
+}
+
+/// Render Table 2b: the GEMM-size inventory for a configuration.
+#[must_use]
+pub fn table2b(cfg: &BertConfig) -> String {
+    let mut t = TextTable::new(["operation", "FWD", "BWD grad-activation", "BWD grad-weight"]);
+    for &site in bertscope_model::GemmSite::all() {
+        let cell = |pass| {
+            let s = bertscope_model::gemm_spec(cfg, site, pass);
+            if s.batch > 1 {
+                format!("{} x {} x {}, B={}", s.m, s.n, s.k, s.batch)
+            } else {
+                format!("{} x {} x {}", s.m, s.n, s.k)
+            }
+        };
+        t.row([
+            site.label().to_owned(),
+            cell(bertscope_model::GemmPass::Forward),
+            cell(bertscope_model::GemmPass::BwdGradActivation),
+            cell(bertscope_model::GemmPass::BwdGradWeight),
+        ]);
+    }
+    format!(
+        "Table 2b — BERT GEMM sizes (N={}, d_model={}, n={}, B={})\n{}",
+        cfg.layers, cfg.d_model, cfg.seq_len, cfg.batch, t.render()
+    )
+}
+
+fn breakdown_row(label: &str, p: &IterationProfile) -> Vec<String> {
+    vec![
+        label.to_owned(),
+        pct(p.group_fraction(Group::Transformer)),
+        pct(p.group_fraction(Group::Output)),
+        pct(p.group_fraction(Group::Embedding)),
+        pct(p.group_fraction(Group::Lamb)),
+        format!("{:.1} ms", p.total_us() / 1000.0),
+    ]
+}
+
+/// Render Fig. 3: runtime breakdown across phases, batch sizes and
+/// precisions.
+#[must_use]
+pub fn fig3(gpu: &GpuModel) -> String {
+    let mut t =
+        TextTable::new(["config", "transformer", "output", "embedding", "LAMB", "iteration"]);
+    for pt in figure3_sweep(gpu) {
+        t.row(breakdown_row(&pt.label, &pt.profile));
+    }
+    format!(
+        "Fig. 3 — runtime breakdown of BERT pre-training\n\
+         (paper: transformer 68-85%, output 3-7%, embedding ~0%, LAMB 7-25%)\n{}",
+        t.render()
+    )
+}
+
+/// Render Fig. 4: the hierarchical breakdown for FP32 and MP.
+#[must_use]
+pub fn fig4(gpu: &GpuModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 4 — hierarchical breakdown (labels = share of overall time)");
+    for (mixed, name) in [(false, "Ph1-B32-FP32"), (true, "Ph1-B32-FP16")] {
+        let p = NamedConfig::phase_batch(1, 32, mixed).simulate(gpu);
+        let h = hierarchical_breakdown(&p);
+        let _ = writeln!(out, "\n[{name}]");
+        for (bar, segs) in [
+            ("Overall", &h.overall),
+            ("Transformer", &h.transformer),
+            ("Attention", &h.attention),
+            ("FC", &h.fc),
+        ] {
+            let cells: Vec<String> =
+                segs.iter().map(|s| format!("{} {}", s.label, pct(s.fraction))).collect();
+            let _ = writeln!(out, "  {bar:<12} {}", cells.join(" | "));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\n(paper FP32: linear ~22%, attention ops ~7%, GeLU ~13%, DR+RC+LN ~5%;\n\
+          MP: linear+FC drop from ~57% to ~42%, attention ops grow to ~9%)"
+    );
+    out
+}
+
+/// Render Fig. 6: arithmetic intensity of every training GEMM in a layer.
+#[must_use]
+pub fn fig6(cfg: &BertConfig) -> String {
+    let mut t = TextTable::new(["sub-layer", "pass", "GEMM (ta tb, M,N,K[,batch])", "ops/byte FP32", "ops/byte FP16"]);
+    let rows32 = gemm_intensities(cfg, DType::F32);
+    let rows16 = gemm_intensities(cfg, DType::F16);
+    for (r32, r16) in rows32.iter().zip(&rows16) {
+        t.row([
+            r32.site.label().to_owned(),
+            format!("{:?}", r32.pass),
+            r32.label.clone(),
+            format!("{:.1}", r32.ops_per_byte),
+            format!("{:.1}", r16.ops_per_byte),
+        ]);
+    }
+    format!(
+        "Fig. 6 — arithmetic intensity of BERT's training GEMMs (not all GEMMs are equal)\n{}",
+        t.render()
+    )
+}
+
+/// Render Fig. 7: ops/byte and normalized bandwidth demand per phase.
+#[must_use]
+pub fn fig7(gpu: &GpuModel, cfg: &BertConfig) -> String {
+    let ops = build_iteration(cfg, &GraphOptions::default());
+    let mut t = TextTable::new(["operation class", "ops/byte", "bandwidth (norm. to best op)"]);
+    for r in bertscope_sim::bandwidth_rows(gpu, &ops) {
+        t.row([r.label, format!("{:.2}", r.ops_per_byte), format!("{:.2}", r.normalized_bandwidth)]);
+    }
+    format!(
+        "Fig. 7 — arithmetic intensity & bandwidth requirements\n\
+         (paper: attention GEMMs ~70% of peak bandwidth vs ~20% for other GEMMs;\n\
+          LAMB/GeLU/DR+RC+LN all low-intensity, high-bandwidth)\n{}",
+        t.render()
+    )
+}
+
+fn transformer_detail_row(label: &str, p: &IterationProfile) -> Vec<String> {
+    vec![
+        label.to_owned(),
+        pct(p.category_fraction(Category::AttnLinear)),
+        pct(p.category_fraction(Category::AttnBgemm)),
+        pct(p.category_fraction(Category::ScaleMaskSoftmaxDropout)),
+        pct(p.category_fraction(Category::FcGemm)),
+        pct(p.category_fraction(Category::Gelu)),
+        pct(p.category_fraction(Category::DropResidualNorm)),
+        pct(p.group_fraction(Group::Lamb)),
+    ]
+}
+
+const DETAIL_HEADER: [&str; 8] =
+    ["config", "linear", "attn-bgemm", "scale+mask+sm+dr", "fc", "gelu", "dr+rc+ln", "LAMB"];
+
+/// Render Fig. 8: the input-size sweep.
+#[must_use]
+pub fn fig8(gpu: &GpuModel) -> String {
+    let mut t = TextTable::new(DETAIL_HEADER);
+    for pt in figure8_sweep(gpu) {
+        t.row(transformer_detail_row(&pt.label, &pt.profile));
+    }
+    format!(
+        "Fig. 8 — impact of input size (B at n=128; token-matched n=512)\n\
+         (paper: breakdown stable in B; attention ops grow ~7%->~17% from n=128,B=16 to n=512,B=4)\n{}",
+        t.render()
+    )
+}
+
+/// Render Fig. 9: the layer-size sweep.
+#[must_use]
+pub fn fig9(gpu: &GpuModel) -> String {
+    let mut t = TextTable::new(DETAIL_HEADER);
+    for pt in figure9_sweep(gpu) {
+        t.row(transformer_detail_row(&pt.label, &pt.profile));
+    }
+    format!(
+        "Fig. 9 — impact of Transformer layer size (C1 = half, C2 = BERT-Large, C3 = 2x/Megatron-like)\n\
+         (paper: GEMM and LAMB proportions grow with width — quadratic scaling)\n{}",
+        t.render()
+    )
+}
+
+/// Render the §4 activation-checkpointing study.
+#[must_use]
+pub fn checkpointing(gpu: &GpuModel) -> String {
+    let s = checkpoint_study(&BertConfig::bert_large(), &GraphOptions::default(), gpu);
+    let mut t = TextTable::new(["metric", "paper", "measured"]);
+    t.row(["kernel-count increase", "~33%", &format!("+{:.0}%", s.kernel_increase * 100.0)]);
+    t.row(["runtime increase", "~27%", &format!("+{:.0}%", s.runtime_increase * 100.0)]);
+    t.row([
+        "LAMB share (base -> checkpointed)",
+        "drops",
+        &format!("{} -> {}", pct(s.lamb_share_base), pct(s.lamb_share_checkpointed)),
+    ]);
+    format!("§4 — activation checkpointing\n{}", t.render())
+}
+
+/// Render Fig. 11: the multi-device per-GPU breakdowns.
+#[must_use]
+pub fn fig11(gpu: &GpuModel, link: &Link) -> String {
+    let mut t = TextTable::new([
+        "config", "description", "transformer", "LAMB", "comm", "output+emb", "iteration",
+    ]);
+    for pt in figure11_profiles(gpu, link) {
+        let p = &pt.profile;
+        t.row([
+            pt.label.clone(),
+            pt.description.clone(),
+            pct(p.group_fraction(Group::Transformer)),
+            pct(p.group_fraction(Group::Lamb)),
+            pct(p.group_fraction(Group::Comm)),
+            pct(p.group_fraction(Group::Output) + p.group_fraction(Group::Embedding)),
+            format!("{:.1} ms", p.total_us() / 1000.0),
+        ]);
+    }
+    format!(
+        "Fig. 11 — BERT iteration breakdown in a multi-GPU setup (PCIe 4.0)\n\
+         (paper: D1 comm ~19%, D2 ~hidden, T1 comm ~9%, T2 comm ~42%, LAMB shrinks with slicing)\n{}",
+        t.render()
+    )
+}
+
+/// Render Fig. 12a: the kernel-fusion study.
+#[must_use]
+pub fn fig12a(gpu: &GpuModel) -> String {
+    let mut t = TextTable::new(["case", "kernel-count ratio", "memory-traffic ratio", "runtime ratio"]);
+    for r in figure12a_study(&BertConfig::bert_large(), gpu) {
+        t.row([
+            r.name.clone(),
+            format!("{:.0}x", r.kernel_ratio),
+            format!("{:.1}x", r.bytes_ratio),
+            format!("{:.1}x", r.runtime_ratio),
+        ]);
+    }
+    format!(
+        "Fig. 12a — impact of kernel fusion (unfused / fused)\n\
+         (paper: LayerNorm ~6-8x on all three; Adam ~250x kernels but only ~6-8x runtime)\n{}",
+        t.render()
+    )
+}
+
+/// Render Fig. 12b: fused vs serial Q/K/V projection GEMMs.
+#[must_use]
+pub fn fig12b(gpu: &GpuModel) -> String {
+    let mut t = TextTable::new(["tokens (n*B)", "FWD speedup (3F vs 3S)", "BWD speedup"]);
+    for p in figure12b_study(gpu, &[1, 2, 4, 8, 16, 32]) {
+        t.row([
+            p.tokens.to_string(),
+            format!("{:.2}x", p.fwd_speedup),
+            format!("{:.2}x", p.bwd_speedup),
+        ]);
+    }
+    format!(
+        "Fig. 12b — fusing the three attention linear GEMMs\n\
+         (paper: up to ~62% improvement, larger for small inputs)\n{}",
+        t.render()
+    )
+}
+
+/// Render the §6.2.1 near-memory-compute study.
+#[must_use]
+pub fn nmc(gpu: &GpuModel) -> String {
+    let nmc = NmcModel::hbm2_per_bank();
+    let mut t = TextTable::new(["config", "LAMB speedup vs optimistic GPU", "end-to-end improvement"]);
+    let configs: [(&str, BertConfig, Precision); 4] = [
+        ("Ph1-B32-FP32", BertConfig::bert_large(), Precision::Fp32),
+        ("Ph1-B4-FP32", BertConfig::bert_large().phase1(4), Precision::Fp32),
+        ("Ph1-B32-FP16", BertConfig::bert_large(), Precision::Mixed),
+        ("Ph2-B4-FP16", BertConfig::bert_large().phase2(4), Precision::Mixed),
+    ];
+    for (label, cfg, precision) in configs {
+        let s = nmc_study(&cfg, &GraphOptions { precision, ..GraphOptions::default() }, gpu, &nmc);
+        t.row([
+            label.to_owned(),
+            format!("{:.2}x", s.lamb_speedup_vs_optimistic_gpu),
+            format!("+{:.1}%", s.end_to_end_improvement * 100.0),
+        ]);
+    }
+    format!(
+        "§6.2.1 — near-memory compute for LAMB\n\
+         (paper: ~3.8x LAMB speedup; 5-22% end-to-end across configurations)\n{}",
+        t.render()
+    )
+}
+
+/// Render the parameter/update-group inventory (supporting data used across
+/// the paper: 340M parameters, per-layer LAMB groups).
+#[must_use]
+pub fn inventory(cfg: &BertConfig) -> String {
+    let mut t = TextTable::new(["update group", "parameters"]);
+    for g in update_groups(cfg) {
+        t.row([g.name.clone(), format!("{:.2} M", g.numel as f64 / 1.0e6)]);
+    }
+    format!(
+        "Parameter inventory — total {:.1} M parameters\n{}",
+        parameter_count(cfg) as f64 / 1.0e6,
+        t.render()
+    )
+}
+
+/// Bytes moved per iteration by category — supporting data for Fig. 7 and
+/// Takeaways 7-9.
+#[must_use]
+pub fn traffic(cfg: &BertConfig) -> String {
+    let ops = build_iteration(cfg, &GraphOptions::default());
+    let mut t = TextTable::new(["category", "kernels", "GFLOPs", "GB moved", "ops/byte"]);
+    let summary = bertscope_tensor::summarize(&ops, |o: &OpRecord| o.category);
+    for (cat, totals) in summary {
+        t.row([
+            cat.to_string(),
+            totals.kernels.to_string(),
+            format!("{:.1}", totals.flops as f64 / 1.0e9),
+            format!("{:.2}", totals.bytes_total() as f64 / 1.0e9),
+            format!("{:.2}", totals.arithmetic_intensity()),
+        ]);
+    }
+    format!("Per-category compute & traffic of one iteration\n{}", t.render())
+}
+
+/// Render the memory-footprint study behind §4's motivation: what fits in
+/// the paper's 32 GB device, and what checkpointing buys.
+#[must_use]
+pub fn memory(cfg: &BertConfig) -> String {
+    use bertscope_sim::{footprint, max_batch};
+    let gib32 = 32u64 * (1 << 30);
+    let mut t = TextTable::new(["configuration", "weights+grads", "optimizer", "activations", "total", "max B @32GB"]);
+    let gib = |b: u64| format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64);
+    for (label, opts) in [
+        ("FP32", GraphOptions::default()),
+        ("FP32 + checkpointing", GraphOptions { checkpoint: true, ..GraphOptions::default() }),
+        ("mixed precision", GraphOptions { precision: Precision::Mixed, ..GraphOptions::default() }),
+        (
+            "MP + checkpointing",
+            GraphOptions {
+                precision: Precision::Mixed,
+                checkpoint: true,
+                ..GraphOptions::default()
+            },
+        ),
+    ] {
+        let f = footprint(cfg, &opts);
+        t.row([
+            label.to_owned(),
+            gib(f.weights + f.gradients),
+            gib(f.optimizer_state),
+            gib(f.activations),
+            gib(f.total()),
+            max_batch(cfg, &opts, gib32).to_string(),
+        ]);
+    }
+    format!(
+        "Memory footprint of BERT-Large training (n={}, B={}) — §4's capacity motivation\n{}",
+        cfg.seq_len, cfg.batch, t.render()
+    )
+}
+
+/// Render the §2.3 model-zoo sweep: the paper's takeaways transferred to
+/// other BERT-structured models.
+#[must_use]
+pub fn zoo(gpu: &GpuModel) -> String {
+    use bertscope_sim::model_zoo_sweep;
+    let mut t = TextTable::new([
+        "model", "params", "iteration", "transformer", "LAMB", "attention ops", "GEMM share",
+    ]);
+    for pt in model_zoo_sweep(gpu) {
+        let p = &pt.profile;
+        let attn = p.category_fraction(Category::AttnBgemm)
+            + p.category_fraction(Category::ScaleMaskSoftmaxDropout);
+        // Recover the parameter count from the zoo entry.
+        let params = bertscope_model::model_zoo()
+            .into_iter()
+            .find(|e| e.name == pt.label)
+            .map_or(0, |e| parameter_count(&e.config));
+        t.row([
+            pt.label.clone(),
+            format!("{:.2} B", params as f64 / 1.0e9),
+            format!("{:.0} ms", p.total_us() / 1000.0),
+            pct(p.group_fraction(Group::Transformer)),
+            pct(p.group_fraction(Group::Lamb)),
+            pct(attn),
+            pct(p.gemm_fraction()),
+        ]);
+    }
+    format!(
+        "§2.3 model zoo — the takeaways transfer to BERT-structured models at other sizes
+         (LAMB grows with width; attention ops grow with context length)
+{}",
+        t.render()
+    )
+}
+
+/// Render the §7 inference study: forward-only breakdown and the
+/// latency/throughput trade.
+#[must_use]
+pub fn inference(gpu: &GpuModel) -> String {
+    use bertscope_sim::{serving_sweep, simulate_inference};
+    let cfg = BertConfig::bert_large();
+    let p = simulate_inference(&cfg, &GraphOptions::default(), gpu);
+    let mut out = format!(
+        "§7 inference — forward-only BERT-Large pass: {:.0} ms, transformer {}, no LAMB
+
+",
+        p.total_us() / 1000.0,
+        pct(p.group_fraction(Group::Transformer)),
+    );
+    let mut t = TextTable::new(["batch", "latency", "sequences/s"]);
+    for pt in serving_sweep(
+        &cfg,
+        &GraphOptions { precision: Precision::Mixed, ..GraphOptions::default() },
+        gpu,
+        &[1, 2, 4, 8, 16, 32, 64],
+    ) {
+        t.row([
+            pt.batch.to_string(),
+            format!("{:.1} ms", pt.latency_us / 1000.0),
+            format!("{:.0}", pt.sequences_per_s),
+        ]);
+    }
+    out.push_str("Serving sweep (mixed precision):
+");
+    out.push_str(&t.render());
+    out.push_str(
+        "
+Even at B=1 the layer GEMMs carry the full n=128 token dimension — matrix-matrix,
+         not matrix-vector (the design error the paper calls out in prior accelerators).
+",
+    );
+    out
+}
+
+/// Render the §7 fine-tuning comparison and the profiler's top-kernel view.
+#[must_use]
+pub fn finetune(gpu: &GpuModel) -> String {
+    use bertscope_sim::simulate_finetune;
+    let cfg = BertConfig::bert_large();
+    let pt = simulate_iteration(&cfg, &GraphOptions::default(), gpu);
+    let ft = simulate_finetune(&cfg, &GraphOptions::default(), gpu);
+    let mut t = TextTable::new(["iteration", "transformer", "output", "LAMB", "total"]);
+    for (label, p) in [("pre-training", &pt), ("fine-tuning (SQuAD head)", &ft)] {
+        t.row([
+            label.to_owned(),
+            pct(p.group_fraction(Group::Transformer)),
+            pct(p.group_fraction(Group::Output)),
+            pct(p.group_fraction(Group::Lamb)),
+            format!("{:.0} ms", p.total_us() / 1000.0),
+        ]);
+    }
+    let mut top = TextTable::new(["rank", "kernel", "category", "time"]);
+    for (i, k) in ft.top_kernels(8).iter().enumerate() {
+        top.row([
+            (i + 1).to_string(),
+            k.op.name.clone(),
+            k.op.category.to_string(),
+            format!("{:.2} ms", k.time_us / 1000.0),
+        ]);
+    }
+    format!(
+        "§7 fine-tuning — same Transformer stack, negligible task head
+{}
+         Top kernels of the fine-tuning iteration (note LAMB's grad-norm sweep at the top):
+{}",
+        t.render(),
+        top.render()
+    )
+}
+
+/// Render the §7 cross-device comparison: proportions extrapolate across
+/// GPUs with similar compute/bandwidth ratios.
+#[must_use]
+pub fn devices() -> String {
+    let mut t = TextTable::new([
+        "device", "iteration (FP32)", "GEMM share", "LAMB share", "iteration (MP)", "MP speedup",
+    ]);
+    for gpu in [GpuModel::v100_like(), GpuModel::mi100(), GpuModel::a100_like()] {
+        let f32p = simulate_iteration(&BertConfig::bert_large(), &GraphOptions::default(), &gpu);
+        let mpp = simulate_iteration(
+            &BertConfig::bert_large(),
+            &GraphOptions { precision: Precision::Mixed, ..GraphOptions::default() },
+            &gpu,
+        );
+        t.row([
+            gpu.name.clone(),
+            format!("{:.0} ms", f32p.total_us() / 1000.0),
+            pct(f32p.gemm_fraction()),
+            pct(f32p.group_fraction(Group::Lamb)),
+            format!("{:.0} ms", mpp.total_us() / 1000.0),
+            format!("{:.2}x", f32p.total_us() / mpp.total_us()),
+        ]);
+    }
+    format!(
+        "§7 cross-device comparison — proportions track compute/bandwidth ratios
+{}",
+        t.render()
+    )
+}
+
+/// Render the heterogeneity studies: gradient accumulation (§2.4) and
+/// sequence-length bucketing (§3.1.4).
+#[must_use]
+pub fn heterogeneity(gpu: &GpuModel) -> String {
+    use bertscope_sim::{accumulation_sweep, bucketing_study};
+    let cfg = BertConfig::bert_large();
+    let mut t = TextTable::new(["micro-steps per update", "LAMB share", "time per sequence"]);
+    for p in accumulation_sweep(&cfg, &GraphOptions::default(), gpu, &[1, 2, 4, 8, 16]) {
+        t.row([
+            p.steps.to_string(),
+            pct(p.lamb_fraction),
+            format!("{:.2} ms", p.time_per_sequence_us / 1000.0),
+        ]);
+    }
+    let study = bucketing_study(
+        &BertConfig::bert_large().phase2(4),
+        &GraphOptions::default(),
+        gpu,
+        &[(64, 0.4), (128, 0.35), (256, 0.2), (512, 0.05)],
+    );
+    format!(
+        "Gradient accumulation (§2.4: LAMB updates once every few iterations)
+{}
+         Sequence-length bucketing on a Wikipedia-like length skew: pad-to-512 costs          {:.2} ms/seq vs {:.2} ms/seq bucketed — {:.2}x from respecting heterogeneity (§3.1.4).",
+        t.render(),
+        study.padded_us_per_seq / 1000.0,
+        study.bucketed_us_per_seq / 1000.0,
+        study.speedup()
+    )
+}
+
+/// Render the energy study behind the §6.2.1 efficiency claim.
+#[must_use]
+pub fn energy(gpu: &GpuModel) -> String {
+    use bertscope_device::EnergyModel;
+    let cfg = BertConfig::bert_large();
+    let em = EnergyModel::hbm2();
+    let mut t = TextTable::new(["configuration", "iteration energy", "J per sequence"]);
+    for (label, precision) in [("FP32", Precision::Fp32), ("mixed precision", Precision::Mixed)] {
+        let ops = build_iteration(&cfg, &GraphOptions { precision, ..GraphOptions::default() });
+        let j = em.total_energy_j(&ops);
+        t.row([
+            label.to_owned(),
+            format!("{j:.1} J"),
+            format!("{:.2}", j / cfg.batch as f64),
+        ]);
+    }
+    let lamb_ops = bertscope_model::optimizer_ops(&cfg, &GraphOptions::default());
+    let lamb_gpu: f64 = lamb_ops.iter().map(|o| em.op_energy_uj(o)).sum::<f64>() / 1e6;
+    let lamb_nmc: f64 = lamb_ops.iter().map(|o| em.nmc_op_energy_uj(o)).sum::<f64>() / 1e6;
+    let _ = gpu;
+    format!(
+        "Energy per training iteration (BERT-Large, technology constants in EnergyModel::hbm2)
+{}
+         LAMB update energy: {lamb_gpu:.2} J on the GPU vs {lamb_nmc:.2} J on bank-local NMC          ({:.0}% saved) — §6.2.1's efficiency claim quantified.",
+        t.render(),
+        (1.0 - lamb_nmc / lamb_gpu) * 100.0
+    )
+}
+
+/// Render the device-model ablation study: which modelled mechanism each
+/// reproduced behaviour depends on.
+#[must_use]
+pub fn ablations(gpu: &GpuModel) -> String {
+    use bertscope_sim::ablation_study;
+    let mut t = TextTable::new(["removed mechanism", "observable", "full model", "ablated"]);
+    for r in ablation_study(&BertConfig::bert_large(), gpu) {
+        t.row([
+            r.ablation.clone(),
+            r.observable.clone(),
+            format!("{:.2}", r.full),
+            format!("{:.2}", r.ablated),
+        ]);
+    }
+    format!(
+        "Device-model ablations — each paper behaviour traced to the mechanism that produces it
+{}",
+        t.render()
+    )
+}
+
+/// Extension studies beyond the paper's figures: ZeRO sharding, hybrid
+/// parallelism, in-network reduction, the precision sweep and the §7
+/// cross-device extrapolation check.
+#[must_use]
+pub fn extensions(gpu: &GpuModel) -> String {
+    use bertscope_device::InNetworkSwitch;
+    use bertscope_dist::{hybrid_profile, zero_dp_profile, HybridPlan};
+    use bertscope_sim::{extrapolate, precision_sweep};
+    let cfg = BertConfig::bert_large().phase1(16);
+    let opts = GraphOptions::default();
+    let link = Link::pcie4();
+    let mut out = String::new();
+    let _ = writeln!(out, "Extensions (systems the paper discusses but does not evaluate)\n");
+
+    // ZeRO-style sharded DP (§5.2's [69] discussion).
+    let mut t = TextTable::new(["scheme", "LAMB share", "comm share", "iteration"]);
+    for (label, p) in [
+        ("plain DP (8 GPUs, no overlap)",
+            bertscope_dist::data_parallel_profile(&cfg, &opts, gpu, &link, 8, false)),
+        ("ZeRO-sharded DP (8 GPUs)", zero_dp_profile(&cfg, &opts, gpu, &link, 8)),
+    ] {
+        t.row([
+            label.to_owned(),
+            pct(p.group_fraction(Group::Lamb)),
+            pct(p.group_fraction(Group::Comm)),
+            format!("{:.0} ms", p.total_us() / 1000.0),
+        ]);
+    }
+    let _ = writeln!(out, "ZeRO optimizer-state sharding (LAMB's grad-norm dependency retained):\n{}", t.render());
+
+    // Hybrid DP x TS.
+    let mut t = TextTable::new(["plan (TS x DP)", "devices", "comm share", "per-sample time"]);
+    for (ts, dp) in [(1usize, 8usize), (2, 4), (4, 2), (8, 1)] {
+        let plan = HybridPlan { ts_ways: ts, dp_replicas: dp, intra_link: Link::xgmi(), inter_link: link };
+        let p = hybrid_profile(&cfg, &opts, gpu, &plan);
+        t.row([
+            format!("{ts} x {dp}"),
+            plan.devices().to_string(),
+            pct(p.group_fraction(Group::Comm)),
+            format!("{:.2} ms", p.total_us() / 1000.0 / (cfg.batch * dp) as f64),
+        ]);
+    }
+    let _ = writeln!(out, "\nHybrid parallelism at 8 devices (xGMI intra, PCIe4 inter):\n{}", t.render());
+
+    // In-network reduction (§6.2.3).
+    let sw = InNetworkSwitch::pcie4_switch();
+    let grad_bytes = parameter_count(&cfg) * 4;
+    let _ = writeln!(
+        out,
+        "\nIn-network AllReduce of the {:.2} GB gradient across 128 GPUs: ring {:.0} ms vs \
+         switch {:.0} ms ({:.2}x)",
+        grad_bytes as f64 / 1.0e9,
+        link.ring_allreduce_us(grad_bytes, 128) / 1000.0,
+        sw.allreduce_us(grad_bytes, 128) / 1000.0,
+        sw.speedup_vs_ring(grad_bytes, 128),
+    );
+
+    // Precision sweep.
+    let mut t = TextTable::new(["precision", "iteration", "GEMM share", "LAMB share"]);
+    for p in precision_sweep(&BertConfig::bert_large(), gpu) {
+        t.row([
+            p.label.clone(),
+            format!("{:.0} ms", p.total_us / 1000.0),
+            pct(p.gemm_fraction),
+            pct(p.lamb_fraction),
+        ]);
+    }
+    let _ = writeln!(out, "\nPrecision sweep (quantization raises the FP32 optimizer's share):\n{}", t.render());
+
+    // Cross-device extrapolation (§7).
+    let base = simulate_iteration(&BertConfig::bert_large(), &opts, gpu);
+    let faster = gpu.scaled_compute(2.0);
+    let extrap = extrapolate(&base, gpu, &faster) / 1000.0;
+    let resim = simulate_iteration(&BertConfig::bert_large(), &opts, &faster).total_us() / 1000.0;
+    let _ = writeln!(
+        out,
+        "\n§7 extrapolation check: ratio-based projection to a 2x-compute device gives \
+         {extrap:.0} ms vs {resim:.0} ms from full re-simulation ({:.1}% error) — the paper's \
+         'extrapolate by compute/bandwidth ratios' recipe quantified.",
+        (extrap - resim).abs() / resim * 100.0
+    );
+    out
+}
+
+/// Every artifact, concatenated (the `reproduce all` output).
+#[must_use]
+pub fn all(gpu: &GpuModel) -> String {
+    let cfg = BertConfig::bert_large();
+    let link = Link::pcie4();
+    [
+        table1(gpu),
+        table2b(&cfg),
+        fig3(gpu),
+        fig4(gpu),
+        fig6(&cfg),
+        fig7(gpu, &cfg),
+        fig8(gpu),
+        fig9(gpu),
+        checkpointing(gpu),
+        fig11(gpu, &link),
+        fig12a(gpu),
+        fig12b(gpu),
+        nmc(gpu),
+        inventory(&cfg),
+        traffic(&cfg),
+        memory(&cfg),
+        zoo(gpu),
+        inference(gpu),
+        finetune(gpu),
+        devices(),
+        heterogeneity(gpu),
+        energy(gpu),
+        ablations(gpu),
+        extensions(gpu),
+    ]
+    .join("\n\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_artifact_renders_nonempty() {
+        let gpu = GpuModel::mi100();
+        let cfg = BertConfig::bert_large();
+        let link = Link::pcie4();
+        for (name, s) in [
+            ("table2b", table2b(&cfg)),
+            ("fig3", fig3(&gpu)),
+            ("fig4", fig4(&gpu)),
+            ("fig6", fig6(&cfg)),
+            ("fig7", fig7(&gpu, &cfg)),
+            ("fig8", fig8(&gpu)),
+            ("fig9", fig9(&gpu)),
+            ("checkpointing", checkpointing(&gpu)),
+            ("fig11", fig11(&gpu, &link)),
+            ("fig12a", fig12a(&gpu)),
+            ("fig12b", fig12b(&gpu)),
+            ("nmc", nmc(&gpu)),
+            ("inventory", inventory(&cfg)),
+            ("traffic", traffic(&cfg)),
+            ("memory", memory(&cfg)),
+            ("zoo", zoo(&gpu)),
+            ("inference", inference(&gpu)),
+            ("finetune", finetune(&gpu)),
+            ("devices", devices()),
+            ("heterogeneity", heterogeneity(&gpu)),
+            ("energy", energy(&gpu)),
+            ("ablations", ablations(&gpu)),
+            ("extensions", extensions(&gpu)),
+        ] {
+            assert!(s.len() > 100, "{name} too short:\n{s}");
+            assert!(s.lines().count() > 5, "{name} too few lines");
+        }
+    }
+
+    #[test]
+    fn table2b_contains_the_papers_cells() {
+        let s = table2b(&BertConfig::bert_large());
+        assert!(s.contains("1024 x 4096 x 1024"), "linear FWD cell:\n{s}");
+        assert!(s.contains("128 x 128 x 64, B=512"), "attention score cell:\n{s}");
+        assert!(s.contains("4096 x 4096 x 1024"), "FC-1 FWD cell:\n{s}");
+    }
+
+    #[test]
+    fn table1_reports_all_holds() {
+        let s = table1(&GpuModel::mi100());
+        assert!(!s.contains("| NO "), "a takeaway failed to hold:\n{s}");
+        assert!(s.matches("yes").count() >= 15);
+    }
+}

@@ -1,0 +1,11 @@
+//! Benchmarks and figure-regeneration harness for the bertscope suite.
+//!
+//! The [`figures`] module renders every table and figure of the paper's
+//! evaluation; the `reproduce` binary exposes them as subcommands:
+//!
+//! ```text
+//! cargo run -p bertscope-bench --release --bin reproduce -- all
+//! cargo run -p bertscope-bench --release --bin reproduce -- fig3
+//! ```
+
+pub mod figures;

@@ -1,0 +1,86 @@
+//! # bertscope
+//!
+//! A Rust reproduction of *"Demystifying BERT: System Design Implications"*
+//! (Pati, Aga, Jayasena, Sinclair — IISWC 2022): a full characterization
+//! suite for BERT pre-training, built from scratch.
+//!
+//! The suite has two halves that validate each other:
+//!
+//! * an **executable substrate** ([`bertscope_train`]) that really runs BERT
+//!   pre-training — tensors, GEMMs, attention, LayerNorm, GeLU, dropout,
+//!   masked-LM + next-sentence losses, hand-derived backprop, LAMB/Adam/SGD,
+//!   mixed precision and activation checkpointing — with every kernel call
+//!   traced (manifestation, shapes, FLOPs, bytes);
+//! * an **analytic model** ([`bertscope_model`] + [`bertscope_device`] +
+//!   [`bertscope_sim`] + [`bertscope_dist`]) that predicts the same operator
+//!   stream for any configuration and times it on a calibrated roofline GPU,
+//!   near-memory-compute and interconnect models — regenerating every table
+//!   and figure of the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bertscope::prelude::*;
+//!
+//! // Characterize one BERT-Large pre-training iteration (paper Fig. 3).
+//! let gpu = GpuModel::mi100();
+//! let profile = simulate_iteration(&BertConfig::bert_large(), &GraphOptions::default(), &gpu);
+//! println!("iteration: {:.1} ms over {} kernels",
+//!          profile.total_us() / 1000.0, profile.kernel_count());
+//! assert!(profile.group_fraction(Group::Transformer) > 0.6); // Obs. 1
+//! ```
+
+pub mod export;
+pub mod report;
+pub mod takeaways;
+
+pub use bertscope_device;
+pub use bertscope_dist;
+pub use bertscope_kernels;
+pub use bertscope_model;
+pub use bertscope_sim;
+pub use bertscope_tensor;
+pub use bertscope_train;
+
+pub use export::chrome_trace_json;
+pub use report::{pct, ratio, time_us, TextTable};
+pub use takeaways::{derive_findings, Finding};
+
+/// The most commonly used items, re-exported for `use bertscope::prelude::*`.
+pub mod prelude {
+    pub use crate::export::chrome_trace_json;
+    pub use crate::report::{pct, ratio, time_us, TextTable};
+    pub use crate::takeaways::{derive_findings, Finding};
+    pub use bertscope_device::{GpuModel, InNetworkSwitch, Link, NmcModel};
+    pub use bertscope_dist::{
+        data_parallel_profile, figure11_profiles, hybrid_profile, tensor_slice_profile,
+        zero_dp_profile, HybridPlan,
+    };
+    pub use bertscope_model::{
+        build_finetune, build_inference, build_iteration, model_zoo, parameter_count, training_gemms, BertConfig,
+        GraphOptions, LayerSizeConfig, OptimizerChoice, Precision,
+    };
+    pub use bertscope_sim::{
+        checkpoint_study, extrapolate, figure12a_study, figure12b_study, figure3_sweep,
+        figure8_sweep, figure9_sweep, gemm_intensities, hierarchical_breakdown, model_zoo_sweep,
+        nmc_study, precision_sweep, serving_sweep, simulate_finetune, simulate_inference,
+        simulate_iteration,
+        IterationProfile, NamedConfig,
+    };
+    pub use bertscope_tensor::{Category, DType, GemmSpec, Group, OpKind, Phase, Tensor, Tracer};
+    pub use bertscope_train::{Bert, Lamb, SyntheticCorpus, TrainOptions};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_supports_the_quickstart_workflow() {
+        let gpu = GpuModel::mi100();
+        let profile =
+            simulate_iteration(&BertConfig::bert_large(), &GraphOptions::default(), &gpu);
+        assert!(profile.total_us() > 0.0);
+        assert!(profile.kernel_count() > 1000);
+    }
+}

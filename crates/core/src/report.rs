@@ -1,0 +1,165 @@
+//! Plain-text report rendering: ASCII tables and CSV for every figure and
+//! table the suite regenerates.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width must match header");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned ASCII table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let sep: String = widths.iter().map(|w| format!("+-{}-", "-".repeat(*w))).collect::<String>() + "+";
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                let _ = write!(line, "| {:width$} ", cells[i], width = widths[i]);
+            }
+            line + "|"
+        };
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&render_row(&self.header));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out
+    }
+
+    /// Render as CSV (comma-separated, quotes around cells containing
+    /// commas).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        let mut line = |cells: &[String]| {
+            let joined: Vec<String> = cells.iter().map(esc).collect();
+            out.push_str(&joined.join(","));
+            out.push('\n');
+        };
+        line(&self.header);
+        for row in &self.rows {
+            line(row);
+        }
+        out
+    }
+}
+
+/// Format a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+/// Format microseconds as adaptive ms/us.
+#[must_use]
+pub fn time_us(us: f64) -> String {
+    if us >= 1000.0 {
+        format!("{:.2} ms", us / 1000.0)
+    } else {
+        format!("{us:.1} us")
+    }
+}
+
+/// Format a ratio as `N.NNx`.
+#[must_use]
+pub fn ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["short", "1"]).row(["a-much-longer-name", "22"]);
+        let s = t.render();
+        assert!(s.contains("| name "));
+        assert!(s.contains("| a-much-longer-name | 22"));
+        // All lines equal length.
+        let lens: Vec<usize> = s.lines().map(str::len).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{s}");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["x,y", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(time_us(1500.0), "1.50 ms");
+        assert_eq!(time_us(12.34), "12.3 us");
+        assert_eq!(ratio(3.756), "3.76x");
+    }
+}

@@ -1,0 +1,349 @@
+//! Table 1 regenerated: every observation and takeaway of the paper,
+//! re-derived from the suite's own measurements and checked.
+
+use bertscope_device::{GpuModel, Link};
+use bertscope_dist::figure11_profiles;
+use bertscope_model::{
+    build_iteration, gemm_spec, BertConfig, GemmPass, GemmSite, GraphOptions, LayerSizeConfig,
+    OptimizerChoice,
+};
+use bertscope_sim::{simulate_iteration, NamedConfig};
+use bertscope_tensor::{Category, DType, Group, OpKind, OpRecord};
+
+/// One re-derived claim from the paper.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Identifier, e.g. `"Takeaway 1"` or `"Obs. 1"`.
+    pub id: String,
+    /// The paper's claim, paraphrased.
+    pub claim: String,
+    /// What this reproduction measured.
+    pub measured: String,
+    /// Whether the measured behaviour supports the claim.
+    pub holds: bool,
+}
+
+fn finding(id: &str, claim: &str, measured: String, holds: bool) -> Finding {
+    Finding { id: id.into(), claim: claim.into(), measured, holds }
+}
+
+/// Re-derive the paper's Table 1 takeaways (plus the numbered observations)
+/// from fresh simulations on `gpu`.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn derive_findings(gpu: &GpuModel) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let link = Link::pcie4();
+    let p_b32 = NamedConfig::phase_batch(1, 32, false).simulate(gpu);
+    let p_b4 = NamedConfig::phase_batch(1, 4, false).simulate(gpu);
+    let p_mp = NamedConfig::phase_batch(1, 32, true).simulate(gpu);
+    let p_ph2 = NamedConfig::phase_batch(2, 4, false).simulate(gpu);
+
+    // Obs. 1: Transformer layers dominate; output and embedding small.
+    {
+        let t = p_b32.group_fraction(Group::Transformer);
+        let o = p_b32.group_fraction(Group::Output);
+        let e = p_b32.group_fraction(Group::Embedding);
+        out.push(finding(
+            "Obs. 1",
+            "Transformer layers dominate (68-85%); output ~3-7%; embedding negligible",
+            format!("transformer {:.1}%, output {:.1}%, embedding {:.2}%", t * 100.0, o * 100.0, e * 100.0),
+            (0.6..0.93).contains(&t) && (0.01..0.10).contains(&o) && e < 0.02,
+        ));
+    }
+    // Obs. 2 / Takeaway 3: linear+FC GEMMs dominate FP32 and drop under MP.
+    {
+        let gemmish = |p: &bertscope_sim::IterationProfile| {
+            p.category_fraction(Category::AttnLinear) + p.category_fraction(Category::FcGemm)
+        };
+        let f32_share = gemmish(&p_b32);
+        let mp_share = gemmish(&p_mp);
+        out.push(finding(
+            "Obs. 2 / Takeaway 3",
+            "Linear+FC dominate (~57% FP32), dropping (~42%) under mixed precision",
+            format!("linear+FC {:.1}% FP32 -> {:.1}% MP", f32_share * 100.0, mp_share * 100.0),
+            f32_share > 0.45 && mp_share < f32_share - 0.08,
+        ));
+    }
+    // Takeaway 1: LAMB second-highest contributor; grows as tokens shrink.
+    {
+        let l32 = p_b32.group_fraction(Group::Lamb);
+        let l4 = p_b4.group_fraction(Group::Lamb);
+        let second = l32 > p_b32.group_fraction(Group::Output)
+            && l32 > p_b32.group_fraction(Group::Embedding);
+        out.push(finding(
+            "Takeaway 1",
+            "LAMB is the second-highest contributor (7-10%), rising to ~25% at low token counts",
+            format!("LAMB {:.1}% at B32, {:.1}% at B4", l32 * 100.0, l4 * 100.0),
+            second && l4 > 2.0 * l32 && (0.12..0.35).contains(&l4),
+        ));
+    }
+    // Takeaway 2: LAMB grows under mixed precision.
+    {
+        let l32 = p_b32.group_fraction(Group::Lamb);
+        let lmp = p_mp.group_fraction(Group::Lamb);
+        out.push(finding(
+            "Takeaway 2",
+            "LAMB becomes more important (16-19%) with mixed-precision training",
+            format!("LAMB {:.1}% FP32 -> {:.1}% MP", l32 * 100.0, lmp * 100.0),
+            lmp > 1.5 * l32 && (0.10..0.30).contains(&lmp),
+        ));
+    }
+    // Takeaway 4: attention operations are a small share.
+    {
+        let attn = |p: &bertscope_sim::IterationProfile| {
+            p.category_fraction(Category::AttnBgemm)
+                + p.category_fraction(Category::ScaleMaskSoftmaxDropout)
+        };
+        let a32 = attn(&p_b32);
+        let amp = attn(&p_mp);
+        out.push(finding(
+            "Takeaway 4",
+            "Attention operations are a small share (~7% FP32, ~9% MP) and grow under MP",
+            format!("attention ops {:.1}% FP32, {:.1}% MP", a32 * 100.0, amp * 100.0),
+            (0.03..0.15).contains(&a32) && amp > a32,
+        ));
+    }
+    // Takeaway 5: GEMM dims scale with B*n and hidden sizes; B=1 stays
+    // matrix-matrix.
+    {
+        let b1 = BertConfig::bert_large().phase1(1);
+        let s = gemm_spec(&b1, GemmSite::Linear, GemmPass::Forward);
+        out.push(finding(
+            "Takeaway 5",
+            "GEMM dims are multiples of B*n and hidden sizes; B=1 is not matrix-vector",
+            format!("B=1 linear GEMM is {}x{}x{}", s.m, s.n, s.k),
+            s.m > 1 && s.n > 1 && s.k > 1 && s.n == b1.tokens(),
+        ));
+    }
+    // Takeaway 6: attention GEMMs are memory-bound and under-utilizing.
+    {
+        let cfg = BertConfig::bert_large();
+        let attn = gemm_spec(&cfg, GemmSite::AttnScore, GemmPass::Forward);
+        let fc = gemm_spec(&cfg, GemmSite::Fc1, GemmPass::Forward);
+        let e_attn = gpu.gemm_efficiency(&attn);
+        let e_fc = gpu.gemm_efficiency(&fc);
+        out.push(finding(
+            "Takeaway 6",
+            "Small attention B-GEMMs under-utilize the accelerator and are memory-bound",
+            format!("efficiency: attention {:.2} vs FC {:.2}; intensity {:.1} vs {:.1} ops/B",
+                e_attn, e_fc,
+                attn.arithmetic_intensity(DType::F32), fc.arithmetic_intensity(DType::F32)),
+            e_attn < 0.7 * e_fc
+                && attn.arithmetic_intensity(DType::F32) < 0.2 * fc.arithmetic_intensity(DType::F32),
+        ));
+    }
+    // Takeaway 7: LAMB stage 1 reads 4x the model size, few EW ops.
+    {
+        let cfg = BertConfig::bert_large();
+        let ops = bertscope_model::optimizer_ops(&cfg, &GraphOptions::default());
+        let model_bytes = bertscope_model::parameter_count(&cfg) * 4;
+        let s1_reads: u64 =
+            ops.iter().filter(|o| o.category == Category::LambStage1).map(|o| o.bytes_read).sum();
+        let s1_intensity = ops
+            .iter()
+            .filter(|o| o.category == Category::LambStage1)
+            .map(OpRecord::arithmetic_intensity)
+            .fold(0.0f64, f64::max);
+        out.push(finding(
+            "Takeaway 7",
+            "LAMB reads 4x the model size with very few elementwise ops per byte",
+            format!("stage-1 reads {:.2}x model size, intensity {s1_intensity:.2} ops/B",
+                s1_reads as f64 / model_bytes as f64),
+            s1_reads == 4 * model_bytes && s1_intensity < 1.0,
+        ));
+    }
+    // Takeaways 8-9: memory-bound ops ~30% FP32 runtime, ~46% under MP.
+    {
+        let memory_bound = |p: &bertscope_sim::IterationProfile| {
+            1.0 - p.gemm_fraction()
+        };
+        let m32 = memory_bound(&p_b32);
+        let mmp = memory_bound(&p_mp);
+        out.push(finding(
+            "Takeaways 8-9",
+            "Memory-bound non-GEMM ops are a large share (~45% FP32) that grows under MP (~64%)",
+            format!("non-GEMM share {:.1}% FP32 -> {:.1}% MP", m32 * 100.0, mmp * 100.0),
+            m32 > 0.25 && mmp > m32 + 0.1,
+        ));
+    }
+    // Takeaway 10: higher n makes attention important.
+    {
+        let attn = |p: &bertscope_sim::IterationProfile| {
+            p.category_fraction(Category::AttnBgemm)
+                + p.category_fraction(Category::ScaleMaskSoftmaxDropout)
+        };
+        let short = attn(&p_b4);
+        let long = attn(&p_ph2);
+        out.push(finding(
+            "Takeaway 10",
+            "Longer sequences raise attention's share (quadratic scaling in n)",
+            format!("attention ops {:.1}% at n=128 -> {:.1}% at n=512", short * 100.0, long * 100.0),
+            long > 1.5 * short,
+        ));
+    }
+    // Takeaway 11 / Obs. 4: GEMM and LAMB shares grow with layer width.
+    {
+        let narrow = simulate_iteration(
+            &BertConfig::figure9(LayerSizeConfig::C1),
+            &GraphOptions::default(),
+            gpu,
+        );
+        let wide = simulate_iteration(
+            &BertConfig::figure9(LayerSizeConfig::C3),
+            &GraphOptions::default(),
+            gpu,
+        );
+        out.push(finding(
+            "Takeaway 11",
+            "GEMM and LAMB proportions grow with Transformer layer width (quadratic scaling)",
+            format!("GEMM {:.1}%->{:.1}%, LAMB {:.1}%->{:.1}% from C1 to C3",
+                narrow.gemm_fraction() * 100.0, wide.gemm_fraction() * 100.0,
+                narrow.group_fraction(Group::Lamb) * 100.0, wide.group_fraction(Group::Lamb) * 100.0),
+            wide.gemm_fraction() > narrow.gemm_fraction()
+                && wide.group_fraction(Group::Lamb) > narrow.group_fraction(Group::Lamb),
+        ));
+    }
+    // Obs. 5 + Takeaways 12-13: distributed training.
+    {
+        let pts = figure11_profiles(gpu, &link);
+        let get = |l: &str| &pts.iter().find(|p| p.label == l).unwrap().profile;
+        let d2_comm = get("D2").group_fraction(Group::Comm);
+        out.push(finding(
+            "Obs. 5",
+            "Overlapped data-parallel per-device profiles match single-GPU training",
+            format!("D2 exposed communication {:.1}%", d2_comm * 100.0),
+            d2_comm < 0.08,
+        ));
+        let s1_lamb = get("S1").group_fraction(Group::Lamb);
+        let t2_lamb = get("T2").group_fraction(Group::Lamb);
+        out.push(finding(
+            "Takeaway 12",
+            "LAMB's share drops under tensor slicing (parameters shard with device count)",
+            format!("LAMB {:.1}% single-GPU -> {:.1}% at 8-way", s1_lamb * 100.0, t2_lamb * 100.0),
+            t2_lamb < 0.5 * s1_lamb,
+        ));
+        let t1_comm = get("T1").group_fraction(Group::Comm);
+        let t2_comm = get("T2").group_fraction(Group::Comm);
+        out.push(finding(
+            "Takeaway 13",
+            "Tensor-slicing communication share grows with device count",
+            format!("communication {:.1}% at 2-way -> {:.1}% at 8-way", t1_comm * 100.0, t2_comm * 100.0),
+            t2_comm > 1.5 * t1_comm,
+        ));
+    }
+    // Obs. 3: batch size affects all layers similarly.
+    {
+        let frac = |p: &bertscope_sim::IterationProfile, c: Category| {
+            p.category_fraction(c) / p.group_fraction(Group::Transformer)
+        };
+        let d4 = frac(&p_b4, Category::FcGemm);
+        let d32 = frac(&p_b32, Category::FcGemm);
+        out.push(finding(
+            "Obs. 3",
+            "Mini-batch size affects all Transformer layers similarly (linear dependence)",
+            format!("FC share within the Transformer: {:.1}% at B4 vs {:.1}% at B32", d4 * 100.0, d32 * 100.0),
+            (d4 - d32).abs() / d32 < 0.25,
+        ));
+    }
+    // Obs. 4: deeper models keep proportions, LAMB included.
+    {
+        let deep = BertConfig { layers: 48, ..BertConfig::bert_large() };
+        let p_deep = simulate_iteration(&deep, &GraphOptions::default(), gpu);
+        let shallow_ratio = p_b32.group_fraction(Group::Lamb) / p_b32.group_fraction(Group::Transformer);
+        let deep_ratio = p_deep.group_fraction(Group::Lamb) / p_deep.group_fraction(Group::Transformer);
+        out.push(finding(
+            "Obs. 4",
+            "Transformer and LAMB both scale linearly with layer count (stable ratio)",
+            format!("LAMB/Transformer ratio: {shallow_ratio:.3} at N=24 vs {deep_ratio:.3} at N=48"),
+            (shallow_ratio - deep_ratio).abs() / shallow_ratio < 0.15,
+        ));
+    }
+    // Fusion behaviour (Fig. 12 summary as a Table 1 adjunct).
+    {
+        let rows = bertscope_sim::figure12a_study(&BertConfig::bert_large(), gpu);
+        let adam = rows.iter().find(|r| r.name == "adam").expect("adam case");
+        out.push(finding(
+            "§6.1.1 (Fig. 12a)",
+            "Optimizer fusion cuts kernel count vastly more than runtime (no cross-layer reuse)",
+            format!("Adam: kernels {:.0}x vs runtime {:.1}x", adam.kernel_ratio, adam.runtime_ratio),
+            adam.kernel_ratio > 20.0 * adam.runtime_ratio,
+        ));
+    }
+    // NMC (§6.2.1).
+    {
+        let nmc = bertscope_device::NmcModel::hbm2_per_bank();
+        let s = bertscope_sim::nmc_study(
+            &BertConfig::bert_large(),
+            &GraphOptions { optimizer: OptimizerChoice::Lamb, ..GraphOptions::default() },
+            gpu,
+            &nmc,
+        );
+        out.push(finding(
+            "§6.2.1 (NMC)",
+            "Near-memory compute speeds LAMB ~3.8x vs an optimistic GPU; 5-22% end-to-end",
+            format!("LAMB speedup {:.2}x, end-to-end +{:.1}%",
+                s.lamb_speedup_vs_optimistic_gpu, s.end_to_end_improvement * 100.0),
+            (3.0..4.5).contains(&s.lamb_speedup_vs_optimistic_gpu) && s.end_to_end_improvement > 0.02,
+        ));
+    }
+    // Checkpointing (§4).
+    {
+        let s = bertscope_sim::checkpoint_study(&BertConfig::bert_large(), &GraphOptions::default(), gpu);
+        out.push(finding(
+            "§4 (checkpointing)",
+            "Activation checkpointing adds ~33% kernels and ~27% runtime; LAMB share drops",
+            format!("kernels +{:.0}%, runtime +{:.0}%, LAMB {:.1}%->{:.1}%",
+                s.kernel_increase * 100.0, s.runtime_increase * 100.0,
+                s.lamb_share_base * 100.0, s.lamb_share_checkpointed * 100.0),
+            (0.2..0.5).contains(&s.kernel_increase)
+                && s.runtime_increase < s.kernel_increase
+                && s.lamb_share_checkpointed < s.lamb_share_base,
+        ));
+    }
+    // GEMM flops sanity: iteration is GEMM-dominated in arithmetic even
+    // though not in time — the premise of the whole study.
+    {
+        let ops = build_iteration(&BertConfig::bert_large(), &GraphOptions::default());
+        let gemm_flops: u64 = ops.iter().filter(|o| o.is_gemm()).map(|o| o.flops).sum();
+        let total: u64 = ops.iter().map(|o| o.flops).sum();
+        let ew_kinds = ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::ElementWise | OpKind::Reduction))
+            .count();
+        out.push(finding(
+            "Premise",
+            "GEMMs dominate arithmetic, yet hundreds of non-GEMM kernels shape the runtime",
+            format!("GEMMs are {:.1}% of FLOPs across {} non-GEMM kernels",
+                gemm_flops as f64 / total as f64 * 100.0, ew_kinds),
+            gemm_flops as f64 / total as f64 > 0.9 && ew_kinds > 500,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_findings_hold_on_the_calibrated_device() {
+        let findings = derive_findings(&GpuModel::mi100());
+        assert!(findings.len() >= 15, "expected a full Table 1, got {}", findings.len());
+        for f in &findings {
+            assert!(f.holds, "{}: {} — measured {}", f.id, f.claim, f.measured);
+        }
+    }
+
+    #[test]
+    fn findings_cover_all_paper_takeaways() {
+        let findings = derive_findings(&GpuModel::mi100());
+        let ids: Vec<&str> = findings.iter().map(|f| f.id.as_str()).collect();
+        for required in [
+            "Takeaway 1", "Takeaway 2", "Takeaway 4", "Takeaway 5", "Takeaway 6", "Takeaway 7",
+            "Takeaway 10", "Takeaway 11", "Takeaway 12", "Takeaway 13", "Obs. 1", "Obs. 5",
+        ] {
+            assert!(ids.contains(&required), "missing {required}");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Energy model: per-operation arithmetic and data-movement energy.
+//!
+//! The paper's NMC argument (§6.2.1) is performance *and energy*: "NMC
+//! avoids data movement between the main memory and GPU ... and improves
+//! performance and energy efficiency". This module quantifies that claim
+//! with standard technology constants: arithmetic costs picojoules per
+//! FLOP (less on matrix cores, less at half precision), and every byte that
+//! crosses the HBM interface costs an order of magnitude more than a
+//! bank-local access.
+
+use crate::nmc::NmcModel;
+use bertscope_tensor::{DType, OpKind, OpRecord};
+
+/// Technology energy constants, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per f32 FLOP on the vector units.
+    pub pj_per_vector_flop: f64,
+    /// Energy per f32 FLOP on the matrix cores (amortized control).
+    pub pj_per_matrix_flop_f32: f64,
+    /// Energy per f16 FLOP on the matrix cores.
+    pub pj_per_matrix_flop_f16: f64,
+    /// Energy per byte moved across the HBM interface (cell + IO + PHY).
+    pub pj_per_dram_byte: f64,
+    /// Energy per byte for a bank-local NMC access (no interface crossing).
+    pub pj_per_nmc_byte: f64,
+    /// Energy per FLOP on an in-memory ALU.
+    pub pj_per_nmc_flop: f64,
+}
+
+impl EnergyModel {
+    /// Constants for an HBM2-class accelerator (7nm-era estimates).
+    #[must_use]
+    pub fn hbm2() -> Self {
+        EnergyModel {
+            pj_per_vector_flop: 2.5,
+            pj_per_matrix_flop_f32: 1.2,
+            pj_per_matrix_flop_f16: 0.45,
+            pj_per_dram_byte: 30.0,
+            pj_per_nmc_byte: 9.0,
+            pj_per_nmc_flop: 3.0,
+        }
+    }
+
+    /// Energy of one op executed on the GPU, in microjoules.
+    #[must_use]
+    pub fn op_energy_uj(&self, op: &OpRecord) -> f64 {
+        let pj_flop = match (op.kind, op.dtype) {
+            (OpKind::Gemm | OpKind::BatchedGemm, DType::F32) => self.pj_per_matrix_flop_f32,
+            (OpKind::Gemm | OpKind::BatchedGemm, _) => self.pj_per_matrix_flop_f16,
+            // Half-precision vector math is roughly half the energy.
+            (_, dt) if dt.is_half() => self.pj_per_vector_flop / 2.0,
+            _ => self.pj_per_vector_flop,
+        };
+        (op.flops as f64 * pj_flop + op.bytes_total() as f64 * self.pj_per_dram_byte) / 1.0e6
+    }
+
+    /// Energy of one op executed on the in-memory ALUs, in microjoules.
+    ///
+    /// Valid for ops [`NmcModel::can_offload`] accepts; the savings come
+    /// from every byte staying bank-local.
+    #[must_use]
+    pub fn nmc_op_energy_uj(&self, op: &OpRecord) -> f64 {
+        debug_assert!(NmcModel::can_offload(op));
+        (op.flops as f64 * self.pj_per_nmc_flop + op.bytes_total() as f64 * self.pj_per_nmc_byte)
+            / 1.0e6
+    }
+
+    /// Total GPU energy of an op stream, in joules.
+    #[must_use]
+    pub fn total_energy_j(&self, ops: &[OpRecord]) -> f64 {
+        ops.iter().map(|o| self.op_energy_uj(o)).sum::<f64>() / 1.0e6
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::hbm2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertscope_tensor::{Category, GemmSpec, Phase, Transpose};
+
+    fn gemm_op(dtype: DType) -> OpRecord {
+        let spec = GemmSpec::new(Transpose::No, Transpose::No, 4096, 4096, 1024);
+        OpRecord {
+            name: "g".into(),
+            kind: OpKind::Gemm,
+            category: Category::FcGemm,
+            phase: Phase::Forward,
+            layer: None,
+            gemm: Some(spec),
+            flops: spec.flops(),
+            bytes_read: spec.bytes_read(dtype),
+            bytes_written: spec.bytes_written(dtype),
+            dtype,
+        }
+    }
+
+    fn lamb_op() -> OpRecord {
+        OpRecord {
+            name: "lamb".into(),
+            kind: OpKind::ElementWise,
+            category: Category::LambStage1,
+            phase: Phase::Update,
+            layer: None,
+            gemm: None,
+            flops: 14 * 13_000_000,
+            bytes_read: 4 * 13_000_000 * 4,
+            bytes_written: 3 * 13_000_000 * 4,
+            dtype: DType::F32,
+        }
+    }
+
+    #[test]
+    fn half_precision_gemms_use_less_energy() {
+        let e = EnergyModel::hbm2();
+        let f32e = e.op_energy_uj(&gemm_op(DType::F32));
+        let f16e = e.op_energy_uj(&gemm_op(DType::F16));
+        assert!(f16e < 0.5 * f32e, "f16 {f16e} vs f32 {f32e}");
+    }
+
+    #[test]
+    fn gemm_energy_is_compute_dominated_lamb_is_movement_dominated() {
+        let e = EnergyModel::hbm2();
+        let g = gemm_op(DType::F32);
+        let arith = g.flops as f64 * e.pj_per_matrix_flop_f32;
+        let dram = g.bytes_total() as f64 * e.pj_per_dram_byte;
+        assert!(arith > 3.0 * dram, "GEMM: arithmetic dominates");
+        let l = lamb_op();
+        let arith = l.flops as f64 * e.pj_per_vector_flop;
+        let dram = l.bytes_total() as f64 * e.pj_per_dram_byte;
+        assert!(dram > 10.0 * arith, "LAMB: movement dominates");
+    }
+
+    #[test]
+    fn nmc_saves_most_of_lambs_energy() {
+        // The §6.2.1 energy claim: bank-local execution avoids the HBM
+        // interface for every byte.
+        let e = EnergyModel::hbm2();
+        let l = lamb_op();
+        let gpu = e.op_energy_uj(&l);
+        let nmc = e.nmc_op_energy_uj(&l);
+        let saving = 1.0 - nmc / gpu;
+        assert!((0.5..0.9).contains(&saving), "NMC energy saving {saving}");
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let e = EnergyModel::hbm2();
+        let ops = vec![gemm_op(DType::F32), lamb_op()];
+        let total = e.total_energy_j(&ops);
+        let sum = (e.op_energy_uj(&ops[0]) + e.op_energy_uj(&ops[1])) / 1.0e6;
+        assert!((total - sum).abs() < 1e-12);
+        assert!(total > 0.0);
+    }
+}

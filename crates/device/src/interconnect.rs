@@ -1,0 +1,208 @@
+//! Inter-device interconnect and collective-communication cost models
+//! (paper §5.1).
+//!
+//! Follows the paper's methodology: gradient/activation AllReduce cost is
+//! estimated from data volume over link bandwidth assuming Ring AllReduce
+//! (Baidu's ring algorithm, paper ref. 28) on a homogeneous topology.
+
+/// A point-to-point link between devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Sustained unidirectional bandwidth in GB/s.
+    pub bw_gbps: f64,
+    /// Per-message latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl Link {
+    /// PCIe 4.0 x16: ~32 GB/s per direction — the paper's assumption.
+    #[must_use]
+    pub fn pcie4() -> Self {
+        Link { bw_gbps: 32.0, latency_us: 5.0 }
+    }
+
+    /// A faster intra-node fabric (xGMI/NVLink-class) for what-if studies.
+    #[must_use]
+    pub fn xgmi() -> Self {
+        Link { bw_gbps: 92.0, latency_us: 2.0 }
+    }
+
+    /// Time to move `bytes` point-to-point, in microseconds.
+    #[must_use]
+    pub fn transfer_time_us(&self, bytes: u64) -> f64 {
+        self.latency_us + bytes as f64 / (self.bw_gbps * 1.0e9) * 1.0e6
+    }
+
+    /// Ring AllReduce of `bytes` across `devices`, in microseconds.
+    ///
+    /// Each device sends `2 * (D-1) / D` of the buffer over its link
+    /// (reduce-scatter + all-gather), paying per-step latency `2 * (D-1)`
+    /// times. One device (or fewer than two) costs nothing.
+    #[must_use]
+    pub fn ring_allreduce_us(&self, bytes: u64, devices: usize) -> f64 {
+        if devices < 2 {
+            return 0.0;
+        }
+        let d = devices as f64;
+        let steps = 2.0 * (d - 1.0);
+        let volume = steps / d * bytes as f64;
+        steps * self.latency_us + volume / (self.bw_gbps * 1.0e9) * 1.0e6
+    }
+
+    /// All-gather of `bytes` total output across `devices` (each
+    /// contributes `bytes / devices`), in microseconds.
+    #[must_use]
+    pub fn all_gather_us(&self, bytes: u64, devices: usize) -> f64 {
+        if devices < 2 {
+            return 0.0;
+        }
+        let d = devices as f64;
+        let steps = d - 1.0;
+        let volume = steps / d * bytes as f64;
+        steps * self.latency_us + volume / (self.bw_gbps * 1.0e9) * 1.0e6
+    }
+}
+
+/// An in-network-processing switch (paper §6.2.3): reduction ALUs in the
+/// switch let every device send its buffer once and receive the reduced
+/// buffer once, instead of circulating `2(D-1)/D` of it around a ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InNetworkSwitch {
+    /// Per-port link into the switch.
+    pub port: Link,
+    /// Switch traversal + reduction latency per message, in microseconds.
+    pub switch_latency_us: f64,
+    /// Per-port reduction throughput of the switch ALUs, GB/s (line-rate
+    /// reduction needs this to be at least the port bandwidth).
+    pub reduce_gbps: f64,
+}
+
+impl InNetworkSwitch {
+    /// A PCIe-4.0-ported switch with ample reduction throughput.
+    #[must_use]
+    pub fn pcie4_switch() -> Self {
+        InNetworkSwitch { port: Link::pcie4(), switch_latency_us: 3.0, reduce_gbps: 400.0 }
+    }
+
+    /// AllReduce of `bytes` across `devices` through the switch: each
+    /// device streams the buffer up once while the reduced result streams
+    /// down (full-duplex ports overlap the two directions), bounded by the
+    /// switch's aggregate reduction rate. This single-traversal pattern is
+    /// why in-network reduction approaches 2x a ring, which moves
+    /// `2(D-1)/D` of the buffer through every port.
+    #[must_use]
+    pub fn allreduce_us(&self, bytes: u64, devices: usize) -> f64 {
+        if devices < 2 {
+            return 0.0;
+        }
+        let port_s = bytes as f64 / (self.port.bw_gbps * 1.0e9);
+        let reduce_s = bytes as f64 / (self.reduce_gbps * 1.0e9);
+        2.0 * self.port.latency_us + self.switch_latency_us + port_s.max(reduce_s) * 1.0e6
+    }
+
+    /// Speedup of the in-network AllReduce over a Ring AllReduce on the
+    /// same ports — the benefit §6.2.3 points at.
+    #[must_use]
+    pub fn speedup_vs_ring(&self, bytes: u64, devices: usize) -> f64 {
+        let ring = self.port.ring_allreduce_us(bytes, devices);
+        let inp = self.allreduce_us(bytes, devices);
+        if inp == 0.0 {
+            1.0
+        } else {
+            ring / inp
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_device_communicates_nothing() {
+        let l = Link::pcie4();
+        assert_eq!(l.ring_allreduce_us(1 << 30, 1), 0.0);
+        assert_eq!(l.ring_allreduce_us(1 << 30, 0), 0.0);
+        assert_eq!(l.all_gather_us(1 << 30, 1), 0.0);
+    }
+
+    #[test]
+    fn ring_allreduce_volume_approaches_2x_buffer() {
+        // For large D the per-device traffic tends to 2x the buffer size.
+        let l = Link { bw_gbps: 1.0, latency_us: 0.0 };
+        let bytes = 1_000_000_000u64; // 1 GB over 1 GB/s = 1 s per buffer
+        let t2 = l.ring_allreduce_us(bytes, 2);
+        let t128 = l.ring_allreduce_us(bytes, 128);
+        assert!((t2 - 1.0e6).abs() / 1.0e6 < 1e-9, "D=2 moves exactly 1x the buffer");
+        assert!((t128 - 2.0e6 * 127.0 / 128.0).abs() / 2.0e6 < 1e-6);
+        // Cost grows with device count (paper Takeaway 13's driver).
+        assert!(t128 > t2);
+    }
+
+    #[test]
+    fn latency_term_scales_with_steps() {
+        let l = Link { bw_gbps: 1000.0, latency_us: 10.0 };
+        let t = l.ring_allreduce_us(8, 4); // negligible volume
+        assert!((t - 60.0).abs() < 0.1, "2*(4-1) steps x 10us = 60us, got {t}");
+    }
+
+    #[test]
+    fn bert_large_gradient_allreduce_is_milliseconds_on_pcie() {
+        // 340M f32 gradients = 1.36 GB: ring allreduce on PCIe4 takes tens
+        // of ms — comparable to backprop, which is why overlap matters
+        // (paper §5.2, D1 vs D2).
+        let l = Link::pcie4();
+        let t_ms = l.ring_allreduce_us(340_000_000 * 4, 128) / 1000.0;
+        assert!((50.0..120.0).contains(&t_ms), "allreduce {t_ms} ms");
+    }
+
+    #[test]
+    fn faster_fabric_reduces_cost_proportionally() {
+        let bytes = 1 << 30;
+        let slow = Link::pcie4().ring_allreduce_us(bytes, 8);
+        let fast = Link::xgmi().ring_allreduce_us(bytes, 8);
+        let ratio = slow / fast;
+        assert!((2.0..3.5).contains(&ratio), "bandwidth ratio ~2.9, got {ratio}");
+    }
+
+    #[test]
+    fn transfer_time_includes_latency() {
+        let l = Link { bw_gbps: 1.0, latency_us: 7.0 };
+        assert!((l.transfer_time_us(1_000_000) - 1007.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn in_network_allreduce_approaches_2x_ring_for_large_device_counts() {
+        // Ring moves 2(D-1)/D of the buffer through every port; the switch
+        // streams it through once (full duplex), so the speedup approaches
+        // 2x as D grows, plus the eliminated per-step latencies.
+        let sw = InNetworkSwitch::pcie4_switch();
+        let bytes = 1_360_000_000; // BERT-Large f32 gradients
+        let s8 = sw.speedup_vs_ring(bytes, 8);
+        assert!((1.5..2.2).contains(&s8), "8 devices: {s8}");
+        let s128 = sw.speedup_vs_ring(bytes, 128);
+        assert!(s128 > s8, "speedup grows with D: {s128} vs {s8}");
+        // Latency-bound regime (small buffers, many devices): big wins.
+        let s_small = sw.speedup_vs_ring(64 * 1024, 128);
+        assert!(s_small > 5.0, "small-buffer speedup {s_small}");
+    }
+
+    #[test]
+    fn in_network_single_device_is_free() {
+        let sw = InNetworkSwitch::pcie4_switch();
+        assert_eq!(sw.allreduce_us(1 << 30, 1), 0.0);
+        assert_eq!(sw.speedup_vs_ring(1 << 30, 1), 1.0);
+    }
+
+    #[test]
+    fn switch_reduction_rate_can_bottleneck() {
+        let slow_alu = InNetworkSwitch {
+            port: Link::pcie4(),
+            switch_latency_us: 3.0,
+            reduce_gbps: 10.0,
+        };
+        let fast_alu = InNetworkSwitch::pcie4_switch();
+        let bytes = 1 << 28;
+        assert!(slow_alu.allreduce_us(bytes, 64) > 3.0 * fast_alu.allreduce_us(bytes, 64));
+    }
+}

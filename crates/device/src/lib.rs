@@ -1,0 +1,35 @@
+//! Analytical device models for the bertscope characterization suite.
+//!
+//! The paper's takeaways are derived from operator manifestation, size and
+//! arithmetic intensity; this crate supplies the device-side half of that
+//! analysis:
+//!
+//! * [`GpuModel`] — a roofline accelerator with shape-dependent GEMM
+//!   efficiency and a bandwidth ramp, calibrated to the AMD Instinct MI100
+//!   the paper profiled;
+//! * [`NmcModel`] — per-bank near-memory compute over HBM2 (paper §6.2.1);
+//! * [`Link`] — interconnect and Ring-AllReduce cost models for distributed
+//!   training (paper §5.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use bertscope_device::GpuModel;
+//! use bertscope_tensor::{GemmSpec, Transpose};
+//!
+//! let gpu = GpuModel::mi100();
+//! let fc = GemmSpec::new(Transpose::No, Transpose::No, 4096, 4096, 1024);
+//! let attn = GemmSpec::batched(Transpose::No, Transpose::Yes, 128, 128, 64, 512);
+//! // The paper's Takeaway 6 falls out of the efficiency model:
+//! assert!(gpu.gemm_efficiency(&fc) > gpu.gemm_efficiency(&attn));
+//! ```
+
+pub mod energy;
+pub mod gpu;
+pub mod interconnect;
+pub mod nmc;
+
+pub use energy::EnergyModel;
+pub use gpu::GpuModel;
+pub use interconnect::{InNetworkSwitch, Link};
+pub use nmc::NmcModel;

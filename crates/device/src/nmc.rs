@@ -1,0 +1,168 @@
+//! Near-memory compute model (paper §6.2.1).
+//!
+//! Models a "balanced design point with ALUs at each bank" of an HBM2 stack:
+//! elementwise-capable ALUs sit beside every DRAM bank and operate on
+//! broadcast commands from the host. Aggregate bank-level bandwidth exceeds
+//! the external interface by a small integer factor, which is exactly the
+//! speedup available to streaming elementwise phases like the LAMB update.
+
+use crate::gpu::GpuModel;
+use bertscope_tensor::{OpKind, OpRecord};
+
+/// A per-bank-ALU near-memory compute configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NmcModel {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of independently-accessible DRAM banks with ALUs.
+    pub banks: usize,
+    /// Sustained per-bank data rate in GB/s (row-activation and tCCD
+    /// limited).
+    pub per_bank_bw_gbps: f64,
+    /// ALU throughput per bank, in GFLOP/s (elementwise ops only).
+    pub per_bank_gflops: f64,
+    /// Per-command broadcast overhead in microseconds.
+    pub command_overhead_us: f64,
+}
+
+impl NmcModel {
+    /// The HBM2 configuration paired with [`GpuModel::mi100`]: 32 channels x
+    /// 16 banks, tuned to the bank-level bandwidth amplification reported by
+    /// the DRAM-vendor NMC proposals the paper cites ([3, 46, 54]).
+    #[must_use]
+    pub fn hbm2_per_bank() -> Self {
+        NmcModel {
+            name: "HBM2-bank-NMC".into(),
+            banks: 512,
+            per_bank_bw_gbps: 9.1,
+            per_bank_gflops: 4.0,
+            command_overhead_us: 2.0,
+        }
+    }
+
+    /// Aggregate internal bandwidth across all banks, GB/s.
+    #[must_use]
+    pub fn aggregate_bw_gbps(&self) -> f64 {
+        self.banks as f64 * self.per_bank_bw_gbps
+    }
+
+    /// Aggregate elementwise ALU throughput, GFLOP/s.
+    #[must_use]
+    pub fn aggregate_gflops(&self) -> f64 {
+        self.banks as f64 * self.per_bank_gflops
+    }
+
+    /// Whether an op can be offloaded to the in-memory ALUs: streaming
+    /// elementwise arithmetic (and simple reductions) with no data reuse.
+    #[must_use]
+    pub fn can_offload(op: &OpRecord) -> bool {
+        matches!(op.kind, OpKind::ElementWise | OpKind::Reduction)
+    }
+
+    /// Modelled NMC execution time of one offloaded op, in microseconds.
+    ///
+    /// Data is assumed to be placed bank-aligned (as in the paper's cited
+    /// NMC works), so the op streams at aggregate bank bandwidth, bounded by
+    /// ALU throughput.
+    #[must_use]
+    pub fn op_time_us(&self, op: &OpRecord) -> f64 {
+        let mem_s = op.bytes_total() as f64 / (self.aggregate_bw_gbps() * 1.0e9);
+        let compute_s = op.flops as f64 / (self.aggregate_gflops() * 1.0e9);
+        self.command_overhead_us + mem_s.max(compute_s) * 1.0e6
+    }
+
+    /// Time of an op stream when every offloadable op runs on NMC, in
+    /// microseconds. Non-offloadable ops are not accepted — callers filter
+    /// with [`NmcModel::can_offload`].
+    #[must_use]
+    pub fn total_time_us(&self, ops: &[OpRecord]) -> f64 {
+        ops.iter().map(|o| self.op_time_us(o)).sum()
+    }
+
+    /// The paper's comparison baseline: an *optimistic* GPU execution in
+    /// which the op costs only its minimal data reads and writes at full
+    /// external bandwidth (no launch overhead, no efficiency derating).
+    #[must_use]
+    pub fn optimistic_gpu_time_us(gpu: &GpuModel, ops: &[OpRecord]) -> f64 {
+        let bytes: u64 = ops.iter().map(OpRecord::bytes_total).sum();
+        bytes as f64 / (gpu.mem_bw_gbps * 1.0e9) * 1.0e6
+    }
+}
+
+impl Default for NmcModel {
+    fn default() -> Self {
+        NmcModel::hbm2_per_bank()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertscope_tensor::{Category, DType, Phase};
+
+    fn lamb_like_op(numel: u64) -> OpRecord {
+        OpRecord {
+            name: "lamb.stage1".into(),
+            kind: OpKind::ElementWise,
+            category: Category::LambStage1,
+            phase: Phase::Update,
+            layer: None,
+            gemm: None,
+            flops: 14 * numel,
+            bytes_read: 4 * numel * 4,
+            bytes_written: 3 * numel * 4,
+            dtype: DType::F32,
+        }
+    }
+
+    #[test]
+    fn aggregate_bandwidth_is_several_times_external() {
+        let nmc = NmcModel::hbm2_per_bank();
+        let gpu = GpuModel::mi100();
+        let factor = nmc.aggregate_bw_gbps() / gpu.mem_bw_gbps;
+        assert!((3.0..5.0).contains(&factor), "internal/external bandwidth factor {factor}");
+    }
+
+    #[test]
+    fn lamb_speedup_vs_optimistic_gpu_is_close_to_3_8x() {
+        // Paper §6.2.1: NMC speeds up LAMB by 3.8x against an optimistic
+        // GPU model with only minimal reads/writes.
+        let nmc = NmcModel::hbm2_per_bank();
+        let gpu = GpuModel::mi100();
+        // A BERT-Large-sized LAMB update: 26 update groups of ~13M params.
+        let ops: Vec<OpRecord> = (0..26).map(|_| lamb_like_op(13_000_000)).collect();
+        let gpu_t = NmcModel::optimistic_gpu_time_us(&gpu, &ops);
+        let nmc_t = nmc.total_time_us(&ops);
+        let speedup = gpu_t / nmc_t;
+        assert!((3.2..4.2).contains(&speedup), "NMC speedup {speedup}");
+    }
+
+    #[test]
+    fn offload_filter_accepts_elementwise_rejects_gemm() {
+        let op = lamb_like_op(100);
+        assert!(NmcModel::can_offload(&op));
+        let gemm = OpRecord { kind: OpKind::Gemm, ..lamb_like_op(100) };
+        assert!(!NmcModel::can_offload(&gemm));
+        let copy = OpRecord { kind: OpKind::Copy, ..lamb_like_op(100) };
+        assert!(!NmcModel::can_offload(&copy));
+    }
+
+    #[test]
+    fn command_overhead_dominates_tiny_ops() {
+        let nmc = NmcModel::hbm2_per_bank();
+        let tiny = lamb_like_op(16);
+        assert!(nmc.op_time_us(&tiny) < nmc.command_overhead_us * 1.01);
+    }
+
+    #[test]
+    fn alu_bound_when_flops_dense() {
+        let nmc = NmcModel::hbm2_per_bank();
+        let mut op = lamb_like_op(10_000_000);
+        // Give the op pathological arithmetic density.
+        op.flops = 1_000_000_000_000;
+        let t = nmc.op_time_us(&op);
+        let alu_bound_us =
+            op.flops as f64 / (nmc.aggregate_gflops() * 1e9) * 1e6 + nmc.command_overhead_us;
+        assert!((t - alu_bound_us).abs() / alu_bound_us < 1e-9);
+    }
+}

@@ -1,0 +1,187 @@
+//! GeLU activation (paper §3.2.3, Equation 1) and its error function.
+//!
+//! `GELU(x) = x * 1/2 * [1 + erf(x / sqrt(2))]` — a chain of elementwise
+//! add/multiply/divide/erf operations. When executed unfused, each step is a
+//! separate memory-bound kernel; here we execute it as the (fused) composite
+//! and let the fusion study in `bertscope-model` account for the unfused
+//! variant's kernel counts and extra traffic.
+
+use crate::ctx::KernelCtx;
+use crate::Result;
+use bertscope_tensor::{OpKind, Tensor};
+use bertscope_tensor::Tracer;
+
+/// Abramowitz & Stegun 7.1.26 rational approximation of `erf`
+/// (max absolute error ~1.5e-7, far below f16 resolution).
+#[must_use]
+pub fn erf(x: f32) -> f32 {
+    const A1: f32 = 0.254_829_6;
+    const A2: f32 = -0.284_496_72;
+    const A3: f32 = 1.421_413_8;
+    const A4: f32 = -1.453_152_1;
+    const A5: f32 = 1.061_405_4;
+    const P: f32 = 0.327_591_1;
+
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// The exact GeLU of Equation 1 for a scalar.
+#[must_use]
+pub fn gelu_scalar(x: f32) -> f32 {
+    x * 0.5 * (1.0 + erf(x / std::f32::consts::SQRT_2))
+}
+
+/// Derivative of GeLU: `Phi(x) + x * phi(x)` with the standard-normal CDF
+/// `Phi` and PDF `phi`.
+#[must_use]
+pub fn gelu_grad_scalar(x: f32) -> f32 {
+    let phi_cdf = 0.5 * (1.0 + erf(x / std::f32::consts::SQRT_2));
+    let pdf = (-0.5 * x * x).exp() / (2.0 * std::f32::consts::PI).sqrt();
+    phi_cdf + x * pdf
+}
+
+/// Approximate per-element FLOP cost of the erf-based GeLU chain
+/// (mul, add, div, exp and the polynomial), used for trace accounting.
+pub const GELU_FLOPS_PER_ELEMENT: u64 = 12;
+
+/// GeLU forward: elementwise over `x`.
+///
+/// # Errors
+///
+/// Never fails for valid tensors; the `Result` mirrors the other kernels.
+pub fn gelu_fwd(tracer: &mut Tracer, ctx: &KernelCtx, x: &Tensor) -> Result<Tensor> {
+    let y = x.map(gelu_scalar);
+    let es = ctx.dtype_of().size_bytes();
+    let n = x.numel() as u64;
+    ctx.trace(tracer, "gelu", OpKind::ElementWise, GELU_FLOPS_PER_ELEMENT * n, n * es, n * es);
+    Ok(y)
+}
+
+/// GeLU backward: `dx = dy * gelu'(x)`.
+///
+/// # Errors
+///
+/// Returns a shape error when `x` and `dy` disagree.
+pub fn gelu_bwd(tracer: &mut Tracer, ctx: &KernelCtx, x: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    let dx = x.zip_map(dy, |xv, dyv| dyv * gelu_grad_scalar(xv))?;
+    let es = ctx.dtype_of().size_bytes();
+    let n = x.numel() as u64;
+    // Reads the saved input and the incoming gradient, writes dx.
+    ctx.trace(
+        tracer,
+        "gelu",
+        OpKind::ElementWise,
+        (GELU_FLOPS_PER_ELEMENT + 2) * n,
+        2 * n * es,
+        n * es,
+    );
+    Ok(dx)
+}
+
+/// Tanh forward (the NSP pooler activation).
+///
+/// # Errors
+///
+/// Never fails for valid tensors.
+pub fn tanh_fwd(tracer: &mut Tracer, ctx: &KernelCtx, x: &Tensor) -> Result<Tensor> {
+    let y = x.map(f32::tanh);
+    let es = ctx.dtype_of().size_bytes();
+    let n = x.numel() as u64;
+    ctx.trace(tracer, "tanh", OpKind::ElementWise, 5 * n, n * es, n * es);
+    Ok(y)
+}
+
+/// Tanh backward given the forward *output*: `dx = dy * (1 - y^2)`.
+///
+/// # Errors
+///
+/// Returns a shape error when `y` and `dy` disagree.
+pub fn tanh_bwd(tracer: &mut Tracer, ctx: &KernelCtx, y: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    let dx = y.zip_map(dy, |yv, dyv| dyv * (1.0 - yv * yv))?;
+    let es = ctx.dtype_of().size_bytes();
+    let n = y.numel() as u64;
+    ctx.trace(tracer, "tanh", OpKind::ElementWise, 3 * n, 2 * n * es, n * es);
+    Ok(dx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::{check_grad, rand_tensor};
+    use bertscope_tensor::{Category, Phase};
+
+    #[test]
+    fn tanh_forward_and_gradient() {
+        let mut tr = Tracer::disabled();
+        let ctx = KernelCtx::new("pooler", Category::Output, Phase::Forward);
+        let x = rand_tensor(21, &[3, 4]).scale(2.0);
+        let y = tanh_fwd(&mut tr, &ctx, &x).unwrap();
+        assert!(y.as_slice().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        let dy = Tensor::ones(&[3, 4]);
+        let dx = tanh_bwd(&mut tr, &ctx, &y, &dy).unwrap();
+        check_grad(&x, &dx, 1e-3, 2e-2, |xp| {
+            let mut t = Tracer::disabled();
+            tanh_fwd(&mut t, &ctx, xp).unwrap().sum()
+        });
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        // Reference values from tables of erf.
+        let cases = [
+            (0.0f32, 0.0f32),
+            (0.5, 0.520_499_9),
+            (1.0, 0.842_700_8),
+            (2.0, 0.995_322_3),
+            (-1.0, -0.842_700_8),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 2e-6, "erf({x}) = {} want {want}", erf(x));
+        }
+        assert!(erf(5.0) > 0.999_999);
+        assert!(erf(-5.0) < -0.999_999);
+    }
+
+    #[test]
+    fn gelu_limits_and_fixed_points() {
+        assert_eq!(gelu_scalar(0.0), 0.0);
+        // Large positive inputs pass through; large negative ones vanish.
+        assert!((gelu_scalar(10.0) - 10.0).abs() < 1e-4);
+        assert!(gelu_scalar(-10.0).abs() < 1e-4);
+        // GeLU is below identity for positive x, slightly negative near -1.
+        assert!(gelu_scalar(1.0) < 1.0 && gelu_scalar(1.0) > 0.8);
+        assert!(gelu_scalar(-1.0) < 0.0);
+    }
+
+    #[test]
+    fn gelu_gradient_matches_finite_differences() {
+        let mut tr = Tracer::disabled();
+        let ctx = KernelCtx::new("gelu", Category::Gelu, Phase::Backward);
+        let x = rand_tensor(3, &[4, 5]);
+        let dy = Tensor::ones(&[4, 5]);
+        let dx = gelu_bwd(&mut tr, &ctx, &x, &dy).unwrap();
+        check_grad(&x, &dx, 1e-3, 2e-2, |xp| {
+            let mut t = Tracer::disabled();
+            gelu_fwd(&mut t, &ctx, xp).unwrap().sum()
+        });
+    }
+
+    #[test]
+    fn trace_counts_elementwise_traffic() {
+        let mut tr = Tracer::new();
+        let ctx = KernelCtx::new("gelu", Category::Gelu, Phase::Forward).layer(1);
+        let x = rand_tensor(1, &[8, 4]);
+        gelu_fwd(&mut tr, &ctx, &x).unwrap();
+        let r = &tr.records()[0];
+        assert_eq!(r.kind, OpKind::ElementWise);
+        assert_eq!(r.bytes_read, 32 * 4);
+        assert_eq!(r.bytes_written, 32 * 4);
+        assert_eq!(r.flops, GELU_FLOPS_PER_ELEMENT * 32);
+        // GeLU's intensity is low: it is memory-bound (paper Fig. 7).
+        assert!(r.arithmetic_intensity() < 2.0);
+    }
+}

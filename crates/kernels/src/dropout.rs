@@ -1,0 +1,164 @@
+//! Inverted dropout with deterministic, seed-derived masks.
+//!
+//! Dropout manifests as an elementwise multiply of the activation with a
+//! pre-scaled 0/(1/(1-p)) mask (paper §3.2.3). The mask is materialized so
+//! the backward pass can reuse it, exactly as the framework the paper
+//! profiled does; mask bytes are accounted at one byte per element, the
+//! storage a real implementation uses.
+
+use crate::ctx::KernelCtx;
+use crate::Result;
+use bertscope_tensor::{OpKind, Tensor, Tracer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dropout mask: keep/drop decisions pre-scaled by `1/(1-p)`.
+#[derive(Debug, Clone)]
+pub struct DropoutMask {
+    scale_per_keep: f32,
+    mask: Tensor,
+}
+
+impl DropoutMask {
+    /// The mask tensor (elements are `0` or `1/(1-p)`).
+    #[must_use]
+    pub fn mask(&self) -> &Tensor {
+        &self.mask
+    }
+
+    /// The keep scale `1/(1-p)`.
+    #[must_use]
+    pub fn keep_scale(&self) -> f32 {
+        self.scale_per_keep
+    }
+}
+
+/// Dropout forward. With `p == 0` the mask keeps everything (used to make
+/// training deterministic in tests); otherwise elements are dropped i.i.d.
+/// with probability `p` using a generator seeded by `seed`.
+///
+/// Returns the output and the mask required by [`dropout_bwd`].
+///
+/// # Errors
+///
+/// Returns [`bertscope_tensor::TensorError::InvalidArgument`] when `p` is
+/// not in `[0, 1)`.
+pub fn dropout_fwd(
+    tracer: &mut Tracer,
+    ctx: &KernelCtx,
+    x: &Tensor,
+    p: f32,
+    seed: u64,
+) -> Result<(Tensor, DropoutMask)> {
+    if !(0.0..1.0).contains(&p) {
+        return Err(bertscope_tensor::TensorError::InvalidArgument(format!(
+            "dropout probability must be in [0, 1), got {p}"
+        )));
+    }
+    let keep = 1.0 / (1.0 - p);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask_data: Vec<f32> = (0..x.numel())
+        .map(|_| if p > 0.0 && rng.gen::<f32>() < p { 0.0 } else { keep })
+        .collect();
+    let mask = Tensor::from_vec(mask_data, x.dims())?;
+    let y = x.mul(&mask)?;
+    let es = ctx.dtype_of().size_bytes();
+    let n = x.numel() as u64;
+    // Reads the activation + a 1-byte mask per element; writes the output.
+    ctx.trace(tracer, "dropout", OpKind::ElementWise, n, n * es + n, n * es);
+    Ok((y, DropoutMask { scale_per_keep: keep, mask }))
+}
+
+/// Dropout backward: `dx = dy * mask`.
+///
+/// # Errors
+///
+/// Returns a shape error when `dy` and the mask disagree.
+pub fn dropout_bwd(
+    tracer: &mut Tracer,
+    ctx: &KernelCtx,
+    mask: &DropoutMask,
+    dy: &Tensor,
+) -> Result<Tensor> {
+    let dx = dy.mul(&mask.mask)?;
+    let es = ctx.dtype_of().size_bytes();
+    let n = dy.numel() as u64;
+    ctx.trace(tracer, "dropout", OpKind::ElementWise, n, n * es + n, n * es);
+    Ok(dx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::rand_tensor;
+    use bertscope_tensor::{Category, Phase};
+
+    fn ctx() -> KernelCtx {
+        KernelCtx::new("dr", Category::ScaleMaskSoftmaxDropout, Phase::Forward)
+    }
+
+    #[test]
+    fn p_zero_is_identity() {
+        let mut tr = Tracer::new();
+        let x = rand_tensor(5, &[8, 8]);
+        let (y, mask) = dropout_fwd(&mut tr, &ctx(), &x, 0.0, 1).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+        assert!(mask.mask().as_slice().iter().all(|&m| m == 1.0));
+        assert_eq!(mask.keep_scale(), 1.0);
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_p_and_survivors_are_scaled() {
+        let mut tr = Tracer::new();
+        let x = Tensor::ones(&[10_000]);
+        let (y, _) = dropout_fwd(&mut tr, &ctx(), &x, 0.25, 7).unwrap();
+        let dropped = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let frac = dropped as f32 / 10_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "dropped fraction {frac}");
+        let kept: Vec<f32> = y.as_slice().iter().copied().filter(|&v| v != 0.0).collect();
+        assert!(kept.iter().all(|&v| (v - 1.0 / 0.75).abs() < 1e-6));
+        // Expectation is preserved (inverted dropout).
+        assert!((y.mean() - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn same_seed_reproduces_mask() {
+        let mut tr = Tracer::disabled();
+        let x = rand_tensor(2, &[64]);
+        let (y1, _) = dropout_fwd(&mut tr, &ctx(), &x, 0.5, 99).unwrap();
+        let (y2, _) = dropout_fwd(&mut tr, &ctx(), &x, 0.5, 99).unwrap();
+        assert_eq!(y1.as_slice(), y2.as_slice());
+        let (y3, _) = dropout_fwd(&mut tr, &ctx(), &x, 0.5, 100).unwrap();
+        assert_ne!(y1.as_slice(), y3.as_slice());
+    }
+
+    #[test]
+    fn backward_routes_gradients_through_kept_elements() {
+        let mut tr = Tracer::disabled();
+        let x = Tensor::ones(&[256]);
+        let (_, mask) = dropout_fwd(&mut tr, &ctx(), &x, 0.5, 3).unwrap();
+        let dy = Tensor::ones(&[256]);
+        let dx = dropout_bwd(&mut tr, &ctx(), &mask, &dy).unwrap();
+        for (m, d) in mask.mask().as_slice().iter().zip(dx.as_slice()) {
+            assert_eq!(*d, *m);
+        }
+    }
+
+    #[test]
+    fn invalid_p_rejected() {
+        let mut tr = Tracer::new();
+        let x = Tensor::ones(&[4]);
+        assert!(dropout_fwd(&mut tr, &ctx(), &x, 1.0, 0).is_err());
+        assert!(dropout_fwd(&mut tr, &ctx(), &x, -0.1, 0).is_err());
+    }
+
+    #[test]
+    fn trace_accounts_one_byte_masks() {
+        let mut tr = Tracer::new();
+        let x = Tensor::ones(&[100]);
+        dropout_fwd(&mut tr, &ctx(), &x, 0.1, 0).unwrap();
+        let r = &tr.records()[0];
+        assert_eq!(r.bytes_read, 100 * 4 + 100);
+        assert_eq!(r.bytes_written, 400);
+    }
+}

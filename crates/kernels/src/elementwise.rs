@@ -1,0 +1,102 @@
+//! Elementwise scale, additive-mask and residual-connection kernels.
+//!
+//! Each performs exactly one arithmetic operation per element read — the
+//! paper's poster children for arithmetic intensity below one (Fig. 7,
+//! Takeaway 8).
+
+use crate::ctx::KernelCtx;
+use crate::Result;
+use bertscope_tensor::{OpKind, Tensor, Tracer};
+
+/// Multiply every element of `x` by the constant `alpha` (the attention
+/// score normalization `1/sqrt(d_model/h)`).
+///
+/// # Errors
+///
+/// Never fails for valid tensors.
+pub fn scale(tracer: &mut Tracer, ctx: &KernelCtx, x: &Tensor, alpha: f32) -> Result<Tensor> {
+    let y = x.scale(alpha);
+    let es = ctx.dtype_of().size_bytes();
+    let n = x.numel() as u64;
+    ctx.trace(tracer, "scale", OpKind::ElementWise, n, n * es, n * es);
+    Ok(y)
+}
+
+/// Add a mask tensor to `x` (BERT's additive attention mask: `0` for valid
+/// positions, a large negative value for padded ones).
+///
+/// The mask has shape `[batch, 1, seq]` conceptually; here it is provided
+/// pre-broadcast with the same shape as `x` for simplicity.
+///
+/// # Errors
+///
+/// Returns a shape error when `x` and `mask` disagree.
+pub fn mask_add(tracer: &mut Tracer, ctx: &KernelCtx, x: &Tensor, mask: &Tensor) -> Result<Tensor> {
+    let y = x.add(mask)?;
+    let es = ctx.dtype_of().size_bytes();
+    let n = x.numel() as u64;
+    ctx.trace(tracer, "mask", OpKind::ElementWise, n, 2 * n * es, n * es);
+    Ok(y)
+}
+
+/// Residual connection: elementwise sum of a sub-layer's input and output.
+///
+/// # Errors
+///
+/// Returns a shape error when the operands disagree.
+pub fn residual_add(tracer: &mut Tracer, ctx: &KernelCtx, x: &Tensor, y: &Tensor) -> Result<Tensor> {
+    let out = x.add(y)?;
+    let es = ctx.dtype_of().size_bytes();
+    let n = x.numel() as u64;
+    ctx.trace(tracer, "residual", OpKind::ElementWise, n, 2 * n * es, n * es);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertscope_tensor::{Category, Phase};
+
+    fn ctx() -> KernelCtx {
+        KernelCtx::new("ew", Category::DropResidualNorm, Phase::Forward)
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        let mut tr = Tracer::new();
+        let x = Tensor::from_vec(vec![2.0, -4.0], &[2]).unwrap();
+        let y = scale(&mut tr, &ctx(), &x, 0.5).unwrap();
+        assert_eq!(y.as_slice(), &[1.0, -2.0]);
+        assert_eq!(tr.records()[0].flops, 2);
+    }
+
+    #[test]
+    fn mask_add_applies_additive_mask() {
+        let mut tr = Tracer::new();
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let m = Tensor::from_vec(vec![0.0, -1.0e9], &[2]).unwrap();
+        let y = mask_add(&mut tr, &ctx(), &x, &m).unwrap();
+        assert_eq!(y.as_slice()[0], 1.0);
+        assert!(y.as_slice()[1] < -1.0e8);
+    }
+
+    #[test]
+    fn residual_adds_and_reports_intensity_below_one() {
+        let mut tr = Tracer::new();
+        let x = Tensor::ones(&[16]);
+        let y = Tensor::full(&[16], 2.0);
+        let out = residual_add(&mut tr, &ctx(), &x, &y).unwrap();
+        assert!(out.as_slice().iter().all(|&v| v == 3.0));
+        // One add per element, three tensors of traffic: intensity < 1.
+        assert!(tr.records()[0].arithmetic_intensity() < 1.0);
+    }
+
+    #[test]
+    fn shape_mismatches_error() {
+        let mut tr = Tracer::new();
+        let x = Tensor::ones(&[4]);
+        let y = Tensor::ones(&[5]);
+        assert!(mask_add(&mut tr, &ctx(), &x, &y).is_err());
+        assert!(residual_add(&mut tr, &ctx(), &x, &y).is_err());
+    }
+}

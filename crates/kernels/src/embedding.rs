@@ -1,0 +1,130 @@
+//! Embedding lookup (gather) and its scatter-add backward.
+//!
+//! BERT's input layer sums token, position and segment embeddings. The
+//! lookup moves `tokens * d_model` elements with no arithmetic — a pure
+//! memory operation — which is why the paper finds the embedding layer's
+//! runtime contribution negligible (Obs. 1).
+
+use crate::ctx::KernelCtx;
+use crate::Result;
+use bertscope_tensor::{OpKind, Tensor, TensorError, Tracer};
+
+/// Gather rows of `table` (`[vocab, d]`) at `ids`, producing `[ids.len(), d]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] when any id is out of range.
+pub fn embedding_fwd(
+    tracer: &mut Tracer,
+    ctx: &KernelCtx,
+    table: &Tensor,
+    ids: &[usize],
+) -> Result<Tensor> {
+    let (vocab, d) = (table.dims()[0], table.dims()[1]);
+    let mut out = Vec::with_capacity(ids.len() * d);
+    for &id in ids {
+        if id >= vocab {
+            return Err(TensorError::InvalidArgument(format!(
+                "embedding id {id} out of range for vocab {vocab}"
+            )));
+        }
+        out.extend_from_slice(&table.as_slice()[id * d..(id + 1) * d]);
+    }
+    let y = Tensor::from_vec(out, &[ids.len(), d])?;
+    let es = ctx.dtype_of().size_bytes();
+    let moved = (ids.len() * d) as u64 * es;
+    // Gather: reads the selected rows + 4-byte indices, writes the output.
+    ctx.trace(tracer, "gather", OpKind::ElementWise, 0, moved + ids.len() as u64 * 4, moved);
+    Ok(y)
+}
+
+/// Scatter-add `dy` rows into a gradient table of `table_dims`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] when ids and `dy` rows disagree
+/// or an id is out of range.
+pub fn embedding_bwd(
+    tracer: &mut Tracer,
+    ctx: &KernelCtx,
+    table_dims: &[usize],
+    ids: &[usize],
+    dy: &Tensor,
+) -> Result<Tensor> {
+    let (vocab, d) = (table_dims[0], table_dims[1]);
+    if dy.dims() != [ids.len(), d] {
+        return Err(TensorError::shape("embedding_bwd", &[ids.len(), d], dy.dims()));
+    }
+    let mut grad = Tensor::zeros(&[vocab, d]);
+    for (row, &id) in ids.iter().enumerate() {
+        if id >= vocab {
+            return Err(TensorError::InvalidArgument(format!(
+                "embedding id {id} out of range for vocab {vocab}"
+            )));
+        }
+        let src = &dy.as_slice()[row * d..(row + 1) * d];
+        let dst = &mut grad.as_mut_slice()[id * d..(id + 1) * d];
+        for (g, &v) in dst.iter_mut().zip(src) {
+            *g += v;
+        }
+    }
+    let es = ctx.dtype_of().size_bytes();
+    let moved = (ids.len() * d) as u64 * es;
+    ctx.trace(
+        tracer,
+        "scatter_add",
+        OpKind::ElementWise,
+        (ids.len() * d) as u64,
+        moved + ids.len() as u64 * 4,
+        moved,
+    );
+    Ok(grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertscope_tensor::{Category, Phase};
+
+    fn ctx() -> KernelCtx {
+        KernelCtx::new("emb", Category::Embedding, Phase::Forward)
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let mut tr = Tracer::new();
+        let table =
+            Tensor::from_vec(vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1], &[3, 2]).unwrap();
+        let y = embedding_fwd(&mut tr, &ctx(), &table, &[2, 0, 2]).unwrap();
+        assert_eq!(y.dims(), &[3, 2]);
+        assert_eq!(y.as_slice(), &[2.0, 2.1, 0.0, 0.1, 2.0, 2.1]);
+        assert_eq!(tr.records()[0].flops, 0, "gather performs no arithmetic");
+    }
+
+    #[test]
+    fn out_of_range_ids_rejected() {
+        let mut tr = Tracer::new();
+        let table = Tensor::zeros(&[3, 2]);
+        assert!(embedding_fwd(&mut tr, &ctx(), &table, &[3]).is_err());
+        let dy = Tensor::zeros(&[1, 2]);
+        assert!(embedding_bwd(&mut tr, &ctx(), &[3, 2], &[5], &dy).is_err());
+    }
+
+    #[test]
+    fn scatter_add_accumulates_repeated_ids() {
+        let mut tr = Tracer::new();
+        let dy = Tensor::from_vec(vec![1.0, 2.0, 10.0, 20.0, 100.0, 200.0], &[3, 2]).unwrap();
+        let grad = embedding_bwd(&mut tr, &ctx(), &[4, 2], &[1, 3, 1], &dy).unwrap();
+        assert_eq!(grad.at(&[1, 0]).unwrap(), 101.0);
+        assert_eq!(grad.at(&[1, 1]).unwrap(), 202.0);
+        assert_eq!(grad.at(&[3, 0]).unwrap(), 10.0);
+        assert_eq!(grad.at(&[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn bwd_shape_validation() {
+        let mut tr = Tracer::new();
+        let dy = Tensor::zeros(&[2, 3]);
+        assert!(embedding_bwd(&mut tr, &ctx(), &[4, 2], &[0, 1], &dy).is_err());
+    }
+}

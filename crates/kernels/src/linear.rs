@@ -1,0 +1,187 @@
+//! Linear (dense) layers: the GEMMs that dominate BERT's runtime.
+//!
+//! Conventions: activations are `[tokens, d_in]` row-major, weights are
+//! `[d_in, d_out]`, biases `[d_out]`. The traced [`GemmSpec`]s use the
+//! paper's Table 2b convention (`M` = weight-side output dimension, `N` =
+//! token count `n*B`, `K` = reduction dimension), so traces from execution
+//! line up exactly with the analytic graph and Fig. 6's labels.
+
+use crate::ctx::KernelCtx;
+use crate::Result;
+use bertscope_tensor::{gemm, GemmSpec, OpKind, Tensor, TensorError, Tracer, Transpose};
+
+/// Linear forward: `y = x * W + b`.
+///
+/// The bias add is executed as a GEMM epilogue (a single fused kernel), as
+/// BLAS libraries do, so only one GEMM record is traced.
+///
+/// # Errors
+///
+/// Returns shape errors when `x`/`w`/`b` disagree.
+pub fn linear_fwd(
+    tracer: &mut Tracer,
+    ctx: &KernelCtx,
+    x: &Tensor,
+    w: &Tensor,
+    b: Option<&Tensor>,
+) -> Result<Tensor> {
+    let (t, d_in) = (x.dims()[0], x.dims()[1]);
+    let (wd_in, d_out) = (w.dims()[0], w.dims()[1]);
+    if d_in != wd_in {
+        return Err(TensorError::shape("linear_fwd", x.dims(), w.dims()));
+    }
+    let mut y = gemm(Transpose::No, Transpose::No, 1.0, x, w, 0.0, None)?;
+    if let Some(b) = b {
+        if b.numel() != d_out {
+            return Err(TensorError::shape("linear_fwd bias", &[d_out], b.dims()));
+        }
+        let bs = b.as_slice();
+        let dt = ctx.dtype_of();
+        for row in y.as_mut_slice().chunks_mut(d_out) {
+            for (v, &bv) in row.iter_mut().zip(bs) {
+                *v = dt.quantize(*v + bv);
+            }
+        }
+    }
+    ctx.trace_gemm(tracer, "gemm", GemmSpec::new(Transpose::No, Transpose::No, d_out, t, d_in));
+    Ok(y)
+}
+
+/// Linear backward. Returns `(dx, dw, db)` where `db` is `None` when the
+/// layer has no bias.
+///
+/// Manifestation (paper Table 2b): the activation gradient is a
+/// `d_in x (n*B) x d_out` GEMM and the weight gradient a
+/// `d_in x d_out x (n*B)` GEMM; the bias gradient is a column reduction.
+///
+/// # Errors
+///
+/// Returns shape errors when operands disagree.
+pub fn linear_bwd(
+    tracer: &mut Tracer,
+    ctx: &KernelCtx,
+    x: &Tensor,
+    w: &Tensor,
+    dy: &Tensor,
+    has_bias: bool,
+) -> Result<(Tensor, Tensor, Option<Tensor>)> {
+    let (t, d_in) = (x.dims()[0], x.dims()[1]);
+    let d_out = w.dims()[1];
+    if dy.dims() != [t, d_out] {
+        return Err(TensorError::shape("linear_bwd dy", &[t, d_out], dy.dims()));
+    }
+    // dx = dy * W^T
+    let dx = gemm(Transpose::No, Transpose::Yes, 1.0, dy, w, 0.0, None)?;
+    ctx.trace_gemm(tracer, "grad_act", GemmSpec::new(Transpose::No, Transpose::Yes, d_in, t, d_out));
+    // dW = x^T * dy
+    let dw = gemm(Transpose::Yes, Transpose::No, 1.0, x, dy, 0.0, None)?;
+    ctx.trace_gemm(tracer, "grad_wt", GemmSpec::new(Transpose::Yes, Transpose::No, d_in, d_out, t));
+    // db = column-sum(dy): a reduction kernel.
+    let db = if has_bias {
+        let mut acc = vec![0.0f32; d_out];
+        for row in dy.as_slice().chunks(d_out) {
+            for (a, &v) in acc.iter_mut().zip(row) {
+                *a += v;
+            }
+        }
+        let es = ctx.dtype_of().size_bytes();
+        ctx.trace(
+            tracer,
+            "grad_bias",
+            OpKind::Reduction,
+            (t * d_out) as u64,
+            (t * d_out) as u64 * es,
+            d_out as u64 * 4,
+        );
+        Some(Tensor::from_vec(acc, &[d_out])?)
+    } else {
+        None
+    };
+    Ok((dx, dw, db))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::{check_grad, rand_tensor};
+    use bertscope_tensor::{Category, Phase};
+
+    fn fwd_ctx() -> KernelCtx {
+        KernelCtx::new("fc", Category::FcGemm, Phase::Forward)
+    }
+    fn bwd_ctx() -> KernelCtx {
+        KernelCtx::new("fc", Category::FcGemm, Phase::Backward)
+    }
+
+    #[test]
+    fn forward_matches_manual_matmul_plus_bias() {
+        let mut tr = Tracer::new();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let w = Tensor::eye(2);
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap();
+        let y = linear_fwd(&mut tr, &fwd_ctx(), &x, &w, Some(&b)).unwrap();
+        assert_eq!(y.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn trace_uses_paper_table2b_convention() {
+        let mut tr = Tracer::new();
+        let (t, d_in, d_out) = (12, 8, 6);
+        let x = rand_tensor(1, &[t, d_in]);
+        let w = rand_tensor(2, &[d_in, d_out]);
+        linear_fwd(&mut tr, &fwd_ctx(), &x, &w, None).unwrap();
+        let spec = tr.records()[0].gemm.unwrap();
+        assert_eq!((spec.m, spec.n, spec.k), (d_out, t, d_in));
+
+        let dy = rand_tensor(3, &[t, d_out]);
+        linear_bwd(&mut tr, &bwd_ctx(), &x, &w, &dy, true).unwrap();
+        let ga = tr.records()[1].gemm.unwrap();
+        assert_eq!((ga.m, ga.n, ga.k), (d_in, t, d_out), "grad-activation GEMM");
+        let gw = tr.records()[2].gemm.unwrap();
+        assert_eq!((gw.m, gw.n, gw.k), (d_in, d_out, t), "grad-weight GEMM");
+        assert_eq!(tr.records()[3].kind, OpKind::Reduction, "bias grad");
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut tr = Tracer::disabled();
+        let x = rand_tensor(5, &[4, 3]);
+        let w = rand_tensor(6, &[3, 2]);
+        let b = rand_tensor(7, &[2]);
+        let obj_w = rand_tensor(8, &[4, 2]);
+        let dy = obj_w.clone();
+        let (dx, dw, db) = linear_bwd(&mut tr, &bwd_ctx(), &x, &w, &dy, true).unwrap();
+        let objective = |xp: &Tensor, wp: &Tensor, bp: &Tensor| {
+            let mut t = Tracer::disabled();
+            linear_fwd(&mut t, &fwd_ctx(), xp, wp, Some(bp)).unwrap().mul(&obj_w).unwrap().sum()
+        };
+        check_grad(&x, &dx, 1e-3, 2e-2, |xp| objective(xp, &w, &b));
+        check_grad(&w, &dw, 1e-3, 2e-2, |wp| objective(&x, wp, &b));
+        check_grad(&b, db.as_ref().unwrap(), 1e-3, 2e-2, |bp| objective(&x, &w, bp));
+    }
+
+    #[test]
+    fn shape_validation() {
+        let mut tr = Tracer::new();
+        let x = Tensor::zeros(&[4, 3]);
+        let w_bad = Tensor::zeros(&[5, 2]);
+        assert!(linear_fwd(&mut tr, &fwd_ctx(), &x, &w_bad, None).is_err());
+        let w = Tensor::zeros(&[3, 2]);
+        let b_bad = Tensor::zeros(&[3]);
+        assert!(linear_fwd(&mut tr, &fwd_ctx(), &x, &w, Some(&b_bad)).is_err());
+        let dy_bad = Tensor::zeros(&[4, 5]);
+        assert!(linear_bwd(&mut tr, &bwd_ctx(), &x, &w, &dy_bad, false).is_err());
+    }
+
+    #[test]
+    fn no_bias_backward_returns_none() {
+        let mut tr = Tracer::new();
+        let x = rand_tensor(1, &[2, 3]);
+        let w = rand_tensor(2, &[3, 4]);
+        let dy = rand_tensor(3, &[2, 4]);
+        let (_, _, db) = linear_bwd(&mut tr, &bwd_ctx(), &x, &w, &dy, false).unwrap();
+        assert!(db.is_none());
+        // Only the two GEMM records, no bias reduction.
+        assert_eq!(tr.kernel_count(), 2);
+    }
+}

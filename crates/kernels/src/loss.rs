@@ -1,0 +1,202 @@
+//! Softmax cross-entropy for BERT's masked-LM and next-sentence-prediction
+//! heads.
+//!
+//! MLM loss is computed only over masked positions; unmasked positions carry
+//! the sentinel [`IGNORE_INDEX`] and contribute neither loss nor gradient.
+
+use crate::ctx::KernelCtx;
+use crate::Result;
+use bertscope_tensor::{OpKind, Tensor, TensorError, Tracer};
+
+/// Target value marking a position excluded from the loss.
+pub const IGNORE_INDEX: usize = usize::MAX;
+
+/// Saved forward state for [`cross_entropy_bwd`].
+#[derive(Debug, Clone)]
+pub struct CrossEntropyState {
+    probs: Tensor,
+    targets: Vec<usize>,
+    active: usize,
+}
+
+impl CrossEntropyState {
+    /// Number of positions that contributed to the loss.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.active
+    }
+
+    /// The softmax probabilities computed during the forward pass.
+    #[must_use]
+    pub fn probs(&self) -> &Tensor {
+        &self.probs
+    }
+}
+
+/// Mean negative log-likelihood of `targets` under softmax of `logits`
+/// (`[rows, classes]`). Rows whose target is [`IGNORE_INDEX`] are skipped.
+///
+/// Returns the scalar loss and the state for the backward pass. When every
+/// row is ignored the loss is `0.0`.
+///
+/// # Errors
+///
+/// Returns shape errors when `targets` and `logits` rows disagree, or when a
+/// target class is out of range.
+pub fn cross_entropy_fwd(
+    tracer: &mut Tracer,
+    ctx: &KernelCtx,
+    logits: &Tensor,
+    targets: &[usize],
+) -> Result<(f32, CrossEntropyState)> {
+    let (rows, classes) = (logits.dims()[0], logits.dims()[1]);
+    if targets.len() != rows {
+        return Err(TensorError::shape("cross_entropy targets", &[rows], &[targets.len()]));
+    }
+    let xs = logits.as_slice();
+    let mut probs = vec![0.0f32; logits.numel()];
+    let mut loss = 0.0f64;
+    let mut active = 0usize;
+    for r in 0..rows {
+        let row = &xs[r * classes..(r + 1) * classes];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f64;
+        for (p, &v) in probs[r * classes..(r + 1) * classes].iter_mut().zip(row) {
+            let e = f64::from(v - max).exp();
+            *p = e as f32;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for p in &mut probs[r * classes..(r + 1) * classes] {
+            *p = (f64::from(*p) * inv) as f32;
+        }
+        let t = targets[r];
+        if t == IGNORE_INDEX {
+            continue;
+        }
+        if t >= classes {
+            return Err(TensorError::InvalidArgument(format!(
+                "target class {t} out of range for {classes} classes"
+            )));
+        }
+        let p = f64::from(probs[r * classes + t]).max(1e-30);
+        loss -= p.ln();
+        active += 1;
+    }
+    let mean_loss = if active == 0 { 0.0 } else { (loss / active as f64) as f32 };
+    let es = ctx.dtype_of().size_bytes();
+    let n = logits.numel() as u64;
+    ctx.trace(tracer, "xent", OpKind::Reduction, 6 * n, n * es + rows as u64 * 4, n * 4);
+    let probs = Tensor::from_vec(probs, logits.dims())?;
+    Ok((mean_loss, CrossEntropyState { probs, targets: targets.to_vec(), active }))
+}
+
+/// Gradient of the mean cross-entropy with respect to the logits:
+/// `(softmax(logits) - onehot(target)) / active_count` on active rows,
+/// zero elsewhere.
+///
+/// # Errors
+///
+/// Never fails for a state produced by [`cross_entropy_fwd`].
+pub fn cross_entropy_bwd(
+    tracer: &mut Tracer,
+    ctx: &KernelCtx,
+    state: &CrossEntropyState,
+) -> Result<Tensor> {
+    let (rows, classes) = (state.probs.dims()[0], state.probs.dims()[1]);
+    let mut grad = vec![0.0f32; state.probs.numel()];
+    if state.active > 0 {
+        let scale = 1.0 / state.active as f32;
+        for r in 0..rows {
+            let t = state.targets[r];
+            if t == IGNORE_INDEX {
+                continue;
+            }
+            let src = &state.probs.as_slice()[r * classes..(r + 1) * classes];
+            let dst = &mut grad[r * classes..(r + 1) * classes];
+            for (g, &p) in dst.iter_mut().zip(src) {
+                *g = p * scale;
+            }
+            dst[t] -= scale;
+        }
+    }
+    let es = ctx.dtype_of().size_bytes();
+    let n = state.probs.numel() as u64;
+    ctx.trace(tracer, "xent", OpKind::ElementWise, 2 * n, n * 4 + rows as u64 * 4, n * es);
+    Tensor::from_vec(grad, state.probs.dims())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::{check_grad, rand_tensor};
+    use bertscope_tensor::{Category, Phase};
+
+    fn ctx() -> KernelCtx {
+        KernelCtx::new("loss", Category::Output, Phase::Forward)
+    }
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let mut tr = Tracer::new();
+        let logits = Tensor::from_vec(vec![20.0, 0.0, 0.0, 0.0, 20.0, 0.0], &[2, 3]).unwrap();
+        let (loss, state) = cross_entropy_fwd(&mut tr, &ctx(), &logits, &[0, 1]).unwrap();
+        assert!(loss < 1e-6, "loss {loss}");
+        assert_eq!(state.active_count(), 2);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let mut tr = Tracer::new();
+        let logits = Tensor::zeros(&[4, 8]);
+        let (loss, _) = cross_entropy_fwd(&mut tr, &ctx(), &logits, &[0, 1, 2, 3]).unwrap();
+        assert!((loss - (8.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ignored_rows_contribute_nothing() {
+        let mut tr = Tracer::new();
+        let logits = rand_tensor(1, &[3, 5]);
+        let (loss_all, _) = cross_entropy_fwd(&mut tr, &ctx(), &logits, &[1, 2, 3]).unwrap();
+        let (loss_one, state) =
+            cross_entropy_fwd(&mut tr, &ctx(), &logits, &[1, IGNORE_INDEX, IGNORE_INDEX]).unwrap();
+        assert_eq!(state.active_count(), 1);
+        assert_ne!(loss_all, loss_one);
+        let grad = cross_entropy_bwd(&mut tr, &ctx(), &state).unwrap();
+        // Ignored rows have zero gradient.
+        assert!(grad.as_slice()[5..15].iter().all(|&g| g == 0.0));
+        assert!(grad.as_slice()[..5].iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn all_ignored_yields_zero_loss_and_grad() {
+        let mut tr = Tracer::new();
+        let logits = rand_tensor(2, &[2, 3]);
+        let (loss, state) =
+            cross_entropy_fwd(&mut tr, &ctx(), &logits, &[IGNORE_INDEX, IGNORE_INDEX]).unwrap();
+        assert_eq!(loss, 0.0);
+        let grad = cross_entropy_bwd(&mut tr, &ctx(), &state).unwrap();
+        assert!(grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut tr = Tracer::disabled();
+        let logits = rand_tensor(3, &[4, 6]);
+        let targets = [2usize, IGNORE_INDEX, 0, 5];
+        let (_, state) = cross_entropy_fwd(&mut tr, &ctx(), &logits, &targets).unwrap();
+        let grad = cross_entropy_bwd(&mut tr, &ctx(), &state).unwrap();
+        check_grad(&logits, &grad, 1e-3, 2e-2, |lp| {
+            let mut t = Tracer::disabled();
+            cross_entropy_fwd(&mut t, &ctx(), lp, &targets).unwrap().0
+        });
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut tr = Tracer::new();
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(cross_entropy_fwd(&mut tr, &ctx(), &logits, &[0]).is_err());
+        assert!(cross_entropy_fwd(&mut tr, &ctx(), &logits, &[0, 7]).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Attention-mask builders: padding masks for variable-length batches and
+//! the causal mask of decoder-style models.
+//!
+//! The paper (§2.3) notes that a Transformer *decoder* differs from the
+//! encoder only in that "its attention layer is masked to consider only
+//! past tokens", and that this "does not affect training (it only zeros
+//! certain matrix elements)" — both mask kinds here produce the same
+//! additive `[B*h, n, n]` tensor shape the attention kernels consume, so
+//! the kernel stream is bit-identical in structure.
+
+use bertscope_tensor::{DType, Tensor, TensorError};
+
+/// The additive value used to suppress an attention connection in f32.
+pub const MASK_NEG: f32 = -1.0e9;
+
+/// The largest suppression value representable at a precision: f16/bf16
+/// saturate to infinity near 6.5e4, which would poison softmax, so
+/// half-precision masks use a smaller (still decisive) sentinel.
+#[must_use]
+pub fn mask_neg_for(dtype: DType) -> f32 {
+    if dtype.is_half() {
+        -6.0e4
+    } else {
+        MASK_NEG
+    }
+}
+
+/// Build an additive padding mask of shape `[B*h, n, n]`: queries may attend
+/// only to key positions `< lengths[b]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] when `lengths` has the wrong
+/// count or any length exceeds `n`.
+pub fn padding_mask(
+    lengths: &[usize],
+    seq: usize,
+    heads: usize,
+    dtype: DType,
+) -> Result<Tensor, TensorError> {
+    let b = lengths.len();
+    for (i, &len) in lengths.iter().enumerate() {
+        if len > seq {
+            return Err(TensorError::InvalidArgument(format!(
+                "sequence {i} length {len} exceeds n = {seq}"
+            )));
+        }
+    }
+    let neg = mask_neg_for(dtype);
+    let mut data = vec![0.0f32; b * heads * seq * seq];
+    for (bi, &len) in lengths.iter().enumerate() {
+        for h in 0..heads {
+            let base = (bi * heads + h) * seq * seq;
+            for q in 0..seq {
+                for k in len..seq {
+                    data[base + q * seq + k] = neg;
+                }
+            }
+        }
+    }
+    let mut t = Tensor::from_vec(data, &[b * heads, seq, seq])?;
+    if dtype.is_half() {
+        t = t.to_dtype(dtype);
+    }
+    Ok(t)
+}
+
+/// Build the additive causal (decoder) mask of shape `[B*h, n, n]`: queries
+/// attend only to positions `<= q` (paper §2.3's masked attention).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for a zero batch.
+pub fn causal_mask(
+    batch: usize,
+    seq: usize,
+    heads: usize,
+    dtype: DType,
+) -> Result<Tensor, TensorError> {
+    if batch == 0 {
+        return Err(TensorError::InvalidArgument("batch must be non-zero".into()));
+    }
+    let neg = mask_neg_for(dtype);
+    let mut data = vec![0.0f32; batch * heads * seq * seq];
+    for bh in 0..batch * heads {
+        let base = bh * seq * seq;
+        for q in 0..seq {
+            for k in (q + 1)..seq {
+                data[base + q * seq + k] = neg;
+            }
+        }
+    }
+    let mut t = Tensor::from_vec(data, &[batch * heads, seq, seq])?;
+    if dtype.is_half() {
+        t = t.to_dtype(dtype);
+    }
+    Ok(t)
+}
+
+/// Combine two additive masks elementwise (e.g. causal + padding).
+///
+/// # Errors
+///
+/// Returns a shape error when the masks disagree.
+pub fn combine(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    a.zip_map(b, |x, y| (x + y).max(MASK_NEG))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_mask_blocks_only_padded_keys() {
+        let m = padding_mask(&[3, 5], 5, 2, DType::F32).unwrap();
+        assert_eq!(m.dims(), &[4, 5, 5]);
+        // Sequence 0 (length 3): keys 3,4 masked for every query and head.
+        for h in 0..2 {
+            for q in 0..5 {
+                for k in 0..5 {
+                    let v = m.at(&[h, q, k]).unwrap();
+                    if k < 3 {
+                        assert_eq!(v, 0.0, "h{h} q{q} k{k}");
+                    } else {
+                        assert!(v <= -1.0e4, "h{h} q{q} k{k}");
+                    }
+                }
+            }
+        }
+        // Sequence 1 (full length): nothing masked.
+        for bh in 2..4 {
+            for q in 0..5 {
+                for k in 0..5 {
+                    assert_eq!(m.at(&[bh, q, k]).unwrap(), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn causal_mask_is_lower_triangular() {
+        let m = causal_mask(1, 4, 1, DType::F32).unwrap();
+        for q in 0..4 {
+            for k in 0..4 {
+                let v = m.at(&[0, q, k]).unwrap();
+                if k <= q {
+                    assert_eq!(v, 0.0);
+                } else {
+                    assert!(v <= -1.0e4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combine_takes_the_union_of_blocks() {
+        let c = causal_mask(1, 4, 1, DType::F32).unwrap();
+        let p = padding_mask(&[3], 4, 1, DType::F32).unwrap();
+        let m = combine(&c, &p).unwrap();
+        // Position (1, 3) blocked by both; (1, 2) blocked by neither...
+        assert!(m.at(&[0, 1, 3]).unwrap() <= -1.0e4);
+        assert_eq!(m.at(&[0, 1, 1]).unwrap(), 0.0);
+        // (0, 2) blocked only by causal; (3, 3) only by padding.
+        assert!(m.at(&[0, 0, 2]).unwrap() <= -1.0e4);
+        assert!(m.at(&[0, 3, 3]).unwrap() <= -1.0e4);
+        // Combination never exceeds the sentinel (stays f16-safe).
+        assert!(m.as_slice().iter().all(|&v| v >= MASK_NEG));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(padding_mask(&[6], 5, 1, DType::F32).is_err());
+        assert!(causal_mask(0, 4, 1, DType::F32).is_err());
+    }
+
+    #[test]
+    fn half_precision_masks_stay_finite() {
+        let m = padding_mask(&[2], 4, 1, DType::F16).unwrap();
+        assert!(m.as_slice().iter().all(|v| v.is_finite()));
+        let c = causal_mask(1, 4, 2, DType::BF16).unwrap();
+        assert!(c.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

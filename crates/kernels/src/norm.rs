@@ -1,0 +1,339 @@
+//! Softmax and LayerNorm: the reduction-flavoured non-GEMM kernels.
+//!
+//! Both perform row-wise reductions followed by elementwise fix-ups and have
+//! low arithmetic intensity (paper §3.2.3, Fig. 7): softmax sits in the
+//! attention `Scale+Mask+DR+SM` phase, LayerNorm in the `DR+RC+LN` phase.
+
+use crate::ctx::KernelCtx;
+use crate::Result;
+use bertscope_tensor::{OpKind, Tensor, TensorError, Tracer};
+
+/// Interpret a tensor as rows of its last axis: `(rows, row_len)`.
+fn rows_of(x: &Tensor) -> Result<(usize, usize)> {
+    if x.shape().rank() == 0 {
+        return Err(TensorError::InvalidArgument("rank-0 tensor has no rows".into()));
+    }
+    let row_len = *x.dims().last().expect("rank >= 1");
+    if row_len == 0 {
+        return Err(TensorError::InvalidArgument("rows must be non-empty".into()));
+    }
+    Ok((x.numel() / row_len, row_len))
+}
+
+/// Numerically-stable softmax over the last axis.
+///
+/// # Errors
+///
+/// Returns an error for rank-0 or zero-length-row tensors.
+pub fn softmax_fwd(tracer: &mut Tracer, ctx: &KernelCtx, x: &Tensor) -> Result<Tensor> {
+    let (rows, len) = rows_of(x)?;
+    let mut out = vec![0.0f32; x.numel()];
+    let xs = x.as_slice();
+    for r in 0..rows {
+        let row = &xs[r * len..(r + 1) * len];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f64;
+        for (o, &v) in out[r * len..(r + 1) * len].iter_mut().zip(row) {
+            let e = (v - max).exp();
+            *o = e;
+            sum += f64::from(e);
+        }
+        let inv = (1.0 / sum) as f32;
+        for o in &mut out[r * len..(r + 1) * len] {
+            *o *= inv;
+        }
+    }
+    let mut y = Tensor::from_vec(out, x.dims())?;
+    if ctx.dtype_of().is_half() {
+        y = y.to_dtype(ctx.dtype_of());
+    }
+    let es = ctx.dtype_of().size_bytes();
+    let n = x.numel() as u64;
+    // max + sub + exp + sum + div: ~5 ops/element, two passes over the data.
+    ctx.trace(tracer, "softmax", OpKind::Reduction, 5 * n, n * es, n * es);
+    Ok(y)
+}
+
+/// Softmax backward given the forward *output* `y`:
+/// `dx = y * (dy - sum(dy * y, axis=-1))`.
+///
+/// # Errors
+///
+/// Returns a shape error when `y` and `dy` disagree.
+pub fn softmax_bwd(tracer: &mut Tracer, ctx: &KernelCtx, y: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    if y.dims() != dy.dims() {
+        return Err(TensorError::shape("softmax_bwd", y.dims(), dy.dims()));
+    }
+    let (rows, len) = rows_of(y)?;
+    let mut out = vec![0.0f32; y.numel()];
+    let ys = y.as_slice();
+    let dys = dy.as_slice();
+    for r in 0..rows {
+        let yr = &ys[r * len..(r + 1) * len];
+        let dyr = &dys[r * len..(r + 1) * len];
+        let dot: f64 = yr.iter().zip(dyr).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+        for ((o, &yv), &dyv) in out[r * len..(r + 1) * len].iter_mut().zip(yr).zip(dyr) {
+            *o = yv * (dyv - dot as f32);
+        }
+    }
+    let dx = Tensor::from_vec(out, y.dims())?;
+    let es = ctx.dtype_of().size_bytes();
+    let n = y.numel() as u64;
+    ctx.trace(tracer, "softmax", OpKind::Reduction, 4 * n, 2 * n * es, n * es);
+    Ok(dx)
+}
+
+/// Saved LayerNorm statistics needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct LayerNormState {
+    /// Per-row mean.
+    pub mean: Vec<f32>,
+    /// Per-row reciprocal standard deviation.
+    pub rstd: Vec<f32>,
+}
+
+/// LayerNorm forward over the last axis with learned `gamma`/`beta`.
+///
+/// Returns the output and the per-row statistics for [`layernorm_bwd`].
+///
+/// # Errors
+///
+/// Returns a shape error when `gamma`/`beta` do not match the row length.
+pub fn layernorm_fwd(
+    tracer: &mut Tracer,
+    ctx: &KernelCtx,
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> Result<(Tensor, LayerNormState)> {
+    let (rows, len) = rows_of(x)?;
+    if gamma.numel() != len || beta.numel() != len {
+        return Err(TensorError::shape("layernorm params", &[len], gamma.dims()));
+    }
+    let xs = x.as_slice();
+    let g = gamma.as_slice();
+    let b = beta.as_slice();
+    let mut out = vec![0.0f32; x.numel()];
+    let mut mean = vec![0.0f32; rows];
+    let mut rstd = vec![0.0f32; rows];
+    for r in 0..rows {
+        let row = &xs[r * len..(r + 1) * len];
+        let mu = row.iter().map(|&v| f64::from(v)).sum::<f64>() / len as f64;
+        let var = row.iter().map(|&v| (f64::from(v) - mu).powi(2)).sum::<f64>() / len as f64;
+        let rs = 1.0 / (var + f64::from(eps)).sqrt();
+        mean[r] = mu as f32;
+        rstd[r] = rs as f32;
+        for (j, (o, &v)) in out[r * len..(r + 1) * len].iter_mut().zip(row).enumerate() {
+            *o = ((f64::from(v) - mu) * rs) as f32 * g[j] + b[j];
+        }
+    }
+    let mut y = Tensor::from_vec(out, x.dims())?;
+    if ctx.dtype_of().is_half() {
+        y = y.to_dtype(ctx.dtype_of());
+    }
+    let es = ctx.dtype_of().size_bytes();
+    let n = x.numel() as u64;
+    let param_bytes = 2 * len as u64 * es;
+    // mean + variance reductions plus normalize/scale/shift: ~8 ops/element.
+    ctx.trace(tracer, "layernorm", OpKind::Reduction, 8 * n, n * es + param_bytes, n * es);
+    Ok((y, LayerNormState { mean, rstd }))
+}
+
+/// LayerNorm backward. Returns `(dx, dgamma, dbeta)`.
+///
+/// # Errors
+///
+/// Returns shape errors when operands disagree.
+pub fn layernorm_bwd(
+    tracer: &mut Tracer,
+    ctx: &KernelCtx,
+    x: &Tensor,
+    gamma: &Tensor,
+    state: &LayerNormState,
+    dy: &Tensor,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    if x.dims() != dy.dims() {
+        return Err(TensorError::shape("layernorm_bwd", x.dims(), dy.dims()));
+    }
+    let (rows, len) = rows_of(x)?;
+    if gamma.numel() != len || state.mean.len() != rows {
+        return Err(TensorError::shape("layernorm_bwd params", &[len], gamma.dims()));
+    }
+    let xs = x.as_slice();
+    let g = gamma.as_slice();
+    let dys = dy.as_slice();
+    let mut dx = vec![0.0f32; x.numel()];
+    let mut dgamma = vec![0.0f32; len];
+    let mut dbeta = vec![0.0f32; len];
+    for r in 0..rows {
+        let row = &xs[r * len..(r + 1) * len];
+        let dyr = &dys[r * len..(r + 1) * len];
+        let mu = f64::from(state.mean[r]);
+        let rs = f64::from(state.rstd[r]);
+        // xhat and the two row means needed by the dx formula.
+        let mut mean_dxhat = 0.0f64;
+        let mut mean_dxhat_xhat = 0.0f64;
+        let mut xhat = vec![0.0f64; len];
+        for j in 0..len {
+            let xh = (f64::from(row[j]) - mu) * rs;
+            xhat[j] = xh;
+            let dxh = f64::from(dyr[j]) * f64::from(g[j]);
+            mean_dxhat += dxh;
+            mean_dxhat_xhat += dxh * xh;
+            dgamma[j] += (f64::from(dyr[j]) * xh) as f32;
+            dbeta[j] += dyr[j];
+        }
+        mean_dxhat /= len as f64;
+        mean_dxhat_xhat /= len as f64;
+        for j in 0..len {
+            let dxh = f64::from(dyr[j]) * f64::from(g[j]);
+            dx[r * len + j] = (rs * (dxh - mean_dxhat - xhat[j] * mean_dxhat_xhat)) as f32;
+        }
+    }
+    let dx = Tensor::from_vec(dx, x.dims())?;
+    let dgamma = Tensor::from_vec(dgamma, gamma.dims())?;
+    let dbeta = Tensor::from_vec(dbeta, gamma.dims())?;
+    let es = ctx.dtype_of().size_bytes();
+    let n = x.numel() as u64;
+    ctx.trace(
+        tracer,
+        "layernorm",
+        OpKind::Reduction,
+        11 * n,
+        2 * n * es + gamma.numel() as u64 * es,
+        n * es + 2 * len as u64 * 4,
+    );
+    Ok((dx, dgamma, dbeta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::{check_grad, rand_tensor};
+    use bertscope_tensor::{Category, Phase};
+
+    fn sm_ctx() -> KernelCtx {
+        KernelCtx::new("sm", Category::ScaleMaskSoftmaxDropout, Phase::Forward)
+    }
+    fn ln_ctx() -> KernelCtx {
+        KernelCtx::new("ln", Category::DropResidualNorm, Phase::Forward)
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_preserve_order() {
+        let mut tr = Tracer::new();
+        let x = rand_tensor(1, &[6, 10]);
+        let y = softmax_fwd(&mut tr, &sm_ctx(), &x).unwrap();
+        for r in 0..6 {
+            let row = &y.as_slice()[r * 10..(r + 1) * 10];
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&v| v > 0.0));
+        }
+        // Larger logits get larger probabilities.
+        let x2 = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let y2 = softmax_fwd(&mut tr, &sm_ctx(), &x2).unwrap();
+        assert!(y2.as_slice()[2] > y2.as_slice()[1] && y2.as_slice()[1] > y2.as_slice()[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let mut tr = Tracer::disabled();
+        let x = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]).unwrap();
+        let y = softmax_fwd(&mut tr, &sm_ctx(), &x).unwrap();
+        assert!(y.all_finite());
+        assert!((y.as_slice()[0] + y.as_slice()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_gradient_matches_finite_differences() {
+        let mut tr = Tracer::disabled();
+        let x = rand_tensor(2, &[3, 5]);
+        // Use a weighted sum as the scalar objective so the gradient is
+        // non-trivial per element.
+        let w = rand_tensor(3, &[3, 5]);
+        let y = softmax_fwd(&mut tr, &sm_ctx(), &x).unwrap();
+        let dx = softmax_bwd(&mut tr, &sm_ctx(), &y, &w).unwrap();
+        check_grad(&x, &dx, 1e-3, 2e-2, |xp| {
+            let mut t = Tracer::disabled();
+            let yp = softmax_fwd(&mut t, &sm_ctx(), xp).unwrap();
+            yp.mul(&w).unwrap().sum()
+        });
+    }
+
+    #[test]
+    fn layernorm_output_is_normalized() {
+        let mut tr = Tracer::new();
+        let x = rand_tensor(4, &[8, 16]);
+        let gamma = Tensor::ones(&[16]);
+        let beta = Tensor::zeros(&[16]);
+        let (y, state) = layernorm_fwd(&mut tr, &ln_ctx(), &x, &gamma, &beta, 1e-5).unwrap();
+        for r in 0..8 {
+            let row = &y.as_slice()[r * 16..(r + 1) * 16];
+            let mean: f32 = row.iter().sum::<f32>() / 16.0;
+            let var: f32 = row.iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row {r} var {var}");
+        }
+        assert_eq!(state.mean.len(), 8);
+        assert_eq!(state.rstd.len(), 8);
+    }
+
+    #[test]
+    fn layernorm_gamma_beta_affect_output_affinely() {
+        let mut tr = Tracer::disabled();
+        let x = rand_tensor(6, &[2, 4]);
+        let gamma = Tensor::full(&[4], 2.0);
+        let beta = Tensor::full(&[4], 0.5);
+        let (y, _) = layernorm_fwd(&mut tr, &ln_ctx(), &x, &gamma, &beta, 1e-5).unwrap();
+        let (y0, _) =
+            layernorm_fwd(&mut tr, &ln_ctx(), &x, &Tensor::ones(&[4]), &Tensor::zeros(&[4]), 1e-5)
+                .unwrap();
+        let reconstructed = y0.scale(2.0).map(|v| v + 0.5);
+        assert!(y.max_abs_diff(&reconstructed).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn layernorm_input_gradient_matches_finite_differences() {
+        let mut tr = Tracer::disabled();
+        let x = rand_tensor(7, &[3, 6]);
+        let gamma = rand_tensor(8, &[6]).map(|v| v + 1.5);
+        let beta = rand_tensor(9, &[6]);
+        let w = rand_tensor(10, &[3, 6]);
+        let (_, state) = layernorm_fwd(&mut tr, &ln_ctx(), &x, &gamma, &beta, 1e-5).unwrap();
+        let (dx, dgamma, dbeta) =
+            layernorm_bwd(&mut tr, &ln_ctx(), &x, &gamma, &state, &w).unwrap();
+        let objective = |xp: &Tensor, gp: &Tensor, bp: &Tensor| {
+            let mut t = Tracer::disabled();
+            let (yp, _) = layernorm_fwd(&mut t, &ln_ctx(), xp, gp, bp, 1e-5).unwrap();
+            yp.mul(&w).unwrap().sum()
+        };
+        check_grad(&x, &dx, 1e-3, 3e-2, |xp| objective(xp, &gamma, &beta));
+        check_grad(&gamma, &dgamma, 1e-3, 3e-2, |gp| objective(&x, gp, &beta));
+        check_grad(&beta, &dbeta, 1e-3, 3e-2, |bp| objective(&x, &gamma, bp));
+    }
+
+    #[test]
+    fn layernorm_rejects_bad_param_shapes() {
+        let mut tr = Tracer::new();
+        let x = Tensor::ones(&[2, 4]);
+        let bad = Tensor::ones(&[5]);
+        assert!(layernorm_fwd(&mut tr, &ln_ctx(), &x, &bad, &bad, 1e-5).is_err());
+    }
+
+    #[test]
+    fn norm_kernels_are_memory_bound_in_trace() {
+        let mut tr = Tracer::new();
+        let x = rand_tensor(11, &[32, 64]);
+        softmax_fwd(&mut tr, &sm_ctx(), &x).unwrap();
+        let gamma = Tensor::ones(&[64]);
+        let beta = Tensor::zeros(&[64]);
+        layernorm_fwd(&mut tr, &ln_ctx(), &x, &gamma, &beta, 1e-5).unwrap();
+        for r in tr.records() {
+            assert_eq!(r.kind, OpKind::Reduction);
+            // Paper Fig. 7: both are low-intensity, far below GEMM levels.
+            assert!(r.arithmetic_intensity() < 3.0, "{} {}", r.name, r.arithmetic_intensity());
+        }
+    }
+}

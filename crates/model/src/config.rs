@@ -1,0 +1,313 @@
+//! BERT model and training-input configurations (paper Table 2a).
+
+use bertscope_tensor::TensorError;
+
+/// Hyperparameters of a BERT-style encoder stack plus the input sizes of one
+/// training iteration.
+///
+/// Symbols follow the paper's Table 2a: `N` layer count, `d_model` hidden
+/// size, `h` attention heads, `d_ff` intermediate size, `n` sequence length,
+/// `B` mini-batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BertConfig {
+    /// Transformer encoder layer count `N`.
+    pub layers: usize,
+    /// Hidden dimension `d_model`.
+    pub d_model: usize,
+    /// Attention head count `h`.
+    pub heads: usize,
+    /// Feed-forward intermediate dimension `d_ff` (usually `4 * d_model`).
+    pub d_ff: usize,
+    /// WordPiece vocabulary size.
+    pub vocab: usize,
+    /// Maximum position embeddings (BERT uses 512).
+    pub max_position: usize,
+    /// Sequence length `n` of this iteration's inputs.
+    pub seq_len: usize,
+    /// Mini-batch size `B`.
+    pub batch: usize,
+}
+
+impl BertConfig {
+    /// BERT Base: 12 layers, `d_model` 768, 12 heads.
+    #[must_use]
+    pub fn bert_base() -> Self {
+        BertConfig {
+            layers: 12,
+            d_model: 768,
+            heads: 12,
+            d_ff: 3072,
+            vocab: 30_522,
+            max_position: 512,
+            seq_len: 128,
+            batch: 32,
+        }
+    }
+
+    /// BERT Large — the paper's primary subject (§3.1.3): 24 layers,
+    /// `d_model` 1024, 16 heads, `d_ff` 4096, pre-training Phase-1 inputs
+    /// (`n = 128`, `B = 32`).
+    #[must_use]
+    pub fn bert_large() -> Self {
+        BertConfig {
+            layers: 24,
+            d_model: 1024,
+            heads: 16,
+            d_ff: 4096,
+            vocab: 30_522,
+            max_position: 512,
+            seq_len: 128,
+            batch: 32,
+        }
+    }
+
+    /// A tiny configuration for executable tests (gradient checks, loss
+    /// curves) — not a paper configuration.
+    #[must_use]
+    pub fn tiny() -> Self {
+        BertConfig {
+            layers: 2,
+            d_model: 32,
+            heads: 4,
+            d_ff: 64,
+            vocab: 97,
+            max_position: 32,
+            seq_len: 12,
+            batch: 2,
+        }
+    }
+
+    /// The layer-size sweep configurations of paper Fig. 9.
+    ///
+    /// `C2` is BERT-Large; `C1` halves `d_model`/`d_ff`; `C3` doubles them
+    /// (Megatron-LM-BERT-like, §3.3.2).
+    #[must_use]
+    pub fn figure9(which: LayerSizeConfig) -> Self {
+        let base = BertConfig::bert_large();
+        match which {
+            LayerSizeConfig::C1 => {
+                BertConfig { d_model: 512, d_ff: 2048, heads: 8, ..base }
+            }
+            LayerSizeConfig::C2 => base,
+            LayerSizeConfig::C3 => {
+                BertConfig { d_model: 2048, d_ff: 8192, heads: 32, ..base }
+            }
+        }
+    }
+
+    /// Switch to pre-training Phase-1 inputs (`n = 128`) with batch `b`.
+    #[must_use]
+    pub fn phase1(self, b: usize) -> Self {
+        BertConfig { seq_len: 128, batch: b, ..self }
+    }
+
+    /// Switch to pre-training Phase-2 inputs (`n = 512`) with batch `b`.
+    #[must_use]
+    pub fn phase2(self, b: usize) -> Self {
+        BertConfig { seq_len: 512, batch: b, ..self }
+    }
+
+    /// Head dimension `d_model / h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `heads` is zero; use [`BertConfig::validate`] first.
+    #[must_use]
+    pub fn head_dim(&self) -> usize {
+        self.d_model / self.heads
+    }
+
+    /// Tokens processed per iteration: `n * B` (the quantity the paper's
+    /// Takeaway 1 is parameterized by).
+    #[must_use]
+    pub fn tokens(&self) -> usize {
+        self.seq_len * self.batch
+    }
+
+    /// Number of masked-LM prediction positions per sequence: 15% of the
+    /// sequence, matching BERT's masking rate.
+    #[must_use]
+    pub fn mlm_predictions_per_seq(&self) -> usize {
+        ((self.seq_len as f64) * 0.15).round() as usize
+    }
+
+    /// Check internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] when a dimension is zero,
+    /// `d_model` is not divisible by `heads`, or `seq_len` exceeds
+    /// `max_position`.
+    pub fn validate(&self) -> Result<(), TensorError> {
+        let fields = [
+            ("layers", self.layers),
+            ("d_model", self.d_model),
+            ("heads", self.heads),
+            ("d_ff", self.d_ff),
+            ("vocab", self.vocab),
+            ("seq_len", self.seq_len),
+            ("batch", self.batch),
+        ];
+        for (name, v) in fields {
+            if v == 0 {
+                return Err(TensorError::InvalidArgument(format!("{name} must be non-zero")));
+            }
+        }
+        if !self.d_model.is_multiple_of(self.heads) {
+            return Err(TensorError::InvalidArgument(format!(
+                "d_model {} not divisible by heads {}",
+                self.d_model, self.heads
+            )));
+        }
+        if self.seq_len > self.max_position {
+            return Err(TensorError::InvalidArgument(format!(
+                "seq_len {} exceeds max_position {}",
+                self.seq_len, self.max_position
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for BertConfig {
+    fn default() -> Self {
+        BertConfig::bert_large()
+    }
+}
+
+/// A named configuration in the Transformer "zoo" of paper §2.3: models
+/// that share BERT's structure at different sizes.
+#[derive(Debug, Clone)]
+pub struct ZooEntry {
+    /// Model name.
+    pub name: &'static str,
+    /// Its configuration (decoder-only models use the same encoder-shaped
+    /// iteration; paper §2.3: masking "does not affect training").
+    pub config: BertConfig,
+}
+
+/// The Transformer model zoo the paper motivates (§1, §2.3): BERT variants
+/// plus BERT-structured stand-ins for the larger models it cites, at
+/// pre-training Phase-1-style inputs scaled to each model's context.
+#[must_use]
+pub fn model_zoo() -> Vec<ZooEntry> {
+    let entry = |name, layers, d_model, heads, seq_len, batch| ZooEntry {
+        name,
+        config: BertConfig {
+            layers,
+            d_model,
+            heads,
+            d_ff: 4 * d_model,
+            vocab: 30_522,
+            max_position: 2048,
+            seq_len,
+            batch,
+        },
+    };
+    vec![
+        entry("BERT-Base", 12, 768, 12, 128, 32),
+        entry("BERT-Large", 24, 1024, 16, 128, 32),
+        // RoBERTa-Large shares BERT-Large's architecture.
+        entry("RoBERTa-Large", 24, 1024, 16, 128, 32),
+        // GPT-2 XL: 48 x 1600, 25 heads, 1024-token context.
+        entry("GPT-2-XL", 48, 1600, 25, 1024, 4),
+        // Megatron-BERT 3.9B-class: 48 x 2560.
+        entry("Megatron-BERT-3.9B", 48, 2560, 40, 128, 16),
+    ]
+}
+
+/// The three layer-size configurations of paper Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerSizeConfig {
+    /// Half of BERT-Large's hidden sizes.
+    C1,
+    /// BERT-Large itself.
+    C2,
+    /// Twice BERT-Large's hidden sizes (Megatron-LM-BERT-like).
+    C3,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_large_matches_paper_section_313() {
+        let c = BertConfig::bert_large();
+        assert_eq!(c.layers, 24);
+        assert_eq!(c.d_model, 1024);
+        assert_eq!(c.heads, 16);
+        assert_eq!(c.d_ff, 4 * c.d_model);
+        assert_eq!(c.head_dim(), 64);
+        assert_eq!(c.tokens(), 4096);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn phase_switches_set_sequence_length() {
+        let p1 = BertConfig::bert_large().phase1(4);
+        assert_eq!((p1.seq_len, p1.batch), (128, 4));
+        let p2 = BertConfig::bert_large().phase2(4);
+        assert_eq!((p2.seq_len, p2.batch), (512, 4));
+        // Ph1-B16 and Ph2-B4 have the same token count (paper §3.3.1).
+        assert_eq!(BertConfig::bert_large().phase1(16).tokens(), p2.tokens());
+    }
+
+    #[test]
+    fn figure9_configs_scale_hidden_sizes() {
+        let c1 = BertConfig::figure9(LayerSizeConfig::C1);
+        let c2 = BertConfig::figure9(LayerSizeConfig::C2);
+        let c3 = BertConfig::figure9(LayerSizeConfig::C3);
+        assert_eq!(c1.d_model * 2, c2.d_model);
+        assert_eq!(c2.d_model * 2, c3.d_model);
+        assert_eq!(c3.d_ff, 4 * c3.d_model);
+        for c in [c1, c2, c3] {
+            c.validate().unwrap();
+            assert_eq!(c.head_dim(), 64, "sweep keeps head size fixed");
+        }
+    }
+
+    #[test]
+    fn mlm_prediction_counts() {
+        assert_eq!(BertConfig::bert_large().phase1(32).mlm_predictions_per_seq(), 19);
+        assert_eq!(BertConfig::bert_large().phase2(4).mlm_predictions_per_seq(), 77);
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        let mut c = BertConfig::bert_large();
+        c.heads = 3;
+        assert!(c.validate().is_err());
+        let mut c = BertConfig::bert_large();
+        c.seq_len = 1024;
+        assert!(c.validate().is_err());
+        let mut c = BertConfig::bert_large();
+        c.batch = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn model_zoo_entries_are_valid_and_ordered_by_size() {
+        let zoo = model_zoo();
+        assert!(zoo.len() >= 5);
+        for e in &zoo {
+            e.config.validate().unwrap_or_else(|err| panic!("{}: {err}", e.name));
+        }
+        let params: Vec<u64> =
+            zoo.iter().map(|e| crate::params::parameter_count(&e.config)).collect();
+        // BERT-Base ~110M < BERT-Large ~340M < GPT-2-XL ~1.5B < Megatron ~3.9B.
+        assert!((100_000_000..120_000_000).contains(&params[0]), "base {}", params[0]);
+        assert!((330_000_000..345_000_000).contains(&params[1]), "large {}", params[1]);
+        let gpt = params[3];
+        assert!((1_400_000_000..1_700_000_000).contains(&gpt), "gpt2-xl {gpt}");
+        let megatron = params[4];
+        assert!((3_600_000_000..4_200_000_000).contains(&megatron), "megatron {megatron}");
+    }
+
+    #[test]
+    fn tiny_config_is_valid_and_small() {
+        let c = BertConfig::tiny();
+        c.validate().unwrap();
+        assert!(c.tokens() < 64);
+    }
+}

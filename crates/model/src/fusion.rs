@@ -1,0 +1,216 @@
+//! Kernel-fusion studies (paper §6.1, Fig. 12).
+//!
+//! Two cases from Fig. 12a are modelled as op-stream pairs (unfused vs
+//! fused):
+//!
+//! * **LayerNorm** — a chain of mean/subtract/square/mean/rsqrt/normalize/
+//!   scale/shift primitives with a producer-consumer relationship and high
+//!   data reuse: fusing collapses both kernel count *and* memory traffic by
+//!   6-8x.
+//! * **Adam** — the optimizer touches hundreds of independent parameter
+//!   tensors; unfused execution launches ~10 kernels per tensor, while a
+//!   multi-tensor fused implementation launches a handful in total. Kernel
+//!   count collapses by ~250x, but because the tensors share no data, the
+//!   memory traffic (and hence runtime) improves far less — the paper's
+//!   central fusion lesson.
+//!
+//! The fused-QKV GEMM case of Fig. 12b is expressed through
+//! [`crate::gemms::fused_qkv_spec`] and the `fused_qkv` graph option.
+
+use crate::config::BertConfig;
+use crate::params::{parameter_tensors, ParamTensor};
+use bertscope_tensor::{Category, DType, OpKind, OpRecord, Phase};
+
+/// An unfused/fused pair of op streams implementing the same computation.
+#[derive(Debug, Clone)]
+pub struct FusionCase {
+    /// Human-readable case name (`"layernorm"`, `"adam"`).
+    pub name: String,
+    /// The computation as separate primitive kernels.
+    pub unfused: Vec<OpRecord>,
+    /// The computation as fused kernel(s).
+    pub fused: Vec<OpRecord>,
+}
+
+impl FusionCase {
+    /// Kernel-count reduction factor from fusing.
+    #[must_use]
+    pub fn kernel_ratio(&self) -> f64 {
+        self.unfused.len() as f64 / self.fused.len().max(1) as f64
+    }
+
+    /// Memory-traffic reduction factor from fusing.
+    #[must_use]
+    pub fn bytes_ratio(&self) -> f64 {
+        let u: u64 = self.unfused.iter().map(OpRecord::bytes_total).sum();
+        let f: u64 = self.fused.iter().map(OpRecord::bytes_total).sum();
+        u as f64 / f.max(1) as f64
+    }
+}
+
+fn ew(name: &str, cat: Category, flops: u64, br: u64, bw: u64, dtype: DType) -> OpRecord {
+    OpRecord {
+        name: name.to_owned(),
+        kind: OpKind::ElementWise,
+        category: cat,
+        phase: Phase::Forward,
+        layer: None,
+        gemm: None,
+        flops,
+        bytes_read: br,
+        bytes_written: bw,
+        dtype,
+    }
+}
+
+fn red(name: &str, cat: Category, flops: u64, br: u64, bw: u64, dtype: DType) -> OpRecord {
+    OpRecord { kind: OpKind::Reduction, ..ew(name, cat, flops, br, bw, dtype) }
+}
+
+/// The LayerNorm fusion case over a `[rows, width]` activation.
+#[must_use]
+pub fn layernorm_fusion_case(rows: usize, width: usize, dtype: DType) -> FusionCase {
+    let cat = Category::DropResidualNorm;
+    let es = dtype.size_bytes();
+    let n = (rows * width) as u64;
+    let r = rows as u64;
+    let unfused = vec![
+        // mean over rows
+        red("ln.mean", cat, n, n * es, r * es, dtype),
+        // x - mean (broadcast)
+        ew("ln.sub", cat, n, n * es + r * es, n * es, dtype),
+        // (x - mean)^2
+        ew("ln.square", cat, n, n * es, n * es, dtype),
+        // variance = mean of squares
+        red("ln.var", cat, n, n * es, r * es, dtype),
+        // rstd = rsqrt(var + eps)
+        ew("ln.rsqrt", cat, 2 * r, r * es, r * es, dtype),
+        // xhat = centered * rstd (broadcast)
+        ew("ln.normalize", cat, n, n * es + r * es, n * es, dtype),
+        // * gamma (broadcast over rows)
+        ew("ln.scale", cat, n, n * es + width as u64 * es, n * es, dtype),
+        // + beta
+        ew("ln.shift", cat, n, n * es + width as u64 * es, n * es, dtype),
+    ];
+    // Fused: the single-kernel formula used by the kernels crate.
+    let fused = vec![red(
+        "ln.fused",
+        cat,
+        8 * n,
+        n * es + 2 * width as u64 * es,
+        n * es,
+        dtype,
+    )];
+    FusionCase { name: "layernorm".into(), unfused, fused }
+}
+
+/// Number of primitive kernels an unfused Adam step launches per tensor.
+pub const ADAM_UNFUSED_KERNELS_PER_TENSOR: usize = 10;
+/// Number of tensors one fused multi-tensor-apply kernel covers.
+pub const ADAM_MULTI_TENSOR_CHUNK: usize = 24;
+
+/// The Adam fusion case over a model's full parameter inventory.
+///
+/// Unfused: ~10 primitive kernels per parameter tensor (the PyTorch eager
+/// path). Fused: multi-tensor-apply kernels each covering
+/// [`ADAM_MULTI_TENSOR_CHUNK`] tensors (the Apex path). The kernel-count
+/// ratio is enormous (~250x for BERT-Large) while the traffic ratio is a
+/// small constant — different layers' optimizer data is independent, so
+/// fusion cannot eliminate their memory accesses (paper §6.1.1).
+#[must_use]
+pub fn adam_fusion_case(cfg: &BertConfig) -> FusionCase {
+    let tensors = parameter_tensors(cfg);
+    let cat = Category::LambStage1;
+    let mut unfused = Vec::new();
+    for t in &tensors {
+        let n = t.numel();
+        let b = n * 4;
+        let r = |name: &str, reads: u64, writes: u64| {
+            ew(&format!("adam.{}.{name}", t.name), cat, n, reads * b, writes * b, DType::F32)
+        };
+        unfused.extend([
+            r("m_decay", 1, 1),      // m *= beta1
+            r("m_update", 2, 1),     // m += (1-beta1) * g
+            r("v_decay", 1, 1),      // v *= beta2
+            r("g_square", 1, 1),     // g2 = g * g
+            r("v_update", 2, 1),     // v += (1-beta2) * g2
+            r("m_hat", 1, 1),        // bias-corrected momentum
+            r("v_hat", 1, 1),        // bias-corrected velocity
+            r("denom", 1, 1),        // sqrt(v_hat) + eps
+            r("step", 2, 1),         // m_hat / denom
+            r("apply", 2, 1),        // w -= lr * step
+        ]);
+        debug_assert_eq!(unfused.len() % ADAM_UNFUSED_KERNELS_PER_TENSOR, 0);
+    }
+    // Fused multi-tensor apply: each kernel reads g+m+v+w and writes m+v+w
+    // for its chunk of tensors.
+    let mut fused = Vec::new();
+    for (i, chunk) in tensors.chunks(ADAM_MULTI_TENSOR_CHUNK).enumerate() {
+        let n: u64 = chunk.iter().map(ParamTensor::numel).sum();
+        fused.push(ew(
+            &format!("adam.fused.{i}"),
+            cat,
+            crate::graph::ADAM_FLOPS_PER_PARAM * n,
+            4 * n * 4,
+            3 * n * 4,
+            DType::F32,
+        ));
+    }
+    FusionCase { name: "adam".into(), unfused, fused }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layernorm_fusion_cuts_kernels_and_traffic_6_to_8x() {
+        // Paper Fig. 12a: runtime and memory traffic scale with kernel count
+        // (6-8x) for LayerNorm.
+        let case = layernorm_fusion_case(4096, 1024, DType::F32);
+        assert_eq!(case.unfused.len(), 8);
+        assert_eq!(case.fused.len(), 1);
+        let br = case.bytes_ratio();
+        assert!((6.0..9.0).contains(&br), "layernorm bytes ratio {br}");
+    }
+
+    #[test]
+    fn adam_fusion_kernel_ratio_dwarfs_traffic_ratio() {
+        // Paper Fig. 12a: ~250x kernel reduction but only ~6-8x runtime and
+        // memory reduction for Adam.
+        let case = adam_fusion_case(&BertConfig::bert_large());
+        let kr = case.kernel_ratio();
+        let br = case.bytes_ratio();
+        assert!(kr > 150.0, "adam kernel ratio {kr}");
+        assert!(br < 5.0, "adam bytes ratio {br}");
+        assert!(kr / br > 40.0, "fusion benefit is launch-bound, not traffic-bound");
+    }
+
+    #[test]
+    fn adam_unfused_kernel_count_matches_tensor_inventory() {
+        let cfg = BertConfig::bert_large();
+        let case = adam_fusion_case(&cfg);
+        let tensors = parameter_tensors(&cfg).len();
+        assert_eq!(case.unfused.len(), tensors * ADAM_UNFUSED_KERNELS_PER_TENSOR);
+        assert_eq!(case.fused.len(), tensors.div_ceil(ADAM_MULTI_TENSOR_CHUNK));
+    }
+
+    #[test]
+    fn fused_and_unfused_flops_are_comparable() {
+        // Fusion removes traffic and launches, not arithmetic (to first
+        // order); total FLOPs of both streams stay within ~2x.
+        let case = layernorm_fusion_case(512, 256, DType::F32);
+        let uf: u64 = case.unfused.iter().map(|o| o.flops).sum();
+        let f: u64 = case.fused.iter().map(|o| o.flops).sum();
+        let ratio = uf as f64 / f as f64;
+        assert!((0.5..2.0).contains(&ratio), "flops ratio {ratio}");
+    }
+
+    #[test]
+    fn half_precision_halves_layernorm_traffic() {
+        let f32_case = layernorm_fusion_case(1024, 1024, DType::F32);
+        let f16_case = layernorm_fusion_case(1024, 1024, DType::F16);
+        let total = |c: &FusionCase| -> u64 { c.unfused.iter().map(OpRecord::bytes_total).sum() };
+        assert_eq!(total(&f32_case), 2 * total(&f16_case));
+    }
+}

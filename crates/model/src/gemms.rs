@@ -1,0 +1,225 @@
+//! The Table 2b GEMM inventory: architecture-agnostic GEMM sizes of every
+//! BERT sub-layer, for the forward pass and both backward gradient passes.
+
+use crate::config::BertConfig;
+use bertscope_tensor::{Category, GemmSpec, Transpose};
+
+/// The sub-layers of Table 2b that manifest as (batched) GEMMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GemmSite {
+    /// Q/K/V/output linear projections (`Linear` row).
+    Linear,
+    /// Attention-score batched GEMM (`Attn. Score` row).
+    AttnScore,
+    /// Attention-output batched GEMM (`Attn. O/p` row).
+    AttnOutput,
+    /// First feed-forward GEMM (`FC-1` row).
+    Fc1,
+    /// Second feed-forward GEMM (`FC-2` row).
+    Fc2,
+}
+
+impl GemmSite {
+    /// All Table 2b rows, in table order.
+    #[must_use]
+    pub fn all() -> &'static [GemmSite] {
+        &[GemmSite::Linear, GemmSite::AttnScore, GemmSite::AttnOutput, GemmSite::Fc1, GemmSite::Fc2]
+    }
+
+    /// The trace [`Category`] this site's kernels belong to.
+    #[must_use]
+    pub fn category(self) -> Category {
+        match self {
+            GemmSite::Linear => Category::AttnLinear,
+            GemmSite::AttnScore | GemmSite::AttnOutput => Category::AttnBgemm,
+            GemmSite::Fc1 | GemmSite::Fc2 => Category::FcGemm,
+        }
+    }
+
+    /// Row label as printed in the paper.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            GemmSite::Linear => "Linear",
+            GemmSite::AttnScore => "Attn. Score",
+            GemmSite::AttnOutput => "Attn. O/p",
+            GemmSite::Fc1 => "FC-1",
+            GemmSite::Fc2 => "FC-2",
+        }
+    }
+}
+
+/// The three columns of Table 2b.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GemmPass {
+    /// Forward.
+    Forward,
+    /// Backward, activation gradient.
+    BwdGradActivation,
+    /// Backward, weight gradient (for the batched attention GEMMs: the
+    /// gradient of the second operand).
+    BwdGradWeight,
+}
+
+impl GemmPass {
+    /// All columns, in table order.
+    #[must_use]
+    pub fn all() -> &'static [GemmPass] {
+        &[GemmPass::Forward, GemmPass::BwdGradActivation, GemmPass::BwdGradWeight]
+    }
+}
+
+/// The GEMM dimensions of `site`/`pass` for configuration `cfg` — the cell
+/// of Table 2b, with `M`/`N`/`K` in the paper's weight-side-first
+/// convention.
+#[must_use]
+pub fn gemm_spec(cfg: &BertConfig, site: GemmSite, pass: GemmPass) -> GemmSpec {
+    use GemmPass::{BwdGradActivation, BwdGradWeight, Forward};
+    use Transpose::{No, Yes};
+    let d = cfg.d_model;
+    let dff = cfg.d_ff;
+    let t = cfg.tokens(); // n * B
+    let n = cfg.seq_len;
+    let dh = cfg.head_dim();
+    let bh = cfg.batch * cfg.heads;
+    match (site, pass) {
+        // Linear: d_model x (n*B) x d_model in all three passes.
+        (GemmSite::Linear, Forward) => GemmSpec::new(No, No, d, t, d),
+        (GemmSite::Linear, BwdGradActivation) => GemmSpec::new(No, Yes, d, t, d),
+        (GemmSite::Linear, BwdGradWeight) => GemmSpec::new(Yes, No, d, d, t),
+        // Attn. Score: n x n x d/h fwd; n x d/h x n grad-act; d/h x n x n grad-wt.
+        (GemmSite::AttnScore, Forward) => GemmSpec::batched(No, Yes, n, n, dh, bh),
+        (GemmSite::AttnScore, BwdGradActivation) => GemmSpec::batched(No, No, n, dh, n, bh),
+        (GemmSite::AttnScore, BwdGradWeight) => GemmSpec::batched(Yes, No, dh, n, n, bh),
+        // Attn. O/p: d/h x n x n fwd and grad-act; n x n x d/h grad-wt.
+        (GemmSite::AttnOutput, Forward) => GemmSpec::batched(No, No, dh, n, n, bh),
+        (GemmSite::AttnOutput, BwdGradActivation) => GemmSpec::batched(No, Yes, dh, n, n, bh),
+        (GemmSite::AttnOutput, BwdGradWeight) => GemmSpec::batched(Yes, No, n, n, dh, bh),
+        // FC-1: d_ff x (n*B) x d_model fwd; transposed shapes backward.
+        (GemmSite::Fc1, Forward) => GemmSpec::new(No, No, dff, t, d),
+        (GemmSite::Fc1, BwdGradActivation) => GemmSpec::new(No, Yes, d, t, dff),
+        (GemmSite::Fc1, BwdGradWeight) => GemmSpec::new(Yes, No, d, dff, t),
+        // FC-2: d_model x (n*B) x d_ff fwd; transposed shapes backward.
+        (GemmSite::Fc2, Forward) => GemmSpec::new(No, No, d, t, dff),
+        (GemmSite::Fc2, BwdGradActivation) => GemmSpec::new(No, Yes, dff, t, d),
+        (GemmSite::Fc2, BwdGradWeight) => GemmSpec::new(Yes, No, dff, d, t),
+    }
+}
+
+/// All distinct GEMMs of one Transformer layer's training iteration —
+/// the data behind paper Fig. 6. Returns `(site, pass, spec)` tuples in
+/// table order; `Linear` appears once (the four projections share a shape).
+#[must_use]
+pub fn training_gemms(cfg: &BertConfig) -> Vec<(GemmSite, GemmPass, GemmSpec)> {
+    let mut out = Vec::new();
+    for &site in GemmSite::all() {
+        for &pass in GemmPass::all() {
+            out.push((site, pass, gemm_spec(cfg, site, pass)));
+        }
+    }
+    out
+}
+
+/// The fused Q/K/V projection GEMM of paper §6.1.2 (Fig. 13): three
+/// `d x (n*B) x d` GEMMs merged into one `3d x (n*B) x d` GEMM.
+#[must_use]
+pub fn fused_qkv_spec(cfg: &BertConfig, pass: GemmPass) -> GemmSpec {
+    use Transpose::{No, Yes};
+    let d = cfg.d_model;
+    let t = cfg.tokens();
+    match pass {
+        GemmPass::Forward => GemmSpec::new(No, No, 3 * d, t, d),
+        GemmPass::BwdGradActivation => GemmSpec::new(No, Yes, d, t, 3 * d),
+        GemmPass::BwdGradWeight => GemmSpec::new(Yes, No, d, 3 * d, t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertscope_tensor::DType;
+
+    #[test]
+    fn table2b_cells_for_bert_large_phase1_b32() {
+        let cfg = BertConfig::bert_large();
+        // Linear FWD: d_model x n*B x d_model = 1024 x 4096 x 1024.
+        let s = gemm_spec(&cfg, GemmSite::Linear, GemmPass::Forward);
+        assert_eq!((s.m, s.n, s.k, s.batch), (1024, 4096, 1024, 1));
+        // Attn Score FWD: n x n x d/h with batch B*h = 512.
+        let s = gemm_spec(&cfg, GemmSite::AttnScore, GemmPass::Forward);
+        assert_eq!((s.m, s.n, s.k, s.batch), (128, 128, 64, 512));
+        // Attn Score BWD grad-act: n x d/h x n.
+        let s = gemm_spec(&cfg, GemmSite::AttnScore, GemmPass::BwdGradActivation);
+        assert_eq!((s.m, s.n, s.k), (128, 64, 128));
+        // Attn O/p FWD: d/h x n x n.
+        let s = gemm_spec(&cfg, GemmSite::AttnOutput, GemmPass::Forward);
+        assert_eq!((s.m, s.n, s.k, s.batch), (64, 128, 128, 512));
+        // FC-1 FWD: d_ff x n*B x d_model.
+        let s = gemm_spec(&cfg, GemmSite::Fc1, GemmPass::Forward);
+        assert_eq!((s.m, s.n, s.k), (4096, 4096, 1024));
+        // FC-2 BWD grad-wt: d_ff x d_model x n*B.
+        let s = gemm_spec(&cfg, GemmSite::Fc2, GemmPass::BwdGradWeight);
+        assert_eq!((s.m, s.n, s.k), (4096, 1024, 4096));
+    }
+
+    #[test]
+    fn every_pass_of_a_site_has_equal_flops() {
+        // M/N/K permute across passes but the MAC count is invariant
+        // per-site in Table 2b (each pass multiplies the same three dims).
+        let cfg = BertConfig::bert_large();
+        for &site in GemmSite::all() {
+            let flops: Vec<u64> =
+                GemmPass::all().iter().map(|&p| gemm_spec(&cfg, site, p).flops()).collect();
+            assert_eq!(flops[0], flops[1], "{site:?}");
+            assert_eq!(flops[0], flops[2], "{site:?}");
+        }
+    }
+
+    #[test]
+    fn fig6_ordering_fc_gt_linear_gt_attention_intensity() {
+        // Paper Fig. 6: FC GEMMs most intense, linear GEMMs less, attention
+        // batched GEMMs least.
+        let cfg = BertConfig::bert_large();
+        let ai = |site| gemm_spec(&cfg, site, GemmPass::Forward).arithmetic_intensity(DType::F32);
+        assert!(ai(GemmSite::Fc1) > ai(GemmSite::Linear));
+        assert!(ai(GemmSite::Linear) > ai(GemmSite::AttnScore));
+        assert!(ai(GemmSite::Linear) > 4.0 * ai(GemmSite::AttnOutput));
+    }
+
+    #[test]
+    fn attention_gemms_scale_quadratically_with_seq_len() {
+        // Paper Takeaway 10 / §3.3.1: attention ops are quadratic in n.
+        let short = BertConfig::bert_large().phase1(16);
+        let long = BertConfig::bert_large().phase2(16);
+        let f = |cfg: &BertConfig| gemm_spec(cfg, GemmSite::AttnScore, GemmPass::Forward).flops();
+        assert_eq!(f(&long), 16 * f(&short), "4x n -> 16x flops at fixed B");
+        // While FC GEMMs scale only linearly in n.
+        let g = |cfg: &BertConfig| gemm_spec(cfg, GemmSite::Fc1, GemmPass::Forward).flops();
+        assert_eq!(g(&long), 4 * g(&short));
+    }
+
+    #[test]
+    fn batch_of_one_is_still_a_matrix_matrix_op() {
+        // Paper Takeaway 5: unlike RNNs, B=1 does not degenerate to
+        // matrix-vector.
+        let cfg = BertConfig::bert_large().phase1(1);
+        let s = gemm_spec(&cfg, GemmSite::Linear, GemmPass::Forward);
+        assert!(s.m > 1 && s.n > 1 && s.k > 1);
+        assert_eq!(s.n, 128, "N is the token count n*B = 128");
+    }
+
+    #[test]
+    fn training_gemms_covers_all_cells() {
+        let all = training_gemms(&BertConfig::bert_large());
+        assert_eq!(all.len(), 15, "5 sites x 3 passes");
+    }
+
+    #[test]
+    fn fused_qkv_preserves_flops_of_three_linears() {
+        let cfg = BertConfig::bert_large();
+        let one = gemm_spec(&cfg, GemmSite::Linear, GemmPass::Forward).flops();
+        for &pass in GemmPass::all() {
+            assert_eq!(fused_qkv_spec(&cfg, pass).flops(), 3 * one, "{pass:?}");
+        }
+    }
+}

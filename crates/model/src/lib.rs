@@ -1,0 +1,40 @@
+//! BERT architecture description and analytic operator graphs for the
+//! bertscope characterization suite.
+//!
+//! This crate is a *description* layer: it knows BERT's hyperparameters
+//! ([`BertConfig`]), its learnable-parameter inventory ([`params`]), the
+//! GEMM dimensions of every sub-layer in every pass (the paper's Table 2b,
+//! [`gemms`]), and how a full training iteration unrolls into a stream of
+//! operator records ([`graph`]), including mixed precision, activation
+//! checkpointing and kernel fusion ([`fusion`]) variants.
+//!
+//! It performs no arithmetic — execution lives in `bertscope-train`, timing
+//! in `bertscope-sim` — which is what lets it describe BERT-Large-scale
+//! configurations instantly.
+//!
+//! # Examples
+//!
+//! ```
+//! use bertscope_model::{BertConfig, GraphOptions, build_iteration};
+//!
+//! let cfg = BertConfig::bert_large();
+//! let ops = build_iteration(&cfg, &GraphOptions::default());
+//! let gemm_flops: u64 = ops.iter().filter(|o| o.is_gemm()).map(|o| o.flops).sum();
+//! assert!(gemm_flops > 1_000_000_000_000, "BERT-Large runs >1 TFLOP of GEMMs per iteration");
+//! ```
+
+pub mod config;
+pub mod fusion;
+pub mod gemms;
+pub mod graph;
+pub mod params;
+
+pub use config::{model_zoo, BertConfig, LayerSizeConfig, ZooEntry};
+pub use fusion::{adam_fusion_case, layernorm_fusion_case, FusionCase};
+pub use gemms::{fused_qkv_spec, gemm_spec, training_gemms, GemmPass, GemmSite};
+pub use graph::{
+    build_finetune, build_inference, build_iteration, checkpoint_segments, embedding_backward_ops, embedding_forward_ops,
+    layer_backward_ops, layer_forward_ops, optimizer_ops, output_backward_ops, output_forward_ops,
+    update_groups, GraphOptions, OptimizerChoice, Precision, UpdateGroup,
+};
+pub use params::{parameter_count, parameter_tensors, ParamTensor};

@@ -1,0 +1,154 @@
+//! Inventory of BERT's learnable parameter tensors.
+//!
+//! The optimizer update is executed once per parameter tensor per stage
+//! (paper §3.2.3), so this inventory drives both the LAMB kernel counts in
+//! the analytic graph and the parameter sharding of tensor-sliced
+//! distributed training.
+
+use crate::config::BertConfig;
+use bertscope_tensor::Category;
+
+/// One learnable parameter tensor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamTensor {
+    /// Fully-qualified name, e.g. `"l3.fc1.weight"`.
+    pub name: String,
+    /// Dimension extents.
+    pub dims: Vec<usize>,
+    /// Transformer layer index, when the tensor belongs to one.
+    pub layer: Option<usize>,
+    /// Which network component owns the tensor.
+    pub category: Category,
+}
+
+impl ParamTensor {
+    fn new(name: String, dims: &[usize], layer: Option<usize>, category: Category) -> Self {
+        ParamTensor { name, dims: dims.to_vec(), layer, category }
+    }
+
+    /// Element count.
+    #[must_use]
+    pub fn numel(&self) -> u64 {
+        self.dims.iter().map(|&d| d as u64).product()
+    }
+}
+
+/// Enumerate every learnable tensor of the model, in network order.
+///
+/// The inventory matches the original BERT: token/position/segment
+/// embeddings with a LayerNorm; per layer Q/K/V/O projections (+biases), two
+/// LayerNorms and the two FC matrices (+biases); the MLM head (dense +
+/// LayerNorm + tied-decoder bias) and the NSP head (pooler + classifier).
+#[must_use]
+pub fn parameter_tensors(cfg: &BertConfig) -> Vec<ParamTensor> {
+    let d = cfg.d_model;
+    let mut out = Vec::new();
+    let emb = Category::Embedding;
+    out.push(ParamTensor::new("embeddings.word".into(), &[cfg.vocab, d], None, emb));
+    out.push(ParamTensor::new("embeddings.position".into(), &[cfg.max_position, d], None, emb));
+    out.push(ParamTensor::new("embeddings.segment".into(), &[2, d], None, emb));
+    out.push(ParamTensor::new("embeddings.ln.gamma".into(), &[d], None, emb));
+    out.push(ParamTensor::new("embeddings.ln.beta".into(), &[d], None, emb));
+
+    for l in 0..cfg.layers {
+        let al = Category::AttnLinear;
+        let ln = Category::DropResidualNorm;
+        let fc = Category::FcGemm;
+        for proj in ["q", "k", "v", "o"] {
+            out.push(ParamTensor::new(format!("l{l}.attn.w{proj}"), &[d, d], Some(l), al));
+            out.push(ParamTensor::new(format!("l{l}.attn.b{proj}"), &[d], Some(l), al));
+        }
+        out.push(ParamTensor::new(format!("l{l}.ln1.gamma"), &[d], Some(l), ln));
+        out.push(ParamTensor::new(format!("l{l}.ln1.beta"), &[d], Some(l), ln));
+        out.push(ParamTensor::new(format!("l{l}.fc1.weight"), &[d, cfg.d_ff], Some(l), fc));
+        out.push(ParamTensor::new(format!("l{l}.fc1.bias"), &[cfg.d_ff], Some(l), fc));
+        out.push(ParamTensor::new(format!("l{l}.fc2.weight"), &[cfg.d_ff, d], Some(l), fc));
+        out.push(ParamTensor::new(format!("l{l}.fc2.bias"), &[d], Some(l), fc));
+        out.push(ParamTensor::new(format!("l{l}.ln2.gamma"), &[d], Some(l), ln));
+        out.push(ParamTensor::new(format!("l{l}.ln2.beta"), &[d], Some(l), ln));
+    }
+
+    let outp = Category::Output;
+    out.push(ParamTensor::new("mlm.dense.weight".into(), &[d, d], None, outp));
+    out.push(ParamTensor::new("mlm.dense.bias".into(), &[d], None, outp));
+    out.push(ParamTensor::new("mlm.ln.gamma".into(), &[d], None, outp));
+    out.push(ParamTensor::new("mlm.ln.beta".into(), &[d], None, outp));
+    // The MLM decoder weight is tied to the word embeddings; only its bias
+    // is a distinct parameter.
+    out.push(ParamTensor::new("mlm.decoder.bias".into(), &[cfg.vocab], None, outp));
+    out.push(ParamTensor::new("nsp.pooler.weight".into(), &[d, d], None, outp));
+    out.push(ParamTensor::new("nsp.pooler.bias".into(), &[d], None, outp));
+    out.push(ParamTensor::new("nsp.classifier.weight".into(), &[d, 2], None, outp));
+    out.push(ParamTensor::new("nsp.classifier.bias".into(), &[2], None, outp));
+    out
+}
+
+/// Total learnable parameter count of a configuration.
+#[must_use]
+pub fn parameter_count(cfg: &BertConfig) -> u64 {
+    parameter_tensors(cfg).iter().map(ParamTensor::numel).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_large_has_roughly_340m_parameters() {
+        // The paper describes BERT-Large as a ~340M-parameter model.
+        let count = parameter_count(&BertConfig::bert_large());
+        assert!(
+            (330_000_000..345_000_000).contains(&count),
+            "BERT-Large parameter count {count}"
+        );
+    }
+
+    #[test]
+    fn bert_base_has_roughly_110m_parameters() {
+        let count = parameter_count(&BertConfig::bert_base());
+        assert!(
+            (105_000_000..115_000_000).contains(&count),
+            "BERT-Base parameter count {count}"
+        );
+    }
+
+    #[test]
+    fn per_layer_tensor_inventory_is_16() {
+        let cfg = BertConfig::bert_large();
+        let tensors = parameter_tensors(&cfg);
+        let layer0: Vec<_> = tensors.iter().filter(|t| t.layer == Some(0)).collect();
+        assert_eq!(layer0.len(), 16, "8 attn + 2 ln1 + 4 fc + 2 ln2");
+        // Every layer has the same inventory.
+        for l in 1..cfg.layers {
+            assert_eq!(tensors.iter().filter(|t| t.layer == Some(l)).count(), 16);
+        }
+    }
+
+    #[test]
+    fn layer_parameters_scale_quadratically_with_width() {
+        // Paper Takeaway 11: parameter count is quadratic in d_model/d_ff.
+        let narrow = BertConfig { d_model: 512, d_ff: 2048, heads: 8, ..BertConfig::bert_large() };
+        let wide = BertConfig::bert_large();
+        let layer_params = |cfg: &BertConfig| -> u64 {
+            parameter_tensors(cfg).iter().filter(|t| t.layer == Some(0)).map(ParamTensor::numel).sum()
+        };
+        let ratio = layer_params(&wide) as f64 / layer_params(&narrow) as f64;
+        assert!((ratio - 4.0).abs() < 0.05, "2x width -> ~4x params, got {ratio}");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let tensors = parameter_tensors(&BertConfig::bert_large());
+        let mut names: Vec<_> = tensors.iter().map(|t| t.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), tensors.len());
+    }
+
+    #[test]
+    fn decoder_weight_is_tied_not_duplicated() {
+        let tensors = parameter_tensors(&BertConfig::bert_large());
+        assert!(!tensors.iter().any(|t| t.name == "mlm.decoder.weight"));
+        assert!(tensors.iter().any(|t| t.name == "mlm.decoder.bias"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Input-heterogeneity and update-frequency studies.
+//!
+//! Two knobs the paper text raises but does not plot:
+//!
+//! * **Gradient accumulation** (§2.4: LAMB "updates model weights once every
+//!   (few) iteration(s)") — amortizing one update over `k` forward/backward
+//!   micro-steps scales LAMB's share down by ~`1/k`, the mirror image of
+//!   Takeaway 1's token-count dependence;
+//! * **Sequence-length bucketing** (§3.1.4 cites SeqPoint on heterogeneous
+//!   NLP iterations) — real corpora have variable lengths; padding everything
+//!   to the maximum wastes quadratic attention work, and bucketing recovers
+//!   it.
+
+use crate::profile::IterationProfile;
+use crate::simulate::simulate_iteration;
+use bertscope_device::GpuModel;
+use bertscope_model::{BertConfig, BertConfig as Cfg, GraphOptions};
+use bertscope_tensor::Group;
+
+/// One point of the gradient-accumulation sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct AccumulationPoint {
+    /// Micro-steps per optimizer update.
+    pub steps: usize,
+    /// LAMB's share of the amortized iteration.
+    pub lamb_fraction: f64,
+    /// Time per processed sequence, microseconds.
+    pub time_per_sequence_us: f64,
+}
+
+/// Sweep gradient-accumulation depth: `k` forward+backward micro-steps per
+/// LAMB update.
+#[must_use]
+pub fn accumulation_sweep(
+    cfg: &BertConfig,
+    opts: &GraphOptions,
+    gpu: &GpuModel,
+    steps: &[usize],
+) -> Vec<AccumulationPoint> {
+    let profile = simulate_iteration(cfg, opts, gpu);
+    let lamb = profile.time_by_group().get(&Group::Lamb).copied().unwrap_or(0.0);
+    let fwd_bwd = profile.total_us() - lamb;
+    steps
+        .iter()
+        .map(|&k| {
+            let k = k.max(1);
+            let total = fwd_bwd * k as f64 + lamb;
+            AccumulationPoint {
+                steps: k,
+                lamb_fraction: lamb / total,
+                time_per_sequence_us: total / (cfg.batch * k) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Result of the bucketing study: cost of a heterogeneous corpus processed
+/// with pad-to-max batches vs length-bucketed batches.
+#[derive(Debug, Clone, Copy)]
+pub struct BucketingStudy {
+    /// Iteration-time-weighted cost of padding everything to `n_max`, in
+    /// microseconds per sequence.
+    pub padded_us_per_seq: f64,
+    /// Cost with per-bucket batches, microseconds per sequence.
+    pub bucketed_us_per_seq: f64,
+}
+
+impl BucketingStudy {
+    /// Speedup of bucketing over pad-to-max.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.padded_us_per_seq / self.bucketed_us_per_seq
+    }
+}
+
+/// Compare pad-to-max against length bucketing for a corpus whose sequence
+/// lengths are distributed over `length_weights` (pairs of `(length,
+/// relative frequency)`); every bucket keeps the configured batch size.
+///
+/// # Panics
+///
+/// Panics when `length_weights` is empty or contains a zero weight/length.
+#[must_use]
+pub fn bucketing_study(
+    cfg: &BertConfig,
+    opts: &GraphOptions,
+    gpu: &GpuModel,
+    length_weights: &[(usize, f64)],
+) -> BucketingStudy {
+    assert!(!length_weights.is_empty(), "a length distribution is required");
+    assert!(
+        length_weights.iter().all(|&(l, w)| l > 0 && w > 0.0),
+        "lengths and weights must be positive"
+    );
+    let n_max = length_weights.iter().map(|&(l, _)| l).max().expect("non-empty");
+    let total_w: f64 = length_weights.iter().map(|&(_, w)| w).sum();
+
+    let per_seq = |n: usize| -> f64 {
+        let c = Cfg { seq_len: n, max_position: cfg.max_position.max(n), ..*cfg };
+        let p: IterationProfile = simulate_iteration(&c, opts, gpu);
+        p.total_us() / c.batch as f64
+    };
+
+    // Pad-to-max: every sequence costs the n_max rate.
+    let padded = per_seq(n_max);
+    // Bucketed: each length class pays its own rate.
+    let bucketed = length_weights
+        .iter()
+        .map(|&(l, w)| w / total_w * per_seq(l))
+        .sum::<f64>();
+    BucketingStudy { padded_us_per_seq: padded, bucketed_us_per_seq: bucketed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_scales_lamb_share_inversely() {
+        // §2.4's "once every few iterations": k=4 cuts LAMB's share ~4x.
+        let gpu = GpuModel::mi100();
+        let pts =
+            accumulation_sweep(&BertConfig::bert_large(), &GraphOptions::default(), &gpu, &[1, 2, 4, 8]);
+        assert_eq!(pts[0].steps, 1);
+        let base = pts[0].lamb_fraction;
+        assert!((0.05..0.12).contains(&base));
+        for w in pts.windows(2) {
+            assert!(w[1].lamb_fraction < w[0].lamb_fraction);
+            // Per-sequence time improves as the update amortizes.
+            assert!(w[1].time_per_sequence_us < w[0].time_per_sequence_us);
+        }
+        let k8 = pts[3].lamb_fraction;
+        assert!((base / k8 - 8.0).abs() / 8.0 < 0.15, "k=8 scales LAMB ~8x: {}", base / k8);
+    }
+
+    #[test]
+    fn bucketing_beats_pad_to_max_on_a_skewed_corpus() {
+        // A Wikipedia-like skew: most sequences are short.
+        let gpu = GpuModel::mi100();
+        let study = bucketing_study(
+            &BertConfig::bert_large().phase2(4),
+            &GraphOptions::default(),
+            &gpu,
+            &[(64, 0.4), (128, 0.35), (256, 0.2), (512, 0.05)],
+        );
+        let s = study.speedup();
+        assert!(s > 1.5, "bucketing speedup {s}");
+        assert!(s < 8.0, "sanity: bounded by the length ratio");
+    }
+
+    #[test]
+    fn uniform_max_length_corpus_gains_nothing() {
+        let gpu = GpuModel::mi100();
+        let study = bucketing_study(
+            &BertConfig::bert_large(),
+            &GraphOptions::default(),
+            &gpu,
+            &[(128, 1.0)],
+        );
+        assert!((study.speedup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length distribution")]
+    fn empty_distribution_rejected() {
+        let gpu = GpuModel::mi100();
+        let _ = bucketing_study(&BertConfig::bert_large(), &GraphOptions::default(), &gpu, &[]);
+    }
+}

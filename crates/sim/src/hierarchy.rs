@@ -1,0 +1,153 @@
+//! Hierarchical runtime breakdown (paper Fig. 4).
+//!
+//! Four stacked bars, each refining one segment of the bar above:
+//! Overall → Transformer → Attention → FC. Labels report each segment's
+//! contribution to *overall* training time, as in the paper.
+
+use crate::profile::IterationProfile;
+use bertscope_tensor::{Category, Group};
+
+/// One labelled segment: name and fraction of overall iteration time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Segment label as in the paper's Fig. 4 legend.
+    pub label: String,
+    /// Fraction of overall iteration time (0..=1).
+    pub fraction: f64,
+}
+
+/// The four bars of Fig. 4.
+#[derive(Debug, Clone)]
+pub struct HierarchicalBreakdown {
+    /// Overall: Transformer / Output / Embedding / LAMB.
+    pub overall: Vec<Segment>,
+    /// Within Transformer: Attention / FC / DR+RC+LN.
+    pub transformer: Vec<Segment>,
+    /// Within Attention: Linear / Attn B-GEMM / Scale+Mask+DR+SM.
+    pub attention: Vec<Segment>,
+    /// Within FC: FC GEMMs+Grad / GeLU.
+    pub fc: Vec<Segment>,
+}
+
+fn seg(label: &str, fraction: f64) -> Segment {
+    Segment { label: label.to_owned(), fraction }
+}
+
+/// Compute the hierarchical breakdown of a profile.
+#[must_use]
+pub fn hierarchical_breakdown(profile: &IterationProfile) -> HierarchicalBreakdown {
+    let cat = |c: Category| profile.category_fraction(c);
+    let grp = |g: Group| profile.group_fraction(g);
+    let attention =
+        vec![
+            seg("Linear", cat(Category::AttnLinear)),
+            seg("Attn B-GEMM", cat(Category::AttnBgemm)),
+            seg("Scale+Mask+DR+SM", cat(Category::ScaleMaskSoftmaxDropout)),
+        ];
+    let fc = vec![seg("FC GEMMs+Grad", cat(Category::FcGemm)), seg("GeLU", cat(Category::Gelu))];
+    let attention_total: f64 = attention.iter().map(|s| s.fraction).sum();
+    let fc_total: f64 = fc.iter().map(|s| s.fraction).sum();
+    let transformer = vec![
+        seg("Attention", attention_total),
+        seg("FC", fc_total),
+        seg("DR+RC+LN", cat(Category::DropResidualNorm)),
+    ];
+    let overall = vec![
+        seg("Transformer", grp(Group::Transformer)),
+        seg("Output", grp(Group::Output)),
+        seg("Embedding", grp(Group::Embedding)),
+        seg("LAMB", grp(Group::Lamb)),
+    ];
+    HierarchicalBreakdown { overall, transformer, attention, fc }
+}
+
+impl HierarchicalBreakdown {
+    /// Look up a segment fraction by bar and label.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the label is not present in the bar.
+    #[must_use]
+    pub fn fraction(&self, bar: &str, label: &str) -> f64 {
+        let segs = match bar {
+            "overall" => &self.overall,
+            "transformer" => &self.transformer,
+            "attention" => &self.attention,
+            "fc" => &self.fc,
+            other => panic!("unknown bar {other}"),
+        };
+        segs.iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("no segment {label} in {bar}"))
+            .fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::NamedConfig;
+    use bertscope_device::GpuModel;
+
+    fn breakdown(mixed: bool) -> HierarchicalBreakdown {
+        let gpu = GpuModel::mi100();
+        hierarchical_breakdown(&NamedConfig::phase_batch(1, 32, mixed).simulate(&gpu))
+    }
+
+    #[test]
+    fn bars_decompose_consistently() {
+        let b = breakdown(false);
+        // Transformer bar sums to the overall Transformer segment.
+        let t_sum: f64 = b.transformer.iter().map(|s| s.fraction).sum();
+        assert!((t_sum - b.fraction("overall", "Transformer")).abs() < 1e-9);
+        // Attention and FC bars sum to their transformer segments.
+        let a_sum: f64 = b.attention.iter().map(|s| s.fraction).sum();
+        assert!((a_sum - b.fraction("transformer", "Attention")).abs() < 1e-9);
+        let f_sum: f64 = b.fc.iter().map(|s| s.fraction).sum();
+        assert!((f_sum - b.fraction("transformer", "FC")).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fc_exceeds_attention_due_to_4x_intermediate() {
+        // Paper: FC has higher contribution than attention because of the
+        // 4x intermediate dimension.
+        let b = breakdown(false);
+        assert!(b.fraction("transformer", "FC") > b.fraction("transformer", "Attention"));
+    }
+
+    #[test]
+    fn linear_dominates_the_attention_layer() {
+        // Paper: a significant portion (~22% overall in FP32) is the linear
+        // projections; actual attention ops are much smaller (~7%).
+        let b = breakdown(false);
+        let linear = b.fraction("attention", "Linear");
+        let attn_ops =
+            b.fraction("attention", "Attn B-GEMM") + b.fraction("attention", "Scale+Mask+DR+SM");
+        assert!((0.15..0.30).contains(&linear), "linear fraction {linear}");
+        assert!((0.04..0.12).contains(&attn_ops), "attention ops fraction {attn_ops}");
+        assert!(linear > 2.0 * attn_ops);
+    }
+
+    #[test]
+    fn mixed_precision_shrinks_gemm_segments_grows_others() {
+        // Paper Takeaway 3: linear + FC drop from ~57% to ~42% under MP.
+        let f32b = breakdown(false);
+        let f16b = breakdown(true);
+        let gemmish = |b: &HierarchicalBreakdown| {
+            b.fraction("attention", "Linear") + b.fraction("fc", "FC GEMMs+Grad")
+        };
+        assert!(gemmish(&f32b) > gemmish(&f16b) + 0.08, "GEMM share must drop under MP");
+        // While the attention-ops share grows slightly.
+        assert!(
+            f16b.fraction("attention", "Scale+Mask+DR+SM")
+                > f32b.fraction("attention", "Scale+Mask+DR+SM")
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown bar")]
+    fn unknown_bar_panics() {
+        let b = breakdown(false);
+        let _ = b.fraction("nope", "Linear");
+    }
+}

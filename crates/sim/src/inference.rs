@@ -1,0 +1,122 @@
+//! Inference-mode analysis (paper §7): forward-only iterations, the
+//! latency/throughput trade across batch sizes, and the B=1 claim — unlike
+//! RNNs, a Transformer at batch one still executes matrix-matrix work.
+
+use crate::profile::IterationProfile;
+use bertscope_device::GpuModel;
+use bertscope_model::{build_inference, BertConfig, GraphOptions};
+
+/// Simulate one forward-only inference pass.
+#[must_use]
+pub fn simulate_inference(cfg: &BertConfig, opts: &GraphOptions, gpu: &GpuModel) -> IterationProfile {
+    IterationProfile::from_ops(gpu, build_inference(cfg, opts))
+}
+
+/// One point of the batch-size latency/throughput sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ServingPoint {
+    /// Batch size.
+    pub batch: usize,
+    /// Latency of one inference pass, microseconds.
+    pub latency_us: f64,
+    /// Throughput in sequences per second.
+    pub sequences_per_s: f64,
+}
+
+/// Sweep inference batch sizes, reporting the classic latency/throughput
+/// trade (batching amortizes weight reads and fills the device).
+#[must_use]
+pub fn serving_sweep(
+    cfg: &BertConfig,
+    opts: &GraphOptions,
+    gpu: &GpuModel,
+    batches: &[usize],
+) -> Vec<ServingPoint> {
+    batches
+        .iter()
+        .map(|&b| {
+            let c = BertConfig { batch: b, ..*cfg };
+            let p = simulate_inference(&c, opts, gpu);
+            ServingPoint {
+                batch: b,
+                latency_us: p.total_us(),
+                sequences_per_s: b as f64 / (p.total_us() * 1e-6),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertscope_model::Precision;
+    use bertscope_tensor::{Group, OpKind, Phase};
+
+    #[test]
+    fn inference_profile_has_no_backward_or_update_time() {
+        let p = simulate_inference(
+            &BertConfig::bert_large(),
+            &GraphOptions::default(),
+            &GpuModel::mi100(),
+        );
+        assert_eq!(p.group_fraction(Group::Lamb), 0.0);
+        assert!(p.ops().iter().all(|t| t.op.phase == Phase::Forward));
+        // Roughly one third of the training iteration (fwd ~ bwd/2, no LAMB).
+        let train = crate::simulate::simulate_iteration(
+            &BertConfig::bert_large(),
+            &GraphOptions::default(),
+            &GpuModel::mi100(),
+        );
+        let ratio = train.total_us() / p.total_us();
+        assert!((2.5..4.5).contains(&ratio), "train/inference ratio {ratio}");
+    }
+
+    #[test]
+    fn batch_one_inference_is_still_matrix_matrix() {
+        // Paper §8: "Transformer layers process all the tokens of the input
+        // sequence in parallel. This leads to matrix, rather than vector,
+        // operations even if mini-batch is one."
+        let cfg = BertConfig::bert_large().phase1(1);
+        let ops = build_inference(&cfg, &GraphOptions::default());
+        // Transformer-layer GEMMs (the NSP classifier head operates per
+        // sequence and is legitimately a matrix-vector at B=1).
+        for o in ops.iter().filter(|o| o.kind == OpKind::Gemm && o.layer.is_some()) {
+            let g = o.gemm.expect("gemm spec");
+            assert!(g.m > 1 && g.n > 1 && g.k > 1, "{}: {g}", o.name);
+            assert!(g.n >= cfg.seq_len, "N carries the full token count: {}", o.name);
+        }
+    }
+
+    #[test]
+    fn batching_trades_latency_for_throughput() {
+        let gpu = GpuModel::mi100();
+        let pts = serving_sweep(
+            &BertConfig::bert_large(),
+            &GraphOptions { precision: Precision::Mixed, ..GraphOptions::default() },
+            &gpu,
+            &[1, 4, 16, 64],
+        );
+        // Latency grows with batch; throughput grows (sub-linearly at the
+        // top as the device saturates).
+        for w in pts.windows(2) {
+            assert!(w[1].latency_us > w[0].latency_us);
+            assert!(w[1].sequences_per_s > w[0].sequences_per_s);
+        }
+        // Small batches under-utilize: B=4 throughput is far more than 4x...
+        // i.e. per-sequence cost drops sharply from B=1 to B=16.
+        let per_seq_1 = pts[0].latency_us;
+        let per_seq_16 = pts[2].latency_us / 16.0;
+        assert!(per_seq_1 > 3.0 * per_seq_16, "B=1 per-seq {per_seq_1} vs B=16 {per_seq_16}");
+    }
+
+    #[test]
+    fn transformer_dominates_inference_too() {
+        // Paper §7: Obs. 1 applies to inference (measured on CPUs in [23]).
+        let p = simulate_inference(
+            &BertConfig::bert_large(),
+            &GraphOptions::default(),
+            &GpuModel::mi100(),
+        );
+        assert!(p.group_fraction(Group::Transformer) > 0.75);
+    }
+}

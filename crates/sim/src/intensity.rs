@@ -1,0 +1,196 @@
+//! Arithmetic-intensity and bandwidth-requirement analyses (paper Figs. 6-7).
+
+use bertscope_device::GpuModel;
+use bertscope_model::{training_gemms, BertConfig, GemmPass, GemmSite};
+use bertscope_tensor::{Category, DType, OpKind, OpRecord, Phase};
+
+/// One row of the Fig. 6 data: a Transformer-layer training GEMM with its
+/// paper-style label and arithmetic intensity.
+#[derive(Debug, Clone)]
+pub struct GemmIntensityRow {
+    /// Which sub-layer the GEMM implements.
+    pub site: GemmSite,
+    /// Which pass it belongs to.
+    pub pass: GemmPass,
+    /// The paper's `transposeA, transposeB, M, N, K, [batch]` label.
+    pub label: String,
+    /// Arithmetic intensity in ops/byte.
+    pub ops_per_byte: f64,
+}
+
+/// The Fig. 6 dataset: arithmetic intensity of every training GEMM in one
+/// Transformer layer, at the given precision.
+#[must_use]
+pub fn gemm_intensities(cfg: &BertConfig, dtype: DType) -> Vec<GemmIntensityRow> {
+    training_gemms(cfg)
+        .into_iter()
+        .map(|(site, pass, spec)| GemmIntensityRow {
+            site,
+            pass,
+            label: spec.label(),
+            ops_per_byte: spec.arithmetic_intensity(dtype),
+        })
+        .collect()
+}
+
+/// One row of the Fig. 7 data: an operation phase with its ops/byte ratio
+/// and its bandwidth demand normalized to the best-streaming op.
+#[derive(Debug, Clone)]
+pub struct BandwidthRow {
+    /// Phase label as in the paper's Fig. 7 x-axis.
+    pub label: String,
+    /// Aggregate arithmetic intensity (ops per byte moved).
+    pub ops_per_byte: f64,
+    /// Achieved bandwidth normalized to the maximum achieved by any BERT
+    /// operation (the paper normalizes to elementwise multiply).
+    pub normalized_bandwidth: f64,
+}
+
+/// Build the Fig. 7 dataset from an iteration op stream and a device model.
+///
+/// Phases follow the paper: the three GEMM classes, `Scale+Mask+DR+SM`,
+/// `GeLU`, `DR+RC+LN`, `LAMBStage1`, `LAMBStage2`, and the reference
+/// elementwise op (the normalizer).
+#[must_use]
+pub fn bandwidth_rows(gpu: &GpuModel, ops: &[OpRecord]) -> Vec<BandwidthRow> {
+    type Pred = Box<dyn Fn(&OpRecord) -> bool>;
+    let classes: [(&str, Pred); 8] = [
+        ("FC GEMM", Box::new(|o| o.category == Category::FcGemm && o.is_gemm())),
+        ("Linear GEMM", Box::new(|o| o.category == Category::AttnLinear && o.is_gemm())),
+        ("Attn B-GEMM", Box::new(|o| o.category == Category::AttnBgemm)),
+        ("Scale+Mask+DR+SM", Box::new(|o| o.category == Category::ScaleMaskSoftmaxDropout)),
+        ("GeLU", Box::new(|o| o.category == Category::Gelu)),
+        ("DR+RC+LN", Box::new(|o| o.category == Category::DropResidualNorm)),
+        ("LAMBStage1", Box::new(|o| o.category == Category::LambStage1)),
+        ("LAMBStage2", Box::new(|o| o.category == Category::LambStage2)),
+    ];
+    // The normalizer: the best achieved bandwidth of any single op.
+    let max_bw = ops
+        .iter()
+        .map(|o| gpu.achieved_bandwidth_gbps(o))
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    classes
+        .iter()
+        .filter_map(|(label, pred)| {
+            let sel: Vec<&OpRecord> = ops.iter().filter(|o| pred(o)).collect();
+            if sel.is_empty() {
+                return None;
+            }
+            let flops: u64 = sel.iter().map(|o| o.flops).sum();
+            let bytes: u64 = sel.iter().map(|o| o.bytes_total()).sum();
+            // Weighted-average achieved bandwidth across the class.
+            let time: f64 = sel.iter().map(|o| gpu.op_time_us(o)).sum();
+            let bw = bytes as f64 / 1.0e9 / (time * 1.0e-6);
+            Some(BandwidthRow {
+                label: (*label).to_owned(),
+                ops_per_byte: flops as f64 / bytes.max(1) as f64,
+                normalized_bandwidth: bw / max_bw,
+            })
+        })
+        .collect()
+}
+
+/// A reference streaming elementwise-multiply op over `numel` f32 elements —
+/// the paper's bandwidth normalizer.
+#[must_use]
+pub fn reference_elementwise_op(numel: u64) -> OpRecord {
+    OpRecord {
+        name: "ew.multiply".into(),
+        kind: OpKind::ElementWise,
+        category: Category::DropResidualNorm,
+        phase: Phase::Forward,
+        layer: None,
+        gemm: None,
+        flops: numel,
+        bytes_read: 2 * numel * 4,
+        bytes_written: numel * 4,
+        dtype: DType::F32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertscope_model::{build_iteration, GraphOptions};
+
+    #[test]
+    fn fig6_has_15_gemms_with_fc_most_intense() {
+        let rows = gemm_intensities(&BertConfig::bert_large(), DType::F32);
+        assert_eq!(rows.len(), 15);
+        let max_row = rows
+            .iter()
+            .max_by(|a, b| a.ops_per_byte.total_cmp(&b.ops_per_byte))
+            .unwrap();
+        assert!(matches!(max_row.site, GemmSite::Fc1 | GemmSite::Fc2));
+        let min_row = rows
+            .iter()
+            .min_by(|a, b| a.ops_per_byte.total_cmp(&b.ops_per_byte))
+            .unwrap();
+        assert!(
+            matches!(min_row.site, GemmSite::AttnScore | GemmSite::AttnOutput),
+            "least intense is an attention B-GEMM, got {:?}",
+            min_row.site
+        );
+        // Labels carry the paper's format.
+        assert!(rows.iter().any(|r| r.label.contains("b512")));
+    }
+
+    #[test]
+    fn fig7_attention_gemms_demand_more_bandwidth_than_fc() {
+        // Paper: Attn GEMMs need ~70% of peak vs ~20% for other GEMMs.
+        let gpu = GpuModel::mi100();
+        let ops = build_iteration(&BertConfig::bert_large(), &GraphOptions::default());
+        let rows = bandwidth_rows(&gpu, &ops);
+        let get = |label: &str| {
+            rows.iter().find(|r| r.label == label).unwrap_or_else(|| panic!("{label} missing"))
+        };
+        let attn = get("Attn B-GEMM").normalized_bandwidth;
+        let fc = get("FC GEMM").normalized_bandwidth;
+        assert!(attn > 2.0 * fc, "attn {attn} vs fc {fc}");
+        assert!(fc < 0.4, "FC GEMMs are compute-bound: low bandwidth demand");
+    }
+
+    #[test]
+    fn fig7_memory_bound_phases_have_low_intensity_high_bandwidth() {
+        let gpu = GpuModel::mi100();
+        let ops = build_iteration(&BertConfig::bert_large(), &GraphOptions::default());
+        let rows = bandwidth_rows(&gpu, &ops);
+        for label in ["GeLU", "DR+RC+LN", "LAMBStage1", "LAMBStage2", "Scale+Mask+DR+SM"] {
+            let r = rows.iter().find(|r| r.label == label).unwrap();
+            assert!(r.ops_per_byte < 5.0, "{label} intensity {}", r.ops_per_byte);
+            assert!(r.normalized_bandwidth > 0.5, "{label} bw {}", r.normalized_bandwidth);
+        }
+        // FC GEMMs are orders of magnitude more intense.
+        let fc = rows.iter().find(|r| r.label == "FC GEMM").unwrap();
+        assert!(fc.ops_per_byte > 100.0);
+    }
+
+    #[test]
+    fn lamb_stage1_intensity_is_low(){
+        // Takeaway 7: few EW operations per byte.
+        let gpu = GpuModel::mi100();
+        let ops = build_iteration(&BertConfig::bert_large(), &GraphOptions::default());
+        let rows = bandwidth_rows(&gpu, &ops);
+        let s1 = rows.iter().find(|r| r.label == "LAMBStage1").unwrap();
+        assert!(s1.ops_per_byte < 1.0, "LAMBStage1 ops/byte {}", s1.ops_per_byte);
+    }
+
+    #[test]
+    fn mixed_precision_doubles_gemm_intensity() {
+        let f32_rows = gemm_intensities(&BertConfig::bert_large(), DType::F32);
+        let f16_rows = gemm_intensities(&BertConfig::bert_large(), DType::F16);
+        for (a, b) in f32_rows.iter().zip(&f16_rows) {
+            assert!((b.ops_per_byte / a.ops_per_byte - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reference_op_achieves_the_best_bandwidth() {
+        let gpu = GpuModel::mi100();
+        let r = reference_elementwise_op(16 << 20);
+        let bw = gpu.achieved_bandwidth_gbps(&r);
+        // Close to max_mem_efficiency x peak.
+        assert!(bw > 0.9 * gpu.max_mem_efficiency * gpu.mem_bw_gbps);
+    }
+}

@@ -1,0 +1,61 @@
+//! Execution simulator for the bertscope characterization suite.
+//!
+//! Times the analytic operator graphs of `bertscope-model` on the device
+//! models of `bertscope-device` and reproduces the evaluation artifacts of
+//! *"Demystifying BERT"* (IISWC 2022):
+//!
+//! * [`simulate_iteration`] / [`IterationProfile`] — the per-kernel timed
+//!   profile, with the category/group breakdowns of Figs. 3-4;
+//! * [`hierarchy`] — the hierarchical breakdown of Fig. 4;
+//! * [`intensity`] — the arithmetic-intensity and bandwidth-demand datasets
+//!   of Figs. 6-7;
+//! * [`sweep`] — the phase/batch/precision matrix (Fig. 3), input-size
+//!   sweep (Fig. 8) and layer-size sweep (Fig. 9);
+//! * [`studies`] — activation checkpointing (§4), kernel fusion (Fig. 12)
+//!   and near-memory compute (§6.2.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use bertscope_sim::simulate_iteration;
+//! use bertscope_model::{BertConfig, GraphOptions};
+//! use bertscope_device::GpuModel;
+//! use bertscope_tensor::Group;
+//!
+//! let profile = simulate_iteration(
+//!     &BertConfig::bert_large(),
+//!     &GraphOptions::default(),
+//!     &GpuModel::mi100(),
+//! );
+//! // Paper Obs. 1: Transformer layers dominate.
+//! assert!(profile.group_fraction(Group::Transformer) > 0.6);
+//! ```
+
+pub mod ablation;
+pub mod heterogeneity;
+pub mod hierarchy;
+pub mod inference;
+pub mod intensity;
+pub mod memory;
+pub mod profile;
+pub mod roofline;
+pub mod simulate;
+pub mod studies;
+pub mod sweep;
+
+pub use ablation::{ablation_study, stream_is_well_formed, AblationRow};
+pub use heterogeneity::{
+    accumulation_sweep, bucketing_study, AccumulationPoint, BucketingStudy,
+};
+pub use hierarchy::{hierarchical_breakdown, HierarchicalBreakdown, Segment};
+pub use inference::{serving_sweep, simulate_inference, ServingPoint};
+pub use intensity::{bandwidth_rows, gemm_intensities, BandwidthRow, GemmIntensityRow};
+pub use memory::{footprint, max_batch, MemoryFootprint};
+pub use profile::{IterationProfile, TimedOp};
+pub use roofline::{classify, classify_categories, extrapolate, ridge_point, Boundedness};
+pub use simulate::{simulate_finetune, simulate_iteration, NamedConfig};
+pub use studies::{
+    checkpoint_study, figure12a_study, figure12b_study, nmc_study, precision_sweep,
+    CheckpointStudy, FusionStudyRow, NmcStudy, PrecisionPoint, QkvFusionPoint,
+};
+pub use sweep::{figure3_sweep, figure8_sweep, figure9_sweep, model_zoo_sweep, SweepPoint};

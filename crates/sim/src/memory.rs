@@ -1,0 +1,199 @@
+//! Device-memory footprint model — the capacity pressure that motivates
+//! activation checkpointing (paper §4: it "reduces a model's memory
+//! capacity requirements and enables training a large model or a model with
+//! larger B on a single device").
+//!
+//! The activation inventory mirrors what the executable substrate actually
+//! saves for the backward pass (see `bertscope_train::layer`): per layer the
+//! residual inputs, LayerNorm outputs, per-head Q/K/V, pre- and post-dropout
+//! attention probabilities, the FC intermediate pair, and the dropout masks
+//! (one byte per element).
+
+use bertscope_model::{parameter_count, BertConfig, GraphOptions, Precision};
+
+/// A device-memory budget breakdown, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Model weights at the training precision.
+    pub weights: u64,
+    /// Gradients at the training precision.
+    pub gradients: u64,
+    /// Optimizer state: LAMB momentum + velocity in f32, plus f32 master
+    /// weights under mixed precision.
+    pub optimizer_state: u64,
+    /// Activations (and dropout masks) saved for the backward pass.
+    pub activations: u64,
+}
+
+impl MemoryFootprint {
+    /// Total bytes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.weights + self.gradients + self.optimizer_state + self.activations
+    }
+
+    /// Total in GiB.
+    #[must_use]
+    pub fn total_gib(&self) -> f64 {
+        self.total() as f64 / (1u64 << 30) as f64
+    }
+}
+
+/// Saved-activation bytes of one Transformer layer.
+fn layer_activation_bytes(cfg: &BertConfig, es: u64) -> u64 {
+    let t = cfg.tokens() as u64;
+    let d = cfg.d_model as u64;
+    let scores = (cfg.batch * cfg.heads * cfg.seq_len * cfg.seq_len) as u64;
+    let inter = t * cfg.d_ff as u64;
+    // Attention: x (kept by the attention state), q/k/v per-head, two score
+    // tensors, the merged context.
+    let attention = (t * d) * 5 + scores * 2 + t * d;
+    // Layer: res1, ln1_out, fc1_out, gelu_out, res2 (+ LN statistics,
+    // negligible).
+    let layer = (t * d) * 3 + inter * 2;
+    // Dropout masks: scores + two hidden-state masks, one byte per element.
+    let masks = scores + 2 * t * d;
+    (attention + layer) * es + masks
+}
+
+/// Estimate the training-time memory footprint of one device.
+#[must_use]
+pub fn footprint(cfg: &BertConfig, opts: &GraphOptions) -> MemoryFootprint {
+    let params = parameter_count(cfg);
+    let es = opts.precision.activation_dtype().size_bytes();
+    let weights = params * es;
+    let gradients = params * es;
+    // LAMB m + v are always f32; mixed precision adds f32 master weights.
+    let mut optimizer_state = params * 8;
+    if opts.precision != Precision::Fp32 {
+        optimizer_state += params * 4;
+    }
+    let per_layer = layer_activation_bytes(cfg, es);
+    let t = cfg.tokens() as u64;
+    let d = cfg.d_model as u64;
+    let activations = if opts.checkpoint {
+        // Only segment-boundary inputs survive the forward pass; during the
+        // backward pass one segment's activations are live at a time.
+        let segs = bertscope_model::checkpoint_segments(cfg.layers) as u64;
+        let per_seg = (cfg.layers as u64).div_ceil(segs);
+        segs * t * d * es + per_seg * per_layer
+    } else {
+        cfg.layers as u64 * per_layer
+    };
+    // Embedding sums + output-head logits are additionally live.
+    let logits = t * cfg.vocab as u64 * es;
+    MemoryFootprint { weights, gradients, optimizer_state, activations: activations + t * d * es + logits }
+}
+
+/// The largest mini-batch that fits in `capacity_bytes` for this
+/// configuration, holding `n` fixed (0 when even B=1 does not fit).
+#[must_use]
+pub fn max_batch(cfg: &BertConfig, opts: &GraphOptions, capacity_bytes: u64) -> usize {
+    let mut best = 0;
+    let mut b = 1usize;
+    while b <= 4096 {
+        let candidate = BertConfig { batch: b, ..*cfg };
+        if footprint(&candidate, opts).total() <= capacity_bytes {
+            best = b;
+            b *= 2;
+        } else {
+            break;
+        }
+    }
+    // Refine linearly between best and 2*best.
+    let mut b = best + 1;
+    while best > 0 && b < best * 2 {
+        let candidate = BertConfig { batch: b, ..*cfg };
+        if footprint(&candidate, opts).total() <= capacity_bytes {
+            best = b;
+            b += 1;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB32: u64 = 32 * (1 << 30); // the paper's MI100 has 32 GB HBM2
+
+    #[test]
+    fn bert_large_b32_fits_in_32_gib() {
+        // The paper trains Ph1-B32 on a single 32 GB MI100.
+        let f = footprint(&BertConfig::bert_large(), &GraphOptions::default());
+        assert!(f.total() < GIB32, "footprint {:.1} GiB", f.total_gib());
+        assert!(f.total_gib() > 4.0, "sanity: multi-GiB model state");
+    }
+
+    #[test]
+    fn optimizer_state_is_8_bytes_per_param_fp32() {
+        let cfg = BertConfig::bert_large();
+        let f = footprint(&cfg, &GraphOptions::default());
+        assert_eq!(f.optimizer_state, parameter_count(&cfg) * 8);
+        // Mixed precision adds master weights.
+        let fmp = footprint(
+            &cfg,
+            &GraphOptions { precision: Precision::Mixed, ..GraphOptions::default() },
+        );
+        assert_eq!(fmp.optimizer_state, parameter_count(&cfg) * 12);
+        // But halves weights, gradients and activations.
+        assert_eq!(fmp.weights * 2, f.weights);
+        assert!(fmp.activations < f.activations);
+    }
+
+    #[test]
+    fn checkpointing_cuts_activation_memory_severalfold() {
+        // Paper §4's purpose.
+        let cfg = BertConfig::bert_large();
+        let plain = footprint(&cfg, &GraphOptions::default());
+        let ck = footprint(&cfg, &GraphOptions { checkpoint: true, ..GraphOptions::default() });
+        let ratio = plain.activations as f64 / ck.activations as f64;
+        assert!(ratio > 3.0, "activation memory ratio {ratio}");
+        assert!(ck.total() < plain.total());
+        // Non-activation state is untouched.
+        assert_eq!(plain.weights, ck.weights);
+        assert_eq!(plain.optimizer_state, ck.optimizer_state);
+    }
+
+    #[test]
+    fn checkpointing_enables_a_larger_batch() {
+        // Paper §4: "enables training ... a model with larger B on a single
+        // device".
+        let cfg = BertConfig::bert_large();
+        let plain = max_batch(&cfg, &GraphOptions::default(), GIB32);
+        let ck = max_batch(&cfg, &GraphOptions { checkpoint: true, ..GraphOptions::default() }, GIB32);
+        assert!(plain >= 32, "B=32 must fit without checkpointing, got {plain}");
+        assert!(ck > plain, "checkpointing raises max batch: {ck} vs {plain}");
+    }
+
+    #[test]
+    fn activations_scale_linearly_with_batch() {
+        let a = |b: usize| {
+            footprint(&BertConfig::bert_large().phase1(b), &GraphOptions::default()).activations
+        };
+        let a8 = a(8);
+        let a32 = a(32);
+        let ratio = a32 as f64 / a8 as f64;
+        assert!((ratio - 4.0).abs() < 0.05, "activation scaling {ratio}");
+    }
+
+    #[test]
+    fn phase2_sequences_are_much_hungrier() {
+        // n=512 quadruples token-linear activations and 16x the score
+        // tensors: a much smaller max batch (why the paper's Ph2 uses B=4).
+        let cfg = BertConfig::bert_large();
+        let b1 = max_batch(&cfg.phase1(1), &GraphOptions::default(), GIB32);
+        let b2 = max_batch(&cfg.phase2(1), &GraphOptions::default(), GIB32);
+        assert!(b2 < b1 / 3, "phase-2 max batch {b2} vs phase-1 {b1}");
+        assert!(b2 >= 4, "the paper's Ph2-B4 configuration must fit, got {b2}");
+    }
+
+    #[test]
+    fn tiny_capacity_fits_nothing() {
+        let cfg = BertConfig::bert_large();
+        assert_eq!(max_batch(&cfg, &GraphOptions::default(), 1 << 20), 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Timed iteration profiles: the simulator's primary output.
+
+use bertscope_device::GpuModel;
+use bertscope_tensor::{Category, Group, OpRecord, Phase};
+use std::collections::BTreeMap;
+
+/// One operation with its modelled execution time.
+#[derive(Debug, Clone)]
+pub struct TimedOp {
+    /// The operation record.
+    pub op: OpRecord,
+    /// Modelled execution time in microseconds.
+    pub time_us: f64,
+}
+
+/// A fully-timed training-iteration profile — the in-memory equivalent of
+/// the paper's rocProf dumps.
+#[derive(Debug, Clone, Default)]
+pub struct IterationProfile {
+    ops: Vec<TimedOp>,
+}
+
+impl IterationProfile {
+    /// Time an op stream on a GPU model.
+    #[must_use]
+    pub fn from_ops(gpu: &GpuModel, ops: Vec<OpRecord>) -> Self {
+        let ops = ops
+            .into_iter()
+            .map(|op| {
+                let time_us = gpu.op_time_us(&op);
+                TimedOp { op, time_us }
+            })
+            .collect();
+        IterationProfile { ops }
+    }
+
+    /// Build a profile from pre-timed ops (used by the distributed models,
+    /// which time communication themselves).
+    #[must_use]
+    pub fn from_timed(ops: Vec<TimedOp>) -> Self {
+        IterationProfile { ops }
+    }
+
+    /// The timed operations.
+    #[must_use]
+    pub fn ops(&self) -> &[TimedOp] {
+        &self.ops
+    }
+
+    /// Number of kernel launches.
+    #[must_use]
+    pub fn kernel_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Total iteration time in microseconds.
+    #[must_use]
+    pub fn total_us(&self) -> f64 {
+        self.ops.iter().map(|t| t.time_us).sum()
+    }
+
+    /// Total bytes moved.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.ops.iter().map(|t| t.op.bytes_total()).sum()
+    }
+
+    /// Total FLOPs.
+    #[must_use]
+    pub fn total_flops(&self) -> u64 {
+        self.ops.iter().map(|t| t.op.flops).sum()
+    }
+
+    /// Time grouped by an arbitrary key.
+    pub fn time_by<K: Ord, F: Fn(&OpRecord) -> K>(&self, key: F) -> BTreeMap<K, f64> {
+        let mut out = BTreeMap::new();
+        for t in &self.ops {
+            *out.entry(key(&t.op)).or_insert(0.0) += t.time_us;
+        }
+        out
+    }
+
+    /// Time per fine-grained [`Category`].
+    #[must_use]
+    pub fn time_by_category(&self) -> BTreeMap<Category, f64> {
+        self.time_by(|o| o.category)
+    }
+
+    /// Time per coarse [`Group`] — the paper's Fig. 3 stacking.
+    #[must_use]
+    pub fn time_by_group(&self) -> BTreeMap<Group, f64> {
+        self.time_by(|o| o.category.group())
+    }
+
+    /// Time per training [`Phase`].
+    #[must_use]
+    pub fn time_by_phase(&self) -> BTreeMap<Phase, f64> {
+        self.time_by(|o| o.phase)
+    }
+
+    /// Fraction of total time spent in a group (0 when the profile is empty).
+    #[must_use]
+    pub fn group_fraction(&self, group: Group) -> f64 {
+        let total = self.total_us();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.time_by_group().get(&group).copied().unwrap_or(0.0) / total
+    }
+
+    /// Fraction of total time spent in a category.
+    #[must_use]
+    pub fn category_fraction(&self, category: Category) -> f64 {
+        let total = self.total_us();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.time_by_category().get(&category).copied().unwrap_or(0.0) / total
+    }
+
+    /// The `n` most expensive kernels, sorted by descending time — the view
+    /// a profiler user reaches for first.
+    #[must_use]
+    pub fn top_kernels(&self, n: usize) -> Vec<&TimedOp> {
+        let mut refs: Vec<&TimedOp> = self.ops.iter().collect();
+        refs.sort_by(|a, b| b.time_us.total_cmp(&a.time_us));
+        refs.truncate(n);
+        refs
+    }
+
+    /// Fraction of time spent in ops that manifest as (batched) GEMMs.
+    #[must_use]
+    pub fn gemm_fraction(&self) -> f64 {
+        let total = self.total_us();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.ops.iter().filter(|t| t.op.is_gemm()).map(|t| t.time_us).sum::<f64>() / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertscope_tensor::{DType, OpKind};
+
+    fn op(cat: Category, flops: u64, bytes: u64) -> OpRecord {
+        OpRecord {
+            name: format!("{cat}"),
+            kind: OpKind::ElementWise,
+            category: cat,
+            phase: Phase::Forward,
+            layer: None,
+            gemm: None,
+            flops,
+            bytes_read: bytes,
+            bytes_written: 0,
+            dtype: DType::F32,
+        }
+    }
+
+    #[test]
+    fn aggregations_are_consistent() {
+        let gpu = GpuModel::mi100();
+        let ops = vec![
+            op(Category::Gelu, 1000, 1 << 20),
+            op(Category::LambStage1, 10, 1 << 22),
+            op(Category::Gelu, 1000, 1 << 20),
+        ];
+        let p = IterationProfile::from_ops(&gpu, ops);
+        assert_eq!(p.kernel_count(), 3);
+        let by_cat = p.time_by_category();
+        let sum: f64 = by_cat.values().sum();
+        assert!((sum - p.total_us()).abs() < 1e-9);
+        let gelu_frac = p.category_fraction(Category::Gelu);
+        let lamb_frac = p.group_fraction(Group::Lamb);
+        assert!((gelu_frac + lamb_frac - 1.0).abs() < 1e-9);
+        assert_eq!(p.gemm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn empty_profile_has_zero_fractions() {
+        let p = IterationProfile::default();
+        assert_eq!(p.total_us(), 0.0);
+        assert_eq!(p.group_fraction(Group::Lamb), 0.0);
+        assert_eq!(p.gemm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn top_kernels_are_sorted_and_bounded() {
+        let gpu = GpuModel::mi100();
+        let p = IterationProfile::from_ops(
+            &gpu,
+            vec![
+                op(Category::Gelu, 0, 1 << 24),
+                op(Category::Gelu, 0, 1 << 12),
+                op(Category::Gelu, 0, 1 << 28),
+            ],
+        );
+        let top = p.top_kernels(2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].time_us >= top[1].time_us);
+        assert_eq!(top[0].op.bytes_read, 1 << 28);
+        // Asking for more than exist returns all.
+        assert_eq!(p.top_kernels(10).len(), 3);
+    }
+
+    #[test]
+    fn bigger_ops_take_longer() {
+        let gpu = GpuModel::mi100();
+        let p = IterationProfile::from_ops(
+            &gpu,
+            vec![op(Category::Gelu, 0, 1 << 16), op(Category::Gelu, 0, 1 << 28)],
+        );
+        assert!(p.ops()[1].time_us > 10.0 * p.ops()[0].time_us);
+    }
+}

@@ -1,0 +1,193 @@
+//! Roofline classification and cross-device extrapolation (paper §2.6, §7).
+//!
+//! The paper's argument for platform independence is that every takeaway
+//! reduces to an operator's arithmetic intensity relative to a device's
+//! *ridge point* (peak FLOPS / peak bandwidth): memory-bound operators stay
+//! memory-bound on any device with a similar or higher ratio, and runtime
+//! proportions "can be approximately extrapolated to another device by
+//! comparing the device's compute and memory bandwidth ratios". This module
+//! makes both operations first-class.
+
+use crate::profile::IterationProfile;
+use bertscope_device::GpuModel;
+use bertscope_tensor::{Category, OpRecord};
+use std::collections::BTreeMap;
+
+/// Whether an operation is limited by arithmetic or by memory on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Boundedness {
+    /// Arithmetic-limited: intensity above the device's ridge point.
+    ComputeBound,
+    /// Bandwidth-limited: intensity below the ridge point.
+    MemoryBound,
+}
+
+/// The ridge point of `gpu` for an op of the given kind/precision:
+/// achievable FLOPS divided by achievable bandwidth, in ops/byte.
+#[must_use]
+pub fn ridge_point(gpu: &GpuModel, op: &OpRecord) -> f64 {
+    let peak_flops = gpu.peak_flops(op.kind, op.dtype) * gpu.max_gemm_efficiency;
+    let peak_bw = gpu.mem_bw_gbps * 1.0e9 * gpu.max_mem_efficiency;
+    peak_flops / peak_bw
+}
+
+/// Classify one op on a device.
+#[must_use]
+pub fn classify(gpu: &GpuModel, op: &OpRecord) -> Boundedness {
+    if op.arithmetic_intensity() >= ridge_point(gpu, op) {
+        Boundedness::ComputeBound
+    } else {
+        Boundedness::MemoryBound
+    }
+}
+
+/// Classify every category of an op stream: a category is memory-bound when
+/// the majority of its time-weighted ops are.
+#[must_use]
+pub fn classify_categories(gpu: &GpuModel, ops: &[OpRecord]) -> BTreeMap<Category, Boundedness> {
+    let mut votes: BTreeMap<Category, (f64, f64)> = BTreeMap::new();
+    for op in ops {
+        let t = gpu.op_time_us(op);
+        let e = votes.entry(op.category).or_insert((0.0, 0.0));
+        match classify(gpu, op) {
+            Boundedness::ComputeBound => e.0 += t,
+            Boundedness::MemoryBound => e.1 += t,
+        }
+    }
+    votes
+        .into_iter()
+        .map(|(c, (cb, mb))| {
+            (c, if cb >= mb { Boundedness::ComputeBound } else { Boundedness::MemoryBound })
+        })
+        .collect()
+}
+
+/// Extrapolate a profile measured on `from` to a hypothetical device `to`
+/// using only the compute and bandwidth ratios — the paper's §7 recipe.
+///
+/// Each op's time is scaled by the compute ratio if it is compute-bound on
+/// `from`, else by the bandwidth ratio. This deliberately ignores
+/// shape-dependent efficiency (that is the point: it is the *approximate*
+/// method the paper says practitioners can use), so comparing it against a
+/// full re-simulation quantifies the recipe's accuracy.
+#[must_use]
+pub fn extrapolate(profile: &IterationProfile, from: &GpuModel, to: &GpuModel) -> f64 {
+    let bw_ratio = from.mem_bw_gbps / to.mem_bw_gbps;
+    profile
+        .ops()
+        .iter()
+        .map(|t| {
+            let compute_ratio = from.peak_flops(t.op.kind, t.op.dtype)
+                / to.peak_flops(t.op.kind, t.op.dtype);
+            match classify(from, &t.op) {
+                Boundedness::ComputeBound => t.time_us * compute_ratio,
+                Boundedness::MemoryBound => t.time_us * bw_ratio,
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::simulate_iteration;
+    use bertscope_model::{BertConfig, GraphOptions};
+
+    fn profile_and_ops() -> (GpuModel, IterationProfile, Vec<OpRecord>) {
+        let gpu = GpuModel::mi100();
+        let cfg = BertConfig::bert_large();
+        let ops = bertscope_model::build_iteration(&cfg, &GraphOptions::default());
+        let p = simulate_iteration(&cfg, &GraphOptions::default(), &gpu);
+        (gpu, p, ops)
+    }
+
+    #[test]
+    fn fc_gemms_compute_bound_nongemms_memory_bound() {
+        // The classification that underlies every paper takeaway.
+        let (gpu, _, ops) = profile_and_ops();
+        let classes = classify_categories(&gpu, &ops);
+        assert_eq!(classes[&Category::FcGemm], Boundedness::ComputeBound);
+        assert_eq!(classes[&Category::AttnLinear], Boundedness::ComputeBound);
+        for cat in [
+            Category::Gelu,
+            Category::DropResidualNorm,
+            Category::ScaleMaskSoftmaxDropout,
+            Category::LambStage1,
+            Category::LambStage2,
+            Category::Embedding,
+        ] {
+            assert_eq!(classes[&cat], Boundedness::MemoryBound, "{cat}");
+        }
+    }
+
+    #[test]
+    fn attention_bgemms_are_memory_bound_gemms() {
+        // Takeaway 6 in roofline terms: GEMMs that sit below the ridge.
+        let (gpu, _, ops) = profile_and_ops();
+        let classes = classify_categories(&gpu, &ops);
+        assert_eq!(classes[&Category::AttnBgemm], Boundedness::MemoryBound);
+    }
+
+    #[test]
+    fn ridge_point_is_higher_for_matrix_cores() {
+        let gpu = GpuModel::mi100();
+        let mk = |kind, dtype| OpRecord {
+            name: "x".into(),
+            kind,
+            category: Category::FcGemm,
+            phase: bertscope_tensor::Phase::Forward,
+            layer: None,
+            gemm: None,
+            flops: 1,
+            bytes_read: 1,
+            bytes_written: 0,
+            dtype,
+        };
+        use bertscope_tensor::{DType, OpKind};
+        let gemm_ridge = ridge_point(&gpu, &mk(OpKind::Gemm, DType::F32));
+        let ew_ridge = ridge_point(&gpu, &mk(OpKind::ElementWise, DType::F32));
+        assert!(gemm_ridge > ew_ridge, "{gemm_ridge} vs {ew_ridge}");
+        let f16_ridge = ridge_point(&gpu, &mk(OpKind::Gemm, DType::F16));
+        assert!(f16_ridge > 2.0 * gemm_ridge, "f16 matrix cores raise the ridge");
+    }
+
+    #[test]
+    fn extrapolation_to_the_same_device_is_identity() {
+        let (gpu, p, _) = profile_and_ops();
+        let t = extrapolate(&p, &gpu, &gpu);
+        assert!((t - p.total_us()).abs() / p.total_us() < 1e-9);
+    }
+
+    #[test]
+    fn extrapolation_tracks_full_resimulation_within_20_pct() {
+        // The paper's claim: proportions/runtimes extrapolate approximately
+        // via compute/bandwidth ratios. Check against a 2x-compute device.
+        let (gpu, p, _) = profile_and_ops();
+        let faster = gpu.scaled_compute(2.0);
+        let extrapolated = extrapolate(&p, &gpu, &faster);
+        let resimulated = simulate_iteration(
+            &BertConfig::bert_large(),
+            &GraphOptions::default(),
+            &faster,
+        )
+        .total_us();
+        let err = (extrapolated - resimulated).abs() / resimulated;
+        assert!(err < 0.2, "extrapolation error {err}");
+    }
+
+    #[test]
+    fn memory_bound_ops_ignore_compute_scaling_in_extrapolation() {
+        let (gpu, p, _) = profile_and_ops();
+        let faster = gpu.scaled_compute(100.0);
+        let t = extrapolate(&p, &gpu, &faster);
+        // The floor is the memory-bound time, which never shrinks.
+        let mem_floor: f64 = p
+            .ops()
+            .iter()
+            .filter(|o| classify(&gpu, &o.op) == Boundedness::MemoryBound)
+            .map(|o| o.time_us)
+            .sum();
+        assert!(t >= mem_floor);
+        assert!(t < p.total_us());
+    }
+}

@@ -1,0 +1,132 @@
+//! Top-level single-device simulation entry points.
+
+use crate::profile::IterationProfile;
+use bertscope_device::GpuModel;
+use bertscope_model::{build_iteration, BertConfig, GraphOptions};
+
+/// Simulate one training iteration of `cfg` with `opts` on `gpu`.
+///
+/// This is the suite's equivalent of the paper's "profile a single training
+/// iteration after warm-up" (§3.1.4): BERT iterations are homogeneous
+/// within a phase, so one iteration characterizes the phase.
+#[must_use]
+pub fn simulate_iteration(cfg: &BertConfig, opts: &GraphOptions, gpu: &GpuModel) -> IterationProfile {
+    IterationProfile::from_ops(gpu, build_iteration(cfg, opts))
+}
+
+/// Simulate one fine-tuning iteration (paper §7): same Transformer stack
+/// and optimizer, SQuAD-style span head instead of the pre-training heads.
+#[must_use]
+pub fn simulate_finetune(cfg: &BertConfig, opts: &GraphOptions, gpu: &GpuModel) -> IterationProfile {
+    IterationProfile::from_ops(gpu, bertscope_model::build_finetune(cfg, opts))
+}
+
+/// A labelled experiment configuration in the paper's naming scheme,
+/// e.g. `Ph1-B32-FP32`.
+#[derive(Debug, Clone)]
+pub struct NamedConfig {
+    /// The paper-style label.
+    pub label: String,
+    /// Model + input configuration.
+    pub config: BertConfig,
+    /// Graph options (precision, optimizer, ...).
+    pub options: GraphOptions,
+}
+
+impl NamedConfig {
+    /// Construct a `Ph{1,2}-B{b}-FP{32,16}` configuration of BERT-Large,
+    /// matching Fig. 3's x-axis labels.
+    #[must_use]
+    pub fn phase_batch(phase: u8, batch: usize, mixed: bool) -> Self {
+        use bertscope_model::Precision;
+        let base = BertConfig::bert_large();
+        let config = if phase == 2 { base.phase2(batch) } else { base.phase1(batch) };
+        let precision = if mixed { Precision::Mixed } else { Precision::Fp32 };
+        let bits = if mixed { 16 } else { 32 };
+        NamedConfig {
+            label: format!("Ph{}-B{batch}-FP{bits}", if phase == 2 { 2 } else { 1 }),
+            config,
+            options: GraphOptions { precision, ..GraphOptions::default() },
+        }
+    }
+
+    /// Simulate this configuration on `gpu`.
+    #[must_use]
+    pub fn simulate(&self, gpu: &GpuModel) -> IterationProfile {
+        simulate_iteration(&self.config, &self.options, gpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertscope_model::Precision;
+    use bertscope_tensor::{Category, Group};
+
+    #[test]
+    fn bert_large_iteration_is_hundreds_of_milliseconds() {
+        // The paper's testbed runs Ph1-B32-FP32 iterations in the
+        // hundreds-of-ms range on an MI100; the model should land in the
+        // same regime (order of magnitude, not exact).
+        let p = simulate_iteration(
+            &BertConfig::bert_large(),
+            &GraphOptions::default(),
+            &GpuModel::mi100(),
+        );
+        let ms = p.total_us() / 1000.0;
+        assert!((100.0..2000.0).contains(&ms), "iteration time {ms} ms");
+    }
+
+    #[test]
+    fn transformer_layers_dominate_runtime() {
+        // Paper Obs. 1: 68-85% in Transformer layers.
+        let p = simulate_iteration(
+            &BertConfig::bert_large(),
+            &GraphOptions::default(),
+            &GpuModel::mi100(),
+        );
+        let f = p.group_fraction(Group::Transformer);
+        assert!((0.6..0.9).contains(&f), "transformer fraction {f}");
+        // Embedding is negligible; output small.
+        assert!(p.group_fraction(Group::Embedding) < 0.02);
+        assert!(p.group_fraction(Group::Output) < 0.12);
+    }
+
+    #[test]
+    fn named_configs_have_paper_labels() {
+        let c = NamedConfig::phase_batch(1, 32, false);
+        assert_eq!(c.label, "Ph1-B32-FP32");
+        assert_eq!(c.config.seq_len, 128);
+        let c = NamedConfig::phase_batch(2, 4, true);
+        assert_eq!(c.label, "Ph2-B4-FP16");
+        assert_eq!(c.config.seq_len, 512);
+        assert_eq!(c.options.precision, Precision::Mixed);
+    }
+
+    #[test]
+    fn finetuning_profile_keeps_transformer_dominance_with_tiny_output() {
+        // Paper §7: fine-tuning's output layer is negligible; Transformer
+        // layers still dominate and LAMB keeps its share.
+        let gpu = GpuModel::mi100();
+        let ft = simulate_finetune(&BertConfig::bert_large(), &GraphOptions::default(), &gpu);
+        assert!(ft.group_fraction(Group::Transformer) > 0.85);
+        assert!(ft.group_fraction(Group::Output) < 0.01, "output {}", ft.group_fraction(Group::Output));
+        assert!(ft.group_fraction(Group::Lamb) > 0.05);
+        // The most expensive kernels are Transformer GEMMs and the big
+        // LAMB/grad-norm sweeps — never the task head.
+        for t in ft.top_kernels(5) {
+            let acceptable = t.op.is_gemm() || t.op.phase == bertscope_tensor::Phase::Update;
+            assert!(acceptable, "{}", t.op.name);
+            assert_ne!(t.op.category, Category::Output, "{}", t.op.name);
+        }
+    }
+
+    #[test]
+    fn mixed_precision_iteration_is_faster() {
+        let gpu = GpuModel::mi100();
+        let fp32 = NamedConfig::phase_batch(1, 32, false).simulate(&gpu);
+        let fp16 = NamedConfig::phase_batch(1, 32, true).simulate(&gpu);
+        let speedup = fp32.total_us() / fp16.total_us();
+        assert!(speedup > 1.4, "MP speedup {speedup}");
+    }
+}

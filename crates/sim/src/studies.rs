@@ -1,0 +1,312 @@
+//! What-if studies: activation checkpointing (paper §4), kernel fusion
+//! (§6.1, Fig. 12) and near-memory compute (§6.2.1).
+
+use crate::profile::IterationProfile;
+use crate::simulate::simulate_iteration;
+use bertscope_device::{GpuModel, NmcModel};
+use bertscope_model::{
+    adam_fusion_case, build_iteration, layernorm_fusion_case, optimizer_ops, BertConfig,
+    FusionCase, GraphOptions,
+};
+use bertscope_tensor::{DType, Group};
+
+/// Result of the activation-checkpointing study (paper §4).
+#[derive(Debug, Clone)]
+pub struct CheckpointStudy {
+    /// Kernel-count increase factor minus one (paper: ~0.33).
+    pub kernel_increase: f64,
+    /// Runtime increase factor minus one (paper: ~0.27).
+    pub runtime_increase: f64,
+    /// LAMB share without checkpointing.
+    pub lamb_share_base: f64,
+    /// LAMB share with checkpointing (drops, since LAMB is unaffected).
+    pub lamb_share_checkpointed: f64,
+}
+
+/// Run the checkpointing study for a configuration.
+#[must_use]
+pub fn checkpoint_study(cfg: &BertConfig, opts: &GraphOptions, gpu: &GpuModel) -> CheckpointStudy {
+    let base = simulate_iteration(cfg, opts, gpu);
+    let ck = simulate_iteration(cfg, &GraphOptions { checkpoint: true, ..*opts }, gpu);
+    CheckpointStudy {
+        kernel_increase: ck.kernel_count() as f64 / base.kernel_count() as f64 - 1.0,
+        runtime_increase: ck.total_us() / base.total_us() - 1.0,
+        lamb_share_base: base.group_fraction(Group::Lamb),
+        lamb_share_checkpointed: ck.group_fraction(Group::Lamb),
+    }
+}
+
+/// Timed outcome of one fusion case (one bar triple of paper Fig. 12a).
+#[derive(Debug, Clone)]
+pub struct FusionStudyRow {
+    /// Case name (`"layernorm"`, `"adam"`).
+    pub name: String,
+    /// Unfused/fused kernel-count ratio.
+    pub kernel_ratio: f64,
+    /// Unfused/fused memory-traffic ratio.
+    pub bytes_ratio: f64,
+    /// Unfused/fused modelled-runtime ratio.
+    pub runtime_ratio: f64,
+}
+
+fn time_case(gpu: &GpuModel, case: &FusionCase) -> FusionStudyRow {
+    let unfused: f64 = case.unfused.iter().map(|o| gpu.op_time_us(o)).sum();
+    let fused: f64 = case.fused.iter().map(|o| gpu.op_time_us(o)).sum();
+    FusionStudyRow {
+        name: case.name.clone(),
+        kernel_ratio: case.kernel_ratio(),
+        bytes_ratio: case.bytes_ratio(),
+        runtime_ratio: unfused / fused,
+    }
+}
+
+/// The Fig. 12a study: LayerNorm and Adam fusion on BERT-Large shapes.
+#[must_use]
+pub fn figure12a_study(cfg: &BertConfig, gpu: &GpuModel) -> Vec<FusionStudyRow> {
+    let ln = layernorm_fusion_case(cfg.tokens(), cfg.d_model, DType::F32);
+    let adam = adam_fusion_case(cfg);
+    vec![time_case(gpu, &ln), time_case(gpu, &adam)]
+}
+
+/// One point of the Fig. 12b study: fused vs serial Q/K/V projection GEMMs
+/// at a given token count.
+#[derive(Debug, Clone)]
+pub struct QkvFusionPoint {
+    /// Tokens per iteration (`n * B`).
+    pub tokens: usize,
+    /// Speedup of the fused forward GEMM over three serial GEMMs.
+    pub fwd_speedup: f64,
+    /// Speedup of the fused backward (activation + weight gradient) GEMMs.
+    pub bwd_speedup: f64,
+}
+
+/// The Fig. 12b study: fused-QKV speedup across a token-count sweep
+/// (paper: up to ~62% improvement, larger for smaller inputs).
+#[must_use]
+pub fn figure12b_study(gpu: &GpuModel, batches: &[usize]) -> Vec<QkvFusionPoint> {
+    use bertscope_model::{fused_qkv_spec, gemm_spec, GemmPass, GemmSite};
+    use bertscope_tensor::{Category, OpKind, OpRecord, Phase};
+    let to_op = |spec: bertscope_tensor::GemmSpec, phase: Phase| OpRecord {
+        name: "qkv".into(),
+        kind: OpKind::Gemm,
+        category: Category::AttnLinear,
+        phase,
+        layer: None,
+        gemm: Some(spec),
+        flops: spec.flops(),
+        bytes_read: spec.bytes_read(DType::F32),
+        bytes_written: spec.bytes_written(DType::F32),
+        dtype: DType::F32,
+    };
+    batches
+        .iter()
+        .map(|&b| {
+            let cfg = BertConfig::bert_large().phase1(b);
+            let serial_fwd = 3.0
+                * gpu.op_time_us(&to_op(
+                    gemm_spec(&cfg, GemmSite::Linear, GemmPass::Forward),
+                    Phase::Forward,
+                ));
+            let fused_fwd =
+                gpu.op_time_us(&to_op(fused_qkv_spec(&cfg, GemmPass::Forward), Phase::Forward));
+            let serial_bwd: f64 = [GemmPass::BwdGradActivation, GemmPass::BwdGradWeight]
+                .iter()
+                .map(|&p| {
+                    3.0 * gpu.op_time_us(&to_op(
+                        gemm_spec(&cfg, GemmSite::Linear, p),
+                        Phase::Backward,
+                    ))
+                })
+                .sum();
+            let fused_bwd: f64 = [GemmPass::BwdGradActivation, GemmPass::BwdGradWeight]
+                .iter()
+                .map(|&p| gpu.op_time_us(&to_op(fused_qkv_spec(&cfg, p), Phase::Backward)))
+                .sum();
+            QkvFusionPoint {
+                tokens: cfg.tokens(),
+                fwd_speedup: serial_fwd / fused_fwd,
+                bwd_speedup: serial_bwd / fused_bwd,
+            }
+        })
+        .collect()
+}
+
+/// One row of the precision sweep: a precision mode with the shares that
+/// shift as arithmetic gets cheaper.
+#[derive(Debug, Clone)]
+pub struct PrecisionPoint {
+    /// Mode label (`"FP32"`, `"FP16"`, `"BF16"`).
+    pub label: String,
+    /// Iteration time in microseconds.
+    pub total_us: f64,
+    /// GEMM share of runtime.
+    pub gemm_fraction: f64,
+    /// LAMB share of runtime.
+    pub lamb_fraction: f64,
+}
+
+/// Sweep the precision modes for one configuration — the paper's §3.2.1
+/// projection that reduced precision keeps shrinking GEMM time while the
+/// FP32 optimizer becomes ever more dominant.
+#[must_use]
+pub fn precision_sweep(cfg: &BertConfig, gpu: &GpuModel) -> Vec<PrecisionPoint> {
+    use bertscope_model::Precision;
+    [("FP32", Precision::Fp32), ("FP16", Precision::Mixed), ("BF16", Precision::MixedBf16)]
+        .into_iter()
+        .map(|(label, precision)| {
+            let p = simulate_iteration(
+                cfg,
+                &GraphOptions { precision, ..GraphOptions::default() },
+                gpu,
+            );
+            PrecisionPoint {
+                label: label.into(),
+                total_us: p.total_us(),
+                gemm_fraction: p.gemm_fraction(),
+                lamb_fraction: p.group_fraction(Group::Lamb),
+            }
+        })
+        .collect()
+}
+
+/// Result of the near-memory-compute study (paper §6.2.1).
+#[derive(Debug, Clone)]
+pub struct NmcStudy {
+    /// LAMB speedup of NMC execution over the paper's optimistic GPU model
+    /// (paper: ~3.8x).
+    pub lamb_speedup_vs_optimistic_gpu: f64,
+    /// End-to-end iteration speedup from offloading LAMB to NMC
+    /// (paper: 5-22% across configurations).
+    pub end_to_end_improvement: f64,
+}
+
+/// Run the NMC study: offload every LAMB op to the in-memory ALUs, leave
+/// everything else on the GPU.
+#[must_use]
+pub fn nmc_study(cfg: &BertConfig, opts: &GraphOptions, gpu: &GpuModel, nmc: &NmcModel) -> NmcStudy {
+    let all_ops = build_iteration(cfg, opts);
+    let lamb_ops = optimizer_ops(cfg, opts);
+    debug_assert!(lamb_ops.iter().all(NmcModel::can_offload));
+
+    let base = IterationProfile::from_ops(gpu, all_ops.clone());
+    let base_total = base.total_us();
+    let gpu_lamb: f64 = lamb_ops.iter().map(|o| gpu.op_time_us(o)).sum();
+    let nmc_lamb = nmc.total_time_us(&lamb_ops);
+    let optimistic_gpu = NmcModel::optimistic_gpu_time_us(gpu, &lamb_ops);
+
+    let new_total = base_total - gpu_lamb + nmc_lamb;
+    NmcStudy {
+        lamb_speedup_vs_optimistic_gpu: optimistic_gpu / nmc_lamb,
+        end_to_end_improvement: base_total / new_total - 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertscope_model::Precision;
+
+    #[test]
+    fn checkpointing_matches_paper_section4() {
+        // Paper: ~33% more kernels, ~27% more runtime, LAMB share drops.
+        let s = checkpoint_study(
+            &BertConfig::bert_large(),
+            &GraphOptions::default(),
+            &GpuModel::mi100(),
+        );
+        assert!((0.25..0.45).contains(&s.kernel_increase), "kernels +{}", s.kernel_increase);
+        assert!((0.18..0.40).contains(&s.runtime_increase), "runtime +{}", s.runtime_increase);
+        assert!(s.runtime_increase < s.kernel_increase, "recompute is cheaper than average work");
+        assert!(s.lamb_share_checkpointed < s.lamb_share_base);
+    }
+
+    #[test]
+    fn fig12a_layernorm_fusion_ratios_track_each_other() {
+        // Paper: for LayerNorm, runtime and traffic scale with kernel count
+        // (all ~6-8x).
+        let rows = figure12a_study(&BertConfig::bert_large(), &GpuModel::mi100());
+        let ln = rows.iter().find(|r| r.name == "layernorm").unwrap();
+        assert!((5.0..9.0).contains(&ln.kernel_ratio), "ln kernels {}", ln.kernel_ratio);
+        assert!((5.0..9.0).contains(&ln.bytes_ratio), "ln bytes {}", ln.bytes_ratio);
+        assert!((4.0..10.0).contains(&ln.runtime_ratio), "ln runtime {}", ln.runtime_ratio);
+    }
+
+    #[test]
+    fn fig12a_adam_kernel_ratio_disproportionate_to_runtime() {
+        // Paper: Adam kernel count drops ~250x but runtime/traffic only
+        // ~6-8x (little cross-layer reuse).
+        let rows = figure12a_study(&BertConfig::bert_large(), &GpuModel::mi100());
+        let adam = rows.iter().find(|r| r.name == "adam").unwrap();
+        assert!(adam.kernel_ratio > 150.0, "adam kernels {}", adam.kernel_ratio);
+        assert!(adam.bytes_ratio < 6.0, "adam bytes {}", adam.bytes_ratio);
+        assert!(
+            adam.kernel_ratio > 10.0 * adam.runtime_ratio,
+            "kernel ratio {} vs runtime ratio {}",
+            adam.kernel_ratio,
+            adam.runtime_ratio
+        );
+        // Runtime still improves meaningfully (launch overhead + traffic).
+        assert!(adam.runtime_ratio > 2.0);
+    }
+
+    #[test]
+    fn fig12b_fusion_helps_more_for_small_inputs() {
+        // Paper: up to ~62% speedup, larger when token count is small.
+        let gpu = GpuModel::mi100();
+        let pts = figure12b_study(&gpu, &[2, 8, 32]);
+        assert!(pts[0].fwd_speedup > pts[2].fwd_speedup, "small inputs benefit more");
+        assert!(pts[0].fwd_speedup > 1.3, "small-input speedup {}", pts[0].fwd_speedup);
+        for p in &pts {
+            assert!(p.fwd_speedup > 1.0 && p.bwd_speedup > 1.0, "fusion never hurts");
+        }
+    }
+
+    #[test]
+    fn precision_sweep_shifts_shares_as_the_paper_projects() {
+        // Reduced precision shrinks total time and GEMM share while raising
+        // the (FP32, constant-cost) LAMB share; bf16 behaves like f16 in the
+        // cost model (same bytes).
+        let pts = precision_sweep(&BertConfig::bert_large(), &GpuModel::mi100());
+        let get = |l: &str| pts.iter().find(|p| p.label == l).unwrap();
+        let (f32p, f16p, bf16p) = (get("FP32"), get("FP16"), get("BF16"));
+        assert!(f16p.total_us < f32p.total_us);
+        assert!(f16p.gemm_fraction < f32p.gemm_fraction);
+        assert!(f16p.lamb_fraction > 1.5 * f32p.lamb_fraction);
+        assert!((bf16p.total_us - f16p.total_us).abs() / f16p.total_us < 1e-9);
+        assert!((bf16p.lamb_fraction - f16p.lamb_fraction).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmc_lamb_speedup_and_end_to_end_match_paper() {
+        // Paper §6.2.1: 3.8x LAMB speedup; 5-22% end-to-end across configs.
+        let gpu = GpuModel::mi100();
+        let nmc = NmcModel::hbm2_per_bank();
+        let s = nmc_study(&BertConfig::bert_large(), &GraphOptions::default(), &gpu, &nmc);
+        assert!(
+            (3.0..4.5).contains(&s.lamb_speedup_vs_optimistic_gpu),
+            "LAMB speedup {}",
+            s.lamb_speedup_vs_optimistic_gpu
+        );
+        assert!(s.end_to_end_improvement > 0.02, "e2e {}", s.end_to_end_improvement);
+
+        // Small-batch mixed precision (Ph2-B4-FP16, the paper's most
+        // LAMB-heavy figure configuration) is the high end of the range.
+        let mp_small = nmc_study(
+            &BertConfig::bert_large().phase2(4),
+            &GraphOptions { precision: Precision::Mixed, ..GraphOptions::default() },
+            &gpu,
+            &nmc,
+        );
+        assert!(
+            mp_small.end_to_end_improvement > 2.0 * s.end_to_end_improvement,
+            "Ph2-B4-MP improvement {} should exceed B32-FP32 {}",
+            mp_small.end_to_end_improvement,
+            s.end_to_end_improvement
+        );
+        assert!(
+            (0.04..0.40).contains(&mp_small.end_to_end_improvement),
+            "e2e range {}",
+            mp_small.end_to_end_improvement
+        );
+    }
+}

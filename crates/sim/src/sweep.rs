@@ -1,0 +1,238 @@
+//! Configuration sweeps: the paper's Fig. 3 (phase/batch/precision matrix),
+//! Fig. 8 (input-size sweep) and Fig. 9 (layer-size sweep).
+
+use crate::profile::IterationProfile;
+use crate::simulate::{simulate_iteration, NamedConfig};
+use bertscope_device::GpuModel;
+use bertscope_model::{BertConfig, GraphOptions, LayerSizeConfig};
+
+/// A labelled simulated profile.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Configuration label (paper x-axis tick).
+    pub label: String,
+    /// The simulated profile.
+    pub profile: IterationProfile,
+}
+
+/// The Fig. 3 configuration matrix: `Ph1-B32-FP32`, `Ph1-B4-FP32`,
+/// `Ph2-B4-FP32`, `Ph1-B32-FP16`, `Ph2-B4-FP16`.
+#[must_use]
+pub fn figure3_sweep(gpu: &GpuModel) -> Vec<SweepPoint> {
+    [(1u8, 32usize, false), (1, 4, false), (2, 4, false), (1, 32, true), (2, 4, true)]
+        .into_iter()
+        .map(|(ph, b, mp)| {
+            let nc = NamedConfig::phase_batch(ph, b, mp);
+            SweepPoint { label: nc.label.clone(), profile: nc.simulate(gpu) }
+        })
+        .collect()
+}
+
+/// The Fig. 8 input-size sweep: `B in {4, 16, 32}` at `n = 128`, plus the
+/// token-count-matched `n = 512, B = 4` point.
+#[must_use]
+pub fn figure8_sweep(gpu: &GpuModel) -> Vec<SweepPoint> {
+    let mut out: Vec<SweepPoint> = [4usize, 16, 32]
+        .into_iter()
+        .map(|b| {
+            let nc = NamedConfig::phase_batch(1, b, false);
+            SweepPoint { label: format!("n128-B{b}"), profile: nc.simulate(gpu) }
+        })
+        .collect();
+    let nc = NamedConfig::phase_batch(2, 4, false);
+    out.push(SweepPoint { label: "n512-B4".into(), profile: nc.simulate(gpu) });
+    out
+}
+
+/// The Fig. 9 layer-size sweep: C1 (half), C2 (BERT-Large), C3 (double,
+/// Megatron-like), all at Phase-1 inputs.
+#[must_use]
+pub fn figure9_sweep(gpu: &GpuModel) -> Vec<SweepPoint> {
+    [(LayerSizeConfig::C1, "C1"), (LayerSizeConfig::C2, "C2"), (LayerSizeConfig::C3, "C3")]
+        .into_iter()
+        .map(|(which, label)| SweepPoint {
+            label: label.into(),
+            profile: simulate_iteration(
+                &BertConfig::figure9(which),
+                &GraphOptions::default(),
+                gpu,
+            ),
+        })
+        .collect()
+}
+
+/// Simulate every model in the §2.3 zoo, demonstrating that the paper's
+/// takeaways transfer to BERT-structured models at other sizes.
+#[must_use]
+pub fn model_zoo_sweep(gpu: &GpuModel) -> Vec<SweepPoint> {
+    bertscope_model::model_zoo()
+        .into_iter()
+        .map(|e| SweepPoint {
+            label: e.name.to_owned(),
+            profile: simulate_iteration(&e.config, &GraphOptions::default(), gpu),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertscope_tensor::{Category, Group};
+
+    #[test]
+    fn fig3_lamb_share_grows_as_tokens_shrink() {
+        // Paper Takeaway 1: LAMB grows from ~7-10% (B32) to ~25% (B4).
+        let gpu = GpuModel::mi100();
+        let pts = figure3_sweep(&gpu);
+        let lamb = |label: &str| {
+            pts.iter()
+                .find(|p| p.label == label)
+                .unwrap()
+                .profile
+                .group_fraction(Group::Lamb)
+        };
+        let b32 = lamb("Ph1-B32-FP32");
+        let b4 = lamb("Ph1-B4-FP32");
+        assert!((0.04..0.12).contains(&b32), "Ph1-B32 LAMB {b32}");
+        assert!((0.15..0.30).contains(&b4), "Ph1-B4 LAMB {b4}");
+        assert!(b4 > 2.0 * b32);
+        // Takeaway 2: MP increases LAMB's share.
+        assert!(lamb("Ph1-B32-FP16") > 1.5 * b32);
+    }
+
+    #[test]
+    fn fig3_transformer_dominates_everywhere() {
+        // Paper Obs. 1: 68-85% across configurations (we allow a slightly
+        // wider modelled band).
+        let gpu = GpuModel::mi100();
+        for p in figure3_sweep(&gpu) {
+            let f = p.profile.group_fraction(Group::Transformer);
+            assert!((0.6..0.93).contains(&f), "{}: transformer {f}", p.label);
+            assert!(p.profile.group_fraction(Group::Embedding) < 0.02, "{}", p.label);
+            let out = p.profile.group_fraction(Group::Output);
+            assert!((0.01..0.10).contains(&out), "{}: output {out}", p.label);
+        }
+    }
+
+    #[test]
+    fn fig8_attention_share_jumps_with_sequence_length() {
+        // Paper Takeaway 10: n=512 (vs n=128 at the same token count)
+        // raises attention ops from ~7% to ~17%, B-GEMMs from ~3% to ~8%.
+        let gpu = GpuModel::mi100();
+        let pts = figure8_sweep(&gpu);
+        let attn_ops = |label: &str| {
+            let p = &pts.iter().find(|p| p.label == label).unwrap().profile;
+            p.category_fraction(Category::AttnBgemm)
+                + p.category_fraction(Category::ScaleMaskSoftmaxDropout)
+        };
+        let short = attn_ops("n128-B16");
+        let long = attn_ops("n512-B4");
+        assert!(long > 1.8 * short, "attention share: n128 {short} vs n512 {long}");
+        let bgemm_long = pts
+            .iter()
+            .find(|p| p.label == "n512-B4")
+            .unwrap()
+            .profile
+            .category_fraction(Category::AttnBgemm);
+        assert!((0.05..0.14).contains(&bgemm_long), "B-GEMM share at n512 {bgemm_long}");
+    }
+
+    #[test]
+    fn fig8_breakdown_is_stable_across_batch_at_fixed_n() {
+        // Paper Obs. 3: varying B at fixed n leaves the Transformer-layer
+        // breakdown largely unchanged (all layers scale linearly with B).
+        let gpu = GpuModel::mi100();
+        let pts = figure8_sweep(&gpu);
+        let frac = |label: &str, cat: Category| {
+            let p = &pts.iter().find(|p| p.label == label).unwrap().profile;
+            // Normalize within the transformer group so the LAMB shift does
+            // not mask the comparison.
+            let t = p.group_fraction(Group::Transformer);
+            p.category_fraction(cat) / t
+        };
+        for cat in [Category::FcGemm, Category::AttnLinear] {
+            let b16 = frac("n128-B16", cat);
+            let b32 = frac("n128-B32", cat);
+            assert!((b16 - b32).abs() / b32 < 0.2, "{cat}: B16 {b16} vs B32 {b32}");
+        }
+    }
+
+    #[test]
+    fn fig8_iteration_time_superlinear_in_n_linear_in_b() {
+        // Paper §3.3.1: iteration time increases super-linearly with n but
+        // roughly linearly with B.
+        let gpu = GpuModel::mi100();
+        let t = |ph: u8, b: usize| NamedConfig::phase_batch(ph, b, false).simulate(&gpu).total_us();
+        let b16 = t(1, 16);
+        let b32 = t(1, 32);
+        assert!(b32 / b16 < 2.1, "B scaling is ~linear");
+        // n512-B4 has the same token count as n128-B16 but costs more.
+        let n512 = t(2, 4);
+        assert!(n512 > 1.15 * b16, "n scaling is super-linear: {n512} vs {b16}");
+    }
+
+    #[test]
+    fn fig9_gemm_and_lamb_shares_grow_with_layer_width() {
+        // Paper Takeaway 11 + Fig. 9: C3's GEMM and LAMB proportions exceed
+        // C2's; LAMB reaches ~1/3 for C3... (quadratic parameter scaling).
+        let gpu = GpuModel::mi100();
+        let pts = figure9_sweep(&gpu);
+        let lamb = |l: &str| {
+            pts.iter().find(|p| p.label == l).unwrap().profile.group_fraction(Group::Lamb)
+        };
+        let gemm = |l: &str| pts.iter().find(|p| p.label == l).unwrap().profile.gemm_fraction();
+        assert!(lamb("C3") > lamb("C2"), "LAMB share grows with width");
+        assert!(lamb("C2") > lamb("C1"));
+        assert!(gemm("C3") > gemm("C2"), "GEMM share grows with width");
+        assert!(gemm("C2") > gemm("C1"));
+    }
+
+    #[test]
+    fn zoo_models_obey_the_papers_scaling_takeaways() {
+        let gpu = GpuModel::mi100();
+        let pts = model_zoo_sweep(&gpu);
+        let get = |l: &str| &pts.iter().find(|p| p.label == l).unwrap().profile;
+        // Transformer layers dominate every zoo model (Obs. 1 transfers).
+        for p in &pts {
+            assert!(
+                p.profile.group_fraction(Group::Transformer) > 0.6,
+                "{}: {}",
+                p.label,
+                p.profile.group_fraction(Group::Transformer)
+            );
+        }
+        // LAMB share grows with layer width (Takeaway 11): Megatron-3.9B
+        // (d=2560) vs BERT-Base (d=768), at comparable token counts.
+        assert!(
+            get("Megatron-BERT-3.9B").group_fraction(Group::Lamb)
+                > get("BERT-Base").group_fraction(Group::Lamb)
+        );
+        // GPT-2-XL's 1024-token context makes attention ops prominent
+        // (Takeaway 10 transfers to decoder-style models).
+        let attn = |l: &str| {
+            get(l).category_fraction(Category::AttnBgemm)
+                + get(l).category_fraction(Category::ScaleMaskSoftmaxDropout)
+        };
+        assert!(attn("GPT-2-XL") > 2.0 * attn("BERT-Large"));
+        // RoBERTa-Large is architecturally BERT-Large: identical profile.
+        assert!(
+            (get("RoBERTa-Large").total_us() - get("BERT-Large").total_us()).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn fig9_fc_grows_relative_to_attention_with_width() {
+        // Paper §3.3.2: FC runtime share increases vs attention as layers
+        // widen.
+        let gpu = GpuModel::mi100();
+        let pts = figure9_sweep(&gpu);
+        let ratio = |l: &str| {
+            let p = &pts.iter().find(|p| p.label == l).unwrap().profile;
+            p.category_fraction(Category::FcGemm)
+                / (p.category_fraction(Category::AttnBgemm)
+                    + p.category_fraction(Category::ScaleMaskSoftmaxDropout))
+        };
+        assert!(ratio("C3") > ratio("C2"));
+        assert!(ratio("C2") > ratio("C1"));
+    }
+}

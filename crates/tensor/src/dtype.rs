@@ -1,0 +1,242 @@
+//! Logical element types and software half-precision conversion.
+//!
+//! Tensors are always *stored* as `f32`, but carry a logical [`DType`]. When
+//! the logical type is [`DType::F16`] or [`DType::BF16`] values written into
+//! the tensor are rounded through the corresponding 16-bit representation
+//! (round-to-nearest-even), so reduced-precision execution is numerically
+//! faithful, and byte accounting (the quantity the paper's roofline analysis
+//! depends on) uses the 16-bit element size.
+
+use std::fmt;
+
+/// Logical element type of a tensor or an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum DType {
+    /// IEEE-754 binary32. The paper's "FP32"/single-precision runs.
+    #[default]
+    F32,
+    /// IEEE-754 binary16. The paper's mixed-precision ("FP16"/MP) runs use
+    /// this for forward/backward data while the optimizer stays in `F32`.
+    F16,
+    /// bfloat16: f32 with a truncated mantissa. Provided for completeness of
+    /// the precision sweep; the paper evaluates FP32 and FP16.
+    BF16,
+}
+
+impl DType {
+    /// Size in bytes of one element of this type.
+    ///
+    /// ```
+    /// use bertscope_tensor::DType;
+    /// assert_eq!(DType::F32.size_bytes(), 4);
+    /// assert_eq!(DType::F16.size_bytes(), 2);
+    /// ```
+    #[must_use]
+    pub const fn size_bytes(self) -> u64 {
+        match self {
+            DType::F32 => 4,
+            DType::F16 | DType::BF16 => 2,
+        }
+    }
+
+    /// Whether this is one of the 16-bit types.
+    #[must_use]
+    pub const fn is_half(self) -> bool {
+        matches!(self, DType::F16 | DType::BF16)
+    }
+
+    /// Round `x` through this type's representation and back to `f32`.
+    ///
+    /// For [`DType::F32`] this is the identity.
+    #[must_use]
+    pub fn quantize(self, x: f32) -> f32 {
+        match self {
+            DType::F32 => x,
+            DType::F16 => f16_bits_to_f32(f32_to_f16_bits(x)),
+            DType::BF16 => bf16_bits_to_f32(f32_to_bf16_bits(x)),
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F32 => "f32",
+            DType::F16 => "f16",
+            DType::BF16 => "bf16",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Convert an `f32` to IEEE binary16 bits with round-to-nearest-even.
+///
+/// Out-of-range magnitudes saturate to ±infinity, matching hardware
+/// conversion instructions.
+#[must_use]
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf or NaN. Preserve NaN-ness with a quiet bit.
+        return if mant == 0 { sign | 0x7c00 } else { sign | 0x7e00 };
+    }
+
+    // Re-bias the exponent from 127 to 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow -> inf
+    }
+    if unbiased >= -14 {
+        // Normal f16. Round mantissa from 23 to 10 bits, round-to-nearest-even.
+        let mant16 = mant >> 13;
+        let round_bit = (mant >> 12) & 1;
+        let sticky = mant & 0x0fff;
+        let mut h = sign | (((unbiased + 15) as u16) << 10) | mant16 as u16;
+        if round_bit == 1 && (sticky != 0 || (mant16 & 1) == 1) {
+            h = h.wrapping_add(1); // may carry into the exponent; that is correct rounding
+        }
+        return h;
+    }
+    if unbiased >= -24 {
+        // Subnormal f16.
+        let full = mant | 0x0080_0000; // implicit leading one
+        let shift = (-14 - unbiased) + 13;
+        let mant16 = full >> shift;
+        let round_bit = (full >> (shift - 1)) & 1;
+        let sticky = full & ((1u32 << (shift - 1)) - 1);
+        let mut h = sign | mant16 as u16;
+        if round_bit == 1 && (sticky != 0 || (mant16 & 1) == 1) {
+            h = h.wrapping_add(1);
+        }
+        return h;
+    }
+    sign // underflow to signed zero
+}
+
+/// Convert IEEE binary16 bits to an `f32`.
+#[must_use]
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = u32::from(h & 0x8000) << 16;
+    let exp = (h >> 10) & 0x1f;
+    let mant = u32::from(h & 0x03ff);
+
+    let bits = match (exp, mant) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal: the value is m * 2^-24, which is exactly
+            // representable in f32, so compute it directly.
+            let v = (m as f32) * 2.0f32.powi(-24);
+            return if sign == 0 { v } else { -v };
+        }
+        (0x1f, 0) => sign | 0x7f80_0000,
+        (0x1f, m) => sign | 0x7f80_0000 | (m << 13),
+        (e, m) => sign | ((u32::from(e) + 127 - 15) << 23) | (m << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Convert an `f32` to bfloat16 bits with round-to-nearest-even.
+#[must_use]
+pub fn f32_to_bf16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        return ((bits >> 16) as u16) | 0x0040; // quiet the NaN
+    }
+    let round_bit = (bits >> 15) & 1;
+    let sticky = bits & 0x7fff;
+    let mut b = (bits >> 16) as u16;
+    if round_bit == 1 && (sticky != 0 || (b & 1) == 1) {
+        b = b.wrapping_add(1);
+    }
+    b
+}
+
+/// Convert bfloat16 bits to an `f32`.
+#[must_use]
+pub fn bf16_bits_to_f32(b: u16) -> f32 {
+    f32::from_bits(u32::from(b) << 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_roundtrip_exact_values() {
+        for &v in &[0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.25] {
+            let h = f32_to_f16_bits(v);
+            assert_eq!(f16_bits_to_f32(h), v, "value {v} should round-trip exactly");
+        }
+    }
+
+    #[test]
+    fn f16_overflow_saturates_to_inf() {
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1.0e6)), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(-1.0e6)), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn f16_underflow_to_zero() {
+        let q = DType::F16.quantize(1.0e-10);
+        assert_eq!(q, 0.0);
+        assert!(DType::F16.quantize(-1.0e-10).is_sign_negative());
+    }
+
+    #[test]
+    fn f16_subnormals_roundtrip() {
+        // Smallest positive f16 subnormal is 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(DType::F16.quantize(tiny), tiny);
+        // Largest subnormal.
+        let sub = 2.0f32.powi(-14) - 2.0f32.powi(-24);
+        assert_eq!(DType::F16.quantize(sub), sub);
+    }
+
+    #[test]
+    fn f16_rounding_is_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10 in f16;
+        // nearest-even rounds down to 1.0.
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(DType::F16.quantize(halfway), 1.0);
+        // Slightly above halfway rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-16);
+        assert_eq!(DType::F16.quantize(above), 1.0 + 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn f16_nan_preserved() {
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn bf16_roundtrip_and_rounding() {
+        assert_eq!(DType::BF16.quantize(1.0), 1.0);
+        assert_eq!(DType::BF16.quantize(-2.5), -2.5);
+        // bf16 keeps the f32 exponent range: no overflow at 1e6.
+        assert!((DType::BF16.quantize(1.0e6) - 1.0e6).abs() / 1.0e6 < 0.01);
+        assert!(bf16_bits_to_f32(f32_to_bf16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn quantize_error_is_bounded() {
+        // Relative error of f16 rounding is at most 2^-11 for normal values.
+        let mut x = 0.001f32;
+        while x < 1000.0 {
+            let q = DType::F16.quantize(x);
+            assert!((q - x).abs() / x <= 2.0f32.powi(-11) + f32::EPSILON, "x={x} q={q}");
+            x *= 1.7;
+        }
+    }
+
+    #[test]
+    fn dtype_display_and_sizes() {
+        assert_eq!(DType::F32.to_string(), "f32");
+        assert_eq!(DType::F16.to_string(), "f16");
+        assert_eq!(DType::BF16.to_string(), "bf16");
+        assert!(DType::F16.is_half() && DType::BF16.is_half() && !DType::F32.is_half());
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for the tensor substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor construction and tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that must agree did not.
+    ShapeMismatch {
+        /// Human description of the operation that failed.
+        op: String,
+        /// The left-hand / expected shape.
+        lhs: Vec<usize>,
+        /// The right-hand / actual shape.
+        rhs: Vec<usize>,
+    },
+    /// The element count implied by a shape does not match the data length.
+    LengthMismatch {
+        /// Number of elements the shape implies.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// An argument was invalid for reasons other than shape (e.g. a zero
+    /// dimension where one is not allowed, or an out-of-range axis).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "shape implies {expected} elements but {actual} were provided")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+impl TensorError {
+    /// Convenience constructor for [`TensorError::ShapeMismatch`].
+    #[must_use]
+    pub fn shape(op: &str, lhs: &[usize], rhs: &[usize]) -> Self {
+        TensorError::ShapeMismatch { op: op.to_owned(), lhs: lhs.to_vec(), rhs: rhs.to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TensorError::shape("gemm", &[2, 3], &[4, 5]);
+        let s = e.to_string();
+        assert!(s.contains("gemm") && s.contains("[2, 3]") && s.contains("[4, 5]"));
+
+        let e = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        assert!(e.to_string().contains('6') && e.to_string().contains('5'));
+
+        let e = TensorError::InvalidArgument("axis out of range".into());
+        assert!(e.to_string().contains("axis out of range"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

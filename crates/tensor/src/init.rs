@@ -1,0 +1,120 @@
+//! Random tensor initializers used by the trainable BERT substrate.
+
+use crate::tensor::Tensor;
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Sample a standard normal variate via Box-Muller (avoids depending on
+/// `rand_distr`, which is outside the approved dependency list).
+fn normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    loop {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+/// A tensor with elements drawn from `N(0, std^2)`.
+///
+/// BERT initializes weights from a truncated normal with std 0.02; we use an
+/// untruncated normal, which does not affect characterization.
+pub fn randn<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], std: f32) -> Tensor {
+    let n: usize = dims.iter().product();
+    let data = (0..n).map(|_| normal(rng) * std).collect();
+    Tensor::from_vec(data, dims).expect("length matches by construction")
+}
+
+/// A tensor with elements drawn uniformly from `[lo, hi)`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+    let n: usize = dims.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(data, dims).expect("length matches by construction")
+}
+
+/// Sample from a (finite, unnormalized-weight) Zipf distribution over
+/// `0..vocab`: `P(k) proportional to 1/(k+1)^s`.
+///
+/// Used to generate a synthetic corpus whose token-frequency profile matches
+/// natural language, substituting for the paper's Wikipedia dataset.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `vocab` symbols with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab` is zero or `s` is not finite.
+    #[must_use]
+    pub fn new(vocab: usize, s: f64) -> Self {
+        assert!(vocab > 0, "vocab must be non-zero");
+        assert!(s.is_finite(), "exponent must be finite");
+        let mut cdf = Vec::with_capacity(vocab);
+        let mut acc = 0.0f64;
+        for k in 0..vocab {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+}
+
+impl Distribution<usize> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_has_roughly_requested_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = randn(&mut rng, &[10_000], 0.02);
+        assert!(t.mean().abs() < 0.002, "mean={}", t.mean());
+        let var = t.as_slice().iter().map(|&x| x * x).sum::<f32>() / 10_000.0;
+        assert!((var.sqrt() - 0.02).abs() < 0.002, "std={}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform(&mut rng, &[1000], -0.5, 0.5);
+        assert!(t.as_slice().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn zipf_is_head_heavy_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let z = Zipf::new(100, 1.2);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            let k = z.sample(&mut rng);
+            assert!(k < 100);
+            counts[k] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[90]);
+        // Token 0 of a Zipf(1.2) over 100 symbols carries >20% of the mass.
+        assert!(counts[0] > 4_000, "head count {}", counts[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vocab must be non-zero")]
+    fn zipf_rejects_empty_vocab() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

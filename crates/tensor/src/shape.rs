@@ -1,0 +1,189 @@
+//! Row-major shapes and index arithmetic.
+
+use crate::error::TensorError;
+use std::fmt;
+
+/// A row-major tensor shape (list of dimension extents).
+///
+/// Shapes are small (BERT needs at most four axes), so they are stored
+/// inline in a `Vec` and cloned freely.
+///
+/// ```
+/// use bertscope_tensor::Shape;
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Create a shape from dimension extents.
+    #[must_use]
+    pub fn new(dims: &[usize]) -> Self {
+        Shape { dims: dims.to_vec() }
+    }
+
+    /// The dimension extents.
+    #[must_use]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of axes.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar shape).
+    #[must_use]
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Extent of axis `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()`.
+    #[must_use]
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Row-major strides (in elements).
+    #[must_use]
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the index rank differs
+    /// from the shape rank or any coordinate is out of bounds.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.dims.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "index rank {} does not match shape rank {}",
+                index.len(),
+                self.dims.len()
+            )));
+        }
+        let mut off = 0;
+        let strides = self.strides();
+        for (axis, (&i, &d)) in index.iter().zip(&self.dims).enumerate() {
+            if i >= d {
+                return Err(TensorError::InvalidArgument(format!(
+                    "index {i} out of bounds for axis {axis} with extent {d}"
+                )));
+            }
+            off += i * strides[axis];
+        }
+        Ok(off)
+    }
+
+    /// Interpret this shape as a 2-D matrix `(rows, cols)`, flattening all
+    /// leading axes into the row dimension. A 1-D shape becomes `(1, n)`.
+    ///
+    /// This mirrors how BERT folds `[B, n, d_model]` activations into a
+    /// `(B*n) x d_model` matrix before every linear layer (paper §3.2.2).
+    #[must_use]
+    pub fn as_matrix(&self) -> (usize, usize) {
+        match self.dims.len() {
+            0 => (1, 1),
+            1 => (1, self.dims[0]),
+            _ => {
+                let cols = *self.dims.last().expect("non-empty");
+                (self.numel() / cols.max(1), cols)
+            }
+        }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert_eq!(Shape::new(&[]).strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_round_trips_every_index() {
+        let s = Shape::new(&[2, 3, 4]);
+        let mut seen = [false; 24];
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let off = s.offset(&[i, j, k]).unwrap();
+                    assert!(!seen[off], "offset {off} visited twice");
+                    seen[off] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn offset_rejects_bad_indices() {
+        let s = Shape::new(&[2, 3]);
+        assert!(s.offset(&[0]).is_err());
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0, 3]).is_err());
+    }
+
+    #[test]
+    fn as_matrix_folds_leading_axes() {
+        assert_eq!(Shape::new(&[4, 128, 1024]).as_matrix(), (512, 1024));
+        assert_eq!(Shape::new(&[7]).as_matrix(), (1, 7));
+        assert_eq!(Shape::new(&[]).as_matrix(), (1, 1));
+    }
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        assert_eq!(Shape::new(&[]).numel(), 1);
+        assert_eq!(Shape::new(&[]).rank(), 0);
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2x3]");
+    }
+}

@@ -1,0 +1,426 @@
+//! The dense [`Tensor`] type and its elementwise / reduction operations.
+
+use crate::dtype::DType;
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::Result;
+
+/// A dense, row-major tensor.
+///
+/// Storage is always `f32`; the logical [`DType`] controls rounding (values
+/// pass through a software f16/bf16 representation when the type is half
+/// precision) and byte accounting for the tracer.
+///
+/// ```
+/// use bertscope_tensor::{Tensor, DType};
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.numel(), 6);
+/// assert_eq!(t.dtype(), DType::F32);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+    dtype: DType,
+}
+
+impl Tensor {
+    /// A tensor of zeros with logical type `f32`.
+    #[must_use]
+    pub fn zeros(dims: &[usize]) -> Self {
+        Tensor { data: vec![0.0; Shape::new(dims).numel()], shape: Shape::new(dims), dtype: DType::F32 }
+    }
+
+    /// A tensor of zeros with the given logical type.
+    #[must_use]
+    pub fn zeros_with(dims: &[usize], dtype: DType) -> Self {
+        Tensor { data: vec![0.0; Shape::new(dims).numel()], shape: Shape::new(dims), dtype }
+    }
+
+    /// A tensor filled with `value`.
+    #[must_use]
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        Tensor { data: vec![value; shape.numel()], shape, dtype: DType::F32 }
+    }
+
+    /// A tensor of ones.
+    #[must_use]
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// The `n x n` identity matrix.
+    #[must_use]
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Build a tensor from raw data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` does not
+    /// equal the element count implied by `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.numel() {
+            return Err(TensorError::LengthMismatch { expected: shape.numel(), actual: data.len() });
+        }
+        Ok(Tensor { data, shape, dtype: DType::F32 })
+    }
+
+    /// The tensor's shape.
+    #[must_use]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The tensor's dimension extents.
+    #[must_use]
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total element count.
+    #[must_use]
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Logical element type.
+    #[must_use]
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Size of this tensor in bytes at its logical precision.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        self.numel() as u64 * self.dtype.size_bytes()
+    }
+
+    /// Borrow the underlying data.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying data.
+    ///
+    /// Writers are responsible for re-quantizing with [`Tensor::requantize`]
+    /// if the logical type is half precision.
+    #[must_use]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor and return its raw storage.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index validation errors from [`Shape::offset`].
+    pub fn at(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Set the element at a multi-dimensional index (quantized to the
+    /// tensor's logical type).
+    ///
+    /// # Errors
+    ///
+    /// Propagates index validation errors from [`Shape::offset`].
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = self.dtype.quantize(value);
+        Ok(())
+    }
+
+    /// Return a copy cast to `dtype` (values rounded through the target
+    /// representation).
+    #[must_use]
+    pub fn to_dtype(&self, dtype: DType) -> Tensor {
+        let data = self.data.iter().map(|&x| dtype.quantize(x)).collect();
+        Tensor { data, shape: self.shape.clone(), dtype }
+    }
+
+    /// Round all stored values through the logical type's representation.
+    pub fn requantize(&mut self) {
+        if self.dtype.is_half() {
+            let dt = self.dtype;
+            for x in &mut self.data {
+                *x = dt.quantize(*x);
+            }
+        }
+    }
+
+    /// Reinterpret the tensor with a new shape of identical element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor> {
+        let shape = Shape::new(dims);
+        if shape.numel() != self.numel() {
+            return Err(TensorError::LengthMismatch { expected: shape.numel(), actual: self.numel() });
+        }
+        Ok(Tensor { data: self.data.clone(), shape, dtype: self.dtype })
+    }
+
+    /// Transpose a 2-D tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for non-2-D tensors.
+    pub fn transpose2d(&self) -> Result<Tensor> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::InvalidArgument(format!(
+                "transpose2d requires a 2-d tensor, got rank {}",
+                self.shape.rank()
+            )));
+        }
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = Tensor::zeros_with(&[c, r], self.dtype);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Apply `f` to every element, producing a new tensor (result quantized
+    /// to this tensor's logical type).
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let dt = self.dtype;
+        let data = self.data.iter().map(|&x| dt.quantize(f(x))).collect();
+        Tensor { data, shape: self.shape.clone(), dtype: dt }
+    }
+
+    /// Combine two same-shaped tensors elementwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(TensorError::shape("zip_map", self.dims(), other.dims()));
+        }
+        let dt = self.dtype;
+        let data =
+            self.data.iter().zip(&other.data).map(|(&a, &b)| dt.quantize(f(a, b))).collect();
+        Ok(Tensor { data, shape: self.shape.clone(), dtype: dt })
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise product (Hadamard).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiply all elements by a scalar.
+    #[must_use]
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// In-place `self += alpha * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::shape("axpy", self.dims(), other.dims()));
+        }
+        let dt = self.dtype;
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a = dt.quantize(*a + alpha * b);
+        }
+        Ok(())
+    }
+
+    /// Sum of all elements (accumulated in f64 for stability).
+    #[must_use]
+    pub fn sum(&self) -> f32 {
+        self.data.iter().map(|&x| f64::from(x)).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements.
+    ///
+    /// Returns `0.0` for an empty tensor.
+    #[must_use]
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Euclidean (L2) norm of all elements.
+    #[must_use]
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt() as f32
+    }
+
+    /// Maximum absolute element, or `0.0` if empty.
+    #[must_use]
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// True when every element is finite.
+    #[must_use]
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Maximum absolute difference against another tensor of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
+        if self.shape != other.shape {
+            return Err(TensorError::shape("max_abs_diff", self.dims(), other.dims()));
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_have_expected_contents() {
+        assert!(Tensor::zeros(&[3, 2]).as_slice().iter().all(|&x| x == 0.0));
+        assert!(Tensor::ones(&[4]).as_slice().iter().all(|&x| x == 1.0));
+        let eye = Tensor::eye(3);
+        assert_eq!(eye.at(&[1, 1]).unwrap(), 1.0);
+        assert_eq!(eye.at(&[1, 2]).unwrap(), 0.0);
+        assert_eq!(eye.sum(), 3.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+        assert!(matches!(
+            Tensor::from_vec(vec![1.0; 5], &[2, 3]),
+            Err(TensorError::LengthMismatch { expected: 6, actual: 5 })
+        ));
+    }
+
+    #[test]
+    fn elementwise_ops_and_shape_checks() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]).unwrap();
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+        let c = Tensor::zeros(&[4]);
+        assert!(a.add(&c).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones(&[3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.as_slice(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        assert_eq!(t.l2_norm(), 5.0);
+        assert_eq!(t.mean(), 3.5);
+        assert_eq!(t.abs_max(), 4.0);
+        assert!(t.all_finite());
+        let bad = Tensor::from_vec(vec![f32::NAN], &[1]).unwrap();
+        assert!(!bad.all_finite());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]).unwrap();
+        let r = t.reshape(&[3, 2]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(&[4]).is_err());
+    }
+
+    #[test]
+    fn transpose2d_swaps_axes() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let tt = t.transpose2d().unwrap();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.at(&[0, 1]).unwrap(), t.at(&[1, 0]).unwrap());
+        assert_eq!(tt.at(&[2, 0]).unwrap(), t.at(&[0, 2]).unwrap());
+        assert!(Tensor::zeros(&[2, 2, 2]).transpose2d().is_err());
+    }
+
+    #[test]
+    fn half_precision_tensors_quantize_on_write() {
+        let mut t = Tensor::zeros_with(&[1], DType::F16);
+        // 1/3 is not representable in f16; the stored value must be rounded.
+        t.set(&[0], 1.0 / 3.0).unwrap();
+        let v = t.at(&[0]).unwrap();
+        assert_ne!(v, 1.0 / 3.0);
+        assert!((v - 1.0 / 3.0).abs() < 1e-3);
+        assert_eq!(t.size_bytes(), 2);
+    }
+
+    #[test]
+    fn to_dtype_rounds_and_requantize_is_idempotent() {
+        let t = Tensor::from_vec(vec![1.0 / 3.0; 4], &[4]).unwrap();
+        let h = t.to_dtype(DType::F16);
+        assert_eq!(h.dtype(), DType::F16);
+        let again = h.to_dtype(DType::F16);
+        assert_eq!(h.as_slice(), again.as_slice());
+    }
+
+    #[test]
+    fn max_abs_diff_measures_distance() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![1.5, 1.0], &[2]).unwrap();
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 1.0);
+    }
+}

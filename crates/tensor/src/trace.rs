@@ -1,0 +1,604 @@
+//! The operation tracer: bertscope's substitute for rocProf.
+//!
+//! Every kernel in the executable substrate (`bertscope-kernels`,
+//! `bertscope-train`) and every node in the analytic operator graph
+//! (`bertscope-model`) is described by an [`OpRecord`]: what the operation
+//! *manifests as* ([`OpKind`]), which part of BERT it belongs to
+//! ([`Category`]), which training phase invoked it ([`Phase`]), its GEMM
+//! dimensions when applicable ([`GemmSpec`]), and its FLOP and byte counts.
+//!
+//! The paper's core methodological claim is that these quantities — not
+//! device-specific timings — determine system-design takeaways. They are
+//! therefore the common currency of the whole suite: measured traces from
+//! real execution are cross-validated against analytic graphs, and both feed
+//! the device timing models.
+
+use crate::dtype::DType;
+use crate::gemm::Transpose;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How an operation manifests on a device (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// A single general matrix multiplication.
+    Gemm,
+    /// A batched GEMM: `batch` independent GEMMs launched as one kernel
+    /// (BERT's attention-score and attention-output computations).
+    BatchedGemm,
+    /// An elementwise map over one or more same-shaped operands
+    /// (add/mul/scale/mask/GeLU/dropout and the LAMB update arithmetic).
+    ElementWise,
+    /// A reduction (softmax normalizers, LayerNorm statistics, L2 norms,
+    /// loss reductions).
+    Reduction,
+    /// A data movement with no arithmetic (transpose/reshape/cast
+    /// materializations).
+    Copy,
+    /// An inter-device communication step (AllReduce fragments).
+    Comm,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::Gemm => "gemm",
+            OpKind::BatchedGemm => "batched-gemm",
+            OpKind::ElementWise => "elementwise",
+            OpKind::Reduction => "reduction",
+            OpKind::Copy => "copy",
+            OpKind::Comm => "comm",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which component of BERT an operation belongs to. The granularity matches
+/// the finest split the paper reports (Fig. 4's hierarchical bars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Input embedding layer (token + position + segment lookup and sum).
+    Embedding,
+    /// Attention linear projections: Q/K/V and the output projection GEMMs.
+    AttnLinear,
+    /// The batched attention-score (`Q*K^T`) and attention-output
+    /// (`scores*V`) GEMMs.
+    AttnBgemm,
+    /// Scale, mask, softmax and dropout applied to attention scores.
+    ScaleMaskSoftmaxDropout,
+    /// The two fully-connected feed-forward GEMMs (FC-1, FC-2).
+    FcGemm,
+    /// The GeLU activation between the FC GEMMs.
+    Gelu,
+    /// Dropout + residual connection + LayerNorm after each sub-layer.
+    DropResidualNorm,
+    /// Output heads: masked-LM projection/decoder, NSP pooler/classifier,
+    /// and the loss computation.
+    Output,
+    /// LAMB stage 1: compute per-parameter update direction from gradients,
+    /// momentum and velocity (paper Fig. 7 `LAMBStage1`).
+    LambStage1,
+    /// LAMB stage 2: apply trust-ratio-scaled update to the weights.
+    LambStage2,
+    /// The global gradient-norm reduction LAMB requires before any update.
+    GradNorm,
+    /// Gradient/activation communication (AllReduce) in distributed training.
+    Comm,
+}
+
+impl Category {
+    /// The coarse group used in the paper's top-level breakdown (Fig. 3).
+    #[must_use]
+    pub fn group(self) -> Group {
+        match self {
+            Category::Embedding => Group::Embedding,
+            Category::AttnLinear
+            | Category::AttnBgemm
+            | Category::ScaleMaskSoftmaxDropout
+            | Category::FcGemm
+            | Category::Gelu
+            | Category::DropResidualNorm => Group::Transformer,
+            Category::Output => Group::Output,
+            Category::LambStage1 | Category::LambStage2 | Category::GradNorm => Group::Lamb,
+            Category::Comm => Group::Comm,
+        }
+    }
+
+    /// All categories, in display order.
+    #[must_use]
+    pub fn all() -> &'static [Category] {
+        &[
+            Category::Embedding,
+            Category::AttnLinear,
+            Category::AttnBgemm,
+            Category::ScaleMaskSoftmaxDropout,
+            Category::FcGemm,
+            Category::Gelu,
+            Category::DropResidualNorm,
+            Category::Output,
+            Category::LambStage1,
+            Category::LambStage2,
+            Category::GradNorm,
+            Category::Comm,
+        ]
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Category::Embedding => "embedding",
+            Category::AttnLinear => "attn-linear",
+            Category::AttnBgemm => "attn-bgemm",
+            Category::ScaleMaskSoftmaxDropout => "scale+mask+sm+dr",
+            Category::FcGemm => "fc-gemm",
+            Category::Gelu => "gelu",
+            Category::DropResidualNorm => "dr+rc+ln",
+            Category::Output => "output",
+            Category::LambStage1 => "lamb-stage1",
+            Category::LambStage2 => "lamb-stage2",
+            Category::GradNorm => "grad-norm",
+            Category::Comm => "comm",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Coarse layer groups, matching Fig. 3's stacked bars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Group {
+    /// All Transformer-encoder-layer work.
+    Transformer,
+    /// Input embedding layer.
+    Embedding,
+    /// Output classification heads and loss.
+    Output,
+    /// The LAMB optimizer update (both stages plus the gradient norm).
+    Lamb,
+    /// Inter-device communication.
+    Comm,
+}
+
+impl fmt::Display for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Group::Transformer => "transformer",
+            Group::Embedding => "embedding",
+            Group::Output => "output",
+            Group::Lamb => "lamb",
+            Group::Comm => "comm",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Training phase that invoked an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// Forward pass.
+    Forward,
+    /// Backward pass (activation- and weight-gradient computation).
+    Backward,
+    /// Forward work re-executed during backprop under activation
+    /// checkpointing (paper §4).
+    Recompute,
+    /// Optimizer (weight update) phase.
+    Update,
+    /// Communication (distributed training).
+    Communication,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Forward => "fwd",
+            Phase::Backward => "bwd",
+            Phase::Recompute => "recompute",
+            Phase::Update => "update",
+            Phase::Communication => "comm",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The `(transposeA, transposeB, M, N, K, batch)` descriptor of a GEMM —
+/// exactly the label format of the paper's Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmSpec {
+    /// Whether operand A is transposed.
+    pub ta: Transpose,
+    /// Whether operand B is transposed.
+    pub tb: Transpose,
+    /// Output rows.
+    pub m: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Inner (contraction) dimension.
+    pub k: usize,
+    /// Number of independent GEMMs launched as one batched kernel
+    /// (1 for a plain GEMM).
+    pub batch: usize,
+}
+
+impl GemmSpec {
+    /// A plain (non-batched) GEMM descriptor.
+    #[must_use]
+    pub fn new(ta: Transpose, tb: Transpose, m: usize, n: usize, k: usize) -> Self {
+        GemmSpec { ta, tb, m, n, k, batch: 1 }
+    }
+
+    /// A batched GEMM descriptor.
+    #[must_use]
+    pub fn batched(ta: Transpose, tb: Transpose, m: usize, n: usize, k: usize, batch: usize) -> Self {
+        GemmSpec { ta, tb, m, n, k, batch }
+    }
+
+    /// Multiply-accumulate FLOP count: `2 * m * n * k * batch`.
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        2 * self.m as u64 * self.n as u64 * self.k as u64 * self.batch as u64
+    }
+
+    /// Bytes read from memory: both operands once (ideal reuse within the
+    /// kernel), at the given input precision.
+    #[must_use]
+    pub fn bytes_read(&self, dtype: DType) -> u64 {
+        let per_batch = (self.m * self.k + self.k * self.n) as u64;
+        per_batch * self.batch as u64 * dtype.size_bytes()
+    }
+
+    /// Bytes written: the output matrix, at the given output precision.
+    #[must_use]
+    pub fn bytes_written(&self, dtype: DType) -> u64 {
+        (self.m * self.n * self.batch) as u64 * dtype.size_bytes()
+    }
+
+    /// Arithmetic intensity in ops/byte at a uniform precision — the y-axis
+    /// of the paper's Fig. 6.
+    #[must_use]
+    pub fn arithmetic_intensity(&self, dtype: DType) -> f64 {
+        self.flops() as f64 / (self.bytes_read(dtype) + self.bytes_written(dtype)) as f64
+    }
+
+    /// The paper's Fig. 6 label format: `ta,tb,M,N,K[,batch]`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        if self.batch > 1 {
+            format!("{}{},{},{},{},b{}", self.ta.letter(), self.tb.letter(), self.m, self.n, self.k, self.batch)
+        } else {
+            format!("{}{},{},{},{}", self.ta.letter(), self.tb.letter(), self.m, self.n, self.k)
+        }
+    }
+}
+
+impl fmt::Display for GemmSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// One traced kernel invocation (or one analytic graph node).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpRecord {
+    /// Human-readable kernel name, e.g. `"fc1.fwd"`.
+    pub name: String,
+    /// Manifestation of the operation.
+    pub kind: OpKind,
+    /// BERT component the operation belongs to.
+    pub category: Category,
+    /// Training phase that invoked it.
+    pub phase: Phase,
+    /// Transformer layer index, when the op belongs to one.
+    pub layer: Option<usize>,
+    /// GEMM dimensions for `Gemm`/`BatchedGemm` kinds.
+    pub gemm: Option<GemmSpec>,
+    /// Floating-point operations performed.
+    pub flops: u64,
+    /// Bytes read from memory.
+    pub bytes_read: u64,
+    /// Bytes written to memory.
+    pub bytes_written: u64,
+    /// Element precision of the operation's data.
+    pub dtype: DType,
+}
+
+impl OpRecord {
+    /// Total bytes moved.
+    #[must_use]
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Arithmetic intensity (ops per byte moved). Zero-traffic ops report 0.
+    #[must_use]
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let b = self.bytes_total();
+        if b == 0 {
+            0.0
+        } else {
+            self.flops as f64 / b as f64
+        }
+    }
+
+    /// Whether the op manifests as (batched) matrix multiplication.
+    #[must_use]
+    pub fn is_gemm(&self) -> bool {
+        matches!(self.kind, OpKind::Gemm | OpKind::BatchedGemm)
+    }
+}
+
+/// Collects [`OpRecord`]s during execution or graph construction.
+///
+/// A disabled tracer ([`Tracer::disabled`]) skips all bookkeeping so
+/// performance benchmarks of the substrate pay no tracing cost.
+///
+/// ```
+/// use bertscope_tensor::{Tracer, OpRecord, OpKind, Category, Phase, DType};
+/// let mut tr = Tracer::new();
+/// tr.record(OpRecord {
+///     name: "gelu.fwd".into(),
+///     kind: OpKind::ElementWise,
+///     category: Category::Gelu,
+///     phase: Phase::Forward,
+///     layer: Some(0),
+///     gemm: None,
+///     flops: 8,
+///     bytes_read: 4,
+///     bytes_written: 4,
+///     dtype: DType::F32,
+/// });
+/// assert_eq!(tr.records().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Tracer {
+    records: Vec<OpRecord>,
+    enabled: bool,
+}
+
+impl Tracer {
+    /// A tracer that records every op.
+    #[must_use]
+    pub fn new() -> Self {
+        Tracer { records: Vec::new(), enabled: true }
+    }
+
+    /// A tracer that drops all records (zero overhead in hot loops).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Tracer { records: Vec::new(), enabled: false }
+    }
+
+    /// Whether this tracer records.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append a record (no-op when disabled).
+    pub fn record(&mut self, rec: OpRecord) {
+        if self.enabled {
+            self.records.push(rec);
+        }
+    }
+
+    /// The records collected so far.
+    #[must_use]
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// Number of kernel launches recorded — the paper's "kernel count"
+    /// metric for fusion and checkpointing studies.
+    #[must_use]
+    pub fn kernel_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Drop all records, keeping the enabled state.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// Consume the tracer and return its records.
+    #[must_use]
+    pub fn into_records(self) -> Vec<OpRecord> {
+        self.records
+    }
+
+    /// Aggregate totals per [`Category`].
+    #[must_use]
+    pub fn by_category(&self) -> BTreeMap<Category, Totals> {
+        summarize(&self.records, |r| r.category)
+    }
+
+    /// Aggregate totals per coarse [`Group`].
+    #[must_use]
+    pub fn by_group(&self) -> BTreeMap<Group, Totals> {
+        summarize(&self.records, |r| r.category.group())
+    }
+}
+
+impl Extend<OpRecord> for Tracer {
+    fn extend<T: IntoIterator<Item = OpRecord>>(&mut self, iter: T) {
+        if self.enabled {
+            self.records.extend(iter);
+        }
+    }
+}
+
+/// Aggregated FLOPs/bytes/launch counts for a set of ops.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Totals {
+    /// Number of kernel launches.
+    pub kernels: u64,
+    /// Total FLOPs.
+    pub flops: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+}
+
+impl Totals {
+    /// Total bytes moved.
+    #[must_use]
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Aggregate arithmetic intensity (ops/byte), 0 when no traffic.
+    #[must_use]
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let b = self.bytes_total();
+        if b == 0 {
+            0.0
+        } else {
+            self.flops as f64 / b as f64
+        }
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &Totals) {
+        self.kernels += other.kernels;
+        self.flops += other.flops;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+    }
+}
+
+/// Group records by an arbitrary key and accumulate [`Totals`].
+pub fn summarize<K: Ord, F: Fn(&OpRecord) -> K>(
+    records: &[OpRecord],
+    key: F,
+) -> BTreeMap<K, Totals> {
+    let mut out: BTreeMap<K, Totals> = BTreeMap::new();
+    for r in records {
+        let t = out.entry(key(r)).or_default();
+        t.kernels += 1;
+        t.flops += r.flops;
+        t.bytes_read += r.bytes_read;
+        t.bytes_written += r.bytes_written;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(cat: Category, flops: u64, bytes: u64) -> OpRecord {
+        OpRecord {
+            name: format!("{cat}"),
+            kind: OpKind::ElementWise,
+            category: cat,
+            phase: Phase::Forward,
+            layer: None,
+            gemm: None,
+            flops,
+            bytes_read: bytes,
+            bytes_written: bytes,
+            dtype: DType::F32,
+        }
+    }
+
+    #[test]
+    fn gemm_spec_flops_and_bytes() {
+        // FC-1 of BERT-Large Ph1-B32: 4096 x 4096 x 1024.
+        let g = GemmSpec::new(Transpose::No, Transpose::No, 4096, 4096, 1024);
+        assert_eq!(g.flops(), 2 * 4096 * 4096 * 1024);
+        assert_eq!(g.bytes_read(DType::F32), (4096 * 1024 + 1024 * 4096) * 4);
+        assert_eq!(g.bytes_written(DType::F32), 4096 * 4096 * 4);
+        // Intensity in f16 is double the f32 intensity (same flops, half bytes).
+        let ai32 = g.arithmetic_intensity(DType::F32);
+        let ai16 = g.arithmetic_intensity(DType::F16);
+        assert!((ai16 / ai32 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_spec_scales_with_batch() {
+        let g = GemmSpec::batched(Transpose::No, Transpose::Yes, 128, 128, 64, 512);
+        assert_eq!(g.flops(), 2 * 128 * 128 * 64 * 512);
+        assert!(g.label().contains("b512"));
+        assert!(g.label().starts_with("nt"));
+    }
+
+    #[test]
+    fn attention_bgemm_is_much_less_intense_than_fc() {
+        // Paper Fig. 6: FC GEMMs are extremely compute-intense; attention
+        // B-GEMMs have very low ops/byte.
+        let fc = GemmSpec::new(Transpose::No, Transpose::No, 4096, 4096, 1024);
+        let attn = GemmSpec::batched(Transpose::No, Transpose::Yes, 128, 128, 64, 512);
+        assert!(fc.arithmetic_intensity(DType::F32) > 5.0 * attn.arithmetic_intensity(DType::F32));
+    }
+
+    #[test]
+    fn category_groups_match_figure3() {
+        assert_eq!(Category::FcGemm.group(), Group::Transformer);
+        assert_eq!(Category::AttnBgemm.group(), Group::Transformer);
+        assert_eq!(Category::LambStage1.group(), Group::Lamb);
+        assert_eq!(Category::GradNorm.group(), Group::Lamb);
+        assert_eq!(Category::Output.group(), Group::Output);
+        assert_eq!(Category::Embedding.group(), Group::Embedding);
+        assert_eq!(Category::Comm.group(), Group::Comm);
+        assert_eq!(Category::all().len(), 12);
+    }
+
+    #[test]
+    fn tracer_records_and_summarizes() {
+        let mut tr = Tracer::new();
+        tr.record(rec(Category::Gelu, 100, 50));
+        tr.record(rec(Category::Gelu, 100, 50));
+        tr.record(rec(Category::LambStage1, 10, 500));
+        let by_cat = tr.by_category();
+        assert_eq!(by_cat[&Category::Gelu].kernels, 2);
+        assert_eq!(by_cat[&Category::Gelu].flops, 200);
+        assert_eq!(by_cat[&Category::LambStage1].bytes_total(), 1000);
+        let by_group = tr.by_group();
+        assert_eq!(by_group[&Group::Transformer].kernels, 2);
+        assert_eq!(by_group[&Group::Lamb].kernels, 1);
+        assert_eq!(tr.kernel_count(), 3);
+        tr.clear();
+        assert_eq!(tr.kernel_count(), 0);
+    }
+
+    #[test]
+    fn disabled_tracer_drops_records() {
+        let mut tr = Tracer::disabled();
+        tr.record(rec(Category::Gelu, 1, 1));
+        tr.extend([rec(Category::Gelu, 1, 1)]);
+        assert_eq!(tr.kernel_count(), 0);
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn totals_merge_and_intensity() {
+        let mut a = Totals { kernels: 1, flops: 100, bytes_read: 10, bytes_written: 10 };
+        let b = Totals { kernels: 2, flops: 50, bytes_read: 20, bytes_written: 10 };
+        a.merge(&b);
+        assert_eq!(a.kernels, 3);
+        assert_eq!(a.flops, 150);
+        assert!((a.arithmetic_intensity() - 3.0).abs() < 1e-12);
+        assert_eq!(Totals::default().arithmetic_intensity(), 0.0);
+    }
+
+    #[test]
+    fn op_record_helpers() {
+        let mut r = rec(Category::FcGemm, 16, 4);
+        assert!(!r.is_gemm());
+        r.kind = OpKind::Gemm;
+        assert!(r.is_gemm());
+        assert_eq!(r.bytes_total(), 8);
+        assert!((r.arithmetic_intensity() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_strings_are_stable() {
+        assert_eq!(OpKind::BatchedGemm.to_string(), "batched-gemm");
+        assert_eq!(Phase::Recompute.to_string(), "recompute");
+        assert_eq!(Group::Lamb.to_string(), "lamb");
+        assert_eq!(
+            GemmSpec::new(Transpose::Yes, Transpose::No, 2, 3, 4).to_string(),
+            "tn,2,3,4"
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Executable BERT pre-training substrate for the bertscope suite.
+//!
+//! This crate *runs* BERT pre-training — the paper's workload — on the
+//! pure-Rust kernel substrate: synthetic MLM/NSP data ([`data`]), the full
+//! model with hand-derived backprop ([`bert`], [`layer`]), and the LAMB /
+//! Adam / SGD optimizers ([`optim`]), including mixed precision with loss
+//! scaling and f32 master weights, fused-QKV execution, and activation
+//! checkpointing with real recomputation.
+//!
+//! Every kernel call reports itself to the tracer, so executing one training
+//! step yields the same operation stream the analytic graph in
+//! `bertscope-model` predicts — the cross-validation at the heart of the
+//! reproduction.
+
+pub mod bert;
+pub mod data;
+pub mod layer;
+pub mod optim;
+pub mod trainer;
+
+pub use bert::{non_copy_records, Bert, EvalOutput, StepOutput, TrainOptions};
+pub use data::{PretrainBatch, SyntheticCorpus};
+pub use layer::{layer_bwd, layer_fwd, LayerActivations, LayerCtx, LayerGrads, LayerParams};
+pub use optim::{Adam, Lamb, Optimizer, ParamSlot, Sgd, WarmupSchedule};
+pub use trainer::Trainer;
+
+/// Result alias re-used from the tensor substrate.
+pub type Result<T> = bertscope_tensor::Result<T>;

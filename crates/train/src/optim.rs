@@ -1,0 +1,623 @@
+//! Optimizers for the executable substrate: LAMB (paper §2.4), Adam (fused
+//! and unfused, for the Fig. 12a study) and SGD.
+//!
+//! All optimizer math runs in f32 regardless of the model's precision: with
+//! half-precision parameters the optimizer keeps f32 *master weights* and
+//! writes rounded copies back — exactly the mixed-precision recipe the
+//! paper describes (updates stay FP32, Takeaway 2).
+
+use bertscope_model::graph::{
+    ADAM_FLOPS_PER_PARAM, LAMB_STAGE1_FLOPS_PER_PARAM, LAMB_STAGE2_FLOPS_PER_PARAM,
+};
+use bertscope_tensor::{Category, DType, OpKind, OpRecord, Phase, Tensor, Tracer};
+use std::collections::HashMap;
+
+/// Common interface of the suite's optimizers, for generic training loops.
+pub trait Optimizer {
+    /// Apply one update to the given parameter slots.
+    fn step(&mut self, tracer: &mut Tracer, slots: &mut [ParamSlot<'_>]);
+    /// The loss scale this optimizer divides out of incoming gradients.
+    fn grad_scale(&self) -> f32 {
+        1.0
+    }
+}
+
+/// A mutable view of one named parameter and its gradient.
+#[derive(Debug)]
+pub struct ParamSlot<'a> {
+    /// Parameter name (must match the `bertscope-model` inventory).
+    pub name: &'a str,
+    /// The parameter tensor (possibly half precision).
+    pub value: &'a mut Tensor,
+    /// The accumulated gradient (possibly half precision and loss-scaled).
+    pub grad: &'a Tensor,
+}
+
+/// The update group a parameter belongs to, mirroring
+/// [`bertscope_model::graph::update_groups`].
+fn group_of(name: &str) -> String {
+    match name.split('.').next() {
+        Some(first) if first.starts_with('l') && first[1..].chars().all(|c| c.is_ascii_digit()) => {
+            first.to_owned()
+        }
+        Some("embeddings") => "embeddings".into(),
+        _ => "output".into(),
+    }
+}
+
+fn update_rec(name: String, cat: Category, flops: u64, br: u64, bw: u64) -> OpRecord {
+    OpRecord {
+        name,
+        kind: if cat == Category::GradNorm { OpKind::Reduction } else { OpKind::ElementWise },
+        category: cat,
+        phase: Phase::Update,
+        layer: None,
+        gemm: None,
+        flops,
+        bytes_read: br,
+        bytes_written: bw,
+        dtype: DType::F32,
+    }
+}
+
+/// Per-tensor optimizer state in f32.
+#[derive(Debug, Default)]
+struct Moments {
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+/// The LAMB optimizer (You et al., the paper's §2.4 / Algorithm 2).
+///
+/// Executed per parameter tensor, launched (and traced) as two fused stages
+/// per update group plus the global gradient-norm reduction the algorithm
+/// requires before any update — matching the analytic graph's
+/// [`optimizer_ops`](bertscope_model::optimizer_ops).
+#[derive(Debug)]
+pub struct Lamb {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+    /// Divide incoming gradients by this loss scale before use.
+    pub grad_scale: f32,
+    step: u64,
+    state: HashMap<String, Moments>,
+    master: HashMap<String, Vec<f32>>,
+}
+
+impl Lamb {
+    /// A LAMB optimizer with BERT-style defaults.
+    #[must_use]
+    pub fn new(lr: f32) -> Self {
+        Lamb {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-6,
+            weight_decay: 0.01,
+            grad_scale: 1.0,
+            step: 0,
+            state: HashMap::new(),
+            master: HashMap::new(),
+        }
+    }
+
+    /// Number of update steps taken.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Apply one LAMB update to the given parameters.
+    pub fn step(&mut self, tracer: &mut Tracer, slots: &mut [ParamSlot<'_>]) {
+        self.step += 1;
+        let t = self.step as i32;
+        let inv_scale = 1.0 / self.grad_scale;
+
+        // Global gradient norm: LAMB pre-normalizes gradients when their
+        // global L2 norm exceeds one. This reduction serializes the update
+        // against the whole backprop (paper Takeaway 7).
+        let total_params: u64 = slots.iter().map(|s| s.grad.numel() as u64).sum();
+        let global_sq: f64 = slots
+            .iter()
+            .map(|s| {
+                s.grad
+                    .as_slice()
+                    .iter()
+                    .map(|&g| {
+                        let g = f64::from(g) * f64::from(inv_scale);
+                        g * g
+                    })
+                    .sum::<f64>()
+            })
+            .sum();
+        let global_norm = global_sq.sqrt() as f32;
+        let clip = if global_norm > 1.0 { 1.0 / global_norm } else { 1.0 };
+        tracer.record(update_rec(
+            "lamb.grad_norm.update".into(),
+            Category::GradNorm,
+            2 * total_params,
+            total_params * 4,
+            8,
+        ));
+
+        // Group accounting for the two fused stages.
+        let mut group_numel: Vec<(String, u64)> = Vec::new();
+        for s in slots.iter() {
+            let g = group_of(s.name);
+            match group_numel.iter_mut().find(|(name, _)| *name == g) {
+                Some((_, n)) => *n += s.grad.numel() as u64,
+                None => group_numel.push((g, s.grad.numel() as u64)),
+            }
+        }
+
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
+        for s in slots.iter_mut() {
+            let n = s.value.numel();
+            let master = self
+                .master
+                .entry(s.name.to_owned())
+                .or_insert_with(|| s.value.as_slice().to_vec());
+            let st = self.state.entry(s.name.to_owned()).or_insert_with(|| Moments {
+                m: vec![0.0; n],
+                v: vec![0.0; n],
+            });
+            // Stage 1: update moments and form the update direction.
+            let mut update = vec![0.0f32; n];
+            let mut w_sq = 0.0f64;
+            let mut u_sq = 0.0f64;
+            for i in 0..n {
+                let g = s.grad.as_slice()[i] * inv_scale * clip;
+                st.m[i] = self.beta1 * st.m[i] + (1.0 - self.beta1) * g;
+                st.v[i] = self.beta2 * st.v[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = st.m[i] / bc1;
+                let v_hat = st.v[i] / bc2;
+                let u = m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * master[i];
+                update[i] = u;
+                w_sq += f64::from(master[i]) * f64::from(master[i]);
+                u_sq += f64::from(u) * f64::from(u);
+            }
+            // Stage 2: trust-ratio-scaled weight update.
+            let w_norm = w_sq.sqrt() as f32;
+            let u_norm = u_sq.sqrt() as f32;
+            let trust = if w_norm > 0.0 && u_norm > 0.0 { w_norm / u_norm } else { 1.0 };
+            let dt = s.value.dtype();
+            for i in 0..n {
+                master[i] -= self.lr * trust * update[i];
+                s.value.as_mut_slice()[i] = dt.quantize(master[i]);
+            }
+        }
+
+        // Trace the two fused stages per group, matching the analytic graph.
+        for (g, n) in group_numel {
+            tracer.record(update_rec(
+                format!("lamb.{g}.stage1.update"),
+                Category::LambStage1,
+                LAMB_STAGE1_FLOPS_PER_PARAM * n,
+                4 * n * 4,
+                3 * n * 4,
+            ));
+            tracer.record(update_rec(
+                format!("lamb.{g}.stage2.update"),
+                Category::LambStage2,
+                LAMB_STAGE2_FLOPS_PER_PARAM * n,
+                2 * n * 4,
+                n * 4,
+            ));
+        }
+    }
+}
+
+impl Optimizer for Lamb {
+    fn step(&mut self, tracer: &mut Tracer, slots: &mut [ParamSlot<'_>]) {
+        Lamb::step(self, tracer, slots);
+    }
+    fn grad_scale(&self) -> f32 {
+        self.grad_scale
+    }
+}
+
+/// Adam with optional kernel fusion (paper Fig. 12a's subject).
+#[derive(Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Divide incoming gradients by this loss scale before use.
+    pub grad_scale: f32,
+    /// When false, trace the ~10 separate primitive kernels per tensor that
+    /// an eager (unfused) implementation launches.
+    pub fused: bool,
+    step: u64,
+    state: HashMap<String, Moments>,
+    master: HashMap<String, Vec<f32>>,
+}
+
+impl Adam {
+    /// An Adam optimizer with standard defaults, fused kernels.
+    #[must_use]
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            grad_scale: 1.0,
+            fused: true,
+            step: 0,
+            state: HashMap::new(),
+            master: HashMap::new(),
+        }
+    }
+
+    /// Switch to the unfused (eager) kernel accounting.
+    #[must_use]
+    pub fn unfused(mut self) -> Self {
+        self.fused = false;
+        self
+    }
+
+    /// Apply one Adam update.
+    pub fn step(&mut self, tracer: &mut Tracer, slots: &mut [ParamSlot<'_>]) {
+        self.step += 1;
+        let t = self.step as i32;
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
+        let inv_scale = 1.0 / self.grad_scale;
+        let mut group_numel: Vec<(String, u64)> = Vec::new();
+        for s in slots.iter_mut() {
+            let n = s.value.numel();
+            let master = self
+                .master
+                .entry(s.name.to_owned())
+                .or_insert_with(|| s.value.as_slice().to_vec());
+            let st = self.state.entry(s.name.to_owned()).or_insert_with(|| Moments {
+                m: vec![0.0; n],
+                v: vec![0.0; n],
+            });
+            let dt = s.value.dtype();
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..n {
+                let g = s.grad.as_slice()[i] * inv_scale;
+                st.m[i] = self.beta1 * st.m[i] + (1.0 - self.beta1) * g;
+                st.v[i] = self.beta2 * st.v[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = st.m[i] / bc1;
+                let v_hat = st.v[i] / bc2;
+                master[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                s.value.as_mut_slice()[i] = dt.quantize(master[i]);
+            }
+            if self.fused {
+                let g = group_of(s.name);
+                match group_numel.iter_mut().find(|(name, _)| *name == g) {
+                    Some((_, c)) => *c += n as u64,
+                    None => group_numel.push((g, n as u64)),
+                }
+            } else {
+                // Ten primitive kernels per tensor (the eager path).
+                let b = n as u64 * 4;
+                let steps: [(&str, u64, u64); 10] = [
+                    ("m_decay", 1, 1),
+                    ("m_update", 2, 1),
+                    ("v_decay", 1, 1),
+                    ("g_square", 1, 1),
+                    ("v_update", 2, 1),
+                    ("m_hat", 1, 1),
+                    ("v_hat", 1, 1),
+                    ("denom", 1, 1),
+                    ("step", 2, 1),
+                    ("apply", 2, 1),
+                ];
+                for (op, reads, writes) in steps {
+                    tracer.record(update_rec(
+                        format!("adam.{}.{op}.update", s.name),
+                        Category::LambStage1,
+                        n as u64,
+                        reads * b,
+                        writes * b,
+                    ));
+                }
+            }
+        }
+        for (g, n) in group_numel {
+            tracer.record(update_rec(
+                format!("adam.{g}.fused.update"),
+                Category::LambStage1,
+                ADAM_FLOPS_PER_PARAM * n,
+                4 * n * 4,
+                3 * n * 4,
+            ));
+        }
+    }
+}
+
+/// BERT's learning-rate schedule: linear warmup to the peak rate, then
+/// linear (or polynomial) decay to zero over the remaining steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmupSchedule {
+    /// Peak learning rate, reached at the end of warmup.
+    pub peak_lr: f32,
+    /// Warmup step count.
+    pub warmup_steps: u64,
+    /// Total training steps (decay reaches zero here).
+    pub total_steps: u64,
+    /// Decay exponent (1.0 = linear, BERT's default).
+    pub power: f32,
+}
+
+impl WarmupSchedule {
+    /// A linear-warmup / linear-decay schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `warmup_steps >= total_steps` or `total_steps == 0`.
+    #[must_use]
+    pub fn new(peak_lr: f32, warmup_steps: u64, total_steps: u64) -> Self {
+        assert!(total_steps > 0, "total_steps must be non-zero");
+        assert!(warmup_steps < total_steps, "warmup must end before training does");
+        WarmupSchedule { peak_lr, warmup_steps, total_steps, power: 1.0 }
+    }
+
+    /// Learning rate at (1-based) step `step`. Steps beyond `total_steps`
+    /// return zero.
+    #[must_use]
+    pub fn lr_at(&self, step: u64) -> f32 {
+        if step == 0 {
+            return 0.0;
+        }
+        if step <= self.warmup_steps {
+            return self.peak_lr * step as f32 / self.warmup_steps.max(1) as f32;
+        }
+        if step >= self.total_steps {
+            return 0.0;
+        }
+        let remaining =
+            (self.total_steps - step) as f32 / (self.total_steps - self.warmup_steps) as f32;
+        self.peak_lr * remaining.powf(self.power)
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, tracer: &mut Tracer, slots: &mut [ParamSlot<'_>]) {
+        Adam::step(self, tracer, slots);
+    }
+    fn grad_scale(&self) -> f32 {
+        self.grad_scale
+    }
+}
+
+/// Plain SGD, for convergence sanity tests.
+#[derive(Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Divide incoming gradients by this loss scale before use.
+    pub grad_scale: f32,
+}
+
+impl Sgd {
+    /// An SGD optimizer.
+    #[must_use]
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, grad_scale: 1.0 }
+    }
+
+    /// Apply one SGD update.
+    pub fn step(&mut self, tracer: &mut Tracer, slots: &mut [ParamSlot<'_>]) {
+        let inv = 1.0 / self.grad_scale;
+        for s in slots.iter_mut() {
+            let dt = s.value.dtype();
+            let n = s.value.numel() as u64;
+            for (w, &g) in s.value.as_mut_slice().iter_mut().zip(s.grad.as_slice()) {
+                *w = dt.quantize(*w - self.lr * g * inv);
+            }
+            tracer.record(update_rec(
+                format!("sgd.{}.update", s.name),
+                Category::LambStage2,
+                2 * n,
+                2 * n * 4,
+                n * 4,
+            ));
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, tracer: &mut Tracer, slots: &mut [ParamSlot<'_>]) {
+        Sgd::step(self, tracer, slots);
+    }
+    fn grad_scale(&self) -> f32 {
+        self.grad_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot_fixture(n: usize, gval: f32) -> (Tensor, Tensor) {
+        (Tensor::ones(&[n]), Tensor::full(&[n], gval))
+    }
+
+    #[test]
+    fn warmup_schedule_ramps_then_decays() {
+        let sched = WarmupSchedule::new(1e-3, 10, 100);
+        assert_eq!(sched.lr_at(0), 0.0);
+        assert!((sched.lr_at(5) - 5e-4).abs() < 1e-9, "halfway through warmup");
+        assert!((sched.lr_at(10) - 1e-3).abs() < 1e-9, "peak at warmup end");
+        assert!(sched.lr_at(55) < sched.lr_at(10));
+        assert!(sched.lr_at(55) > sched.lr_at(90));
+        assert_eq!(sched.lr_at(100), 0.0);
+        assert_eq!(sched.lr_at(1000), 0.0);
+        // Monotone up then monotone down.
+        for s in 1..10 {
+            assert!(sched.lr_at(s + 1) > sched.lr_at(s));
+        }
+        for s in 10..99 {
+            assert!(sched.lr_at(s + 1) <= sched.lr_at(s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup must end")]
+    fn warmup_longer_than_training_rejected() {
+        let _ = WarmupSchedule::new(1e-3, 100, 100);
+    }
+
+    #[test]
+    fn group_names_follow_model_inventory() {
+        assert_eq!(group_of("l0.fc1.weight"), "l0");
+        assert_eq!(group_of("l23.attn.wq"), "l23");
+        assert_eq!(group_of("embeddings.word"), "embeddings");
+        assert_eq!(group_of("mlm.dense.weight"), "output");
+        assert_eq!(group_of("nsp.pooler.bias"), "output");
+        // "ln" prefix should not be mistaken for a layer group.
+        assert_eq!(group_of("lnorm.x"), "output");
+    }
+
+    #[test]
+    fn sgd_descends() {
+        let (mut w, g) = slot_fixture(4, 0.5);
+        let mut tr = Tracer::new();
+        let mut opt = Sgd::new(0.1);
+        opt.step(&mut tr, &mut [ParamSlot { name: "w", value: &mut w, grad: &g }]);
+        assert!(w.as_slice().iter().all(|&v| (v - 0.95).abs() < 1e-6));
+        assert_eq!(tr.kernel_count(), 1);
+    }
+
+    #[test]
+    fn adam_first_step_moves_by_lr() {
+        // With bias correction, Adam's first step is ~lr in the gradient
+        // direction regardless of gradient magnitude.
+        let (mut w, g) = slot_fixture(4, 3.0);
+        let mut tr = Tracer::disabled();
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut tr, &mut [ParamSlot { name: "w", value: &mut w, grad: &g }]);
+        for &v in w.as_slice() {
+            assert!((v - (1.0 - 0.01)).abs() < 1e-4, "w = {v}");
+        }
+    }
+
+    #[test]
+    fn unfused_adam_traces_ten_kernels_per_tensor() {
+        let (mut w1, g1) = slot_fixture(8, 1.0);
+        let (mut w2, g2) = slot_fixture(8, 1.0);
+        let mut tr = Tracer::new();
+        let mut opt = Adam::new(0.01).unfused();
+        opt.step(
+            &mut tr,
+            &mut [
+                ParamSlot { name: "l0.a", value: &mut w1, grad: &g1 },
+                ParamSlot { name: "l0.b", value: &mut w2, grad: &g2 },
+            ],
+        );
+        assert_eq!(tr.kernel_count(), 20);
+        // Fused traces one kernel per group.
+        let (mut w3, g3) = slot_fixture(8, 1.0);
+        let (mut w4, g4) = slot_fixture(8, 1.0);
+        let mut tr2 = Tracer::new();
+        let mut fused = Adam::new(0.01);
+        fused.step(
+            &mut tr2,
+            &mut [
+                ParamSlot { name: "l0.a", value: &mut w3, grad: &g3 },
+                ParamSlot { name: "l0.b", value: &mut w4, grad: &g4 },
+            ],
+        );
+        assert_eq!(tr2.kernel_count(), 1);
+        // Same numerics either way.
+        assert_eq!(w1.as_slice(), w3.as_slice());
+    }
+
+    #[test]
+    fn lamb_trust_ratio_scales_update_with_weight_norm() {
+        // Two tensors with identical gradients but different weight norms:
+        // the larger-norm tensor takes a larger absolute step.
+        let mut small = Tensor::full(&[16], 0.1);
+        let mut large = Tensor::full(&[16], 10.0);
+        let g = Tensor::full(&[16], 1.0);
+        let mut tr = Tracer::disabled();
+        let mut opt = Lamb::new(0.01);
+        opt.weight_decay = 0.0;
+        opt.step(
+            &mut tr,
+            &mut [
+                ParamSlot { name: "l0.small", value: &mut small, grad: &g },
+                ParamSlot { name: "l1.large", value: &mut large, grad: &g },
+            ],
+        );
+        let step_small = (0.1 - small.as_slice()[0]).abs();
+        let step_large = (10.0 - large.as_slice()[0]).abs();
+        assert!(step_large > 5.0 * step_small, "{step_large} vs {step_small}");
+        assert_eq!(opt.steps(), 1);
+    }
+
+    #[test]
+    fn lamb_traces_norm_plus_two_stages_per_group() {
+        let (mut w1, g1) = slot_fixture(8, 1.0);
+        let (mut w2, g2) = slot_fixture(8, 1.0);
+        let (mut w3, g3) = slot_fixture(8, 1.0);
+        let mut tr = Tracer::new();
+        let mut opt = Lamb::new(0.01);
+        opt.step(
+            &mut tr,
+            &mut [
+                ParamSlot { name: "l0.a", value: &mut w1, grad: &g1 },
+                ParamSlot { name: "l0.b", value: &mut w2, grad: &g2 },
+                ParamSlot { name: "embeddings.word", value: &mut w3, grad: &g3 },
+            ],
+        );
+        // 1 grad-norm + 2 groups x 2 stages.
+        assert_eq!(tr.kernel_count(), 5);
+        assert_eq!(tr.records()[0].category, Category::GradNorm);
+        let s1 = tr.records().iter().filter(|r| r.category == Category::LambStage1).count();
+        assert_eq!(s1, 2);
+    }
+
+    #[test]
+    fn half_precision_params_keep_f32_masters() {
+        // Repeated tiny updates must accumulate in the master copy even
+        // when each one is below f16 resolution.
+        let mut w = Tensor::ones(&[4]).to_dtype(DType::F16);
+        let g = Tensor::full(&[4], 1.0);
+        let mut opt = Sgd::new(1e-5);
+        // SGD has no master weights: updates vanish in f16...
+        let mut tr = Tracer::disabled();
+        for _ in 0..50 {
+            opt.step(&mut tr, &mut [ParamSlot { name: "w", value: &mut w, grad: &g }]);
+        }
+        assert_eq!(w.as_slice()[0], 1.0, "f16 swallows tiny SGD steps");
+        // ...but Adam's master copy accumulates them.
+        let mut w2 = Tensor::ones(&[4]).to_dtype(DType::F16);
+        let mut adam = Adam::new(1e-5);
+        for _ in 0..200 {
+            adam.step(&mut tr, &mut [ParamSlot { name: "w", value: &mut w2, grad: &g }]);
+        }
+        assert!(w2.as_slice()[0] < 1.0, "master weights accumulate below-resolution steps");
+    }
+
+    #[test]
+    fn grad_scale_is_divided_out() {
+        let (mut w_scaled, g_scaled) = (Tensor::ones(&[4]), Tensor::full(&[4], 512.0));
+        let (mut w_plain, g_plain) = (Tensor::ones(&[4]), Tensor::full(&[4], 1.0));
+        let mut tr = Tracer::disabled();
+        let mut a = Adam::new(0.01);
+        a.grad_scale = 512.0;
+        a.step(&mut tr, &mut [ParamSlot { name: "w", value: &mut w_scaled, grad: &g_scaled }]);
+        let mut b = Adam::new(0.01);
+        b.step(&mut tr, &mut [ParamSlot { name: "w", value: &mut w_plain, grad: &g_plain }]);
+        assert_eq!(w_scaled.as_slice(), w_plain.as_slice());
+    }
+}

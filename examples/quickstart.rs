@@ -1,0 +1,48 @@
+//! Quickstart: characterize one BERT-Large pre-training iteration.
+//!
+//! Reproduces the headline analysis of *"Demystifying BERT: System Design
+//! Implications"* in a few lines: simulate the iteration on the calibrated
+//! MI100-like device model and print where the time goes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bertscope::prelude::*;
+
+fn main() {
+    let gpu = GpuModel::mi100();
+    let cfg = BertConfig::bert_large(); // Phase-1 inputs: n=128, B=32
+
+    println!("model: BERT-Large ({} M parameters)", parameter_count(&cfg) / 1_000_000);
+    println!("device: {} (roofline model)\n", gpu.name);
+
+    // FP32 vs mixed precision, side by side (paper Fig. 3).
+    for (label, precision) in [("FP32", Precision::Fp32), ("mixed precision", Precision::Mixed)] {
+        let opts = GraphOptions { precision, ..GraphOptions::default() };
+        let profile = simulate_iteration(&cfg, &opts, &gpu);
+        println!(
+            "[{label}] one iteration: {:.1} ms across {} kernel launches",
+            profile.total_us() / 1000.0,
+            profile.kernel_count()
+        );
+        let mut table = TextTable::new(["component", "share of runtime"]);
+        for (group, time) in profile.time_by_group() {
+            table.row([group.to_string(), pct(time / profile.total_us())]);
+        }
+        println!("{}", table.render());
+        println!(
+            "GEMM share: {} — the other {} is memory-bound non-GEMM work\n",
+            pct(profile.gemm_fraction()),
+            pct(1.0 - profile.gemm_fraction())
+        );
+    }
+
+    // The paper's central contrast: GEMMs dominate arithmetic but not time.
+    let ops = build_iteration(&cfg, &GraphOptions::default());
+    let gemm_flops: u64 = ops.iter().filter(|o| o.is_gemm()).map(|o| o.flops).sum();
+    let total_flops: u64 = ops.iter().map(|o| o.flops).sum();
+    println!(
+        "GEMMs perform {} of the FLOPs — yet optimizing only GEMMs leaves nearly half the\n\
+         runtime on the table (Takeaways 8-9). That asymmetry is what this suite quantifies.",
+        pct(gemm_flops as f64 / total_flops as f64)
+    );
+}

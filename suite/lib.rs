@@ -1,0 +1,1 @@
+//! Shared helpers for the bertscope-suite integration tests and examples.

@@ -1,0 +1,129 @@
+//! Integration tests for the extension studies: the systems the paper
+//! discusses but does not evaluate (ZeRO sharding, hybrid parallelism,
+//! in-network reduction), plus the memory-capacity model behind §4 and the
+//! §7 extrapolation recipe.
+
+use bertscope::prelude::*;
+use bertscope_sim::{classify_categories, extrapolate, footprint, max_batch, Boundedness};
+
+#[test]
+fn zero_vs_plain_dp_trade() {
+    let cfg = BertConfig::bert_large().phase1(16);
+    let opts = GraphOptions::default();
+    let gpu = GpuModel::mi100();
+    let link = Link::pcie4();
+    let plain = data_parallel_profile(&cfg, &opts, &gpu, &link, 8, false);
+    let zero = zero_dp_profile(&cfg, &opts, &gpu, &link, 8);
+    // ZeRO shrinks the update dramatically without inflating communication.
+    assert!(
+        plain.time_by_group()[&Group::Lamb] > 4.0 * zero.time_by_group()[&Group::Lamb]
+    );
+    assert!(zero.total_us() < plain.total_us());
+}
+
+#[test]
+fn hybrid_parallelism_scales_throughput() {
+    // At 16 devices, 2-way TS x 8-way DP processes 8x the samples of pure
+    // 16-way TS per iteration at far less than 8x the time.
+    let cfg = BertConfig::bert_large().phase1(16);
+    let opts = GraphOptions::default();
+    let gpu = GpuModel::mi100();
+    let hybrid = hybrid_profile(
+        &cfg,
+        &opts,
+        &gpu,
+        &HybridPlan {
+            ts_ways: 2,
+            dp_replicas: 8,
+            intra_link: Link::xgmi(),
+            inter_link: Link::pcie4(),
+        },
+    );
+    let pure_ts = tensor_slice_profile(&cfg, &opts, &gpu, &Link::xgmi(), 16);
+    let hybrid_throughput = (cfg.batch * 8) as f64 / hybrid.total_us();
+    let ts_throughput = cfg.batch as f64 / pure_ts.total_us();
+    assert!(
+        hybrid_throughput > 2.0 * ts_throughput,
+        "hybrid {hybrid_throughput} vs pure-TS {ts_throughput} samples/us"
+    );
+}
+
+#[test]
+fn in_network_reduction_halves_dp_communication() {
+    let sw = InNetworkSwitch::pcie4_switch();
+    let grad_bytes = parameter_count(&BertConfig::bert_large()) * 4;
+    let speedup = sw.speedup_vs_ring(grad_bytes, 128);
+    assert!((1.7..2.5).contains(&speedup), "in-network speedup {speedup}");
+}
+
+#[test]
+fn memory_model_explains_the_papers_configurations() {
+    // Ph1-B32 and Ph2-B4 both fit the paper's 32 GB device; checkpointing
+    // extends the feasible batch.
+    let gib32 = 32u64 * (1 << 30);
+    let opts = GraphOptions::default();
+    assert!(footprint(&BertConfig::bert_large(), &opts).total() < gib32);
+    assert!(footprint(&BertConfig::bert_large().phase2(4), &opts).total() < gib32);
+    let plain = max_batch(&BertConfig::bert_large(), &opts, gib32);
+    let ck = max_batch(
+        &BertConfig::bert_large(),
+        &GraphOptions { checkpoint: true, ..opts },
+        gib32,
+    );
+    assert!(ck > plain);
+}
+
+#[test]
+fn roofline_classification_matches_figure7() {
+    let gpu = GpuModel::mi100();
+    let ops = build_iteration(&BertConfig::bert_large(), &GraphOptions::default());
+    let classes = classify_categories(&gpu, &ops);
+    let memory_bound: Vec<_> = classes
+        .iter()
+        .filter(|(_, b)| **b == Boundedness::MemoryBound)
+        .map(|(c, _)| *c)
+        .collect();
+    // Everything except the large GEMM categories and the (GEMM-heavy)
+    // output head is memory-bound.
+    assert!(memory_bound.contains(&Category::AttnBgemm));
+    assert!(memory_bound.contains(&Category::Gelu));
+    assert!(memory_bound.contains(&Category::LambStage1));
+    assert!(!memory_bound.contains(&Category::FcGemm));
+}
+
+#[test]
+fn extrapolation_recipe_is_accurate_for_bandwidth_scaling_too() {
+    // Scale memory bandwidth instead of compute: memory-bound categories
+    // should speed up, GEMM share should grow.
+    let gpu = GpuModel::mi100();
+    let mut hbm3 = gpu.clone();
+    hbm3.mem_bw_gbps *= 2.0;
+    hbm3.name = "MI100-2x-bandwidth".into();
+    let cfg = BertConfig::bert_large();
+    let base = simulate_iteration(&cfg, &GraphOptions::default(), &gpu);
+    let projected = extrapolate(&base, &gpu, &hbm3);
+    let resim = simulate_iteration(&cfg, &GraphOptions::default(), &hbm3);
+    let err = (projected - resim.total_us()).abs() / resim.total_us();
+    assert!(err < 0.2, "bandwidth extrapolation error {err}");
+    assert!(resim.gemm_fraction() > base.gemm_fraction());
+}
+
+#[test]
+fn precision_sweep_monotonically_raises_optimizer_share() {
+    let pts = bertscope_sim::precision_sweep(&BertConfig::bert_large(), &GpuModel::mi100());
+    assert_eq!(pts.len(), 3);
+    assert!(pts[1].lamb_fraction > pts[0].lamb_fraction, "FP16 > FP32 LAMB share");
+    assert!(pts[1].total_us < pts[0].total_us);
+}
+
+#[test]
+fn chrome_trace_round_trips_through_the_full_iteration() {
+    let p = simulate_iteration(
+        &BertConfig::bert_large(),
+        &GraphOptions::default(),
+        &GpuModel::mi100(),
+    );
+    let json = chrome_trace_json(&p);
+    assert!(json.len() > 100_000, "BERT-Large trace is substantial: {} bytes", json.len());
+    assert_eq!(json.matches("\"ph\":\"X\"").count(), p.kernel_count());
+}
