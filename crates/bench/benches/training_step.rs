@@ -34,7 +34,14 @@ fn bench_train_step(c: &mut Criterion) {
     let batch = corpus.generate_batch(&mut rng, &cfg);
     let variants = [
         ("fp32", TrainOptions::default()),
-        ("mixed", TrainOptions { precision: Precision::Mixed, loss_scale: 128.0, ..TrainOptions::default() }),
+        (
+            "mixed",
+            TrainOptions {
+                precision: Precision::Mixed,
+                loss_scale: 128.0,
+                ..TrainOptions::default()
+            },
+        ),
         ("checkpointed", TrainOptions { checkpoint: true, ..TrainOptions::default() }),
         ("fused_qkv", TrainOptions { fused_qkv: true, ..TrainOptions::default() }),
     ];

@@ -39,7 +39,11 @@ pub fn table2b(cfg: &BertConfig) -> String {
     }
     format!(
         "Table 2b — BERT GEMM sizes (N={}, d_model={}, n={}, B={})\n{}",
-        cfg.layers, cfg.d_model, cfg.seq_len, cfg.batch, t.render()
+        cfg.layers,
+        cfg.d_model,
+        cfg.seq_len,
+        cfg.batch,
+        t.render()
     )
 }
 
@@ -101,7 +105,13 @@ pub fn fig4(gpu: &GpuModel) -> String {
 /// Render Fig. 6: arithmetic intensity of every training GEMM in a layer.
 #[must_use]
 pub fn fig6(cfg: &BertConfig) -> String {
-    let mut t = TextTable::new(["sub-layer", "pass", "GEMM (ta tb, M,N,K[,batch])", "ops/byte FP32", "ops/byte FP16"]);
+    let mut t = TextTable::new([
+        "sub-layer",
+        "pass",
+        "GEMM (ta tb, M,N,K[,batch])",
+        "ops/byte FP32",
+        "ops/byte FP16",
+    ]);
     let rows32 = gemm_intensities(cfg, DType::F32);
     let rows16 = gemm_intensities(cfg, DType::F16);
     for (r32, r16) in rows32.iter().zip(&rows16) {
@@ -125,7 +135,11 @@ pub fn fig7(gpu: &GpuModel, cfg: &BertConfig) -> String {
     let ops = build_iteration(cfg, &GraphOptions::default());
     let mut t = TextTable::new(["operation class", "ops/byte", "bandwidth (norm. to best op)"]);
     for r in bertscope_sim::bandwidth_rows(gpu, &ops) {
-        t.row([r.label, format!("{:.2}", r.ops_per_byte), format!("{:.2}", r.normalized_bandwidth)]);
+        t.row([
+            r.label,
+            format!("{:.2}", r.ops_per_byte),
+            format!("{:.2}", r.normalized_bandwidth),
+        ]);
     }
     format!(
         "Fig. 7 — arithmetic intensity & bandwidth requirements\n\
@@ -198,7 +212,13 @@ pub fn checkpointing(gpu: &GpuModel) -> String {
 #[must_use]
 pub fn fig11(gpu: &GpuModel, link: &Link) -> String {
     let mut t = TextTable::new([
-        "config", "description", "transformer", "LAMB", "comm", "output+emb", "iteration",
+        "config",
+        "description",
+        "transformer",
+        "LAMB",
+        "comm",
+        "output+emb",
+        "iteration",
     ]);
     for pt in figure11_profiles(gpu, link) {
         let p = &pt.profile;
@@ -222,7 +242,8 @@ pub fn fig11(gpu: &GpuModel, link: &Link) -> String {
 /// Render Fig. 12a: the kernel-fusion study.
 #[must_use]
 pub fn fig12a(gpu: &GpuModel) -> String {
-    let mut t = TextTable::new(["case", "kernel-count ratio", "memory-traffic ratio", "runtime ratio"]);
+    let mut t =
+        TextTable::new(["case", "kernel-count ratio", "memory-traffic ratio", "runtime ratio"]);
     for r in figure12a_study(&BertConfig::bert_large(), gpu) {
         t.row([
             r.name.clone(),
@@ -260,7 +281,8 @@ pub fn fig12b(gpu: &GpuModel) -> String {
 #[must_use]
 pub fn nmc(gpu: &GpuModel) -> String {
     let nmc = NmcModel::hbm2_per_bank();
-    let mut t = TextTable::new(["config", "LAMB speedup vs optimistic GPU", "end-to-end improvement"]);
+    let mut t =
+        TextTable::new(["config", "LAMB speedup vs optimistic GPU", "end-to-end improvement"]);
     let configs: [(&str, BertConfig, Precision); 4] = [
         ("Ph1-B32-FP32", BertConfig::bert_large(), Precision::Fp32),
         ("Ph1-B4-FP32", BertConfig::bert_large().phase1(4), Precision::Fp32),
@@ -322,12 +344,22 @@ pub fn traffic(cfg: &BertConfig) -> String {
 pub fn memory(cfg: &BertConfig) -> String {
     use bertscope_sim::{footprint, max_batch};
     let gib32 = 32u64 * (1 << 30);
-    let mut t = TextTable::new(["configuration", "weights+grads", "optimizer", "activations", "total", "max B @32GB"]);
+    let mut t = TextTable::new([
+        "configuration",
+        "weights+grads",
+        "optimizer",
+        "activations",
+        "total",
+        "max B @32GB",
+    ]);
     let gib = |b: u64| format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64);
     for (label, opts) in [
         ("FP32", GraphOptions::default()),
         ("FP32 + checkpointing", GraphOptions { checkpoint: true, ..GraphOptions::default() }),
-        ("mixed precision", GraphOptions { precision: Precision::Mixed, ..GraphOptions::default() }),
+        (
+            "mixed precision",
+            GraphOptions { precision: Precision::Mixed, ..GraphOptions::default() },
+        ),
         (
             "MP + checkpointing",
             GraphOptions {
@@ -349,7 +381,9 @@ pub fn memory(cfg: &BertConfig) -> String {
     }
     format!(
         "Memory footprint of BERT-Large training (n={}, B={}) — §4's capacity motivation\n{}",
-        cfg.seq_len, cfg.batch, t.render()
+        cfg.seq_len,
+        cfg.batch,
+        t.render()
     )
 }
 
@@ -359,7 +393,13 @@ pub fn memory(cfg: &BertConfig) -> String {
 pub fn zoo(gpu: &GpuModel) -> String {
     use bertscope_sim::model_zoo_sweep;
     let mut t = TextTable::new([
-        "model", "params", "iteration", "transformer", "LAMB", "attention ops", "GEMM share",
+        "model",
+        "params",
+        "iteration",
+        "transformer",
+        "LAMB",
+        "attention ops",
+        "GEMM share",
     ]);
     for pt in model_zoo_sweep(gpu) {
         let p = &pt.profile;
@@ -415,8 +455,10 @@ pub fn inference(gpu: &GpuModel) -> String {
             format!("{:.0}", pt.sequences_per_s),
         ]);
     }
-    out.push_str("Serving sweep (mixed precision):
-");
+    out.push_str(
+        "Serving sweep (mixed precision):
+",
+    );
     out.push_str(&t.render());
     out.push_str(
         "
@@ -468,7 +510,12 @@ pub fn finetune(gpu: &GpuModel) -> String {
 #[must_use]
 pub fn devices() -> String {
     let mut t = TextTable::new([
-        "device", "iteration (FP32)", "GEMM share", "LAMB share", "iteration (MP)", "MP speedup",
+        "device",
+        "iteration (FP32)",
+        "GEMM share",
+        "LAMB share",
+        "iteration (MP)",
+        "MP speedup",
     ]);
     for gpu in [GpuModel::v100_like(), GpuModel::mi100(), GpuModel::a100_like()] {
         let f32p = simulate_iteration(&BertConfig::bert_large(), &GraphOptions::default(), &gpu);
@@ -534,11 +581,7 @@ pub fn energy(gpu: &GpuModel) -> String {
     for (label, precision) in [("FP32", Precision::Fp32), ("mixed precision", Precision::Mixed)] {
         let ops = build_iteration(&cfg, &GraphOptions { precision, ..GraphOptions::default() });
         let j = em.total_energy_j(&ops);
-        t.row([
-            label.to_owned(),
-            format!("{j:.1} J"),
-            format!("{:.2}", j / cfg.batch as f64),
-        ]);
+        t.row([label.to_owned(), format!("{j:.1} J"), format!("{:.2}", j / cfg.batch as f64)]);
     }
     let lamb_ops = bertscope_model::optimizer_ops(&cfg, &GraphOptions::default());
     let lamb_gpu: f64 = lamb_ops.iter().map(|o| em.op_energy_uj(o)).sum::<f64>() / 1e6;
@@ -591,8 +634,10 @@ pub fn extensions(gpu: &GpuModel) -> String {
     // ZeRO-style sharded DP (§5.2's [69] discussion).
     let mut t = TextTable::new(["scheme", "LAMB share", "comm share", "iteration"]);
     for (label, p) in [
-        ("plain DP (8 GPUs, no overlap)",
-            bertscope_dist::data_parallel_profile(&cfg, &opts, gpu, &link, 8, false)),
+        (
+            "plain DP (8 GPUs, no overlap)",
+            bertscope_dist::data_parallel_profile(&cfg, &opts, gpu, &link, 8, false),
+        ),
         ("ZeRO-sharded DP (8 GPUs)", zero_dp_profile(&cfg, &opts, gpu, &link, 8)),
     ] {
         t.row([
@@ -602,12 +647,17 @@ pub fn extensions(gpu: &GpuModel) -> String {
             format!("{:.0} ms", p.total_us() / 1000.0),
         ]);
     }
-    let _ = writeln!(out, "ZeRO optimizer-state sharding (LAMB's grad-norm dependency retained):\n{}", t.render());
+    let _ = writeln!(
+        out,
+        "ZeRO optimizer-state sharding (LAMB's grad-norm dependency retained):\n{}",
+        t.render()
+    );
 
     // Hybrid DP x TS.
     let mut t = TextTable::new(["plan (TS x DP)", "devices", "comm share", "per-sample time"]);
     for (ts, dp) in [(1usize, 8usize), (2, 4), (4, 2), (8, 1)] {
-        let plan = HybridPlan { ts_ways: ts, dp_replicas: dp, intra_link: Link::xgmi(), inter_link: link };
+        let plan =
+            HybridPlan { ts_ways: ts, dp_replicas: dp, intra_link: Link::xgmi(), inter_link: link };
         let p = hybrid_profile(&cfg, &opts, gpu, &plan);
         t.row([
             format!("{ts} x {dp}"),
@@ -616,7 +666,11 @@ pub fn extensions(gpu: &GpuModel) -> String {
             format!("{:.2} ms", p.total_us() / 1000.0 / (cfg.batch * dp) as f64),
         ]);
     }
-    let _ = writeln!(out, "\nHybrid parallelism at 8 devices (xGMI intra, PCIe4 inter):\n{}", t.render());
+    let _ = writeln!(
+        out,
+        "\nHybrid parallelism at 8 devices (xGMI intra, PCIe4 inter):\n{}",
+        t.render()
+    );
 
     // In-network reduction (§6.2.3).
     let sw = InNetworkSwitch::pcie4_switch();
@@ -641,7 +695,11 @@ pub fn extensions(gpu: &GpuModel) -> String {
             pct(p.lamb_fraction),
         ]);
     }
-    let _ = writeln!(out, "\nPrecision sweep (quantization raises the FP32 optimizer's share):\n{}", t.render());
+    let _ = writeln!(
+        out,
+        "\nPrecision sweep (quantization raises the FP32 optimizer's share):\n{}",
+        t.render()
+    );
 
     // Cross-device extrapolation (§7).
     let base = simulate_iteration(&BertConfig::bert_large(), &opts, gpu);

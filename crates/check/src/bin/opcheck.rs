@@ -1,0 +1,140 @@
+//! `opcheck`: sweep the static operator-stream verifier over every paper
+//! configuration — BERT-Base/Large x Fp32/Mixed/MixedBf16 x checkpointing
+//! on/off x LAMB/Adam, for pre-training, fine-tuning and inference streams
+//! — and exit nonzero if any stream carries an error-severity finding.
+//!
+//! `opcheck --list-rules` prints the rule registry.
+
+use bertscope_check::{check_iteration, report, RuleId, Severity};
+use bertscope_model::{
+    build_finetune, build_inference, build_iteration, BertConfig, GraphOptions, OptimizerChoice,
+    Precision,
+};
+use bertscope_tensor::OpRecord;
+
+fn precision_label(p: Precision) -> &'static str {
+    match p {
+        Precision::Fp32 => "fp32",
+        Precision::Mixed => "fp16",
+        Precision::MixedBf16 => "bf16",
+    }
+}
+
+fn optimizer_label(o: OptimizerChoice) -> &'static str {
+    match o {
+        OptimizerChoice::Lamb => "lamb",
+        OptimizerChoice::Adam => "adam",
+        OptimizerChoice::None => "none",
+    }
+}
+
+struct Tally {
+    streams: usize,
+    errors: usize,
+    warnings: usize,
+}
+
+fn check_one(
+    tally: &mut Tally,
+    model: &str,
+    workload: &str,
+    cfg: &BertConfig,
+    opts: GraphOptions,
+    ops: &[OpRecord],
+) {
+    let findings = check_iteration(cfg, &opts, ops);
+    let errors = findings.iter().filter(|f| f.severity == Severity::Error).count();
+    let warnings = findings.len() - errors;
+    tally.streams += 1;
+    tally.errors += errors;
+    tally.warnings += warnings;
+    let label = format!(
+        "{model} {workload} {} {}{}",
+        precision_label(opts.precision),
+        optimizer_label(opts.optimizer),
+        if opts.checkpoint { " ckpt" } else { "" },
+    );
+    if findings.is_empty() {
+        println!("ok    {label:<44} ({} ops)", ops.len());
+    } else {
+        println!("FAIL  {label:<44} ({} ops, {errors} errors, {warnings} warnings)", ops.len());
+        println!("{}", report(&findings));
+    }
+}
+
+fn run() -> i32 {
+    let mut tally = Tally { streams: 0, errors: 0, warnings: 0 };
+    let models = [("BERT-Base", BertConfig::bert_base()), ("BERT-Large", BertConfig::bert_large())];
+    let precisions = [Precision::Fp32, Precision::Mixed, Precision::MixedBf16];
+    for (model, cfg) in &models {
+        for &precision in &precisions {
+            for checkpoint in [false, true] {
+                for optimizer in [OptimizerChoice::Lamb, OptimizerChoice::Adam] {
+                    let opts = GraphOptions {
+                        precision,
+                        optimizer,
+                        checkpoint,
+                        ..GraphOptions::default()
+                    };
+                    check_one(
+                        &mut tally,
+                        model,
+                        "pretrain",
+                        cfg,
+                        opts,
+                        &build_iteration(cfg, &opts),
+                    );
+                    if !checkpoint {
+                        // build_finetune does not model checkpointing.
+                        check_one(
+                            &mut tally,
+                            model,
+                            "finetune",
+                            cfg,
+                            opts,
+                            &build_finetune(cfg, &opts),
+                        );
+                    }
+                }
+            }
+            let inf = GraphOptions {
+                precision,
+                optimizer: OptimizerChoice::None,
+                ..GraphOptions::default()
+            };
+            check_one(&mut tally, model, "inference", cfg, inf, &build_inference(cfg, &inf));
+        }
+    }
+    println!(
+        "opcheck: {} streams checked, {} errors, {} warnings",
+        tally.streams, tally.errors, tally.warnings
+    );
+    i32::from(tally.errors > 0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => std::process::exit(run()),
+        Some("--list-rules") if args.len() == 1 => {
+            for rule in RuleId::all() {
+                println!("{}  {}", rule.code(), rule.summary());
+            }
+        }
+        Some("--help" | "-h") if args.len() == 1 => {
+            println!(
+                "opcheck: statically verify the operator streams of every paper configuration\n\
+                 \n\
+                 usage: opcheck [--list-rules]\n\
+                 \n\
+                 With no arguments, sweeps BERT-Base/Large x fp32/fp16/bf16 x checkpointing\n\
+                 on/off x LAMB/Adam (pre-training, fine-tuning and inference) and exits 1 if\n\
+                 any stream carries an error-severity finding."
+            );
+        }
+        Some(other) => {
+            eprintln!("opcheck: unrecognized argument `{other}` (try --help)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Configuration-aware checks: with a [`BertConfig`] and [`GraphOptions`]
+//! in hand, the stream's totals can be pinned to closed forms the stream
+//! itself cannot know — the parameter inventory of `params.rs` (C004/C006),
+//! the Table 2b GEMM dimensions (C005), and the checkpointing schedule
+//! (P006).
+
+use crate::check_stream;
+use crate::finding::{sort, Finding};
+use crate::rules::RuleId;
+use bertscope_model::{
+    gemm_spec, parameter_count, BertConfig, GemmPass, GemmSite, GraphOptions, OptimizerChoice,
+};
+use bertscope_tensor::{Category, GemmSpec, OpRecord, Phase};
+
+/// Run every stream-level lint plus the configuration-aware C004/C005/C006
+/// and P006 checks on the operator stream of one training iteration built
+/// for (`cfg`, `opts`) — by `build_iteration`, `build_finetune` (with
+/// `checkpoint: false`, which that builder does not model), or
+/// `build_inference` (with `optimizer: None`).
+#[must_use]
+pub fn check_iteration(cfg: &BertConfig, opts: &GraphOptions, ops: &[OpRecord]) -> Vec<Finding> {
+    let mut out = check_stream(ops);
+    layer_closed_forms(cfg, *opts, ops, &mut out);
+    optimizer_inventory(cfg, *opts, ops, &mut out);
+    checkpoint_coverage(cfg, *opts, ops, &mut out);
+    sort(&mut out);
+    out
+}
+
+/// Independent MAC recomputation — never `GemmSpec::flops()`.
+fn macs(s: GemmSpec) -> u64 {
+    2 * s.m as u64 * s.n as u64 * s.k as u64 * s.batch as u64
+}
+
+/// The Table 2b closed form for one layer's forward GEMM FLOPs: four linear
+/// projections (Q/K/V/output — identical whether or not Q/K/V are fused),
+/// the two attention B-GEMMs, and the two FC GEMMs.
+fn expected_forward_gemm_flops(cfg: &BertConfig) -> u64 {
+    4 * macs(gemm_spec(cfg, GemmSite::Linear, GemmPass::Forward))
+        + macs(gemm_spec(cfg, GemmSite::AttnScore, GemmPass::Forward))
+        + macs(gemm_spec(cfg, GemmSite::AttnOutput, GemmPass::Forward))
+        + macs(gemm_spec(cfg, GemmSite::Fc1, GemmPass::Forward))
+        + macs(gemm_spec(cfg, GemmSite::Fc2, GemmPass::Forward))
+}
+
+/// C005: every layer's per-phase GEMM FLOPs and non-GEMM activation FLOPs
+/// match the closed forms. Backward is exactly 2x forward because each
+/// Table 2b site runs one grad-activation and one grad-weight GEMM of
+/// identical MAC count.
+fn layer_closed_forms(
+    cfg: &BertConfig,
+    opts: GraphOptions,
+    ops: &[OpRecord],
+    out: &mut Vec<Finding>,
+) {
+    let expect_fwd = expected_forward_gemm_flops(cfg);
+    let has_bwd = ops.iter().any(|o| o.phase == Phase::Backward);
+    let scores = (cfg.batch * cfg.heads * cfg.seq_len * cfg.seq_len) as u64;
+    let inter = cfg.tokens() as u64 * cfg.d_ff as u64;
+    for l in 0..cfg.layers {
+        let gemm_flops = |ph: Phase| -> u64 {
+            ops.iter()
+                .filter(|o| o.layer == Some(l) && o.phase == ph && o.is_gemm())
+                .map(|o| o.flops)
+                .sum()
+        };
+        let cat_flops = |ph: Phase, cat: Category| -> u64 {
+            ops.iter()
+                .filter(|o| o.layer == Some(l) && o.phase == ph && o.category == cat)
+                .map(|o| o.flops)
+                .sum()
+        };
+        let fwd = gemm_flops(Phase::Forward);
+        if fwd != expect_fwd {
+            out.push(
+                Finding::err(RuleId::LayerClosedForm, format!("layer {l} forward GEMM FLOPs"))
+                    .with_note(format!("stream has {fwd}, Table 2b implies {expect_fwd}")),
+            );
+        }
+        if has_bwd {
+            let bwd = gemm_flops(Phase::Backward);
+            if bwd != 2 * expect_fwd {
+                out.push(
+                    Finding::err(RuleId::LayerClosedForm, format!("layer {l} backward GEMM FLOPs"))
+                        .with_note(format!(
+                            "stream has {bwd}, Table 2b implies 2x forward = {}",
+                            2 * expect_fwd
+                        )),
+                );
+            }
+        }
+        if opts.checkpoint {
+            let rec = gemm_flops(Phase::Recompute);
+            if rec != expect_fwd {
+                out.push(
+                    Finding::err(
+                        RuleId::LayerClosedForm,
+                        format!("layer {l} recompute GEMM FLOPs"),
+                    )
+                    .with_note(format!(
+                        "recomputation repeats the forward: expected {expect_fwd}, got {rec}"
+                    )),
+                );
+            }
+        }
+        // Activation closed forms: the GeLU forward chain performs 12 FLOPs
+        // per intermediate element whether fused or not, and the
+        // scale/mask/softmax/dropout forward chain 8 per score element.
+        let gelu = cat_flops(Phase::Forward, Category::Gelu);
+        if gelu != 12 * inter {
+            out.push(
+                Finding::err(RuleId::LayerClosedForm, format!("layer {l} forward GeLU FLOPs"))
+                    .with_note(format!(
+                        "stream has {gelu}, {inter} intermediate elements imply {}",
+                        12 * inter
+                    )),
+            );
+        }
+        let smsd = cat_flops(Phase::Forward, Category::ScaleMaskSoftmaxDropout);
+        if smsd != 8 * scores {
+            out.push(
+                Finding::err(
+                    RuleId::LayerClosedForm,
+                    format!("layer {l} forward scale/mask/softmax/dropout FLOPs"),
+                )
+                .with_note(format!(
+                    "stream has {smsd}, {scores} score elements imply {}",
+                    8 * scores
+                )),
+            );
+        }
+    }
+}
+
+/// C004 + C006: the optimizer's traffic and kernel count must match the
+/// parameter inventory — stage 1 reads 4x the (f32) model size, stage 2
+/// writes it once, the norm reduces every gradient, and LAMB launches two
+/// kernels per update group plus the norm.
+fn optimizer_inventory(
+    cfg: &BertConfig,
+    opts: GraphOptions,
+    ops: &[OpRecord],
+    out: &mut Vec<Finding>,
+) {
+    let upd: Vec<&OpRecord> = ops.iter().filter(|o| o.phase == Phase::Update).collect();
+    let groups = cfg.layers as u64 + 2; // per-layer + embeddings + output
+    let expect_kernels = match opts.optimizer {
+        OptimizerChoice::Lamb => 2 * groups + 1,
+        OptimizerChoice::Adam => groups,
+        OptimizerChoice::None => 0,
+    };
+    if upd.len() as u64 != expect_kernels {
+        out.push(
+            Finding::err(RuleId::OptimizerKernelCount, "optimizer kernel count is wrong")
+                .with_note(format!(
+                    "{:?} over {groups} update groups implies {expect_kernels} kernels, \
+                     stream has {}",
+                    opts.optimizer,
+                    upd.len()
+                )),
+        );
+    }
+    if opts.optimizer == OptimizerChoice::None {
+        return;
+    }
+    let p = parameter_count(cfg);
+    let sum = |cat: Category, f: fn(&OpRecord) -> u64| -> u64 {
+        upd.iter().filter(|o| o.category == cat).map(|o| f(o)).sum()
+    };
+    let s1_read = sum(Category::LambStage1, |o| o.bytes_read);
+    if s1_read != 16 * p {
+        out.push(
+            Finding::err(RuleId::ParamTraffic, "optimizer stage-1 read traffic is wrong")
+                .with_note(format!(
+                    "{p} parameters imply 4x model size = {} bytes (Takeaway 7), stream reads {}",
+                    16 * p,
+                    s1_read
+                )),
+        );
+    }
+    if opts.optimizer == OptimizerChoice::Lamb {
+        let norm_flops = sum(Category::GradNorm, |o| o.flops);
+        if norm_flops != 2 * p {
+            out.push(
+                Finding::err(RuleId::ParamTraffic, "gradient-norm FLOPs are wrong").with_note(
+                    format!("{p} gradients imply {} FLOPs, stream has {norm_flops}", 2 * p),
+                ),
+            );
+        }
+        let s2_written = sum(Category::LambStage2, |o| o.bytes_written);
+        if s2_written != 4 * p {
+            out.push(
+                Finding::err(RuleId::ParamTraffic, "LAMB stage-2 write traffic is wrong")
+                    .with_note(format!(
+                        "{p} parameters imply one model size = {} bytes, stream writes {}",
+                        4 * p,
+                        s2_written
+                    )),
+            );
+        }
+    }
+}
+
+/// P006: checkpointing must actually re-emit recompute ops for every layer;
+/// without checkpointing there must be none.
+fn checkpoint_coverage(
+    cfg: &BertConfig,
+    opts: GraphOptions,
+    ops: &[OpRecord],
+    out: &mut Vec<Finding>,
+) {
+    if opts.checkpoint {
+        for l in 0..cfg.layers {
+            if !ops.iter().any(|o| o.phase == Phase::Recompute && o.layer == Some(l)) {
+                out.push(Finding::err(
+                    RuleId::CheckpointRecompute,
+                    format!("checkpointing is enabled but layer {l} is never recomputed"),
+                ));
+            }
+        }
+    } else if let Some(i) = ops.iter().position(|o| o.phase == Phase::Recompute) {
+        out.push(
+            Finding::err(
+                RuleId::CheckpointRecompute,
+                "recompute op in a stream built without checkpointing",
+            )
+            .at(i, &ops[i]),
+        );
+    }
+}

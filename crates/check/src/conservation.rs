@@ -1,0 +1,195 @@
+//! C-series lints: FLOP/byte conservation.
+//!
+//! Every expected quantity here is recomputed from first principles (GEMM
+//! dims, element sizes, per-parameter optimizer costs) rather than through
+//! the helper methods the producers themselves call (`GemmSpec::flops`,
+//! `DType::size_bytes`, the graph's per-parameter constants). A corrupted
+//! formula on either the graph side or the kernels side therefore trips a
+//! lint instead of being silently trusted on both sides at once.
+
+use crate::finding::Finding;
+use crate::rules::RuleId;
+use bertscope_tensor::{Category, DType, OpRecord, Phase};
+
+/// Element size in bytes, independent of `DType::size_bytes`.
+pub(crate) fn elem_size(dtype: DType) -> u64 {
+    match dtype {
+        DType::F32 => 4,
+        DType::F16 | DType::BF16 => 2,
+    }
+}
+
+/// FLOPs per parameter of LAMB stage 1 (momentum/velocity update, bias
+/// correction, update direction, weight decay), kept deliberately separate
+/// from the graph crate's constant of the same value.
+const LAMB_STAGE1_FLOPS: u64 = 14;
+/// FLOPs per parameter of LAMB stage 2 (trust-ratio scale + weight update).
+const LAMB_STAGE2_FLOPS: u64 = 4;
+/// FLOPs per parameter of a fused Adam kernel.
+const ADAM_FLOPS: u64 = 12;
+
+pub(crate) fn check(ops: &[OpRecord]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        if let Some(spec) = op.gemm {
+            let (m, n, k, b) = (spec.m as u64, spec.n as u64, spec.k as u64, spec.batch as u64);
+            let flops = 2 * m * n * k * b;
+            if op.flops != flops {
+                out.push(
+                    Finding::err(RuleId::GemmFlops, "recorded FLOPs disagree with the GEMM spec")
+                        .at(i, op)
+                        .with_note(format!(
+                            "recorded {} FLOPs, spec {spec} implies 2*{m}*{n}*{k}*{b} = {flops}",
+                            op.flops
+                        )),
+                );
+            }
+            let es = elem_size(op.dtype);
+            let read = (m * k + k * n) * b * es;
+            if op.bytes_read != read {
+                out.push(
+                    Finding::err(RuleId::GemmBytes, "recorded read bytes disagree with the spec")
+                        .at(i, op)
+                        .with_note(format!(
+                            "recorded {} bytes read, spec {spec} at {} implies \
+                             ({m}*{k} + {k}*{n})*{b}*{es} = {read}",
+                            op.bytes_read, op.dtype
+                        )),
+                );
+            }
+            let written = m * n * b * es;
+            if op.bytes_written != written {
+                out.push(
+                    Finding::err(
+                        RuleId::GemmBytes,
+                        "recorded written bytes disagree with the spec",
+                    )
+                    .at(i, op)
+                    .with_note(format!(
+                        "recorded {} bytes written, spec {spec} at {} implies \
+                             {m}*{n}*{b}*{es} = {written}",
+                        op.bytes_written, op.dtype
+                    )),
+                );
+            }
+        }
+    }
+    optimizer_conservation(ops, &mut out);
+    out
+}
+
+/// Derive the parameter count an optimizer op claims from its FLOPs, verify
+/// its traffic against the per-parameter byte costs, and return the count.
+fn claimed_params(
+    out: &mut Vec<Finding>,
+    i: usize,
+    op: &OpRecord,
+    what: &str,
+    flops_per: u64,
+    read_per: u64,
+    written_per: Option<u64>,
+) -> u64 {
+    if !op.flops.is_multiple_of(flops_per) {
+        out.push(
+            Finding::err(
+                RuleId::OptimizerConservation,
+                format!("{what} FLOPs are not a multiple of {flops_per} per parameter"),
+            )
+            .at(i, op)
+            .with_note(format!("recorded {} FLOPs", op.flops)),
+        );
+        return 0;
+    }
+    let n = op.flops / flops_per;
+    if op.bytes_read != n * read_per {
+        out.push(
+            Finding::err(RuleId::OptimizerConservation, format!("{what} read traffic is wrong"))
+                .at(i, op)
+                .with_note(format!(
+                    "{n} parameters imply {} bytes read ({read_per}/param), recorded {}",
+                    n * read_per,
+                    op.bytes_read
+                )),
+        );
+    }
+    if let Some(w) = written_per {
+        if op.bytes_written != n * w {
+            out.push(
+                Finding::err(
+                    RuleId::OptimizerConservation,
+                    format!("{what} write traffic is wrong"),
+                )
+                .at(i, op)
+                .with_note(format!(
+                    "{n} parameters imply {} bytes written ({w}/param), recorded {}",
+                    n * w,
+                    op.bytes_written
+                )),
+            );
+        }
+    }
+    n
+}
+
+/// Cross-check the optimizer ops against each other: stage 1, stage 2 and
+/// the gradient norm must all imply the same total parameter count, and each
+/// op's byte traffic must match its per-parameter cost (paper Takeaway 7:
+/// stage 1 reads 4x the model size, stage 2 reads 2x and writes 1x).
+fn optimizer_conservation(ops: &[OpRecord], out: &mut Vec<Finding>) {
+    let upd: Vec<(usize, &OpRecord)> =
+        ops.iter().enumerate().filter(|&(_, o)| o.phase == Phase::Update).collect();
+    if upd.is_empty() {
+        return;
+    }
+    // A fused Adam kernel shares Category::LambStage1 in the trace taxonomy
+    // but performs 12 FLOPs/param and has no stage 2; the presence of any
+    // stage-2 op identifies the stream as LAMB.
+    let lamb = upd.iter().any(|&(_, o)| o.category == Category::LambStage2);
+    let stage1_flops = if lamb { LAMB_STAGE1_FLOPS } else { ADAM_FLOPS };
+    let (mut s1, mut s2, mut norm) = (0u64, 0u64, 0u64);
+    for &(i, op) in &upd {
+        match op.category {
+            Category::GradNorm => {
+                norm += claimed_params(out, i, op, "gradient-norm", 2, 4, None);
+                if op.bytes_written != 8 {
+                    out.push(
+                        Finding::err(
+                            RuleId::OptimizerConservation,
+                            "gradient-norm reduction writes more than its scalar result",
+                        )
+                        .at(i, op)
+                        .with_note(format!(
+                            "recorded {} bytes written, expected 8",
+                            op.bytes_written
+                        )),
+                    );
+                }
+            }
+            Category::LambStage1 => {
+                s1 += claimed_params(out, i, op, "optimizer stage-1", stage1_flops, 16, Some(12));
+            }
+            Category::LambStage2 => {
+                s2 += claimed_params(out, i, op, "LAMB stage-2", LAMB_STAGE2_FLOPS, 8, Some(4));
+            }
+            _ => {}
+        }
+    }
+    if lamb && s1 != s2 {
+        out.push(
+            Finding::err(
+                RuleId::OptimizerConservation,
+                "LAMB stages disagree on the parameter count",
+            )
+            .with_note(format!("stage-1 ops cover {s1} parameters, stage-2 ops cover {s2}")),
+        );
+    }
+    if norm > 0 && s1 > 0 && norm != s1 {
+        out.push(
+            Finding::err(
+                RuleId::OptimizerConservation,
+                "gradient norm and update stages disagree on the parameter count",
+            )
+            .with_note(format!("norm reduces {norm} gradients, stage-1 updates {s1} parameters")),
+        );
+    }
+}

@@ -1,0 +1,351 @@
+//! D-series lints: dataflow.
+//!
+//! These rules treat the stream as a symbolic program: each op's kind must
+//! agree with its metadata (D005), no op may be a ghost (D003), dtypes must
+//! obey the precision contract (D002), and — the core of the pass — the
+//! shapes of producers and consumers must chain through each Transformer
+//! layer's contiguous operator segment (D001/D004): FC-1's output feeds
+//! `GeLU` feeds FC-2, and the attention-score matrix feeds the
+//! scale/mask/softmax/dropout chain and the context batched GEMM.
+
+use crate::conservation::elem_size;
+use crate::finding::Finding;
+use crate::rules::RuleId;
+use bertscope_tensor::{Category, DType, GemmSpec, OpKind, OpRecord, Phase};
+use std::collections::BTreeMap;
+
+pub(crate) fn check(ops: &[OpRecord]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    per_op(ops, &mut out);
+    dtype_contract(ops, &mut out);
+    for seg in collect_segments(ops) {
+        match seg.phase {
+            Phase::Forward | Phase::Recompute => check_forward_segment(ops, &seg, &mut out),
+            Phase::Backward => check_backward_segment(ops, &seg, &mut out),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// D003 + D005: per-op kind/spec agreement and ghost detection.
+fn per_op(ops: &[OpRecord], out: &mut Vec<Finding>) {
+    for (i, op) in ops.iter().enumerate() {
+        match (op.kind, op.gemm) {
+            (OpKind::Gemm, Some(s)) if s.batch != 1 => out.push(
+                Finding::err(RuleId::KindSpec, "plain-GEMM op carries a batched spec")
+                    .at(i, op)
+                    .with_note(format!("spec {s} has batch {}", s.batch)),
+            ),
+            (OpKind::BatchedGemm, Some(s)) if s.batch < 2 => out.push(
+                Finding::err(RuleId::KindSpec, "batched-GEMM op has a non-batched spec")
+                    .at(i, op)
+                    .with_note(format!("spec {s} has batch {}", s.batch)),
+            ),
+            (OpKind::Gemm | OpKind::BatchedGemm, None) => out
+                .push(Finding::err(RuleId::KindSpec, "GEMM-kind op carries no GemmSpec").at(i, op)),
+            (OpKind::ElementWise | OpKind::Reduction | OpKind::Copy | OpKind::Comm, Some(s)) => {
+                out.push(
+                    Finding::err(RuleId::KindSpec, "non-GEMM op carries a GemmSpec")
+                        .at(i, op)
+                        .with_note(format!("kind {} with spec {s}", op.kind)),
+                );
+            }
+            _ => {}
+        }
+        // Pure data movements and communication fragments legitimately
+        // perform no arithmetic; everything else must both move bytes and
+        // (except embedding gathers) do work.
+        if matches!(op.kind, OpKind::Copy | OpKind::Comm) {
+            continue;
+        }
+        if op.bytes_read + op.bytes_written == 0 {
+            out.push(Finding::err(RuleId::GhostOp, "op moves zero bytes").at(i, op));
+        }
+        if op.flops == 0 {
+            let is_gather = op.kind == OpKind::ElementWise
+                && op.category == Category::Embedding
+                && op.phase == Phase::Forward;
+            if !is_gather {
+                out.push(
+                    Finding::err(RuleId::GhostOp, "arithmetic op performs zero FLOPs")
+                        .at(i, op)
+                        .with_note(
+                            "only embedding-table gathers are zero-FLOP; \
+                             pure moves must be OpKind::Copy",
+                        ),
+                );
+            }
+        }
+    }
+}
+
+/// D002: the `Precision` contract.
+///
+/// * Optimizer (update-phase) ops are always f32, in every precision mode.
+/// * Loss (cross-entropy) ops are always f32.
+/// * All forward/backward/recompute GEMMs share one activation dtype — the
+///   modal dtype of the forward GEMMs. A single f32 GEMM inside a
+///   mixed-precision stream (or a stray f16 GEMM inside an f32 stream) is
+///   flagged.
+fn dtype_contract(ops: &[OpRecord], out: &mut Vec<Finding>) {
+    for (i, op) in ops.iter().enumerate() {
+        if op.phase == Phase::Update && op.dtype != DType::F32 {
+            out.push(
+                Finding::err(RuleId::DtypeContract, "optimizer op is not f32").at(i, op).with_note(
+                    format!(
+                        "update-phase data stays f32 in every precision mode, recorded {}",
+                        op.dtype
+                    ),
+                ),
+            );
+        }
+        if op.name.contains("xent") && op.dtype != DType::F32 {
+            out.push(
+                Finding::err(RuleId::DtypeContract, "loss op is not f32")
+                    .at(i, op)
+                    .with_note(format!("cross-entropy runs in f32, recorded {}", op.dtype)),
+            );
+        }
+    }
+    let mut counts: BTreeMap<DType, usize> = BTreeMap::new();
+    for op in ops.iter().filter(|o| o.is_gemm() && o.phase == Phase::Forward) {
+        *counts.entry(op.dtype).or_default() += 1;
+    }
+    let Some((&modal, _)) = counts.iter().max_by_key(|&(_, &c)| c) else {
+        return; // No forward GEMMs: no activation-dtype contract to enforce.
+    };
+    for (i, op) in ops.iter().enumerate() {
+        let activation = matches!(op.phase, Phase::Forward | Phase::Backward | Phase::Recompute);
+        if activation && op.is_gemm() && op.dtype != modal {
+            out.push(
+                Finding::err(
+                    RuleId::DtypeContract,
+                    "GEMM dtype diverges from the stream's activation dtype",
+                )
+                .at(i, op)
+                .with_note(format!("stream activations are {modal}, this GEMM is {}", op.dtype)),
+            );
+        }
+    }
+}
+
+/// A maximal contiguous run of ops belonging to one `(layer, phase)`,
+/// ignoring interleaved copies and communication fragments.
+struct Segment {
+    layer: usize,
+    phase: Phase,
+    idxs: Vec<usize>,
+}
+
+fn collect_segments(ops: &[OpRecord]) -> Vec<Segment> {
+    let mut segs: Vec<Segment> = Vec::new();
+    let mut current: Option<(usize, Phase)> = None;
+    for (i, op) in ops.iter().enumerate() {
+        if matches!(op.kind, OpKind::Copy | OpKind::Comm) {
+            continue; // transparent to segmentation
+        }
+        let key = match (op.layer, op.phase) {
+            (Some(l), Phase::Forward | Phase::Recompute | Phase::Backward) => Some((l, op.phase)),
+            _ => None,
+        };
+        match key {
+            Some(k) if current == Some(k) => {
+                segs.last_mut().expect("open segment").idxs.push(i);
+            }
+            Some(k) => {
+                current = Some(k);
+                segs.push(Segment { layer: k.0, phase: k.1, idxs: vec![i] });
+            }
+            None => current = None,
+        }
+    }
+    segs
+}
+
+/// The GEMMs of a segment belonging to one category, in stream order.
+fn gemms_of(ops: &[OpRecord], seg: &Segment, cat: Category) -> Vec<(usize, GemmSpec)> {
+    seg.idxs
+        .iter()
+        .filter_map(|&i| {
+            let op = &ops[i];
+            (op.category == cat).then_some(()).and(op.gemm).map(|g| (i, g))
+        })
+        .collect()
+}
+
+/// Every op of a segment in one category must write exactly `elems` values
+/// at its own dtype (the activation tensor the chain carries).
+fn check_chain_bytes(
+    ops: &[OpRecord],
+    seg: &Segment,
+    cat: Category,
+    elems: u64,
+    produced_by: &str,
+    out: &mut Vec<Finding>,
+) {
+    for &i in &seg.idxs {
+        let op = &ops[i];
+        if op.category != cat {
+            continue;
+        }
+        let expect = elems * elem_size(op.dtype);
+        if op.bytes_written != expect {
+            out.push(
+                Finding::err(
+                    RuleId::ShapeChain,
+                    format!("{cat} op does not match its input shape"),
+                )
+                .at(i, op)
+                .with_note(format!(
+                    "{produced_by} produces {elems} elements ({expect} bytes at {}), \
+                         op writes {} bytes",
+                    op.dtype, op.bytes_written
+                )),
+            );
+        }
+    }
+}
+
+fn segment_err(seg: &Segment, ops: &[OpRecord], msg: String) -> Finding {
+    let i = seg.idxs[0];
+    Finding::err(RuleId::SegmentStructure, msg).at(i, &ops[i])
+}
+
+/// Forward/recompute layer segment: Q/K/V + score + softmax-chain + context
+/// + output projection + FC-1 + `GeLU` + FC-2.
+fn check_forward_segment(ops: &[OpRecord], seg: &Segment, out: &mut Vec<Finding>) {
+    let l = seg.layer;
+    let ph = seg.phase;
+    let fc = gemms_of(ops, seg, Category::FcGemm);
+    if fc.len() == 2 {
+        let (_, f1) = fc[0];
+        let (i2, f2) = fc[1];
+        if f2.k != f1.m || f2.n != f1.n {
+            out.push(
+                Finding::err(RuleId::ShapeChain, "FC-2 input shape does not match FC-1 output")
+                    .at(i2, &ops[i2])
+                    .with_note(format!(
+                        "FC-1 produces [{}x{}], FC-2 consumes [{}x{}]",
+                        f1.m, f1.n, f2.k, f2.n
+                    )),
+            );
+        }
+        check_chain_bytes(ops, seg, Category::Gelu, (f1.m * f1.n) as u64, "FC-1", out);
+    } else {
+        out.push(segment_err(
+            seg,
+            ops,
+            format!("layer {l} {ph} segment has {} FC GEMMs, expected 2 (FC-1, FC-2)", fc.len()),
+        ));
+    }
+    let bg = gemms_of(ops, seg, Category::AttnBgemm);
+    if bg.len() == 2 {
+        let (_, score) = bg[0];
+        let (ic, ctx) = bg[1];
+        if ctx.batch != score.batch {
+            out.push(
+                Finding::err(RuleId::ShapeChain, "attention GEMM batches disagree")
+                    .at(ic, &ops[ic])
+                    .with_note(format!(
+                        "score batch {} vs context batch {}",
+                        score.batch, ctx.batch
+                    )),
+            );
+        }
+        if ctx.k != score.m {
+            out.push(
+                Finding::err(
+                    RuleId::ShapeChain,
+                    "context GEMM does not contract over the score matrix",
+                )
+                .at(ic, &ops[ic])
+                .with_note(format!(
+                    "score matrix is [{}x{}], context contracts over {}",
+                    score.m, score.n, ctx.k
+                )),
+            );
+        }
+        let scores = (score.m * score.n * score.batch) as u64;
+        check_chain_bytes(
+            ops,
+            seg,
+            Category::ScaleMaskSoftmaxDropout,
+            scores,
+            "the score B-GEMM",
+            out,
+        );
+    } else {
+        out.push(segment_err(
+            seg,
+            ops,
+            format!(
+                "layer {l} {ph} segment has {} attention B-GEMMs, expected 2 (score, context)",
+                bg.len()
+            ),
+        ));
+    }
+}
+
+/// Backward layer segment: the same chains in reverse — FC-2 grads feed `GeLU`
+/// backward feeds FC-1 grads; the score-matrix gradient (context grad-V
+/// output) feeds the softmax-chain backward.
+fn check_backward_segment(ops: &[OpRecord], seg: &Segment, out: &mut Vec<Finding>) {
+    let l = seg.layer;
+    let fc = gemms_of(ops, seg, Category::FcGemm);
+    if fc.len() == 4 {
+        // [fc2.grad_act, fc2.grad_wt, fc1.grad_act, fc1.grad_wt]
+        let (_, f2ga) = fc[0];
+        let (i1, f1ga) = fc[2];
+        if f1ga.k != f2ga.m || f1ga.n != f2ga.n {
+            out.push(
+                Finding::err(
+                    RuleId::ShapeChain,
+                    "FC-1 grad-activation input does not match FC-2 grad-activation output",
+                )
+                .at(i1, &ops[i1])
+                .with_note(format!(
+                    "FC-2 grad-act produces [{}x{}], FC-1 grad-act consumes [{}x{}]",
+                    f2ga.m, f2ga.n, f1ga.k, f1ga.n
+                )),
+            );
+        }
+        check_chain_bytes(ops, seg, Category::Gelu, (f2ga.m * f2ga.n) as u64, "FC-2 grad-act", out);
+    } else {
+        out.push(segment_err(
+            seg,
+            ops,
+            format!("layer {l} backward segment has {} FC GEMMs, expected 4", fc.len()),
+        ));
+    }
+    let bg = gemms_of(ops, seg, Category::AttnBgemm);
+    if bg.len() == 4 {
+        // [context.grad_act, context.grad_v, score.grad_q, score.grad_k]
+        let batch = bg[0].1.batch;
+        for &(i, g) in &bg[1..] {
+            if g.batch != batch {
+                out.push(
+                    Finding::err(RuleId::ShapeChain, "attention backward GEMM batches disagree")
+                        .at(i, &ops[i])
+                        .with_note(format!("batch {} vs {}", g.batch, batch)),
+                );
+            }
+        }
+        let (_, grad_v) = bg[1]; // output = gradient w.r.t. the score matrix
+        let scores = (grad_v.m * grad_v.n * grad_v.batch) as u64;
+        check_chain_bytes(
+            ops,
+            seg,
+            Category::ScaleMaskSoftmaxDropout,
+            scores,
+            "the score-matrix gradient",
+            out,
+        );
+    } else {
+        out.push(segment_err(
+            seg,
+            ops,
+            format!("layer {l} backward segment has {} attention B-GEMMs, expected 4", bg.len()),
+        ));
+    }
+}

@@ -1,0 +1,160 @@
+//! Diagnostics produced by the checker.
+
+use crate::rules::RuleId;
+use bertscope_tensor::OpRecord;
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// The stream provably violates an invariant; `opcheck` exits nonzero.
+    Error,
+    /// Suspicious but not provably wrong; reported, never fatal.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        })
+    }
+}
+
+/// One diagnostic: which rule fired, where, and why.
+///
+/// Renders in rustc/clippy style:
+///
+/// ```text
+/// error[C001]: recorded FLOPs disagree with the GEMM spec
+///   --> op #42 `l3.fc1.gemm.fwd`
+///   = note: recorded 100 FLOPs, spec nn,4,4,2 implies 2*4*4*2*1 = 64
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// Severity of the violation.
+    pub severity: Severity,
+    /// Index of the offending op in the checked stream, when a single op is
+    /// at fault (stream-level findings have none).
+    pub op_index: Option<usize>,
+    /// Name of the offending op, when one is at fault.
+    pub op_name: Option<String>,
+    /// Human-readable statement of the violation.
+    pub message: String,
+    /// Optional expected-vs-recorded elaboration.
+    pub note: Option<String>,
+}
+
+impl Finding {
+    /// An error-severity finding with no location yet.
+    #[must_use]
+    pub fn err(rule: RuleId, message: impl Into<String>) -> Self {
+        Finding {
+            rule,
+            severity: Severity::Error,
+            op_index: None,
+            op_name: None,
+            message: message.into(),
+            note: None,
+        }
+    }
+
+    /// A warning-severity finding with no location yet.
+    #[must_use]
+    pub fn warn(rule: RuleId, message: impl Into<String>) -> Self {
+        Finding { severity: Severity::Warning, ..Finding::err(rule, message) }
+    }
+
+    /// Attach the offending op's stream index and name.
+    #[must_use]
+    pub fn at(mut self, index: usize, op: &OpRecord) -> Self {
+        self.op_index = Some(index);
+        self.op_name = Some(op.name.clone());
+        self
+    }
+
+    /// Attach an expected-vs-recorded note.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = Some(note.into());
+        self
+    }
+
+    /// Whether this finding is fatal for `opcheck`.
+    #[must_use]
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.rule.code(), self.message)?;
+        if let Some(i) = self.op_index {
+            match &self.op_name {
+                Some(name) => write!(f, "\n  --> op #{i} `{name}`")?,
+                None => write!(f, "\n  --> op #{i}")?,
+            }
+        }
+        if let Some(note) = &self.note {
+            write!(f, "\n  = note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Sort findings for display: errors first, then by rule code, then by
+/// stream position.
+pub(crate) fn sort(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.severity, a.rule.code(), a.op_index).cmp(&(b.severity, b.rule.code(), b.op_index))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertscope_tensor::{Category, DType, OpKind, Phase};
+
+    fn op(name: &str) -> OpRecord {
+        OpRecord {
+            name: name.into(),
+            kind: OpKind::ElementWise,
+            category: Category::Gelu,
+            phase: Phase::Forward,
+            layer: Some(3),
+            gemm: None,
+            flops: 1,
+            bytes_read: 4,
+            bytes_written: 4,
+            dtype: DType::F32,
+        }
+    }
+
+    #[test]
+    fn display_is_rustc_style() {
+        let finding = Finding::err(RuleId::GemmFlops, "recorded FLOPs disagree with the GEMM spec")
+            .at(42, &op("l3.fc1.gemm.fwd"))
+            .with_note("recorded 100 FLOPs, spec implies 64");
+        let text = finding.to_string();
+        assert!(text.starts_with("error[C001]: "));
+        assert!(text.contains("--> op #42 `l3.fc1.gemm.fwd`"));
+        assert!(text.contains("= note: recorded 100"));
+    }
+
+    #[test]
+    fn errors_sort_before_warnings() {
+        let mut v = vec![
+            Finding::warn(RuleId::GhostOp, "w"),
+            Finding::err(RuleId::PhaseOrder, "e2").at(9, &op("x")),
+            Finding::err(RuleId::GemmFlops, "e1"),
+        ];
+        sort(&mut v);
+        assert_eq!(v[0].rule, RuleId::GemmFlops);
+        assert_eq!(v[1].rule, RuleId::PhaseOrder);
+        assert_eq!(v[2].severity, Severity::Warning);
+    }
+}

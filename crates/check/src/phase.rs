@@ -1,0 +1,293 @@
+//! P-series lints: phase legality.
+//!
+//! A training iteration is legal when: every layer's forward precedes its
+//! backward (P001); the forward pass ascends the layer stack and the
+//! backward pass descends it (P002) — an ordering that holds under
+//! activation checkpointing too, because both the segments and the layers
+//! within each segment are walked in reverse; recompute work sits strictly
+//! between the end of the forward pass and the owning layer's backward
+//! (P003); a stream that backpropagates anything backpropagates everything
+//! it forwarded, and never updates weights without gradients (P004); and
+//! the optimizer runs last, gradient-norm first, with every LAMB stage-2
+//! preceded by its stage-1 (P001/P005).
+//!
+//! Communication ops ([`OpKind::Comm`]) are exempt from ordering: overlap
+//! with both passes is exactly what distributed schedules do.
+
+use crate::finding::Finding;
+use crate::rules::RuleId;
+use bertscope_tensor::{Category, OpKind, OpRecord, Phase};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub(crate) fn check(ops: &[OpRecord]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let view: Vec<(usize, &OpRecord)> = ops
+        .iter()
+        .enumerate()
+        .filter(|&(_, o)| {
+            !matches!(o.kind, OpKind::Copy | OpKind::Comm) && o.phase != Phase::Communication
+        })
+        .collect();
+    update_last(&view, &mut out);
+    category_phase_agreement(&view, &mut out);
+    per_layer_order(&view, &mut out);
+    recompute_placement(&view, &mut out);
+    missing_backward(&view, &mut out);
+    optimizer_stage_order(&view, &mut out);
+    out
+}
+
+/// P001: once the optimizer update begins, nothing else may run.
+fn update_last(view: &[(usize, &OpRecord)], out: &mut Vec<Finding>) {
+    let Some(first) = view.iter().position(|&(_, o)| o.phase == Phase::Update) else {
+        return;
+    };
+    for &(i, op) in &view[first..] {
+        if op.phase != Phase::Update {
+            out.push(
+                Finding::err(RuleId::PhaseOrder, "op runs after the optimizer update began")
+                    .at(i, op)
+                    .with_note(format!("{} work must precede the weight update", op.phase)),
+            );
+        }
+    }
+}
+
+/// P001: optimizer categories appear only in the update phase, and the
+/// update phase contains only optimizer categories.
+fn category_phase_agreement(view: &[(usize, &OpRecord)], out: &mut Vec<Finding>) {
+    for &(i, op) in view {
+        let optimizer_cat =
+            matches!(op.category, Category::GradNorm | Category::LambStage1 | Category::LambStage2);
+        if op.phase == Phase::Update && !optimizer_cat {
+            out.push(
+                Finding::err(RuleId::PhaseOrder, "non-optimizer op in the update phase")
+                    .at(i, op)
+                    .with_note(format!("category {} cannot run as a weight update", op.category)),
+            );
+        }
+        if op.phase != Phase::Update && optimizer_cat {
+            out.push(
+                Finding::err(RuleId::PhaseOrder, "optimizer op outside the update phase")
+                    .at(i, op)
+                    .with_note(format!("category {} belongs to the update phase", op.category)),
+            );
+        }
+    }
+}
+
+/// P001 per layer + P002 stack order.
+fn per_layer_order(view: &[(usize, &OpRecord)], out: &mut Vec<Finding>) {
+    let mut last_fwd: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut first_bwd: BTreeMap<usize, usize> = BTreeMap::new();
+    for &(i, op) in view {
+        if let Some(l) = op.layer {
+            match op.phase {
+                Phase::Forward => {
+                    last_fwd.insert(l, i);
+                }
+                Phase::Backward => {
+                    first_bwd.entry(l).or_insert(i);
+                }
+                _ => {}
+            }
+        }
+    }
+    for (l, &fwd) in &last_fwd {
+        if let Some(&bwd) = first_bwd.get(l) {
+            if fwd > bwd {
+                out.push(Finding::err(
+                    RuleId::PhaseOrder,
+                    format!(
+                        "layer {l} forward op (op #{fwd}) runs after its backward began (op #{bwd})"
+                    ),
+                ));
+            }
+        }
+    }
+    // Forward ascends the stack; backward descends it.
+    let mut prev_fwd: Option<usize> = None;
+    let mut prev_bwd: Option<usize> = None;
+    for &(i, op) in view {
+        let Some(l) = op.layer else { continue };
+        match op.phase {
+            Phase::Forward => {
+                if prev_fwd.is_some_and(|p| l < p) {
+                    out.push(
+                        Finding::err(RuleId::LayerOrder, "forward pass revisits an earlier layer")
+                            .at(i, op)
+                            .with_note(format!(
+                                "layer {l} after layer {}",
+                                prev_fwd.expect("checked")
+                            )),
+                    );
+                }
+                prev_fwd = Some(l);
+            }
+            Phase::Backward => {
+                if prev_bwd.is_some_and(|p| l > p) {
+                    out.push(
+                        Finding::err(RuleId::LayerOrder, "backward pass ascends the layer stack")
+                            .at(i, op)
+                            .with_note(format!(
+                                "layer {l} after layer {}; backprop must walk layers in reverse",
+                                prev_bwd.expect("checked")
+                            )),
+                    );
+                }
+                prev_bwd = Some(l);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// P003: recompute starts only after the whole forward pass, and each
+/// layer's recompute completes before that layer's backward begins.
+fn recompute_placement(view: &[(usize, &OpRecord)], out: &mut Vec<Finding>) {
+    let last_fwd_overall =
+        view.iter().filter(|&&(_, o)| o.phase == Phase::Forward).map(|&(i, _)| i).max();
+    let mut last_rec: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut first_bwd: BTreeMap<usize, usize> = BTreeMap::new();
+    for &(i, op) in view {
+        match (op.phase, op.layer) {
+            (Phase::Recompute, Some(l)) => {
+                last_rec.insert(l, i);
+                if last_fwd_overall.is_some_and(|f| i < f) {
+                    out.push(
+                        Finding::err(
+                            RuleId::RecomputePlacement,
+                            "recompute op before the forward pass completed",
+                        )
+                        .at(i, op),
+                    );
+                }
+            }
+            (Phase::Recompute, None) => {
+                out.push(
+                    Finding::err(RuleId::RecomputePlacement, "recompute op without a layer")
+                        .at(i, op)
+                        .with_note("only Transformer layers are checkpointed"),
+                );
+            }
+            (Phase::Backward, Some(l)) => {
+                first_bwd.entry(l).or_insert(i);
+            }
+            _ => {}
+        }
+    }
+    for (l, &rec) in &last_rec {
+        if first_bwd.get(l).is_some_and(|&bwd| rec > bwd) {
+            out.push(Finding::err(
+                RuleId::RecomputePlacement,
+                format!("layer {l} recompute (op #{rec}) runs after its backward began"),
+            ));
+        }
+    }
+}
+
+/// P004: a stream that backpropagates any layer must backpropagate every
+/// forwarded layer, and an optimizer update requires a backward pass.
+fn missing_backward(view: &[(usize, &OpRecord)], out: &mut Vec<Finding>) {
+    let mut fwd_layers: BTreeSet<usize> = BTreeSet::new();
+    let mut bwd_layers: BTreeSet<usize> = BTreeSet::new();
+    let mut any_bwd = false;
+    let mut any_upd = false;
+    for &(_, op) in view {
+        match op.phase {
+            Phase::Forward => {
+                if let Some(l) = op.layer {
+                    fwd_layers.insert(l);
+                }
+            }
+            Phase::Backward => {
+                any_bwd = true;
+                if let Some(l) = op.layer {
+                    bwd_layers.insert(l);
+                }
+            }
+            Phase::Update => any_upd = true,
+            _ => {}
+        }
+    }
+    if any_bwd {
+        for l in fwd_layers.difference(&bwd_layers) {
+            out.push(Finding::err(
+                RuleId::MissingBackward,
+                format!("layer {l} has forward ops but is never backpropagated"),
+            ));
+        }
+    }
+    if any_upd && !any_bwd {
+        out.push(Finding::err(
+            RuleId::MissingBackward,
+            "optimizer update without a backward pass: there are no gradients to apply",
+        ));
+    }
+}
+
+/// P005: gradient norm precedes the stages; every stage-2 has a stage-1
+/// before it; stages pair up one-to-one.
+fn optimizer_stage_order(view: &[(usize, &OpRecord)], out: &mut Vec<Finding>) {
+    let upd: Vec<(usize, &OpRecord)> =
+        view.iter().filter(|&&(_, o)| o.phase == Phase::Update).map(|&(i, o)| (i, o)).collect();
+    let n_s2 = upd.iter().filter(|&&(_, o)| o.category == Category::LambStage2).count();
+    if n_s2 == 0 {
+        return; // Adam (or no optimizer): no stage pairing to enforce.
+    }
+    let n_s1 = upd.iter().filter(|&&(_, o)| o.category == Category::LambStage1).count();
+    if n_s1 != n_s2 {
+        out.push(Finding::err(RuleId::OptimizerStageOrder, "unpaired LAMB stages").with_note(
+            format!("{n_s1} stage-1 kernels vs {n_s2} stage-2 kernels; every group runs both"),
+        ));
+    }
+    let norm_positions: Vec<usize> =
+        upd.iter().filter(|&&(_, o)| o.category == Category::GradNorm).map(|&(i, _)| i).collect();
+    if norm_positions.is_empty() {
+        out.push(Finding::err(
+            RuleId::OptimizerStageOrder,
+            "LAMB stages present but no gradient-norm reduction: \
+             the trust ratio needs the global norm first",
+        ));
+    }
+    let first_stage = upd
+        .iter()
+        .find(|&&(_, o)| matches!(o.category, Category::LambStage1 | Category::LambStage2))
+        .map(|&(i, _)| i);
+    if let Some(first) = first_stage {
+        for &pos in &norm_positions {
+            if pos > first {
+                out.push(Finding::err(
+                    RuleId::OptimizerStageOrder,
+                    format!(
+                        "gradient-norm reduction (op #{pos}) runs after the LAMB stages began \
+                         (op #{first})"
+                    ),
+                ));
+            }
+        }
+    }
+    // Prefix property: at every point, stage-2 kernels seen <= stage-1 seen.
+    let (mut seen1, mut seen2) = (0usize, 0usize);
+    for &(i, op) in &upd {
+        match op.category {
+            Category::LambStage1 => seen1 += 1,
+            Category::LambStage2 => {
+                seen2 += 1;
+                if seen2 > seen1 {
+                    out.push(
+                        Finding::err(
+                            RuleId::OptimizerStageOrder,
+                            "LAMB stage-2 runs before its stage-1",
+                        )
+                        .at(i, op)
+                        .with_note(format!(
+                            "stage-2 kernel #{seen2} but only {seen1} stage-1 kernels so far"
+                        )),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The lint rule registry.
+//!
+//! Every diagnostic the checker can produce carries one of these stable
+//! identifiers, grouped into three families:
+//!
+//! * **C-series (conservation)**: recorded FLOP/byte counts must match an
+//!   independent closed-form recomputation from the op's own metadata
+//!   (GEMM dims, dtype, optimizer per-parameter costs) or, with a
+//!   configuration in hand, from the model's parameter inventory.
+//! * **D-series (dataflow)**: symbolic shape/dtype propagation — an op's
+//!   kind must agree with its spec, producer→consumer shapes must chain,
+//!   dtypes must obey the precision contract, and no op may be a ghost
+//!   (zero traffic or unexplained zero arithmetic).
+//! * **P-series (phase legality)**: forward before backward, backward in
+//!   reverse layer order, recompute sandwiched correctly, optimizer last
+//!   and internally ordered.
+
+/// Stable identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RuleId {
+    /// C001: a GEMM op's recorded FLOPs disagree with `2·M·N·K·batch`.
+    GemmFlops,
+    /// C002: a GEMM op's recorded bytes disagree with its spec and dtype.
+    GemmBytes,
+    /// C003: optimizer ops' FLOPs and bytes imply inconsistent parameter
+    /// counts (stage 1 vs stage 2 vs the gradient norm).
+    OptimizerConservation,
+    /// C004 (config-aware): optimizer traffic disagrees with the model's
+    /// closed-form parameter count.
+    ParamTraffic,
+    /// C005 (config-aware): a layer's per-category totals disagree with the
+    /// Table 2b / activation closed forms.
+    LayerClosedForm,
+    /// C006 (config-aware): optimizer kernel count disagrees with the
+    /// update-group inventory.
+    OptimizerKernelCount,
+    /// D001: producer→consumer shapes do not chain within a layer segment.
+    ShapeChain,
+    /// D002: dtype violates the precision contract (non-f32 optimizer or
+    /// loss op, GEMM dtype diverging from the stream's activation dtype).
+    DtypeContract,
+    /// D003: ghost op — zero bytes moved, or zero FLOPs on an arithmetic
+    /// kind that cannot legitimately be free.
+    GhostOp,
+    /// D004: a layer segment is missing expected operations.
+    SegmentStructure,
+    /// D005: op kind and `GemmSpec` presence/batchedness disagree.
+    KindSpec,
+    /// P001: phase ordering violated (forward after its backward began,
+    /// non-update work after the optimizer started, or an op in a phase its
+    /// category cannot belong to).
+    PhaseOrder,
+    /// P002: forward layer order is not ascending, or backward not
+    /// descending.
+    LayerOrder,
+    /// P003: a recompute op appears before the forward pass completed or
+    /// after its layer's backward began.
+    RecomputePlacement,
+    /// P004: a training stream backpropagates some layers but not others,
+    /// or updates weights without any backward pass.
+    MissingBackward,
+    /// P005: optimizer stage ordering violated (missing or late gradient
+    /// norm, stage 2 without a preceding stage 1, unpaired stages).
+    OptimizerStageOrder,
+    /// P006 (config-aware): checkpointing enabled but a layer is never
+    /// recomputed, or recompute ops present without checkpointing.
+    CheckpointRecompute,
+}
+
+impl RuleId {
+    /// The rule's stable diagnostic code (`C001`, `D003`, `P005`, ...).
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::GemmFlops => "C001",
+            RuleId::GemmBytes => "C002",
+            RuleId::OptimizerConservation => "C003",
+            RuleId::ParamTraffic => "C004",
+            RuleId::LayerClosedForm => "C005",
+            RuleId::OptimizerKernelCount => "C006",
+            RuleId::ShapeChain => "D001",
+            RuleId::DtypeContract => "D002",
+            RuleId::GhostOp => "D003",
+            RuleId::SegmentStructure => "D004",
+            RuleId::KindSpec => "D005",
+            RuleId::PhaseOrder => "P001",
+            RuleId::LayerOrder => "P002",
+            RuleId::RecomputePlacement => "P003",
+            RuleId::MissingBackward => "P004",
+            RuleId::OptimizerStageOrder => "P005",
+            RuleId::CheckpointRecompute => "P006",
+        }
+    }
+
+    /// One-line summary of what the rule verifies.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::GemmFlops => "GEMM FLOPs match 2*M*N*K*batch recomputed from the spec",
+            RuleId::GemmBytes => "GEMM bytes match (M*K + K*N) reads and M*N writes at the dtype",
+            RuleId::OptimizerConservation => {
+                "optimizer stages imply one consistent parameter count"
+            }
+            RuleId::ParamTraffic => "optimizer traffic matches the model's parameter count",
+            RuleId::LayerClosedForm => "per-layer totals match the Table 2b closed forms",
+            RuleId::OptimizerKernelCount => "optimizer kernel count matches the group inventory",
+            RuleId::ShapeChain => "producer/consumer shapes chain through each layer",
+            RuleId::DtypeContract => "dtypes obey the precision contract",
+            RuleId::GhostOp => "no zero-byte or unexplained zero-FLOP ops",
+            RuleId::SegmentStructure => "layer segments contain their expected GEMMs",
+            RuleId::KindSpec => "op kind agrees with its GemmSpec",
+            RuleId::PhaseOrder => "forward precedes backward; the update comes last",
+            RuleId::LayerOrder => "forward ascends and backward descends the layer stack",
+            RuleId::RecomputePlacement => "recompute sits between forward and its backward",
+            RuleId::MissingBackward => "training streams backpropagate every forwarded layer",
+            RuleId::OptimizerStageOrder => "grad-norm precedes paired LAMB stages in order",
+            RuleId::CheckpointRecompute => "checkpointing re-emits recompute ops per layer",
+        }
+    }
+
+    /// All rules, in code order.
+    #[must_use]
+    pub fn all() -> &'static [RuleId] {
+        &[
+            RuleId::GemmFlops,
+            RuleId::GemmBytes,
+            RuleId::OptimizerConservation,
+            RuleId::ParamTraffic,
+            RuleId::LayerClosedForm,
+            RuleId::OptimizerKernelCount,
+            RuleId::ShapeChain,
+            RuleId::DtypeContract,
+            RuleId::GhostOp,
+            RuleId::SegmentStructure,
+            RuleId::KindSpec,
+            RuleId::PhaseOrder,
+            RuleId::LayerOrder,
+            RuleId::RecomputePlacement,
+            RuleId::MissingBackward,
+            RuleId::OptimizerStageOrder,
+            RuleId::CheckpointRecompute,
+        ]
+    }
+}
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_ordered() {
+        let codes: Vec<&str> = RuleId::all().iter().map(|r| r.code()).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), codes.len(), "duplicate rule code");
+    }
+
+    #[test]
+    fn every_rule_has_a_summary() {
+        for r in RuleId::all() {
+            assert!(!r.summary().is_empty());
+            assert_eq!(r.code().len(), 4);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Mutation coverage for the checker: every rule family must fire on a
+//! deliberately corrupted stream and stay silent on the pristine one.
+
+use bertscope_check::{check_iteration, check_stream, has_errors, Finding};
+use bertscope_model::{
+    build_finetune, build_inference, build_iteration, BertConfig, GraphOptions, OptimizerChoice,
+    Precision,
+};
+use bertscope_tensor::{Category, DType, OpKind, OpRecord, Phase};
+
+fn codes(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule.code()).collect()
+}
+
+fn pretrain() -> (BertConfig, GraphOptions, Vec<OpRecord>) {
+    let cfg = BertConfig::tiny();
+    let opts = GraphOptions { optimizer: OptimizerChoice::Lamb, ..GraphOptions::default() };
+    let ops = build_iteration(&cfg, &opts);
+    (cfg, opts, ops)
+}
+
+#[test]
+fn clean_streams_pass_everywhere() {
+    let cfg = BertConfig::tiny();
+    for precision in [Precision::Fp32, Precision::Mixed, Precision::MixedBf16] {
+        for checkpoint in [false, true] {
+            for optimizer in [OptimizerChoice::Lamb, OptimizerChoice::Adam] {
+                let opts =
+                    GraphOptions { precision, checkpoint, optimizer, ..GraphOptions::default() };
+                let f = check_iteration(&cfg, &opts, &build_iteration(&cfg, &opts));
+                assert!(f.is_empty(), "pretrain {precision:?}/{checkpoint}/{optimizer:?}: {f:?}");
+                if !checkpoint {
+                    let f = check_iteration(&cfg, &opts, &build_finetune(&cfg, &opts));
+                    assert!(f.is_empty(), "finetune {precision:?}/{optimizer:?}: {f:?}");
+                }
+            }
+        }
+        let inf =
+            GraphOptions { precision, optimizer: OptimizerChoice::None, ..GraphOptions::default() };
+        let f = check_iteration(&cfg, &inf, &build_inference(&cfg, &inf));
+        assert!(f.is_empty(), "inference {precision:?}: {f:?}");
+    }
+}
+
+#[test]
+fn corrupted_gemm_flops_fires_c001() {
+    let (_, _, mut ops) = pretrain();
+    let i = ops.iter().position(OpRecord::is_gemm).unwrap();
+    ops[i].flops += 2;
+    assert!(codes(&check_stream(&ops)).contains(&"C001"));
+}
+
+#[test]
+fn corrupted_gemm_bytes_fires_c002() {
+    let (_, _, mut ops) = pretrain();
+    let i = ops.iter().position(OpRecord::is_gemm).unwrap();
+    ops[i].bytes_read += 4;
+    assert!(codes(&check_stream(&ops)).contains(&"C002"));
+}
+
+#[test]
+fn swapped_activation_dtype_fires_d002_and_c002() {
+    let cfg = BertConfig::tiny();
+    let opts = GraphOptions { precision: Precision::Mixed, ..GraphOptions::default() };
+    let mut ops = build_iteration(&cfg, &opts);
+    // One forward GEMM silently promoted to f32 inside a mixed stream: the
+    // dtype contract breaks, and so do the byte counts it recorded at f16.
+    let i = ops
+        .iter()
+        .position(|o| o.is_gemm() && o.phase == Phase::Forward && o.dtype == DType::F16)
+        .unwrap();
+    ops[i].dtype = DType::F32;
+    let c = codes(&check_stream(&ops));
+    assert!(c.contains(&"D002"), "{c:?}");
+    assert!(c.contains(&"C002"), "{c:?}");
+}
+
+#[test]
+fn non_f32_optimizer_op_fires_d002() {
+    let (_, _, mut ops) = pretrain();
+    let i = ops.iter().position(|o| o.phase == Phase::Update).unwrap();
+    ops[i].dtype = DType::F16;
+    assert!(codes(&check_stream(&ops)).contains(&"D002"));
+}
+
+#[test]
+fn kind_spec_disagreement_fires_d005() {
+    let (_, _, mut ops) = pretrain();
+    let i = ops.iter().position(OpRecord::is_gemm).unwrap();
+    ops[i].kind = OpKind::ElementWise; // still carries its GemmSpec
+    assert!(codes(&check_stream(&ops)).contains(&"D005"));
+}
+
+#[test]
+fn zero_flop_arithmetic_op_fires_d003() {
+    let (_, _, mut ops) = pretrain();
+    let i = ops
+        .iter()
+        .position(|o| {
+            o.kind == OpKind::ElementWise && o.category != Category::Embedding && o.flops > 0
+        })
+        .unwrap();
+    ops[i].flops = 0;
+    assert!(codes(&check_stream(&ops)).contains(&"D003"));
+}
+
+#[test]
+fn zero_byte_op_fires_d003() {
+    let (_, _, mut ops) = pretrain();
+    let i = ops.iter().position(|o| o.kind == OpKind::ElementWise).unwrap();
+    ops[i].bytes_read = 0;
+    ops[i].bytes_written = 0;
+    assert!(codes(&check_stream(&ops)).contains(&"D003"));
+}
+
+#[test]
+fn dropped_fc2_gemm_fires_d004() {
+    let (_, _, ops) = pretrain();
+    let second_fc = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| {
+            o.category == Category::FcGemm && o.phase == Phase::Forward && o.layer == Some(0)
+        })
+        .map(|(i, _)| i)
+        .nth(1)
+        .unwrap();
+    let ops: Vec<OpRecord> =
+        ops.into_iter().enumerate().filter(|&(i, _)| i != second_fc).map(|(_, o)| o).collect();
+    assert!(codes(&check_stream(&ops)).contains(&"D004"));
+}
+
+#[test]
+fn optimizer_before_backward_fires_p001() {
+    let (_, _, ops) = pretrain();
+    // Stable-partition the update phase to the front of the stream.
+    let (upd, rest): (Vec<OpRecord>, Vec<OpRecord>) =
+        ops.into_iter().partition(|o| o.phase == Phase::Update);
+    let reordered: Vec<OpRecord> = upd.into_iter().chain(rest).collect();
+    assert!(codes(&check_stream(&reordered)).contains(&"P001"));
+}
+
+#[test]
+fn forward_revisiting_a_layer_fires_p002() {
+    let (_, _, mut ops) = pretrain();
+    let last_fwd =
+        ops.iter().rposition(|o| o.phase == Phase::Forward && o.layer == Some(1)).unwrap();
+    ops[last_fwd].layer = Some(0);
+    assert!(codes(&check_stream(&ops)).contains(&"P002"));
+}
+
+#[test]
+fn truncated_backward_fires_p004() {
+    let (_, _, ops) = pretrain();
+    let ops: Vec<OpRecord> =
+        ops.into_iter().filter(|o| !(o.phase == Phase::Backward && o.layer == Some(0))).collect();
+    assert!(codes(&check_stream(&ops)).contains(&"P004"));
+}
+
+#[test]
+fn update_without_backward_fires_p004() {
+    let (_, _, ops) = pretrain();
+    let ops: Vec<OpRecord> = ops.into_iter().filter(|o| o.phase != Phase::Backward).collect();
+    assert!(codes(&check_stream(&ops)).contains(&"P004"));
+}
+
+#[test]
+fn missing_gradient_norm_fires_p005() {
+    let (_, _, ops) = pretrain();
+    let ops: Vec<OpRecord> = ops.into_iter().filter(|o| o.category != Category::GradNorm).collect();
+    assert!(codes(&check_stream(&ops)).contains(&"P005"));
+}
+
+#[test]
+fn lamb_stage2_before_stage1_fires_p005() {
+    let (_, _, mut ops) = pretrain();
+    let s1 = ops.iter().position(|o| o.category == Category::LambStage1).unwrap();
+    let s2 = ops.iter().position(|o| o.category == Category::LambStage2).unwrap();
+    ops.swap(s1, s2);
+    assert!(codes(&check_stream(&ops)).contains(&"P005"));
+}
+
+#[test]
+fn corrupted_stage1_traffic_fires_c003() {
+    let (_, _, mut ops) = pretrain();
+    let i = ops.iter().position(|o| o.category == Category::LambStage1).unwrap();
+    ops[i].bytes_read += 16;
+    assert!(codes(&check_stream(&ops)).contains(&"C003"));
+}
+
+#[test]
+fn dropped_update_kernel_fires_c006() {
+    let (cfg, opts, ops) = pretrain();
+    let i = ops.iter().position(|o| o.category == Category::LambStage1).unwrap();
+    let ops: Vec<OpRecord> =
+        ops.into_iter().enumerate().filter(|&(j, _)| j != i).map(|(_, o)| o).collect();
+    assert!(codes(&check_iteration(&cfg, &opts, &ops)).contains(&"C006"));
+}
+
+#[test]
+fn corrupted_layer_total_fires_c005() {
+    let (cfg, opts, mut ops) = pretrain();
+    // Shrink one forward GEMM consistently (spec, FLOPs and bytes all
+    // rewritten to agree): per-op conservation stays clean, but the layer's
+    // Table 2b closed form no longer holds.
+    let i = ops
+        .iter()
+        .position(|o| o.is_gemm() && o.phase == Phase::Forward && o.layer == Some(0))
+        .unwrap();
+    let mut spec = ops[i].gemm.unwrap();
+    spec.k /= 2;
+    let es = match ops[i].dtype {
+        DType::F32 => 4u64,
+        DType::F16 | DType::BF16 => 2,
+    };
+    let (rows, cols, inner, batch) =
+        (spec.m as u64, spec.n as u64, spec.k as u64, spec.batch as u64);
+    ops[i].gemm = Some(spec);
+    ops[i].flops = 2 * rows * cols * inner * batch;
+    ops[i].bytes_read = (rows * inner + inner * cols) * batch * es;
+    ops[i].bytes_written = rows * cols * batch * es;
+    let findings = check_iteration(&cfg, &opts, &ops);
+    assert!(codes(&findings).contains(&"C005"), "{findings:?}");
+}
+
+#[test]
+fn stripped_recompute_fires_p006() {
+    let cfg = BertConfig::tiny();
+    let opts = GraphOptions { checkpoint: true, ..GraphOptions::default() };
+    let ops: Vec<OpRecord> =
+        build_iteration(&cfg, &opts).into_iter().filter(|o| o.phase != Phase::Recompute).collect();
+    assert!(codes(&check_iteration(&cfg, &opts, &ops)).contains(&"P006"));
+}
+
+#[test]
+fn stray_recompute_fires_p006() {
+    let cfg = BertConfig::tiny();
+    let plain = GraphOptions::default();
+    let ckpt = GraphOptions { checkpoint: true, ..GraphOptions::default() };
+    // Graft one recompute op (placed legally, after the forward pass) into a
+    // stream whose options never asked for checkpointing.
+    let donor = build_iteration(&cfg, &ckpt);
+    let rec = donor.iter().find(|o| o.phase == Phase::Recompute).unwrap().clone();
+    let mut ops = build_iteration(&cfg, &plain);
+    let first_bwd = ops.iter().position(|o| o.phase == Phase::Backward).unwrap();
+    ops.insert(first_bwd, rec);
+    assert!(codes(&check_iteration(&cfg, &plain, &ops)).contains(&"P006"));
+}
+
+#[test]
+fn every_corruption_is_error_severity() {
+    let (_, _, mut ops) = pretrain();
+    let i = ops.iter().position(OpRecord::is_gemm).unwrap();
+    ops[i].flops = 1;
+    assert!(has_errors(&check_stream(&ops)));
+}

@@ -1,0 +1,148 @@
+//! Property-based tests: for *arbitrary* valid configurations the checker
+//! stays silent on every builder's output, and targeted random corruptions
+//! are always flagged.
+
+use bertscope_check::{check_iteration, check_stream, has_errors, report};
+use bertscope_model::{
+    build_finetune, build_inference, build_iteration, BertConfig, GraphOptions, OptimizerChoice,
+    Precision,
+};
+use bertscope_tensor::{DType, OpRecord, Phase};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = BertConfig> {
+    // Graphs only — cost is op-list length, but heads must divide d_model.
+    (1usize..6, 1usize..8, prop_oneof![Just(2usize), Just(4), Just(8)], 1usize..4, 2usize..17)
+        .prop_map(|(layers, dm_mult, heads, ff_mult, seq)| {
+            let d_model = heads * 16 * dm_mult;
+            BertConfig {
+                layers,
+                d_model,
+                heads,
+                d_ff: d_model * ff_mult,
+                vocab: 500,
+                max_position: 512,
+                seq_len: seq * 8,
+                batch: 3,
+            }
+        })
+}
+
+fn arb_options() -> impl Strategy<Value = GraphOptions> {
+    (0usize..3, 0usize..2, 0usize..2).prop_map(|(p, c, o)| GraphOptions {
+        precision: [Precision::Fp32, Precision::Mixed, Precision::MixedBf16][p],
+        checkpoint: c == 1,
+        optimizer: [OptimizerChoice::Lamb, OptimizerChoice::Adam][o],
+        ..GraphOptions::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The checker accepts every pre-training iteration any valid
+    /// configuration can produce, under every option combination.
+    #[test]
+    fn any_valid_pretrain_stream_is_clean(cfg in arb_config(), opts in arb_options()) {
+        let findings = check_iteration(&cfg, &opts, &build_iteration(&cfg, &opts));
+        prop_assert!(findings.is_empty(), "{}", report(&findings));
+    }
+
+    /// Likewise for fine-tuning (which never checkpoints) and inference
+    /// (which never runs an optimizer).
+    #[test]
+    fn any_valid_finetune_and_inference_stream_is_clean(
+        cfg in arb_config(),
+        opts in arb_options(),
+    ) {
+        let ft = GraphOptions { checkpoint: false, ..opts };
+        let findings = check_iteration(&cfg, &ft, &build_finetune(&cfg, &ft));
+        prop_assert!(findings.is_empty(), "finetune: {}", report(&findings));
+
+        let inf = GraphOptions { optimizer: OptimizerChoice::None, checkpoint: false, ..opts };
+        let findings = check_iteration(&cfg, &inf, &build_inference(&cfg, &inf));
+        prop_assert!(findings.is_empty(), "inference: {}", report(&findings));
+    }
+
+    /// Corrupting any single GEMM's FLOP count is always detected.
+    #[test]
+    fn any_gemm_flop_corruption_is_flagged(
+        cfg in arb_config(),
+        opts in arb_options(),
+        pick in 0usize..1000,
+        delta in 1u64..1_000_000,
+    ) {
+        let mut ops = build_iteration(&cfg, &opts);
+        let gemms: Vec<usize> = ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_gemm())
+            .map(|(i, _)| i)
+            .collect();
+        let i = gemms[pick % gemms.len()];
+        ops[i].flops += delta;
+        prop_assert!(has_errors(&check_stream(&ops)));
+    }
+
+    /// Corrupting any single op's byte traffic is always detected — GEMMs by
+    /// spec conservation, optimizer ops by parameter-inventory conservation,
+    /// activation chains by the shape chain.
+    #[test]
+    fn any_byte_corruption_on_checked_ops_is_flagged(
+        cfg in arb_config(),
+        opts in arb_options(),
+        pick in 0usize..1000,
+    ) {
+        let ops = build_iteration(&cfg, &opts);
+        let targets: Vec<usize> = ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_gemm() || o.phase == Phase::Update)
+            .map(|(i, _)| i)
+            .collect();
+        let i = targets[pick % targets.len()];
+        let mut bad = ops;
+        bad[i].bytes_read = bad[i].bytes_read.wrapping_add(4);
+        prop_assert!(has_errors(&check_stream(&bad)));
+    }
+
+    /// Flipping any activation GEMM's dtype is always detected.
+    #[test]
+    fn any_dtype_flip_on_gemms_is_flagged(
+        cfg in arb_config(),
+        opts in arb_options(),
+        pick in 0usize..1000,
+    ) {
+        let mut ops = build_iteration(&cfg, &opts);
+        let gemms: Vec<usize> = ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| {
+                o.is_gemm()
+                    && matches!(o.phase, Phase::Forward | Phase::Backward | Phase::Recompute)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let i = gemms[pick % gemms.len()];
+        ops[i].dtype = match ops[i].dtype {
+            DType::F32 => DType::F16,
+            DType::F16 | DType::BF16 => DType::F32,
+        };
+        prop_assert!(has_errors(&check_stream(&ops)));
+    }
+
+    /// Deleting any layer's whole backward pass is always detected.
+    #[test]
+    fn any_truncated_backward_is_flagged(
+        cfg in arb_config(),
+        opts in arb_options(),
+        pick in 0usize..8,
+    ) {
+        let victim = pick % cfg.layers;
+        let ops: Vec<OpRecord> = build_iteration(&cfg, &opts)
+            .into_iter()
+            .filter(|o| !(o.phase == Phase::Backward && o.layer == Some(victim)))
+            .collect();
+        prop_assert!(has_errors(&check_stream(&ops)));
+    }
+}

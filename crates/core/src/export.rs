@@ -65,11 +65,8 @@ mod tests {
 
     #[test]
     fn trace_json_is_well_formed_and_complete() {
-        let p = simulate_iteration(
-            &BertConfig::tiny(),
-            &GraphOptions::default(),
-            &GpuModel::mi100(),
-        );
+        let p =
+            simulate_iteration(&BertConfig::tiny(), &GraphOptions::default(), &GpuModel::mi100());
         let json = chrome_trace_json(&p);
         assert!(json.starts_with('{') && json.ends_with('}'));
         // One event per kernel.

@@ -57,15 +57,14 @@ pub mod prelude {
         zero_dp_profile, HybridPlan,
     };
     pub use bertscope_model::{
-        build_finetune, build_inference, build_iteration, model_zoo, parameter_count, training_gemms, BertConfig,
-        GraphOptions, LayerSizeConfig, OptimizerChoice, Precision,
+        build_finetune, build_inference, build_iteration, model_zoo, parameter_count,
+        training_gemms, BertConfig, GraphOptions, LayerSizeConfig, OptimizerChoice, Precision,
     };
     pub use bertscope_sim::{
         checkpoint_study, extrapolate, figure12a_study, figure12b_study, figure3_sweep,
         figure8_sweep, figure9_sweep, gemm_intensities, hierarchical_breakdown, model_zoo_sweep,
         nmc_study, precision_sweep, serving_sweep, simulate_finetune, simulate_inference,
-        simulate_iteration,
-        IterationProfile, NamedConfig,
+        simulate_iteration, IterationProfile, NamedConfig,
     };
     pub use bertscope_tensor::{Category, DType, GemmSpec, Group, OpKind, Phase, Tensor, Tracer};
     pub use bertscope_train::{Bert, Lamb, SyntheticCorpus, TrainOptions};
@@ -78,8 +77,7 @@ mod tests {
     #[test]
     fn prelude_supports_the_quickstart_workflow() {
         let gpu = GpuModel::mi100();
-        let profile =
-            simulate_iteration(&BertConfig::bert_large(), &GraphOptions::default(), &gpu);
+        let profile = simulate_iteration(&BertConfig::bert_large(), &GraphOptions::default(), &gpu);
         assert!(profile.total_us() > 0.0);
         assert!(profile.kernel_count() > 1000);
     }

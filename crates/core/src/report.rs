@@ -52,7 +52,8 @@ impl TextTable {
             }
         }
         let mut out = String::new();
-        let sep: String = widths.iter().map(|w| format!("+-{}-", "-".repeat(*w))).collect::<String>() + "+";
+        let sep: String =
+            widths.iter().map(|w| format!("+-{}-", "-".repeat(*w))).collect::<String>() + "+";
         let render_row = |cells: &[String]| -> String {
             let mut line = String::new();
             for i in 0..cols {

@@ -47,7 +47,12 @@ pub fn derive_findings(gpu: &GpuModel) -> Vec<Finding> {
         out.push(finding(
             "Obs. 1",
             "Transformer layers dominate (68-85%); output ~3-7%; embedding negligible",
-            format!("transformer {:.1}%, output {:.1}%, embedding {:.2}%", t * 100.0, o * 100.0, e * 100.0),
+            format!(
+                "transformer {:.1}%, output {:.1}%, embedding {:.2}%",
+                t * 100.0,
+                o * 100.0,
+                e * 100.0
+            ),
             (0.6..0.93).contains(&t) && (0.01..0.10).contains(&o) && e < 0.02,
         ));
     }
@@ -126,11 +131,16 @@ pub fn derive_findings(gpu: &GpuModel) -> Vec<Finding> {
         out.push(finding(
             "Takeaway 6",
             "Small attention B-GEMMs under-utilize the accelerator and are memory-bound",
-            format!("efficiency: attention {:.2} vs FC {:.2}; intensity {:.1} vs {:.1} ops/B",
-                e_attn, e_fc,
-                attn.arithmetic_intensity(DType::F32), fc.arithmetic_intensity(DType::F32)),
+            format!(
+                "efficiency: attention {:.2} vs FC {:.2}; intensity {:.1} vs {:.1} ops/B",
+                e_attn,
+                e_fc,
+                attn.arithmetic_intensity(DType::F32),
+                fc.arithmetic_intensity(DType::F32)
+            ),
             e_attn < 0.7 * e_fc
-                && attn.arithmetic_intensity(DType::F32) < 0.2 * fc.arithmetic_intensity(DType::F32),
+                && attn.arithmetic_intensity(DType::F32)
+                    < 0.2 * fc.arithmetic_intensity(DType::F32),
         ));
     }
     // Takeaway 7: LAMB stage 1 reads 4x the model size, few EW ops.
@@ -148,16 +158,16 @@ pub fn derive_findings(gpu: &GpuModel) -> Vec<Finding> {
         out.push(finding(
             "Takeaway 7",
             "LAMB reads 4x the model size with very few elementwise ops per byte",
-            format!("stage-1 reads {:.2}x model size, intensity {s1_intensity:.2} ops/B",
-                s1_reads as f64 / model_bytes as f64),
+            format!(
+                "stage-1 reads {:.2}x model size, intensity {s1_intensity:.2} ops/B",
+                s1_reads as f64 / model_bytes as f64
+            ),
             s1_reads == 4 * model_bytes && s1_intensity < 1.0,
         ));
     }
     // Takeaways 8-9: memory-bound ops ~30% FP32 runtime, ~46% under MP.
     {
-        let memory_bound = |p: &bertscope_sim::IterationProfile| {
-            1.0 - p.gemm_fraction()
-        };
+        let memory_bound = |p: &bertscope_sim::IterationProfile| 1.0 - p.gemm_fraction();
         let m32 = memory_bound(&p_b32);
         let mmp = memory_bound(&p_mp);
         out.push(finding(
@@ -178,7 +188,11 @@ pub fn derive_findings(gpu: &GpuModel) -> Vec<Finding> {
         out.push(finding(
             "Takeaway 10",
             "Longer sequences raise attention's share (quadratic scaling in n)",
-            format!("attention ops {:.1}% at n=128 -> {:.1}% at n=512", short * 100.0, long * 100.0),
+            format!(
+                "attention ops {:.1}% at n=128 -> {:.1}% at n=512",
+                short * 100.0,
+                long * 100.0
+            ),
             long > 1.5 * short,
         ));
     }
@@ -197,9 +211,13 @@ pub fn derive_findings(gpu: &GpuModel) -> Vec<Finding> {
         out.push(finding(
             "Takeaway 11",
             "GEMM and LAMB proportions grow with Transformer layer width (quadratic scaling)",
-            format!("GEMM {:.1}%->{:.1}%, LAMB {:.1}%->{:.1}% from C1 to C3",
-                narrow.gemm_fraction() * 100.0, wide.gemm_fraction() * 100.0,
-                narrow.group_fraction(Group::Lamb) * 100.0, wide.group_fraction(Group::Lamb) * 100.0),
+            format!(
+                "GEMM {:.1}%->{:.1}%, LAMB {:.1}%->{:.1}% from C1 to C3",
+                narrow.gemm_fraction() * 100.0,
+                wide.gemm_fraction() * 100.0,
+                narrow.group_fraction(Group::Lamb) * 100.0,
+                wide.group_fraction(Group::Lamb) * 100.0
+            ),
             wide.gemm_fraction() > narrow.gemm_fraction()
                 && wide.group_fraction(Group::Lamb) > narrow.group_fraction(Group::Lamb),
         ));
@@ -228,7 +246,11 @@ pub fn derive_findings(gpu: &GpuModel) -> Vec<Finding> {
         out.push(finding(
             "Takeaway 13",
             "Tensor-slicing communication share grows with device count",
-            format!("communication {:.1}% at 2-way -> {:.1}% at 8-way", t1_comm * 100.0, t2_comm * 100.0),
+            format!(
+                "communication {:.1}% at 2-way -> {:.1}% at 8-way",
+                t1_comm * 100.0,
+                t2_comm * 100.0
+            ),
             t2_comm > 1.5 * t1_comm,
         ));
     }
@@ -242,7 +264,11 @@ pub fn derive_findings(gpu: &GpuModel) -> Vec<Finding> {
         out.push(finding(
             "Obs. 3",
             "Mini-batch size affects all Transformer layers similarly (linear dependence)",
-            format!("FC share within the Transformer: {:.1}% at B4 vs {:.1}% at B32", d4 * 100.0, d32 * 100.0),
+            format!(
+                "FC share within the Transformer: {:.1}% at B4 vs {:.1}% at B32",
+                d4 * 100.0,
+                d32 * 100.0
+            ),
             (d4 - d32).abs() / d32 < 0.25,
         ));
     }
@@ -250,12 +276,16 @@ pub fn derive_findings(gpu: &GpuModel) -> Vec<Finding> {
     {
         let deep = BertConfig { layers: 48, ..BertConfig::bert_large() };
         let p_deep = simulate_iteration(&deep, &GraphOptions::default(), gpu);
-        let shallow_ratio = p_b32.group_fraction(Group::Lamb) / p_b32.group_fraction(Group::Transformer);
-        let deep_ratio = p_deep.group_fraction(Group::Lamb) / p_deep.group_fraction(Group::Transformer);
+        let shallow_ratio =
+            p_b32.group_fraction(Group::Lamb) / p_b32.group_fraction(Group::Transformer);
+        let deep_ratio =
+            p_deep.group_fraction(Group::Lamb) / p_deep.group_fraction(Group::Transformer);
         out.push(finding(
             "Obs. 4",
             "Transformer and LAMB both scale linearly with layer count (stable ratio)",
-            format!("LAMB/Transformer ratio: {shallow_ratio:.3} at N=24 vs {deep_ratio:.3} at N=48"),
+            format!(
+                "LAMB/Transformer ratio: {shallow_ratio:.3} at N=24 vs {deep_ratio:.3} at N=48"
+            ),
             (shallow_ratio - deep_ratio).abs() / shallow_ratio < 0.15,
         ));
     }
@@ -266,7 +296,10 @@ pub fn derive_findings(gpu: &GpuModel) -> Vec<Finding> {
         out.push(finding(
             "§6.1.1 (Fig. 12a)",
             "Optimizer fusion cuts kernel count vastly more than runtime (no cross-layer reuse)",
-            format!("Adam: kernels {:.0}x vs runtime {:.1}x", adam.kernel_ratio, adam.runtime_ratio),
+            format!(
+                "Adam: kernels {:.0}x vs runtime {:.1}x",
+                adam.kernel_ratio, adam.runtime_ratio
+            ),
             adam.kernel_ratio > 20.0 * adam.runtime_ratio,
         ));
     }
@@ -282,20 +315,32 @@ pub fn derive_findings(gpu: &GpuModel) -> Vec<Finding> {
         out.push(finding(
             "§6.2.1 (NMC)",
             "Near-memory compute speeds LAMB ~3.8x vs an optimistic GPU; 5-22% end-to-end",
-            format!("LAMB speedup {:.2}x, end-to-end +{:.1}%",
-                s.lamb_speedup_vs_optimistic_gpu, s.end_to_end_improvement * 100.0),
-            (3.0..4.5).contains(&s.lamb_speedup_vs_optimistic_gpu) && s.end_to_end_improvement > 0.02,
+            format!(
+                "LAMB speedup {:.2}x, end-to-end +{:.1}%",
+                s.lamb_speedup_vs_optimistic_gpu,
+                s.end_to_end_improvement * 100.0
+            ),
+            (3.0..4.5).contains(&s.lamb_speedup_vs_optimistic_gpu)
+                && s.end_to_end_improvement > 0.02,
         ));
     }
     // Checkpointing (§4).
     {
-        let s = bertscope_sim::checkpoint_study(&BertConfig::bert_large(), &GraphOptions::default(), gpu);
+        let s = bertscope_sim::checkpoint_study(
+            &BertConfig::bert_large(),
+            &GraphOptions::default(),
+            gpu,
+        );
         out.push(finding(
             "§4 (checkpointing)",
             "Activation checkpointing adds ~33% kernels and ~27% runtime; LAMB share drops",
-            format!("kernels +{:.0}%, runtime +{:.0}%, LAMB {:.1}%->{:.1}%",
-                s.kernel_increase * 100.0, s.runtime_increase * 100.0,
-                s.lamb_share_base * 100.0, s.lamb_share_checkpointed * 100.0),
+            format!(
+                "kernels +{:.0}%, runtime +{:.0}%, LAMB {:.1}%->{:.1}%",
+                s.kernel_increase * 100.0,
+                s.runtime_increase * 100.0,
+                s.lamb_share_base * 100.0,
+                s.lamb_share_checkpointed * 100.0
+            ),
             (0.2..0.5).contains(&s.kernel_increase)
                 && s.runtime_increase < s.kernel_increase
                 && s.lamb_share_checkpointed < s.lamb_share_base,
@@ -314,8 +359,11 @@ pub fn derive_findings(gpu: &GpuModel) -> Vec<Finding> {
         out.push(finding(
             "Premise",
             "GEMMs dominate arithmetic, yet hundreds of non-GEMM kernels shape the runtime",
-            format!("GEMMs are {:.1}% of FLOPs across {} non-GEMM kernels",
-                gemm_flops as f64 / total as f64 * 100.0, ew_kinds),
+            format!(
+                "GEMMs are {:.1}% of FLOPs across {} non-GEMM kernels",
+                gemm_flops as f64 / total as f64 * 100.0,
+                ew_kinds
+            ),
             gemm_flops as f64 / total as f64 > 0.9 && ew_kinds > 500,
         ));
     }
@@ -340,8 +388,18 @@ mod tests {
         let findings = derive_findings(&GpuModel::mi100());
         let ids: Vec<&str> = findings.iter().map(|f| f.id.as_str()).collect();
         for required in [
-            "Takeaway 1", "Takeaway 2", "Takeaway 4", "Takeaway 5", "Takeaway 6", "Takeaway 7",
-            "Takeaway 10", "Takeaway 11", "Takeaway 12", "Takeaway 13", "Obs. 1", "Obs. 5",
+            "Takeaway 1",
+            "Takeaway 2",
+            "Takeaway 4",
+            "Takeaway 5",
+            "Takeaway 6",
+            "Takeaway 7",
+            "Takeaway 10",
+            "Takeaway 11",
+            "Takeaway 12",
+            "Takeaway 13",
+            "Obs. 1",
+            "Obs. 5",
         ] {
             assert!(ids.contains(&required), "missing {required}");
         }

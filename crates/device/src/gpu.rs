@@ -196,11 +196,8 @@ impl GpuModel {
             _ => 0.7,
         };
         let peak = self.peak_flops(op.kind, op.dtype);
-        let compute_s = if op.flops == 0 {
-            0.0
-        } else {
-            op.flops as f64 / (peak * compute_eff.max(1e-6))
-        };
+        let compute_s =
+            if op.flops == 0 { 0.0 } else { op.flops as f64 / (peak * compute_eff.max(1e-6)) };
         let bytes = op.bytes_total();
         let mem_derate = match (op.kind, op.phase) {
             (OpKind::Reduction, _) => self.reduction_mem_derate,

@@ -196,11 +196,8 @@ mod tests {
 
     #[test]
     fn switch_reduction_rate_can_bottleneck() {
-        let slow_alu = InNetworkSwitch {
-            port: Link::pcie4(),
-            switch_latency_us: 3.0,
-            reduce_gbps: 10.0,
-        };
+        let slow_alu =
+            InNetworkSwitch { port: Link::pcie4(), switch_latency_us: 3.0, reduce_gbps: 10.0 };
         let fast_alu = InNetworkSwitch::pcie4_switch();
         let bytes = 1 << 28;
         assert!(slow_alu.allreduce_us(bytes, 64) > 3.0 * fast_alu.allreduce_us(bytes, 64));

@@ -4,12 +4,12 @@
 //! The paper *models* AllReduce cost analytically (§5.1); this module
 //! grounds that model in an actual implementation: `D` worker threads, each
 //! holding a buffer shard pipeline, perform the classic `2(D-1)`-step
-//! reduce-scatter + all-gather exchange over crossbeam channels. Tests
+//! reduce-scatter + all-gather exchange over bounded std channels. Tests
 //! verify the result equals the elementwise mean/sum and that the traffic
 //! per device matches the `2(D-1)/D * bytes` volume the analytic model
 //! charges.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread;
 
 /// Statistics from one AllReduce execution.
@@ -51,10 +51,10 @@ pub fn ring_allreduce(buffers: &mut [Vec<f32>]) -> AllReduceStats {
         .collect();
 
     // Ring channels: device i sends to (i+1) % d.
-    let mut senders: Vec<Option<Sender<Vec<f32>>>> = Vec::with_capacity(d);
+    let mut senders: Vec<Option<SyncSender<Vec<f32>>>> = Vec::with_capacity(d);
     let mut rx_store: Vec<Option<Receiver<Vec<f32>>>> = (0..d).map(|_| None).collect();
     for i in 0..d {
-        let (tx, rx) = bounded::<Vec<f32>>(1);
+        let (tx, rx) = sync_channel::<Vec<f32>>(1);
         senders.push(Some(tx));
         rx_store[(i + 1) % d] = Some(rx);
     }

@@ -58,10 +58,7 @@ pub fn data_parallel_profile(
         // D1: one big AllReduce fully exposed after backprop.
         let t = link.ring_allreduce_us(total_grad_bytes, devices);
         // Insert before the optimizer update.
-        let pos = timed
-            .iter()
-            .position(|t| t.op.phase == Phase::Update)
-            .unwrap_or(timed.len());
+        let pos = timed.iter().position(|t| t.op.phase == Phase::Update).unwrap_or(timed.len());
         timed.insert(pos, comm_op("allreduce.gradients", total_grad_bytes, t));
         return IterationProfile::from_timed(timed);
     }
@@ -85,9 +82,8 @@ pub fn data_parallel_profile(
             .sum()
     };
     let es = grad_dtype.size_bytes();
-    let bytes_of = |name: &str| -> u64 {
-        groups.iter().find(|g| g.name == name).map_or(0, |g| g.numel * es)
-    };
+    let bytes_of =
+        |name: &str| -> u64 { groups.iter().find(|g| g.name == name).map_or(0, |g| g.numel * es) };
     // Backprop order: output-head grads first, then layers N-1..0, then
     // the embeddings.
     let mut t_compute = 0.0f64;
@@ -96,7 +92,8 @@ pub fn data_parallel_profile(
     t_comm = t_comm.max(t_compute) + link.ring_allreduce_us(bytes_of("output"), devices);
     for l in (0..cfg.layers).rev() {
         t_compute += bwd_layer_time(l);
-        t_comm = t_comm.max(t_compute) + link.ring_allreduce_us(bytes_of(&format!("l{l}")), devices);
+        t_comm =
+            t_comm.max(t_compute) + link.ring_allreduce_us(bytes_of(&format!("l{l}")), devices);
     }
     t_compute += bwd_cat_time(Category::Embedding);
     t_comm = t_comm.max(t_compute) + link.ring_allreduce_us(bytes_of("embeddings"), devices);
@@ -112,7 +109,12 @@ mod tests {
     use bertscope_tensor::Group;
 
     fn setup() -> (BertConfig, GraphOptions, GpuModel, Link) {
-        (BertConfig::bert_large().phase1(16), GraphOptions::default(), GpuModel::mi100(), Link::pcie4())
+        (
+            BertConfig::bert_large().phase1(16),
+            GraphOptions::default(),
+            GpuModel::mi100(),
+            Link::pcie4(),
+        )
     }
 
     #[test]
@@ -134,7 +136,9 @@ mod tests {
         let d1 = data_parallel_profile(&cfg, &opts, &gpu, &link, 128, false);
         assert!(d1.total_us() > d2.total_us(), "overlap helps");
         // Compute portions are identical.
-        let compute = |p: &IterationProfile| p.total_us() - p.time_by_group().get(&Group::Comm).copied().unwrap_or(0.0);
+        let compute = |p: &IterationProfile| {
+            p.total_us() - p.time_by_group().get(&Group::Comm).copied().unwrap_or(0.0)
+        };
         assert!((compute(&d1) - compute(&d2)).abs() < 1e-6);
     }
 
@@ -148,9 +152,17 @@ mod tests {
     #[test]
     fn faster_link_reduces_exposed_communication() {
         let (cfg, opts, gpu, _) = setup();
-        let slow = data_parallel_profile(&cfg, &opts, &gpu, &Link { bw_gbps: 8.0, latency_us: 5.0 }, 128, true);
+        let slow = data_parallel_profile(
+            &cfg,
+            &opts,
+            &gpu,
+            &Link { bw_gbps: 8.0, latency_us: 5.0 },
+            128,
+            true,
+        );
         let fast = data_parallel_profile(&cfg, &opts, &gpu, &Link::xgmi(), 128, true);
-        let comm = |p: &IterationProfile| p.time_by_group().get(&Group::Comm).copied().unwrap_or(0.0);
+        let comm =
+            |p: &IterationProfile| p.time_by_group().get(&Group::Comm).copied().unwrap_or(0.0);
         assert!(comm(&slow) > comm(&fast));
     }
 }

@@ -66,11 +66,8 @@ pub fn hybrid_profile(
         let shard_bytes =
             bertscope_model::parameter_count(cfg) * dt.size_bytes() / plan.ts_ways as u64;
         let full = plan.inter_link.ring_allreduce_us(shard_bytes, plan.dp_replicas);
-        let bwd_compute: f64 = timed
-            .iter()
-            .filter(|t| t.op.phase == Phase::Backward)
-            .map(|t| t.time_us)
-            .sum();
+        let bwd_compute: f64 =
+            timed.iter().filter(|t| t.op.phase == Phase::Backward).map(|t| t.time_us).sum();
         // Exposed communication: whatever backprop cannot hide.
         let exposed = (full - bwd_compute).max(0.0);
         let pos = timed.iter().position(|t| t.op.phase == Phase::Update).unwrap_or(timed.len());
@@ -122,8 +119,7 @@ mod tests {
         let cfg = BertConfig::bert_large().phase1(32);
         let opts = GraphOptions::default();
         let gpu = GpuModel::mi100();
-        let pure_ts =
-            crate::ts::tensor_slice_profile(&cfg, &opts, &gpu, &Link::pcie4(), 8);
+        let pure_ts = crate::ts::tensor_slice_profile(&cfg, &opts, &gpu, &Link::pcie4(), 8);
         let hybrid = hybrid_profile(&cfg, &opts, &gpu, &plan(2, 4));
         // Hybrid processes 4x the global batch of pure TS at the same device
         // count; compare per-sample time.
@@ -143,12 +139,8 @@ mod tests {
         let h = hybrid_profile(&cfg, &opts, &gpu, &plan(2, 16));
         // The exposed DP allreduce is small relative to the serialized TS
         // communication.
-        let dp_exposed: f64 = h
-            .ops()
-            .iter()
-            .filter(|t| t.op.name.starts_with("hybrid.dp"))
-            .map(|t| t.time_us)
-            .sum();
+        let dp_exposed: f64 =
+            h.ops().iter().filter(|t| t.op.name.starts_with("hybrid.dp")).map(|t| t.time_us).sum();
         let ts_comm: f64 = h
             .ops()
             .iter()

@@ -163,12 +163,9 @@ pub fn tensor_slice_ops(cfg: &BertConfig, opts: &GraphOptions, ways: usize) -> V
                 out.push(comm(l, "grad_ln1", phase));
             } else if is_qkv_bwd_last {
                 // Only once (after the last of the three QKV bias grads).
-                if !out
-                    .iter()
-                    .rev()
-                    .take(12)
-                    .any(|o| o.category == Category::Comm && o.layer == Some(l) && o.name.ends_with("grad_x"))
-                {
+                if !out.iter().rev().take(12).any(|o| {
+                    o.category == Category::Comm && o.layer == Some(l) && o.name.ends_with("grad_x")
+                }) {
                     out.push(comm(l, "grad_x", phase));
                 }
             }
@@ -209,7 +206,12 @@ mod tests {
     use bertscope_tensor::Group;
 
     fn setup() -> (BertConfig, GraphOptions, GpuModel, Link) {
-        (BertConfig::bert_large().phase1(16), GraphOptions::default(), GpuModel::mi100(), Link::pcie4())
+        (
+            BertConfig::bert_large().phase1(16),
+            GraphOptions::default(),
+            GpuModel::mi100(),
+            Link::pcie4(),
+        )
     }
 
     #[test]
@@ -220,10 +222,8 @@ mod tests {
         assert_eq!(comm_count, 4 * cfg.layers, "paper: four AllReduces per layer");
         // Two in forward, two in backward, per layer.
         for l in 0..cfg.layers {
-            let layer_comms: Vec<_> = ops
-                .iter()
-                .filter(|o| o.category == Category::Comm && o.layer == Some(l))
-                .collect();
+            let layer_comms: Vec<_> =
+                ops.iter().filter(|o| o.category == Category::Comm && o.layer == Some(l)).collect();
             assert_eq!(layer_comms.len(), 4, "layer {l}");
             assert_eq!(layer_comms.iter().filter(|o| o.phase == Phase::Forward).count(), 2);
             assert_eq!(layer_comms.iter().filter(|o| o.phase == Phase::Backward).count(), 2);
@@ -272,9 +272,8 @@ mod tests {
         assert!((0.03..0.25).contains(&comm), "T1 comm fraction {comm}");
         // LAMB's absolute time halves (each device updates half the
         // parameters), and its share of the iteration drops.
-        let lamb_time = |p: &IterationProfile| {
-            p.time_by_group().get(&Group::Lamb).copied().unwrap_or(0.0)
-        };
+        let lamb_time =
+            |p: &IterationProfile| p.time_by_group().get(&Group::Lamb).copied().unwrap_or(0.0);
         let abs_ratio = lamb_time(&s1) / lamb_time(&t1);
         assert!((1.7..2.3).contains(&abs_ratio), "LAMB time ratio {abs_ratio}");
         assert!(s1.group_fraction(Group::Lamb) > t1.group_fraction(Group::Lamb));

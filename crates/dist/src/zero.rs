@@ -110,7 +110,12 @@ mod tests {
     use bertscope_tensor::Group;
 
     fn setup() -> (BertConfig, GraphOptions, GpuModel, Link) {
-        (BertConfig::bert_large().phase1(16), GraphOptions::default(), GpuModel::mi100(), Link::pcie4())
+        (
+            BertConfig::bert_large().phase1(16),
+            GraphOptions::default(),
+            GpuModel::mi100(),
+            Link::pcie4(),
+        )
     }
 
     #[test]
@@ -143,11 +148,8 @@ mod tests {
         // profile must retain a GradNorm op that includes communication.
         let (cfg, opts, gpu, link) = setup();
         let zero = zero_dp_profile(&cfg, &opts, &gpu, &link, 8);
-        let norm_ops: Vec<_> = zero
-            .ops()
-            .iter()
-            .filter(|t| t.op.category == Category::GradNorm)
-            .collect();
+        let norm_ops: Vec<_> =
+            zero.ops().iter().filter(|t| t.op.category == Category::GradNorm).collect();
         assert_eq!(norm_ops.len(), 1);
         assert!(norm_ops[0].op.name.contains("scalar_allreduce"));
         // Its time exceeds the pure local-shard reduction time.
@@ -170,9 +172,8 @@ mod tests {
     #[test]
     fn update_shrinks_inversely_with_devices() {
         let (cfg, opts, gpu, link) = setup();
-        let lamb = |d: usize| {
-            zero_dp_profile(&cfg, &opts, &gpu, &link, d).time_by_group()[&Group::Lamb]
-        };
+        let lamb =
+            |d: usize| zero_dp_profile(&cfg, &opts, &gpu, &link, d).time_by_group()[&Group::Lamb];
         let l2 = lamb(2);
         let l8 = lamb(8);
         // Not exactly 4x because of launch overhead and the norm AllReduce,

@@ -8,8 +8,8 @@
 
 use crate::ctx::KernelCtx;
 use crate::Result;
-use bertscope_tensor::{OpKind, Tensor};
 use bertscope_tensor::Tracer;
+use bertscope_tensor::{OpKind, Tensor};
 
 /// Abramowitz & Stegun 7.1.26 rational approximation of `erf`
 /// (max absolute error ~1.5e-7, far below f16 resolution).

@@ -290,7 +290,8 @@ pub fn attention_fwd(
         None => scaled,
     };
     let probs_pre_drop = softmax_fwd(tracer, &sm_ctx, &masked)?;
-    let (probs, drop_mask) = dropout_fwd(tracer, &sm_ctx, &probs_pre_drop, cfg.dropout_p, dropout_seed)?;
+    let (probs, drop_mask) =
+        dropout_fwd(tracer, &sm_ctx, &probs_pre_drop, cfg.dropout_p, dropout_seed)?;
 
     // 8. Attention output: batched scores*V — paper "Attn. O/p FWD":
     //    (d/h) x n x n, batch B*h.
@@ -317,7 +318,16 @@ pub fn attention_fwd(
 
     Ok((
         out,
-        AttentionState { x: x.clone(), q_h, k_h, v_h, probs_pre_drop, probs, drop_mask, ctx_merged },
+        AttentionState {
+            x: x.clone(),
+            q_h,
+            k_h,
+            v_h,
+            probs_pre_drop,
+            probs,
+            drop_mask,
+            ctx_merged,
+        },
     ))
 }
 
@@ -442,7 +452,16 @@ pub fn attention_bwd(
 
     Ok((
         dx_qkv,
-        AttentionGrads { wq: dwq, bq: dbq, wk: dwk, bk: dbk, wv: dwv, bv: dbv, wo: dwo, bo: dbo.expect("bias requested") },
+        AttentionGrads {
+            wq: dwq,
+            bq: dbq,
+            wk: dwk,
+            bk: dbk,
+            wv: dwv,
+            bv: dbv,
+            wo: dwo,
+            bo: dbo.expect("bias requested"),
+        },
     ))
 }
 
@@ -522,12 +541,8 @@ mod tests {
         let gemms = |tr: &Tracer| tr.records().iter().filter(|r| r.kind == OpKind::Gemm).count();
         assert_eq!(gemms(&tr_s) - gemms(&tr_f), 2);
         // And the fused GEMM's N dimension is 3x wider.
-        let fused_spec = tr_f
-            .records()
-            .iter()
-            .find(|r| r.kind == OpKind::Gemm)
-            .and_then(|r| r.gemm)
-            .unwrap();
+        let fused_spec =
+            tr_f.records().iter().find(|r| r.kind == OpKind::Gemm).and_then(|r| r.gemm).unwrap();
         assert_eq!(fused_spec.m, 12, "fused projection output is 3*d_model wide");
     }
 

@@ -57,9 +57,8 @@ pub fn dropout_fwd(
     }
     let keep = 1.0 / (1.0 - p);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mask_data: Vec<f32> = (0..x.numel())
-        .map(|_| if p > 0.0 && rng.gen::<f32>() < p { 0.0 } else { keep })
-        .collect();
+    let mask_data: Vec<f32> =
+        (0..x.numel()).map(|_| if p > 0.0 && rng.gen::<f32>() < p { 0.0 } else { keep }).collect();
     let mask = Tensor::from_vec(mask_data, x.dims())?;
     let y = x.mul(&mask)?;
     let es = ctx.dtype_of().size_bytes();

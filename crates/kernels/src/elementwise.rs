@@ -44,7 +44,12 @@ pub fn mask_add(tracer: &mut Tracer, ctx: &KernelCtx, x: &Tensor, mask: &Tensor)
 /// # Errors
 ///
 /// Returns a shape error when the operands disagree.
-pub fn residual_add(tracer: &mut Tracer, ctx: &KernelCtx, x: &Tensor, y: &Tensor) -> Result<Tensor> {
+pub fn residual_add(
+    tracer: &mut Tracer,
+    ctx: &KernelCtx,
+    x: &Tensor,
+    y: &Tensor,
+) -> Result<Tensor> {
     let out = x.add(y)?;
     let es = ctx.dtype_of().size_bytes();
     let n = x.numel() as u64;

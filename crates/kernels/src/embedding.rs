@@ -93,8 +93,7 @@ mod tests {
     #[test]
     fn gather_selects_rows() {
         let mut tr = Tracer::new();
-        let table =
-            Tensor::from_vec(vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1], &[3, 2]).unwrap();
+        let table = Tensor::from_vec(vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1], &[3, 2]).unwrap();
         let y = embedding_fwd(&mut tr, &ctx(), &table, &[2, 0, 2]).unwrap();
         assert_eq!(y.dims(), &[3, 2]);
         assert_eq!(y.as_slice(), &[2.0, 2.1, 0.0, 0.1, 2.0, 2.1]);

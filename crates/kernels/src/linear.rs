@@ -72,7 +72,11 @@ pub fn linear_bwd(
     }
     // dx = dy * W^T
     let dx = gemm(Transpose::No, Transpose::Yes, 1.0, dy, w, 0.0, None)?;
-    ctx.trace_gemm(tracer, "grad_act", GemmSpec::new(Transpose::No, Transpose::Yes, d_in, t, d_out));
+    ctx.trace_gemm(
+        tracer,
+        "grad_act",
+        GemmSpec::new(Transpose::No, Transpose::Yes, d_in, t, d_out),
+    );
     // dW = x^T * dy
     let dw = gemm(Transpose::Yes, Transpose::No, 1.0, x, dy, 0.0, None)?;
     ctx.trace_gemm(tracer, "grad_wt", GemmSpec::new(Transpose::Yes, Transpose::No, d_in, d_out, t));

@@ -60,7 +60,12 @@ pub fn softmax_fwd(tracer: &mut Tracer, ctx: &KernelCtx, x: &Tensor) -> Result<T
 /// # Errors
 ///
 /// Returns a shape error when `y` and `dy` disagree.
-pub fn softmax_bwd(tracer: &mut Tracer, ctx: &KernelCtx, y: &Tensor, dy: &Tensor) -> Result<Tensor> {
+pub fn softmax_bwd(
+    tracer: &mut Tracer,
+    ctx: &KernelCtx,
+    y: &Tensor,
+    dy: &Tensor,
+) -> Result<Tensor> {
     if y.dims() != dy.dims() {
         return Err(TensorError::shape("softmax_bwd", y.dims(), dy.dims()));
     }

@@ -85,13 +85,9 @@ impl BertConfig {
     pub fn figure9(which: LayerSizeConfig) -> Self {
         let base = BertConfig::bert_large();
         match which {
-            LayerSizeConfig::C1 => {
-                BertConfig { d_model: 512, d_ff: 2048, heads: 8, ..base }
-            }
+            LayerSizeConfig::C1 => BertConfig { d_model: 512, d_ff: 2048, heads: 8, ..base },
             LayerSizeConfig::C2 => base,
-            LayerSizeConfig::C3 => {
-                BertConfig { d_model: 2048, d_ff: 8192, heads: 32, ..base }
-            }
+            LayerSizeConfig::C3 => BertConfig { d_model: 2048, d_ff: 8192, heads: 32, ..base },
         }
     }
 

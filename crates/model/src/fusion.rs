@@ -93,14 +93,7 @@ pub fn layernorm_fusion_case(rows: usize, width: usize, dtype: DType) -> FusionC
         ew("ln.shift", cat, n, n * es + width as u64 * es, n * es, dtype),
     ];
     // Fused: the single-kernel formula used by the kernels crate.
-    let fused = vec![red(
-        "ln.fused",
-        cat,
-        8 * n,
-        n * es + 2 * width as u64 * es,
-        n * es,
-        dtype,
-    )];
+    let fused = vec![red("ln.fused", cat, 8 * n, n * es + 2 * width as u64 * es, n * es, dtype)];
     FusionCase { name: "layernorm".into(), unfused, fused }
 }
 
@@ -129,16 +122,16 @@ pub fn adam_fusion_case(cfg: &BertConfig) -> FusionCase {
             ew(&format!("adam.{}.{name}", t.name), cat, n, reads * b, writes * b, DType::F32)
         };
         unfused.extend([
-            r("m_decay", 1, 1),      // m *= beta1
-            r("m_update", 2, 1),     // m += (1-beta1) * g
-            r("v_decay", 1, 1),      // v *= beta2
-            r("g_square", 1, 1),     // g2 = g * g
-            r("v_update", 2, 1),     // v += (1-beta2) * g2
-            r("m_hat", 1, 1),        // bias-corrected momentum
-            r("v_hat", 1, 1),        // bias-corrected velocity
-            r("denom", 1, 1),        // sqrt(v_hat) + eps
-            r("step", 2, 1),         // m_hat / denom
-            r("apply", 2, 1),        // w -= lr * step
+            r("m_decay", 1, 1),  // m *= beta1
+            r("m_update", 2, 1), // m += (1-beta1) * g
+            r("v_decay", 1, 1),  // v *= beta2
+            r("g_square", 1, 1), // g2 = g * g
+            r("v_update", 2, 1), // v += (1-beta2) * g2
+            r("m_hat", 1, 1),    // bias-corrected momentum
+            r("v_hat", 1, 1),    // bias-corrected velocity
+            r("denom", 1, 1),    // sqrt(v_hat) + eps
+            r("step", 2, 1),     // m_hat / denom
+            r("apply", 2, 1),    // w -= lr * step
         ]);
         debug_assert_eq!(unfused.len() % ADAM_UNFUSED_KERNELS_PER_TENSOR, 0);
     }

@@ -8,8 +8,11 @@
 //! by this graph.
 //!
 //! The byte/FLOP formulas here are intentionally identical to those in the
-//! kernels crate: any edit to one side must be mirrored on the other (the
-//! `trace_matches_graph` integration test will catch a divergence).
+//! kernels crate: any edit to one side must be mirrored on the other. The
+//! `trace_matches_graph` integration test catches a divergence between the
+//! two sides, and the independent recomputation in `bertscope-check` (run
+//! over both streams in tests and over every paper configuration by the
+//! `opcheck` CI gate) catches an error mirrored *on both sides at once*.
 
 use crate::config::BertConfig;
 use crate::gemms::{fused_qkv_spec, gemm_spec, GemmPass, GemmSite};
@@ -242,13 +245,13 @@ fn emit_gelu_bwd(e: &mut Emit<'_>, k: &K, prefix: &str, cat: Category, n: u64, f
     } else {
         let es = k.es;
         let steps: [(&str, u64, u64); 7] = [
-            ("gelu.square", n, 1),   // -x^2/2
-            ("gelu.exp", 2 * n, 1),  // exp
-            ("gelu.pdf_mul", n, 2),  // x * pdf
-            ("gelu.erf", 8 * n, 1),  // erf(x/sqrt(2)) again
-            ("gelu.cdf", 2 * n, 1),  // 0.5 * (1 + erf)
-            ("gelu.sum", n, 2),      // cdf + x*pdf
-            ("gelu.dy_mul", n, 2),   // * dy
+            ("gelu.square", n, 1),  // -x^2/2
+            ("gelu.exp", 2 * n, 1), // exp
+            ("gelu.pdf_mul", n, 2), // x * pdf
+            ("gelu.erf", 8 * n, 1), // erf(x/sqrt(2)) again
+            ("gelu.cdf", 2 * n, 1), // 0.5 * (1 + erf)
+            ("gelu.sum", n, 2),     // cdf + x*pdf
+            ("gelu.dy_mul", n, 2),  // * dy
         ];
         for (name, flops, reads) in steps {
             e.op(prefix, name, cat, OpKind::ElementWise, flops, reads * n * es, n * es);
@@ -283,7 +286,12 @@ pub fn layer_forward_ops(
         e.gemm("attn", "gemm", C::AttnLinear, fused_qkv_spec(cfg, GemmPass::Forward));
     } else {
         for _ in 0..3 {
-            e.gemm("attn", "gemm", C::AttnLinear, gemm_spec(cfg, GemmSite::Linear, GemmPass::Forward));
+            e.gemm(
+                "attn",
+                "gemm",
+                C::AttnLinear,
+                gemm_spec(cfg, GemmSite::Linear, GemmPass::Forward),
+            );
         }
     }
     // Score B-GEMM, scale, mask, softmax, dropout.
@@ -293,7 +301,12 @@ pub fn layer_forward_ops(
     emit_op!(e, "attn", "softmax", C::ScaleMaskSoftmaxDropout, O::Reduction, k.softmax_fwd(scores));
     emit_op!(e, "attn", "dropout", C::ScaleMaskSoftmaxDropout, O::ElementWise, k.dropout(scores));
     // Context B-GEMM and output projection.
-    e.gemm("attn", "context", C::AttnBgemm, gemm_spec(cfg, GemmSite::AttnOutput, GemmPass::Forward));
+    e.gemm(
+        "attn",
+        "context",
+        C::AttnBgemm,
+        gemm_spec(cfg, GemmSite::AttnOutput, GemmPass::Forward),
+    );
     e.gemm("attn_out", "gemm", C::AttnLinear, gemm_spec(cfg, GemmSite::Linear, GemmPass::Forward));
     // Post-attention dropout + residual + LayerNorm.
     emit_op!(e, "post_attn", "dropout", C::DropResidualNorm, O::ElementWise, k.dropout(act));
@@ -330,13 +343,23 @@ pub fn layer_backward_ops(cfg: &BertConfig, opts: &GraphOptions, layer: usize) -
     emit_op!(e, "ln2", "layernorm", C::DropResidualNorm, O::Reduction, k.layernorm_bwd(act, d));
     emit_op!(e, "post_ffn", "dropout", C::DropResidualNorm, O::ElementWise, k.dropout(act));
     // FC-2 backward: grad-activation GEMM, grad-weight GEMM, bias reduction.
-    e.gemm("fc2", "grad_act", C::FcGemm, gemm_spec(cfg, GemmSite::Fc2, GemmPass::BwdGradActivation));
+    e.gemm(
+        "fc2",
+        "grad_act",
+        C::FcGemm,
+        gemm_spec(cfg, GemmSite::Fc2, GemmPass::BwdGradActivation),
+    );
     e.gemm("fc2", "grad_wt", C::FcGemm, gemm_spec(cfg, GemmSite::Fc2, GemmPass::BwdGradWeight));
     emit_op!(e, "fc2", "grad_bias", C::FcGemm, O::Reduction, k.grad_bias(t, d));
     // GeLU backward.
     emit_gelu_bwd(&mut e, &k, "ffn", C::Gelu, inter, opts.fused_gelu);
     // FC-1 backward.
-    e.gemm("fc1", "grad_act", C::FcGemm, gemm_spec(cfg, GemmSite::Fc1, GemmPass::BwdGradActivation));
+    e.gemm(
+        "fc1",
+        "grad_act",
+        C::FcGemm,
+        gemm_spec(cfg, GemmSite::Fc1, GemmPass::BwdGradActivation),
+    );
     e.gemm("fc1", "grad_wt", C::FcGemm, gemm_spec(cfg, GemmSite::Fc1, GemmPass::BwdGradWeight));
     emit_op!(e, "fc1", "grad_bias", C::FcGemm, O::Reduction, k.grad_bias(t, cfg.d_ff as u64));
     // Residual-path gradient accumulation for the FFN sub-layer.
@@ -345,19 +368,49 @@ pub fn layer_backward_ops(cfg: &BertConfig, opts: &GraphOptions, layer: usize) -
     emit_op!(e, "ln1", "layernorm", C::DropResidualNorm, O::Reduction, k.layernorm_bwd(act, d));
     emit_op!(e, "post_attn", "dropout", C::DropResidualNorm, O::ElementWise, k.dropout(act));
     // Attention backward: output projection.
-    e.gemm("attn_out", "grad_act", C::AttnLinear, gemm_spec(cfg, GemmSite::Linear, GemmPass::BwdGradActivation));
-    e.gemm("attn_out", "grad_wt", C::AttnLinear, gemm_spec(cfg, GemmSite::Linear, GemmPass::BwdGradWeight));
+    e.gemm(
+        "attn_out",
+        "grad_act",
+        C::AttnLinear,
+        gemm_spec(cfg, GemmSite::Linear, GemmPass::BwdGradActivation),
+    );
+    e.gemm(
+        "attn_out",
+        "grad_wt",
+        C::AttnLinear,
+        gemm_spec(cfg, GemmSite::Linear, GemmPass::BwdGradWeight),
+    );
     emit_op!(e, "attn_out", "grad_bias", C::AttnLinear, O::Reduction, k.grad_bias(t, d));
     // Context B-GEMM backward.
-    e.gemm("attn", "context.grad_act", C::AttnBgemm, gemm_spec(cfg, GemmSite::AttnOutput, GemmPass::BwdGradActivation));
-    e.gemm("attn", "context.grad_v", C::AttnBgemm, gemm_spec(cfg, GemmSite::AttnOutput, GemmPass::BwdGradWeight));
+    e.gemm(
+        "attn",
+        "context.grad_act",
+        C::AttnBgemm,
+        gemm_spec(cfg, GemmSite::AttnOutput, GemmPass::BwdGradActivation),
+    );
+    e.gemm(
+        "attn",
+        "context.grad_v",
+        C::AttnBgemm,
+        gemm_spec(cfg, GemmSite::AttnOutput, GemmPass::BwdGradWeight),
+    );
     // Dropout, softmax, scale backward.
     emit_op!(e, "attn", "dropout", C::ScaleMaskSoftmaxDropout, O::ElementWise, k.dropout(scores));
     emit_op!(e, "attn", "softmax", C::ScaleMaskSoftmaxDropout, O::Reduction, k.softmax_bwd(scores));
     emit_op!(e, "attn", "scale", C::ScaleMaskSoftmaxDropout, O::ElementWise, k.scale(scores));
     // Score B-GEMM backward.
-    e.gemm("attn", "score.grad_q", C::AttnBgemm, gemm_spec(cfg, GemmSite::AttnScore, GemmPass::BwdGradActivation));
-    e.gemm("attn", "score.grad_k", C::AttnBgemm, gemm_spec(cfg, GemmSite::AttnScore, GemmPass::BwdGradWeight));
+    e.gemm(
+        "attn",
+        "score.grad_q",
+        C::AttnBgemm,
+        gemm_spec(cfg, GemmSite::AttnScore, GemmPass::BwdGradActivation),
+    );
+    e.gemm(
+        "attn",
+        "score.grad_k",
+        C::AttnBgemm,
+        gemm_spec(cfg, GemmSite::AttnScore, GemmPass::BwdGradWeight),
+    );
     // Q/K/V projection backward.
     if opts.fused_qkv {
         e.gemm("attn", "grad_act", C::AttnLinear, fused_qkv_spec(cfg, GemmPass::BwdGradActivation));
@@ -365,8 +418,18 @@ pub fn layer_backward_ops(cfg: &BertConfig, opts: &GraphOptions, layer: usize) -
         emit_op!(e, "attn", "grad_bias", C::AttnLinear, O::Reduction, k.grad_bias(t, 3 * d));
     } else {
         for _ in 0..3 {
-            e.gemm("attn", "grad_act", C::AttnLinear, gemm_spec(cfg, GemmSite::Linear, GemmPass::BwdGradActivation));
-            e.gemm("attn", "grad_wt", C::AttnLinear, gemm_spec(cfg, GemmSite::Linear, GemmPass::BwdGradWeight));
+            e.gemm(
+                "attn",
+                "grad_act",
+                C::AttnLinear,
+                gemm_spec(cfg, GemmSite::Linear, GemmPass::BwdGradActivation),
+            );
+            e.gemm(
+                "attn",
+                "grad_wt",
+                C::AttnLinear,
+                gemm_spec(cfg, GemmSite::Linear, GemmPass::BwdGradWeight),
+            );
             emit_op!(e, "attn", "grad_bias", C::AttnLinear, O::Reduction, k.grad_bias(t, d));
         }
     }
@@ -439,7 +502,14 @@ pub fn output_forward_ops(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord
     // d->vocab, cross-entropy.
     e.gemm("mlm.dense", "gemm", C::Output, GemmSpec::new(No, No, d, p as usize, d));
     emit_gelu_fwd(&mut e, &k, "mlm", C::Output, p * d as u64, opts.fused_gelu);
-    emit_op!(e, "mlm", "layernorm", C::Output, O::Reduction, k.layernorm_fwd(p * d as u64, d as u64));
+    emit_op!(
+        e,
+        "mlm",
+        "layernorm",
+        C::Output,
+        O::Reduction,
+        k.layernorm_fwd(p * d as u64, d as u64)
+    );
     e.gemm("mlm.decoder", "gemm", C::Output, GemmSpec::new(No, Yes, cfg.vocab, p as usize, d));
     // Losses are computed in f32 in both precision modes.
     e.dtype = DType::F32;
@@ -484,8 +554,22 @@ pub fn output_backward_ops(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecor
     e.dtype = dt;
     e.gemm("mlm.decoder", "grad_act", C::Output, GemmSpec::new(No, No, d, p as usize, cfg.vocab));
     e.gemm("mlm.decoder", "grad_wt", C::Output, GemmSpec::new(Yes, No, cfg.vocab, d, p as usize));
-    emit_op!(e, "mlm.decoder", "grad_bias", C::Output, O::Reduction, k.grad_bias(p, cfg.vocab as u64));
-    emit_op!(e, "mlm", "layernorm", C::Output, O::Reduction, k.layernorm_bwd(p * d as u64, d as u64));
+    emit_op!(
+        e,
+        "mlm.decoder",
+        "grad_bias",
+        C::Output,
+        O::Reduction,
+        k.grad_bias(p, cfg.vocab as u64)
+    );
+    emit_op!(
+        e,
+        "mlm",
+        "layernorm",
+        C::Output,
+        O::Reduction,
+        k.layernorm_bwd(p * d as u64, d as u64)
+    );
     emit_gelu_bwd(&mut e, &k, "mlm", C::Output, p * d as u64, opts.fused_gelu);
     e.gemm("mlm.dense", "grad_act", C::Output, GemmSpec::new(No, Yes, d, p as usize, d));
     e.gemm("mlm.dense", "grad_wt", C::Output, GemmSpec::new(Yes, No, d, d, p as usize));
@@ -627,20 +711,38 @@ pub fn build_finetune(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord> {
         let mut e = Emit { out: &mut out, phase: Phase::Forward, layer: None, dtype: dt };
         e.gemm("squad.span", "gemm", Category::Output, GemmSpec::new(No, No, 2, t, d));
         e.dtype = DType::F32;
-        emit_op!(e, "squad", "xent", Category::Output, OpKind::Reduction,
-            k32.xent_fwd(2 * t as u64, t as u64));
+        emit_op!(
+            e,
+            "squad",
+            "xent",
+            Category::Output,
+            OpKind::Reduction,
+            k32.xent_fwd(2 * t as u64, t as u64)
+        );
     }
     // Task head backward.
     {
         let mut e = Emit { out: &mut out, phase: Phase::Backward, layer: None, dtype: DType::F32 };
-        emit_op!(e, "squad", "xent", Category::Output, OpKind::ElementWise,
-            k32.xent_bwd(2 * t as u64, t as u64));
+        emit_op!(
+            e,
+            "squad",
+            "xent",
+            Category::Output,
+            OpKind::ElementWise,
+            k32.xent_bwd(2 * t as u64, t as u64)
+        );
         e.dtype = dt;
         e.gemm("squad.span", "grad_act", Category::Output, GemmSpec::new(No, Yes, d, t, 2));
         e.gemm("squad.span", "grad_wt", Category::Output, GemmSpec::new(Yes, No, d, 2, t));
         let k = K::new(dt);
-        emit_op!(e, "squad.span", "grad_bias", Category::Output, OpKind::Reduction,
-            k.grad_bias(t as u64, 2));
+        emit_op!(
+            e,
+            "squad.span",
+            "grad_bias",
+            Category::Output,
+            OpKind::Reduction,
+            k.grad_bias(t as u64, 2)
+        );
     }
     for l in (0..cfg.layers).rev() {
         out.extend(layer_backward_ops(cfg, opts, l));
@@ -744,11 +846,8 @@ mod tests {
         let cfg = BertConfig::bert_large();
         let ops = optimizer_ops(&cfg, &opts());
         let model_bytes = crate::params::parameter_count(&cfg) * 4;
-        let stage1_reads: u64 = ops
-            .iter()
-            .filter(|o| o.category == Category::LambStage1)
-            .map(|o| o.bytes_read)
-            .sum();
+        let stage1_reads: u64 =
+            ops.iter().filter(|o| o.category == Category::LambStage1).map(|o| o.bytes_read).sum();
         assert_eq!(stage1_reads, 4 * model_bytes);
     }
 
@@ -783,10 +882,7 @@ mod tests {
     fn mixed_precision_halves_activation_bytes_but_not_lamb() {
         let cfg = BertConfig::bert_large();
         let fp32 = build_iteration(&cfg, &opts());
-        let mixed = build_iteration(
-            &cfg,
-            &GraphOptions { precision: Precision::Mixed, ..opts() },
-        );
+        let mixed = build_iteration(&cfg, &GraphOptions { precision: Precision::Mixed, ..opts() });
         let bytes = |ops: &[OpRecord], cat: Category| -> u64 {
             ops.iter().filter(|o| o.category == cat).map(OpRecord::bytes_total).sum()
         };
@@ -803,8 +899,7 @@ mod tests {
         // Paper §4: ~33% more kernels.
         let cfg = BertConfig::bert_large();
         let base = build_iteration(&cfg, &opts()).len() as f64;
-        let ckpt =
-            build_iteration(&cfg, &GraphOptions { checkpoint: true, ..opts() }).len() as f64;
+        let ckpt = build_iteration(&cfg, &GraphOptions { checkpoint: true, ..opts() }).len() as f64;
         let increase = ckpt / base - 1.0;
         assert!((0.25..0.42).contains(&increase), "kernel count increase {increase}");
         assert_eq!(checkpoint_segments(24), 5);
@@ -826,12 +921,8 @@ mod tests {
     fn fused_qkv_reduces_projection_kernels_preserving_flops() {
         let cfg = BertConfig::bert_large();
         let serial = layer_forward_ops(&cfg, &opts(), 0, Phase::Forward);
-        let fused = layer_forward_ops(
-            &cfg,
-            &GraphOptions { fused_qkv: true, ..opts() },
-            0,
-            Phase::Forward,
-        );
+        let fused =
+            layer_forward_ops(&cfg, &GraphOptions { fused_qkv: true, ..opts() }, 0, Phase::Forward);
         assert_eq!(serial.len() - fused.len(), 2);
         let lin_flops = |ops: &[OpRecord]| -> u64 {
             ops.iter().filter(|o| o.category == Category::AttnLinear).map(|o| o.flops).sum()
@@ -872,8 +963,12 @@ mod tests {
         let out_flops = |ops: &[OpRecord]| -> u64 {
             ops.iter().filter(|o| o.category == Category::Output).map(|o| o.flops).sum()
         };
-        assert!(out_flops(&pt) > 50 * out_flops(&ft),
-            "SQuAD head is tiny vs the MLM decoder: {} vs {}", out_flops(&pt), out_flops(&ft));
+        assert!(
+            out_flops(&pt) > 50 * out_flops(&ft),
+            "SQuAD head is tiny vs the MLM decoder: {} vs {}",
+            out_flops(&pt),
+            out_flops(&ft)
+        );
         // Transformer and LAMB work are byte-identical between the two.
         let layer_flops = |ops: &[OpRecord]| -> u64 {
             ops.iter().filter(|o| o.layer.is_some()).map(|o| o.flops).sum()
@@ -896,8 +991,16 @@ mod tests {
         assert!(inf.iter().all(|o| o.category.group() != bertscope_tensor::Group::Lamb));
         let train = build_iteration(&cfg, &opts());
         let share = |ops: &[OpRecord], cat: Category| -> f64 {
-            let c: u64 = ops.iter().filter(|o| o.category == cat && o.layer.is_some()).map(|o| o.flops).sum();
-            let t: u64 = ops.iter().filter(|o| o.layer.is_some() && o.phase != Phase::Update).map(|o| o.flops).sum();
+            let c: u64 = ops
+                .iter()
+                .filter(|o| o.category == cat && o.layer.is_some())
+                .map(|o| o.flops)
+                .sum();
+            let t: u64 = ops
+                .iter()
+                .filter(|o| o.layer.is_some() && o.phase != Phase::Update)
+                .map(|o| o.flops)
+                .sum();
             c as f64 / t as f64
         };
         for cat in [Category::FcGemm, Category::AttnLinear, Category::AttnBgemm] {

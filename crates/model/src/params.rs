@@ -97,19 +97,13 @@ mod tests {
     fn bert_large_has_roughly_340m_parameters() {
         // The paper describes BERT-Large as a ~340M-parameter model.
         let count = parameter_count(&BertConfig::bert_large());
-        assert!(
-            (330_000_000..345_000_000).contains(&count),
-            "BERT-Large parameter count {count}"
-        );
+        assert!((330_000_000..345_000_000).contains(&count), "BERT-Large parameter count {count}");
     }
 
     #[test]
     fn bert_base_has_roughly_110m_parameters() {
         let count = parameter_count(&BertConfig::bert_base());
-        assert!(
-            (105_000_000..115_000_000).contains(&count),
-            "BERT-Base parameter count {count}"
-        );
+        assert!((105_000_000..115_000_000).contains(&count), "BERT-Base parameter count {count}");
     }
 
     #[test]
@@ -130,7 +124,11 @@ mod tests {
         let narrow = BertConfig { d_model: 512, d_ff: 2048, heads: 8, ..BertConfig::bert_large() };
         let wide = BertConfig::bert_large();
         let layer_params = |cfg: &BertConfig| -> u64 {
-            parameter_tensors(cfg).iter().filter(|t| t.layer == Some(0)).map(ParamTensor::numel).sum()
+            parameter_tensors(cfg)
+                .iter()
+                .filter(|t| t.layer == Some(0))
+                .map(ParamTensor::numel)
+                .sum()
         };
         let ratio = layer_params(&wide) as f64 / layer_params(&narrow) as f64;
         assert!((ratio - 4.0).abs() < 0.05, "2x width -> ~4x params, got {ratio}");

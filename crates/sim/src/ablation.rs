@@ -122,9 +122,8 @@ pub fn ablation_study(cfg: &BertConfig, gpu: &GpuModel) -> Vec<AblationRow> {
     // 3. Bandwidth derates -> LAMB share of the iteration (Takeaway 1).
     {
         let no_derate = without_derates(gpu);
-        let lamb = |g: &GpuModel| -> f64 {
-            simulate_iteration(cfg, &opts, g).group_fraction(Group::Lamb)
-        };
+        let lamb =
+            |g: &GpuModel| -> f64 { simulate_iteration(cfg, &opts, g).group_fraction(Group::Lamb) };
         out.push(AblationRow {
             ablation: "reduction/optimizer bandwidth derates".into(),
             observable: "LAMB share of the iteration (paper band 7-10%)".into(),
@@ -193,11 +192,18 @@ mod tests {
         // 2. The Adam fusion runtime ratio collapses to the bare memory
         //    traffic ratio without the per-kernel fixed costs.
         let launch = &rows[1];
-        assert!(launch.full > 1.4 * launch.ablated,
-            "fixed costs drive the Adam fusion gap: {} vs {}", launch.full, launch.ablated);
+        assert!(
+            launch.full > 1.4 * launch.ablated,
+            "fixed costs drive the Adam fusion gap: {} vs {}",
+            launch.full,
+            launch.ablated
+        );
         let traffic = bertscope_model::adam_fusion_case(&BertConfig::bert_large()).bytes_ratio();
-        assert!((launch.ablated - traffic).abs() / traffic < 0.1,
-            "ablated ratio {} reduces to the traffic ratio {traffic}", launch.ablated);
+        assert!(
+            (launch.ablated - traffic).abs() / traffic < 0.1,
+            "ablated ratio {} reduces to the traffic ratio {traffic}",
+            launch.ablated
+        );
 
         // 3. LAMB leaves the paper band without the derates.
         let derate = &rows[2];
@@ -218,10 +224,7 @@ mod tests {
 
     #[test]
     fn stream_validation() {
-        let ops = bertscope_model::build_iteration(
-            &BertConfig::tiny(),
-            &GraphOptions::default(),
-        );
+        let ops = bertscope_model::build_iteration(&BertConfig::tiny(), &GraphOptions::default());
         assert!(stream_is_well_formed(&ops));
         assert!(!stream_is_well_formed(&[]));
         // Scramble: put an update op before a backward op.

@@ -104,10 +104,7 @@ pub fn bucketing_study(
     // Pad-to-max: every sequence costs the n_max rate.
     let padded = per_seq(n_max);
     // Bucketed: each length class pays its own rate.
-    let bucketed = length_weights
-        .iter()
-        .map(|&(l, w)| w / total_w * per_seq(l))
-        .sum::<f64>();
+    let bucketed = length_weights.iter().map(|&(l, w)| w / total_w * per_seq(l)).sum::<f64>();
     BucketingStudy { padded_us_per_seq: padded, bucketed_us_per_seq: bucketed }
 }
 
@@ -119,8 +116,12 @@ mod tests {
     fn accumulation_scales_lamb_share_inversely() {
         // §2.4's "once every few iterations": k=4 cuts LAMB's share ~4x.
         let gpu = GpuModel::mi100();
-        let pts =
-            accumulation_sweep(&BertConfig::bert_large(), &GraphOptions::default(), &gpu, &[1, 2, 4, 8]);
+        let pts = accumulation_sweep(
+            &BertConfig::bert_large(),
+            &GraphOptions::default(),
+            &gpu,
+            &[1, 2, 4, 8],
+        );
         assert_eq!(pts[0].steps, 1);
         let base = pts[0].lamb_fraction;
         assert!((0.05..0.12).contains(&base));

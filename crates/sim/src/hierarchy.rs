@@ -38,12 +38,11 @@ fn seg(label: &str, fraction: f64) -> Segment {
 pub fn hierarchical_breakdown(profile: &IterationProfile) -> HierarchicalBreakdown {
     let cat = |c: Category| profile.category_fraction(c);
     let grp = |g: Group| profile.group_fraction(g);
-    let attention =
-        vec![
-            seg("Linear", cat(Category::AttnLinear)),
-            seg("Attn B-GEMM", cat(Category::AttnBgemm)),
-            seg("Scale+Mask+DR+SM", cat(Category::ScaleMaskSoftmaxDropout)),
-        ];
+    let attention = vec![
+        seg("Linear", cat(Category::AttnLinear)),
+        seg("Attn B-GEMM", cat(Category::AttnBgemm)),
+        seg("Scale+Mask+DR+SM", cat(Category::ScaleMaskSoftmaxDropout)),
+    ];
     let fc = vec![seg("FC GEMMs+Grad", cat(Category::FcGemm)), seg("GeLU", cat(Category::Gelu))];
     let attention_total: f64 = attention.iter().map(|s| s.fraction).sum();
     let fc_total: f64 = fc.iter().map(|s| s.fraction).sum();

@@ -8,7 +8,11 @@ use bertscope_model::{build_inference, BertConfig, GraphOptions};
 
 /// Simulate one forward-only inference pass.
 #[must_use]
-pub fn simulate_inference(cfg: &BertConfig, opts: &GraphOptions, gpu: &GpuModel) -> IterationProfile {
+pub fn simulate_inference(
+    cfg: &BertConfig,
+    opts: &GraphOptions,
+    gpu: &GpuModel,
+) -> IterationProfile {
     IterationProfile::from_ops(gpu, build_inference(cfg, opts))
 }
 

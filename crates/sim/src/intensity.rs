@@ -65,11 +65,8 @@ pub fn bandwidth_rows(gpu: &GpuModel, ops: &[OpRecord]) -> Vec<BandwidthRow> {
         ("LAMBStage2", Box::new(|o| o.category == Category::LambStage2)),
     ];
     // The normalizer: the best achieved bandwidth of any single op.
-    let max_bw = ops
-        .iter()
-        .map(|o| gpu.achieved_bandwidth_gbps(o))
-        .fold(0.0f64, f64::max)
-        .max(1e-9);
+    let max_bw =
+        ops.iter().map(|o| gpu.achieved_bandwidth_gbps(o)).fold(0.0f64, f64::max).max(1e-9);
     classes
         .iter()
         .filter_map(|(label, pred)| {
@@ -118,15 +115,9 @@ mod tests {
     fn fig6_has_15_gemms_with_fc_most_intense() {
         let rows = gemm_intensities(&BertConfig::bert_large(), DType::F32);
         assert_eq!(rows.len(), 15);
-        let max_row = rows
-            .iter()
-            .max_by(|a, b| a.ops_per_byte.total_cmp(&b.ops_per_byte))
-            .unwrap();
+        let max_row = rows.iter().max_by(|a, b| a.ops_per_byte.total_cmp(&b.ops_per_byte)).unwrap();
         assert!(matches!(max_row.site, GemmSite::Fc1 | GemmSite::Fc2));
-        let min_row = rows
-            .iter()
-            .min_by(|a, b| a.ops_per_byte.total_cmp(&b.ops_per_byte))
-            .unwrap();
+        let min_row = rows.iter().min_by(|a, b| a.ops_per_byte.total_cmp(&b.ops_per_byte)).unwrap();
         assert!(
             matches!(min_row.site, GemmSite::AttnScore | GemmSite::AttnOutput),
             "least intense is an attention B-GEMM, got {:?}",
@@ -167,7 +158,7 @@ mod tests {
     }
 
     #[test]
-    fn lamb_stage1_intensity_is_low(){
+    fn lamb_stage1_intensity_is_low() {
         // Takeaway 7: few EW operations per byte.
         let gpu = GpuModel::mi100();
         let ops = build_iteration(&BertConfig::bert_large(), &GraphOptions::default());

@@ -44,9 +44,7 @@ pub mod studies;
 pub mod sweep;
 
 pub use ablation::{ablation_study, stream_is_well_formed, AblationRow};
-pub use heterogeneity::{
-    accumulation_sweep, bucketing_study, AccumulationPoint, BucketingStudy,
-};
+pub use heterogeneity::{accumulation_sweep, bucketing_study, AccumulationPoint, BucketingStudy};
 pub use hierarchy::{hierarchical_breakdown, HierarchicalBreakdown, Segment};
 pub use inference::{serving_sweep, simulate_inference, ServingPoint};
 pub use intensity::{bandwidth_rows, gemm_intensities, BandwidthRow, GemmIntensityRow};

@@ -82,7 +82,12 @@ pub fn footprint(cfg: &BertConfig, opts: &GraphOptions) -> MemoryFootprint {
     };
     // Embedding sums + output-head logits are additionally live.
     let logits = t * cfg.vocab as u64 * es;
-    MemoryFootprint { weights, gradients, optimizer_state, activations: activations + t * d * es + logits }
+    MemoryFootprint {
+        weights,
+        gradients,
+        optimizer_state,
+        activations: activations + t * d * es + logits,
+    }
 }
 
 /// The largest mini-batch that fits in `capacity_bytes` for this
@@ -164,7 +169,8 @@ mod tests {
         // device".
         let cfg = BertConfig::bert_large();
         let plain = max_batch(&cfg, &GraphOptions::default(), GIB32);
-        let ck = max_batch(&cfg, &GraphOptions { checkpoint: true, ..GraphOptions::default() }, GIB32);
+        let ck =
+            max_batch(&cfg, &GraphOptions { checkpoint: true, ..GraphOptions::default() }, GIB32);
         assert!(plain >= 32, "B=32 must fit without checkpointing, got {plain}");
         assert!(ck > plain, "checkpointing raises max batch: {ck} vs {plain}");
     }

@@ -77,8 +77,8 @@ pub fn extrapolate(profile: &IterationProfile, from: &GpuModel, to: &GpuModel) -
         .ops()
         .iter()
         .map(|t| {
-            let compute_ratio = from.peak_flops(t.op.kind, t.op.dtype)
-                / to.peak_flops(t.op.kind, t.op.dtype);
+            let compute_ratio =
+                from.peak_flops(t.op.kind, t.op.dtype) / to.peak_flops(t.op.kind, t.op.dtype);
             match classify(from, &t.op) {
                 Boundedness::ComputeBound => t.time_us * compute_ratio,
                 Boundedness::MemoryBound => t.time_us * bw_ratio,
@@ -165,12 +165,9 @@ mod tests {
         let (gpu, p, _) = profile_and_ops();
         let faster = gpu.scaled_compute(2.0);
         let extrapolated = extrapolate(&p, &gpu, &faster);
-        let resimulated = simulate_iteration(
-            &BertConfig::bert_large(),
-            &GraphOptions::default(),
-            &faster,
-        )
-        .total_us();
+        let resimulated =
+            simulate_iteration(&BertConfig::bert_large(), &GraphOptions::default(), &faster)
+                .total_us();
         let err = (extrapolated - resimulated).abs() / resimulated;
         assert!(err < 0.2, "extrapolation error {err}");
     }

@@ -10,14 +10,22 @@ use bertscope_model::{build_iteration, BertConfig, GraphOptions};
 /// iteration after warm-up" (§3.1.4): BERT iterations are homogeneous
 /// within a phase, so one iteration characterizes the phase.
 #[must_use]
-pub fn simulate_iteration(cfg: &BertConfig, opts: &GraphOptions, gpu: &GpuModel) -> IterationProfile {
+pub fn simulate_iteration(
+    cfg: &BertConfig,
+    opts: &GraphOptions,
+    gpu: &GpuModel,
+) -> IterationProfile {
     IterationProfile::from_ops(gpu, build_iteration(cfg, opts))
 }
 
 /// Simulate one fine-tuning iteration (paper §7): same Transformer stack
 /// and optimizer, SQuAD-style span head instead of the pre-training heads.
 #[must_use]
-pub fn simulate_finetune(cfg: &BertConfig, opts: &GraphOptions, gpu: &GpuModel) -> IterationProfile {
+pub fn simulate_finetune(
+    cfg: &BertConfig,
+    opts: &GraphOptions,
+    gpu: &GpuModel,
+) -> IterationProfile {
     IterationProfile::from_ops(gpu, bertscope_model::build_finetune(cfg, opts))
 }
 
@@ -110,7 +118,11 @@ mod tests {
         let gpu = GpuModel::mi100();
         let ft = simulate_finetune(&BertConfig::bert_large(), &GraphOptions::default(), &gpu);
         assert!(ft.group_fraction(Group::Transformer) > 0.85);
-        assert!(ft.group_fraction(Group::Output) < 0.01, "output {}", ft.group_fraction(Group::Output));
+        assert!(
+            ft.group_fraction(Group::Output) < 0.01,
+            "output {}",
+            ft.group_fraction(Group::Output)
+        );
         assert!(ft.group_fraction(Group::Lamb) > 0.05);
         // The most expensive kernels are Transformer GEMMs and the big
         // LAMB/grad-norm sweeps — never the task head.

@@ -112,10 +112,8 @@ pub fn figure12b_study(gpu: &GpuModel, batches: &[usize]) -> Vec<QkvFusionPoint>
             let serial_bwd: f64 = [GemmPass::BwdGradActivation, GemmPass::BwdGradWeight]
                 .iter()
                 .map(|&p| {
-                    3.0 * gpu.op_time_us(&to_op(
-                        gemm_spec(&cfg, GemmSite::Linear, p),
-                        Phase::Backward,
-                    ))
+                    3.0 * gpu
+                        .op_time_us(&to_op(gemm_spec(&cfg, GemmSite::Linear, p), Phase::Backward))
                 })
                 .sum();
             let fused_bwd: f64 = [GemmPass::BwdGradActivation, GemmPass::BwdGradWeight]
@@ -183,7 +181,12 @@ pub struct NmcStudy {
 /// Run the NMC study: offload every LAMB op to the in-memory ALUs, leave
 /// everything else on the GPU.
 #[must_use]
-pub fn nmc_study(cfg: &BertConfig, opts: &GraphOptions, gpu: &GpuModel, nmc: &NmcModel) -> NmcStudy {
+pub fn nmc_study(
+    cfg: &BertConfig,
+    opts: &GraphOptions,
+    gpu: &GpuModel,
+    nmc: &NmcModel,
+) -> NmcStudy {
     let all_ops = build_iteration(cfg, opts);
     let lamb_ops = optimizer_ops(cfg, opts);
     debug_assert!(lamb_ops.iter().all(NmcModel::can_offload));

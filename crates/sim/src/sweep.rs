@@ -52,11 +52,7 @@ pub fn figure9_sweep(gpu: &GpuModel) -> Vec<SweepPoint> {
         .into_iter()
         .map(|(which, label)| SweepPoint {
             label: label.into(),
-            profile: simulate_iteration(
-                &BertConfig::figure9(which),
-                &GraphOptions::default(),
-                gpu,
-            ),
+            profile: simulate_iteration(&BertConfig::figure9(which), &GraphOptions::default(), gpu),
         })
         .collect()
 }
@@ -85,11 +81,7 @@ mod tests {
         let gpu = GpuModel::mi100();
         let pts = figure3_sweep(&gpu);
         let lamb = |label: &str| {
-            pts.iter()
-                .find(|p| p.label == label)
-                .unwrap()
-                .profile
-                .group_fraction(Group::Lamb)
+            pts.iter().find(|p| p.label == label).unwrap().profile.group_fraction(Group::Lamb)
         };
         let b32 = lamb("Ph1-B32-FP32");
         let b4 = lamb("Ph1-B4-FP32");
@@ -215,9 +207,7 @@ mod tests {
         };
         assert!(attn("GPT-2-XL") > 2.0 * attn("BERT-Large"));
         // RoBERTa-Large is architecturally BERT-Large: identical profile.
-        assert!(
-            (get("RoBERTa-Large").total_us() - get("BERT-Large").total_us()).abs() < 1e-6
-        );
+        assert!((get("RoBERTa-Large").total_us() - get("BERT-Large").total_us()).abs() < 1e-6);
     }
 
     #[test]

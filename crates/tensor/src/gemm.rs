@@ -210,18 +210,25 @@ fn gemm_into(
         let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let threads = threads.min(m).max(1);
         let rows_per = m.div_ceil(threads);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (chunk_idx, out_chunk) in out.chunks_mut(rows_per * n).enumerate() {
                 let a_ref = &a_packed;
                 let b_ref = &b_packed;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let row0 = chunk_idx * rows_per;
                     let rows = out_chunk.len() / n;
-                    kernel(alpha, &a_ref[row0 * k..(row0 + rows) * k], b_ref, out_chunk, rows, n, k);
+                    kernel(
+                        alpha,
+                        &a_ref[row0 * k..(row0 + rows) * k],
+                        b_ref,
+                        out_chunk,
+                        rows,
+                        n,
+                        k,
+                    );
                 });
             }
-        })
-        .expect("gemm worker panicked");
+        });
     } else {
         kernel(alpha, &a_packed, &b_packed, out, m, n, k);
     }
@@ -359,8 +366,10 @@ mod tests {
         let out = batched_gemm(Transpose::No, Transpose::No, 1.0, &a, &b).unwrap();
         assert_eq!(out.dims(), &[4, 5, 3]);
         for i in 0..4 {
-            let ai = Tensor::from_vec(a.as_slice()[i * 30..(i + 1) * 30].to_vec(), &[5, 6]).unwrap();
-            let bi = Tensor::from_vec(b.as_slice()[i * 18..(i + 1) * 18].to_vec(), &[6, 3]).unwrap();
+            let ai =
+                Tensor::from_vec(a.as_slice()[i * 30..(i + 1) * 30].to_vec(), &[5, 6]).unwrap();
+            let bi =
+                Tensor::from_vec(b.as_slice()[i * 18..(i + 1) * 18].to_vec(), &[6, 3]).unwrap();
             let want = gemm(Transpose::No, Transpose::No, 1.0, &ai, &bi, 0.0, None).unwrap();
             let got = &out.as_slice()[i * 15..(i + 1) * 15];
             for (g, w) in got.iter().zip(want.as_slice()) {

@@ -28,7 +28,11 @@ impl Tensor {
     /// A tensor of zeros with logical type `f32`.
     #[must_use]
     pub fn zeros(dims: &[usize]) -> Self {
-        Tensor { data: vec![0.0; Shape::new(dims).numel()], shape: Shape::new(dims), dtype: DType::F32 }
+        Tensor {
+            data: vec![0.0; Shape::new(dims).numel()],
+            shape: Shape::new(dims),
+            dtype: DType::F32,
+        }
     }
 
     /// A tensor of zeros with the given logical type.
@@ -69,7 +73,10 @@ impl Tensor {
     pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
         let shape = Shape::new(dims);
         if data.len() != shape.numel() {
-            return Err(TensorError::LengthMismatch { expected: shape.numel(), actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
         }
         Ok(Tensor { data, shape, dtype: DType::F32 })
     }
@@ -172,7 +179,10 @@ impl Tensor {
     pub fn reshape(&self, dims: &[usize]) -> Result<Tensor> {
         let shape = Shape::new(dims);
         if shape.numel() != self.numel() {
-            return Err(TensorError::LengthMismatch { expected: shape.numel(), actual: self.numel() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.numel(),
+                actual: self.numel(),
+            });
         }
         Ok(Tensor { data: self.data.clone(), shape, dtype: self.dtype })
     }
@@ -218,8 +228,7 @@ impl Tensor {
             return Err(TensorError::shape("zip_map", self.dims(), other.dims()));
         }
         let dt = self.dtype;
-        let data =
-            self.data.iter().zip(&other.data).map(|(&a, &b)| dt.quantize(f(a, b))).collect();
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| dt.quantize(f(a, b))).collect();
         Ok(Tensor { data, shape: self.shape.clone(), dtype: dt })
     }
 
@@ -317,11 +326,7 @@ impl Tensor {
         if self.shape != other.shape {
             return Err(TensorError::shape("max_abs_diff", self.dims(), other.dims()));
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs())))
+        Ok(self.data.iter().zip(&other.data).fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs())))
     }
 }
 

@@ -229,7 +229,14 @@ impl GemmSpec {
 
     /// A batched GEMM descriptor.
     #[must_use]
-    pub fn batched(ta: Transpose, tb: Transpose, m: usize, n: usize, k: usize, batch: usize) -> Self {
+    pub fn batched(
+        ta: Transpose,
+        tb: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        batch: usize,
+    ) -> Self {
         GemmSpec { ta, tb, m, n, k, batch }
     }
 
@@ -264,7 +271,15 @@ impl GemmSpec {
     #[must_use]
     pub fn label(&self) -> String {
         if self.batch > 1 {
-            format!("{}{},{},{},{},b{}", self.ta.letter(), self.tb.letter(), self.m, self.n, self.k, self.batch)
+            format!(
+                "{}{},{},{},{},b{}",
+                self.ta.letter(),
+                self.tb.letter(),
+                self.m,
+                self.n,
+                self.k,
+                self.batch
+            )
         } else {
             format!("{}{},{},{},{}", self.ta.letter(), self.tb.letter(), self.m, self.n, self.k)
         }
@@ -375,8 +390,29 @@ impl Tracer {
     }
 
     /// Append a record (no-op when disabled).
+    ///
+    /// In debug builds the record is validated at the source: a kernel that
+    /// touches no memory cannot exist, and a GEMM's FLOP count is fully
+    /// determined by its spec. The full rule set (conservation, dataflow,
+    /// phase legality) lives in `bertscope-check`; these asserts catch the
+    /// two cheapest-to-check invariants at the instant of recording, where
+    /// the backtrace still points at the producer.
     pub fn record(&mut self, rec: OpRecord) {
         if self.enabled {
+            debug_assert!(
+                rec.bytes_read + rec.bytes_written > 0,
+                "op `{}` moves zero bytes",
+                rec.name
+            );
+            if let Some(spec) = rec.gemm {
+                debug_assert_eq!(
+                    rec.flops,
+                    2 * spec.m as u64 * spec.n as u64 * spec.k as u64 * spec.batch as u64,
+                    "op `{}`: recorded FLOPs disagree with GEMM spec {}",
+                    rec.name,
+                    spec
+                );
+            }
             self.records.push(rec);
         }
     }
@@ -596,9 +632,6 @@ mod tests {
         assert_eq!(OpKind::BatchedGemm.to_string(), "batched-gemm");
         assert_eq!(Phase::Recompute.to_string(), "recompute");
         assert_eq!(Group::Lamb.to_string(), "lamb");
-        assert_eq!(
-            GemmSpec::new(Transpose::Yes, Transpose::No, 2, 3, 4).to_string(),
-            "tn,2,3,4"
-        );
+        assert_eq!(GemmSpec::new(Transpose::Yes, Transpose::No, 2, 3, 4).to_string(), "tn,2,3,4");
     }
 }

@@ -92,11 +92,7 @@ fn top1_accuracy(logits: &Tensor, classes: usize, targets: &[usize]) -> f32 {
             continue;
         }
         active += 1;
-        let argmax = row
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map_or(0, |(i, _)| i);
+        let argmax = row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map_or(0, |(i, _)| i);
         if argmax == t {
             correct += 1;
         }
@@ -213,9 +209,22 @@ impl Bert {
         let layer_param_names = (0..n_layers)
             .map(|l| {
                 [
-                    "attn.wq", "attn.bq", "attn.wk", "attn.bk", "attn.wv", "attn.bv", "attn.wo",
-                    "attn.bo", "ln1.gamma", "ln1.beta", "fc1.weight", "fc1.bias", "fc2.weight",
-                    "fc2.bias", "ln2.gamma", "ln2.beta",
+                    "attn.wq",
+                    "attn.bq",
+                    "attn.wk",
+                    "attn.bk",
+                    "attn.wv",
+                    "attn.bv",
+                    "attn.wo",
+                    "attn.bo",
+                    "ln1.gamma",
+                    "ln1.beta",
+                    "fc1.weight",
+                    "fc1.bias",
+                    "fc2.weight",
+                    "fc2.bias",
+                    "ln2.gamma",
+                    "ln2.beta",
                 ]
                 .iter()
                 .map(|s| format!("l{l}.{s}"))
@@ -280,8 +289,13 @@ impl Bert {
             &self.heads.emb_ln_beta,
             1e-5,
         )?;
-        let (x0, drop) =
-            bertscope_kernels::dropout::dropout_fwd(tracer, &ctx, &normed, self.opts.dropout_p, seed)?;
+        let (x0, drop) = bertscope_kernels::dropout::dropout_fwd(
+            tracer,
+            &ctx,
+            &normed,
+            self.opts.dropout_p,
+            seed,
+        )?;
         Ok((x0, EmbeddingActs { sum2, ln_state, drop }))
     }
 
@@ -315,7 +329,8 @@ impl Bert {
                 seg_inputs[l] = Some(x.clone());
             }
             let lc = self.layer_ctx(l);
-            let (y, a) = layer_fwd(tracer, &lc, &self.layers[l], &x, Some(&mask), seed0 + l as u64)?;
+            let (y, a) =
+                layer_fwd(tracer, &lc, &self.layers[l], &x, Some(&mask), seed0 + l as u64)?;
             if !self.opts.checkpoint {
                 acts[l] = Some(a);
             }
@@ -342,7 +357,8 @@ impl Bert {
             1e-5,
         )?;
         // Tied decoder: logits = x * W_word^T + b.
-        let mut logits = gemm(Transpose::No, Transpose::Yes, 1.0, &mlm_n, &self.heads.word_emb, 0.0, None)?;
+        let mut logits =
+            gemm(Transpose::No, Transpose::Yes, 1.0, &mlm_n, &self.heads.word_emb, 0.0, None)?;
         {
             let bs = self.heads.decoder_bias.as_slice();
             for row in logits.as_mut_slice().chunks_mut(self.cfg.vocab) {
@@ -358,7 +374,8 @@ impl Bert {
             );
         }
         let xent_ctx = KernelCtx::new("mlm", Category::Output, Phase::Forward).dtype(DType::F32);
-        let (mlm_loss, mlm_xent) = cross_entropy_fwd(tracer, &xent_ctx, &logits, &batch.mlm_targets)?;
+        let (mlm_loss, mlm_xent) =
+            cross_entropy_fwd(tracer, &xent_ctx, &logits, &batch.mlm_targets)?;
 
         // NSP head on the [CLS] rows.
         let cls_rows = self.gather_cls(tracer, &seq_out)?;
@@ -378,13 +395,15 @@ impl Bert {
             &self.heads.cls_w,
             Some(&self.heads.cls_b),
         )?;
-        let nsp_xent_ctx = KernelCtx::new("nsp", Category::Output, Phase::Forward).dtype(DType::F32);
+        let nsp_xent_ctx =
+            KernelCtx::new("nsp", Category::Output, Phase::Forward).dtype(DType::F32);
         let (nsp_loss, nsp_xent) =
             cross_entropy_fwd(tracer, &nsp_xent_ctx, &nsp_logits, &batch.nsp_labels)?;
 
         // ---- Backward (graph order: NSP first, then MLM) ----
         let scale = self.opts.loss_scale;
-        let nsp_bwd_ctx = KernelCtx::new("nsp", Category::Output, Phase::Backward).dtype(DType::F32);
+        let nsp_bwd_ctx =
+            KernelCtx::new("nsp", Category::Output, Phase::Backward).dtype(DType::F32);
         let mut d_nsp_logits = cross_entropy_bwd(tracer, &nsp_bwd_ctx, &nsp_xent)?;
         if scale != 1.0 {
             d_nsp_logits = d_nsp_logits.scale(scale);
@@ -408,19 +427,29 @@ impl Bert {
             true,
         )?;
 
-        let mlm_bwd_ctx = KernelCtx::new("mlm", Category::Output, Phase::Backward).dtype(DType::F32);
+        let mlm_bwd_ctx =
+            KernelCtx::new("mlm", Category::Output, Phase::Backward).dtype(DType::F32);
         let mut d_logits = cross_entropy_bwd(tracer, &mlm_bwd_ctx, &mlm_xent)?;
         if scale != 1.0 {
             d_logits = d_logits.scale(scale);
         }
         // Decoder backward (tied weights): d_mlm_n = d_logits * W_word,
         // dW_word += d_logits^T * mlm_n, db = colsum(d_logits).
-        let d_mlm_n = gemm(Transpose::No, Transpose::No, 1.0, &d_logits, &self.heads.word_emb, 0.0, None)?;
+        let d_mlm_n =
+            gemm(Transpose::No, Transpose::No, 1.0, &d_logits, &self.heads.word_emb, 0.0, None)?;
         let dec_bwd = self.kctx("mlm.decoder", Category::Output, Phase::Backward);
-        dec_bwd.trace_gemm(tracer, "grad_act", GemmSpec::new(Transpose::No, Transpose::No, d, t, self.cfg.vocab));
+        dec_bwd.trace_gemm(
+            tracer,
+            "grad_act",
+            GemmSpec::new(Transpose::No, Transpose::No, d, t, self.cfg.vocab),
+        );
         let d_word_from_decoder =
             gemm(Transpose::Yes, Transpose::No, 1.0, &d_logits, &mlm_n, 0.0, None)?;
-        dec_bwd.trace_gemm(tracer, "grad_wt", GemmSpec::new(Transpose::Yes, Transpose::No, self.cfg.vocab, d, t));
+        dec_bwd.trace_gemm(
+            tracer,
+            "grad_wt",
+            GemmSpec::new(Transpose::Yes, Transpose::No, self.cfg.vocab, d, t),
+        );
         let d_decoder_bias = {
             let mut acc = vec![0.0f32; self.cfg.vocab];
             for row in d_logits.as_slice().chunks(self.cfg.vocab) {
@@ -474,8 +503,14 @@ impl Bert {
                 #[allow(clippy::needless_range_loop)]
                 for l in start..end {
                     let lc = self.layer_ctx(l);
-                    let (y, a) =
-                        layer_fwd(&mut tmp, &lc, &self.layers[l], &xin, Some(&mask), seed0 + l as u64)?;
+                    let (y, a) = layer_fwd(
+                        &mut tmp,
+                        &lc,
+                        &self.layers[l],
+                        &xin,
+                        Some(&mask),
+                        seed0 + l as u64,
+                    )?;
                     acts[l] = Some(a);
                     xin = y;
                 }
@@ -514,7 +549,8 @@ impl Bert {
 
         // ---- Embedding backward ----
         let emb_bwd = self.kctx("emb", Category::Embedding, Phase::Backward);
-        let d_normed = bertscope_kernels::dropout::dropout_bwd(tracer, &emb_bwd, &emb_acts.drop, &dy)?;
+        let d_normed =
+            bertscope_kernels::dropout::dropout_bwd(tracer, &emb_bwd, &emb_acts.drop, &dy)?;
         let (d_sum2, d_emb_ln_gamma, d_emb_ln_beta) = layernorm_bwd(
             tracer,
             &emb_bwd,
@@ -523,13 +559,8 @@ impl Bert {
             &emb_acts.ln_state,
             &d_normed,
         )?;
-        let mut d_word = embedding_bwd(
-            tracer,
-            &emb_bwd,
-            &[self.cfg.vocab, d],
-            &batch.input_ids,
-            &d_sum2,
-        )?;
+        let mut d_word =
+            embedding_bwd(tracer, &emb_bwd, &[self.cfg.vocab, d], &batch.input_ids, &d_sum2)?;
         let d_pos = embedding_bwd(
             tracer,
             &emb_bwd,
@@ -588,8 +619,7 @@ impl Bert {
             &self.heads.emb_ln_beta,
             1e-5,
         )?;
-        let (mut x, _) =
-            bertscope_kernels::dropout::dropout_fwd(tracer, &ctx, &normed, 0.0, 0)?;
+        let (mut x, _) = bertscope_kernels::dropout::dropout_fwd(tracer, &ctx, &normed, 0.0, 0)?;
         let mask = self.attention_mask(batch)?;
         for l in 0..self.cfg.layers {
             let mut lc = self.layer_ctx(l);
@@ -654,7 +684,8 @@ impl Bert {
             &self.heads.cls_w,
             Some(&self.heads.cls_b),
         )?;
-        let nsp_xent_ctx = KernelCtx::new("nsp", Category::Output, Phase::Forward).dtype(DType::F32);
+        let nsp_xent_ctx =
+            KernelCtx::new("nsp", Category::Output, Phase::Forward).dtype(DType::F32);
         let (nsp_loss, _) =
             cross_entropy_fwd(tracer, &nsp_xent_ctx, &nsp_logits, &batch.nsp_labels)?;
         let nsp_accuracy = top1_accuracy(&nsp_logits, 2, &batch.nsp_labels);
@@ -714,39 +745,120 @@ impl Bert {
         let heads_g = self.head_grads.as_ref().expect("train_step before param_slots");
         let mut slots = Vec::new();
         let hp = &mut self.heads;
-        slots.push(ParamSlot { name: "embeddings.word", value: &mut hp.word_emb, grad: &heads_g.word_emb });
-        slots.push(ParamSlot { name: "embeddings.position", value: &mut hp.pos_emb, grad: &heads_g.pos_emb });
-        slots.push(ParamSlot { name: "embeddings.segment", value: &mut hp.seg_emb, grad: &heads_g.seg_emb });
-        slots.push(ParamSlot { name: "embeddings.ln.gamma", value: &mut hp.emb_ln_gamma, grad: &heads_g.emb_ln_gamma });
-        slots.push(ParamSlot { name: "embeddings.ln.beta", value: &mut hp.emb_ln_beta, grad: &heads_g.emb_ln_beta });
+        slots.push(ParamSlot {
+            name: "embeddings.word",
+            value: &mut hp.word_emb,
+            grad: &heads_g.word_emb,
+        });
+        slots.push(ParamSlot {
+            name: "embeddings.position",
+            value: &mut hp.pos_emb,
+            grad: &heads_g.pos_emb,
+        });
+        slots.push(ParamSlot {
+            name: "embeddings.segment",
+            value: &mut hp.seg_emb,
+            grad: &heads_g.seg_emb,
+        });
+        slots.push(ParamSlot {
+            name: "embeddings.ln.gamma",
+            value: &mut hp.emb_ln_gamma,
+            grad: &heads_g.emb_ln_gamma,
+        });
+        slots.push(ParamSlot {
+            name: "embeddings.ln.beta",
+            value: &mut hp.emb_ln_beta,
+            grad: &heads_g.emb_ln_beta,
+        });
         for ((p, g), names) in
             self.layers.iter_mut().zip(&self.layer_grads).zip(&self.layer_param_names)
         {
             let g = g.as_ref().expect("train_step before param_slots");
             let values = [
-                &mut p.attn.wq, &mut p.attn.bq, &mut p.attn.wk, &mut p.attn.bk, &mut p.attn.wv,
-                &mut p.attn.bv, &mut p.attn.wo, &mut p.attn.bo, &mut p.ln1_gamma, &mut p.ln1_beta,
-                &mut p.fc1_w, &mut p.fc1_b, &mut p.fc2_w, &mut p.fc2_b, &mut p.ln2_gamma,
+                &mut p.attn.wq,
+                &mut p.attn.bq,
+                &mut p.attn.wk,
+                &mut p.attn.bk,
+                &mut p.attn.wv,
+                &mut p.attn.bv,
+                &mut p.attn.wo,
+                &mut p.attn.bo,
+                &mut p.ln1_gamma,
+                &mut p.ln1_beta,
+                &mut p.fc1_w,
+                &mut p.fc1_b,
+                &mut p.fc2_w,
+                &mut p.fc2_b,
+                &mut p.ln2_gamma,
                 &mut p.ln2_beta,
             ];
             let grads = [
-                &g.attn.wq, &g.attn.bq, &g.attn.wk, &g.attn.bk, &g.attn.wv, &g.attn.bv,
-                &g.attn.wo, &g.attn.bo, &g.ln1_gamma, &g.ln1_beta, &g.fc1_w, &g.fc1_b, &g.fc2_w,
-                &g.fc2_b, &g.ln2_gamma, &g.ln2_beta,
+                &g.attn.wq,
+                &g.attn.bq,
+                &g.attn.wk,
+                &g.attn.bk,
+                &g.attn.wv,
+                &g.attn.bv,
+                &g.attn.wo,
+                &g.attn.bo,
+                &g.ln1_gamma,
+                &g.ln1_beta,
+                &g.fc1_w,
+                &g.fc1_b,
+                &g.fc2_w,
+                &g.fc2_b,
+                &g.ln2_gamma,
+                &g.ln2_beta,
             ];
             for ((name, value), grad) in names.iter().zip(values).zip(grads) {
                 slots.push(ParamSlot { name, value, grad });
             }
         }
-        slots.push(ParamSlot { name: "mlm.dense.weight", value: &mut hp.mlm_dense_w, grad: &heads_g.mlm_dense_w });
-        slots.push(ParamSlot { name: "mlm.dense.bias", value: &mut hp.mlm_dense_b, grad: &heads_g.mlm_dense_b });
-        slots.push(ParamSlot { name: "mlm.ln.gamma", value: &mut hp.mlm_ln_gamma, grad: &heads_g.mlm_ln_gamma });
-        slots.push(ParamSlot { name: "mlm.ln.beta", value: &mut hp.mlm_ln_beta, grad: &heads_g.mlm_ln_beta });
-        slots.push(ParamSlot { name: "mlm.decoder.bias", value: &mut hp.decoder_bias, grad: &heads_g.decoder_bias });
-        slots.push(ParamSlot { name: "nsp.pooler.weight", value: &mut hp.pooler_w, grad: &heads_g.pooler_w });
-        slots.push(ParamSlot { name: "nsp.pooler.bias", value: &mut hp.pooler_b, grad: &heads_g.pooler_b });
-        slots.push(ParamSlot { name: "nsp.classifier.weight", value: &mut hp.cls_w, grad: &heads_g.cls_w });
-        slots.push(ParamSlot { name: "nsp.classifier.bias", value: &mut hp.cls_b, grad: &heads_g.cls_b });
+        slots.push(ParamSlot {
+            name: "mlm.dense.weight",
+            value: &mut hp.mlm_dense_w,
+            grad: &heads_g.mlm_dense_w,
+        });
+        slots.push(ParamSlot {
+            name: "mlm.dense.bias",
+            value: &mut hp.mlm_dense_b,
+            grad: &heads_g.mlm_dense_b,
+        });
+        slots.push(ParamSlot {
+            name: "mlm.ln.gamma",
+            value: &mut hp.mlm_ln_gamma,
+            grad: &heads_g.mlm_ln_gamma,
+        });
+        slots.push(ParamSlot {
+            name: "mlm.ln.beta",
+            value: &mut hp.mlm_ln_beta,
+            grad: &heads_g.mlm_ln_beta,
+        });
+        slots.push(ParamSlot {
+            name: "mlm.decoder.bias",
+            value: &mut hp.decoder_bias,
+            grad: &heads_g.decoder_bias,
+        });
+        slots.push(ParamSlot {
+            name: "nsp.pooler.weight",
+            value: &mut hp.pooler_w,
+            grad: &heads_g.pooler_w,
+        });
+        slots.push(ParamSlot {
+            name: "nsp.pooler.bias",
+            value: &mut hp.pooler_b,
+            grad: &heads_g.pooler_b,
+        });
+        slots.push(ParamSlot {
+            name: "nsp.classifier.weight",
+            value: &mut hp.cls_w,
+            grad: &heads_g.cls_w,
+        });
+        slots.push(ParamSlot {
+            name: "nsp.classifier.bias",
+            value: &mut hp.cls_b,
+            grad: &heads_g.cls_b,
+        });
         slots
     }
 
@@ -824,8 +936,10 @@ mod tests {
         // (memorization), demonstrating a correct end-to-end training loop.
         let (mut bert, corpus, _) = tiny_setup(TrainOptions::default());
         let mut rng = StdRng::seed_from_u64(99);
-        let batches =
-            [corpus.generate_batch(&mut rng, bert.config()), corpus.generate_batch(&mut rng, bert.config())];
+        let batches = [
+            corpus.generate_batch(&mut rng, bert.config()),
+            corpus.generate_batch(&mut rng, bert.config()),
+        ];
         let mut opt = Lamb::new(0.05);
         let mut tr = Tracer::disabled();
         let mut first = 0.0;
@@ -952,14 +1066,21 @@ mod tests {
         };
         let targets: Vec<(String, usize, f32)> = {
             let slots = bert.param_slots();
-            ["l0.attn.wq", "l0.fc1.weight", "mlm.dense.weight", "embeddings.word", "nsp.pooler.weight", "l0.ln1.gamma"]
-                .iter()
-                .map(|&n| {
-                    let s = slots.iter().find(|s| s.name == n).unwrap();
-                    let idx = s.grad.numel() / 2;
-                    (n.to_owned(), idx, s.grad.as_slice()[idx])
-                })
-                .collect()
+            [
+                "l0.attn.wq",
+                "l0.fc1.weight",
+                "mlm.dense.weight",
+                "embeddings.word",
+                "nsp.pooler.weight",
+                "l0.ln1.gamma",
+            ]
+            .iter()
+            .map(|&n| {
+                let s = slots.iter().find(|s| s.name == n).unwrap();
+                let idx = s.grad.numel() / 2;
+                (n.to_owned(), idx, s.grad.as_slice()[idx])
+            })
+            .collect()
         };
         for (name, idx, g) in targets {
             probe(&mut bert, &name, idx, g);

@@ -279,9 +279,7 @@ mod tests {
                 if words.is_empty() {
                     None
                 } else {
-                    Some(usize::from(
-                        words.iter().sum::<usize>() * 2 > words.len(),
-                    ))
+                    Some(usize::from(words.iter().sum::<usize>() * 2 > words.len()))
                 }
             };
             if let (Some(pa), Some(pb)) = (parity(0), parity(1)) {

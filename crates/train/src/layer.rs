@@ -30,7 +30,13 @@ pub struct LayerCtx {
 impl LayerCtx {
     /// Build a layer context from a model configuration.
     #[must_use]
-    pub fn new(cfg: &BertConfig, layer: usize, dtype: DType, dropout_p: f32, fused_qkv: bool) -> Self {
+    pub fn new(
+        cfg: &BertConfig,
+        layer: usize,
+        dtype: DType,
+        dropout_p: f32,
+        fused_qkv: bool,
+    ) -> Self {
         LayerCtx {
             attn: AttentionConfig {
                 batch: cfg.batch,
@@ -324,9 +330,13 @@ mod tests {
         bertscope_kernels::testsupport::check_grad(&p.fc1_w, &grads.fc1_w, 1e-2, 4e-2, |wp| {
             objective(&x, &LayerParams { fc1_w: wp.clone(), ..p.clone() })
         });
-        bertscope_kernels::testsupport::check_grad(&p.ln2_gamma, &grads.ln2_gamma, 1e-2, 4e-2, |gp| {
-            objective(&x, &LayerParams { ln2_gamma: gp.clone(), ..p.clone() })
-        });
+        bertscope_kernels::testsupport::check_grad(
+            &p.ln2_gamma,
+            &grads.ln2_gamma,
+            1e-2,
+            4e-2,
+            |gp| objective(&x, &LayerParams { ln2_gamma: gp.clone(), ..p.clone() }),
+        );
         bertscope_kernels::testsupport::check_grad(&p.attn.wo, &grads.attn.wo, 1e-2, 4e-2, |wp| {
             objective(
                 &x,
@@ -344,7 +354,11 @@ mod tests {
     #[test]
     fn dropout_seeds_make_execution_deterministic() {
         let (_, lc2, p, x) = setup();
-        let lc = LayerCtx { dropout_p: 0.1, attn: AttentionConfig { dropout_p: 0.1, ..lc2.attn }, ..lc2 };
+        let lc = LayerCtx {
+            dropout_p: 0.1,
+            attn: AttentionConfig { dropout_p: 0.1, ..lc2.attn },
+            ..lc2
+        };
         let mut tr = Tracer::disabled();
         let (y1, _) = layer_fwd(&mut tr, &lc, &p, &x, None, 5).unwrap();
         let (y2, _) = layer_fwd(&mut tr, &lc, &p, &x, None, 5).unwrap();

@@ -162,14 +162,12 @@ impl Lamb {
         let bc2 = 1.0 - self.beta2.powi(t);
         for s in slots.iter_mut() {
             let n = s.value.numel();
-            let master = self
-                .master
+            let master =
+                self.master.entry(s.name.to_owned()).or_insert_with(|| s.value.as_slice().to_vec());
+            let st = self
+                .state
                 .entry(s.name.to_owned())
-                .or_insert_with(|| s.value.as_slice().to_vec());
-            let st = self.state.entry(s.name.to_owned()).or_insert_with(|| Moments {
-                m: vec![0.0; n],
-                v: vec![0.0; n],
-            });
+                .or_insert_with(|| Moments { m: vec![0.0; n], v: vec![0.0; n] });
             // Stage 1: update moments and form the update direction.
             let mut update = vec![0.0f32; n];
             let mut w_sq = 0.0f64;
@@ -280,14 +278,12 @@ impl Adam {
         let mut group_numel: Vec<(String, u64)> = Vec::new();
         for s in slots.iter_mut() {
             let n = s.value.numel();
-            let master = self
-                .master
+            let master =
+                self.master.entry(s.name.to_owned()).or_insert_with(|| s.value.as_slice().to_vec());
+            let st = self
+                .state
                 .entry(s.name.to_owned())
-                .or_insert_with(|| s.value.as_slice().to_vec());
-            let st = self.state.entry(s.name.to_owned()).or_insert_with(|| Moments {
-                m: vec![0.0; n],
-                v: vec![0.0; n],
-            });
+                .or_insert_with(|| Moments { m: vec![0.0; n], v: vec![0.0; n] });
             let dt = s.value.dtype();
             #[allow(clippy::needless_range_loop)]
             for i in 0..n {

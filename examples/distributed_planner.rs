@@ -34,7 +34,8 @@ fn main() {
     // Tensor-slicing scaling: where does adding devices stop helping?
     println!("Tensor-slicing scaling on PCIe 4.0 vs a faster fabric (B=32):");
     let cfg = BertConfig::bert_large();
-    let mut t = TextTable::new(["ways", "PCIe4 iteration", "PCIe4 comm", "xGMI iteration", "xGMI comm"]);
+    let mut t =
+        TextTable::new(["ways", "PCIe4 iteration", "PCIe4 comm", "xGMI iteration", "xGMI comm"]);
     for ways in [1usize, 2, 4, 8] {
         let pcie = tensor_slice_profile(&cfg, &opts, &gpu, &Link::pcie4(), ways);
         let xgmi = tensor_slice_profile(&cfg, &opts, &gpu, &Link::xgmi(), ways);

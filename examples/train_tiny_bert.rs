@@ -75,5 +75,8 @@ fn main() {
             println!("{step:4}  {:6.3}  {:6.3}  {:6.3}", out.loss, out.mlm_loss, out.nsp_loss);
         }
     }
-    println!("\ninitial MLM loss ~ ln(vocab) = {:.3}; it should now be well below that.", (cfg.vocab as f32).ln());
+    println!(
+        "\ninitial MLM loss ~ ln(vocab) = {:.3}; it should now be well below that.",
+        (cfg.vocab as f32).ln()
+    );
 }

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bertscope-0cc11b74d4a7cf82.d: crates/core/src/lib.rs crates/core/src/export.rs crates/core/src/report.rs crates/core/src/takeaways.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbertscope-0cc11b74d4a7cf82.rmeta: crates/core/src/lib.rs crates/core/src/export.rs crates/core/src/report.rs crates/core/src/takeaways.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/export.rs:
+crates/core/src/report.rs:
+crates/core/src/takeaways.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bertscope-10ace5e43ecf4c0f.d: crates/core/src/lib.rs crates/core/src/export.rs crates/core/src/report.rs crates/core/src/takeaways.rs
+
+/root/repo/target/debug/deps/bertscope-10ace5e43ecf4c0f: crates/core/src/lib.rs crates/core/src/export.rs crates/core/src/report.rs crates/core/src/takeaways.rs
+
+crates/core/src/lib.rs:
+crates/core/src/export.rs:
+crates/core/src/report.rs:
+crates/core/src/takeaways.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bertscope-b3829d7ebbd5d4e4.d: crates/core/src/lib.rs crates/core/src/export.rs crates/core/src/report.rs crates/core/src/takeaways.rs
+
+/root/repo/target/debug/deps/libbertscope-b3829d7ebbd5d4e4.rlib: crates/core/src/lib.rs crates/core/src/export.rs crates/core/src/report.rs crates/core/src/takeaways.rs
+
+/root/repo/target/debug/deps/libbertscope-b3829d7ebbd5d4e4.rmeta: crates/core/src/lib.rs crates/core/src/export.rs crates/core/src/report.rs crates/core/src/takeaways.rs
+
+crates/core/src/lib.rs:
+crates/core/src/export.rs:
+crates/core/src/report.rs:
+crates/core/src/takeaways.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bertscope_bench-0f1eaadab3b0dbba.d: crates/bench/src/lib.rs crates/bench/src/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbertscope_bench-0f1eaadab3b0dbba.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bertscope_bench-39836891c9d0c6da.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/bertscope_bench-39836891c9d0c6da: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

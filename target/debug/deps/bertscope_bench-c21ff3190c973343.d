@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bertscope_bench-c21ff3190c973343.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libbertscope_bench-c21ff3190c973343.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libbertscope_bench-c21ff3190c973343.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

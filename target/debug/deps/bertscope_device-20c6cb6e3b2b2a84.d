@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bertscope_device-20c6cb6e3b2b2a84.d: crates/device/src/lib.rs crates/device/src/energy.rs crates/device/src/gpu.rs crates/device/src/interconnect.rs crates/device/src/nmc.rs
+
+/root/repo/target/debug/deps/bertscope_device-20c6cb6e3b2b2a84: crates/device/src/lib.rs crates/device/src/energy.rs crates/device/src/gpu.rs crates/device/src/interconnect.rs crates/device/src/nmc.rs
+
+crates/device/src/lib.rs:
+crates/device/src/energy.rs:
+crates/device/src/gpu.rs:
+crates/device/src/interconnect.rs:
+crates/device/src/nmc.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bertscope_device-3f52554ba6798b35.d: crates/device/src/lib.rs crates/device/src/energy.rs crates/device/src/gpu.rs crates/device/src/interconnect.rs crates/device/src/nmc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbertscope_device-3f52554ba6798b35.rmeta: crates/device/src/lib.rs crates/device/src/energy.rs crates/device/src/gpu.rs crates/device/src/interconnect.rs crates/device/src/nmc.rs Cargo.toml
+
+crates/device/src/lib.rs:
+crates/device/src/energy.rs:
+crates/device/src/gpu.rs:
+crates/device/src/interconnect.rs:
+crates/device/src/nmc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bertscope_device-a7ef6fb8d3b32eac.d: crates/device/src/lib.rs crates/device/src/energy.rs crates/device/src/gpu.rs crates/device/src/interconnect.rs crates/device/src/nmc.rs
+
+/root/repo/target/debug/deps/libbertscope_device-a7ef6fb8d3b32eac.rlib: crates/device/src/lib.rs crates/device/src/energy.rs crates/device/src/gpu.rs crates/device/src/interconnect.rs crates/device/src/nmc.rs
+
+/root/repo/target/debug/deps/libbertscope_device-a7ef6fb8d3b32eac.rmeta: crates/device/src/lib.rs crates/device/src/energy.rs crates/device/src/gpu.rs crates/device/src/interconnect.rs crates/device/src/nmc.rs
+
+crates/device/src/lib.rs:
+crates/device/src/energy.rs:
+crates/device/src/gpu.rs:
+crates/device/src/interconnect.rs:
+crates/device/src/nmc.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bertscope_dist-13542e1c77cea867.d: crates/dist/src/lib.rs crates/dist/src/allreduce.rs crates/dist/src/dp.rs crates/dist/src/hybrid.rs crates/dist/src/ts.rs crates/dist/src/zero.rs
+
+/root/repo/target/debug/deps/libbertscope_dist-13542e1c77cea867.rlib: crates/dist/src/lib.rs crates/dist/src/allreduce.rs crates/dist/src/dp.rs crates/dist/src/hybrid.rs crates/dist/src/ts.rs crates/dist/src/zero.rs
+
+/root/repo/target/debug/deps/libbertscope_dist-13542e1c77cea867.rmeta: crates/dist/src/lib.rs crates/dist/src/allreduce.rs crates/dist/src/dp.rs crates/dist/src/hybrid.rs crates/dist/src/ts.rs crates/dist/src/zero.rs
+
+crates/dist/src/lib.rs:
+crates/dist/src/allreduce.rs:
+crates/dist/src/dp.rs:
+crates/dist/src/hybrid.rs:
+crates/dist/src/ts.rs:
+crates/dist/src/zero.rs:

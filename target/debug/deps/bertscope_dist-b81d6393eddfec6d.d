@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bertscope_dist-b81d6393eddfec6d.d: crates/dist/src/lib.rs crates/dist/src/allreduce.rs crates/dist/src/dp.rs crates/dist/src/hybrid.rs crates/dist/src/ts.rs crates/dist/src/zero.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbertscope_dist-b81d6393eddfec6d.rmeta: crates/dist/src/lib.rs crates/dist/src/allreduce.rs crates/dist/src/dp.rs crates/dist/src/hybrid.rs crates/dist/src/ts.rs crates/dist/src/zero.rs Cargo.toml
+
+crates/dist/src/lib.rs:
+crates/dist/src/allreduce.rs:
+crates/dist/src/dp.rs:
+crates/dist/src/hybrid.rs:
+crates/dist/src/ts.rs:
+crates/dist/src/zero.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bertscope_dist-f7d9919cb69c6b77.d: crates/dist/src/lib.rs crates/dist/src/allreduce.rs crates/dist/src/dp.rs crates/dist/src/hybrid.rs crates/dist/src/ts.rs crates/dist/src/zero.rs
+
+/root/repo/target/debug/deps/bertscope_dist-f7d9919cb69c6b77: crates/dist/src/lib.rs crates/dist/src/allreduce.rs crates/dist/src/dp.rs crates/dist/src/hybrid.rs crates/dist/src/ts.rs crates/dist/src/zero.rs
+
+crates/dist/src/lib.rs:
+crates/dist/src/allreduce.rs:
+crates/dist/src/dp.rs:
+crates/dist/src/hybrid.rs:
+crates/dist/src/ts.rs:
+crates/dist/src/zero.rs:

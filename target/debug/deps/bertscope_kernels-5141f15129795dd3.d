@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bertscope_kernels-5141f15129795dd3.d: crates/kernels/src/lib.rs crates/kernels/src/activation.rs crates/kernels/src/attention.rs crates/kernels/src/ctx.rs crates/kernels/src/dropout.rs crates/kernels/src/elementwise.rs crates/kernels/src/embedding.rs crates/kernels/src/linear.rs crates/kernels/src/loss.rs crates/kernels/src/masks.rs crates/kernels/src/norm.rs
+
+/root/repo/target/debug/deps/bertscope_kernels-5141f15129795dd3: crates/kernels/src/lib.rs crates/kernels/src/activation.rs crates/kernels/src/attention.rs crates/kernels/src/ctx.rs crates/kernels/src/dropout.rs crates/kernels/src/elementwise.rs crates/kernels/src/embedding.rs crates/kernels/src/linear.rs crates/kernels/src/loss.rs crates/kernels/src/masks.rs crates/kernels/src/norm.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/activation.rs:
+crates/kernels/src/attention.rs:
+crates/kernels/src/ctx.rs:
+crates/kernels/src/dropout.rs:
+crates/kernels/src/elementwise.rs:
+crates/kernels/src/embedding.rs:
+crates/kernels/src/linear.rs:
+crates/kernels/src/loss.rs:
+crates/kernels/src/masks.rs:
+crates/kernels/src/norm.rs:

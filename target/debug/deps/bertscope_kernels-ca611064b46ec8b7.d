@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/bertscope_kernels-ca611064b46ec8b7.d: crates/kernels/src/lib.rs crates/kernels/src/activation.rs crates/kernels/src/attention.rs crates/kernels/src/ctx.rs crates/kernels/src/dropout.rs crates/kernels/src/elementwise.rs crates/kernels/src/embedding.rs crates/kernels/src/linear.rs crates/kernels/src/loss.rs crates/kernels/src/masks.rs crates/kernels/src/norm.rs
+
+/root/repo/target/debug/deps/libbertscope_kernels-ca611064b46ec8b7.rlib: crates/kernels/src/lib.rs crates/kernels/src/activation.rs crates/kernels/src/attention.rs crates/kernels/src/ctx.rs crates/kernels/src/dropout.rs crates/kernels/src/elementwise.rs crates/kernels/src/embedding.rs crates/kernels/src/linear.rs crates/kernels/src/loss.rs crates/kernels/src/masks.rs crates/kernels/src/norm.rs
+
+/root/repo/target/debug/deps/libbertscope_kernels-ca611064b46ec8b7.rmeta: crates/kernels/src/lib.rs crates/kernels/src/activation.rs crates/kernels/src/attention.rs crates/kernels/src/ctx.rs crates/kernels/src/dropout.rs crates/kernels/src/elementwise.rs crates/kernels/src/embedding.rs crates/kernels/src/linear.rs crates/kernels/src/loss.rs crates/kernels/src/masks.rs crates/kernels/src/norm.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/activation.rs:
+crates/kernels/src/attention.rs:
+crates/kernels/src/ctx.rs:
+crates/kernels/src/dropout.rs:
+crates/kernels/src/elementwise.rs:
+crates/kernels/src/embedding.rs:
+crates/kernels/src/linear.rs:
+crates/kernels/src/loss.rs:
+crates/kernels/src/masks.rs:
+crates/kernels/src/norm.rs:

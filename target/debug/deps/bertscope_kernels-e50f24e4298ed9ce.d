@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/bertscope_kernels-e50f24e4298ed9ce.d: crates/kernels/src/lib.rs crates/kernels/src/activation.rs crates/kernels/src/attention.rs crates/kernels/src/ctx.rs crates/kernels/src/dropout.rs crates/kernels/src/elementwise.rs crates/kernels/src/embedding.rs crates/kernels/src/linear.rs crates/kernels/src/loss.rs crates/kernels/src/masks.rs crates/kernels/src/norm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbertscope_kernels-e50f24e4298ed9ce.rmeta: crates/kernels/src/lib.rs crates/kernels/src/activation.rs crates/kernels/src/attention.rs crates/kernels/src/ctx.rs crates/kernels/src/dropout.rs crates/kernels/src/elementwise.rs crates/kernels/src/embedding.rs crates/kernels/src/linear.rs crates/kernels/src/loss.rs crates/kernels/src/masks.rs crates/kernels/src/norm.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/activation.rs:
+crates/kernels/src/attention.rs:
+crates/kernels/src/ctx.rs:
+crates/kernels/src/dropout.rs:
+crates/kernels/src/elementwise.rs:
+crates/kernels/src/embedding.rs:
+crates/kernels/src/linear.rs:
+crates/kernels/src/loss.rs:
+crates/kernels/src/masks.rs:
+crates/kernels/src/norm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

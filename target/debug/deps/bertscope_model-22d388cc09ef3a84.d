@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bertscope_model-22d388cc09ef3a84.d: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/fusion.rs crates/model/src/gemms.rs crates/model/src/graph.rs crates/model/src/params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbertscope_model-22d388cc09ef3a84.rmeta: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/fusion.rs crates/model/src/gemms.rs crates/model/src/graph.rs crates/model/src/params.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/config.rs:
+crates/model/src/fusion.rs:
+crates/model/src/gemms.rs:
+crates/model/src/graph.rs:
+crates/model/src/params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bertscope_model-6d7cceffc610b3da.d: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/fusion.rs crates/model/src/gemms.rs crates/model/src/graph.rs crates/model/src/params.rs
+
+/root/repo/target/debug/deps/libbertscope_model-6d7cceffc610b3da.rlib: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/fusion.rs crates/model/src/gemms.rs crates/model/src/graph.rs crates/model/src/params.rs
+
+/root/repo/target/debug/deps/libbertscope_model-6d7cceffc610b3da.rmeta: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/fusion.rs crates/model/src/gemms.rs crates/model/src/graph.rs crates/model/src/params.rs
+
+crates/model/src/lib.rs:
+crates/model/src/config.rs:
+crates/model/src/fusion.rs:
+crates/model/src/gemms.rs:
+crates/model/src/graph.rs:
+crates/model/src/params.rs:

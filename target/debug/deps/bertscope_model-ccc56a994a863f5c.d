@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bertscope_model-ccc56a994a863f5c.d: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/fusion.rs crates/model/src/gemms.rs crates/model/src/graph.rs crates/model/src/params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbertscope_model-ccc56a994a863f5c.rmeta: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/fusion.rs crates/model/src/gemms.rs crates/model/src/graph.rs crates/model/src/params.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/config.rs:
+crates/model/src/fusion.rs:
+crates/model/src/gemms.rs:
+crates/model/src/graph.rs:
+crates/model/src/params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

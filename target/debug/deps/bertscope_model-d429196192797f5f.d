@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bertscope_model-d429196192797f5f.d: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/fusion.rs crates/model/src/gemms.rs crates/model/src/graph.rs crates/model/src/params.rs
+
+/root/repo/target/debug/deps/bertscope_model-d429196192797f5f: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/fusion.rs crates/model/src/gemms.rs crates/model/src/graph.rs crates/model/src/params.rs
+
+crates/model/src/lib.rs:
+crates/model/src/config.rs:
+crates/model/src/fusion.rs:
+crates/model/src/gemms.rs:
+crates/model/src/graph.rs:
+crates/model/src/params.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bertscope_sim-035e086696143f59.d: crates/sim/src/lib.rs crates/sim/src/ablation.rs crates/sim/src/heterogeneity.rs crates/sim/src/hierarchy.rs crates/sim/src/inference.rs crates/sim/src/intensity.rs crates/sim/src/memory.rs crates/sim/src/profile.rs crates/sim/src/roofline.rs crates/sim/src/simulate.rs crates/sim/src/studies.rs crates/sim/src/sweep.rs
+
+/root/repo/target/debug/deps/bertscope_sim-035e086696143f59: crates/sim/src/lib.rs crates/sim/src/ablation.rs crates/sim/src/heterogeneity.rs crates/sim/src/hierarchy.rs crates/sim/src/inference.rs crates/sim/src/intensity.rs crates/sim/src/memory.rs crates/sim/src/profile.rs crates/sim/src/roofline.rs crates/sim/src/simulate.rs crates/sim/src/studies.rs crates/sim/src/sweep.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/ablation.rs:
+crates/sim/src/heterogeneity.rs:
+crates/sim/src/hierarchy.rs:
+crates/sim/src/inference.rs:
+crates/sim/src/intensity.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/roofline.rs:
+crates/sim/src/simulate.rs:
+crates/sim/src/studies.rs:
+crates/sim/src/sweep.rs:

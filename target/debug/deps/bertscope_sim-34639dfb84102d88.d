@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/bertscope_sim-34639dfb84102d88.d: crates/sim/src/lib.rs crates/sim/src/ablation.rs crates/sim/src/heterogeneity.rs crates/sim/src/hierarchy.rs crates/sim/src/inference.rs crates/sim/src/intensity.rs crates/sim/src/memory.rs crates/sim/src/profile.rs crates/sim/src/roofline.rs crates/sim/src/simulate.rs crates/sim/src/studies.rs crates/sim/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbertscope_sim-34639dfb84102d88.rmeta: crates/sim/src/lib.rs crates/sim/src/ablation.rs crates/sim/src/heterogeneity.rs crates/sim/src/hierarchy.rs crates/sim/src/inference.rs crates/sim/src/intensity.rs crates/sim/src/memory.rs crates/sim/src/profile.rs crates/sim/src/roofline.rs crates/sim/src/simulate.rs crates/sim/src/studies.rs crates/sim/src/sweep.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/ablation.rs:
+crates/sim/src/heterogeneity.rs:
+crates/sim/src/hierarchy.rs:
+crates/sim/src/inference.rs:
+crates/sim/src/intensity.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/roofline.rs:
+crates/sim/src/simulate.rs:
+crates/sim/src/studies.rs:
+crates/sim/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

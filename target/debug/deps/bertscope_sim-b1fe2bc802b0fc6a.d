@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/bertscope_sim-b1fe2bc802b0fc6a.d: crates/sim/src/lib.rs crates/sim/src/ablation.rs crates/sim/src/heterogeneity.rs crates/sim/src/hierarchy.rs crates/sim/src/inference.rs crates/sim/src/intensity.rs crates/sim/src/memory.rs crates/sim/src/profile.rs crates/sim/src/roofline.rs crates/sim/src/simulate.rs crates/sim/src/studies.rs crates/sim/src/sweep.rs
+
+/root/repo/target/debug/deps/libbertscope_sim-b1fe2bc802b0fc6a.rlib: crates/sim/src/lib.rs crates/sim/src/ablation.rs crates/sim/src/heterogeneity.rs crates/sim/src/hierarchy.rs crates/sim/src/inference.rs crates/sim/src/intensity.rs crates/sim/src/memory.rs crates/sim/src/profile.rs crates/sim/src/roofline.rs crates/sim/src/simulate.rs crates/sim/src/studies.rs crates/sim/src/sweep.rs
+
+/root/repo/target/debug/deps/libbertscope_sim-b1fe2bc802b0fc6a.rmeta: crates/sim/src/lib.rs crates/sim/src/ablation.rs crates/sim/src/heterogeneity.rs crates/sim/src/hierarchy.rs crates/sim/src/inference.rs crates/sim/src/intensity.rs crates/sim/src/memory.rs crates/sim/src/profile.rs crates/sim/src/roofline.rs crates/sim/src/simulate.rs crates/sim/src/studies.rs crates/sim/src/sweep.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/ablation.rs:
+crates/sim/src/heterogeneity.rs:
+crates/sim/src/hierarchy.rs:
+crates/sim/src/inference.rs:
+crates/sim/src/intensity.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/roofline.rs:
+crates/sim/src/simulate.rs:
+crates/sim/src/studies.rs:
+crates/sim/src/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bertscope_suite-178405c2a6e488a5.d: suite/lib.rs
+
+/root/repo/target/debug/deps/bertscope_suite-178405c2a6e488a5: suite/lib.rs
+
+suite/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bertscope_suite-7c4fc3fc91368a69.d: suite/lib.rs
+
+/root/repo/target/debug/deps/libbertscope_suite-7c4fc3fc91368a69.rlib: suite/lib.rs
+
+/root/repo/target/debug/deps/libbertscope_suite-7c4fc3fc91368a69.rmeta: suite/lib.rs
+
+suite/lib.rs:

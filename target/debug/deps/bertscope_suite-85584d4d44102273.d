@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bertscope_suite-85584d4d44102273.d: suite/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbertscope_suite-85584d4d44102273.rmeta: suite/lib.rs Cargo.toml
+
+suite/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bertscope_suite-a2a812859c91cdd4.d: suite/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbertscope_suite-a2a812859c91cdd4.rmeta: suite/lib.rs Cargo.toml
+
+suite/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

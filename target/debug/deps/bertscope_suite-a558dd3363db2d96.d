@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bertscope_suite-a558dd3363db2d96.d: suite/lib.rs
+
+/root/repo/target/debug/deps/bertscope_suite-a558dd3363db2d96: suite/lib.rs
+
+suite/lib.rs:

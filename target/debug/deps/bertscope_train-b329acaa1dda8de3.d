@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bertscope_train-b329acaa1dda8de3.d: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/data.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/trainer.rs
+
+/root/repo/target/debug/deps/bertscope_train-b329acaa1dda8de3: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/data.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/trainer.rs
+
+crates/train/src/lib.rs:
+crates/train/src/bert.rs:
+crates/train/src/data.rs:
+crates/train/src/layer.rs:
+crates/train/src/optim.rs:
+crates/train/src/trainer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corruptions-94aabb5f8654d1eb.d: crates/check/tests/corruptions.rs
+
+/root/repo/target/debug/deps/corruptions-94aabb5f8654d1eb: crates/check/tests/corruptions.rs
+
+crates/check/tests/corruptions.rs:

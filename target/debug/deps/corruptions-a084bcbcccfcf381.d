@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/corruptions-a084bcbcccfcf381.d: crates/check/tests/corruptions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorruptions-a084bcbcccfcf381.rmeta: crates/check/tests/corruptions.rs Cargo.toml
+
+crates/check/tests/corruptions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

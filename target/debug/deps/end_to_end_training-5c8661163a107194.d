@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_training-5c8661163a107194.d: tests/end_to_end_training.rs
+
+/root/repo/target/debug/deps/end_to_end_training-5c8661163a107194: tests/end_to_end_training.rs
+
+tests/end_to_end_training.rs:

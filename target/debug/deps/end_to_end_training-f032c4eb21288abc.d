@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_training-f032c4eb21288abc.d: tests/end_to_end_training.rs
+
+/root/repo/target/debug/deps/end_to_end_training-f032c4eb21288abc: tests/end_to_end_training.rs
+
+tests/end_to_end_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-098bffa1c59a4185.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-098bffa1c59a4185: tests/extensions.rs
+
+tests/extensions.rs:

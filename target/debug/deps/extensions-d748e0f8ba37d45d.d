@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-d748e0f8ba37d45d.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-d748e0f8ba37d45d: tests/extensions.rs
+
+tests/extensions.rs:

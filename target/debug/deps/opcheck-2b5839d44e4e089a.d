@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/opcheck-2b5839d44e4e089a.d: crates/check/src/bin/opcheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopcheck-2b5839d44e4e089a.rmeta: crates/check/src/bin/opcheck.rs Cargo.toml
+
+crates/check/src/bin/opcheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

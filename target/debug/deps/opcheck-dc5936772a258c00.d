@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/opcheck-dc5936772a258c00.d: crates/check/src/bin/opcheck.rs
+
+/root/repo/target/debug/deps/opcheck-dc5936772a258c00: crates/check/src/bin/opcheck.rs
+
+crates/check/src/bin/opcheck.rs:

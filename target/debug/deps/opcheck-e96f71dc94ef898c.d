@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/opcheck-e96f71dc94ef898c.d: crates/check/src/bin/opcheck.rs
+
+/root/repo/target/debug/deps/opcheck-e96f71dc94ef898c: crates/check/src/bin/opcheck.rs
+
+crates/check/src/bin/opcheck.rs:

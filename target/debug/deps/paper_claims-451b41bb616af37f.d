@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-451b41bb616af37f.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-451b41bb616af37f: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-ffdef3b6a36a3315.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-ffdef3b6a36a3315: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-12a14f18d23c8dd6.d: crates/check/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-12a14f18d23c8dd6: crates/check/tests/properties.rs
+
+crates/check/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-27f6607f5f5569cb.d: crates/check/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-27f6607f5f5569cb.rmeta: crates/check/tests/properties.rs Cargo.toml
+
+crates/check/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7907e252174fb026.d: crates/tensor/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7907e252174fb026: crates/tensor/tests/properties.rs
+
+crates/tensor/tests/properties.rs:

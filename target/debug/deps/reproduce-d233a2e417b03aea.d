@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-d233a2e417b03aea.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-d233a2e417b03aea: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

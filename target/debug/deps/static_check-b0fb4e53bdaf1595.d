@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/static_check-b0fb4e53bdaf1595.d: tests/static_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstatic_check-b0fb4e53bdaf1595.rmeta: tests/static_check.rs Cargo.toml
+
+tests/static_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/static_check-cd0e00c9d7dcf8b6.d: tests/static_check.rs
+
+/root/repo/target/debug/deps/static_check-cd0e00c9d7dcf8b6: tests/static_check.rs
+
+tests/static_check.rs:

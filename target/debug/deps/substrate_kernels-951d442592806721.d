@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_kernels-951d442592806721.d: crates/bench/benches/substrate_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_kernels-951d442592806721.rmeta: crates/bench/benches/substrate_kernels.rs Cargo.toml
+
+crates/bench/benches/substrate_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

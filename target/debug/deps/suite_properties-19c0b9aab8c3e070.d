@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_properties-19c0b9aab8c3e070.d: tests/suite_properties.rs
+
+/root/repo/target/debug/deps/suite_properties-19c0b9aab8c3e070: tests/suite_properties.rs
+
+tests/suite_properties.rs:

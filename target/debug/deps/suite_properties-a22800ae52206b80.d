@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_properties-a22800ae52206b80.d: tests/suite_properties.rs
+
+/root/repo/target/debug/deps/suite_properties-a22800ae52206b80: tests/suite_properties.rs
+
+tests/suite_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/suite_properties-e831f132292dbc18.d: tests/suite_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuite_properties-e831f132292dbc18.rmeta: tests/suite_properties.rs Cargo.toml
+
+tests/suite_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

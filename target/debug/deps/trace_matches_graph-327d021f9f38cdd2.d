@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_matches_graph-327d021f9f38cdd2.d: tests/trace_matches_graph.rs
+
+/root/repo/target/debug/deps/trace_matches_graph-327d021f9f38cdd2: tests/trace_matches_graph.rs
+
+tests/trace_matches_graph.rs:

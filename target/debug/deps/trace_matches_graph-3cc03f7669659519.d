@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_matches_graph-3cc03f7669659519.d: tests/trace_matches_graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_matches_graph-3cc03f7669659519.rmeta: tests/trace_matches_graph.rs Cargo.toml
+
+tests/trace_matches_graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

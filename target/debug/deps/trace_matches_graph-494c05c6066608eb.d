@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_matches_graph-494c05c6066608eb.d: tests/trace_matches_graph.rs
+
+/root/repo/target/debug/deps/trace_matches_graph-494c05c6066608eb: tests/trace_matches_graph.rs
+
+tests/trace_matches_graph.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/training_step-37fc5301751f4e80.d: crates/bench/benches/training_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraining_step-37fc5301751f4e80.rmeta: crates/bench/benches/training_step.rs Cargo.toml
+
+crates/bench/benches/training_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

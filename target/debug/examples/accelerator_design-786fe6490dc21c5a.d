@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/accelerator_design-786fe6490dc21c5a.d: examples/accelerator_design.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaccelerator_design-786fe6490dc21c5a.rmeta: examples/accelerator_design.rs Cargo.toml
+
+examples/accelerator_design.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accelerator_design-81d89e3ae5f21975.d: examples/accelerator_design.rs
+
+/root/repo/target/debug/examples/accelerator_design-81d89e3ae5f21975: examples/accelerator_design.rs
+
+examples/accelerator_design.rs:

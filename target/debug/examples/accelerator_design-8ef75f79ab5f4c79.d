@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accelerator_design-8ef75f79ab5f4c79.d: examples/accelerator_design.rs
+
+/root/repo/target/debug/examples/accelerator_design-8ef75f79ab5f4c79: examples/accelerator_design.rs
+
+examples/accelerator_design.rs:

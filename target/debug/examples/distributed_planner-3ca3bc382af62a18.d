@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_planner-3ca3bc382af62a18.d: examples/distributed_planner.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_planner-3ca3bc382af62a18.rmeta: examples/distributed_planner.rs Cargo.toml
+
+examples/distributed_planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

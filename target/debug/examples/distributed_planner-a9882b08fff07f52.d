@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_planner-a9882b08fff07f52.d: examples/distributed_planner.rs
+
+/root/repo/target/debug/examples/distributed_planner-a9882b08fff07f52: examples/distributed_planner.rs
+
+examples/distributed_planner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_planner-bed9e914483bfc22.d: examples/distributed_planner.rs
+
+/root/repo/target/debug/examples/distributed_planner-bed9e914483bfc22: examples/distributed_planner.rs
+
+examples/distributed_planner.rs:

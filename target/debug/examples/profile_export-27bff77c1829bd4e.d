@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_export-27bff77c1829bd4e.d: examples/profile_export.rs
+
+/root/repo/target/debug/examples/profile_export-27bff77c1829bd4e: examples/profile_export.rs
+
+examples/profile_export.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_export-3fbe97d461473440.d: examples/profile_export.rs
+
+/root/repo/target/debug/examples/profile_export-3fbe97d461473440: examples/profile_export.rs
+
+examples/profile_export.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/profile_export-72cd23399f819192.d: examples/profile_export.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprofile_export-72cd23399f819192.rmeta: examples/profile_export.rs Cargo.toml
+
+examples/profile_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

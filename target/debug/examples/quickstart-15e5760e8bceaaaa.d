@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-15e5760e8bceaaaa.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-15e5760e8bceaaaa: examples/quickstart.rs
+
+examples/quickstart.rs:

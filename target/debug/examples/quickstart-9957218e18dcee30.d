@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9957218e18dcee30.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9957218e18dcee30: examples/quickstart.rs
+
+examples/quickstart.rs:

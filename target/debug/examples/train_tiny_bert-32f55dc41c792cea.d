@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/train_tiny_bert-32f55dc41c792cea.d: examples/train_tiny_bert.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrain_tiny_bert-32f55dc41c792cea.rmeta: examples/train_tiny_bert.rs Cargo.toml
+
+examples/train_tiny_bert.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

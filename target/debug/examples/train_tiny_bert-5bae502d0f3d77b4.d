@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_tiny_bert-5bae502d0f3d77b4.d: examples/train_tiny_bert.rs
+
+/root/repo/target/debug/examples/train_tiny_bert-5bae502d0f3d77b4: examples/train_tiny_bert.rs
+
+examples/train_tiny_bert.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_tiny_bert-ee4519440d45c434.d: examples/train_tiny_bert.rs
+
+/root/repo/target/debug/examples/train_tiny_bert-ee4519440d45c434: examples/train_tiny_bert.rs
+
+examples/train_tiny_bert.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bertscope-d567632e6c45559d.d: crates/core/src/lib.rs crates/core/src/export.rs crates/core/src/report.rs crates/core/src/takeaways.rs
+
+/root/repo/target/release/deps/libbertscope-d567632e6c45559d.rlib: crates/core/src/lib.rs crates/core/src/export.rs crates/core/src/report.rs crates/core/src/takeaways.rs
+
+/root/repo/target/release/deps/libbertscope-d567632e6c45559d.rmeta: crates/core/src/lib.rs crates/core/src/export.rs crates/core/src/report.rs crates/core/src/takeaways.rs
+
+crates/core/src/lib.rs:
+crates/core/src/export.rs:
+crates/core/src/report.rs:
+crates/core/src/takeaways.rs:

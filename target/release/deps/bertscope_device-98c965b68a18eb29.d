@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bertscope_device-98c965b68a18eb29.d: crates/device/src/lib.rs crates/device/src/energy.rs crates/device/src/gpu.rs crates/device/src/interconnect.rs crates/device/src/nmc.rs
+
+/root/repo/target/release/deps/libbertscope_device-98c965b68a18eb29.rlib: crates/device/src/lib.rs crates/device/src/energy.rs crates/device/src/gpu.rs crates/device/src/interconnect.rs crates/device/src/nmc.rs
+
+/root/repo/target/release/deps/libbertscope_device-98c965b68a18eb29.rmeta: crates/device/src/lib.rs crates/device/src/energy.rs crates/device/src/gpu.rs crates/device/src/interconnect.rs crates/device/src/nmc.rs
+
+crates/device/src/lib.rs:
+crates/device/src/energy.rs:
+crates/device/src/gpu.rs:
+crates/device/src/interconnect.rs:
+crates/device/src/nmc.rs:

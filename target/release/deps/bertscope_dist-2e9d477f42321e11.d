@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bertscope_dist-2e9d477f42321e11.d: crates/dist/src/lib.rs crates/dist/src/allreduce.rs crates/dist/src/dp.rs crates/dist/src/hybrid.rs crates/dist/src/ts.rs crates/dist/src/zero.rs
+
+/root/repo/target/release/deps/libbertscope_dist-2e9d477f42321e11.rlib: crates/dist/src/lib.rs crates/dist/src/allreduce.rs crates/dist/src/dp.rs crates/dist/src/hybrid.rs crates/dist/src/ts.rs crates/dist/src/zero.rs
+
+/root/repo/target/release/deps/libbertscope_dist-2e9d477f42321e11.rmeta: crates/dist/src/lib.rs crates/dist/src/allreduce.rs crates/dist/src/dp.rs crates/dist/src/hybrid.rs crates/dist/src/ts.rs crates/dist/src/zero.rs
+
+crates/dist/src/lib.rs:
+crates/dist/src/allreduce.rs:
+crates/dist/src/dp.rs:
+crates/dist/src/hybrid.rs:
+crates/dist/src/ts.rs:
+crates/dist/src/zero.rs:

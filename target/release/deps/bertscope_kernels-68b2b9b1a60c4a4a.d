@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/bertscope_kernels-68b2b9b1a60c4a4a.d: crates/kernels/src/lib.rs crates/kernels/src/activation.rs crates/kernels/src/attention.rs crates/kernels/src/ctx.rs crates/kernels/src/dropout.rs crates/kernels/src/elementwise.rs crates/kernels/src/embedding.rs crates/kernels/src/linear.rs crates/kernels/src/loss.rs crates/kernels/src/masks.rs crates/kernels/src/norm.rs
+
+/root/repo/target/release/deps/libbertscope_kernels-68b2b9b1a60c4a4a.rlib: crates/kernels/src/lib.rs crates/kernels/src/activation.rs crates/kernels/src/attention.rs crates/kernels/src/ctx.rs crates/kernels/src/dropout.rs crates/kernels/src/elementwise.rs crates/kernels/src/embedding.rs crates/kernels/src/linear.rs crates/kernels/src/loss.rs crates/kernels/src/masks.rs crates/kernels/src/norm.rs
+
+/root/repo/target/release/deps/libbertscope_kernels-68b2b9b1a60c4a4a.rmeta: crates/kernels/src/lib.rs crates/kernels/src/activation.rs crates/kernels/src/attention.rs crates/kernels/src/ctx.rs crates/kernels/src/dropout.rs crates/kernels/src/elementwise.rs crates/kernels/src/embedding.rs crates/kernels/src/linear.rs crates/kernels/src/loss.rs crates/kernels/src/masks.rs crates/kernels/src/norm.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/activation.rs:
+crates/kernels/src/attention.rs:
+crates/kernels/src/ctx.rs:
+crates/kernels/src/dropout.rs:
+crates/kernels/src/elementwise.rs:
+crates/kernels/src/embedding.rs:
+crates/kernels/src/linear.rs:
+crates/kernels/src/loss.rs:
+crates/kernels/src/masks.rs:
+crates/kernels/src/norm.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bertscope_model-417e3144519a95ad.d: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/fusion.rs crates/model/src/gemms.rs crates/model/src/graph.rs crates/model/src/params.rs
+
+/root/repo/target/release/deps/libbertscope_model-417e3144519a95ad.rlib: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/fusion.rs crates/model/src/gemms.rs crates/model/src/graph.rs crates/model/src/params.rs
+
+/root/repo/target/release/deps/libbertscope_model-417e3144519a95ad.rmeta: crates/model/src/lib.rs crates/model/src/config.rs crates/model/src/fusion.rs crates/model/src/gemms.rs crates/model/src/graph.rs crates/model/src/params.rs
+
+crates/model/src/lib.rs:
+crates/model/src/config.rs:
+crates/model/src/fusion.rs:
+crates/model/src/gemms.rs:
+crates/model/src/graph.rs:
+crates/model/src/params.rs:

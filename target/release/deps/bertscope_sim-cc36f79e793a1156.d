@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/bertscope_sim-cc36f79e793a1156.d: crates/sim/src/lib.rs crates/sim/src/ablation.rs crates/sim/src/heterogeneity.rs crates/sim/src/hierarchy.rs crates/sim/src/inference.rs crates/sim/src/intensity.rs crates/sim/src/memory.rs crates/sim/src/profile.rs crates/sim/src/roofline.rs crates/sim/src/simulate.rs crates/sim/src/studies.rs crates/sim/src/sweep.rs
+
+/root/repo/target/release/deps/libbertscope_sim-cc36f79e793a1156.rlib: crates/sim/src/lib.rs crates/sim/src/ablation.rs crates/sim/src/heterogeneity.rs crates/sim/src/hierarchy.rs crates/sim/src/inference.rs crates/sim/src/intensity.rs crates/sim/src/memory.rs crates/sim/src/profile.rs crates/sim/src/roofline.rs crates/sim/src/simulate.rs crates/sim/src/studies.rs crates/sim/src/sweep.rs
+
+/root/repo/target/release/deps/libbertscope_sim-cc36f79e793a1156.rmeta: crates/sim/src/lib.rs crates/sim/src/ablation.rs crates/sim/src/heterogeneity.rs crates/sim/src/hierarchy.rs crates/sim/src/inference.rs crates/sim/src/intensity.rs crates/sim/src/memory.rs crates/sim/src/profile.rs crates/sim/src/roofline.rs crates/sim/src/simulate.rs crates/sim/src/studies.rs crates/sim/src/sweep.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/ablation.rs:
+crates/sim/src/heterogeneity.rs:
+crates/sim/src/hierarchy.rs:
+crates/sim/src/inference.rs:
+crates/sim/src/intensity.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/roofline.rs:
+crates/sim/src/simulate.rs:
+crates/sim/src/studies.rs:
+crates/sim/src/sweep.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bertscope_suite-1e63c481697e1f03.d: suite/lib.rs
+
+/root/repo/target/release/deps/libbertscope_suite-1e63c481697e1f03.rlib: suite/lib.rs
+
+/root/repo/target/release/deps/libbertscope_suite-1e63c481697e1f03.rmeta: suite/lib.rs
+
+suite/lib.rs:

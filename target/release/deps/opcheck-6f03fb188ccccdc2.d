@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/opcheck-6f03fb188ccccdc2.d: crates/check/src/bin/opcheck.rs
+
+/root/repo/target/release/deps/opcheck-6f03fb188ccccdc2: crates/check/src/bin/opcheck.rs
+
+crates/check/src/bin/opcheck.rs:

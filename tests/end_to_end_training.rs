@@ -57,11 +57,8 @@ fn mixed_precision_training_also_learns() {
     let corpus = SyntheticCorpus::new(cfg.vocab);
     let mut rng = StdRng::seed_from_u64(6);
     let batch = corpus.generate_batch(&mut rng, &cfg);
-    let opts = TrainOptions {
-        precision: Precision::Mixed,
-        loss_scale: 128.0,
-        ..TrainOptions::default()
-    };
+    let opts =
+        TrainOptions { precision: Precision::Mixed, loss_scale: 128.0, ..TrainOptions::default() };
     let mut bert = Bert::new(cfg, opts, 2);
     let mut opt = Lamb::new(0.03);
     opt.grad_scale = 128.0;
@@ -127,16 +124,10 @@ fn data_parallel_replicas_stay_synchronized_through_real_allreduce() {
         replica_b.train_step(&mut tr, &batch_b).unwrap();
         // Gather both replicas' gradients into flat buffers, average them
         // with the real ring AllReduce, and scatter back.
-        let ga: Vec<f32> = replica_a
-            .param_slots()
-            .iter()
-            .flat_map(|s| s.grad.as_slice().to_vec())
-            .collect();
-        let gb: Vec<f32> = replica_b
-            .param_slots()
-            .iter()
-            .flat_map(|s| s.grad.as_slice().to_vec())
-            .collect();
+        let ga: Vec<f32> =
+            replica_a.param_slots().iter().flat_map(|s| s.grad.as_slice().to_vec()).collect();
+        let gb: Vec<f32> =
+            replica_b.param_slots().iter().flat_map(|s| s.grad.as_slice().to_vec()).collect();
         let mut bufs = vec![ga, gb];
         ring_allreduce_mean(&mut bufs);
         assert_eq!(bufs[0].len(), bufs[1].len());
@@ -151,8 +142,8 @@ fn data_parallel_replicas_stay_synchronized_through_real_allreduce() {
                 .iter()
                 .map(|s| {
                     let n = s.grad.numel();
-                    let t = Tensor::from_vec(avg[offset..offset + n].to_vec(), s.grad.dims())
-                        .unwrap();
+                    let t =
+                        Tensor::from_vec(avg[offset..offset + n].to_vec(), s.grad.dims()).unwrap();
                     offset += n;
                     t
                 })
@@ -213,10 +204,7 @@ fn bf16_training_learns_without_loss_scaling() {
     let corpus = SyntheticCorpus::new(cfg.vocab);
     let mut rng = StdRng::seed_from_u64(17);
     let batch = corpus.generate_batch(&mut rng, &cfg);
-    let opts = TrainOptions {
-        precision: Precision::MixedBf16,
-        ..TrainOptions::default()
-    };
+    let opts = TrainOptions { precision: Precision::MixedBf16, ..TrainOptions::default() };
     let mut bert = Bert::new(cfg, opts, 3);
     let mut opt = Lamb::new(0.03);
     let mut tr = Tracer::disabled();
@@ -266,7 +254,10 @@ fn bf16_trace_also_matches_the_analytic_graph() {
     );
     assert_eq!(trace.len(), graph.len());
     for (t, g) in trace.iter().zip(&graph) {
-        assert_eq!((t.kind, t.dtype, t.flops, t.bytes_read), (g.kind, g.dtype, g.flops, g.bytes_read));
+        assert_eq!(
+            (t.kind, t.dtype, t.flops, t.bytes_read),
+            (g.kind, g.dtype, g.flops, g.bytes_read)
+        );
     }
 }
 
@@ -310,7 +301,8 @@ fn evaluation_trace_matches_the_inference_graph() {
     bert.evaluate(&mut tracer, &batch).unwrap();
     let trace: Vec<_> =
         tracer.into_records().into_iter().filter(|r| r.kind != OpKind::Copy).collect();
-    let graph = build_inference(&cfg, &GraphOptions { fused_gelu: true, ..GraphOptions::default() });
+    let graph =
+        build_inference(&cfg, &GraphOptions { fused_gelu: true, ..GraphOptions::default() });
     assert_eq!(trace.len(), graph.len(), "inference kernel counts diverge");
     for (t, g) in trace.iter().zip(&graph) {
         assert_eq!(
@@ -387,11 +379,8 @@ fn causal_attention_trains_with_identical_kernel_structure() {
     let batch = corpus.generate_batch(&mut rng, &cfg);
 
     let mut encoder = Bert::new(cfg, TrainOptions::default(), 55);
-    let mut decoder = Bert::new(
-        cfg,
-        TrainOptions { causal_attention: true, ..TrainOptions::default() },
-        55,
-    );
+    let mut decoder =
+        Bert::new(cfg, TrainOptions { causal_attention: true, ..TrainOptions::default() }, 55);
     let mut tr_e = Tracer::new();
     let out_e = encoder.train_step(&mut tr_e, &batch).unwrap();
     let mut tr_d = Tracer::new();

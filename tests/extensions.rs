@@ -15,9 +15,7 @@ fn zero_vs_plain_dp_trade() {
     let plain = data_parallel_profile(&cfg, &opts, &gpu, &link, 8, false);
     let zero = zero_dp_profile(&cfg, &opts, &gpu, &link, 8);
     // ZeRO shrinks the update dramatically without inflating communication.
-    assert!(
-        plain.time_by_group()[&Group::Lamb] > 4.0 * zero.time_by_group()[&Group::Lamb]
-    );
+    assert!(plain.time_by_group()[&Group::Lamb] > 4.0 * zero.time_by_group()[&Group::Lamb]);
     assert!(zero.total_us() < plain.total_us());
 }
 
@@ -65,11 +63,8 @@ fn memory_model_explains_the_papers_configurations() {
     assert!(footprint(&BertConfig::bert_large(), &opts).total() < gib32);
     assert!(footprint(&BertConfig::bert_large().phase2(4), &opts).total() < gib32);
     let plain = max_batch(&BertConfig::bert_large(), &opts, gib32);
-    let ck = max_batch(
-        &BertConfig::bert_large(),
-        &GraphOptions { checkpoint: true, ..opts },
-        gib32,
-    );
+    let ck =
+        max_batch(&BertConfig::bert_large(), &GraphOptions { checkpoint: true, ..opts }, gib32);
     assert!(ck > plain);
 }
 
@@ -78,11 +73,8 @@ fn roofline_classification_matches_figure7() {
     let gpu = GpuModel::mi100();
     let ops = build_iteration(&BertConfig::bert_large(), &GraphOptions::default());
     let classes = classify_categories(&gpu, &ops);
-    let memory_bound: Vec<_> = classes
-        .iter()
-        .filter(|(_, b)| **b == Boundedness::MemoryBound)
-        .map(|(c, _)| *c)
-        .collect();
+    let memory_bound: Vec<_> =
+        classes.iter().filter(|(_, b)| **b == Boundedness::MemoryBound).map(|(c, _)| *c).collect();
     // Everything except the large GEMM categories and the (GEMM-heavy)
     // output head is memory-bound.
     assert!(memory_bound.contains(&Category::AttnBgemm));
@@ -118,11 +110,8 @@ fn precision_sweep_monotonically_raises_optimizer_share() {
 
 #[test]
 fn chrome_trace_round_trips_through_the_full_iteration() {
-    let p = simulate_iteration(
-        &BertConfig::bert_large(),
-        &GraphOptions::default(),
-        &GpuModel::mi100(),
-    );
+    let p =
+        simulate_iteration(&BertConfig::bert_large(), &GraphOptions::default(), &GpuModel::mi100());
     let json = chrome_trace_json(&p);
     assert!(json.len() > 100_000, "BERT-Large trace is substantial: {} bytes", json.len());
     assert_eq!(json.matches("\"ph\":\"X\"").count(), p.kernel_count());

@@ -91,7 +91,8 @@ fn takeaway10_attention_share_roughly_doubles_at_n512() {
 
 #[test]
 fn section4_checkpointing_33pct_kernels_27pct_runtime() {
-    let s = checkpoint_study(&BertConfig::bert_large(), &GraphOptions::default(), &GpuModel::mi100());
+    let s =
+        checkpoint_study(&BertConfig::bert_large(), &GraphOptions::default(), &GpuModel::mi100());
     assert!((0.25..0.45).contains(&s.kernel_increase), "kernels +{}", s.kernel_increase);
     assert!((0.15..0.40).contains(&s.runtime_increase), "runtime +{}", s.runtime_increase);
     assert!(s.lamb_share_checkpointed < s.lamb_share_base);
@@ -145,9 +146,7 @@ fn fine_tuning_style_iteration_keeps_transformer_dominance() {
         &gpu,
     );
     // Even with the (pre-training) output head included, transformer >> output.
-    assert!(
-        p.group_fraction(Group::Transformer) > 8.0 * p.group_fraction(Group::Output)
-    );
+    assert!(p.group_fraction(Group::Transformer) > 8.0 * p.group_fraction(Group::Output));
 }
 
 #[test]

@@ -1,0 +1,71 @@
+//! The static verifier must accept both producers of operator streams: the
+//! analytic graph and the executed, traced substrate. `trace_matches_graph`
+//! already pins the two producers to each other; this test pins both to the
+//! *third*, independent implementation of the bookkeeping rules in
+//! `bertscope-check`.
+
+use bertscope_check::{check_iteration, check_stream, report};
+use bertscope_model::{BertConfig, GraphOptions, OptimizerChoice, Precision};
+use bertscope_tensor::{OpKind, OpRecord, Tracer};
+use bertscope_train::{Bert, Lamb, SyntheticCorpus, TrainOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn executed_trace(cfg: BertConfig, opts: TrainOptions) -> Vec<OpRecord> {
+    let corpus = SyntheticCorpus::new(cfg.vocab);
+    let mut rng = StdRng::seed_from_u64(11);
+    let batch = corpus.generate_batch(&mut rng, &cfg);
+    let mut bert = Bert::new(cfg, opts, 3);
+    let mut tracer = Tracer::new();
+    bert.train_step(&mut tracer, &batch).expect("train step");
+    let mut opt = Lamb::new(0.001);
+    opt.grad_scale = opts.loss_scale;
+    let mut slots = bert.param_slots();
+    opt.step(&mut tracer, &mut slots);
+    tracer.into_records()
+}
+
+#[test]
+fn executed_fp32_trace_is_clean() {
+    let trace = executed_trace(BertConfig::tiny(), TrainOptions::default());
+    // The raw trace, copies included: the stream-level lints must tolerate
+    // data movement interleaved anywhere.
+    let findings = check_stream(&trace);
+    assert!(findings.is_empty(), "{}", report(&findings));
+}
+
+#[test]
+fn executed_mixed_trace_is_clean_even_against_the_config() {
+    let cfg = BertConfig::tiny();
+    let train =
+        TrainOptions { precision: Precision::Mixed, loss_scale: 64.0, ..TrainOptions::default() };
+    let trace: Vec<OpRecord> = executed_trace(cfg, train)
+        .into_iter()
+        .filter(|r| r.kind != OpKind::Copy) // config checks count kernels
+        .collect();
+    let opts = GraphOptions {
+        precision: Precision::Mixed,
+        optimizer: OptimizerChoice::Lamb,
+        fused_gelu: true,
+        ..GraphOptions::default()
+    };
+    let findings = check_iteration(&cfg, &opts, &trace);
+    assert!(findings.is_empty(), "{}", report(&findings));
+}
+
+#[test]
+fn executed_checkpointed_trace_is_clean() {
+    let cfg = BertConfig::tiny();
+    let trace = executed_trace(cfg, TrainOptions { checkpoint: true, ..TrainOptions::default() });
+    let findings = check_stream(&trace);
+    assert!(findings.is_empty(), "{}", report(&findings));
+}
+
+#[test]
+fn a_corrupted_trace_is_caught() {
+    let mut trace = executed_trace(BertConfig::tiny(), TrainOptions::default());
+    let i = trace.iter().position(OpRecord::is_gemm).unwrap();
+    trace[i].flops /= 2;
+    let findings = check_stream(&trace);
+    assert!(findings.iter().any(|f| f.rule.code() == "C001"), "{}", report(&findings));
+}

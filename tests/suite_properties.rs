@@ -140,7 +140,11 @@ proptest! {
     #[test]
     fn tensor_slicing_conserves_work(cfg in arb_config(), ways in prop_oneof![Just(2usize)]) {
         // Only slice configurations whose dims divide evenly.
-        prop_assume!(cfg.heads % ways == 0 && cfg.d_ff % ways == 0 && cfg.d_model % ways == 0);
+        prop_assume!(
+            cfg.heads.is_multiple_of(ways)
+                && cfg.d_ff.is_multiple_of(ways)
+                && cfg.d_model.is_multiple_of(ways)
+        );
         let base = build_iteration(&cfg, &GraphOptions::default());
         let sliced = tensor_slice_ops(&cfg, &GraphOptions::default(), ways);
         let layer_gemm = |ops: &[OpRecord]| -> u64 {
@@ -164,9 +168,8 @@ proptest! {
 
 fn arb_gemm_spec() -> impl Strategy<Value = bertscope_tensor::GemmSpec> {
     use bertscope_tensor::{GemmSpec, Transpose};
-    (1usize..4096, 1usize..4096, 1usize..4096, 1usize..64).prop_map(|(m, n, k, b)| {
-        GemmSpec::batched(Transpose::No, Transpose::No, m, n, k, b)
-    })
+    (1usize..4096, 1usize..4096, 1usize..4096, 1usize..64)
+        .prop_map(|(m, n, k, b)| GemmSpec::batched(Transpose::No, Transpose::No, m, n, k, b))
 }
 
 proptest! {

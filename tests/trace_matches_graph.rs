@@ -77,22 +77,14 @@ fn graph_opts(precision: Precision, checkpoint: bool, fused_qkv: bool) -> GraphO
 
 #[test]
 fn fp32_trace_matches_graph() {
-    compare(
-        BertConfig::tiny(),
-        TrainOptions::default(),
-        graph_opts(Precision::Fp32, false, false),
-    );
+    compare(BertConfig::tiny(), TrainOptions::default(), graph_opts(Precision::Fp32, false, false));
 }
 
 #[test]
 fn mixed_precision_trace_matches_graph() {
     compare(
         BertConfig::tiny(),
-        TrainOptions {
-            precision: Precision::Mixed,
-            loss_scale: 64.0,
-            ..TrainOptions::default()
-        },
+        TrainOptions { precision: Precision::Mixed, loss_scale: 64.0, ..TrainOptions::default() },
         graph_opts(Precision::Mixed, false, false),
     );
 }

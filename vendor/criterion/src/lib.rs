@@ -1,0 +1,247 @@
+//! Offline stand-in for the subset of the `criterion` API used by the
+//! bertscope benchmarks.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! keeps `cargo bench` working with the same bench sources: it runs each
+//! registered benchmark a configurable number of iterations, reports the
+//! median wall-clock time per iteration (plus derived element throughput
+//! when declared), and performs none of upstream Criterion's statistical
+//! analysis, warm-up scheduling, or HTML reporting.
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark takes.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _criterion: self, name: name.to_string(), sample_size, throughput: None }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_one("", &id.into(), sample_size, None, f);
+    }
+}
+
+/// A named group sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark in the group takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work so the report can derive a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into(), self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into(), self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time one sample of `f` (upstream runs many iterations per sample;
+    /// this shim runs one, which is adequate for the workspace's
+    /// millisecond-scale kernels).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed().as_secs_f64());
+    }
+}
+
+/// Work performed per iteration, for derived-rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`function_id/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An identifier with a function name and a parameter label.
+    pub fn new(function_id: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_id}/{parameter}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+fn run_one<F>(group: &str, id: &BenchmarkId, sample_size: usize, tp: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher::default();
+    while b.samples.len() < sample_size {
+        let before = b.samples.len();
+        f(&mut b);
+        if b.samples.len() == before {
+            // The closure never called iter(); avoid an infinite loop.
+            break;
+        }
+    }
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    if b.samples.is_empty() {
+        println!("bench {label:<50} (no samples)");
+        return;
+    }
+    b.samples.sort_by(f64::total_cmp);
+    let median = b.samples[b.samples.len() / 2];
+    let rate = match tp {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  {:>10.1} Melem/s", n as f64 / median / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!("  {:>10.1} MiB/s", n as f64 / median / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!("bench {label:<50} {:>12.3} ms/iter{rate}", median * 1e3);
+}
+
+/// Group benchmark functions under a name, optionally with a configured
+/// [`Criterion`] (`name = ..; config = ..; targets = ..` form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit a `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 500usize), &500u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = a_bench
+    );
+
+    #[test]
+    fn harness_runs() {
+        benches();
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("standalone", |b| b.iter(|| black_box(21) * 2));
+    }
+}
