@@ -142,7 +142,12 @@ fn optimizer_inventory(
     ops: &[OpRecord],
     out: &mut Vec<Finding>,
 ) {
-    let upd: Vec<&OpRecord> = ops.iter().filter(|o| o.phase == Phase::Update).collect();
+    // Loss-scaler bookkeeping shares the update phase but is not an
+    // optimizer kernel; live mixed-precision traces interleave it freely.
+    let upd: Vec<&OpRecord> = ops
+        .iter()
+        .filter(|o| o.phase == Phase::Update && o.category != Category::LossScale)
+        .collect();
     let groups = cfg.layers as u64 + 2; // per-layer + embeddings + output
     let expect_kernels = match opts.optimizer {
         OptimizerChoice::Lamb => 2 * groups + 1,

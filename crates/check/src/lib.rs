@@ -17,6 +17,9 @@
 //! * **Phase legality** (`P` rules): forward before backward, backward in
 //!   reverse layer order, recompute correctly sandwiched, optimizer last
 //!   and internally ordered.
+//! * **Scaler/skip semantics** (`S` rules): loss-scaler bookkeeping sits
+//!   between backward and the optimizer, and a step the scaler skipped on
+//!   overflow launches no optimizer kernels.
 //!
 //! The two sides of the suite's central cross-validation (`graph.rs` and
 //! the kernels crate) intentionally share their formulas; this checker is
@@ -64,6 +67,7 @@ mod config_checks;
 mod conservation;
 mod dataflow;
 mod phase;
+mod scaler;
 
 pub use config_checks::check_iteration;
 pub use finding::{Finding, Severity};
@@ -82,6 +86,7 @@ pub fn check_stream(ops: &[OpRecord]) -> Vec<Finding> {
     let mut out = conservation::check(ops);
     out.extend(dataflow::check(ops));
     out.extend(phase::check(ops));
+    out.extend(scaler::check(ops));
     finding::sort(&mut out);
     out
 }

@@ -53,22 +53,25 @@ fn update_last(view: &[(usize, &OpRecord)], out: &mut Vec<Finding>) {
     }
 }
 
-/// P001: optimizer categories appear only in the update phase, and the
-/// update phase contains only optimizer categories.
+/// P001: update-phase categories (optimizer kernels and loss-scaler
+/// bookkeeping) appear only in the update phase, and the update phase
+/// contains only those categories.
 fn category_phase_agreement(view: &[(usize, &OpRecord)], out: &mut Vec<Finding>) {
     for &(i, op) in view {
-        let optimizer_cat =
-            matches!(op.category, Category::GradNorm | Category::LambStage1 | Category::LambStage2);
-        if op.phase == Phase::Update && !optimizer_cat {
+        let update_cat = matches!(
+            op.category,
+            Category::GradNorm | Category::LambStage1 | Category::LambStage2 | Category::LossScale
+        );
+        if op.phase == Phase::Update && !update_cat {
             out.push(
                 Finding::err(RuleId::PhaseOrder, "non-optimizer op in the update phase")
                     .at(i, op)
                     .with_note(format!("category {} cannot run as a weight update", op.category)),
             );
         }
-        if op.phase != Phase::Update && optimizer_cat {
+        if op.phase != Phase::Update && update_cat {
             out.push(
-                Finding::err(RuleId::PhaseOrder, "optimizer op outside the update phase")
+                Finding::err(RuleId::PhaseOrder, "update-phase op outside the update phase")
                     .at(i, op)
                     .with_note(format!("category {} belongs to the update phase", op.category)),
             );

@@ -14,6 +14,10 @@
 //! * **P-series (phase legality)**: forward before backward, backward in
 //!   reverse layer order, recompute sandwiched correctly, optimizer last
 //!   and internally ordered.
+//! * **S-series (scaler/skip)**: mixed-precision loss-scaler bookkeeping —
+//!   the unscale/overflow-check kernels sit between backward and the
+//!   optimizer, and a step the scaler skipped must launch no optimizer
+//!   kernels at all.
 
 /// Stable identifier of one lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -65,6 +69,13 @@ pub enum RuleId {
     /// P006 (config-aware): checkpointing enabled but a layer is never
     /// recomputed, or recompute ops present without checkpointing.
     CheckpointRecompute,
+    /// S001: loss-scaler ops must run in the update phase, after some
+    /// backward work (there is nothing to unscale otherwise) and before the
+    /// first optimizer kernel (the finiteness verdict gates the update).
+    ScalerPlacement,
+    /// S002: a stream carrying an overflow marker (`scaler.overflow`) was
+    /// skipped by the scaler and must therefore launch no optimizer kernels.
+    OverflowSkipsUpdate,
 }
 
 impl RuleId {
@@ -89,6 +100,8 @@ impl RuleId {
             RuleId::MissingBackward => "P004",
             RuleId::OptimizerStageOrder => "P005",
             RuleId::CheckpointRecompute => "P006",
+            RuleId::ScalerPlacement => "S001",
+            RuleId::OverflowSkipsUpdate => "S002",
         }
     }
 
@@ -115,6 +128,8 @@ impl RuleId {
             RuleId::MissingBackward => "training streams backpropagate every forwarded layer",
             RuleId::OptimizerStageOrder => "grad-norm precedes paired LAMB stages in order",
             RuleId::CheckpointRecompute => "checkpointing re-emits recompute ops per layer",
+            RuleId::ScalerPlacement => "loss-scaler ops sit between backward and the optimizer",
+            RuleId::OverflowSkipsUpdate => "an overflow-skipped step launches no optimizer kernels",
         }
     }
 
@@ -139,6 +154,8 @@ impl RuleId {
             RuleId::MissingBackward,
             RuleId::OptimizerStageOrder,
             RuleId::CheckpointRecompute,
+            RuleId::ScalerPlacement,
+            RuleId::OverflowSkipsUpdate,
         ]
     }
 }

@@ -1,0 +1,186 @@
+//! S-series lints: loss-scaler placement and overflow-skip semantics.
+//!
+//! Dynamic loss scaling (the apex/AMP recipe) adds three kinds of kernels
+//! to a mixed-precision stream, all in [`Category::LossScale`]: the fused
+//! unscale + finiteness reduction over every gradient
+//! (`scaler.unscale_check`), an overflow marker when that reduction finds a
+//! non-finite value (`scaler.overflow`), and the scale-factor rescale
+//! (`scaler.rescale`). Two invariants make the machinery legal:
+//!
+//! * **S001**: scaler ops run in the update phase, after some backward work
+//!   produced gradients to unscale, and before the first optimizer kernel —
+//!   the finiteness verdict is what gates the update.
+//! * **S002**: a stream carrying an overflow marker was *skipped*; it must
+//!   launch no optimizer kernels at all, or the skipped step silently
+//!   applied garbage gradients.
+
+use crate::finding::Finding;
+use crate::rules::RuleId;
+use bertscope_tensor::{Category, OpRecord, Phase};
+
+/// Substring identifying the overflow marker op among scaler ops.
+const OVERFLOW_MARKER: &str = "scaler.overflow";
+
+fn is_optimizer_cat(op: &OpRecord) -> bool {
+    matches!(op.category, Category::GradNorm | Category::LambStage1 | Category::LambStage2)
+}
+
+pub(crate) fn check(ops: &[OpRecord]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let scaler: Vec<(usize, &OpRecord)> =
+        ops.iter().enumerate().filter(|&(_, o)| o.category == Category::LossScale).collect();
+    let first_opt = ops.iter().position(is_optimizer_cat);
+    if let Some((first_scaler, _)) = scaler.first() {
+        // S001a: scaler bookkeeping belongs to the update phase.
+        for &(i, op) in &scaler {
+            if op.phase != Phase::Update {
+                out.push(
+                    Finding::err(RuleId::ScalerPlacement, "scaler op outside the update phase")
+                        .at(i, op)
+                        .with_note("unscale/overflow bookkeeping runs between backward and update"),
+                );
+            }
+        }
+        // S001b: there must be backward work before the first scaler op —
+        // gradients are what get unscaled and checked.
+        if !ops[..*first_scaler].iter().any(|o| o.phase == Phase::Backward) {
+            out.push(
+                Finding::err(
+                    RuleId::ScalerPlacement,
+                    "scaler op before any backward work: there are no gradients to unscale",
+                )
+                .at(*first_scaler, &ops[*first_scaler]),
+            );
+        }
+        // S001c: no scaler op may run after the optimizer began — the
+        // finiteness verdict must be in hand before any weight moves.
+        if let Some(fo) = first_opt {
+            for &(i, op) in &scaler {
+                if i > fo {
+                    out.push(
+                        Finding::err(
+                            RuleId::ScalerPlacement,
+                            "scaler op runs after the optimizer update began",
+                        )
+                        .at(i, op)
+                        .with_note(format!(
+                            "the overflow verdict gates the update; optimizer began at op #{fo}"
+                        )),
+                    );
+                }
+            }
+        }
+    }
+    // S002: an overflow marker means the scaler skipped this step.
+    let overflow = scaler.iter().find(|&&(_, o)| o.name.contains(OVERFLOW_MARKER));
+    if let (Some(&(i, op)), Some(fo)) = (overflow, first_opt) {
+        out.push(
+            Finding::err(
+                RuleId::OverflowSkipsUpdate,
+                "overflow-skipped step still launches optimizer kernels",
+            )
+            .at(i, op)
+            .with_note(format!(
+                "`{OVERFLOW_MARKER}` marks a skipped step, yet op #{fo} ({}) updates weights",
+                ops[fo].name
+            )),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertscope_tensor::{DType, OpKind};
+
+    fn op(name: &str, category: Category, phase: Phase) -> OpRecord {
+        OpRecord {
+            name: name.into(),
+            kind: OpKind::ElementWise,
+            category,
+            phase,
+            layer: None,
+            gemm: None,
+            flops: 8,
+            bytes_read: 32,
+            bytes_written: 4,
+            dtype: DType::F32,
+        }
+    }
+
+    fn codes(ops: &[OpRecord]) -> Vec<&'static str> {
+        check(ops).iter().map(|f| f.rule.code()).collect()
+    }
+
+    #[test]
+    fn clean_scaled_update_passes() {
+        let ops = vec![
+            op("fc1.bwd", Category::FcGemm, Phase::Backward),
+            op("scaler.unscale_check.update", Category::LossScale, Phase::Update),
+            op("scaler.rescale.update", Category::LossScale, Phase::Update),
+            op("lamb.grad_norm.update", Category::GradNorm, Phase::Update),
+            op("lamb.stage1.update", Category::LambStage1, Phase::Update),
+        ];
+        assert!(codes(&ops).is_empty());
+    }
+
+    #[test]
+    fn skipped_step_without_optimizer_passes() {
+        let ops = vec![
+            op("fc1.bwd", Category::FcGemm, Phase::Backward),
+            op("scaler.unscale_check.update", Category::LossScale, Phase::Update),
+            op("scaler.overflow.update", Category::LossScale, Phase::Update),
+        ];
+        assert!(codes(&ops).is_empty());
+    }
+
+    #[test]
+    fn overflow_then_optimizer_is_s002() {
+        let ops = vec![
+            op("fc1.bwd", Category::FcGemm, Phase::Backward),
+            op("scaler.unscale_check.update", Category::LossScale, Phase::Update),
+            op("scaler.overflow.update", Category::LossScale, Phase::Update),
+            op("lamb.grad_norm.update", Category::GradNorm, Phase::Update),
+        ];
+        assert!(codes(&ops).contains(&"S002"));
+    }
+
+    #[test]
+    fn scaler_after_optimizer_is_s001() {
+        let ops = vec![
+            op("fc1.bwd", Category::FcGemm, Phase::Backward),
+            op("lamb.grad_norm.update", Category::GradNorm, Phase::Update),
+            op("scaler.unscale_check.update", Category::LossScale, Phase::Update),
+        ];
+        assert!(codes(&ops).contains(&"S001"));
+    }
+
+    #[test]
+    fn scaler_without_backward_is_s001() {
+        let ops = vec![
+            op("fc1.fwd", Category::FcGemm, Phase::Forward),
+            op("scaler.unscale_check.update", Category::LossScale, Phase::Update),
+        ];
+        assert!(codes(&ops).contains(&"S001"));
+    }
+
+    #[test]
+    fn scaler_in_wrong_phase_is_s001() {
+        let ops = vec![
+            op("fc1.bwd", Category::FcGemm, Phase::Backward),
+            op("scaler.unscale_check.update", Category::LossScale, Phase::Backward),
+        ];
+        assert!(codes(&ops).contains(&"S001"));
+    }
+
+    #[test]
+    fn unscaled_stream_is_untouched() {
+        let ops = vec![
+            op("fc1.fwd", Category::FcGemm, Phase::Forward),
+            op("fc1.bwd", Category::FcGemm, Phase::Backward),
+            op("lamb.grad_norm.update", Category::GradNorm, Phase::Update),
+        ];
+        assert!(codes(&ops).is_empty());
+    }
+}

@@ -4,13 +4,21 @@
 //! The paper *models* AllReduce cost analytically (§5.1); this module
 //! grounds that model in an actual implementation: `D` worker threads, each
 //! holding a buffer shard pipeline, perform the classic `2(D-1)`-step
-//! reduce-scatter + all-gather exchange over bounded std channels. Tests
-//! verify the result equals the elementwise mean/sum and that the traffic
-//! per device matches the `2(D-1)/D * bytes` volume the analytic model
-//! charges.
+//! reduce-scatter + all-gather exchange over std channels. Tests verify the
+//! result equals the elementwise mean/sum and that the traffic per device
+//! matches the `2(D-1)/D * bytes` volume the analytic model charges.
+//!
+//! The fault-tolerant entry point [`ring_allreduce_faulty`] additionally
+//! accepts a set of injected faults (a killed rank, a delayed rank, a
+//! corrupted segment) and a per-hop timeout: instead of deadlocking on a
+//! dead neighbour the collective degrades into a structured
+//! [`AllReduceError`] within the timeout bound — the behaviour an elastic
+//! training runtime needs to trigger recovery.
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use bertscope_tensor::FaultKind;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::thread;
+use std::time::Duration;
 
 /// Statistics from one AllReduce execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +31,54 @@ pub struct AllReduceStats {
     pub steps: usize,
 }
 
+/// A structured failure of a fault-injected ring collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllReduceError {
+    /// The named rank was killed by the fault plan before participating.
+    RankKilled {
+        /// The dead rank.
+        rank: usize,
+    },
+    /// A rank waited longer than the per-hop timeout for its neighbour.
+    Timeout {
+        /// The rank whose receive timed out.
+        rank: usize,
+        /// The pipeline step (0-based, out of `2(D-1)`) that timed out.
+        step: usize,
+    },
+    /// A rank's ring neighbour hung up mid-collective.
+    PeerDisconnected {
+        /// The rank that observed the hang-up.
+        rank: usize,
+        /// The pipeline step at which the link died.
+        step: usize,
+    },
+    /// A worker thread panicked (a bug, not an injected fault).
+    RankPanicked {
+        /// The panicked rank.
+        rank: usize,
+    },
+}
+
+impl std::fmt::Display for AllReduceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllReduceError::RankKilled { rank } => {
+                write!(f, "rank {rank} was killed before the collective completed")
+            }
+            AllReduceError::Timeout { rank, step } => {
+                write!(f, "rank {rank} timed out waiting for its neighbour at ring step {step}")
+            }
+            AllReduceError::PeerDisconnected { rank, step } => {
+                write!(f, "rank {rank} lost its ring neighbour at step {step}")
+            }
+            AllReduceError::RankPanicked { rank } => write!(f, "rank {rank} panicked"),
+        }
+    }
+}
+
+impl std::error::Error for AllReduceError {}
+
 /// Sum-AllReduce the given per-device buffers in place using a ring across
 /// one thread per device. All buffers must have equal length.
 ///
@@ -33,82 +89,176 @@ pub struct AllReduceStats {
 ///
 /// Panics when buffers have mismatched lengths or `buffers` is empty.
 pub fn ring_allreduce(buffers: &mut [Vec<f32>]) -> AllReduceStats {
+    ring_allreduce_faulty(buffers, &[], Duration::from_secs(30))
+        .expect("fault-free allreduce cannot fail")
+}
+
+/// Sum-AllReduce with deterministic fault injection and per-hop timeouts.
+///
+/// Ring faults from the plan are applied before the exchange starts:
+///
+/// * [`FaultKind::KillRank`] — the rank drops its ring endpoints and exits
+///   without sending; its neighbours observe the dead link and the call
+///   returns [`AllReduceError::RankKilled`] instead of hanging.
+/// * [`FaultKind::DelayRank`] — the rank sleeps before participating; the
+///   collective still completes unless the delay exceeds `timeout`.
+/// * [`FaultKind::CorruptSegment`] — the rank's chunk is NaN-poisoned, so
+///   the reduction spreads NaN to every device (detectable downstream by
+///   the trainer's finiteness check).
+///
+/// Non-ring faults (gradient faults) are ignored here. On success the
+/// buffers hold the elementwise sum; on error their contents are
+/// unspecified.
+///
+/// # Errors
+///
+/// Returns the root-cause [`AllReduceError`]: an injected kill wins over
+/// the secondary timeouts/disconnects it causes on surviving ranks.
+///
+/// # Panics
+///
+/// Panics when buffers have mismatched lengths, `buffers` is empty, or a
+/// fault names a rank or chunk out of range.
+pub fn ring_allreduce_faulty(
+    buffers: &mut [Vec<f32>],
+    faults: &[FaultKind],
+    timeout: Duration,
+) -> Result<AllReduceStats, AllReduceError> {
     let d = buffers.len();
     assert!(d > 0, "at least one device required");
     let len = buffers[0].len();
     assert!(buffers.iter().all(|b| b.len() == len), "buffer lengths must match");
-    if d == 1 || len == 0 {
-        return AllReduceStats { devices: d, bytes_sent_per_device: 0, steps: 0 };
-    }
 
     // Chunk boundaries: D chunks, as even as possible.
-    let chunk_bounds: Vec<(usize, usize)> = (0..d)
-        .map(|c| {
-            let start = c * len / d;
-            let end = (c + 1) * len / d;
-            (start, end)
-        })
-        .collect();
+    let chunk_bounds: Vec<(usize, usize)> =
+        (0..d).map(|c| (c * len / d, (c + 1) * len / d)).collect();
 
-    // Ring channels: device i sends to (i+1) % d.
-    let mut senders: Vec<Option<SyncSender<Vec<f32>>>> = Vec::with_capacity(d);
+    // Resolve the fault plan into per-rank effects.
+    let mut killed = vec![false; d];
+    let mut delay_micros = vec![0u64; d];
+    for fault in faults {
+        match *fault {
+            FaultKind::KillRank { rank } => {
+                assert!(rank < d, "fault plan kills rank {rank} of {d}");
+                killed[rank] = true;
+            }
+            FaultKind::DelayRank { rank, micros } => {
+                assert!(rank < d, "fault plan delays rank {rank} of {d}");
+                delay_micros[rank] += micros;
+            }
+            FaultKind::CorruptSegment { rank, chunk } => {
+                assert!(rank < d, "fault plan corrupts rank {rank} of {d}");
+                assert!(chunk < d, "fault plan corrupts chunk {chunk} of {d}");
+                let (a, b) = chunk_bounds[chunk];
+                for v in &mut buffers[rank][a..b] {
+                    *v = f32::NAN;
+                }
+            }
+            FaultKind::NanGradient { .. } | FaultKind::InfGradient { .. } => {}
+        }
+    }
+
+    if d == 1 || len == 0 {
+        if killed[0] {
+            return Err(AllReduceError::RankKilled { rank: 0 });
+        }
+        return Ok(AllReduceStats { devices: d, bytes_sent_per_device: 0, steps: 0 });
+    }
+
+    // Ring channels: device i sends to (i+1) % d. Unbounded, so a sender
+    // never blocks on a slow or dead receiver — all waiting happens in
+    // recv_timeout, where it is bounded.
+    let mut senders: Vec<Option<Sender<Vec<f32>>>> = Vec::with_capacity(d);
     let mut rx_store: Vec<Option<Receiver<Vec<f32>>>> = (0..d).map(|_| None).collect();
     for i in 0..d {
-        let (tx, rx) = sync_channel::<Vec<f32>>(1);
+        let (tx, rx) = channel::<Vec<f32>>();
         senders.push(Some(tx));
         rx_store[(i + 1) % d] = Some(rx);
     }
 
-    let mut sent_counts = vec![0u64; d];
+    let mut outcomes: Vec<Result<u64, AllReduceError>> = Vec::with_capacity(d);
     thread::scope(|scope| {
         let mut handles = Vec::with_capacity(d);
         for (rank, buf) in buffers.iter_mut().enumerate() {
             let tx = senders[rank].take().expect("sender present");
             let rx = rx_store[rank].take().expect("receiver present");
             let bounds = chunk_bounds.clone();
-            handles.push(scope.spawn(move || -> u64 {
+            let is_killed = killed[rank];
+            let delay = delay_micros[rank];
+            handles.push(scope.spawn(move || -> Result<u64, AllReduceError> {
+                if is_killed {
+                    // Drop both endpoints without a single send: the
+                    // predecessor's sends land in a closed channel and the
+                    // successor's receive reports a dead link.
+                    drop(tx);
+                    drop(rx);
+                    return Err(AllReduceError::RankKilled { rank });
+                }
+                if delay > 0 {
+                    thread::sleep(Duration::from_micros(delay));
+                }
                 let mut sent = 0u64;
+                let hop = |step: usize,
+                           send_chunk: usize,
+                           recv_chunk: usize,
+                           buf: &mut [f32],
+                           reduce: bool|
+                 -> Result<u64, AllReduceError> {
+                    let (a, b) = bounds[send_chunk];
+                    let payload = buf[a..b].to_vec();
+                    let bytes = ((b - a) * 4) as u64;
+                    tx.send(payload)
+                        .map_err(|_| AllReduceError::PeerDisconnected { rank, step })?;
+                    let incoming = rx.recv_timeout(timeout).map_err(|e| match e {
+                        RecvTimeoutError::Timeout => AllReduceError::Timeout { rank, step },
+                        RecvTimeoutError::Disconnected => {
+                            AllReduceError::PeerDisconnected { rank, step }
+                        }
+                    })?;
+                    let (ra, rb) = bounds[recv_chunk];
+                    if reduce {
+                        for (dst, src) in buf[ra..rb].iter_mut().zip(&incoming) {
+                            *dst += src;
+                        }
+                    } else {
+                        buf[ra..rb].copy_from_slice(&incoming);
+                    }
+                    Ok(bytes)
+                };
                 // Reduce-scatter: D-1 steps. At step s, rank sends chunk
                 // (rank - s) and accumulates into chunk (rank - s - 1).
                 for s in 0..d - 1 {
-                    let send_chunk = (rank + d - s) % d;
-                    let (a, b) = bounds[send_chunk];
-                    let payload = buf[a..b].to_vec();
-                    sent += ((b - a) * 4) as u64;
-                    tx.send(payload).expect("ring send");
-                    let incoming = rx.recv().expect("ring recv");
-                    let recv_chunk = (rank + d - s - 1) % d;
-                    let (ra, rb) = bounds[recv_chunk];
-                    for (dst, src) in buf[ra..rb].iter_mut().zip(&incoming) {
-                        *dst += src;
-                    }
+                    sent += hop(s, (rank + d - s) % d, (rank + d - s - 1) % d, buf, true)?;
                 }
                 // All-gather: D-1 steps. Rank now owns the fully-reduced
                 // chunk (rank + 1); circulate the reduced chunks.
                 for s in 0..d - 1 {
-                    let send_chunk = (rank + 1 + d - s) % d;
-                    let (a, b) = bounds[send_chunk];
-                    let payload = buf[a..b].to_vec();
-                    sent += ((b - a) * 4) as u64;
-                    tx.send(payload).expect("ring send");
-                    let incoming = rx.recv().expect("ring recv");
-                    let recv_chunk = (rank + d - s) % d;
-                    let (ra, rb) = bounds[recv_chunk];
-                    buf[ra..rb].copy_from_slice(&incoming);
+                    sent += hop(d - 1 + s, (rank + 1 + d - s) % d, (rank + d - s) % d, buf, false)?;
                 }
-                sent
+                Ok(sent)
             }));
         }
         for (rank, h) in handles.into_iter().enumerate() {
-            sent_counts[rank] = h.join().expect("allreduce worker panicked");
+            outcomes.push(h.join().unwrap_or(Err(AllReduceError::RankPanicked { rank })));
         }
     });
 
-    AllReduceStats {
-        devices: d,
-        bytes_sent_per_device: sent_counts.iter().copied().max().unwrap_or(0),
-        steps: 2 * (d - 1),
+    // Prefer the injected root cause over the secondary timeouts and
+    // disconnects it triggers on surviving ranks.
+    if let Some(root) = outcomes.iter().find_map(|o| match o {
+        Err(e @ AllReduceError::RankKilled { .. }) => Some(*e),
+        _ => None,
+    }) {
+        return Err(root);
     }
+    let mut sent_max = 0u64;
+    for o in &outcomes {
+        match o {
+            Ok(sent) => sent_max = sent_max.max(*sent),
+            Err(e) => return Err(*e),
+        }
+    }
+    Ok(AllReduceStats { devices: d, bytes_sent_per_device: sent_max, steps: 2 * (d - 1) })
 }
 
 /// Mean-AllReduce: sum then divide by the device count (the gradient
@@ -133,6 +283,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use std::time::Instant;
 
     fn random_buffers(d: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -197,5 +348,69 @@ mod tests {
     fn mismatched_lengths_panic() {
         let mut bufs = vec![vec![1.0f32; 4], vec![1.0; 5]];
         let _ = ring_allreduce(&mut bufs);
+    }
+
+    #[test]
+    fn killed_rank_errors_within_the_timeout_bound() {
+        let mut bufs = random_buffers(4, 64, 7);
+        let timeout = Duration::from_millis(200);
+        let start = Instant::now();
+        let err = ring_allreduce_faulty(&mut bufs, &[FaultKind::KillRank { rank: 2 }], timeout)
+            .expect_err("a dead rank must fail the collective");
+        assert_eq!(err, AllReduceError::RankKilled { rank: 2 });
+        // 2(D-1) hops, each bounded by the per-hop timeout, plus scheduling
+        // slack — the point is: no deadlock.
+        assert!(start.elapsed() < Duration::from_secs(5), "took {:?}", start.elapsed());
+    }
+
+    #[test]
+    fn delayed_rank_still_completes() {
+        let d = 3;
+        let len = 12;
+        let bufs = random_buffers(d, len, 11);
+        let expected: Vec<f32> = (0..len).map(|i| bufs.iter().map(|b| b[i]).sum::<f32>()).collect();
+        let mut work = bufs.clone();
+        let stats = ring_allreduce_faulty(
+            &mut work,
+            &[FaultKind::DelayRank { rank: 1, micros: 20_000 }],
+            Duration::from_secs(5),
+        )
+        .expect("a short delay must not break the collective");
+        assert_eq!(stats.steps, 2 * (d - 1));
+        for b in &work {
+            for (got, want) in b.iter().zip(&expected) {
+                assert!((got - want).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_segment_spreads_detectable_nan() {
+        let mut bufs = random_buffers(4, 32, 3);
+        let stats = ring_allreduce_faulty(
+            &mut bufs,
+            &[FaultKind::CorruptSegment { rank: 1, chunk: 2 }],
+            Duration::from_secs(5),
+        )
+        .expect("corruption poisons data, not the protocol");
+        assert_eq!(stats.steps, 6);
+        let (a, b) = (2 * 32 / 4, 3 * 32 / 4);
+        for buf in &bufs {
+            assert!(buf[a..b].iter().all(|v| v.is_nan()), "reduced chunk must be NaN");
+            assert!(buf[..a].iter().all(|v| v.is_finite()), "other chunks stay clean");
+        }
+    }
+
+    #[test]
+    fn gradient_faults_are_ignored_by_the_ring() {
+        let mut bufs = vec![vec![1.0f32; 8], vec![2.0; 8]];
+        let stats = ring_allreduce_faulty(
+            &mut bufs,
+            &[FaultKind::InfGradient { param: "l0.fc1.weight".into() }],
+            Duration::from_secs(5),
+        )
+        .expect("gradient faults are the trainer's business");
+        assert_eq!(stats.devices, 2);
+        assert!(bufs[0].iter().all(|&v| (v - 3.0).abs() < 1e-6));
     }
 }

@@ -17,7 +17,9 @@ pub mod hybrid;
 pub mod ts;
 pub mod zero;
 
-pub use allreduce::{ring_allreduce, ring_allreduce_mean, AllReduceStats};
+pub use allreduce::{
+    ring_allreduce, ring_allreduce_faulty, ring_allreduce_mean, AllReduceError, AllReduceStats,
+};
 pub use dp::data_parallel_profile;
 pub use hybrid::{hybrid_profile, HybridPlan};
 pub use ts::{tensor_slice_ops, tensor_slice_profile};

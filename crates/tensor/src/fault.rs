@@ -1,0 +1,188 @@
+//! Deterministic fault injection for the training runtime.
+//!
+//! Real BERT runs treat NaN steps, stragglers and dead ranks as first-class
+//! events; a workload characterization that only models the happy path
+//! cannot count the robustness kernels (unscale, overflow check, state
+//! serialization) that show up in real profiles. A [`FaultPlan`] is a small,
+//! fully deterministic script of such events: "at micro-step 3, the gradient
+//! of `l0.fc1.weight` becomes `inf`", "rank 2 of the AllReduce ring dies".
+//!
+//! The plan lives in this crate because both `bertscope-train` (gradient
+//! faults) and `bertscope-dist` (ring faults) consume it, and `tensor` is
+//! their common dependency. Injection is keyed on logical step counters, not
+//! wall-clock time or randomness, so every failure a test provokes is
+//! bit-reproducible.
+
+/// One kind of injectable fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Overwrite one element of the named parameter's gradient with NaN.
+    NanGradient {
+        /// Canonical parameter name (e.g. `"l0.fc1.weight"`).
+        param: String,
+    },
+    /// Overwrite one element of the named parameter's gradient with +inf —
+    /// the shape of a genuine FP16 overflow.
+    InfGradient {
+        /// Canonical parameter name (e.g. `"l0.fc1.weight"`).
+        param: String,
+    },
+    /// Poison one chunk of one rank's AllReduce contribution with NaN, as a
+    /// bit-flipped or torn payload would.
+    CorruptSegment {
+        /// Ring rank whose buffer is corrupted.
+        rank: usize,
+        /// Chunk index (ranks exchange `devices` chunks) to poison.
+        chunk: usize,
+    },
+    /// Make one rank a straggler: it sleeps before joining the ring.
+    DelayRank {
+        /// Ring rank to delay.
+        rank: usize,
+        /// Delay duration in microseconds.
+        micros: u64,
+    },
+    /// Kill one rank: it exits before the ring exchange, so its neighbors
+    /// observe a disconnect/timeout instead of data.
+    KillRank {
+        /// Ring rank to kill.
+        rank: usize,
+    },
+}
+
+impl FaultKind {
+    /// Whether this fault targets a gradient (consumed by the trainer).
+    #[must_use]
+    pub fn is_gradient_fault(&self) -> bool {
+        matches!(self, FaultKind::NanGradient { .. } | FaultKind::InfGradient { .. })
+    }
+
+    /// Whether this fault targets the AllReduce ring (consumed by `dist`).
+    #[must_use]
+    pub fn is_ring_fault(&self) -> bool {
+        !self.is_gradient_fault()
+    }
+}
+
+/// A fault scheduled at one logical step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    /// 1-based micro-step attempt index at which the fault fires. The
+    /// trainer increments its attempt counter on every forward/backward
+    /// execution, including retries, so a retried micro-batch naturally
+    /// escapes a step-keyed fault.
+    pub step: u64,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// A deterministic script of faults, keyed by micro-step attempt index.
+///
+/// ```
+/// use bertscope_tensor::fault::{FaultKind, FaultPlan};
+/// let plan = FaultPlan::new()
+///     .with(3, FaultKind::InfGradient { param: "l0.fc1.weight".into() });
+/// assert_eq!(plan.gradient_faults_at(3), vec![("l0.fc1.weight", f32::INFINITY)]);
+/// assert!(plan.gradient_faults_at(4).is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults ever fire.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add a fault firing at the given 1-based micro-step attempt.
+    #[must_use]
+    pub fn with(mut self, step: u64, kind: FaultKind) -> Self {
+        self.faults.push(Fault { step, kind });
+        self
+    }
+
+    /// Whether the plan schedules no faults at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// All scheduled faults, in insertion order.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Gradient faults firing at `step`, as `(param, poison value)` pairs.
+    #[must_use]
+    pub fn gradient_faults_at(&self, step: u64) -> Vec<(&str, f32)> {
+        self.faults
+            .iter()
+            .filter(|f| f.step == step)
+            .filter_map(|f| match &f.kind {
+                FaultKind::NanGradient { param } => Some((param.as_str(), f32::NAN)),
+                FaultKind::InfGradient { param } => Some((param.as_str(), f32::INFINITY)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Ring faults firing at `step` (corrupt/delay/kill).
+    #[must_use]
+    pub fn ring_faults_at(&self, step: u64) -> Vec<&FaultKind> {
+        self.faults
+            .iter()
+            .filter(|f| f.step == step && f.kind.is_ring_fault())
+            .map(|f| &f.kind)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_only_at_their_step() {
+        let plan = FaultPlan::new()
+            .with(2, FaultKind::NanGradient { param: "mlm.dense.weight".into() })
+            .with(2, FaultKind::InfGradient { param: "nsp.pooler.bias".into() })
+            .with(5, FaultKind::KillRank { rank: 1 });
+        assert_eq!(plan.len(), 3);
+        let at2 = plan.gradient_faults_at(2);
+        assert_eq!(at2.len(), 2);
+        assert!(at2[0].1.is_nan());
+        assert_eq!(at2[1].1, f32::INFINITY);
+        assert!(plan.gradient_faults_at(5).is_empty());
+        assert_eq!(plan.ring_faults_at(5).len(), 1);
+        assert!(plan.ring_faults_at(2).is_empty());
+    }
+
+    #[test]
+    fn fault_kind_classification() {
+        assert!(FaultKind::NanGradient { param: "x".into() }.is_gradient_fault());
+        assert!(FaultKind::CorruptSegment { rank: 0, chunk: 0 }.is_ring_fault());
+        assert!(FaultKind::DelayRank { rank: 0, micros: 10 }.is_ring_fault());
+        assert!(FaultKind::KillRank { rank: 0 }.is_ring_fault());
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        for step in 0..10 {
+            assert!(plan.gradient_faults_at(step).is_empty());
+            assert!(plan.ring_faults_at(step).is_empty());
+        }
+    }
+}

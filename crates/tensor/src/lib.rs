@@ -32,6 +32,7 @@
 
 pub mod dtype;
 pub mod error;
+pub mod fault;
 pub mod gemm;
 pub mod init;
 pub mod shape;
@@ -40,6 +41,7 @@ pub mod trace;
 
 pub use dtype::DType;
 pub use error::TensorError;
+pub use fault::{Fault, FaultKind, FaultPlan};
 pub use gemm::{batched_gemm, gemm, Transpose};
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -82,6 +82,11 @@ pub enum Category {
     LambStage2,
     /// The global gradient-norm reduction LAMB requires before any update.
     GradNorm,
+    /// Mixed-precision loss-scaler bookkeeping: the fused unscale +
+    /// finiteness check over all gradients, the overflow marker of a skipped
+    /// step, and the scale-factor rescale. Real AMP stacks launch these as
+    /// distinct kernels, so they belong in the operator stream.
+    LossScale,
     /// Gradient/activation communication (AllReduce) in distributed training.
     Comm,
 }
@@ -99,7 +104,10 @@ impl Category {
             | Category::Gelu
             | Category::DropResidualNorm => Group::Transformer,
             Category::Output => Group::Output,
-            Category::LambStage1 | Category::LambStage2 | Category::GradNorm => Group::Lamb,
+            Category::LambStage1
+            | Category::LambStage2
+            | Category::GradNorm
+            | Category::LossScale => Group::Lamb,
             Category::Comm => Group::Comm,
         }
     }
@@ -119,6 +127,7 @@ impl Category {
             Category::LambStage1,
             Category::LambStage2,
             Category::GradNorm,
+            Category::LossScale,
             Category::Comm,
         ]
     }
@@ -138,6 +147,7 @@ impl fmt::Display for Category {
             Category::LambStage1 => "lamb-stage1",
             Category::LambStage2 => "lamb-stage2",
             Category::GradNorm => "grad-norm",
+            Category::LossScale => "loss-scale",
             Category::Comm => "comm",
         };
         f.write_str(s)
@@ -576,7 +586,8 @@ mod tests {
         assert_eq!(Category::Output.group(), Group::Output);
         assert_eq!(Category::Embedding.group(), Group::Embedding);
         assert_eq!(Category::Comm.group(), Group::Comm);
-        assert_eq!(Category::all().len(), 12);
+        assert_eq!(Category::LossScale.group(), Group::Lamb);
+        assert_eq!(Category::all().len(), 13);
     }
 
     #[test]

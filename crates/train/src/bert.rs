@@ -255,6 +255,24 @@ impl Bert {
         &self.opts
     }
 
+    /// Override the loss scale for subsequent steps (a dynamic scaler
+    /// adjusts this between accumulation windows).
+    pub fn set_loss_scale(&mut self, scale: f32) {
+        self.opts.loss_scale = scale;
+    }
+
+    /// Number of training steps executed so far.
+    #[must_use]
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Restore the step counter (checkpoint resume; the counter seeds the
+    /// per-step dropout RNG, so a resumed run replays the same stream).
+    pub fn set_step(&mut self, step: u64) {
+        self.step = step;
+    }
+
     fn act_dtype(&self) -> DType {
         self.opts.precision.activation_dtype()
     }
@@ -862,6 +880,107 @@ impl Bert {
         slots
     }
 
+    /// Mutable views of every parameter in canonical inventory order,
+    /// without requiring gradients (usable on a freshly built model, unlike
+    /// [`Bert::param_slots`]). This is the checkpoint export/import surface.
+    #[must_use]
+    pub fn param_values_mut(&mut self) -> Vec<(String, &mut Tensor)> {
+        let mut out: Vec<(String, &mut Tensor)> = Vec::new();
+        let hp = &mut self.heads;
+        out.push(("embeddings.word".into(), &mut hp.word_emb));
+        out.push(("embeddings.position".into(), &mut hp.pos_emb));
+        out.push(("embeddings.segment".into(), &mut hp.seg_emb));
+        out.push(("embeddings.ln.gamma".into(), &mut hp.emb_ln_gamma));
+        out.push(("embeddings.ln.beta".into(), &mut hp.emb_ln_beta));
+        for (p, names) in self.layers.iter_mut().zip(&self.layer_param_names) {
+            let values = [
+                &mut p.attn.wq,
+                &mut p.attn.bq,
+                &mut p.attn.wk,
+                &mut p.attn.bk,
+                &mut p.attn.wv,
+                &mut p.attn.bv,
+                &mut p.attn.wo,
+                &mut p.attn.bo,
+                &mut p.ln1_gamma,
+                &mut p.ln1_beta,
+                &mut p.fc1_w,
+                &mut p.fc1_b,
+                &mut p.fc2_w,
+                &mut p.fc2_b,
+                &mut p.ln2_gamma,
+                &mut p.ln2_beta,
+            ];
+            for (name, value) in names.iter().zip(values) {
+                out.push((name.clone(), value));
+            }
+        }
+        out.push(("mlm.dense.weight".into(), &mut hp.mlm_dense_w));
+        out.push(("mlm.dense.bias".into(), &mut hp.mlm_dense_b));
+        out.push(("mlm.ln.gamma".into(), &mut hp.mlm_ln_gamma));
+        out.push(("mlm.ln.beta".into(), &mut hp.mlm_ln_beta));
+        out.push(("mlm.decoder.bias".into(), &mut hp.decoder_bias));
+        out.push(("nsp.pooler.weight".into(), &mut hp.pooler_w));
+        out.push(("nsp.pooler.bias".into(), &mut hp.pooler_b));
+        out.push(("nsp.classifier.weight".into(), &mut hp.cls_w));
+        out.push(("nsp.classifier.bias".into(), &mut hp.cls_b));
+        out
+    }
+
+    /// Overwrite one element of the named parameter's gradient with
+    /// `value` — the fault-injection hook. Returns `false` when the name is
+    /// unknown or no gradients exist yet.
+    pub fn corrupt_gradient(&mut self, name: &str, value: f32) -> bool {
+        let Some(hg) = self.head_grads.as_mut() else { return false };
+        let head_grad: Option<&mut Tensor> = match name {
+            "embeddings.word" => Some(&mut hg.word_emb),
+            "embeddings.position" => Some(&mut hg.pos_emb),
+            "embeddings.segment" => Some(&mut hg.seg_emb),
+            "embeddings.ln.gamma" => Some(&mut hg.emb_ln_gamma),
+            "embeddings.ln.beta" => Some(&mut hg.emb_ln_beta),
+            "mlm.dense.weight" => Some(&mut hg.mlm_dense_w),
+            "mlm.dense.bias" => Some(&mut hg.mlm_dense_b),
+            "mlm.ln.gamma" => Some(&mut hg.mlm_ln_gamma),
+            "mlm.ln.beta" => Some(&mut hg.mlm_ln_beta),
+            "mlm.decoder.bias" => Some(&mut hg.decoder_bias),
+            "nsp.pooler.weight" => Some(&mut hg.pooler_w),
+            "nsp.pooler.bias" => Some(&mut hg.pooler_b),
+            "nsp.classifier.weight" => Some(&mut hg.cls_w),
+            "nsp.classifier.bias" => Some(&mut hg.cls_b),
+            _ => None,
+        };
+        if let Some(t) = head_grad {
+            t.as_mut_slice()[0] = value;
+            return true;
+        }
+        // Layer parameters: "l{i}.{field}".
+        let Some(rest) = name.strip_prefix('l') else { return false };
+        let Some((idx, field)) = rest.split_once('.') else { return false };
+        let Ok(idx) = idx.parse::<usize>() else { return false };
+        let Some(Some(g)) = self.layer_grads.get_mut(idx) else { return false };
+        let t: &mut Tensor = match field {
+            "attn.wq" => &mut g.attn.wq,
+            "attn.bq" => &mut g.attn.bq,
+            "attn.wk" => &mut g.attn.wk,
+            "attn.bk" => &mut g.attn.bk,
+            "attn.wv" => &mut g.attn.wv,
+            "attn.bv" => &mut g.attn.bv,
+            "attn.wo" => &mut g.attn.wo,
+            "attn.bo" => &mut g.attn.bo,
+            "ln1.gamma" => &mut g.ln1_gamma,
+            "ln1.beta" => &mut g.ln1_beta,
+            "fc1.weight" => &mut g.fc1_w,
+            "fc1.bias" => &mut g.fc1_b,
+            "fc2.weight" => &mut g.fc2_w,
+            "fc2.bias" => &mut g.fc2_b,
+            "ln2.gamma" => &mut g.ln2_gamma,
+            "ln2.beta" => &mut g.ln2_beta,
+            _ => return false,
+        };
+        t.as_mut_slice()[0] = value;
+        true
+    }
+
     /// Total learnable parameter count (matches the analytic inventory).
     #[must_use]
     pub fn parameter_count(&self) -> u64 {
@@ -888,7 +1007,7 @@ pub fn non_copy_records(records: &[OpRecord]) -> Vec<OpRecord> {
 mod tests {
     use super::*;
     use crate::data::SyntheticCorpus;
-    use crate::optim::Lamb;
+    use crate::optim::{Lamb, Optimizer};
 
     fn tiny_setup(opts: TrainOptions) -> (Bert, SyntheticCorpus, PretrainBatch) {
         let cfg = BertConfig::tiny();
@@ -988,13 +1107,14 @@ mod tests {
     }
 
     #[test]
-    fn mixed_precision_step_runs_with_loss_scaling() {
-        let opts = TrainOptions {
-            precision: Precision::Mixed,
-            loss_scale: 128.0,
-            ..TrainOptions::default()
-        };
+    fn mixed_precision_step_runs_with_dynamic_loss_scaling() {
+        use crate::scaler::LossScaler;
+        let opts = TrainOptions { precision: Precision::Mixed, ..TrainOptions::default() };
         let (mut bert, _, batch) = tiny_setup(opts);
+        // The scale now comes from a dynamic scaler rather than a hardcoded
+        // 128.0: the model scales the loss, the optimizer divides it out.
+        let scaler = LossScaler::dynamic(128.0);
+        bert.set_loss_scale(scaler.scale());
         let mut tr = Tracer::new();
         let out = bert.train_step(&mut tr, &batch).unwrap();
         assert!(out.loss.is_finite());
@@ -1006,7 +1126,7 @@ mod tests {
         // Gradients are loss-scaled.
         let mut slots = bert.param_slots();
         let mut opt = Lamb::new(0.01);
-        opt.grad_scale = 128.0;
+        opt.set_grad_scale(scaler.scale());
         opt.step(&mut tr, &mut slots);
     }
 

@@ -1,0 +1,355 @@
+//! Versioned binary checkpoint format for the full training state.
+//!
+//! A checkpoint captures everything a bit-exact resume needs: model
+//! weights (with their logical dtypes), optimizer moments and f32 master
+//! weights, the loss scaler's adaptive state, and every step counter. The
+//! format is deliberately simple — a magic tag, a version, then
+//! length-prefixed little-endian records — because the suite vendors no
+//! serialization framework and the format must stay auditable.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "BSCK" | version:u32 | bert_step,micro_steps,updates,skipped,retries:u64 x5
+//! scaler: scale:f32 clean_steps:u32 overflows:u64
+//! params: count:u32, then per param:
+//!   name:(u32 len + utf8) dims:(u32 count + u64 each) dtype:u8 data:(u64 len + f32 each)
+//! optimizer: step:u64 count:u32, then per slot:
+//!   name:(u32 len + utf8) m,v,master:(u64 len + f32 each) x3
+//! ```
+
+use crate::error::TrainError;
+use crate::optim::{OptimizerState, SlotState};
+use crate::scaler::ScalerState;
+use bertscope_tensor::DType;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// File magic identifying a bertscope checkpoint.
+pub const MAGIC: [u8; 4] = *b"BSCK";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// One serialized parameter tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamRecord {
+    /// Canonical parameter name.
+    pub name: String,
+    /// Tensor shape.
+    pub dims: Vec<usize>,
+    /// Logical dtype (values are stored as the quantized f32 they hold in
+    /// memory, so the roundtrip is bit-exact).
+    pub dtype: DType,
+    /// Flattened row-major values.
+    pub data: Vec<f32>,
+}
+
+/// The complete training state of one (trainer, model) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainCheckpoint {
+    /// The model's step counter (seeds per-step dropout).
+    pub bert_step: u64,
+    /// Micro-step attempts executed.
+    pub micro_steps: u64,
+    /// Optimizer updates applied.
+    pub updates: u64,
+    /// Overflow-skipped windows.
+    pub skipped_updates: u64,
+    /// Micro-batch retries performed.
+    pub retries: u64,
+    /// Loss-scaler adaptive state.
+    pub scaler: ScalerState,
+    /// Every parameter tensor, in canonical inventory order.
+    pub params: Vec<ParamRecord>,
+    /// Optimizer moments and master weights.
+    pub optimizer: OptimizerState,
+}
+
+impl TrainCheckpoint {
+    /// Serialize to any writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(&MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        for v in
+            [self.bert_step, self.micro_steps, self.updates, self.skipped_updates, self.retries]
+        {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        w.write_all(&self.scaler.scale.to_le_bytes())?;
+        w.write_all(&self.scaler.clean_steps.to_le_bytes())?;
+        w.write_all(&self.scaler.overflows.to_le_bytes())?;
+        w.write_all(&(self.params.len() as u32).to_le_bytes())?;
+        for p in &self.params {
+            write_str(w, &p.name)?;
+            w.write_all(&(p.dims.len() as u32).to_le_bytes())?;
+            for &d in &p.dims {
+                w.write_all(&(d as u64).to_le_bytes())?;
+            }
+            w.write_all(&[dtype_tag(p.dtype)])?;
+            write_f32s(w, &p.data)?;
+        }
+        w.write_all(&self.optimizer.step.to_le_bytes())?;
+        w.write_all(&(self.optimizer.slots.len() as u32).to_le_bytes())?;
+        for s in &self.optimizer.slots {
+            write_str(w, &s.name)?;
+            write_f32s(w, &s.m)?;
+            write_f32s(w, &s.v)?;
+            write_f32s(w, &s.master)?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize from any reader, validating magic and version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Checkpoint`] on I/O failure, a bad magic tag,
+    /// an unsupported version, or malformed records.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Self, TrainError> {
+        let mut magic = [0u8; 4];
+        read_exact(r, &mut magic)?;
+        if magic != MAGIC {
+            return Err(TrainError::Checkpoint(format!(
+                "bad magic {magic:?}: not a bertscope checkpoint"
+            )));
+        }
+        let version = read_u32(r)?;
+        if version != VERSION {
+            return Err(TrainError::Checkpoint(format!(
+                "unsupported checkpoint version {version} (expected {VERSION})"
+            )));
+        }
+        let bert_step = read_u64(r)?;
+        let micro_steps = read_u64(r)?;
+        let updates = read_u64(r)?;
+        let skipped_updates = read_u64(r)?;
+        let retries = read_u64(r)?;
+        let scaler =
+            ScalerState { scale: read_f32(r)?, clean_steps: read_u32(r)?, overflows: read_u64(r)? };
+        let n_params = read_u32(r)? as usize;
+        let mut params = Vec::with_capacity(n_params.min(1 << 16));
+        for _ in 0..n_params {
+            let name = read_str(r)?;
+            let n_dims = read_u32(r)? as usize;
+            let mut dims = Vec::with_capacity(n_dims.min(16));
+            for _ in 0..n_dims {
+                dims.push(read_u64(r)? as usize);
+            }
+            let mut tag = [0u8; 1];
+            read_exact(r, &mut tag)?;
+            let dtype = dtype_from_tag(tag[0])?;
+            let data = read_f32s(r)?;
+            params.push(ParamRecord { name, dims, dtype, data });
+        }
+        let step = read_u64(r)?;
+        let n_slots = read_u32(r)? as usize;
+        let mut slots = Vec::with_capacity(n_slots.min(1 << 16));
+        for _ in 0..n_slots {
+            let name = read_str(r)?;
+            let m = read_f32s(r)?;
+            let v = read_f32s(r)?;
+            let master = read_f32s(r)?;
+            slots.push(SlotState { name, m, v, master });
+        }
+        Ok(TrainCheckpoint {
+            bert_step,
+            micro_steps,
+            updates,
+            skipped_updates,
+            retries,
+            scaler,
+            params,
+            optimizer: OptimizerState { step, slots },
+        })
+    }
+
+    /// Serialize to a fresh byte buffer.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf).expect("writing to a Vec cannot fail");
+        buf
+    }
+
+    /// Write the checkpoint to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Checkpoint`] on any I/O failure.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), TrainError> {
+        let mut f = std::fs::File::create(path.as_ref())
+            .map_err(|e| TrainError::Checkpoint(format!("create: {e}")))?;
+        self.write_to(&mut f).map_err(|e| TrainError::Checkpoint(format!("write: {e}")))
+    }
+
+    /// Read a checkpoint back from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Checkpoint`] on I/O failure or a malformed
+    /// file.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, TrainError> {
+        let mut f = std::fs::File::open(path.as_ref())
+            .map_err(|e| TrainError::Checkpoint(format!("open: {e}")))?;
+        Self::read_from(&mut f)
+    }
+}
+
+fn dtype_tag(dt: DType) -> u8 {
+    match dt {
+        DType::F32 => 0,
+        DType::F16 => 1,
+        DType::BF16 => 2,
+    }
+}
+
+fn dtype_from_tag(tag: u8) -> Result<DType, TrainError> {
+    match tag {
+        0 => Ok(DType::F32),
+        1 => Ok(DType::F16),
+        2 => Ok(DType::BF16),
+        other => Err(TrainError::Checkpoint(format!("unknown dtype tag {other}"))),
+    }
+}
+
+fn write_str<W: Write>(w: &mut W, s: &str) -> std::io::Result<()> {
+    w.write_all(&(s.len() as u32).to_le_bytes())?;
+    w.write_all(s.as_bytes())
+}
+
+fn write_f32s<W: Write>(w: &mut W, data: &[f32]) -> std::io::Result<()> {
+    w.write_all(&(data.len() as u64).to_le_bytes())?;
+    for &x in data {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), TrainError> {
+    r.read_exact(buf).map_err(|e| TrainError::Checkpoint(format!("truncated checkpoint: {e}")))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, TrainError> {
+    let mut b = [0u8; 4];
+    read_exact(r, &mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, TrainError> {
+    let mut b = [0u8; 8];
+    read_exact(r, &mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f32<R: Read>(r: &mut R) -> Result<f32, TrainError> {
+    let mut b = [0u8; 4];
+    read_exact(r, &mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn read_str<R: Read>(r: &mut R) -> Result<String, TrainError> {
+    let len = read_u32(r)? as usize;
+    if len > 1 << 20 {
+        return Err(TrainError::Checkpoint(format!("implausible string length {len}")));
+    }
+    let mut b = vec![0u8; len];
+    read_exact(r, &mut b)?;
+    String::from_utf8(b).map_err(|e| TrainError::Checkpoint(format!("non-utf8 name: {e}")))
+}
+
+fn read_f32s<R: Read>(r: &mut R) -> Result<Vec<f32>, TrainError> {
+    let len = read_u64(r)? as usize;
+    if len > 1 << 32 {
+        return Err(TrainError::Checkpoint(format!("implausible tensor length {len}")));
+    }
+    let mut bytes = vec![0u8; len * 4];
+    read_exact(r, &mut bytes)?;
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> TrainCheckpoint {
+        TrainCheckpoint {
+            bert_step: 12,
+            micro_steps: 24,
+            updates: 11,
+            skipped_updates: 1,
+            retries: 2,
+            scaler: ScalerState { scale: 512.0, clean_steps: 3, overflows: 1 },
+            params: vec![
+                ParamRecord {
+                    name: "l0.fc1.weight".into(),
+                    dims: vec![4, 2],
+                    dtype: DType::F16,
+                    data: vec![1.0, -2.5, 0.0, 3.25, -0.125, 7.0, 0.5, -1.0],
+                },
+                ParamRecord {
+                    name: "mlm.decoder.bias".into(),
+                    dims: vec![3],
+                    dtype: DType::F32,
+                    data: vec![0.1, 0.2, 0.3],
+                },
+            ],
+            optimizer: OptimizerState {
+                step: 11,
+                slots: vec![SlotState {
+                    name: "l0.fc1.weight".into(),
+                    m: vec![0.5; 8],
+                    v: vec![0.25; 8],
+                    master: vec![1.0; 8],
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let ckpt = fixture();
+        let bytes = ckpt.to_bytes();
+        let back = TrainCheckpoint::read_from(&mut bytes.as_slice()).expect("read");
+        assert_eq!(ckpt, back);
+        assert_eq!(&bytes[..4], b"BSCK");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = fixture().to_bytes();
+        bytes[0] = b'X';
+        let err = TrainCheckpoint::read_from(&mut bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = fixture().to_bytes();
+        bytes[4] = 99;
+        let err = TrainCheckpoint::read_from(&mut bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let bytes = fixture().to_bytes();
+        let err = TrainCheckpoint::read_from(&mut bytes[..bytes.len() / 2].as_ref()).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("bertscope-ckpt-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("roundtrip.bsck");
+        let ckpt = fixture();
+        ckpt.save(&path).expect("save");
+        let back = TrainCheckpoint::load(&path).expect("load");
+        assert_eq!(ckpt, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,127 @@
+//! Structured training errors and recovery policies.
+//!
+//! The step loop returns [`TrainError`] instead of panicking, and a
+//! [`RecoveryPolicy`] decides what a non-finite loss or gradient does to the
+//! run: abort it, retry the micro-batch, or let the loss scaler skip the
+//! optimizer step — the behavior of production BERT stacks, where NaN steps
+//! are routine events rather than crashes.
+
+use bertscope_tensor::TensorError;
+use std::fmt;
+
+/// Everything that can go wrong while training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// A kernel failed (shape mismatch, invalid argument).
+    Kernel(TensorError),
+    /// The loss itself came back non-finite at the given micro-step.
+    NonFiniteLoss {
+        /// Micro-step attempt index (1-based) that produced the loss.
+        step: u64,
+        /// The offending loss value (NaN or infinite).
+        loss: f32,
+    },
+    /// A gradient came back non-finite at the given micro-step.
+    NonFiniteGradient {
+        /// Micro-step attempt index (1-based) that produced the gradient.
+        step: u64,
+        /// Canonical name of the first offending parameter.
+        param: String,
+    },
+    /// A [`RecoveryPolicy::RetryMicrobatch`] policy ran out of attempts.
+    RetriesExhausted {
+        /// Micro-step attempt index of the final failure.
+        step: u64,
+        /// Number of attempts made (initial try + retries).
+        attempts: usize,
+    },
+    /// Checkpoint serialization or deserialization failed.
+    Checkpoint(String),
+    /// The runtime was asked to do something its state cannot support
+    /// (e.g. checkpoint mid-accumulation-window, corrupt an unknown
+    /// parameter).
+    InvalidState(String),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Kernel(e) => write!(f, "kernel error: {e}"),
+            TrainError::NonFiniteLoss { step, loss } => {
+                write!(f, "non-finite loss {loss} at micro-step {step}")
+            }
+            TrainError::NonFiniteGradient { step, param } => {
+                write!(f, "non-finite gradient in `{param}` at micro-step {step}")
+            }
+            TrainError::RetriesExhausted { step, attempts } => {
+                write!(f, "micro-step {step} still non-finite after {attempts} attempts")
+            }
+            TrainError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            TrainError::InvalidState(msg) => write!(f, "invalid trainer state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for TrainError {
+    fn from(e: TensorError) -> Self {
+        TrainError::Kernel(e)
+    }
+}
+
+/// What the step loop does when a micro-step produces a non-finite loss or
+/// gradient.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Surface the failure immediately as a [`TrainError`].
+    Abort,
+    /// Accumulate the poisoned gradients anyway and let the loss scaler's
+    /// window-close finiteness check skip the optimizer step — the apex/AMP
+    /// behavior, and the default.
+    #[default]
+    SkipStep,
+    /// Re-run the failed micro-batch up to `max_retries` extra times (a
+    /// transient fault — a corrupted DMA, a flaky reduction — clears on
+    /// retry; a deterministic overflow does not and eventually errors).
+    RetryMicrobatch {
+        /// Extra attempts after the first failure before giving up.
+        max_retries: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings_name_the_failure() {
+        let e = TrainError::NonFiniteGradient { step: 7, param: "l0.fc1.weight".into() };
+        assert!(e.to_string().contains("l0.fc1.weight"));
+        assert!(e.to_string().contains('7'));
+        let e = TrainError::RetriesExhausted { step: 3, attempts: 4 };
+        assert!(e.to_string().contains("4 attempts"));
+        let e = TrainError::NonFiniteLoss { step: 1, loss: f32::NAN };
+        assert!(e.to_string().contains("micro-step 1"));
+    }
+
+    #[test]
+    fn tensor_errors_convert() {
+        let te = TensorError::LengthMismatch { expected: 3, actual: 4 };
+        let e: TrainError = te.clone().into();
+        assert_eq!(e, TrainError::Kernel(te));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn default_policy_is_skip_step() {
+        assert_eq!(RecoveryPolicy::default(), RecoveryPolicy::SkipStep);
+    }
+}

@@ -11,18 +11,30 @@
 //! step yields the same operation stream the analytic graph in
 //! `bertscope-model` predicts — the cross-validation at the heart of the
 //! reproduction.
+//!
+//! The crate also carries the fault-tolerant training runtime: dynamic loss
+//! scaling with overflow-skip ([`scaler`]), structured step errors and
+//! recovery policies ([`error`]), deterministic fault injection (via
+//! `bertscope_tensor::FaultPlan`), and versioned full-state checkpoints with
+//! bit-exact resume ([`checkpoint`]).
 
 pub mod bert;
+pub mod checkpoint;
 pub mod data;
+pub mod error;
 pub mod layer;
 pub mod optim;
+pub mod scaler;
 pub mod trainer;
 
 pub use bert::{non_copy_records, Bert, EvalOutput, StepOutput, TrainOptions};
+pub use checkpoint::{ParamRecord, TrainCheckpoint};
 pub use data::{PretrainBatch, SyntheticCorpus};
+pub use error::{RecoveryPolicy, TrainError};
 pub use layer::{layer_bwd, layer_fwd, LayerActivations, LayerCtx, LayerGrads, LayerParams};
-pub use optim::{Adam, Lamb, Optimizer, ParamSlot, Sgd, WarmupSchedule};
-pub use trainer::Trainer;
+pub use optim::{Adam, Lamb, Optimizer, OptimizerState, ParamSlot, Sgd, SlotState, WarmupSchedule};
+pub use scaler::{LossScaler, ScalerState};
+pub use trainer::{StepResult, Trainer};
 
 /// Result alias re-used from the tensor substrate.
 pub type Result<T> = bertscope_tensor::Result<T>;

@@ -1,26 +1,59 @@
-//! A training driver with gradient accumulation: `k` forward/backward
-//! micro-steps per optimizer update — the paper's §2.4 observation that
-//! LAMB "updates model weights once every (few) iteration(s)" made
-//! executable.
+//! A fault-tolerant training driver with gradient accumulation: `k`
+//! forward/backward micro-steps per optimizer update (the paper's §2.4
+//! observation that LAMB "updates model weights once every (few)
+//! iteration(s)"), wrapped in the robustness machinery real BERT runs use —
+//! dynamic loss scaling with overflow-skip, a configurable
+//! [`RecoveryPolicy`] for non-finite steps, deterministic fault injection,
+//! and checkpoint/restore of the full training state.
 
 use crate::bert::{Bert, StepOutput};
+use crate::checkpoint::{ParamRecord, TrainCheckpoint};
+use crate::error::{RecoveryPolicy, TrainError};
 use crate::optim::{Optimizer, ParamSlot};
-use bertscope_tensor::{Tensor, Tracer};
+use crate::scaler::LossScaler;
+use bertscope_tensor::{FaultPlan, Tensor, Tracer};
+
+/// What one [`Trainer::micro_step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// Gradients accumulated; the window is still open.
+    Accumulated,
+    /// The window closed and the optimizer applied an update.
+    Updated,
+    /// The window closed but the scaler found non-finite gradients: the
+    /// update was skipped and the scale backed off.
+    SkippedOverflow,
+}
+
+impl StepResult {
+    /// Whether an optimizer update fired.
+    #[must_use]
+    pub fn updated(self) -> bool {
+        self == StepResult::Updated
+    }
+}
 
 /// Accumulates gradients across micro-steps and drives the optimizer once
-/// per `accumulation_steps`.
+/// per `accumulation_steps`, surviving non-finite steps per its
+/// [`RecoveryPolicy`] and [`LossScaler`].
 #[derive(Debug)]
 pub struct Trainer<O> {
     optimizer: O,
     accumulation_steps: usize,
+    scaler: LossScaler,
+    policy: RecoveryPolicy,
+    faults: FaultPlan,
     sums: Vec<Tensor>,
     pending: usize,
+    micro_steps: u64,
     updates: u64,
+    skipped_updates: u64,
+    retries: u64,
 }
 
 impl<O: Optimizer> Trainer<O> {
     /// A trainer applying `optimizer` every `accumulation_steps`
-    /// micro-steps.
+    /// micro-steps, with no loss scaling and the default skip-step policy.
     ///
     /// # Panics
     ///
@@ -28,7 +61,40 @@ impl<O: Optimizer> Trainer<O> {
     #[must_use]
     pub fn new(optimizer: O, accumulation_steps: usize) -> Self {
         assert!(accumulation_steps > 0, "accumulation_steps must be non-zero");
-        Trainer { optimizer, accumulation_steps, sums: Vec::new(), pending: 0, updates: 0 }
+        Trainer {
+            optimizer,
+            accumulation_steps,
+            scaler: LossScaler::none(),
+            policy: RecoveryPolicy::default(),
+            faults: FaultPlan::new(),
+            sums: Vec::new(),
+            pending: 0,
+            micro_steps: 0,
+            updates: 0,
+            skipped_updates: 0,
+            retries: 0,
+        }
+    }
+
+    /// Use the given loss scaler (dynamic or fixed).
+    #[must_use]
+    pub fn with_scaler(mut self, scaler: LossScaler) -> Self {
+        self.scaler = scaler;
+        self
+    }
+
+    /// Use the given recovery policy for non-finite micro-steps.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Install a deterministic fault-injection plan (testing hook).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Number of optimizer updates applied so far.
@@ -37,26 +103,97 @@ impl<O: Optimizer> Trainer<O> {
         self.updates
     }
 
+    /// Number of accumulation windows the scaler skipped on overflow.
+    #[must_use]
+    pub fn skipped_updates(&self) -> u64 {
+        self.skipped_updates
+    }
+
+    /// Number of micro-batch retries performed under
+    /// [`RecoveryPolicy::RetryMicrobatch`].
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Total micro-step attempts executed (including retried ones) — the
+    /// counter fault plans key on.
+    #[must_use]
+    pub fn micro_steps(&self) -> u64 {
+        self.micro_steps
+    }
+
+    /// Micro-steps accumulated in the currently open window.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
     /// Borrow the wrapped optimizer.
     #[must_use]
     pub fn optimizer(&self) -> &O {
         &self.optimizer
     }
 
+    /// Borrow the loss scaler.
+    #[must_use]
+    pub fn scaler(&self) -> &LossScaler {
+        &self.scaler
+    }
+
     /// Run one micro-step: forward/backward on `batch`, accumulate the
-    /// gradients, and apply the optimizer when the accumulation window
-    /// closes. Returns the micro-step's losses and whether an update fired.
+    /// gradients, and when the accumulation window closes run the scaler's
+    /// unscale/finiteness check and either apply the optimizer or skip the
+    /// step. Returns the micro-step's losses and what happened.
     ///
     /// # Errors
     ///
-    /// Propagates kernel errors from the training step.
+    /// Propagates kernel errors, and surfaces non-finite losses or
+    /// gradients according to the configured [`RecoveryPolicy`]:
+    /// [`RecoveryPolicy::Abort`] errors immediately,
+    /// [`RecoveryPolicy::RetryMicrobatch`] errors once its attempts are
+    /// exhausted, and [`RecoveryPolicy::SkipStep`] (the default) never
+    /// errors on numerics — the window-close check skips the update
+    /// instead.
     pub fn micro_step(
         &mut self,
         tracer: &mut Tracer,
         bert: &mut Bert,
         batch: &crate::data::PretrainBatch,
-    ) -> crate::Result<(StepOutput, bool)> {
-        let out = bert.train_step(tracer, batch)?;
+    ) -> Result<(StepOutput, StepResult), TrainError> {
+        let mut attempts = 0usize;
+        let out = loop {
+            attempts += 1;
+            bert.set_loss_scale(self.scaler.scale());
+            let out = bert.train_step(tracer, batch)?;
+            self.micro_steps += 1;
+            for (param, value) in self.faults.gradient_faults_at(self.micro_steps) {
+                assert!(
+                    bert.corrupt_gradient(param, value),
+                    "fault plan names unknown parameter `{param}`"
+                );
+            }
+            match self.first_non_finite(bert, out) {
+                None => break out,
+                Some(err) => match self.policy {
+                    RecoveryPolicy::Abort => return Err(err),
+                    RecoveryPolicy::RetryMicrobatch { max_retries } => {
+                        if attempts > max_retries {
+                            return Err(TrainError::RetriesExhausted {
+                                step: self.micro_steps,
+                                attempts,
+                            });
+                        }
+                        self.retries += 1;
+                        // Loop again: the attempt counter advanced, so a
+                        // step-keyed fault does not refire.
+                    }
+                    // Accumulate the poisoned gradients; the window-close
+                    // scaler check will skip the update.
+                    RecoveryPolicy::SkipStep => break out,
+                },
+            }
+        };
         {
             let slots = bert.param_slots();
             if self.sums.is_empty() {
@@ -69,11 +206,28 @@ impl<O: Optimizer> Trainer<O> {
         }
         self.pending += 1;
         if self.pending < self.accumulation_steps {
-            return Ok((out, false));
+            return Ok((out, StepResult::Accumulated));
         }
-        // Average the window and step the optimizer on the averaged slots.
+
+        // Window close: average, unscale-check, then update or skip.
         let inv = 1.0 / self.pending as f32;
         let averaged: Vec<Tensor> = self.sums.iter().map(|t| t.scale(inv)).collect();
+        let total_params: u64 = averaged.iter().map(|t| t.numel() as u64).sum();
+        self.scaler.trace_unscale_check(tracer, total_params);
+        if averaged.iter().any(|t| !t.all_finite()) {
+            self.scaler.trace_overflow(tracer);
+            self.scaler.on_overflow();
+            self.sums.clear();
+            self.pending = 0;
+            self.skipped_updates += 1;
+            return Ok((out, StepResult::SkippedOverflow));
+        }
+        // The optimizer must divide out the scale these gradients were
+        // computed under; growth (if any) only affects the next window.
+        let window_scale = self.scaler.scale();
+        if self.scaler.on_clean_step() {
+            self.scaler.trace_rescale(tracer);
+        }
         {
             let mut slots = bert.param_slots();
             let mut avg_slots: Vec<ParamSlot<'_>> = slots
@@ -81,12 +235,108 @@ impl<O: Optimizer> Trainer<O> {
                 .zip(&averaged)
                 .map(|(s, g)| ParamSlot { name: s.name, value: s.value, grad: g })
                 .collect();
+            self.optimizer.set_grad_scale(window_scale);
             self.optimizer.step(tracer, &mut avg_slots);
         }
         self.sums.clear();
         self.pending = 0;
         self.updates += 1;
-        Ok((out, true))
+        Ok((out, StepResult::Updated))
+    }
+
+    /// First non-finite quantity of the just-executed micro-step, if any.
+    fn first_non_finite(&self, bert: &mut Bert, out: StepOutput) -> Option<TrainError> {
+        if !out.loss.is_finite() {
+            return Some(TrainError::NonFiniteLoss { step: self.micro_steps, loss: out.loss });
+        }
+        bert.param_slots().iter().find(|s| !s.grad.all_finite()).map(|s| {
+            TrainError::NonFiniteGradient { step: self.micro_steps, param: s.name.to_owned() }
+        })
+    }
+
+    /// Capture the full training state — weights, optimizer moments, scaler
+    /// and step counters — as a [`TrainCheckpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::InvalidState`] when the accumulation window is
+    /// open: partial gradient sums are not part of the checkpoint format,
+    /// so saving mid-window would silently drop them.
+    pub fn checkpoint(&self, bert: &mut Bert) -> Result<TrainCheckpoint, TrainError> {
+        if self.pending != 0 {
+            return Err(TrainError::InvalidState(format!(
+                "checkpoint with {} micro-steps pending; save at a window boundary",
+                self.pending
+            )));
+        }
+        let params = bert
+            .param_values_mut()
+            .into_iter()
+            .map(|(name, t)| ParamRecord {
+                name,
+                dims: t.dims().to_vec(),
+                dtype: t.dtype(),
+                data: t.as_slice().to_vec(),
+            })
+            .collect();
+        Ok(TrainCheckpoint {
+            bert_step: bert.step(),
+            micro_steps: self.micro_steps,
+            updates: self.updates,
+            skipped_updates: self.skipped_updates,
+            retries: self.retries,
+            scaler: self.scaler.export_state(),
+            params,
+            optimizer: self.optimizer.export_state(),
+        })
+    }
+
+    /// Restore training state from a checkpoint into this trainer and the
+    /// given model, discarding any open accumulation window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Checkpoint`] when the checkpoint's parameter
+    /// inventory (names, order, shapes) does not match the model's.
+    pub fn restore(&mut self, ckpt: &TrainCheckpoint, bert: &mut Bert) -> Result<(), TrainError> {
+        {
+            let mut values = bert.param_values_mut();
+            if values.len() != ckpt.params.len() {
+                return Err(TrainError::Checkpoint(format!(
+                    "checkpoint has {} parameters, model has {}",
+                    ckpt.params.len(),
+                    values.len()
+                )));
+            }
+            for ((name, t), rec) in values.iter_mut().zip(&ckpt.params) {
+                if *name != rec.name {
+                    return Err(TrainError::Checkpoint(format!(
+                        "parameter order mismatch: model `{name}` vs checkpoint `{}`",
+                        rec.name
+                    )));
+                }
+                if t.dims() != &rec.dims[..] {
+                    return Err(TrainError::Checkpoint(format!(
+                        "`{name}` shape mismatch: model {:?} vs checkpoint {:?}",
+                        t.dims(),
+                        rec.dims
+                    )));
+                }
+                // Stored values are already quantized to the logical dtype,
+                // so the roundtrip through to_dtype is bit-exact.
+                **t = Tensor::from_vec(rec.data.clone(), &rec.dims)?.to_dtype(rec.dtype);
+            }
+        }
+        bert.set_step(ckpt.bert_step);
+        self.micro_steps = ckpt.micro_steps;
+        self.updates = ckpt.updates;
+        self.skipped_updates = ckpt.skipped_updates;
+        self.retries = ckpt.retries;
+        self.scaler.import_state(ckpt.scaler);
+        self.optimizer.import_state(ckpt.optimizer.clone());
+        self.sums.clear();
+        self.pending = 0;
+        Ok(())
     }
 }
 
@@ -97,7 +347,7 @@ mod tests {
     use crate::data::SyntheticCorpus;
     use crate::optim::{Lamb, Sgd};
     use bertscope_model::BertConfig;
-    use bertscope_tensor::Phase;
+    use bertscope_tensor::{FaultKind, Phase};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -116,11 +366,12 @@ mod tests {
         let mut tr = Tracer::new();
         let mut fired = Vec::new();
         for _ in 0..7 {
-            let (_, updated) = trainer.micro_step(&mut tr, &mut bert, &batch).unwrap();
-            fired.push(updated);
+            let (_, result) = trainer.micro_step(&mut tr, &mut bert, &batch).expect("micro-step");
+            fired.push(result.updated());
         }
         assert_eq!(fired, vec![false, false, true, false, false, true, false]);
         assert_eq!(trainer.updates(), 2);
+        assert_eq!(trainer.skipped_updates(), 0);
         // Update-phase kernels appear exactly twice (norm + stages each).
         let norms = tr
             .records()
@@ -138,10 +389,10 @@ mod tests {
         let (mut b, _, _) = setup();
         let mut tr = Tracer::disabled();
         let mut acc = Trainer::new(Sgd::new(0.05), 2);
-        acc.micro_step(&mut tr, &mut a, &batch).unwrap();
-        acc.micro_step(&mut tr, &mut a, &batch).unwrap();
+        acc.micro_step(&mut tr, &mut a, &batch).expect("micro-step");
+        acc.micro_step(&mut tr, &mut a, &batch).expect("micro-step");
         let mut single = Trainer::new(Sgd::new(0.05), 1);
-        single.micro_step(&mut tr, &mut b, &batch).unwrap();
+        single.micro_step(&mut tr, &mut b, &batch).expect("micro-step");
         for (sa, sb) in a.param_slots().iter().zip(&b.param_slots()) {
             assert!(
                 sa.value.max_abs_diff(sb.value).unwrap() < 1e-6,
@@ -174,7 +425,8 @@ mod tests {
         let mut first = 0.0;
         let mut last = 0.0;
         for step in 0..20 {
-            let (out, _) = trainer.micro_step(&mut tr, &mut bert, &batches[step % 2]).unwrap();
+            let (out, _) =
+                trainer.micro_step(&mut tr, &mut bert, &batches[step % 2]).expect("micro-step");
             if step == 0 {
                 first = out.loss + out.mlm_loss; // weight MLM for signal
             }
@@ -184,6 +436,88 @@ mod tests {
         }
         assert_eq!(trainer.updates(), 10);
         assert!(last < first - 0.2, "accumulated loss {first} -> {last}");
+    }
+
+    #[test]
+    fn injected_overflow_skips_the_update_and_halves_the_scale() {
+        let (mut bert, _, batch) = setup();
+        let plan =
+            FaultPlan::new().with(2, FaultKind::InfGradient { param: "l0.fc1.weight".into() });
+        let mut trainer = Trainer::new(Lamb::new(0.01), 2)
+            .with_scaler(LossScaler::dynamic(1024.0))
+            .with_faults(plan);
+        let mut tr = Tracer::new();
+        let (_, r1) = trainer.micro_step(&mut tr, &mut bert, &batch).expect("micro-step");
+        assert_eq!(r1, StepResult::Accumulated);
+        let (_, r2) = trainer.micro_step(&mut tr, &mut bert, &batch).expect("micro-step");
+        assert_eq!(r2, StepResult::SkippedOverflow);
+        assert_eq!(trainer.updates(), 0);
+        assert_eq!(trainer.skipped_updates(), 1);
+        assert_eq!(trainer.scaler().scale(), 512.0, "overflow halves the scale");
+        // The skipped window traced the check and the overflow marker but
+        // launched zero optimizer kernels.
+        assert!(tr.records().iter().any(|r| r.name.contains("scaler.overflow")));
+        assert!(!tr.records().iter().any(|r| r.name.contains("lamb.")));
+        // Training resumes: the next clean window updates.
+        let (_, r3) = trainer.micro_step(&mut tr, &mut bert, &batch).expect("micro-step");
+        let (_, r4) = trainer.micro_step(&mut tr, &mut bert, &batch).expect("micro-step");
+        assert_eq!((r3, r4), (StepResult::Accumulated, StepResult::Updated));
+        assert_eq!(trainer.updates(), 1);
+    }
+
+    #[test]
+    fn abort_policy_surfaces_the_poisoned_parameter() {
+        let (mut bert, _, batch) = setup();
+        let plan =
+            FaultPlan::new().with(1, FaultKind::NanGradient { param: "nsp.pooler.bias".into() });
+        let mut trainer =
+            Trainer::new(Sgd::new(0.01), 1).with_policy(RecoveryPolicy::Abort).with_faults(plan);
+        let mut tr = Tracer::disabled();
+        let err = trainer.micro_step(&mut tr, &mut bert, &batch).unwrap_err();
+        assert_eq!(err, TrainError::NonFiniteGradient { step: 1, param: "nsp.pooler.bias".into() });
+    }
+
+    #[test]
+    fn retry_policy_survives_a_transient_fault() {
+        let (mut bert, _, batch) = setup();
+        // The fault fires at attempt 2 only; the retry (attempt 3) is clean.
+        let plan = FaultPlan::new().with(2, FaultKind::InfGradient { param: "l0.attn.wq".into() });
+        let mut trainer = Trainer::new(Sgd::new(0.01), 1)
+            .with_policy(RecoveryPolicy::RetryMicrobatch { max_retries: 2 })
+            .with_faults(plan);
+        let mut tr = Tracer::disabled();
+        trainer.micro_step(&mut tr, &mut bert, &batch).expect("clean step");
+        let (_, r) = trainer.micro_step(&mut tr, &mut bert, &batch).expect("retried step");
+        assert_eq!(r, StepResult::Updated);
+        assert_eq!(trainer.retries(), 1);
+        assert_eq!(trainer.micro_steps(), 3, "the retry consumed an extra attempt");
+    }
+
+    #[test]
+    fn retry_policy_gives_up_on_a_persistent_fault() {
+        let (mut bert, _, batch) = setup();
+        // Poison two consecutive attempts: one retry is not enough.
+        let plan = FaultPlan::new()
+            .with(1, FaultKind::NanGradient { param: "l0.fc2.bias".into() })
+            .with(2, FaultKind::NanGradient { param: "l0.fc2.bias".into() });
+        let mut trainer = Trainer::new(Sgd::new(0.01), 1)
+            .with_policy(RecoveryPolicy::RetryMicrobatch { max_retries: 1 })
+            .with_faults(plan);
+        let mut tr = Tracer::disabled();
+        let err = trainer.micro_step(&mut tr, &mut bert, &batch).unwrap_err();
+        assert_eq!(err, TrainError::RetriesExhausted { step: 2, attempts: 2 });
+        assert_eq!(trainer.retries(), 1);
+    }
+
+    #[test]
+    fn checkpoint_mid_window_is_rejected() {
+        let (mut bert, _, batch) = setup();
+        let mut trainer = Trainer::new(Sgd::new(0.01), 2);
+        let mut tr = Tracer::disabled();
+        trainer.micro_step(&mut tr, &mut bert, &batch).expect("micro-step");
+        assert_eq!(trainer.pending(), 1);
+        let err = trainer.checkpoint(&mut bert).unwrap_err();
+        assert!(matches!(err, TrainError::InvalidState(_)), "{err}");
     }
 
     #[test]

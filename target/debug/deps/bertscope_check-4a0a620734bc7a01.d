@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/bertscope_check-4a0a620734bc7a01.d: crates/check/src/lib.rs crates/check/src/finding.rs crates/check/src/rules.rs crates/check/src/config_checks.rs crates/check/src/conservation.rs crates/check/src/dataflow.rs crates/check/src/phase.rs
+/root/repo/target/debug/deps/bertscope_check-4a0a620734bc7a01.d: crates/check/src/lib.rs crates/check/src/finding.rs crates/check/src/rules.rs crates/check/src/config_checks.rs crates/check/src/conservation.rs crates/check/src/dataflow.rs crates/check/src/phase.rs crates/check/src/scaler.rs
 
-/root/repo/target/debug/deps/libbertscope_check-4a0a620734bc7a01.rlib: crates/check/src/lib.rs crates/check/src/finding.rs crates/check/src/rules.rs crates/check/src/config_checks.rs crates/check/src/conservation.rs crates/check/src/dataflow.rs crates/check/src/phase.rs
+/root/repo/target/debug/deps/libbertscope_check-4a0a620734bc7a01.rlib: crates/check/src/lib.rs crates/check/src/finding.rs crates/check/src/rules.rs crates/check/src/config_checks.rs crates/check/src/conservation.rs crates/check/src/dataflow.rs crates/check/src/phase.rs crates/check/src/scaler.rs
 
-/root/repo/target/debug/deps/libbertscope_check-4a0a620734bc7a01.rmeta: crates/check/src/lib.rs crates/check/src/finding.rs crates/check/src/rules.rs crates/check/src/config_checks.rs crates/check/src/conservation.rs crates/check/src/dataflow.rs crates/check/src/phase.rs
+/root/repo/target/debug/deps/libbertscope_check-4a0a620734bc7a01.rmeta: crates/check/src/lib.rs crates/check/src/finding.rs crates/check/src/rules.rs crates/check/src/config_checks.rs crates/check/src/conservation.rs crates/check/src/dataflow.rs crates/check/src/phase.rs crates/check/src/scaler.rs
 
 crates/check/src/lib.rs:
 crates/check/src/finding.rs:
@@ -11,3 +11,4 @@ crates/check/src/config_checks.rs:
 crates/check/src/conservation.rs:
 crates/check/src/dataflow.rs:
 crates/check/src/phase.rs:
+crates/check/src/scaler.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/bertscope_check-8bdfa92665acab6b.d: crates/check/src/lib.rs crates/check/src/finding.rs crates/check/src/rules.rs crates/check/src/config_checks.rs crates/check/src/conservation.rs crates/check/src/dataflow.rs crates/check/src/phase.rs Cargo.toml
+/root/repo/target/debug/deps/bertscope_check-8bdfa92665acab6b.d: crates/check/src/lib.rs crates/check/src/finding.rs crates/check/src/rules.rs crates/check/src/config_checks.rs crates/check/src/conservation.rs crates/check/src/dataflow.rs crates/check/src/phase.rs crates/check/src/scaler.rs Cargo.toml
 
-/root/repo/target/debug/deps/libbertscope_check-8bdfa92665acab6b.rmeta: crates/check/src/lib.rs crates/check/src/finding.rs crates/check/src/rules.rs crates/check/src/config_checks.rs crates/check/src/conservation.rs crates/check/src/dataflow.rs crates/check/src/phase.rs Cargo.toml
+/root/repo/target/debug/deps/libbertscope_check-8bdfa92665acab6b.rmeta: crates/check/src/lib.rs crates/check/src/finding.rs crates/check/src/rules.rs crates/check/src/config_checks.rs crates/check/src/conservation.rs crates/check/src/dataflow.rs crates/check/src/phase.rs crates/check/src/scaler.rs Cargo.toml
 
 crates/check/src/lib.rs:
 crates/check/src/finding.rs:
@@ -9,6 +9,7 @@ crates/check/src/config_checks.rs:
 crates/check/src/conservation.rs:
 crates/check/src/dataflow.rs:
 crates/check/src/phase.rs:
+crates/check/src/scaler.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

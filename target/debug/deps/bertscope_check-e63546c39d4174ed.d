@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/bertscope_check-e63546c39d4174ed.d: crates/check/src/lib.rs crates/check/src/finding.rs crates/check/src/rules.rs crates/check/src/config_checks.rs crates/check/src/conservation.rs crates/check/src/dataflow.rs crates/check/src/phase.rs
+/root/repo/target/debug/deps/bertscope_check-e63546c39d4174ed.d: crates/check/src/lib.rs crates/check/src/finding.rs crates/check/src/rules.rs crates/check/src/config_checks.rs crates/check/src/conservation.rs crates/check/src/dataflow.rs crates/check/src/phase.rs crates/check/src/scaler.rs
 
-/root/repo/target/debug/deps/bertscope_check-e63546c39d4174ed: crates/check/src/lib.rs crates/check/src/finding.rs crates/check/src/rules.rs crates/check/src/config_checks.rs crates/check/src/conservation.rs crates/check/src/dataflow.rs crates/check/src/phase.rs
+/root/repo/target/debug/deps/bertscope_check-e63546c39d4174ed: crates/check/src/lib.rs crates/check/src/finding.rs crates/check/src/rules.rs crates/check/src/config_checks.rs crates/check/src/conservation.rs crates/check/src/dataflow.rs crates/check/src/phase.rs crates/check/src/scaler.rs
 
 crates/check/src/lib.rs:
 crates/check/src/finding.rs:
@@ -9,3 +9,4 @@ crates/check/src/config_checks.rs:
 crates/check/src/conservation.rs:
 crates/check/src/dataflow.rs:
 crates/check/src/phase.rs:
+crates/check/src/scaler.rs:

@@ -1,12 +1,15 @@
-/root/repo/target/debug/deps/bertscope_train-256fa356f3779b99.d: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/data.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/trainer.rs Cargo.toml
+/root/repo/target/debug/deps/bertscope_train-256fa356f3779b99.d: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/checkpoint.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/scaler.rs crates/train/src/trainer.rs Cargo.toml
 
-/root/repo/target/debug/deps/libbertscope_train-256fa356f3779b99.rmeta: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/data.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/trainer.rs Cargo.toml
+/root/repo/target/debug/deps/libbertscope_train-256fa356f3779b99.rmeta: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/checkpoint.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/scaler.rs crates/train/src/trainer.rs Cargo.toml
 
 crates/train/src/lib.rs:
 crates/train/src/bert.rs:
+crates/train/src/checkpoint.rs:
 crates/train/src/data.rs:
+crates/train/src/error.rs:
 crates/train/src/layer.rs:
 crates/train/src/optim.rs:
+crates/train/src/scaler.rs:
 crates/train/src/trainer.rs:
 Cargo.toml:
 

@@ -1,10 +1,13 @@
-/root/repo/target/debug/deps/bertscope_train-b329acaa1dda8de3.d: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/data.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/trainer.rs
+/root/repo/target/debug/deps/bertscope_train-b329acaa1dda8de3.d: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/checkpoint.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/scaler.rs crates/train/src/trainer.rs
 
-/root/repo/target/debug/deps/bertscope_train-b329acaa1dda8de3: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/data.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/trainer.rs
+/root/repo/target/debug/deps/bertscope_train-b329acaa1dda8de3: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/checkpoint.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/scaler.rs crates/train/src/trainer.rs
 
 crates/train/src/lib.rs:
 crates/train/src/bert.rs:
+crates/train/src/checkpoint.rs:
 crates/train/src/data.rs:
+crates/train/src/error.rs:
 crates/train/src/layer.rs:
 crates/train/src/optim.rs:
+crates/train/src/scaler.rs:
 crates/train/src/trainer.rs:

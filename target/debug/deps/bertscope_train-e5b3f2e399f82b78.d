@@ -1,12 +1,15 @@
-/root/repo/target/debug/deps/bertscope_train-e5b3f2e399f82b78.d: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/data.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/trainer.rs
+/root/repo/target/debug/deps/bertscope_train-e5b3f2e399f82b78.d: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/checkpoint.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/scaler.rs crates/train/src/trainer.rs
 
-/root/repo/target/debug/deps/libbertscope_train-e5b3f2e399f82b78.rlib: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/data.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/trainer.rs
+/root/repo/target/debug/deps/libbertscope_train-e5b3f2e399f82b78.rlib: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/checkpoint.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/scaler.rs crates/train/src/trainer.rs
 
-/root/repo/target/debug/deps/libbertscope_train-e5b3f2e399f82b78.rmeta: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/data.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/trainer.rs
+/root/repo/target/debug/deps/libbertscope_train-e5b3f2e399f82b78.rmeta: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/checkpoint.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/scaler.rs crates/train/src/trainer.rs
 
 crates/train/src/lib.rs:
 crates/train/src/bert.rs:
+crates/train/src/checkpoint.rs:
 crates/train/src/data.rs:
+crates/train/src/error.rs:
 crates/train/src/layer.rs:
 crates/train/src/optim.rs:
+crates/train/src/scaler.rs:
 crates/train/src/trainer.rs:

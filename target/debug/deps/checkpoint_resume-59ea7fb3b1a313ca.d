@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpoint_resume-59ea7fb3b1a313ca.d: tests/checkpoint_resume.rs
+
+/root/repo/target/debug/deps/checkpoint_resume-59ea7fb3b1a313ca: tests/checkpoint_resume.rs
+
+tests/checkpoint_resume.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checkpoint_resume-6d0652b45311497d.d: tests/checkpoint_resume.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheckpoint_resume-6d0652b45311497d.rmeta: tests/checkpoint_resume.rs Cargo.toml
+
+tests/checkpoint_resume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-8d8506ae79b74103.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-8d8506ae79b74103: tests/fault_injection.rs
+
+tests/fault_injection.rs:

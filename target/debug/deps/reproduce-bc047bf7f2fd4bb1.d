@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-bc047bf7f2fd4bb1.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-bc047bf7f2fd4bb1: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

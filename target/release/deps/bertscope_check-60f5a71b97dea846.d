@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/bertscope_check-60f5a71b97dea846.d: crates/check/src/lib.rs crates/check/src/finding.rs crates/check/src/rules.rs crates/check/src/config_checks.rs crates/check/src/conservation.rs crates/check/src/dataflow.rs crates/check/src/phase.rs
+/root/repo/target/release/deps/bertscope_check-60f5a71b97dea846.d: crates/check/src/lib.rs crates/check/src/finding.rs crates/check/src/rules.rs crates/check/src/config_checks.rs crates/check/src/conservation.rs crates/check/src/dataflow.rs crates/check/src/phase.rs crates/check/src/scaler.rs
 
-/root/repo/target/release/deps/libbertscope_check-60f5a71b97dea846.rlib: crates/check/src/lib.rs crates/check/src/finding.rs crates/check/src/rules.rs crates/check/src/config_checks.rs crates/check/src/conservation.rs crates/check/src/dataflow.rs crates/check/src/phase.rs
+/root/repo/target/release/deps/libbertscope_check-60f5a71b97dea846.rlib: crates/check/src/lib.rs crates/check/src/finding.rs crates/check/src/rules.rs crates/check/src/config_checks.rs crates/check/src/conservation.rs crates/check/src/dataflow.rs crates/check/src/phase.rs crates/check/src/scaler.rs
 
-/root/repo/target/release/deps/libbertscope_check-60f5a71b97dea846.rmeta: crates/check/src/lib.rs crates/check/src/finding.rs crates/check/src/rules.rs crates/check/src/config_checks.rs crates/check/src/conservation.rs crates/check/src/dataflow.rs crates/check/src/phase.rs
+/root/repo/target/release/deps/libbertscope_check-60f5a71b97dea846.rmeta: crates/check/src/lib.rs crates/check/src/finding.rs crates/check/src/rules.rs crates/check/src/config_checks.rs crates/check/src/conservation.rs crates/check/src/dataflow.rs crates/check/src/phase.rs crates/check/src/scaler.rs
 
 crates/check/src/lib.rs:
 crates/check/src/finding.rs:
@@ -11,3 +11,4 @@ crates/check/src/config_checks.rs:
 crates/check/src/conservation.rs:
 crates/check/src/dataflow.rs:
 crates/check/src/phase.rs:
+crates/check/src/scaler.rs:

@@ -1,12 +1,15 @@
-/root/repo/target/release/deps/bertscope_train-90f8bb678d953dd9.d: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/data.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/trainer.rs
+/root/repo/target/release/deps/bertscope_train-90f8bb678d953dd9.d: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/checkpoint.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/scaler.rs crates/train/src/trainer.rs
 
-/root/repo/target/release/deps/libbertscope_train-90f8bb678d953dd9.rlib: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/data.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/trainer.rs
+/root/repo/target/release/deps/libbertscope_train-90f8bb678d953dd9.rlib: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/checkpoint.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/scaler.rs crates/train/src/trainer.rs
 
-/root/repo/target/release/deps/libbertscope_train-90f8bb678d953dd9.rmeta: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/data.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/trainer.rs
+/root/repo/target/release/deps/libbertscope_train-90f8bb678d953dd9.rmeta: crates/train/src/lib.rs crates/train/src/bert.rs crates/train/src/checkpoint.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/layer.rs crates/train/src/optim.rs crates/train/src/scaler.rs crates/train/src/trainer.rs
 
 crates/train/src/lib.rs:
 crates/train/src/bert.rs:
+crates/train/src/checkpoint.rs:
 crates/train/src/data.rs:
+crates/train/src/error.rs:
 crates/train/src/layer.rs:
 crates/train/src/optim.rs:
+crates/train/src/scaler.rs:
 crates/train/src/trainer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/train_tiny_bert-d229c23f4ee896c5.d: examples/train_tiny_bert.rs
+
+/root/repo/target/release/examples/train_tiny_bert-d229c23f4ee896c5: examples/train_tiny_bert.rs
+
+examples/train_tiny_bert.rs:

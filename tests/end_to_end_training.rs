@@ -4,8 +4,10 @@
 
 use bertscope_dist::ring_allreduce_mean;
 use bertscope_model::{BertConfig, Precision};
-use bertscope_tensor::{Tensor, Tracer};
-use bertscope_train::{Bert, Lamb, ParamSlot, Sgd, SyntheticCorpus, TrainOptions};
+use bertscope_tensor::{FaultKind, FaultPlan, Tensor, Tracer};
+use bertscope_train::{
+    Bert, Lamb, LossScaler, ParamSlot, Sgd, SyntheticCorpus, TrainOptions, Trainer,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -53,28 +55,37 @@ fn mlm_and_nsp_losses_both_improve() {
 
 #[test]
 fn mixed_precision_training_also_learns() {
+    // Mixed precision now runs under the fault-tolerant trainer: a dynamic
+    // loss scaler supplies the scale, and an Inf injected into a gradient
+    // mid-run must be survivable — the step is skipped, the scale halves,
+    // and training keeps converging.
     let cfg = small_cfg();
     let corpus = SyntheticCorpus::new(cfg.vocab);
     let mut rng = StdRng::seed_from_u64(6);
     let batch = corpus.generate_batch(&mut rng, &cfg);
-    let opts =
-        TrainOptions { precision: Precision::Mixed, loss_scale: 128.0, ..TrainOptions::default() };
+    let opts = TrainOptions { precision: Precision::Mixed, ..TrainOptions::default() };
     let mut bert = Bert::new(cfg, opts, 2);
-    let mut opt = Lamb::new(0.03);
-    opt.grad_scale = 128.0;
+    let faults = FaultPlan::new().with(5, FaultKind::InfGradient { param: "l1.fc2.weight".into() });
+    let mut trainer = Trainer::new(Lamb::new(0.03), 1)
+        .with_scaler(LossScaler::dynamic(1024.0))
+        .with_faults(faults);
     let mut tr = Tracer::disabled();
     let mut first = 0.0;
     let mut last = 0.0;
-    for step in 0..16 {
-        let out = bert.train_step(&mut tr, &batch).unwrap();
+    for step in 0..17 {
+        let (out, result) =
+            trainer.micro_step(&mut tr, &mut bert, &batch).expect("overflow must be recoverable");
         assert!(out.loss.is_finite(), "step {step} diverged");
         if step == 0 {
             first = out.loss;
         }
-        last = out.loss;
-        let mut slots = bert.param_slots();
-        opt.step(&mut tr, &mut slots);
+        if result.updated() {
+            last = out.loss;
+        }
     }
+    assert_eq!(trainer.skipped_updates(), 1, "the injected Inf skips exactly one update");
+    assert_eq!(trainer.scaler().scale(), 512.0, "overflow halves the dynamic scale");
+    assert_eq!(trainer.updates(), 16);
     assert!(last < first - 0.3, "MP loss: {first} -> {last}");
 }
 
