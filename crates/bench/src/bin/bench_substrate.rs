@@ -1,0 +1,316 @@
+//! Tracked substrate benchmark: times the Fig. 6 GEMM shapes, a full
+//! training micro-step, and a 1M-parameter LAMB update on the *real*
+//! executing substrate (the worker pool), and emits a machine-readable
+//! `BENCH_substrate.json` so perf changes are visible in review.
+//!
+//! Modes:
+//!
+//! - default: best/mean of 3 iterations per shape, written to
+//!   `BENCH_substrate.json` (or `--out FILE`).
+//! - `--smoke`: 1 iteration per shape — cheap enough for CI.
+//! - `--check FILE`: instead of writing, compare this run against a
+//!   previously committed baseline file. Exits non-zero when the file is
+//!   malformed or any shared shape regressed by more than `--max-regression`
+//!   (default 2.0×).
+//!
+//! The JSON also carries the pre-pool *serial* baseline captured on the
+//! reference host before the parallel runtime landed, so the speedup from
+//! the pooled substrate stays auditable from the committed artifact alone.
+
+use bertscope_model::BertConfig;
+use bertscope_tensor::init::randn;
+use bertscope_tensor::{batched_gemm, gemm, pool, Tensor, Tracer, Transpose};
+use bertscope_train::{Bert, Lamb, ParamSlot, SyntheticCorpus, TrainOptions, Trainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Serial (pre-pool) best-of-3 timings on the reference host, in
+/// nanoseconds. Captured at the commit immediately before the worker pool
+/// landed; kept in the artifact so the parallel speedup is auditable.
+const SERIAL_BASELINE_NS: &[(&str, u64)] = &[
+    ("gemm_nn_512x1024x1024", 84_461_685),
+    ("gemm_nn_512x4096x1024", 353_614_615),
+    ("bgemm_nt_384x384x64_b256", 486_228_654),
+    ("bgemm_nn_384x64x384_b256", 406_905_504),
+    ("micro_step_tiny_bert", 386_691_354),
+    ("lamb_update_1m", 9_840_088),
+];
+
+struct Sample {
+    label: &'static str,
+    iters: u32,
+    best_ns: u64,
+    mean_ns: u64,
+}
+
+fn time_best<F: FnMut()>(label: &'static str, iters: u32, mut body: F) -> Sample {
+    let mut best = u64::MAX;
+    let mut total = 0u64;
+    for _ in 0..iters {
+        let t = Instant::now();
+        body();
+        let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        best = best.min(ns);
+        total += ns;
+    }
+    Sample { label, iters, best_ns: best, mean_ns: total / u64::from(iters.max(1)) }
+}
+
+fn run_all(iters: u32) -> Vec<Sample> {
+    let mut r = StdRng::seed_from_u64(42);
+    let mut samples = Vec::new();
+
+    // Fig. 6 shapes: attention projection, FC1, attention scores (Q·Kᵀ),
+    // attention context (scores·V).
+    let a = randn(&mut r, &[512, 1024], 1.0);
+    let b = randn(&mut r, &[1024, 1024], 0.05);
+    samples.push(time_best("gemm_nn_512x1024x1024", iters, || {
+        let _ = gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, None).unwrap();
+    }));
+    let w = randn(&mut r, &[1024, 4096], 0.05);
+    samples.push(time_best("gemm_nn_512x4096x1024", iters, || {
+        let _ = gemm(Transpose::No, Transpose::No, 1.0, &a, &w, 0.0, None).unwrap();
+    }));
+    let q = randn(&mut r, &[256, 384, 64], 1.0);
+    let k = randn(&mut r, &[256, 384, 64], 1.0);
+    samples.push(time_best("bgemm_nt_384x384x64_b256", iters, || {
+        let _ = batched_gemm(Transpose::No, Transpose::Yes, 1.0, &q, &k).unwrap();
+    }));
+    let s = randn(&mut r, &[256, 384, 384], 1.0);
+    let v = randn(&mut r, &[256, 384, 64], 1.0);
+    samples.push(time_best("bgemm_nn_384x64x384_b256", iters, || {
+        let _ = batched_gemm(Transpose::No, Transpose::No, 1.0, &s, &v).unwrap();
+    }));
+
+    // Full training micro-step on a small BERT.
+    let cfg = BertConfig {
+        layers: 2,
+        d_model: 128,
+        heads: 8,
+        d_ff: 512,
+        vocab: 1000,
+        max_position: 128,
+        seq_len: 128,
+        batch: 8,
+    };
+    let corpus = SyntheticCorpus::new(cfg.vocab);
+    let mut rng = StdRng::seed_from_u64(1);
+    let batch = corpus.generate_batch(&mut rng, &cfg);
+    let mut bert = Bert::new(cfg, TrainOptions::default(), 3);
+    let mut trainer = Trainer::new(Lamb::new(0.001), 1);
+    samples.push(time_best("micro_step_tiny_bert", iters, || {
+        let mut tr = Tracer::disabled();
+        trainer.micro_step(&mut tr, &mut bert, &batch).unwrap();
+    }));
+
+    // LAMB update over 1M parameters (the optimizer hot loop).
+    let n = 1 << 20;
+    let mut wt = Tensor::ones(&[n]);
+    let g = Tensor::full(&[n], 0.01);
+    let mut opt = Lamb::new(0.001);
+    samples.push(time_best("lamb_update_1m", iters, || {
+        let mut tr = Tracer::disabled();
+        opt.step(&mut tr, &mut [ParamSlot { name: "l0.w", value: &mut wt, grad: &g }]);
+    }));
+
+    samples
+}
+
+fn render_json(mode: &str, samples: &[Sample]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"bertscope-bench-substrate-v1\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"pool_threads\": {},", pool::configured_threads());
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let _ = writeln!(out, "  \"host_parallelism\": {host},");
+    out.push_str("  \"shapes\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"label\": \"{}\", \"iters\": {}, \"best_ns\": {}, \"mean_ns\": {}}}",
+            s.label, s.iters, s.best_ns, s.mean_ns
+        );
+        out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"serial_baseline_ns\": {\n");
+    for (i, (label, ns)) in SERIAL_BASELINE_NS.iter().enumerate() {
+        let _ = write!(out, "    \"{label}\": {ns}");
+        out.push_str(if i + 1 < SERIAL_BASELINE_NS.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Pull `(label, best_ns)` pairs out of a baseline document with a scan —
+/// enough structure-checking to catch a truncated or hand-mangled file
+/// without a JSON parser.
+fn parse_baseline(doc: &str) -> Result<Vec<(String, u64)>, String> {
+    if !doc.contains("\"schema\": \"bertscope-bench-substrate-v1\"") {
+        return Err("missing or unexpected schema marker".into());
+    }
+    let shapes_at =
+        doc.find("\"shapes\"").ok_or_else(|| String::from("missing \"shapes\" section"))?;
+    let mut entries = Vec::new();
+    let mut rest = &doc[shapes_at..];
+    while let Some(at) = rest.find("\"label\": \"") {
+        rest = &rest[at + "\"label\": \"".len()..];
+        let end = rest.find('"').ok_or_else(|| String::from("unterminated label"))?;
+        let label = rest[..end].to_string();
+        let at = rest
+            .find("\"best_ns\": ")
+            .ok_or_else(|| format!("shape {label} has no best_ns field"))?;
+        rest = &rest[at + "\"best_ns\": ".len()..];
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        let ns = digits.parse::<u64>().map_err(|_| format!("shape {label}: bad best_ns"))?;
+        if ns == 0 {
+            return Err(format!("shape {label}: best_ns is zero"));
+        }
+        entries.push((label, ns));
+        // Stop at the serial-baseline section: its keys are not shapes.
+        if let Some(stop) = rest.find("\"serial_baseline_ns\"") {
+            if rest[..stop].find("\"label\": \"").is_none() {
+                break;
+            }
+        }
+    }
+    if entries.is_empty() {
+        return Err("no shapes found in baseline".into());
+    }
+    Ok(entries)
+}
+
+fn check(baseline_path: &str, samples: &[Sample], max_regression: f64) -> Result<(), String> {
+    let doc = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
+    let baseline = parse_baseline(&doc)?;
+    let mut failures = Vec::new();
+    for (label, base_ns) in &baseline {
+        let Some(now) = samples.iter().find(|s| s.label == *label) else {
+            failures.push(format!("baseline shape {label} is no longer benchmarked"));
+            continue;
+        };
+        #[allow(clippy::cast_precision_loss)]
+        let ratio = now.best_ns as f64 / *base_ns as f64;
+        println!(
+            "{label}: baseline {base_ns} ns, now {} ns ({ratio:.2}x{})",
+            now.best_ns,
+            if ratio > max_regression { " — REGRESSION" } else { "" }
+        );
+        if ratio > max_regression {
+            failures.push(format!("{label} regressed {ratio:.2}x (limit {max_regression:.2}x)"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut max_regression = 2.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next(),
+            "--check" => check_path = args.next(),
+            "--max-regression" => {
+                max_regression = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-regression needs a numeric factor");
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: bench_substrate [--smoke] [--out FILE] \
+                     [--check FILE] [--max-regression FACTOR]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mode = if smoke { "smoke" } else { "full" };
+    let iters = if smoke { 1 } else { 3 };
+    eprintln!("bench_substrate: mode={mode} pool_threads={}", pool::configured_threads());
+    let samples = run_all(iters);
+    for s in &samples {
+        eprintln!(
+            "  {}: best {} ns, mean {} ns ({} iters)",
+            s.label, s.best_ns, s.mean_ns, s.iters
+        );
+    }
+
+    if let Some(path) = &check_path {
+        if let Err(msg) = check(path, &samples, max_regression) {
+            eprintln!("bench_substrate check FAILED: {msg}");
+            return ExitCode::FAILURE;
+        }
+        println!("bench_substrate check passed against {path}");
+    }
+    // Checking compares against the committed artifact, so it only
+    // overwrites when --out is explicit.
+    let write_to = out_path.or_else(|| {
+        if check_path.is_none() {
+            Some(String::from("BENCH_substrate.json"))
+        } else {
+            None
+        }
+    });
+    if let Some(path) = write_to {
+        if let Err(e) = std::fs::write(&path, render_json(mode, &samples)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc_for(samples: &[Sample]) -> String {
+        render_json("full", samples)
+    }
+
+    #[test]
+    fn rendered_json_roundtrips_through_the_checker() {
+        let samples = vec![
+            Sample { label: "gemm_nn_512x1024x1024", iters: 3, best_ns: 100, mean_ns: 120 },
+            Sample { label: "lamb_update_1m", iters: 3, best_ns: 50, mean_ns: 55 },
+        ];
+        let parsed = parse_baseline(&doc_for(&samples)).unwrap();
+        assert_eq!(
+            parsed,
+            vec![("gemm_nn_512x1024x1024".into(), 100), ("lamb_update_1m".into(), 50)]
+        );
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(parse_baseline("{}").is_err(), "missing schema");
+        let no_shapes = "{\"schema\": \"bertscope-bench-substrate-v1\"}";
+        assert!(parse_baseline(no_shapes).is_err(), "missing shapes");
+        let zero = "{\n  \"schema\": \"bertscope-bench-substrate-v1\",\n  \"shapes\": [\n    \
+                    {\"label\": \"x\", \"iters\": 1, \"best_ns\": 0, \"mean_ns\": 0}\n  ]\n}";
+        assert!(parse_baseline(zero).is_err(), "zero best_ns");
+    }
+
+    #[test]
+    fn serial_baseline_keys_are_not_parsed_as_shapes() {
+        let samples =
+            vec![Sample { label: "micro_step_tiny_bert", iters: 3, best_ns: 42, mean_ns: 42 }];
+        let parsed = parse_baseline(&doc_for(&samples)).unwrap();
+        assert_eq!(parsed.len(), 1);
+    }
+}

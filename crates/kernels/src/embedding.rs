@@ -7,7 +7,17 @@
 
 use crate::ctx::KernelCtx;
 use crate::Result;
-use bertscope_tensor::{OpKind, Tensor, TensorError, Tracer};
+use bertscope_tensor::{pool, OpKind, Tensor, TensorError, Tracer};
+use std::collections::BTreeMap;
+
+/// Elements per pool task for the gather/scatter loops (shape-only grain,
+/// so chunking and results never depend on the thread count).
+const EMB_GRAIN_ELEMS: usize = 1 << 13;
+
+/// Embedding rows of width `d` per pool task (at least one).
+fn emb_rows_grain(d: usize) -> usize {
+    (EMB_GRAIN_ELEMS / d.max(1)).max(1)
+}
 
 /// Gather rows of `table` (`[vocab, d]`) at `ids`, producing `[ids.len(), d]`.
 ///
@@ -21,15 +31,19 @@ pub fn embedding_fwd(
     ids: &[usize],
 ) -> Result<Tensor> {
     let (vocab, d) = (table.dims()[0], table.dims()[1]);
-    let mut out = Vec::with_capacity(ids.len() * d);
-    for &id in ids {
-        if id >= vocab {
-            return Err(TensorError::InvalidArgument(format!(
-                "embedding id {id} out of range for vocab {vocab}"
-            )));
-        }
-        out.extend_from_slice(&table.as_slice()[id * d..(id + 1) * d]);
+    if let Some(&bad) = ids.iter().find(|&&id| id >= vocab) {
+        return Err(TensorError::InvalidArgument(format!(
+            "embedding id {bad} out of range for vocab {vocab}"
+        )));
     }
+    let mut out = vec![0.0f32; ids.len() * d];
+    let src = table.as_slice();
+    pool::parallel_for_mut(&mut out, emb_rows_grain(d) * d, |off, chunk| {
+        for (rr, orow) in chunk.chunks_mut(d).enumerate() {
+            let id = ids[off / d + rr];
+            orow.copy_from_slice(&src[id * d..(id + 1) * d]);
+        }
+    });
     let y = Tensor::from_vec(out, &[ids.len(), d])?;
     let es = ctx.dtype_of().size_bytes();
     let moved = (ids.len() * d) as u64 * es;
@@ -55,19 +69,51 @@ pub fn embedding_bwd(
     if dy.dims() != [ids.len(), d] {
         return Err(TensorError::shape("embedding_bwd", &[ids.len(), d], dy.dims()));
     }
-    let mut grad = Tensor::zeros(&[vocab, d]);
-    for (row, &id) in ids.iter().enumerate() {
-        if id >= vocab {
-            return Err(TensorError::InvalidArgument(format!(
-                "embedding id {id} out of range for vocab {vocab}"
-            )));
-        }
-        let src = &dy.as_slice()[row * d..(row + 1) * d];
-        let dst = &mut grad.as_mut_slice()[id * d..(id + 1) * d];
-        for (g, &v) in dst.iter_mut().zip(src) {
-            *g += v;
-        }
+    if let Some(&bad) = ids.iter().find(|&&id| id >= vocab) {
+        return Err(TensorError::InvalidArgument(format!(
+            "embedding id {bad} out of range for vocab {vocab}"
+        )));
     }
+    let mut grad = Tensor::zeros(&[vocab, d]);
+    // Group source rows by destination id. Rows for the same id accumulate
+    // in ascending source order (the same order the serial loop used), and
+    // distinct ids write disjoint table rows — so the scatter parallelizes
+    // with bit-identical results at any thread count.
+    let mut by_id: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (row, &id) in ids.iter().enumerate() {
+        by_id.entry(id).or_default().push(row);
+    }
+    // Carve the touched table rows out of `grad` as disjoint mutable
+    // slices, in ascending id order.
+    let mut dst_rows: Vec<(&mut [f32], &Vec<usize>)> = Vec::with_capacity(by_id.len());
+    let mut rest = grad.as_mut_slice();
+    let mut consumed = 0usize;
+    for (&id, rows) in &by_id {
+        let (_, tail) = rest.split_at_mut(id * d - consumed);
+        let (dst, tail) = tail.split_at_mut(d);
+        dst_rows.push((dst, rows));
+        rest = tail;
+        consumed = (id + 1) * d;
+    }
+    let dys = dy.as_slice();
+    let grain = emb_rows_grain(d);
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = dst_rows
+        .chunks_mut(grain)
+        .map(|group| {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                for (dst, rows) in group.iter_mut() {
+                    for &row in rows.iter() {
+                        let src = &dys[row * d..(row + 1) * d];
+                        for (g, &v) in dst.iter_mut().zip(src) {
+                            *g += v;
+                        }
+                    }
+                }
+            });
+            task
+        })
+        .collect();
+    pool::run_tasks(tasks);
     let es = ctx.dtype_of().size_bytes();
     let moved = (ids.len() * d) as u64 * es;
     ctx.trace(

@@ -6,7 +6,17 @@
 
 use crate::ctx::KernelCtx;
 use crate::Result;
-use bertscope_tensor::{OpKind, Tensor, TensorError, Tracer};
+use bertscope_tensor::{pool, OpKind, Tensor, TensorError, Tracer};
+
+/// Elements per pool task for row-parallel norm kernels. Derived from the
+/// problem shape only, so chunk boundaries — and results — are identical at
+/// any thread count.
+const NORM_GRAIN_ELEMS: usize = 1 << 13;
+
+/// Rows per pool task for rows of `len` elements (at least one).
+fn rows_grain(len: usize) -> usize {
+    (NORM_GRAIN_ELEMS / len.max(1)).max(1)
+}
 
 /// Interpret a tensor as rows of its last axis: `(rows, row_len)`.
 fn rows_of(x: &Tensor) -> Result<(usize, usize)> {
@@ -26,23 +36,28 @@ fn rows_of(x: &Tensor) -> Result<(usize, usize)> {
 ///
 /// Returns an error for rank-0 or zero-length-row tensors.
 pub fn softmax_fwd(tracer: &mut Tracer, ctx: &KernelCtx, x: &Tensor) -> Result<Tensor> {
-    let (rows, len) = rows_of(x)?;
+    let (_, len) = rows_of(x)?;
     let mut out = vec![0.0f32; x.numel()];
     let xs = x.as_slice();
-    for r in 0..rows {
-        let row = &xs[r * len..(r + 1) * len];
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f64;
-        for (o, &v) in out[r * len..(r + 1) * len].iter_mut().zip(row) {
-            let e = (v - max).exp();
-            *o = e;
-            sum += f64::from(e);
+    // Each row's math is self-contained, so row chunks parallelize with
+    // bit-identical results at any pool size.
+    pool::parallel_for_mut(&mut out, rows_grain(len) * len, |off, chunk| {
+        for (rr, orow) in chunk.chunks_mut(len).enumerate() {
+            let r = off / len + rr;
+            let row = &xs[r * len..(r + 1) * len];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f64;
+            for (o, &v) in orow.iter_mut().zip(row) {
+                let e = (v - max).exp();
+                *o = e;
+                sum += f64::from(e);
+            }
+            let inv = (1.0 / sum) as f32;
+            for o in orow {
+                *o *= inv;
+            }
         }
-        let inv = (1.0 / sum) as f32;
-        for o in &mut out[r * len..(r + 1) * len] {
-            *o *= inv;
-        }
-    }
+    });
     let mut y = Tensor::from_vec(out, x.dims())?;
     if ctx.dtype_of().is_half() {
         y = y.to_dtype(ctx.dtype_of());
@@ -69,18 +84,21 @@ pub fn softmax_bwd(
     if y.dims() != dy.dims() {
         return Err(TensorError::shape("softmax_bwd", y.dims(), dy.dims()));
     }
-    let (rows, len) = rows_of(y)?;
+    let (_, len) = rows_of(y)?;
     let mut out = vec![0.0f32; y.numel()];
     let ys = y.as_slice();
     let dys = dy.as_slice();
-    for r in 0..rows {
-        let yr = &ys[r * len..(r + 1) * len];
-        let dyr = &dys[r * len..(r + 1) * len];
-        let dot: f64 = yr.iter().zip(dyr).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
-        for ((o, &yv), &dyv) in out[r * len..(r + 1) * len].iter_mut().zip(yr).zip(dyr) {
-            *o = yv * (dyv - dot as f32);
+    pool::parallel_for_mut(&mut out, rows_grain(len) * len, |off, chunk| {
+        for (rr, orow) in chunk.chunks_mut(len).enumerate() {
+            let r = off / len + rr;
+            let yr = &ys[r * len..(r + 1) * len];
+            let dyr = &dys[r * len..(r + 1) * len];
+            let dot: f64 = yr.iter().zip(dyr).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+            for ((o, &yv), &dyv) in orow.iter_mut().zip(yr).zip(dyr) {
+                *o = yv * (dyv - dot as f32);
+            }
         }
-    }
+    });
     let dx = Tensor::from_vec(out, y.dims())?;
     let es = ctx.dtype_of().size_bytes();
     let n = y.numel() as u64;
@@ -122,17 +140,33 @@ pub fn layernorm_fwd(
     let mut out = vec![0.0f32; x.numel()];
     let mut mean = vec![0.0f32; rows];
     let mut rstd = vec![0.0f32; rows];
-    for r in 0..rows {
-        let row = &xs[r * len..(r + 1) * len];
-        let mu = row.iter().map(|&v| f64::from(v)).sum::<f64>() / len as f64;
-        let var = row.iter().map(|&v| (f64::from(v) - mu).powi(2)).sum::<f64>() / len as f64;
-        let rs = 1.0 / (var + f64::from(eps)).sqrt();
-        mean[r] = mu as f32;
-        rstd[r] = rs as f32;
-        for (j, (o, &v)) in out[r * len..(r + 1) * len].iter_mut().zip(row).enumerate() {
-            *o = ((f64::from(v) - mu) * rs) as f32 * g[j] + b[j];
-        }
-    }
+    let grain = rows_grain(len);
+    // Row chunks carry three outputs (values, mean, rstd), so build the
+    // task list by zipping matching chunks of all three buffers.
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .chunks_mut(grain * len)
+        .zip(mean.chunks_mut(grain).zip(rstd.chunks_mut(grain)))
+        .enumerate()
+        .map(|(ci, (ochunk, (mchunk, rchunk)))| {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                for (rr, orow) in ochunk.chunks_mut(len).enumerate() {
+                    let r = ci * grain + rr;
+                    let row = &xs[r * len..(r + 1) * len];
+                    let mu = row.iter().map(|&v| f64::from(v)).sum::<f64>() / len as f64;
+                    let var =
+                        row.iter().map(|&v| (f64::from(v) - mu).powi(2)).sum::<f64>() / len as f64;
+                    let rs = 1.0 / (var + f64::from(eps)).sqrt();
+                    mchunk[rr] = mu as f32;
+                    rchunk[rr] = rs as f32;
+                    for (j, (o, &v)) in orow.iter_mut().zip(row).enumerate() {
+                        *o = ((f64::from(v) - mu) * rs) as f32 * g[j] + b[j];
+                    }
+                }
+            });
+            task
+        })
+        .collect();
+    pool::run_tasks(tasks);
     let mut y = Tensor::from_vec(out, x.dims())?;
     if ctx.dtype_of().is_half() {
         y = y.to_dtype(ctx.dtype_of());
@@ -171,29 +205,55 @@ pub fn layernorm_bwd(
     let mut dx = vec![0.0f32; x.numel()];
     let mut dgamma = vec![0.0f32; len];
     let mut dbeta = vec![0.0f32; len];
-    for r in 0..rows {
-        let row = &xs[r * len..(r + 1) * len];
-        let dyr = &dys[r * len..(r + 1) * len];
-        let mu = f64::from(state.mean[r]);
-        let rs = f64::from(state.rstd[r]);
-        // xhat and the two row means needed by the dx formula.
-        let mut mean_dxhat = 0.0f64;
-        let mut mean_dxhat_xhat = 0.0f64;
-        let mut xhat = vec![0.0f64; len];
+    let grain = rows_grain(len);
+    // dgamma/dbeta reduce across rows: each chunk accumulates into its own
+    // partial, and partials are merged serially in chunk order below, so
+    // the association order is a function of the shape alone (bit-identical
+    // at any thread count).
+    let chunk_count = rows.div_ceil(grain);
+    let mut partials: Vec<(Vec<f32>, Vec<f32>)> = Vec::with_capacity(chunk_count);
+    partials.resize_with(chunk_count, || (vec![0.0f32; len], vec![0.0f32; len]));
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = dx
+        .chunks_mut(grain * len)
+        .zip(partials.iter_mut())
+        .enumerate()
+        .map(|(ci, (dxchunk, (pgamma, pbeta)))| {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                for (rr, dxrow) in dxchunk.chunks_mut(len).enumerate() {
+                    let r = ci * grain + rr;
+                    let row = &xs[r * len..(r + 1) * len];
+                    let dyr = &dys[r * len..(r + 1) * len];
+                    let mu = f64::from(state.mean[r]);
+                    let rs = f64::from(state.rstd[r]);
+                    // xhat and the two row means needed by the dx formula.
+                    let mut mean_dxhat = 0.0f64;
+                    let mut mean_dxhat_xhat = 0.0f64;
+                    let mut xhat = vec![0.0f64; len];
+                    for j in 0..len {
+                        let xh = (f64::from(row[j]) - mu) * rs;
+                        xhat[j] = xh;
+                        let dxh = f64::from(dyr[j]) * f64::from(g[j]);
+                        mean_dxhat += dxh;
+                        mean_dxhat_xhat += dxh * xh;
+                        pgamma[j] += (f64::from(dyr[j]) * xh) as f32;
+                        pbeta[j] += dyr[j];
+                    }
+                    mean_dxhat /= len as f64;
+                    mean_dxhat_xhat /= len as f64;
+                    for (j, o) in dxrow.iter_mut().enumerate() {
+                        let dxh = f64::from(dyr[j]) * f64::from(g[j]);
+                        *o = (rs * (dxh - mean_dxhat - xhat[j] * mean_dxhat_xhat)) as f32;
+                    }
+                }
+            });
+            task
+        })
+        .collect();
+    pool::run_tasks(tasks);
+    for (pgamma, pbeta) in &partials {
         for j in 0..len {
-            let xh = (f64::from(row[j]) - mu) * rs;
-            xhat[j] = xh;
-            let dxh = f64::from(dyr[j]) * f64::from(g[j]);
-            mean_dxhat += dxh;
-            mean_dxhat_xhat += dxh * xh;
-            dgamma[j] += (f64::from(dyr[j]) * xh) as f32;
-            dbeta[j] += dyr[j];
-        }
-        mean_dxhat /= len as f64;
-        mean_dxhat_xhat /= len as f64;
-        for j in 0..len {
-            let dxh = f64::from(dyr[j]) * f64::from(g[j]);
-            dx[r * len + j] = (rs * (dxh - mean_dxhat - xhat[j] * mean_dxhat_xhat)) as f32;
+            dgamma[j] += pgamma[j];
+            dbeta[j] += pbeta[j];
         }
     }
     let dx = Tensor::from_vec(dx, x.dims())?;

@@ -7,8 +7,10 @@
 //! [`DType`](crate::DType).
 
 use crate::error::TensorError;
+use crate::pool;
 use crate::tensor::Tensor;
 use crate::Result;
+use std::borrow::Cow;
 
 /// Whether an operand is transposed, i.e. the `transA`/`transB` flags of the
 /// classic BLAS interface. The paper labels its GEMMs `(transposeA,
@@ -36,8 +38,20 @@ impl Transpose {
 /// Tile edge used by the blocked inner kernel.
 const BLOCK: usize = 32;
 /// Work threshold (in multiply-accumulates) above which rows are split
-/// across threads.
+/// across the worker pool.
 const PARALLEL_THRESHOLD: usize = 1 << 21;
+/// Target multiply-accumulates per pool task. The row grain derived from
+/// this depends only on the problem shape — never on the thread count — so
+/// chunk boundaries (and therefore results) are identical at any pool size.
+const GRAIN_MACS: usize = 1 << 18;
+/// Batch count at or above which `batched_gemm` parallelizes across whole
+/// slices only (one task per slice) instead of also splitting rows.
+const BATCH_SLICE_PARALLEL: usize = 8;
+
+/// Rows per pool task for an `m x n x k` GEMM, derived only from the shape.
+fn row_grain(m: usize, n: usize, k: usize) -> usize {
+    (GRAIN_MACS / (n * k).max(1)).clamp(1, m.max(1))
+}
 
 /// Compute `alpha * op(A) * op(B) + beta * C` for 2-D tensors.
 ///
@@ -140,21 +154,47 @@ pub fn batched_gemm(
     let mut out = vec![0.0f32; batch * m * n];
     let a_dims2 = [a.dims()[1], a.dims()[2]];
     let b_dims2 = [b.dims()[1], b.dims()[2]];
-    for (i, chunk) in out.chunks_mut(m * n).enumerate() {
-        gemm_into(
-            ta,
-            tb,
-            alpha,
-            &a.as_slice()[i * a_stride..(i + 1) * a_stride],
-            &a_dims2,
-            &b.as_slice()[i * b_stride..(i + 1) * b_stride],
-            &b_dims2,
-            chunk,
-            m,
-            n,
-            ka,
-        );
-        debug_assert!(i < batch);
+    if batch * m * n * ka >= PARALLEL_THRESHOLD {
+        // Parallelize across batch x row-chunks: this is the `B*h`-wide
+        // attention shape of the paper (§3.2.2), where the batch dimension
+        // alone usually saturates the pool. Rows are split further only for
+        // small batches — a shape-only rule, so chunking (and bits) never
+        // depends on the thread count.
+        let grain = if batch >= BATCH_SLICE_PARALLEL { m } else { row_grain(m, n, ka) };
+        let a_sl = a.as_slice();
+        let b_sl = b.as_slice();
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
+            Vec::with_capacity(batch * m.div_ceil(grain));
+        for (i, slice_out) in out.chunks_mut(m * n).enumerate() {
+            let a_s = &a_sl[i * a_stride..(i + 1) * a_stride];
+            let b_s = &b_sl[i * b_stride..(i + 1) * b_stride];
+            for (ci, chunk) in slice_out.chunks_mut(grain * n).enumerate() {
+                tasks.push(Box::new(move || {
+                    let ap = pack(a_s, &a_dims2, ta);
+                    let bp = pack(b_s, &b_dims2, tb);
+                    let row0 = ci * grain;
+                    let rows = chunk.len() / n;
+                    kernel(alpha, &ap[row0 * ka..(row0 + rows) * ka], &bp, chunk, rows, n, ka);
+                }));
+            }
+        }
+        pool::run_tasks(tasks);
+    } else {
+        for (i, chunk) in out.chunks_mut(m * n).enumerate() {
+            gemm_into(
+                ta,
+                tb,
+                alpha,
+                &a.as_slice()[i * a_stride..(i + 1) * a_stride],
+                &a_dims2,
+                &b.as_slice()[i * b_stride..(i + 1) * b_stride],
+                &b_dims2,
+                chunk,
+                m,
+                n,
+                ka,
+            );
+        }
     }
     let mut t = Tensor::from_vec(out, &[batch, m, n])?;
     let dt = a.dtype();
@@ -171,10 +211,12 @@ fn op_dims(rows: usize, cols: usize, t: Transpose) -> (usize, usize) {
     }
 }
 
-/// Pack `op(X)` into a freshly-allocated row-major buffer of `rows x cols`.
-fn pack(x: &[f32], dims: &[usize; 2], t: Transpose) -> Vec<f32> {
+/// Pack `op(X)` as a row-major `rows x cols` buffer. Untransposed operands
+/// are already in that layout, so they are borrowed as-is (zero-copy); only
+/// `Transpose::Yes` operands are materialized into a transposed copy.
+fn pack<'x>(x: &'x [f32], dims: &[usize; 2], t: Transpose) -> Cow<'x, [f32]> {
     match t {
-        Transpose::No => x.to_vec(),
+        Transpose::No => Cow::Borrowed(x),
         Transpose::Yes => {
             let (r, c) = (dims[0], dims[1]);
             let mut out = vec![0.0f32; r * c];
@@ -183,12 +225,17 @@ fn pack(x: &[f32], dims: &[usize; 2], t: Transpose) -> Vec<f32> {
                     out[j * r + i] = x[i * c + j];
                 }
             }
-            out
+            Cow::Owned(out)
         }
     }
 }
 
 /// Accumulate `alpha * op(A) * op(B)` into `out` (`m x n`, row-major).
+///
+/// Large problems are split into row chunks executed on the persistent
+/// worker pool; each output row is produced by exactly one chunk with an
+/// accumulation order independent of the chunking, so results are
+/// bit-identical to the serial path at any thread count.
 #[allow(clippy::too_many_arguments)]
 fn gemm_into(
     ta: Transpose,
@@ -205,32 +252,17 @@ fn gemm_into(
 ) {
     let a_packed = pack(a, &[a_dims[0], a_dims[1]], ta);
     let b_packed = pack(b, &[b_dims[0], b_dims[1]], tb);
-    let work = m * n * k;
-    if work >= PARALLEL_THRESHOLD && m >= 2 {
-        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        let threads = threads.min(m).max(1);
-        let rows_per = m.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (chunk_idx, out_chunk) in out.chunks_mut(rows_per * n).enumerate() {
-                let a_ref = &a_packed;
-                let b_ref = &b_packed;
-                scope.spawn(move || {
-                    let row0 = chunk_idx * rows_per;
-                    let rows = out_chunk.len() / n;
-                    kernel(
-                        alpha,
-                        &a_ref[row0 * k..(row0 + rows) * k],
-                        b_ref,
-                        out_chunk,
-                        rows,
-                        n,
-                        k,
-                    );
-                });
-            }
+    let a_packed: &[f32] = &a_packed;
+    let b_packed: &[f32] = &b_packed;
+    if m * n * k >= PARALLEL_THRESHOLD && m >= 2 {
+        let grain = row_grain(m, n, k);
+        pool::parallel_for_mut(out, grain * n, |offset, chunk| {
+            let row0 = offset / n;
+            let rows = chunk.len() / n;
+            kernel(alpha, &a_packed[row0 * k..(row0 + rows) * k], b_packed, chunk, rows, n, k);
         });
     } else {
-        kernel(alpha, &a_packed, &b_packed, out, m, n, k);
+        kernel(alpha, a_packed, b_packed, out, m, n, k);
     }
 }
 

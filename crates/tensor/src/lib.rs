@@ -10,6 +10,9 @@
 //! * [`gemm()`](gemm())/[`batched_gemm`] — blocked general matrix multiplication with
 //!   transpose support, the workhorse of every BERT layer;
 //! * elementwise and reduction primitives used by the NN kernels;
+//! * [`pool`] — a persistent worker pool with deterministically chunked
+//!   `parallel_for` helpers (the CPU stand-in for the GPU runtime's
+//!   multi-CU dispatch); results are bit-identical at any thread count;
 //! * [`trace`] — the operation tracer that records, for every kernel
 //!   invocation, its manifestation (GEMM / batched-GEMM / elementwise /
 //!   reduction), shape, FLOP count and bytes moved. The tracer plays the role
@@ -35,6 +38,7 @@ pub mod error;
 pub mod fault;
 pub mod gemm;
 pub mod init;
+pub mod pool;
 pub mod shape;
 pub mod tensor;
 pub mod trace;

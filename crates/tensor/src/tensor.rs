@@ -2,8 +2,15 @@
 
 use crate::dtype::DType;
 use crate::error::TensorError;
+use crate::pool;
 use crate::shape::Shape;
 use crate::Result;
+
+/// Elements per pool task for elementwise loops. A pure function of the
+/// problem size (never the thread count), so chunk boundaries — and thus
+/// results — are identical at any pool size. Small tensors stay on the
+/// calling thread (a single chunk runs inline).
+const ELEMWISE_GRAIN: usize = 1 << 15;
 
 /// A dense, row-major tensor.
 ///
@@ -157,7 +164,13 @@ impl Tensor {
     /// representation).
     #[must_use]
     pub fn to_dtype(&self, dtype: DType) -> Tensor {
-        let data = self.data.iter().map(|&x| dtype.quantize(x)).collect();
+        let mut data = vec![0.0f32; self.data.len()];
+        let src = &self.data;
+        pool::parallel_for_mut(&mut data, ELEMWISE_GRAIN, |off, chunk| {
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = dtype.quantize(src[off + i]);
+            }
+        });
         Tensor { data, shape: self.shape.clone(), dtype }
     }
 
@@ -165,9 +178,11 @@ impl Tensor {
     pub fn requantize(&mut self) {
         if self.dtype.is_half() {
             let dt = self.dtype;
-            for x in &mut self.data {
-                *x = dt.quantize(*x);
-            }
+            pool::parallel_for_mut(&mut self.data, ELEMWISE_GRAIN, |_, chunk| {
+                for x in chunk {
+                    *x = dt.quantize(*x);
+                }
+            });
         }
     }
 
@@ -211,10 +226,20 @@ impl Tensor {
 
     /// Apply `f` to every element, producing a new tensor (result quantized
     /// to this tensor's logical type).
+    ///
+    /// Large tensors are processed in parallel on the worker pool; each
+    /// element is computed independently, so results are bit-identical at
+    /// any thread count.
     #[must_use]
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let dt = self.dtype;
-        let data = self.data.iter().map(|&x| dt.quantize(f(x))).collect();
+        let mut data = vec![0.0f32; self.data.len()];
+        let src = &self.data;
+        pool::parallel_for_mut(&mut data, ELEMWISE_GRAIN, |off, chunk| {
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = dt.quantize(f(src[off + i]));
+            }
+        });
         Tensor { data, shape: self.shape.clone(), dtype: dt }
     }
 
@@ -223,12 +248,18 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
-    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Result<Tensor> {
         if self.shape != other.shape {
             return Err(TensorError::shape("zip_map", self.dims(), other.dims()));
         }
         let dt = self.dtype;
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| dt.quantize(f(a, b))).collect();
+        let mut data = vec![0.0f32; self.data.len()];
+        let (lhs, rhs) = (&self.data, &other.data);
+        pool::parallel_for_mut(&mut data, ELEMWISE_GRAIN, |off, chunk| {
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = dt.quantize(f(lhs[off + i], rhs[off + i]));
+            }
+        });
         Ok(Tensor { data, shape: self.shape.clone(), dtype: dt })
     }
 
@@ -275,9 +306,12 @@ impl Tensor {
             return Err(TensorError::shape("axpy", self.dims(), other.dims()));
         }
         let dt = self.dtype;
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a = dt.quantize(*a + alpha * b);
-        }
+        let rhs = &other.data;
+        pool::parallel_for_mut(&mut self.data, ELEMWISE_GRAIN, |off, chunk| {
+            for (i, a) in chunk.iter_mut().enumerate() {
+                *a = dt.quantize(*a + alpha * rhs[off + i]);
+            }
+        });
         Ok(())
     }
 
@@ -312,9 +346,17 @@ impl Tensor {
     }
 
     /// True when every element is finite.
+    ///
+    /// This is the loss-scaler's overflow check over every gradient, so
+    /// large tensors are scanned in parallel chunks (an exact predicate —
+    /// chunking cannot change the answer).
     #[must_use]
     pub fn all_finite(&self) -> bool {
-        self.data.iter().all(|x| x.is_finite())
+        pool::parallel_map(self.data.len(), ELEMWISE_GRAIN, |r| {
+            self.data[r].iter().all(|x| x.is_finite())
+        })
+        .into_iter()
+        .all(|ok| ok)
     }
 
     /// Maximum absolute difference against another tensor of the same shape.

@@ -357,6 +357,17 @@ impl OpRecord {
 /// A disabled tracer ([`Tracer::disabled`]) skips all bookkeeping so
 /// performance benchmarks of the substrate pay no tracing cost.
 ///
+/// # Concurrency
+///
+/// Tracing is deliberately confined to the thread that *launches* a kernel:
+/// pool workers (see [`crate::pool`]) execute chunk bodies that never touch
+/// the tracer, so [`Tracer::record`] stays a plain `&mut self` `Vec` push —
+/// no locks, no atomics, and no contention regardless of the pool size.
+/// One logical kernel is one record no matter how many chunks it was split
+/// into. The pool configuration that produced a trace is captured in
+/// [`Tracer::meta`] (keys `pool.threads` / `host.parallelism`) so profiles
+/// remain reproducible.
+///
 /// ```
 /// use bertscope_tensor::{Tracer, OpRecord, OpKind, Category, Phase, DType};
 /// let mut tr = Tracer::new();
@@ -378,19 +389,39 @@ impl OpRecord {
 pub struct Tracer {
     records: Vec<OpRecord>,
     enabled: bool,
+    meta: BTreeMap<String, String>,
 }
 
 impl Tracer {
-    /// A tracer that records every op.
+    /// A tracer that records every op, stamped with the execution-environment
+    /// metadata (worker-pool size, host parallelism) of the run.
     #[must_use]
     pub fn new() -> Self {
-        Tracer { records: Vec::new(), enabled: true }
+        let mut meta = BTreeMap::new();
+        meta.insert("pool.threads".to_string(), crate::pool::current_threads().to_string());
+        meta.insert(
+            "host.parallelism".to_string(),
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).to_string(),
+        );
+        Tracer { records: Vec::new(), enabled: true, meta }
     }
 
     /// A tracer that drops all records (zero overhead in hot loops).
     #[must_use]
     pub fn disabled() -> Self {
-        Tracer { records: Vec::new(), enabled: false }
+        Tracer { records: Vec::new(), enabled: false, meta: BTreeMap::new() }
+    }
+
+    /// Execution-environment metadata captured when the tracer was created
+    /// (e.g. `pool.threads`, `host.parallelism`).
+    #[must_use]
+    pub fn meta(&self) -> &BTreeMap<String, String> {
+        &self.meta
+    }
+
+    /// Attach or overwrite one metadata entry.
+    pub fn set_meta(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.meta.insert(key.into(), value.into());
     }
 
     /// Whether this tracer records.
@@ -606,6 +637,17 @@ mod tests {
         assert_eq!(tr.kernel_count(), 3);
         tr.clear();
         assert_eq!(tr.kernel_count(), 0);
+    }
+
+    #[test]
+    fn tracer_meta_records_pool_configuration() {
+        let tr = crate::pool::with_threads(3, Tracer::new);
+        assert_eq!(tr.meta()["pool.threads"], "3");
+        assert!(tr.meta().contains_key("host.parallelism"));
+        let mut tr = Tracer::new();
+        tr.set_meta("model", "bert-large");
+        assert_eq!(tr.meta()["model"], "bert-large");
+        assert!(Tracer::disabled().meta().is_empty());
     }
 
     #[test]

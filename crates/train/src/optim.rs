@@ -9,8 +9,31 @@
 use bertscope_model::graph::{
     ADAM_FLOPS_PER_PARAM, LAMB_STAGE1_FLOPS_PER_PARAM, LAMB_STAGE2_FLOPS_PER_PARAM,
 };
-use bertscope_tensor::{Category, DType, OpKind, OpRecord, Phase, Tensor, Tracer};
+use bertscope_tensor::{pool, Category, DType, OpKind, OpRecord, Phase, Tensor, Tracer};
 use std::collections::HashMap;
+
+/// Parameters per pool task for the optimizer loops. A pure function of the
+/// tensor size (never the thread count): chunk boundaries, and therefore the
+/// association order of every chunked reduction, are identical at any pool
+/// size, which preserves the bit-exact checkpoint/resume guarantee.
+const OPT_GRAIN: usize = 1 << 15;
+
+/// Chunked f64 sum-reduction over a gradient slice with a shape-only
+/// association order: per-chunk partials are folded in ascending chunk
+/// index on the calling thread.
+fn chunked_sq_sum(data: &[f32], scale: f64) -> f64 {
+    pool::parallel_map(data.len(), OPT_GRAIN, |r| {
+        data[r]
+            .iter()
+            .map(|&g| {
+                let g = f64::from(g) * scale;
+                g * g
+            })
+            .sum::<f64>()
+    })
+    .into_iter()
+    .sum()
+}
 
 /// Common interface of the suite's optimizers, for generic training loops.
 pub trait Optimizer {
@@ -195,19 +218,8 @@ impl Lamb {
         // global L2 norm exceeds one. This reduction serializes the update
         // against the whole backprop (paper Takeaway 7).
         let total_params: u64 = slots.iter().map(|s| s.grad.numel() as u64).sum();
-        let global_sq: f64 = slots
-            .iter()
-            .map(|s| {
-                s.grad
-                    .as_slice()
-                    .iter()
-                    .map(|&g| {
-                        let g = f64::from(g) * f64::from(inv_scale);
-                        g * g
-                    })
-                    .sum::<f64>()
-            })
-            .sum();
+        let global_sq: f64 =
+            slots.iter().map(|s| chunked_sq_sum(s.grad.as_slice(), f64::from(inv_scale))).sum();
         let global_norm = global_sq.sqrt() as f32;
         let clip = if global_norm > 1.0 { 1.0 / global_norm } else { 1.0 };
         tracer.record(update_rec(
@@ -239,29 +251,66 @@ impl Lamb {
                 .entry(s.name.to_owned())
                 .or_insert_with(|| Moments { m: vec![0.0; n], v: vec![0.0; n] });
             // Stage 1: update moments and form the update direction.
+            // Chunked over the pool; each chunk owns its slices of m/v/update
+            // and its own (w_sq, u_sq) partial, merged in chunk order below.
             let mut update = vec![0.0f32; n];
-            let mut w_sq = 0.0f64;
-            let mut u_sq = 0.0f64;
-            for i in 0..n {
-                let g = s.grad.as_slice()[i] * inv_scale * clip;
-                st.m[i] = self.beta1 * st.m[i] + (1.0 - self.beta1) * g;
-                st.v[i] = self.beta2 * st.v[i] + (1.0 - self.beta2) * g * g;
-                let m_hat = st.m[i] / bc1;
-                let v_hat = st.v[i] / bc2;
-                let u = m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * master[i];
-                update[i] = u;
-                w_sq += f64::from(master[i]) * f64::from(master[i]);
-                u_sq += f64::from(u) * f64::from(u);
-            }
+            let mut partials = vec![(0.0f64, 0.0f64); n.div_ceil(OPT_GRAIN)];
+            let gs = s.grad.as_slice();
+            let master_ro: &[f32] = master;
+            let (beta1, beta2, eps, wd) = (self.beta1, self.beta2, self.eps, self.weight_decay);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
+                st.m.chunks_mut(OPT_GRAIN)
+                    .zip(st.v.chunks_mut(OPT_GRAIN))
+                    .zip(update.chunks_mut(OPT_GRAIN))
+                    .zip(partials.iter_mut())
+                    .enumerate()
+                    .map(|(ci, (((mc, vc), uc), partial))| {
+                        let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                            let off = ci * OPT_GRAIN;
+                            let (mut w_sq, mut u_sq) = (0.0f64, 0.0f64);
+                            for i in 0..uc.len() {
+                                let g = gs[off + i] * inv_scale * clip;
+                                mc[i] = beta1 * mc[i] + (1.0 - beta1) * g;
+                                vc[i] = beta2 * vc[i] + (1.0 - beta2) * g * g;
+                                let m_hat = mc[i] / bc1;
+                                let v_hat = vc[i] / bc2;
+                                let w = master_ro[off + i];
+                                let u = m_hat / (v_hat.sqrt() + eps) + wd * w;
+                                uc[i] = u;
+                                w_sq += f64::from(w) * f64::from(w);
+                                u_sq += f64::from(u) * f64::from(u);
+                            }
+                            *partial = (w_sq, u_sq);
+                        });
+                        task
+                    })
+                    .collect();
+            pool::run_tasks(tasks);
+            let (w_sq, u_sq) =
+                partials.iter().fold((0.0f64, 0.0f64), |(ws, us), &(w, u)| (ws + w, us + u));
             // Stage 2: trust-ratio-scaled weight update.
             let w_norm = w_sq.sqrt() as f32;
             let u_norm = u_sq.sqrt() as f32;
             let trust = if w_norm > 0.0 && u_norm > 0.0 { w_norm / u_norm } else { 1.0 };
             let dt = s.value.dtype();
-            for i in 0..n {
-                master[i] -= self.lr * trust * update[i];
-                s.value.as_mut_slice()[i] = dt.quantize(master[i]);
-            }
+            let step_scale = self.lr * trust;
+            let update_ro: &[f32] = &update;
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = master
+                .chunks_mut(OPT_GRAIN)
+                .zip(s.value.as_mut_slice().chunks_mut(OPT_GRAIN))
+                .enumerate()
+                .map(|(ci, (mchunk, vchunk))| {
+                    let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                        let off = ci * OPT_GRAIN;
+                        for i in 0..mchunk.len() {
+                            mchunk[i] -= step_scale * update_ro[off + i];
+                            vchunk[i] = dt.quantize(mchunk[i]);
+                        }
+                    });
+                    task
+                })
+                .collect();
+            pool::run_tasks(tasks);
         }
 
         // Trace the two fused stages per group, matching the analytic graph.
@@ -364,16 +413,33 @@ impl Adam {
                 .entry(s.name.to_owned())
                 .or_insert_with(|| Moments { m: vec![0.0; n], v: vec![0.0; n] });
             let dt = s.value.dtype();
-            #[allow(clippy::needless_range_loop)]
-            for i in 0..n {
-                let g = s.grad.as_slice()[i] * inv_scale;
-                st.m[i] = self.beta1 * st.m[i] + (1.0 - self.beta1) * g;
-                st.v[i] = self.beta2 * st.v[i] + (1.0 - self.beta2) * g * g;
-                let m_hat = st.m[i] / bc1;
-                let v_hat = st.v[i] / bc2;
-                master[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-                s.value.as_mut_slice()[i] = dt.quantize(master[i]);
-            }
+            // One fused, chunk-parallel pass: every element is independent,
+            // so results are bit-identical at any pool size.
+            let gs = s.grad.as_slice();
+            let (beta1, beta2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
+                st.m.chunks_mut(OPT_GRAIN)
+                    .zip(st.v.chunks_mut(OPT_GRAIN))
+                    .zip(master.chunks_mut(OPT_GRAIN))
+                    .zip(s.value.as_mut_slice().chunks_mut(OPT_GRAIN))
+                    .enumerate()
+                    .map(|(ci, (((mc, vc), mstr), vals))| {
+                        let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                            let off = ci * OPT_GRAIN;
+                            for i in 0..vals.len() {
+                                let g = gs[off + i] * inv_scale;
+                                mc[i] = beta1 * mc[i] + (1.0 - beta1) * g;
+                                vc[i] = beta2 * vc[i] + (1.0 - beta2) * g * g;
+                                let m_hat = mc[i] / bc1;
+                                let v_hat = vc[i] / bc2;
+                                mstr[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+                                vals[i] = dt.quantize(mstr[i]);
+                            }
+                        });
+                        task
+                    })
+                    .collect();
+            pool::run_tasks(tasks);
             if self.fused {
                 let g = group_of(s.name);
                 match group_numel.iter_mut().find(|(name, _)| *name == g) {
@@ -504,9 +570,13 @@ impl Sgd {
         for s in slots.iter_mut() {
             let dt = s.value.dtype();
             let n = s.value.numel() as u64;
-            for (w, &g) in s.value.as_mut_slice().iter_mut().zip(s.grad.as_slice()) {
-                *w = dt.quantize(*w - self.lr * g * inv);
-            }
+            let gs = s.grad.as_slice();
+            let lr = self.lr;
+            pool::parallel_for_mut(s.value.as_mut_slice(), OPT_GRAIN, |off, chunk| {
+                for (i, w) in chunk.iter_mut().enumerate() {
+                    *w = dt.quantize(*w - lr * gs[off + i] * inv);
+                }
+            });
             tracer.record(update_rec(
                 format!("sgd.{}.update", s.name),
                 Category::LambStage2,

@@ -13,7 +13,7 @@
 //! itself to the tracer in [`Category::LossScale`], exactly where rocProf
 //! would see the `amp_update_scale` / `multi_tensor_scale` kernels.
 
-use bertscope_tensor::{Category, DType, OpKind, OpRecord, Phase, Tracer};
+use bertscope_tensor::{Category, DType, OpKind, OpRecord, Phase, Tensor, Tracer};
 
 /// Portable serialized form of a scaler (what checkpoints store).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -150,6 +150,19 @@ impl LossScaler {
         false
     }
 
+    /// Run the fused unscale + finiteness check over a window's gradients:
+    /// trace the reduction, then return `true` when every gradient element
+    /// is finite. The scan is chunk-parallel on the worker pool (via
+    /// [`Tensor::all_finite`]) — the CPU analogue of apex's multi-tensor
+    /// `unscale+isfinite` kernel, and an exact predicate, so chunking
+    /// cannot change the verdict.
+    #[must_use]
+    pub fn unscale_check(&self, tracer: &mut Tracer, grads: &[Tensor]) -> bool {
+        let total_params: u64 = grads.iter().map(|t| t.numel() as u64).sum();
+        self.trace_unscale_check(tracer, total_params);
+        grads.iter().all(Tensor::all_finite)
+    }
+
     /// Trace the fused unscale + finiteness reduction over `total_params`
     /// gradient elements: one multiply and one isfinite test per element,
     /// writing back the unscaled gradients plus a scalar found-inf flag.
@@ -276,6 +289,18 @@ mod tests {
         }
         assert_eq!(tr.records()[0].flops, 2000);
         assert!(tr.records()[1].name.contains("scaler.overflow"));
+    }
+
+    #[test]
+    fn unscale_check_traces_and_flags_non_finite_gradients() {
+        let s = LossScaler::dynamic(128.0);
+        let mut tr = Tracer::new();
+        let clean = [Tensor::ones(&[8]), Tensor::full(&[4], 0.5)];
+        assert!(s.unscale_check(&mut tr, &clean));
+        let poisoned = [Tensor::ones(&[8]), Tensor::full(&[4], f32::INFINITY)];
+        assert!(!s.unscale_check(&mut tr, &poisoned));
+        assert_eq!(tr.kernel_count(), 2);
+        assert_eq!(tr.records()[0].flops, 2 * 12, "traces the full element count");
     }
 
     #[test]

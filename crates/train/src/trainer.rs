@@ -212,9 +212,7 @@ impl<O: Optimizer> Trainer<O> {
         // Window close: average, unscale-check, then update or skip.
         let inv = 1.0 / self.pending as f32;
         let averaged: Vec<Tensor> = self.sums.iter().map(|t| t.scale(inv)).collect();
-        let total_params: u64 = averaged.iter().map(|t| t.numel() as u64).sum();
-        self.scaler.trace_unscale_check(tracer, total_params);
-        if averaged.iter().any(|t| !t.all_finite()) {
+        if !self.scaler.unscale_check(tracer, &averaged) {
             self.scaler.trace_overflow(tracer);
             self.scaler.on_overflow();
             self.sums.clear();

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_substrate-5910147433a3f23f.d: crates/bench/src/bin/bench_substrate.rs
+
+/root/repo/target/debug/deps/bench_substrate-5910147433a3f23f: crates/bench/src/bin/bench_substrate.rs
+
+crates/bench/src/bin/bench_substrate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_substrate-ed8dd2803c49e359.d: crates/bench/src/bin/bench_substrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_substrate-ed8dd2803c49e359.rmeta: crates/bench/src/bin/bench_substrate.rs Cargo.toml
+
+crates/bench/src/bin/bench_substrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/bertscope_tensor-15973be2b6c7ad77.d: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/error.rs crates/tensor/src/fault.rs crates/tensor/src/gemm.rs crates/tensor/src/init.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/trace.rs
+/root/repo/target/debug/deps/bertscope_tensor-15973be2b6c7ad77.d: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/error.rs crates/tensor/src/fault.rs crates/tensor/src/gemm.rs crates/tensor/src/init.rs crates/tensor/src/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/trace.rs
 
-/root/repo/target/debug/deps/bertscope_tensor-15973be2b6c7ad77: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/error.rs crates/tensor/src/fault.rs crates/tensor/src/gemm.rs crates/tensor/src/init.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/trace.rs
+/root/repo/target/debug/deps/bertscope_tensor-15973be2b6c7ad77: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/error.rs crates/tensor/src/fault.rs crates/tensor/src/gemm.rs crates/tensor/src/init.rs crates/tensor/src/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/trace.rs
 
 crates/tensor/src/lib.rs:
 crates/tensor/src/dtype.rs:
@@ -8,6 +8,7 @@ crates/tensor/src/error.rs:
 crates/tensor/src/fault.rs:
 crates/tensor/src/gemm.rs:
 crates/tensor/src/init.rs:
+crates/tensor/src/pool.rs:
 crates/tensor/src/shape.rs:
 crates/tensor/src/tensor.rs:
 crates/tensor/src/trace.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/bertscope_tensor-e85cceea46e2f5dd.d: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/error.rs crates/tensor/src/fault.rs crates/tensor/src/gemm.rs crates/tensor/src/init.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/bertscope_tensor-e85cceea46e2f5dd.d: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/error.rs crates/tensor/src/fault.rs crates/tensor/src/gemm.rs crates/tensor/src/init.rs crates/tensor/src/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/trace.rs Cargo.toml
 
-/root/repo/target/debug/deps/libbertscope_tensor-e85cceea46e2f5dd.rmeta: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/error.rs crates/tensor/src/fault.rs crates/tensor/src/gemm.rs crates/tensor/src/init.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/libbertscope_tensor-e85cceea46e2f5dd.rmeta: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/error.rs crates/tensor/src/fault.rs crates/tensor/src/gemm.rs crates/tensor/src/init.rs crates/tensor/src/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/trace.rs Cargo.toml
 
 crates/tensor/src/lib.rs:
 crates/tensor/src/dtype.rs:
@@ -8,6 +8,7 @@ crates/tensor/src/error.rs:
 crates/tensor/src/fault.rs:
 crates/tensor/src/gemm.rs:
 crates/tensor/src/init.rs:
+crates/tensor/src/pool.rs:
 crates/tensor/src/shape.rs:
 crates/tensor/src/tensor.rs:
 crates/tensor/src/trace.rs:

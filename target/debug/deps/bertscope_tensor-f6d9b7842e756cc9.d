@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/bertscope_tensor-f6d9b7842e756cc9.d: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/error.rs crates/tensor/src/fault.rs crates/tensor/src/gemm.rs crates/tensor/src/init.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/trace.rs
+/root/repo/target/debug/deps/bertscope_tensor-f6d9b7842e756cc9.d: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/error.rs crates/tensor/src/fault.rs crates/tensor/src/gemm.rs crates/tensor/src/init.rs crates/tensor/src/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/trace.rs
 
-/root/repo/target/debug/deps/libbertscope_tensor-f6d9b7842e756cc9.rlib: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/error.rs crates/tensor/src/fault.rs crates/tensor/src/gemm.rs crates/tensor/src/init.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/trace.rs
+/root/repo/target/debug/deps/libbertscope_tensor-f6d9b7842e756cc9.rlib: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/error.rs crates/tensor/src/fault.rs crates/tensor/src/gemm.rs crates/tensor/src/init.rs crates/tensor/src/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/trace.rs
 
-/root/repo/target/debug/deps/libbertscope_tensor-f6d9b7842e756cc9.rmeta: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/error.rs crates/tensor/src/fault.rs crates/tensor/src/gemm.rs crates/tensor/src/init.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/trace.rs
+/root/repo/target/debug/deps/libbertscope_tensor-f6d9b7842e756cc9.rmeta: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/error.rs crates/tensor/src/fault.rs crates/tensor/src/gemm.rs crates/tensor/src/init.rs crates/tensor/src/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/trace.rs
 
 crates/tensor/src/lib.rs:
 crates/tensor/src/dtype.rs:
@@ -10,6 +10,7 @@ crates/tensor/src/error.rs:
 crates/tensor/src/fault.rs:
 crates/tensor/src/gemm.rs:
 crates/tensor/src/init.rs:
+crates/tensor/src/pool.rs:
 crates/tensor/src/shape.rs:
 crates/tensor/src/tensor.rs:
 crates/tensor/src/trace.rs:

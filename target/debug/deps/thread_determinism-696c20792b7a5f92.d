@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thread_determinism-696c20792b7a5f92.d: tests/thread_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthread_determinism-696c20792b7a5f92.rmeta: tests/thread_determinism.rs Cargo.toml
+
+tests/thread_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thread_determinism-91a936656fe7317c.d: tests/thread_determinism.rs
+
+/root/repo/target/debug/deps/thread_determinism-91a936656fe7317c: tests/thread_determinism.rs
+
+tests/thread_determinism.rs:

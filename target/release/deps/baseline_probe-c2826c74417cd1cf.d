@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_probe-c2826c74417cd1cf.d: crates/bench/src/bin/baseline_probe.rs
+
+/root/repo/target/release/deps/baseline_probe-c2826c74417cd1cf: crates/bench/src/bin/baseline_probe.rs
+
+crates/bench/src/bin/baseline_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_substrate-fe8989f16a866890.d: crates/bench/src/bin/bench_substrate.rs
+
+/root/repo/target/release/deps/bench_substrate-fe8989f16a866890: crates/bench/src/bin/bench_substrate.rs
+
+crates/bench/src/bin/bench_substrate.rs:

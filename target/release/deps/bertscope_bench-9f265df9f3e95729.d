@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bertscope_bench-9f265df9f3e95729.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/release/deps/libbertscope_bench-9f265df9f3e95729.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/release/deps/libbertscope_bench-9f265df9f3e95729.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/bertscope_tensor-302a69f339c50083.d: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/error.rs crates/tensor/src/fault.rs crates/tensor/src/gemm.rs crates/tensor/src/init.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/trace.rs
+/root/repo/target/release/deps/bertscope_tensor-302a69f339c50083.d: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/error.rs crates/tensor/src/fault.rs crates/tensor/src/gemm.rs crates/tensor/src/init.rs crates/tensor/src/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/trace.rs
 
-/root/repo/target/release/deps/libbertscope_tensor-302a69f339c50083.rlib: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/error.rs crates/tensor/src/fault.rs crates/tensor/src/gemm.rs crates/tensor/src/init.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/trace.rs
+/root/repo/target/release/deps/libbertscope_tensor-302a69f339c50083.rlib: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/error.rs crates/tensor/src/fault.rs crates/tensor/src/gemm.rs crates/tensor/src/init.rs crates/tensor/src/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/trace.rs
 
-/root/repo/target/release/deps/libbertscope_tensor-302a69f339c50083.rmeta: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/error.rs crates/tensor/src/fault.rs crates/tensor/src/gemm.rs crates/tensor/src/init.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/trace.rs
+/root/repo/target/release/deps/libbertscope_tensor-302a69f339c50083.rmeta: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/error.rs crates/tensor/src/fault.rs crates/tensor/src/gemm.rs crates/tensor/src/init.rs crates/tensor/src/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/trace.rs
 
 crates/tensor/src/lib.rs:
 crates/tensor/src/dtype.rs:
@@ -10,6 +10,7 @@ crates/tensor/src/error.rs:
 crates/tensor/src/fault.rs:
 crates/tensor/src/gemm.rs:
 crates/tensor/src/init.rs:
+crates/tensor/src/pool.rs:
 crates/tensor/src/shape.rs:
 crates/tensor/src/tensor.rs:
 crates/tensor/src/trace.rs:

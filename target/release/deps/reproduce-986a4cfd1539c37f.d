@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-986a4cfd1539c37f.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-986a4cfd1539c37f: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

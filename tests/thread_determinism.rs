@@ -1,0 +1,110 @@
+//! Thread-count determinism: the worker pool must be invisible in the
+//! numbers. Chunk grains are shape-only and partials merge in chunk order,
+//! so every routine routed through the pool has to produce bit-identical
+//! results whether it runs on 1, 2 or 8 threads (including oversubscribed
+//! configurations on smaller hosts).
+
+use bertscope_kernels::norm::{layernorm_bwd, layernorm_fwd};
+use bertscope_kernels::KernelCtx;
+use bertscope_tensor::init::randn;
+use bertscope_tensor::{batched_gemm, gemm, pool, Category, Phase, Tracer, Transpose};
+use bertscope_train::{Lamb, ParamSlot};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_identical_across_threads(label: &str, run: impl Fn() -> Vec<f32>) {
+    let base = pool::with_threads(1, &run);
+    assert!(
+        base.iter().all(|x| x.is_finite()),
+        "{label}: reference run produced non-finite values"
+    );
+    for threads in [2usize, 8] {
+        let got = pool::with_threads(threads, &run);
+        assert_eq!(
+            bits(&base),
+            bits(&got),
+            "{label}: results differ between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn gemm_is_bit_identical_across_thread_counts() {
+    let mut r = StdRng::seed_from_u64(7);
+    // 128 * 160 * 128 MACs crosses the parallel threshold, so the pooled
+    // row-chunk path actually runs.
+    let a = randn(&mut r, &[128, 160], 1.0);
+    let b = randn(&mut r, &[160, 128], 1.0);
+    assert_identical_across_threads("gemm nn", || {
+        gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, None).unwrap().as_slice().to_vec()
+    });
+    assert_identical_across_threads("gemm tn", || {
+        gemm(Transpose::Yes, Transpose::No, 0.5, &a, &a, 0.0, None).unwrap().as_slice().to_vec()
+    });
+}
+
+#[test]
+fn batched_gemm_is_bit_identical_across_thread_counts() {
+    let mut r = StdRng::seed_from_u64(8);
+    let q = randn(&mut r, &[32, 48, 32], 1.0);
+    let k = randn(&mut r, &[32, 48, 32], 1.0);
+    assert_identical_across_threads("batched_gemm nt", || {
+        batched_gemm(Transpose::No, Transpose::Yes, 1.0, &q, &k).unwrap().as_slice().to_vec()
+    });
+    let v = randn(&mut r, &[32, 48, 32], 1.0);
+    let s = randn(&mut r, &[32, 48, 48], 1.0);
+    assert_identical_across_threads("batched_gemm nn", || {
+        batched_gemm(Transpose::No, Transpose::No, 1.0, &s, &v).unwrap().as_slice().to_vec()
+    });
+}
+
+#[test]
+fn optimizer_update_is_bit_identical_across_thread_counts() {
+    let mut r = StdRng::seed_from_u64(9);
+    // Large enough to split into several optimizer chunks, run for a few
+    // steps so the trust-ratio norms (chunked f64 reductions) feed back
+    // into the weights.
+    let w0 = randn(&mut r, &[200_000], 1.0);
+    let g = randn(&mut r, &[200_000], 0.01);
+    assert_identical_across_threads("lamb update", || {
+        let mut w = w0.clone();
+        let mut opt = Lamb::new(0.01);
+        let mut tr = Tracer::disabled();
+        for _ in 0..3 {
+            opt.step(&mut tr, &mut [ParamSlot { name: "l0.w", value: &mut w, grad: &g }]);
+        }
+        w.as_slice().to_vec()
+    });
+}
+
+#[test]
+fn layernorm_backward_partials_merge_deterministically() {
+    let mut r = StdRng::seed_from_u64(10);
+    let rows = 64;
+    let len = 96;
+    let x = randn(&mut r, &[rows, len], 1.0);
+    let gamma = randn(&mut r, &[len], 1.0);
+    let beta = randn(&mut r, &[len], 1.0);
+    let dy = randn(&mut r, &[rows, len], 1.0);
+    let ctx = KernelCtx::new("ln", Category::DropResidualNorm, Phase::Backward);
+    assert_identical_across_threads("layernorm bwd", || {
+        let mut tr = Tracer::disabled();
+        let (_y, state) = layernorm_fwd(&mut tr, &ctx, &x, &gamma, &beta, 1e-5).unwrap();
+        let (dx, dgamma, dbeta) = layernorm_bwd(&mut tr, &ctx, &x, &gamma, &state, &dy).unwrap();
+        let mut out = dx.as_slice().to_vec();
+        out.extend_from_slice(dgamma.as_slice());
+        out.extend_from_slice(dbeta.as_slice());
+        out
+    });
+}
+
+#[test]
+fn pool_reports_the_overridden_thread_count() {
+    let inside = pool::with_threads(5, pool::current_threads);
+    assert_eq!(inside, 5);
+    assert_eq!(pool::current_threads(), pool::configured_threads());
+}
