@@ -19,7 +19,7 @@
 
 use bertscope_model::BertConfig;
 use bertscope_tensor::init::randn;
-use bertscope_tensor::{batched_gemm, gemm, pool, Tensor, Tracer, Transpose};
+use bertscope_tensor::{alloc, batched_gemm, gemm, pool, Tensor, Tracer, Transpose};
 use bertscope_train::{Bert, Lamb, ParamSlot, SyntheticCorpus, TrainOptions, Trainer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,24 +39,68 @@ const SERIAL_BASELINE_NS: &[(&str, u64)] = &[
     ("lamb_update_1m", 9_840_088),
 ];
 
+/// Per-iteration buffer acquisitions before the pooled allocator landed —
+/// every one of these used to hit the system allocator. Captured as the
+/// steady-state acquisition count at the commit the pools landed in (the
+/// request stream is identical; the pools only change who serves it).
+/// Kept in the artifact so the committed `allocs` counts stay auditable
+/// as a reduction against this baseline.
+const PRE_ALLOCATOR_ALLOCS: &[(&str, u64)] = &[
+    ("gemm_nn_512x1024x1024", 1),
+    ("gemm_nn_512x4096x1024", 1),
+    ("bgemm_nt_384x384x64_b256", 257),
+    ("bgemm_nn_384x64x384_b256", 1),
+    ("micro_step_tiny_bert", 865),
+    ("lamb_update_1m", 1),
+];
+
 struct Sample {
     label: &'static str,
     iters: u32,
     best_ns: u64,
     mean_ns: u64,
+    /// Steady-state system-allocator hits in one iteration (pool misses).
+    allocs: u64,
+    /// Steady-state buffer requests in one iteration — what a pool-less
+    /// allocator would have allocated fresh.
+    acquisitions: u64,
+    /// Peak live bytes during one iteration, including the benchmark's
+    /// resident input tensors.
+    peak_bytes: u64,
 }
 
 fn time_best<F: FnMut()>(label: &'static str, iters: u32, mut body: F) -> Sample {
+    // One untimed warmup populates the thread-local free lists so the
+    // measured allocation counts are steady-state (the caching-allocator
+    // regime the paper's ROCm runtime operates in), not cold-start.
+    body();
+    let before = alloc::stats();
+    alloc::reset_peak();
     let mut best = u64::MAX;
     let mut total = 0u64;
-    for _ in 0..iters {
+    let (mut allocs, mut acquisitions, mut peak_bytes) = (0u64, 0u64, 0u64);
+    for i in 0..iters {
         let t = Instant::now();
         body();
         let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if i == 0 {
+            let after = alloc::stats();
+            allocs = after.fresh_allocs - before.fresh_allocs;
+            acquisitions = after.acquisitions() - before.acquisitions();
+            peak_bytes = after.peak_bytes;
+        }
         best = best.min(ns);
         total += ns;
     }
-    Sample { label, iters, best_ns: best, mean_ns: total / u64::from(iters.max(1)) }
+    Sample {
+        label,
+        iters,
+        best_ns: best,
+        mean_ns: total / u64::from(iters.max(1)),
+        allocs,
+        acquisitions,
+        peak_bytes,
+    }
 }
 
 fn run_all(iters: u32) -> Vec<Sample> {
@@ -121,7 +165,7 @@ fn run_all(iters: u32) -> Vec<Sample> {
 
 fn render_json(mode: &str, samples: &[Sample]) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"bertscope-bench-substrate-v1\",");
+    let _ = writeln!(out, "  \"schema\": \"bertscope-bench-substrate-v2\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     let _ = writeln!(out, "  \"pool_threads\": {},", pool::configured_threads());
     let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -130,8 +174,9 @@ fn render_json(mode: &str, samples: &[Sample]) -> String {
     for (i, s) in samples.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"label\": \"{}\", \"iters\": {}, \"best_ns\": {}, \"mean_ns\": {}}}",
-            s.label, s.iters, s.best_ns, s.mean_ns
+            "    {{\"label\": \"{}\", \"iters\": {}, \"best_ns\": {}, \"mean_ns\": {}, \
+             \"allocs\": {}, \"peak_bytes\": {}}}",
+            s.label, s.iters, s.best_ns, s.mean_ns, s.allocs, s.peak_bytes
         );
         out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
     }
@@ -141,16 +186,52 @@ fn render_json(mode: &str, samples: &[Sample]) -> String {
         let _ = write!(out, "    \"{label}\": {ns}");
         out.push_str(if i + 1 < SERIAL_BASELINE_NS.len() { ",\n" } else { "\n" });
     }
+    out.push_str("  },\n");
+    out.push_str("  \"pre_allocator_allocs\": {\n");
+    for (i, (label, n)) in PRE_ALLOCATOR_ALLOCS.iter().enumerate() {
+        let _ = write!(out, "    \"{label}\": {n}");
+        out.push_str(if i + 1 < PRE_ALLOCATOR_ALLOCS.len() { ",\n" } else { "\n" });
+    }
     out.push_str("  }\n}\n");
     out
 }
 
-/// Pull `(label, best_ns)` pairs out of a baseline document with a scan —
-/// enough structure-checking to catch a truncated or hand-mangled file
-/// without a JSON parser.
-fn parse_baseline(doc: &str) -> Result<Vec<(String, u64)>, String> {
-    if !doc.contains("\"schema\": \"bertscope-bench-substrate-v1\"") {
-        return Err("missing or unexpected schema marker".into());
+struct BaselineShape {
+    label: String,
+    best_ns: u64,
+    allocs: u64,
+}
+
+/// Scan one numeric field out of a shape entry; `rest` is advanced past
+/// the parsed digits. Zero is legal only when `allow_zero`.
+fn scan_field(rest: &mut &str, label: &str, field: &str, allow_zero: bool) -> Result<u64, String> {
+    let marker = format!("\"{field}\": ");
+    // The field must appear before the next shape entry begins.
+    let scope_end = rest.find("\"label\": \"").unwrap_or(rest.len());
+    let at = rest[..scope_end]
+        .find(&marker)
+        .ok_or_else(|| format!("shape {label} has no {field} field"))?;
+    *rest = &rest[at + marker.len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    if digits.is_empty() {
+        return Err(format!("shape {label}: bad {field}"));
+    }
+    *rest = &rest[digits.len()..];
+    let n = digits.parse::<u64>().map_err(|_| format!("shape {label}: bad {field}"))?;
+    if n == 0 && !allow_zero {
+        return Err(format!("shape {label}: {field} is zero"));
+    }
+    Ok(n)
+}
+
+/// Pull the shape entries out of a baseline document with a scan — enough
+/// structure-checking to catch a truncated or hand-mangled file without a
+/// JSON parser. Every shape must carry `best_ns`, `allocs` and
+/// `peak_bytes` (the v2 schema); a missing or non-numeric field fails the
+/// whole document.
+fn parse_baseline(doc: &str) -> Result<Vec<BaselineShape>, String> {
+    if !doc.contains("\"schema\": \"bertscope-bench-substrate-v2\"") {
+        return Err("missing or unexpected schema marker (want v2)".into());
     }
     let shapes_at =
         doc.find("\"shapes\"").ok_or_else(|| String::from("missing \"shapes\" section"))?;
@@ -160,16 +241,10 @@ fn parse_baseline(doc: &str) -> Result<Vec<(String, u64)>, String> {
         rest = &rest[at + "\"label\": \"".len()..];
         let end = rest.find('"').ok_or_else(|| String::from("unterminated label"))?;
         let label = rest[..end].to_string();
-        let at = rest
-            .find("\"best_ns\": ")
-            .ok_or_else(|| format!("shape {label} has no best_ns field"))?;
-        rest = &rest[at + "\"best_ns\": ".len()..];
-        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
-        let ns = digits.parse::<u64>().map_err(|_| format!("shape {label}: bad best_ns"))?;
-        if ns == 0 {
-            return Err(format!("shape {label}: best_ns is zero"));
-        }
-        entries.push((label, ns));
+        let best_ns = scan_field(&mut rest, &label, "best_ns", false)?;
+        let allocs = scan_field(&mut rest, &label, "allocs", true)?;
+        let _peak = scan_field(&mut rest, &label, "peak_bytes", false)?;
+        entries.push(BaselineShape { label, best_ns, allocs });
         // Stop at the serial-baseline section: its keys are not shapes.
         if let Some(stop) = rest.find("\"serial_baseline_ns\"") {
             if rest[..stop].find("\"label\": \"").is_none() {
@@ -188,20 +263,34 @@ fn check(baseline_path: &str, samples: &[Sample], max_regression: f64) -> Result
         .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
     let baseline = parse_baseline(&doc)?;
     let mut failures = Vec::new();
-    for (label, base_ns) in &baseline {
+    for base in &baseline {
+        let label = &base.label;
         let Some(now) = samples.iter().find(|s| s.label == *label) else {
             failures.push(format!("baseline shape {label} is no longer benchmarked"));
             continue;
         };
         #[allow(clippy::cast_precision_loss)]
-        let ratio = now.best_ns as f64 / *base_ns as f64;
+        let ratio = now.best_ns as f64 / base.best_ns as f64;
         println!(
-            "{label}: baseline {base_ns} ns, now {} ns ({ratio:.2}x{})",
+            "{label}: baseline {} ns, now {} ns ({ratio:.2}x{})",
+            base.best_ns,
             now.best_ns,
             if ratio > max_regression { " — REGRESSION" } else { "" }
         );
         if ratio > max_regression {
             failures.push(format!("{label} regressed {ratio:.2}x (limit {max_regression:.2}x)"));
+        }
+        // Allocation-count gate: a steady-state iteration must not hit the
+        // system allocator more than `max_regression` times as often as
+        // the committed baseline (small absolute slack so one-digit counts
+        // do not flap).
+        let alloc_limit = ((base.allocs as f64) * max_regression).ceil() as u64 + 4;
+        println!("{label}: baseline {} allocs, now {}", base.allocs, now.allocs);
+        if now.allocs > alloc_limit {
+            failures.push(format!(
+                "{label} allocation count regressed: {} vs baseline {} (limit {alloc_limit})",
+                now.allocs, base.allocs
+            ));
         }
     }
     if failures.is_empty() {
@@ -244,8 +333,9 @@ fn main() -> ExitCode {
     let samples = run_all(iters);
     for s in &samples {
         eprintln!(
-            "  {}: best {} ns, mean {} ns ({} iters)",
-            s.label, s.best_ns, s.mean_ns, s.iters
+            "  {}: best {} ns, mean {} ns ({} iters); {} fresh allocs of {} requests, \
+             peak {} bytes",
+            s.label, s.best_ns, s.mean_ns, s.iters, s.allocs, s.acquisitions, s.peak_bytes
         );
     }
 
@@ -283,34 +373,66 @@ mod tests {
         render_json("full", samples)
     }
 
+    fn sample(label: &'static str, best_ns: u64, allocs: u64) -> Sample {
+        Sample {
+            label,
+            iters: 3,
+            best_ns,
+            mean_ns: best_ns,
+            allocs,
+            acquisitions: allocs,
+            peak_bytes: 1024,
+        }
+    }
+
     #[test]
     fn rendered_json_roundtrips_through_the_checker() {
-        let samples = vec![
-            Sample { label: "gemm_nn_512x1024x1024", iters: 3, best_ns: 100, mean_ns: 120 },
-            Sample { label: "lamb_update_1m", iters: 3, best_ns: 50, mean_ns: 55 },
-        ];
+        let samples =
+            vec![sample("gemm_nn_512x1024x1024", 100, 2), sample("lamb_update_1m", 50, 0)];
         let parsed = parse_baseline(&doc_for(&samples)).unwrap();
-        assert_eq!(
-            parsed,
-            vec![("gemm_nn_512x1024x1024".into(), 100), ("lamb_update_1m".into(), 50)]
-        );
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].label, "gemm_nn_512x1024x1024");
+        assert_eq!(parsed[0].best_ns, 100);
+        assert_eq!(parsed[0].allocs, 2);
+        assert_eq!(parsed[1].allocs, 0, "zero allocs is a legal steady state");
     }
 
     #[test]
     fn malformed_baselines_are_rejected() {
         assert!(parse_baseline("{}").is_err(), "missing schema");
-        let no_shapes = "{\"schema\": \"bertscope-bench-substrate-v1\"}";
+        let v1 = "{\"schema\": \"bertscope-bench-substrate-v1\"}";
+        assert!(parse_baseline(v1).is_err(), "v1 schema is rejected");
+        let no_shapes = "{\"schema\": \"bertscope-bench-substrate-v2\"}";
         assert!(parse_baseline(no_shapes).is_err(), "missing shapes");
-        let zero = "{\n  \"schema\": \"bertscope-bench-substrate-v1\",\n  \"shapes\": [\n    \
-                    {\"label\": \"x\", \"iters\": 1, \"best_ns\": 0, \"mean_ns\": 0}\n  ]\n}";
+        let zero = "{\n  \"schema\": \"bertscope-bench-substrate-v2\",\n  \"shapes\": [\n    \
+                    {\"label\": \"x\", \"iters\": 1, \"best_ns\": 0, \"mean_ns\": 0, \
+                    \"allocs\": 0, \"peak_bytes\": 1}\n  ]\n}";
         assert!(parse_baseline(zero).is_err(), "zero best_ns");
+        let no_allocs = "{\n  \"schema\": \"bertscope-bench-substrate-v2\",\n  \"shapes\": [\n    \
+                         {\"label\": \"x\", \"iters\": 1, \"best_ns\": 5, \"mean_ns\": 5}\n  ]\n}";
+        assert!(parse_baseline(no_allocs).is_err(), "missing allocs field");
+        let no_peak = "{\n  \"schema\": \"bertscope-bench-substrate-v2\",\n  \"shapes\": [\n    \
+                       {\"label\": \"x\", \"iters\": 1, \"best_ns\": 5, \"mean_ns\": 5, \
+                       \"allocs\": 1}\n  ]\n}";
+        assert!(parse_baseline(no_peak).is_err(), "missing peak_bytes field");
     }
 
     #[test]
     fn serial_baseline_keys_are_not_parsed_as_shapes() {
-        let samples =
-            vec![Sample { label: "micro_step_tiny_bert", iters: 3, best_ns: 42, mean_ns: 42 }];
+        let samples = vec![sample("micro_step_tiny_bert", 42, 1)];
         let parsed = parse_baseline(&doc_for(&samples)).unwrap();
         assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn alloc_regression_fails_the_check() {
+        let doc = doc_for(&[sample("lamb_update_1m", 50, 2)]);
+        let path = std::env::temp_dir().join("bertscope_bench_alloc_gate.json");
+        std::fs::write(&path, doc).unwrap();
+        let path = path.to_str().unwrap();
+        // Same counts pass; 2 -> 20 fresh allocs (beyond 2x + slack) fails.
+        assert!(check(path, &[sample("lamb_update_1m", 50, 2)], 2.0).is_ok());
+        let err = check(path, &[sample("lamb_update_1m", 50, 20)], 2.0).unwrap_err();
+        assert!(err.contains("allocation count regressed"), "{err}");
     }
 }

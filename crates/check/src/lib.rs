@@ -20,6 +20,9 @@
 //! * **Scaler/skip semantics** (`S` rules): loss-scaler bookkeeping sits
 //!   between backward and the optimizer, and a step the scaler skipped on
 //!   overflow launches no optimizer kernels.
+//! * **Memory accounting** (`M` rules, via [`check_memory`]): the measured
+//!   memory profile must be internally consistent — live bytes never
+//!   negative, the peak at least the resident weights+gradients bound.
 //!
 //! The two sides of the suite's central cross-validation (`graph.rs` and
 //! the kernels crate) intentionally share their formulas; this checker is
@@ -66,11 +69,13 @@ pub mod rules;
 mod config_checks;
 mod conservation;
 mod dataflow;
+mod memory;
 mod phase;
 mod scaler;
 
 pub use config_checks::check_iteration;
 pub use finding::{Finding, Severity};
+pub use memory::check_memory;
 pub use rules::RuleId;
 
 use bertscope_tensor::OpRecord;

@@ -1,0 +1,98 @@
+//! M-series lints over a measured [`MemoryProfile`].
+//!
+//! Unlike the C/D/P/S rules, which lint an operator stream, these rules
+//! lint the run-level memory accounting the tracer folds out of the pooled
+//! allocator's live-byte samples. They catch accounting bugs (double frees
+//! driving live bytes negative) and implausible peaks (a training run whose
+//! peak does not even cover the resident weights and gradients).
+
+use crate::finding::Finding;
+use crate::rules::RuleId;
+use bertscope_tensor::MemoryProfile;
+
+/// Lint a measured memory profile (rule M001).
+///
+/// `resident_lower_bound` is the caller's floor on what must be live at the
+/// peak — for a traced training step, at least the model weights plus
+/// gradients (`2 * params * element_size`). Pass `0` to skip the bound
+/// check (e.g. for forward-only traces).
+#[must_use]
+pub fn check_memory(profile: &MemoryProfile, resident_lower_bound: u64) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if profile.min_live_bytes < 0 {
+        out.push(
+            Finding::err(RuleId::MemoryAccounting, "measured live bytes went negative").with_note(
+                format!(
+                    "minimum live sample {} bytes; frees exceeded allocations",
+                    profile.min_live_bytes
+                ),
+            ),
+        );
+    }
+    if profile.peak_bytes < profile.baseline_bytes {
+        out.push(
+            Finding::err(RuleId::MemoryAccounting, "measured peak fell below the trace baseline")
+                .with_note(format!(
+                    "peak {} bytes < baseline {} bytes",
+                    profile.peak_bytes, profile.baseline_bytes
+                )),
+        );
+    }
+    if resident_lower_bound > 0 && profile.peak_bytes < resident_lower_bound {
+        out.push(
+            Finding::err(
+                RuleId::MemoryAccounting,
+                "measured peak does not cover the resident weights+gradients",
+            )
+            .with_note(format!(
+                "peak {} bytes < lower bound {resident_lower_bound} bytes",
+                profile.peak_bytes
+            )),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(baseline: u64, peak: u64, min_live: i64) -> MemoryProfile {
+        MemoryProfile {
+            baseline_bytes: baseline,
+            peak_bytes: peak,
+            min_live_bytes: min_live,
+            ..MemoryProfile::default()
+        }
+    }
+
+    #[test]
+    fn consistent_profile_is_clean() {
+        let findings = check_memory(&profile(1000, 5000, 1000), 2000);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn negative_live_bytes_fire_m001() {
+        let findings = check_memory(&profile(0, 100, -8), 0);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule.code(), "M001");
+        assert!(findings[0].is_error());
+    }
+
+    #[test]
+    fn peak_below_baseline_fires_m001() {
+        let findings = check_memory(&profile(4096, 1024, 1024), 0);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("baseline"));
+    }
+
+    #[test]
+    fn peak_below_resident_lower_bound_fires_m001() {
+        let findings = check_memory(&profile(100, 500, 100), 10_000);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("weights+gradients"));
+        // A zero bound disables the check.
+        assert!(check_memory(&profile(100, 500, 100), 0).is_empty());
+    }
+}

@@ -18,6 +18,9 @@
 //!   the unscale/overflow-check kernels sit between backward and the
 //!   optimizer, and a step the scaler skipped must launch no optimizer
 //!   kernels at all.
+//! * **M-series (memory)**: the measured memory profile from the pooled
+//!   allocator must be internally consistent — live bytes never negative
+//!   and the peak at least the resident weights+gradients lower bound.
 
 /// Stable identifier of one lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -76,6 +79,9 @@ pub enum RuleId {
     /// S002: a stream carrying an overflow marker (`scaler.overflow`) was
     /// skipped by the scaler and must therefore launch no optimizer kernels.
     OverflowSkipsUpdate,
+    /// M001: measured live bytes must never go negative, and the measured
+    /// peak must be at least the weights+gradients lower bound.
+    MemoryAccounting,
 }
 
 impl RuleId {
@@ -102,6 +108,7 @@ impl RuleId {
             RuleId::CheckpointRecompute => "P006",
             RuleId::ScalerPlacement => "S001",
             RuleId::OverflowSkipsUpdate => "S002",
+            RuleId::MemoryAccounting => "M001",
         }
     }
 
@@ -130,6 +137,9 @@ impl RuleId {
             RuleId::CheckpointRecompute => "checkpointing re-emits recompute ops per layer",
             RuleId::ScalerPlacement => "loss-scaler ops sit between backward and the optimizer",
             RuleId::OverflowSkipsUpdate => "an overflow-skipped step launches no optimizer kernels",
+            RuleId::MemoryAccounting => {
+                "measured live bytes stay non-negative and peak covers weights+grads"
+            }
         }
     }
 
@@ -156,6 +166,7 @@ impl RuleId {
             RuleId::CheckpointRecompute,
             RuleId::ScalerPlacement,
             RuleId::OverflowSkipsUpdate,
+            RuleId::MemoryAccounting,
         ]
     }
 }

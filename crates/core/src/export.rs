@@ -1,8 +1,10 @@
 //! Profile export: serialize a timed iteration profile to the Chrome
 //! tracing JSON format (`chrome://tracing`, Perfetto) so traces can be
-//! inspected the way one inspects a rocProf/nsys timeline.
+//! inspected the way one inspects a rocProf/nsys timeline, and a measured
+//! [`MemoryProfile`] to a JSON document exported alongside the trace.
 
 use bertscope_sim::IterationProfile;
+use bertscope_tensor::MemoryProfile;
 use std::fmt::Write as _;
 
 fn escape(s: &str) -> String {
@@ -56,6 +58,42 @@ pub fn chrome_trace_json(profile: &IterationProfile) -> String {
     out
 }
 
+/// Serialize a measured memory profile to a JSON document.
+///
+/// The document carries the run-level peaks the tracer folded out of the
+/// pooled allocator's live-byte samples: overall peak and baseline, the
+/// activation peak over baseline, and per-phase / per-category peaks — the
+/// measured side of the `sim::memory::footprint` cross-validation.
+#[must_use]
+pub fn memory_profile_json(profile: &MemoryProfile) -> String {
+    let mut out = String::from("{\"schema\":\"bertscope-memory-profile-v1\",");
+    let _ = write!(
+        out,
+        "\"baseline_bytes\":{},\"peak_bytes\":{},\"peak_over_baseline_bytes\":{},\
+         \"min_live_bytes\":{}",
+        profile.baseline_bytes,
+        profile.peak_bytes,
+        profile.peak_over_baseline(),
+        profile.min_live_bytes,
+    );
+    out.push_str(",\"peak_by_phase\":{");
+    for (i, (phase, peak)) in profile.peak_by_phase.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{phase}\":{peak}");
+    }
+    out.push_str("},\"peak_by_category\":{");
+    for (i, (cat, peak)) in profile.peak_by_category.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{cat}\":{peak}");
+    }
+    out.push_str("}}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +132,33 @@ mod tests {
     fn empty_profile_exports_empty_event_list() {
         let p = IterationProfile::default();
         assert_eq!(chrome_trace_json(&p), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn memory_profile_json_is_well_formed() {
+        use bertscope_tensor::{Category, Phase};
+        let mut p = MemoryProfile {
+            baseline_bytes: 1000,
+            peak_bytes: 5000,
+            min_live_bytes: 1000,
+            ..MemoryProfile::default()
+        };
+        p.peak_by_phase.insert(Phase::Forward, 4000);
+        p.peak_by_phase.insert(Phase::Backward, 5000);
+        p.peak_by_category.insert(Category::AttnLinear, 3000);
+        let json = memory_profile_json(&p);
+        assert!(json.contains("\"schema\":\"bertscope-memory-profile-v1\""));
+        assert!(json.contains("\"peak_bytes\":5000"));
+        assert!(json.contains("\"peak_over_baseline_bytes\":4000"));
+        assert!(json.contains("\"peak_by_phase\""));
+        assert!(json.contains("\"peak_by_category\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn empty_memory_profile_exports_empty_maps() {
+        let json = memory_profile_json(&MemoryProfile::default());
+        assert!(json.contains("\"peak_by_phase\":{}"));
+        assert!(json.contains("\"peak_by_category\":{}"));
     }
 }

@@ -42,13 +42,13 @@ pub use bertscope_sim;
 pub use bertscope_tensor;
 pub use bertscope_train;
 
-pub use export::chrome_trace_json;
+pub use export::{chrome_trace_json, memory_profile_json};
 pub use report::{pct, ratio, time_us, TextTable};
 pub use takeaways::{derive_findings, Finding};
 
 /// The most commonly used items, re-exported for `use bertscope::prelude::*`.
 pub mod prelude {
-    pub use crate::export::chrome_trace_json;
+    pub use crate::export::{chrome_trace_json, memory_profile_json};
     pub use crate::report::{pct, ratio, time_us, TextTable};
     pub use crate::takeaways::{derive_findings, Finding};
     pub use bertscope_device::{GpuModel, InNetworkSwitch, Link, NmcModel};

@@ -14,7 +14,8 @@ use crate::linear::{linear_bwd, linear_fwd};
 use crate::norm::{softmax_bwd, softmax_fwd};
 use crate::Result;
 use bertscope_tensor::{
-    batched_gemm, Category, DType, GemmSpec, OpKind, Phase, Tensor, TensorError, Tracer, Transpose,
+    batched_gemm, Buffer, Category, DType, GemmSpec, OpKind, Phase, Tensor, TensorError, Tracer,
+    Transpose,
 };
 
 /// Learned parameters of one attention block.
@@ -126,7 +127,7 @@ fn split_heads(
 ) -> Result<Tensor> {
     let (b, n, h, dh) = (cfg.batch, cfg.seq, cfg.heads, cfg.head_dim());
     let xs = x.as_slice();
-    let mut out = vec![0.0f32; x.numel()];
+    let mut out = Buffer::zeroed(x.numel());
     for bi in 0..b {
         for ni in 0..n {
             for hi in 0..h {
@@ -136,7 +137,7 @@ fn split_heads(
             }
         }
     }
-    let y = Tensor::from_vec(out, &[b * h, n, dh])?;
+    let y = Tensor::from_buffer(out, &[b * h, n, dh])?;
     let bytes = x.numel() as u64 * ctx.dtype_of().size_bytes();
     ctx.trace(tracer, "split_heads", OpKind::Copy, 0, bytes, bytes);
     Ok(y)
@@ -151,7 +152,7 @@ fn merge_heads(
 ) -> Result<Tensor> {
     let (b, n, h, dh) = (cfg.batch, cfg.seq, cfg.heads, cfg.head_dim());
     let xs = x.as_slice();
-    let mut out = vec![0.0f32; x.numel()];
+    let mut out = Buffer::zeroed(x.numel());
     for bi in 0..b {
         for ni in 0..n {
             for hi in 0..h {
@@ -161,7 +162,7 @@ fn merge_heads(
             }
         }
     }
-    let y = Tensor::from_vec(out, &[b * n, cfg.d_model])?;
+    let y = Tensor::from_buffer(out, &[b * n, cfg.d_model])?;
     let bytes = x.numel() as u64 * ctx.dtype_of().size_bytes();
     ctx.trace(tracer, "merge_heads", OpKind::Copy, 0, bytes, bytes);
     Ok(y)
@@ -171,26 +172,26 @@ fn merge_heads(
 /// the fused-QKV GEMM of paper §6.1.2 / Fig. 13.
 fn concat_qkv_weights(p: &AttentionParams) -> Result<(Tensor, Tensor)> {
     let d = p.wq.dims()[0];
-    let mut w = vec![0.0f32; d * 3 * d];
+    let mut w = Buffer::zeroed(d * 3 * d);
     for r in 0..d {
         w[r * 3 * d..r * 3 * d + d].copy_from_slice(&p.wq.as_slice()[r * d..(r + 1) * d]);
         w[r * 3 * d + d..r * 3 * d + 2 * d].copy_from_slice(&p.wk.as_slice()[r * d..(r + 1) * d]);
         w[r * 3 * d + 2 * d..(r + 1) * 3 * d].copy_from_slice(&p.wv.as_slice()[r * d..(r + 1) * d]);
     }
-    let mut b = Vec::with_capacity(3 * d);
-    b.extend_from_slice(p.bq.as_slice());
-    b.extend_from_slice(p.bk.as_slice());
-    b.extend_from_slice(p.bv.as_slice());
-    Ok((Tensor::from_vec(w, &[d, 3 * d])?, Tensor::from_vec(b, &[3 * d])?))
+    let mut b = Buffer::zeroed(3 * d);
+    b[..d].copy_from_slice(p.bq.as_slice());
+    b[d..2 * d].copy_from_slice(p.bk.as_slice());
+    b[2 * d..].copy_from_slice(p.bv.as_slice());
+    Ok((Tensor::from_buffer(w, &[d, 3 * d])?, Tensor::from_buffer(b, &[3 * d])?))
 }
 
 /// Split a `[T, 3d]` fused projection output into three `[T, d]` tensors.
 fn split_columns3(x: &Tensor) -> Result<(Tensor, Tensor, Tensor)> {
     let (t, d3) = (x.dims()[0], x.dims()[1]);
     let d = d3 / 3;
-    let mut a = vec![0.0f32; t * d];
-    let mut b = vec![0.0f32; t * d];
-    let mut c = vec![0.0f32; t * d];
+    let mut a = Buffer::zeroed(t * d);
+    let mut b = Buffer::zeroed(t * d);
+    let mut c = Buffer::zeroed(t * d);
     for r in 0..t {
         let row = &x.as_slice()[r * d3..(r + 1) * d3];
         a[r * d..(r + 1) * d].copy_from_slice(&row[..d]);
@@ -198,22 +199,22 @@ fn split_columns3(x: &Tensor) -> Result<(Tensor, Tensor, Tensor)> {
         c[r * d..(r + 1) * d].copy_from_slice(&row[2 * d..]);
     }
     Ok((
-        Tensor::from_vec(a, &[t, d])?,
-        Tensor::from_vec(b, &[t, d])?,
-        Tensor::from_vec(c, &[t, d])?,
+        Tensor::from_buffer(a, &[t, d])?,
+        Tensor::from_buffer(b, &[t, d])?,
+        Tensor::from_buffer(c, &[t, d])?,
     ))
 }
 
 /// Concatenate three `[T, d]` tensors column-wise into `[T, 3d]`.
 fn concat_columns3(a: &Tensor, b: &Tensor, c: &Tensor) -> Result<Tensor> {
     let (t, d) = (a.dims()[0], a.dims()[1]);
-    let mut out = vec![0.0f32; t * 3 * d];
+    let mut out = Buffer::zeroed(t * 3 * d);
     for r in 0..t {
         out[r * 3 * d..r * 3 * d + d].copy_from_slice(&a.as_slice()[r * d..(r + 1) * d]);
         out[r * 3 * d + d..r * 3 * d + 2 * d].copy_from_slice(&b.as_slice()[r * d..(r + 1) * d]);
         out[r * 3 * d + 2 * d..(r + 1) * 3 * d].copy_from_slice(&c.as_slice()[r * d..(r + 1) * d]);
     }
-    Tensor::from_vec(out, &[t, 3 * d])
+    Tensor::from_buffer(out, &[t, 3 * d])
 }
 
 /// Multi-head attention forward.
@@ -415,9 +416,9 @@ pub fn attention_bwd(
         let (dx, dw, db) = linear_bwd(tracer, &lin_ctx, &state.x, &w, &dqkv, true)?;
         let d = cfg.d_model;
         // Split the fused weight/bias gradients back into three parts.
-        let mut dwq_v = vec![0.0f32; d * d];
-        let mut dwk_v = vec![0.0f32; d * d];
-        let mut dwv_v = vec![0.0f32; d * d];
+        let mut dwq_v = Buffer::zeroed(d * d);
+        let mut dwk_v = Buffer::zeroed(d * d);
+        let mut dwv_v = Buffer::zeroed(d * d);
         for r in 0..d {
             let row = &dw.as_slice()[r * 3 * d..(r + 1) * 3 * d];
             dwq_v[r * d..(r + 1) * d].copy_from_slice(&row[..d]);
@@ -427,12 +428,12 @@ pub fn attention_bwd(
         let db = db.expect("bias requested");
         (
             dx,
-            Tensor::from_vec(dwq_v, &[d, d])?,
-            Tensor::from_vec(db.as_slice()[..d].to_vec(), &[d])?,
-            Tensor::from_vec(dwk_v, &[d, d])?,
-            Tensor::from_vec(db.as_slice()[d..2 * d].to_vec(), &[d])?,
-            Tensor::from_vec(dwv_v, &[d, d])?,
-            Tensor::from_vec(db.as_slice()[2 * d..].to_vec(), &[d])?,
+            Tensor::from_buffer(dwq_v, &[d, d])?,
+            Tensor::from_buffer(Buffer::copied_from(&db.as_slice()[..d]), &[d])?,
+            Tensor::from_buffer(dwk_v, &[d, d])?,
+            Tensor::from_buffer(Buffer::copied_from(&db.as_slice()[d..2 * d]), &[d])?,
+            Tensor::from_buffer(dwv_v, &[d, d])?,
+            Tensor::from_buffer(Buffer::copied_from(&db.as_slice()[2 * d..]), &[d])?,
         )
     } else {
         let (dx_q, dwq, dbq) = linear_bwd(tracer, &lin_ctx, &state.x, &p.wq, &dq, true)?;

@@ -8,7 +8,7 @@
 
 use crate::ctx::KernelCtx;
 use crate::Result;
-use bertscope_tensor::{OpKind, Tensor, Tracer};
+use bertscope_tensor::{Buffer, OpKind, Tensor, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -56,10 +56,14 @@ pub fn dropout_fwd(
         )));
     }
     let keep = 1.0 / (1.0 - p);
+    // The RNG stream is consumed serially so the mask is a pure function of
+    // the seed, independent of thread count.
     let mut rng = StdRng::seed_from_u64(seed);
-    let mask_data: Vec<f32> =
-        (0..x.numel()).map(|_| if p > 0.0 && rng.gen::<f32>() < p { 0.0 } else { keep }).collect();
-    let mask = Tensor::from_vec(mask_data, x.dims())?;
+    let mut mask_data = Buffer::zeroed(x.numel());
+    for m in mask_data.iter_mut() {
+        *m = if p > 0.0 && rng.gen::<f32>() < p { 0.0 } else { keep };
+    }
+    let mask = Tensor::from_buffer(mask_data, x.dims())?;
     let y = x.mul(&mask)?;
     let es = ctx.dtype_of().size_bytes();
     let n = x.numel() as u64;

@@ -7,7 +7,7 @@
 
 use crate::ctx::KernelCtx;
 use crate::Result;
-use bertscope_tensor::{pool, OpKind, Tensor, TensorError, Tracer};
+use bertscope_tensor::{pool, Buffer, OpKind, Tensor, TensorError, Tracer};
 use std::collections::BTreeMap;
 
 /// Elements per pool task for the gather/scatter loops (shape-only grain,
@@ -36,7 +36,7 @@ pub fn embedding_fwd(
             "embedding id {bad} out of range for vocab {vocab}"
         )));
     }
-    let mut out = vec![0.0f32; ids.len() * d];
+    let mut out = Buffer::zeroed(ids.len() * d);
     let src = table.as_slice();
     pool::parallel_for_mut(&mut out, emb_rows_grain(d) * d, |off, chunk| {
         for (rr, orow) in chunk.chunks_mut(d).enumerate() {
@@ -44,7 +44,7 @@ pub fn embedding_fwd(
             orow.copy_from_slice(&src[id * d..(id + 1) * d]);
         }
     });
-    let y = Tensor::from_vec(out, &[ids.len(), d])?;
+    let y = Tensor::from_buffer(out, &[ids.len(), d])?;
     let es = ctx.dtype_of().size_bytes();
     let moved = (ids.len() * d) as u64 * es;
     // Gather: reads the selected rows + 4-byte indices, writes the output.

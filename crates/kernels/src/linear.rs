@@ -8,7 +8,7 @@
 
 use crate::ctx::KernelCtx;
 use crate::Result;
-use bertscope_tensor::{gemm, GemmSpec, OpKind, Tensor, TensorError, Tracer, Transpose};
+use bertscope_tensor::{gemm, Buffer, GemmSpec, OpKind, Tensor, TensorError, Tracer, Transpose};
 
 /// Linear forward: `y = x * W + b`.
 ///
@@ -82,7 +82,7 @@ pub fn linear_bwd(
     ctx.trace_gemm(tracer, "grad_wt", GemmSpec::new(Transpose::Yes, Transpose::No, d_in, d_out, t));
     // db = column-sum(dy): a reduction kernel.
     let db = if has_bias {
-        let mut acc = vec![0.0f32; d_out];
+        let mut acc = Buffer::zeroed(d_out);
         for row in dy.as_slice().chunks(d_out) {
             for (a, &v) in acc.iter_mut().zip(row) {
                 *a += v;
@@ -97,7 +97,7 @@ pub fn linear_bwd(
             (t * d_out) as u64 * es,
             d_out as u64 * 4,
         );
-        Some(Tensor::from_vec(acc, &[d_out])?)
+        Some(Tensor::from_buffer(acc, &[d_out])?)
     } else {
         None
     };

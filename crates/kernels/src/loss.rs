@@ -6,7 +6,7 @@
 
 use crate::ctx::KernelCtx;
 use crate::Result;
-use bertscope_tensor::{OpKind, Tensor, TensorError, Tracer};
+use bertscope_tensor::{Buffer, OpKind, Tensor, TensorError, Tracer};
 
 /// Target value marking a position excluded from the loss.
 pub const IGNORE_INDEX: usize = usize::MAX;
@@ -54,7 +54,7 @@ pub fn cross_entropy_fwd(
         return Err(TensorError::shape("cross_entropy targets", &[rows], &[targets.len()]));
     }
     let xs = logits.as_slice();
-    let mut probs = vec![0.0f32; logits.numel()];
+    let mut probs = Buffer::zeroed(logits.numel());
     let mut loss = 0.0f64;
     let mut active = 0usize;
     for r in 0..rows {
@@ -87,7 +87,7 @@ pub fn cross_entropy_fwd(
     let es = ctx.dtype_of().size_bytes();
     let n = logits.numel() as u64;
     ctx.trace(tracer, "xent", OpKind::Reduction, 6 * n, n * es + rows as u64 * 4, n * 4);
-    let probs = Tensor::from_vec(probs, logits.dims())?;
+    let probs = Tensor::from_buffer(probs, logits.dims())?;
     Ok((mean_loss, CrossEntropyState { probs, targets: targets.to_vec(), active }))
 }
 
@@ -104,7 +104,7 @@ pub fn cross_entropy_bwd(
     state: &CrossEntropyState,
 ) -> Result<Tensor> {
     let (rows, classes) = (state.probs.dims()[0], state.probs.dims()[1]);
-    let mut grad = vec![0.0f32; state.probs.numel()];
+    let mut grad = Buffer::zeroed(state.probs.numel());
     if state.active > 0 {
         let scale = 1.0 / state.active as f32;
         for r in 0..rows {
@@ -123,7 +123,7 @@ pub fn cross_entropy_bwd(
     let es = ctx.dtype_of().size_bytes();
     let n = state.probs.numel() as u64;
     ctx.trace(tracer, "xent", OpKind::ElementWise, 2 * n, n * 4 + rows as u64 * 4, n * es);
-    Tensor::from_vec(grad, state.probs.dims())
+    Tensor::from_buffer(grad, state.probs.dims())
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! additive `[B*h, n, n]` tensor shape the attention kernels consume, so
 //! the kernel stream is bit-identical in structure.
 
-use bertscope_tensor::{DType, Tensor, TensorError};
+use bertscope_tensor::{Buffer, DType, Tensor, TensorError};
 
 /// The additive value used to suppress an attention connection in f32.
 pub const MASK_NEG: f32 = -1.0e9;
@@ -47,7 +47,7 @@ pub fn padding_mask(
         }
     }
     let neg = mask_neg_for(dtype);
-    let mut data = vec![0.0f32; b * heads * seq * seq];
+    let mut data = Buffer::zeroed(b * heads * seq * seq);
     for (bi, &len) in lengths.iter().enumerate() {
         for h in 0..heads {
             let base = (bi * heads + h) * seq * seq;
@@ -58,7 +58,7 @@ pub fn padding_mask(
             }
         }
     }
-    let mut t = Tensor::from_vec(data, &[b * heads, seq, seq])?;
+    let mut t = Tensor::from_buffer(data, &[b * heads, seq, seq])?;
     if dtype.is_half() {
         t = t.to_dtype(dtype);
     }
@@ -81,7 +81,7 @@ pub fn causal_mask(
         return Err(TensorError::InvalidArgument("batch must be non-zero".into()));
     }
     let neg = mask_neg_for(dtype);
-    let mut data = vec![0.0f32; batch * heads * seq * seq];
+    let mut data = Buffer::zeroed(batch * heads * seq * seq);
     for bh in 0..batch * heads {
         let base = bh * seq * seq;
         for q in 0..seq {
@@ -90,7 +90,7 @@ pub fn causal_mask(
             }
         }
     }
-    let mut t = Tensor::from_vec(data, &[batch * heads, seq, seq])?;
+    let mut t = Tensor::from_buffer(data, &[batch * heads, seq, seq])?;
     if dtype.is_half() {
         t = t.to_dtype(dtype);
     }

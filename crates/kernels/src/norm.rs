@@ -6,7 +6,7 @@
 
 use crate::ctx::KernelCtx;
 use crate::Result;
-use bertscope_tensor::{pool, OpKind, Tensor, TensorError, Tracer};
+use bertscope_tensor::{pool, Buffer, OpKind, Tensor, TensorError, Tracer};
 
 /// Elements per pool task for row-parallel norm kernels. Derived from the
 /// problem shape only, so chunk boundaries — and results — are identical at
@@ -37,7 +37,7 @@ fn rows_of(x: &Tensor) -> Result<(usize, usize)> {
 /// Returns an error for rank-0 or zero-length-row tensors.
 pub fn softmax_fwd(tracer: &mut Tracer, ctx: &KernelCtx, x: &Tensor) -> Result<Tensor> {
     let (_, len) = rows_of(x)?;
-    let mut out = vec![0.0f32; x.numel()];
+    let mut out = Buffer::zeroed(x.numel());
     let xs = x.as_slice();
     // Each row's math is self-contained, so row chunks parallelize with
     // bit-identical results at any pool size.
@@ -58,7 +58,7 @@ pub fn softmax_fwd(tracer: &mut Tracer, ctx: &KernelCtx, x: &Tensor) -> Result<T
             }
         }
     });
-    let mut y = Tensor::from_vec(out, x.dims())?;
+    let mut y = Tensor::from_buffer(out, x.dims())?;
     if ctx.dtype_of().is_half() {
         y = y.to_dtype(ctx.dtype_of());
     }
@@ -85,7 +85,7 @@ pub fn softmax_bwd(
         return Err(TensorError::shape("softmax_bwd", y.dims(), dy.dims()));
     }
     let (_, len) = rows_of(y)?;
-    let mut out = vec![0.0f32; y.numel()];
+    let mut out = Buffer::zeroed(y.numel());
     let ys = y.as_slice();
     let dys = dy.as_slice();
     pool::parallel_for_mut(&mut out, rows_grain(len) * len, |off, chunk| {
@@ -99,7 +99,7 @@ pub fn softmax_bwd(
             }
         }
     });
-    let dx = Tensor::from_vec(out, y.dims())?;
+    let dx = Tensor::from_buffer(out, y.dims())?;
     let es = ctx.dtype_of().size_bytes();
     let n = y.numel() as u64;
     ctx.trace(tracer, "softmax", OpKind::Reduction, 4 * n, 2 * n * es, n * es);
@@ -137,7 +137,7 @@ pub fn layernorm_fwd(
     let xs = x.as_slice();
     let g = gamma.as_slice();
     let b = beta.as_slice();
-    let mut out = vec![0.0f32; x.numel()];
+    let mut out = Buffer::zeroed(x.numel());
     let mut mean = vec![0.0f32; rows];
     let mut rstd = vec![0.0f32; rows];
     let grain = rows_grain(len);
@@ -167,7 +167,7 @@ pub fn layernorm_fwd(
         })
         .collect();
     pool::run_tasks(tasks);
-    let mut y = Tensor::from_vec(out, x.dims())?;
+    let mut y = Tensor::from_buffer(out, x.dims())?;
     if ctx.dtype_of().is_half() {
         y = y.to_dtype(ctx.dtype_of());
     }
@@ -202,9 +202,9 @@ pub fn layernorm_bwd(
     let xs = x.as_slice();
     let g = gamma.as_slice();
     let dys = dy.as_slice();
-    let mut dx = vec![0.0f32; x.numel()];
-    let mut dgamma = vec![0.0f32; len];
-    let mut dbeta = vec![0.0f32; len];
+    let mut dx = Buffer::zeroed(x.numel());
+    let mut dgamma = Buffer::zeroed(len);
+    let mut dbeta = Buffer::zeroed(len);
     let grain = rows_grain(len);
     // dgamma/dbeta reduce across rows: each chunk accumulates into its own
     // partial, and partials are merged serially in chunk order below, so
@@ -256,9 +256,9 @@ pub fn layernorm_bwd(
             dbeta[j] += pbeta[j];
         }
     }
-    let dx = Tensor::from_vec(dx, x.dims())?;
-    let dgamma = Tensor::from_vec(dgamma, gamma.dims())?;
-    let dbeta = Tensor::from_vec(dbeta, gamma.dims())?;
+    let dx = Tensor::from_buffer(dx, x.dims())?;
+    let dgamma = Tensor::from_buffer(dgamma, gamma.dims())?;
+    let dbeta = Tensor::from_buffer(dbeta, gamma.dims())?;
     let es = ctx.dtype_of().size_bytes();
     let n = x.numel() as u64;
     ctx.trace(

@@ -48,7 +48,7 @@ pub use heterogeneity::{accumulation_sweep, bucketing_study, AccumulationPoint, 
 pub use hierarchy::{hierarchical_breakdown, HierarchicalBreakdown, Segment};
 pub use inference::{serving_sweep, simulate_inference, ServingPoint};
 pub use intensity::{bandwidth_rows, gemm_intensities, BandwidthRow, GemmIntensityRow};
-pub use memory::{footprint, max_batch, MemoryFootprint};
+pub use memory::{footprint, max_batch, measured_to_model_ratio, MemoryFootprint};
 pub use profile::{IterationProfile, TimedOp};
 pub use roofline::{classify, classify_categories, extrapolate, ridge_point, Boundedness};
 pub use simulate::{simulate_finetune, simulate_iteration, NamedConfig};

@@ -90,6 +90,21 @@ pub fn footprint(cfg: &BertConfig, opts: &GraphOptions) -> MemoryFootprint {
     }
 }
 
+/// Ratio of a measured byte count to the model's prediction
+/// (`measured / modeled`). A ratio near 1.0 means the analytical footprint
+/// matches the allocator's live-byte accounting; the memory-profile
+/// cross-validation tests assert it stays inside a documented band.
+///
+/// # Panics
+///
+/// Panics when `modeled` is zero (the model never predicts a zero footprint
+/// for a valid configuration).
+#[must_use]
+pub fn measured_to_model_ratio(measured: u64, modeled: u64) -> f64 {
+    assert!(modeled > 0, "modeled footprint must be non-zero");
+    measured as f64 / modeled as f64
+}
+
 /// The largest mini-batch that fits in `capacity_bytes` for this
 /// configuration, holding `n` fixed (0 when even B=1 does not fit).
 #[must_use]
@@ -201,5 +216,12 @@ mod tests {
     fn tiny_capacity_fits_nothing() {
         let cfg = BertConfig::bert_large();
         assert_eq!(max_batch(&cfg, &GraphOptions::default(), 1 << 20), 0);
+    }
+
+    #[test]
+    fn measured_to_model_ratio_is_measured_over_modeled() {
+        assert!((measured_to_model_ratio(100, 100) - 1.0).abs() < 1e-12);
+        assert!((measured_to_model_ratio(150, 100) - 1.5).abs() < 1e-12);
+        assert!((measured_to_model_ratio(50, 100) - 0.5).abs() < 1e-12);
     }
 }

@@ -1,0 +1,417 @@
+//! Size-classed pooled buffer allocator with global accounting.
+//!
+//! Every f32 buffer in the substrate — tensor storage, GEMM pack scratch,
+//! kernel workspaces, optimizer moments — is acquired through this module.
+//! It plays the role the ROCm caching allocator plays in the paper's
+//! measured system: buffers are recycled through per-thread free lists
+//! keyed by power-of-two size class instead of hitting the system
+//! allocator on every kernel launch, and a global accounting core tracks
+//! live bytes, the high-water mark and acquisition counts so the measured
+//! memory profile (see [`crate::trace::MemoryProfile`]) can be
+//! cross-checked against the analytical footprint model in
+//! `bertscope-sim`.
+//!
+//! Accounting is by *requested* bytes (`len * 4`), not pooled capacity:
+//! the numbers reported here are exactly what an allocator with no
+//! rounding would report, which keeps the measured-vs-modeled comparison
+//! meaningful. All counters are relaxed atomics — cheap enough to leave
+//! on permanently.
+//!
+//! Free lists are thread-local. The worker pool's threads persist across
+//! kernel launches, so each worker's scratch is recycled across calls
+//! without any cross-thread synchronization on the free path.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Largest size class kept in the per-thread pools: buffers above
+/// 2^26 elements (256 MiB) bypass pooling and go straight back to the
+/// system allocator.
+const MAX_POOLED_CLASS: u32 = 26;
+
+/// Free buffers retained per size class per thread. Deep enough that a
+/// layer's worth of temporaries recycles, shallow enough that the pools
+/// themselves stay a rounding error next to the live tensors.
+const MAX_PER_CLASS: usize = 8;
+
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+static FRESH_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static REUSES: AtomicU64 = AtomicU64::new(0);
+static FREES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static FREE_LISTS: RefCell<Vec<Vec<Vec<f32>>>> =
+        RefCell::new((0..=MAX_POOLED_CLASS).map(|_| Vec::new()).collect());
+    static LOCAL: RefCell<ThreadStats> = RefCell::new(ThreadStats::default());
+}
+
+/// Allocator events performed *by the calling thread* (a buffer allocated
+/// here but dropped elsewhere counts toward this thread's allocs and the
+/// other thread's frees). Exact and race-free, unlike the global
+/// [`stats`] which other threads mutate concurrently; meant for tests and
+/// per-thread diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ThreadStats {
+    /// Net bytes this thread allocated minus bytes it freed.
+    pub net_bytes: i64,
+    /// Acquisitions served by the system allocator.
+    pub fresh_allocs: u64,
+    /// Acquisitions served from this thread's free lists.
+    pub reuses: u64,
+    /// Buffers this thread released.
+    pub frees: u64,
+}
+
+/// Snapshot of this thread's allocator event counters.
+#[must_use]
+pub fn thread_stats() -> ThreadStats {
+    LOCAL.with(|l| *l.borrow())
+}
+
+/// Snapshot of the allocator's global counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocStats {
+    /// Bytes currently live (requested, not pooled-capacity, bytes).
+    pub live_bytes: i64,
+    /// High-water mark of `live_bytes` since start (or the last
+    /// [`reset_peak`]).
+    pub peak_bytes: u64,
+    /// Acquisitions served by the system allocator.
+    pub fresh_allocs: u64,
+    /// Acquisitions served from a free list.
+    pub reuses: u64,
+    /// Buffers released (pooled or returned to the system).
+    pub frees: u64,
+}
+
+impl AllocStats {
+    /// Total acquisitions — what a pool-less allocator would have
+    /// allocated fresh. The pre-allocator baseline for regression gates.
+    #[must_use]
+    pub fn acquisitions(&self) -> u64 {
+        self.fresh_allocs + self.reuses
+    }
+}
+
+/// Current snapshot of the global counters.
+#[must_use]
+pub fn stats() -> AllocStats {
+    AllocStats {
+        live_bytes: LIVE_BYTES.load(Ordering::Relaxed),
+        peak_bytes: PEAK_BYTES.load(Ordering::Relaxed),
+        fresh_allocs: FRESH_ALLOCS.load(Ordering::Relaxed),
+        reuses: REUSES.load(Ordering::Relaxed),
+        frees: FREES.load(Ordering::Relaxed),
+    }
+}
+
+/// Bytes currently live across every thread.
+#[must_use]
+pub fn live_bytes() -> i64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// Reset the high-water mark to the current live byte count, so the next
+/// reading measures the peak of one region of interest (a benchmark
+/// iteration, one training step).
+pub fn reset_peak() {
+    let live = LIVE_BYTES.load(Ordering::Relaxed).max(0);
+    #[allow(clippy::cast_sign_loss)]
+    PEAK_BYTES.store(live as u64, Ordering::Relaxed);
+}
+
+#[allow(clippy::cast_possible_wrap)]
+fn account_alloc(bytes: u64) {
+    let now = LIVE_BYTES.fetch_add(bytes as i64, Ordering::Relaxed) + bytes as i64;
+    #[allow(clippy::cast_sign_loss)]
+    PEAK_BYTES.fetch_max(now.max(0) as u64, Ordering::Relaxed);
+    LOCAL.with(|l| l.borrow_mut().net_bytes += bytes as i64);
+}
+
+#[allow(clippy::cast_possible_wrap)]
+fn account_free(bytes: u64) {
+    LIVE_BYTES.fetch_sub(bytes as i64, Ordering::Relaxed);
+    FREES.fetch_add(1, Ordering::Relaxed);
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        l.net_bytes -= bytes as i64;
+        l.frees += 1;
+    });
+}
+
+fn count_fresh() {
+    FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    LOCAL.with(|l| l.borrow_mut().fresh_allocs += 1);
+}
+
+fn count_reuse() {
+    REUSES.fetch_add(1, Ordering::Relaxed);
+    LOCAL.with(|l| l.borrow_mut().reuses += 1);
+}
+
+/// Size class (power-of-two exponent) a request of `len` elements is
+/// served from, or `None` when it bypasses pooling.
+fn class_of(len: usize) -> Option<u32> {
+    if len == 0 || len > (1usize << MAX_POOLED_CLASS) {
+        return None;
+    }
+    Some(len.next_power_of_two().trailing_zeros())
+}
+
+/// Acquire a zero-filled vector of `len` elements, from the thread's free
+/// list when a buffer of the right class is available.
+fn acquire(len: usize) -> Vec<f32> {
+    let Some(class) = class_of(len) else {
+        count_fresh();
+        return vec![0.0f32; len];
+    };
+    let recycled = FREE_LISTS.with(|lists| lists.borrow_mut()[class as usize].pop());
+    match recycled {
+        Some(mut v) => {
+            count_reuse();
+            v.clear();
+            v.resize(len, 0.0);
+            v
+        }
+        None => {
+            count_fresh();
+            // Round the capacity up to the class size so the vector
+            // re-enters the pool on release.
+            let mut v = Vec::with_capacity(1usize << class);
+            v.resize(len, 0.0);
+            v
+        }
+    }
+}
+
+/// Return a vector to the thread's free list when its capacity is an
+/// exact pooled class; otherwise let it drop.
+fn release(v: Vec<f32>) {
+    let cap = v.capacity();
+    if !cap.is_power_of_two() || cap > (1usize << MAX_POOLED_CLASS) || cap == 0 {
+        return;
+    }
+    let class = cap.trailing_zeros() as usize;
+    FREE_LISTS.with(|lists| {
+        let mut lists = lists.borrow_mut();
+        if lists[class].len() < MAX_PER_CLASS {
+            lists[class].push(v);
+        }
+    });
+}
+
+/// Drop every buffer held by this thread's free lists (testing hook; the
+/// pools are otherwise bounded and never need trimming).
+pub fn trim_thread_pool() {
+    FREE_LISTS.with(|lists| {
+        for class in lists.borrow_mut().iter_mut() {
+            class.clear();
+        }
+    });
+}
+
+/// An owned, accounted f32 buffer. Dereferences to `[f32]`; dropping it
+/// returns the storage to the allocating thread's pool and retires its
+/// bytes from the live count.
+#[derive(Debug, Default)]
+pub struct Buffer {
+    data: Vec<f32>,
+    bytes: u64,
+}
+
+impl Buffer {
+    /// A zero-filled buffer of `len` elements.
+    #[must_use]
+    pub fn zeroed(len: usize) -> Buffer {
+        let bytes = (len * 4) as u64;
+        account_alloc(bytes);
+        Buffer { data: acquire(len), bytes }
+    }
+
+    /// A buffer of `len` copies of `value`.
+    #[must_use]
+    pub fn filled(len: usize, value: f32) -> Buffer {
+        let mut b = Buffer::zeroed(len);
+        if value != 0.0 {
+            b.data.fill(value);
+        }
+        b
+    }
+
+    /// A pooled copy of `src`.
+    #[must_use]
+    pub fn copied_from(src: &[f32]) -> Buffer {
+        let mut b = Buffer::zeroed(src.len());
+        b.data.copy_from_slice(src);
+        b
+    }
+
+    /// Bring an externally allocated vector under allocator accounting
+    /// (counts as one fresh allocation).
+    #[must_use]
+    pub fn adopt(data: Vec<f32>) -> Buffer {
+        let bytes = (data.len() * 4) as u64;
+        count_fresh();
+        account_alloc(bytes);
+        Buffer { data, bytes }
+    }
+
+    /// Surrender the storage to the caller, retiring its bytes from the
+    /// live count. The vector does not return to the pool.
+    #[must_use]
+    pub fn into_vec(mut self) -> Vec<f32> {
+        let data = std::mem::take(&mut self.data);
+        account_free(self.bytes);
+        self.bytes = 0;
+        std::mem::forget(self);
+        data
+    }
+}
+
+impl Drop for Buffer {
+    fn drop(&mut self) {
+        account_free(self.bytes);
+        release(std::mem::take(&mut self.data));
+    }
+}
+
+impl Clone for Buffer {
+    fn clone(&self) -> Buffer {
+        Buffer::copied_from(&self.data)
+    }
+}
+
+impl PartialEq for Buffer {
+    fn eq(&self, other: &Buffer) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Deref for Buffer {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+impl DerefMut for Buffer {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+impl Extend<f32> for Buffer {
+    fn extend<I: IntoIterator<Item = f32>>(&mut self, iter: I) {
+        let before = self.data.len();
+        self.data.extend(iter);
+        let grown = ((self.data.len() - before) * 4) as u64;
+        account_alloc(grown);
+        self.bytes += grown;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Exact-count assertions use `thread_stats()`: the global counters are
+    // shared with every concurrently running test in this binary, but the
+    // thread-local event counts are exact for single-threaded test bodies.
+    use super::*;
+
+    #[test]
+    fn zeroed_accounts_and_frees() {
+        let before = thread_stats();
+        let b = Buffer::zeroed(1000);
+        assert_eq!(b.len(), 1000);
+        assert!(b.iter().all(|&v| v == 0.0));
+        assert_eq!(thread_stats().net_bytes - before.net_bytes, 4000);
+        drop(b);
+        let after = thread_stats();
+        assert_eq!(after.net_bytes, before.net_bytes);
+        assert_eq!(after.frees, before.frees + 1);
+    }
+
+    #[test]
+    fn released_buffers_are_reused_in_class() {
+        trim_thread_pool();
+        let before = thread_stats();
+        drop(Buffer::zeroed(100));
+        // 100 rounds to class 7 (128); a 120-element request reuses it.
+        let b = Buffer::zeroed(120);
+        assert_eq!(b.len(), 120);
+        let after = thread_stats();
+        assert_eq!(after.reuses, before.reuses + 1);
+        assert_eq!(after.fresh_allocs, before.fresh_allocs + 1);
+    }
+
+    #[test]
+    fn reused_buffers_come_back_zeroed() {
+        trim_thread_pool();
+        let mut b = Buffer::zeroed(64);
+        b[0] = 7.0;
+        drop(b);
+        let before = thread_stats();
+        let b2 = Buffer::zeroed(64);
+        assert_eq!(thread_stats().reuses, before.reuses + 1);
+        assert!(b2.iter().all(|&v| v == 0.0), "recycled garbage leaked through");
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        // The global peak only moves up while buffers are held, so with
+        // other tests running concurrently the only safe assertions are
+        // monotonicity and the lower bound from our own live buffers.
+        let a = Buffer::zeroed(1 << 10);
+        let b = Buffer::zeroed(1 << 10);
+        let peak = stats().peak_bytes;
+        assert!(peak >= 2 * 4 * (1 << 10), "peak {peak} below this test's own live bytes");
+        drop(a);
+        assert!(stats().peak_bytes >= peak, "peak moved backwards");
+        drop(b);
+    }
+
+    #[test]
+    fn adopt_and_into_vec_balance() {
+        let before = thread_stats();
+        let b = Buffer::adopt(vec![1.0, 2.0, 3.0]);
+        assert_eq!(thread_stats().net_bytes - before.net_bytes, 12);
+        let v = b.into_vec();
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+        let after = thread_stats();
+        assert_eq!(after.net_bytes, before.net_bytes);
+        assert_eq!(after.fresh_allocs, before.fresh_allocs + 1);
+        assert_eq!(after.frees, before.frees + 1);
+    }
+
+    #[test]
+    fn oversize_and_empty_requests_bypass_pooling() {
+        let b = Buffer::zeroed(0);
+        assert!(b.is_empty());
+        assert_eq!(class_of(0), None);
+        assert_eq!(class_of((1 << MAX_POOLED_CLASS) + 1), None);
+        assert_eq!(class_of(1 << MAX_POOLED_CLASS), Some(MAX_POOLED_CLASS));
+    }
+
+    #[test]
+    fn clone_is_pool_routed_and_equal() {
+        let mut b = Buffer::zeroed(8);
+        b[3] = 4.0;
+        let before = thread_stats();
+        let c = b.clone();
+        assert_eq!(b, c);
+        let after = thread_stats();
+        assert_eq!(after.fresh_allocs + after.reuses, before.fresh_allocs + before.reuses + 1);
+    }
+
+    #[test]
+    fn extend_grows_accounting() {
+        let before = thread_stats();
+        let mut b = Buffer::zeroed(2);
+        b.extend([1.0, 2.0]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(thread_stats().net_bytes - before.net_bytes, 16);
+        drop(b);
+        assert_eq!(thread_stats().net_bytes, before.net_bytes);
+    }
+}

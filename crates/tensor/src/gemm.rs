@@ -6,11 +6,11 @@
 //! single precision); the result is quantized to the left operand's logical
 //! [`DType`](crate::DType).
 
+use crate::alloc::Buffer;
 use crate::error::TensorError;
 use crate::pool;
 use crate::tensor::Tensor;
 use crate::Result;
-use std::borrow::Cow;
 
 /// Whether an operand is transposed, i.e. the `transA`/`transB` flags of the
 /// classic BLAS interface. The paper labels its GEMMs `(transposeA,
@@ -96,7 +96,7 @@ pub fn gemm(
     if ka != kb {
         return Err(TensorError::shape("gemm inner dimension", a.dims(), b.dims()));
     }
-    let mut out = vec![0.0f32; m * n];
+    let mut out = Buffer::zeroed(m * n);
     if let Some(c) = c {
         if c.dims() != [m, n] {
             return Err(TensorError::shape("gemm accumulator", &[m, n], c.dims()));
@@ -108,7 +108,7 @@ pub fn gemm(
         }
     }
     gemm_into(ta, tb, alpha, a.as_slice(), a.dims(), b.as_slice(), b.dims(), &mut out, m, n, ka);
-    let mut t = Tensor::from_vec(out, &[m, n])?;
+    let mut t = Tensor::from_buffer(out, &[m, n])?;
     let dt = a.dtype();
     if dt.is_half() {
         t = t.to_dtype(dt);
@@ -151,7 +151,7 @@ pub fn batched_gemm(
     }
     let a_stride = a.dims()[1] * a.dims()[2];
     let b_stride = b.dims()[1] * b.dims()[2];
-    let mut out = vec![0.0f32; batch * m * n];
+    let mut out = Buffer::zeroed(batch * m * n);
     let a_dims2 = [a.dims()[1], a.dims()[2]];
     let b_dims2 = [b.dims()[1], b.dims()[2]];
     if batch * m * n * ka >= PARALLEL_THRESHOLD {
@@ -196,7 +196,7 @@ pub fn batched_gemm(
             );
         }
     }
-    let mut t = Tensor::from_vec(out, &[batch, m, n])?;
+    let mut t = Tensor::from_buffer(out, &[batch, m, n])?;
     let dt = a.dtype();
     if dt.is_half() {
         t = t.to_dtype(dt);
@@ -211,21 +211,40 @@ fn op_dims(rows: usize, cols: usize, t: Transpose) -> (usize, usize) {
     }
 }
 
+/// A packed GEMM operand: either the original slice (untransposed operands
+/// are already row-major) or a pooled transposed copy. The owned variant
+/// recycles through [`crate::alloc`], so each worker thread's pack scratch
+/// is reused across kernel launches instead of reallocated.
+enum Packed<'x> {
+    Borrowed(&'x [f32]),
+    Owned(Buffer),
+}
+
+impl std::ops::Deref for Packed<'_> {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        match self {
+            Packed::Borrowed(s) => s,
+            Packed::Owned(b) => b,
+        }
+    }
+}
+
 /// Pack `op(X)` as a row-major `rows x cols` buffer. Untransposed operands
 /// are already in that layout, so they are borrowed as-is (zero-copy); only
 /// `Transpose::Yes` operands are materialized into a transposed copy.
-fn pack<'x>(x: &'x [f32], dims: &[usize; 2], t: Transpose) -> Cow<'x, [f32]> {
+fn pack<'x>(x: &'x [f32], dims: &[usize; 2], t: Transpose) -> Packed<'x> {
     match t {
-        Transpose::No => Cow::Borrowed(x),
+        Transpose::No => Packed::Borrowed(x),
         Transpose::Yes => {
             let (r, c) = (dims[0], dims[1]);
-            let mut out = vec![0.0f32; r * c];
+            let mut out = Buffer::zeroed(r * c);
             for i in 0..r {
                 for j in 0..c {
                     out[j * r + i] = x[i * c + j];
                 }
             }
-            Cow::Owned(out)
+            Packed::Owned(out)
         }
     }
 }

@@ -13,6 +13,10 @@
 //! * [`pool`] — a persistent worker pool with deterministically chunked
 //!   `parallel_for` helpers (the CPU stand-in for the GPU runtime's
 //!   multi-CU dispatch); results are bit-identical at any thread count;
+//! * [`alloc`] — the pooled buffer allocator every tensor and kernel
+//!   workspace routes through (the CPU stand-in for the ROCm caching
+//!   allocator), with global live/peak byte accounting that feeds the
+//!   measured [`MemoryProfile`];
 //! * [`trace`] — the operation tracer that records, for every kernel
 //!   invocation, its manifestation (GEMM / batched-GEMM / elementwise /
 //!   reduction), shape, FLOP count and bytes moved. The tracer plays the role
@@ -33,6 +37,7 @@
 //! # }
 //! ```
 
+pub mod alloc;
 pub mod dtype;
 pub mod error;
 pub mod fault;
@@ -43,13 +48,16 @@ pub mod shape;
 pub mod tensor;
 pub mod trace;
 
+pub use alloc::{AllocStats, Buffer};
 pub use dtype::DType;
 pub use error::TensorError;
 pub use fault::{Fault, FaultKind, FaultPlan};
 pub use gemm::{batched_gemm, gemm, Transpose};
 pub use shape::Shape;
 pub use tensor::Tensor;
-pub use trace::{summarize, Category, GemmSpec, Group, OpKind, OpRecord, Phase, Totals, Tracer};
+pub use trace::{
+    summarize, Category, GemmSpec, Group, MemoryProfile, OpKind, OpRecord, Phase, Totals, Tracer,
+};
 
 /// Result alias used across the tensor substrate.
 pub type Result<T> = std::result::Result<T, TensorError>;

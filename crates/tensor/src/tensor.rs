@@ -1,5 +1,6 @@
 //! The dense [`Tensor`] type and its elementwise / reduction operations.
 
+use crate::alloc::Buffer;
 use crate::dtype::DType;
 use crate::error::TensorError;
 use crate::pool;
@@ -26,33 +27,46 @@ const ELEMWISE_GRAIN: usize = 1 << 15;
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
-    data: Vec<f32>,
+    data: Buffer,
     shape: Shape,
     dtype: DType,
 }
 
 impl Tensor {
+    /// The one allocating constructor every other constructor routes
+    /// through: a zero-filled tensor of the given shape and logical type,
+    /// with storage acquired from the pooled allocator ([`crate::alloc`]).
+    fn alloc_zeroed(shape: Shape, dtype: DType) -> Self {
+        let data = Buffer::zeroed(shape.numel());
+        Tensor { data, shape, dtype }
+    }
+
+    /// A pooled scratch buffer with the same element count as this tensor
+    /// (the `map`/`zip_map`/`to_dtype` output allocation).
+    fn scratch(&self) -> Buffer {
+        Buffer::zeroed(self.data.len())
+    }
+
     /// A tensor of zeros with logical type `f32`.
     #[must_use]
     pub fn zeros(dims: &[usize]) -> Self {
-        Tensor {
-            data: vec![0.0; Shape::new(dims).numel()],
-            shape: Shape::new(dims),
-            dtype: DType::F32,
-        }
+        Tensor::alloc_zeroed(Shape::new(dims), DType::F32)
     }
 
     /// A tensor of zeros with the given logical type.
     #[must_use]
     pub fn zeros_with(dims: &[usize], dtype: DType) -> Self {
-        Tensor { data: vec![0.0; Shape::new(dims).numel()], shape: Shape::new(dims), dtype }
+        Tensor::alloc_zeroed(Shape::new(dims), dtype)
     }
 
     /// A tensor filled with `value`.
     #[must_use]
     pub fn full(dims: &[usize], value: f32) -> Self {
-        let shape = Shape::new(dims);
-        Tensor { data: vec![value; shape.numel()], shape, dtype: DType::F32 }
+        let mut t = Tensor::alloc_zeroed(Shape::new(dims), DType::F32);
+        if value != 0.0 {
+            t.data.fill(value);
+        }
+        t
     }
 
     /// A tensor of ones.
@@ -71,13 +85,24 @@ impl Tensor {
         t
     }
 
-    /// Build a tensor from raw data.
+    /// Build a tensor from raw data (brought under allocator accounting).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::LengthMismatch`] when `data.len()` does not
     /// equal the element count implied by `dims`.
     pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        Tensor::from_buffer(Buffer::adopt(data), dims)
+    }
+
+    /// Build a tensor from an allocator-owned buffer (the zero-copy path
+    /// kernels use for their workspaces).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` does not
+    /// equal the element count implied by `dims`.
+    pub fn from_buffer(data: Buffer, dims: &[usize]) -> Result<Self> {
         let shape = Shape::new(dims);
         if data.len() != shape.numel() {
             return Err(TensorError::LengthMismatch {
@@ -133,10 +158,11 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consume the tensor and return its raw storage.
+    /// Consume the tensor and return its raw storage (retired from
+    /// allocator accounting).
     #[must_use]
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        self.data.into_vec()
     }
 
     /// Element at a multi-dimensional index.
@@ -164,7 +190,7 @@ impl Tensor {
     /// representation).
     #[must_use]
     pub fn to_dtype(&self, dtype: DType) -> Tensor {
-        let mut data = vec![0.0f32; self.data.len()];
+        let mut data = self.scratch();
         let src = &self.data;
         pool::parallel_for_mut(&mut data, ELEMWISE_GRAIN, |off, chunk| {
             for (i, o) in chunk.iter_mut().enumerate() {
@@ -233,7 +259,7 @@ impl Tensor {
     #[must_use]
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let dt = self.dtype;
-        let mut data = vec![0.0f32; self.data.len()];
+        let mut data = self.scratch();
         let src = &self.data;
         pool::parallel_for_mut(&mut data, ELEMWISE_GRAIN, |off, chunk| {
             for (i, o) in chunk.iter_mut().enumerate() {
@@ -253,7 +279,7 @@ impl Tensor {
             return Err(TensorError::shape("zip_map", self.dims(), other.dims()));
         }
         let dt = self.dtype;
-        let mut data = vec![0.0f32; self.data.len()];
+        let mut data = self.scratch();
         let (lhs, rhs) = (&self.data, &other.data);
         pool::parallel_for_mut(&mut data, ELEMWISE_GRAIN, |off, chunk| {
             for (i, o) in chunk.iter_mut().enumerate() {
@@ -368,7 +394,7 @@ impl Tensor {
         if self.shape != other.shape {
             return Err(TensorError::shape("max_abs_diff", self.dims(), other.dims()));
         }
-        Ok(self.data.iter().zip(&other.data).fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs())))
+        Ok(self.data.iter().zip(other.data.iter()).fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs())))
     }
 }
 

@@ -388,6 +388,15 @@ impl OpRecord {
 #[derive(Debug, Default)]
 pub struct Tracer {
     records: Vec<OpRecord>,
+    /// Allocator live bytes observed right after each record was pushed
+    /// (parallel to `records`). Sampled on the launching thread, after the
+    /// kernel's worker tasks joined, so each sample counts live tensors
+    /// only — never in-flight worker scratch — and is therefore identical
+    /// at any pool size.
+    live_samples: Vec<i64>,
+    /// Allocator live bytes when the tracer was created (the weights and
+    /// other long-lived state already resident before the traced region).
+    baseline_bytes: i64,
     enabled: bool,
     meta: BTreeMap<String, String>,
 }
@@ -403,13 +412,25 @@ impl Tracer {
             "host.parallelism".to_string(),
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).to_string(),
         );
-        Tracer { records: Vec::new(), enabled: true, meta }
+        Tracer {
+            records: Vec::new(),
+            live_samples: Vec::new(),
+            baseline_bytes: crate::alloc::live_bytes(),
+            enabled: true,
+            meta,
+        }
     }
 
     /// A tracer that drops all records (zero overhead in hot loops).
     #[must_use]
     pub fn disabled() -> Self {
-        Tracer { records: Vec::new(), enabled: false, meta: BTreeMap::new() }
+        Tracer {
+            records: Vec::new(),
+            live_samples: Vec::new(),
+            baseline_bytes: 0,
+            enabled: false,
+            meta: BTreeMap::new(),
+        }
     }
 
     /// Execution-environment metadata captured when the tracer was created
@@ -455,6 +476,7 @@ impl Tracer {
                 );
             }
             self.records.push(rec);
+            self.live_samples.push(crate::alloc::live_bytes());
         }
     }
 
@@ -464,6 +486,46 @@ impl Tracer {
         &self.records
     }
 
+    /// Allocator live bytes observed right after each record was pushed —
+    /// `live_bytes_after()[i]` is the measured memory state following
+    /// `records()[i]`.
+    #[must_use]
+    pub fn live_bytes_after(&self) -> &[i64] {
+        &self.live_samples
+    }
+
+    /// Allocator live bytes when this tracer was created.
+    #[must_use]
+    pub fn baseline_bytes(&self) -> i64 {
+        self.baseline_bytes
+    }
+
+    /// The measured memory profile of the traced region: the peak live
+    /// bytes observed at any record boundary, overall and split per
+    /// [`Phase`] and [`Category`]. Samples are taken on the launch thread
+    /// after each kernel's worker tasks joined, so the profile is
+    /// bit-identical at any pool size (see [`crate::pool`]).
+    #[must_use]
+    pub fn memory_profile(&self) -> MemoryProfile {
+        let mut profile = MemoryProfile {
+            baseline_bytes: self.baseline_bytes.max(0).unsigned_abs(),
+            peak_bytes: self.baseline_bytes.max(0).unsigned_abs(),
+            min_live_bytes: self.baseline_bytes,
+            peak_by_phase: BTreeMap::new(),
+            peak_by_category: BTreeMap::new(),
+        };
+        for (rec, &live) in self.records.iter().zip(&self.live_samples) {
+            let live_u = live.max(0).unsigned_abs();
+            profile.peak_bytes = profile.peak_bytes.max(live_u);
+            profile.min_live_bytes = profile.min_live_bytes.min(live);
+            let by_phase = profile.peak_by_phase.entry(rec.phase).or_default();
+            *by_phase = (*by_phase).max(live_u);
+            let by_cat = profile.peak_by_category.entry(rec.category).or_default();
+            *by_cat = (*by_cat).max(live_u);
+        }
+        profile
+    }
+
     /// Number of kernel launches recorded — the paper's "kernel count"
     /// metric for fusion and checkpointing studies.
     #[must_use]
@@ -471,9 +533,14 @@ impl Tracer {
         self.records.len()
     }
 
-    /// Drop all records, keeping the enabled state.
+    /// Drop all records, keeping the enabled state and re-baselining the
+    /// memory profile at the current live byte count.
     pub fn clear(&mut self) {
         self.records.clear();
+        self.live_samples.clear();
+        if self.enabled {
+            self.baseline_bytes = crate::alloc::live_bytes();
+        }
     }
 
     /// Consume the tracer and return its records.
@@ -498,8 +565,47 @@ impl Tracer {
 impl Extend<OpRecord> for Tracer {
     fn extend<T: IntoIterator<Item = OpRecord>>(&mut self, iter: T) {
         if self.enabled {
-            self.records.extend(iter);
+            for rec in iter {
+                self.records.push(rec);
+                self.live_samples.push(crate::alloc::live_bytes());
+            }
         }
+    }
+}
+
+/// Measured run-level memory profile: the allocator's live-byte high-water
+/// mark over a traced region, overall and per [`Phase`] / [`Category`].
+///
+/// Produced by [`Tracer::memory_profile`]; cross-validated against the
+/// analytical footprint model (`bertscope-sim`'s `memory::footprint`) by
+/// the memory-measurement test suite, and exported next to the kernel
+/// trace by `bertscope-core`'s `memory_profile_json`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MemoryProfile {
+    /// Live bytes already resident when tracing began (weights, gradients,
+    /// optimizer state from earlier steps).
+    pub baseline_bytes: u64,
+    /// Peak live bytes observed at any record boundary (at least the
+    /// baseline).
+    pub peak_bytes: u64,
+    /// Minimum live bytes observed — [`i64`] so that an accounting bug
+    /// that drives the counter negative is representable (and caught by
+    /// rule `M001` in `bertscope-check`).
+    pub min_live_bytes: i64,
+    /// Peak live bytes observed after ops of each phase.
+    pub peak_by_phase: BTreeMap<Phase, u64>,
+    /// Peak live bytes observed after ops of each category.
+    pub peak_by_category: BTreeMap<Category, u64>,
+}
+
+impl MemoryProfile {
+    /// Peak bytes attributable to the traced region itself: the overall
+    /// peak minus what was already live at the baseline. For a traced
+    /// training step whose weights/gradients/optimizer state pre-exist,
+    /// this is the measured *activation* peak.
+    #[must_use]
+    pub fn peak_over_baseline(&self) -> u64 {
+        self.peak_bytes.saturating_sub(self.baseline_bytes)
     }
 }
 
@@ -657,6 +763,44 @@ mod tests {
         tr.extend([rec(Category::Gelu, 1, 1)]);
         assert_eq!(tr.kernel_count(), 0);
         assert!(!tr.is_enabled());
+        assert!(tr.live_bytes_after().is_empty());
+        assert_eq!(tr.memory_profile(), MemoryProfile::default());
+    }
+
+    #[test]
+    fn tracer_samples_live_bytes_per_record() {
+        // Concurrent tests in this binary share the global allocator, so
+        // assertions here are structural/directional; exact peak equality
+        // is covered by the serialized memory_profile integration suite.
+        let mut tr = Tracer::new();
+        tr.record(rec(Category::Gelu, 1, 1));
+        let held = crate::alloc::Buffer::zeroed(1 << 16);
+        tr.record(rec(Category::LambStage1, 1, 1));
+        tr.extend([{
+            let mut r = rec(Category::Gelu, 1, 1);
+            r.phase = Phase::Backward;
+            r
+        }]);
+        assert_eq!(tr.live_bytes_after().len(), tr.records().len());
+        let profile = tr.memory_profile();
+        assert!(profile.peak_bytes >= profile.baseline_bytes);
+        assert!(profile.peak_by_phase.contains_key(&Phase::Forward));
+        assert!(profile.peak_by_phase.contains_key(&Phase::Backward));
+        assert!(profile.peak_by_category.contains_key(&Category::LambStage1));
+        // The held buffer is live at the second sample, so the forward-phase
+        // peak must cover at least its bytes plus nothing negative.
+        assert!(profile.peak_by_phase[&Phase::Forward] >= u64::from(held.len() as u32) * 4);
+        tr.clear();
+        assert!(tr.live_bytes_after().is_empty());
+        assert_eq!(tr.memory_profile().peak_by_phase.len(), 0);
+    }
+
+    #[test]
+    fn peak_over_baseline_saturates() {
+        let p = MemoryProfile { baseline_bytes: 100, peak_bytes: 140, ..Default::default() };
+        assert_eq!(p.peak_over_baseline(), 40);
+        let q = MemoryProfile { baseline_bytes: 200, peak_bytes: 140, ..Default::default() };
+        assert_eq!(q.peak_over_baseline(), 0);
     }
 
     #[test]

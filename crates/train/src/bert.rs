@@ -19,7 +19,7 @@ use bertscope_kernels::{KernelCtx, Result};
 use bertscope_model::{checkpoint_segments, BertConfig, Precision};
 use bertscope_tensor::init::randn;
 use bertscope_tensor::{
-    gemm, Category, DType, GemmSpec, OpKind, OpRecord, Phase, Tensor, Tracer, Transpose,
+    gemm, Buffer, Category, DType, GemmSpec, OpKind, OpRecord, Phase, Tensor, Tracer, Transpose,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -469,7 +469,7 @@ impl Bert {
             GemmSpec::new(Transpose::Yes, Transpose::No, self.cfg.vocab, d, t),
         );
         let d_decoder_bias = {
-            let mut acc = vec![0.0f32; self.cfg.vocab];
+            let mut acc = Buffer::zeroed(self.cfg.vocab);
             for row in d_logits.as_slice().chunks(self.cfg.vocab) {
                 for (a, &v) in acc.iter_mut().zip(row) {
                     *a += v;
@@ -484,7 +484,7 @@ impl Bert {
                 (t * self.cfg.vocab) as u64 * es,
                 self.cfg.vocab as u64 * 4,
             );
-            Tensor::from_vec(acc, &[self.cfg.vocab])?
+            Tensor::from_buffer(acc, &[self.cfg.vocab])?
         };
         let out_bwd = self.kctx("mlm", Category::Output, Phase::Backward);
         let (d_mlm_g, d_mlm_ln_gamma, d_mlm_ln_beta) = layernorm_bwd(
@@ -728,14 +728,14 @@ impl Bert {
     /// Gather the [CLS] (position 0) rows into `[B, d]`.
     fn gather_cls(&self, tracer: &mut Tracer, seq: &Tensor) -> Result<Tensor> {
         let (n, d, b) = (self.cfg.seq_len, self.cfg.d_model, self.cfg.batch);
-        let mut out = Vec::with_capacity(b * d);
+        let mut out = Buffer::zeroed(b * d);
         for s in 0..b {
-            out.extend_from_slice(&seq.as_slice()[s * n * d..s * n * d + d]);
+            out[s * d..(s + 1) * d].copy_from_slice(&seq.as_slice()[s * n * d..s * n * d + d]);
         }
         let ctx = self.kctx("nsp", Category::Output, Phase::Forward);
         let bytes = (b * d) as u64 * self.act_dtype().size_bytes();
         ctx.trace(tracer, "gather_cls", OpKind::Copy, 0, bytes, bytes);
-        Tensor::from_vec(out, &[b, d])
+        Tensor::from_buffer(out, &[b, d])
     }
 
     /// Scatter [CLS]-row gradients back into the sequence gradient.

@@ -9,7 +9,7 @@
 use bertscope_model::graph::{
     ADAM_FLOPS_PER_PARAM, LAMB_STAGE1_FLOPS_PER_PARAM, LAMB_STAGE2_FLOPS_PER_PARAM,
 };
-use bertscope_tensor::{pool, Category, DType, OpKind, OpRecord, Phase, Tensor, Tracer};
+use bertscope_tensor::{pool, Buffer, Category, DType, OpKind, OpRecord, Phase, Tensor, Tracer};
 use std::collections::HashMap;
 
 /// Parameters per pool task for the optimizer loops. A pure function of the
@@ -84,7 +84,7 @@ pub struct OptimizerState {
 fn export_moments(
     step: u64,
     state: &HashMap<String, Moments>,
-    master: &HashMap<String, Vec<f32>>,
+    master: &HashMap<String, Buffer>,
 ) -> OptimizerState {
     let mut names: Vec<&String> = state.keys().collect();
     names.sort();
@@ -92,9 +92,9 @@ fn export_moments(
         .into_iter()
         .map(|n| SlotState {
             name: n.clone(),
-            m: state[n].m.clone(),
-            v: state[n].v.clone(),
-            master: master.get(n).cloned().unwrap_or_default(),
+            m: state[n].m.to_vec(),
+            v: state[n].v.to_vec(),
+            master: master.get(n).map(|b| b.to_vec()).unwrap_or_default(),
         })
         .collect();
     OptimizerState { step, slots }
@@ -104,14 +104,14 @@ fn import_moments(
     imported: OptimizerState,
     step: &mut u64,
     state: &mut HashMap<String, Moments>,
-    master: &mut HashMap<String, Vec<f32>>,
+    master: &mut HashMap<String, Buffer>,
 ) {
     *step = imported.step;
     state.clear();
     master.clear();
     for s in imported.slots {
-        state.insert(s.name.clone(), Moments { m: s.m, v: s.v });
-        master.insert(s.name, s.master);
+        state.insert(s.name.clone(), Moments { m: Buffer::adopt(s.m), v: Buffer::adopt(s.v) });
+        master.insert(s.name, Buffer::adopt(s.master));
     }
 }
 
@@ -153,11 +153,12 @@ fn update_rec(name: String, cat: Category, flops: u64, br: u64, bw: u64) -> OpRe
     }
 }
 
-/// Per-tensor optimizer state in f32.
+/// Per-tensor optimizer state in f32, held in pooled buffers so optimizer
+/// memory shows up in the measured live-byte accounting.
 #[derive(Debug, Default)]
 struct Moments {
-    m: Vec<f32>,
-    v: Vec<f32>,
+    m: Buffer,
+    v: Buffer,
 }
 
 /// The LAMB optimizer (You et al., the paper's §2.4 / Algorithm 2).
@@ -182,7 +183,7 @@ pub struct Lamb {
     pub grad_scale: f32,
     step: u64,
     state: HashMap<String, Moments>,
-    master: HashMap<String, Vec<f32>>,
+    master: HashMap<String, Buffer>,
 }
 
 impl Lamb {
@@ -244,16 +245,18 @@ impl Lamb {
         let bc2 = 1.0 - self.beta2.powi(t);
         for s in slots.iter_mut() {
             let n = s.value.numel();
-            let master =
-                self.master.entry(s.name.to_owned()).or_insert_with(|| s.value.as_slice().to_vec());
+            let master = self
+                .master
+                .entry(s.name.to_owned())
+                .or_insert_with(|| Buffer::copied_from(s.value.as_slice()));
             let st = self
                 .state
                 .entry(s.name.to_owned())
-                .or_insert_with(|| Moments { m: vec![0.0; n], v: vec![0.0; n] });
+                .or_insert_with(|| Moments { m: Buffer::zeroed(n), v: Buffer::zeroed(n) });
             // Stage 1: update moments and form the update direction.
             // Chunked over the pool; each chunk owns its slices of m/v/update
             // and its own (w_sq, u_sq) partial, merged in chunk order below.
-            let mut update = vec![0.0f32; n];
+            let mut update = Buffer::zeroed(n);
             let mut partials = vec![(0.0f64, 0.0f64); n.div_ceil(OPT_GRAIN)];
             let gs = s.grad.as_slice();
             let master_ro: &[f32] = master;
@@ -369,7 +372,7 @@ pub struct Adam {
     pub fused: bool,
     step: u64,
     state: HashMap<String, Moments>,
-    master: HashMap<String, Vec<f32>>,
+    master: HashMap<String, Buffer>,
 }
 
 impl Adam {
@@ -406,12 +409,14 @@ impl Adam {
         let mut group_numel: Vec<(String, u64)> = Vec::new();
         for s in slots.iter_mut() {
             let n = s.value.numel();
-            let master =
-                self.master.entry(s.name.to_owned()).or_insert_with(|| s.value.as_slice().to_vec());
+            let master = self
+                .master
+                .entry(s.name.to_owned())
+                .or_insert_with(|| Buffer::copied_from(s.value.as_slice()));
             let st = self
                 .state
                 .entry(s.name.to_owned())
-                .or_insert_with(|| Moments { m: vec![0.0; n], v: vec![0.0; n] });
+                .or_insert_with(|| Moments { m: Buffer::zeroed(n), v: Buffer::zeroed(n) });
             let dt = s.value.dtype();
             // One fused, chunk-parallel pass: every element is independent,
             // so results are bit-identical at any pool size.

@@ -1,14 +1,20 @@
-//! Export a timed BERT-Large iteration as a Chrome-tracing timeline.
+//! Export a timed BERT-Large iteration as a Chrome-tracing timeline, plus
+//! the measured memory profile of a real traced training step.
 //!
 //! Writes `bertscope_trace.json`; open it in `chrome://tracing` or
 //! <https://ui.perfetto.dev> to scrub through the iteration kernel by
 //! kernel — the forward GEMM ridge, the long FC stretches, the dense comb
-//! of elementwise kernels, and the LAMB tail at the end.
+//! of elementwise kernels, and the LAMB tail at the end. Alongside it,
+//! `bertscope_memory.json` carries the pooled allocator's measured peaks
+//! (overall and per phase/category) from executing a tiny-BERT training
+//! step — the measured side of the `sim::memory::footprint` model.
 //!
 //! Run with: `cargo run --release --example profile_export`
 
 use bertscope::prelude::*;
 use bertscope_sim::{classify_categories, Boundedness};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn main() -> std::io::Result<()> {
     let gpu = GpuModel::mi100();
@@ -44,6 +50,31 @@ fn main() -> std::io::Result<()> {
     println!(
         "Every non-GEMM category (and the attention B-GEMMs) is memory-bound — \
          the paper's Fig. 7 in one command."
+    );
+
+    // Execute a tiny-BERT training step under the tracer and export the
+    // measured memory profile next to the timeline.
+    let cfg = BertConfig::tiny();
+    let corpus = SyntheticCorpus::new(cfg.vocab);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut bert = Bert::new(cfg, TrainOptions::default(), 42);
+    let mut optimizer = Lamb::new(0.02);
+    let batch = corpus.generate_batch(&mut rng, &cfg);
+    let mut tracer = Tracer::new();
+    bert.train_step(&mut tracer, &batch).expect("train step");
+    {
+        let mut slots = bert.param_slots();
+        optimizer.step(&mut tracer, &mut slots);
+    }
+    let mem = tracer.memory_profile();
+    let mem_json = memory_profile_json(&mem);
+    let mem_path = "bertscope_memory.json";
+    std::fs::write(mem_path, &mem_json)?;
+    println!(
+        "\nwrote {mem_path}: measured peak {:.2} MB ({:.2} MB over baseline) across {} phases",
+        mem.peak_bytes as f64 / 1.0e6,
+        mem.peak_over_baseline() as f64 / 1.0e6,
+        mem.peak_by_phase.len()
     );
     Ok(())
 }
