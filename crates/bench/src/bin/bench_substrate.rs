@@ -278,7 +278,11 @@ fn check(baseline_path: &str, samples: &[Sample], max_regression: f64) -> Result
             if ratio > max_regression { " — REGRESSION" } else { "" }
         );
         if ratio > max_regression {
-            failures.push(format!("{label} regressed {ratio:.2}x (limit {max_regression:.2}x)"));
+            failures.push(format!(
+                "{label} regressed {ratio:.2}x ({:.3} ms -> {:.3} ms, limit {max_regression:.2}x)",
+                base.best_ns as f64 / 1e6,
+                now.best_ns as f64 / 1e6
+            ));
         }
         // Allocation-count gate: a steady-state iteration must not hit the
         // system allocator more than `max_regression` times as often as
@@ -422,6 +426,19 @@ mod tests {
         let samples = vec![sample("micro_step_tiny_bert", 42, 1)];
         let parsed = parse_baseline(&doc_for(&samples)).unwrap();
         assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn time_regression_names_the_shape_and_timings() {
+        let doc = doc_for(&[sample("lamb_update_1m", 1_000_000, 2)]);
+        let path = std::env::temp_dir().join("bertscope_bench_time_gate.json");
+        std::fs::write(&path, doc).unwrap();
+        let err = check(path.to_str().unwrap(), &[sample("lamb_update_1m", 5_000_000, 2)], 2.0)
+            .unwrap_err();
+        assert!(
+            err.contains("lamb_update_1m regressed 5.00x (1.000 ms -> 5.000 ms"),
+            "failure must name the shape and both timings: {err}"
+        );
     }
 
     #[test]

@@ -121,6 +121,7 @@ mod tests {
 
     fn op(name: &str) -> OpRecord {
         OpRecord {
+            access: bertscope_tensor::AccessSet::default(),
             name: name.into(),
             kind: OpKind::ElementWise,
             category: Category::Gelu,

@@ -1,0 +1,265 @@
+//! H-series rules: schedule hazard checking over the dependence DAG.
+//!
+//! A GPU runtime enforces ordering dynamically with streams and events;
+//! this module is the static stand-in. Given the dependence graph
+//! reconstructed by [`deps::DepGraph`](crate::deps::DepGraph) and a
+//! candidate [`Schedule`], every RAW/WAR/WAW edge must strictly increase in
+//! step — two conflicting ops in the same step are a race, and an inverted
+//! edge reads stale data (RAW), clobbers a live value (WAR) or commits the
+//! wrong final write (WAW).
+//!
+//! Violated edges are classified most-specific-first: an edge whose
+//! producer is a communication op feeding an update-phase consumer is H005
+//! (the AllReduce→optimizer contract), an edge crossing any phase boundary
+//! is H004, and same-phase edges report as H001/H002/H003 by hazard kind.
+//! Independently of any schedule, [`check`] also verifies the program-order
+//! communication contract: once a gradient buffer has been handed to a
+//! communication op for reduction, no update-phase op may have consumed it
+//! earlier.
+
+use crate::deps::{DepEdge, DepGraph, DepKind, Schedule};
+use crate::finding::Finding;
+use crate::rules::RuleId;
+use bertscope_tensor::{OpKind, OpRecord, Phase};
+
+/// Check a candidate schedule against the dependence graph of `ops`.
+///
+/// A [`DepEdge`] `from → to` is satisfied iff
+/// `schedule.step_of[to] > schedule.step_of[from]`; every violated edge
+/// yields one error finding. `schedule_name` labels the findings (e.g.
+/// `"program order"`, `"asap"`).
+///
+/// # Panics
+///
+/// Panics when the schedule's length disagrees with the stream's.
+#[must_use]
+pub fn check_schedule(
+    ops: &[OpRecord],
+    graph: &DepGraph,
+    schedule: &Schedule,
+    schedule_name: &str,
+) -> Vec<Finding> {
+    assert_eq!(
+        schedule.step_of.len(),
+        ops.len(),
+        "schedule covers a different stream ({} steps vs {} ops)",
+        schedule.step_of.len(),
+        ops.len()
+    );
+    let mut out = Vec::new();
+    for e in &graph.edges {
+        let (sf, st) = (schedule.step_of[e.from], schedule.step_of[e.to]);
+        if st > sf {
+            continue;
+        }
+        let rule = classify(ops, e);
+        let relation = if st == sf { "concurrently with" } else { "before" };
+        out.push(
+            Finding::err(
+                rule,
+                format!(
+                    "schedule `{schedule_name}` runs `{}` (step {st}) {relation} `{}` \
+                     (step {sf}) despite a {} dependence on buffer {}",
+                    ops[e.to].name, ops[e.from].name, e.kind, e.buf
+                ),
+            )
+            .at(e.to, &ops[e.to])
+            .with_note(format!(
+                "edge: op {} `{}` [{}] -> op {} `{}` [{}]",
+                e.from, ops[e.from].name, ops[e.from].phase, e.to, ops[e.to].name, ops[e.to].phase
+            )),
+        );
+    }
+    out
+}
+
+/// Most-specific rule for a violated edge.
+fn classify(ops: &[OpRecord], e: &DepEdge) -> RuleId {
+    let (from, to) = (&ops[e.from], &ops[e.to]);
+    if is_comm(from) && to.phase == Phase::Update {
+        return RuleId::CommUpdateOrder;
+    }
+    if from.phase != to.phase {
+        return RuleId::CrossPhaseRace;
+    }
+    match e.kind {
+        DepKind::Raw => RuleId::HazardRaw,
+        DepKind::War => RuleId::HazardWar,
+        DepKind::Waw => RuleId::HazardWaw,
+    }
+}
+
+fn is_comm(op: &OpRecord) -> bool {
+    op.kind == OpKind::Comm || op.phase == Phase::Communication
+}
+
+/// Program-order communication contract (semantic H005): an update-phase op
+/// must not read a gradient buffer that a *later* communication op writes —
+/// the optimizer would consume the local, unreduced gradient.
+#[must_use]
+pub fn check_comm_ordering(ops: &[OpRecord]) -> Vec<Finding> {
+    use std::collections::BTreeMap;
+    // For each buffer, the earliest update-phase read.
+    let mut first_update_read: BTreeMap<bertscope_tensor::BufId, usize> = BTreeMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        if op.phase == Phase::Update {
+            for &b in &op.access.reads {
+                first_update_read.entry(b).or_insert(i);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        if !is_comm(op) {
+            continue;
+        }
+        for &b in &op.access.writes {
+            if let Some(&r) = first_update_read.get(&b) {
+                if r < i {
+                    out.push(
+                        Finding::err(
+                            RuleId::CommUpdateOrder,
+                            format!(
+                                "update op `{}` (index {r}) consumes buffer {b} before \
+                                 communication op `{}` (index {i}) reduces it",
+                                ops[r].name, op.name
+                            ),
+                        )
+                        .at(r, &ops[r])
+                        .with_note(
+                            "optimizers must read globally-reduced gradients, \
+                             not local partials",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Run every hazard lint that applies to a stream in program order: the
+/// program-order schedule itself (which any correctly-built graph satisfies
+/// by construction — violations mean the provenance annotations are
+/// inconsistent) and the communication contract.
+#[must_use]
+pub fn check(ops: &[OpRecord]) -> Vec<Finding> {
+    let graph = DepGraph::build(ops);
+    let mut out = check_schedule(ops, &graph, &Schedule::program_order(ops.len()), "program order");
+    out.extend(check_comm_ordering(ops));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertscope_tensor::{AccessSet, BufId, Category, DType};
+
+    fn op(name: &str, phase: Phase, reads: &[BufId], writes: &[BufId]) -> OpRecord {
+        OpRecord {
+            access: AccessSet::new(reads, writes),
+            name: name.into(),
+            kind: OpKind::ElementWise,
+            category: Category::Gelu,
+            phase,
+            layer: None,
+            gemm: None,
+            flops: 1,
+            bytes_read: 4,
+            bytes_written: 4,
+            dtype: DType::F32,
+        }
+    }
+
+    fn codes(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule.code()).collect()
+    }
+
+    #[test]
+    fn program_order_satisfies_its_own_graph() {
+        let [a, b] = [BufId::fresh(), BufId::fresh()];
+        let ops = vec![
+            op("w", Phase::Forward, &[], &[a]),
+            op("r", Phase::Forward, &[a], &[b]),
+            op("rw", Phase::Backward, &[b], &[a]),
+        ];
+        assert!(check(&ops).is_empty());
+    }
+
+    #[test]
+    fn inverted_raw_edge_fires_h001() {
+        let [a] = [BufId::fresh()];
+        let ops = vec![op("w", Phase::Forward, &[], &[a]), op("r", Phase::Forward, &[a], &[])];
+        let g = DepGraph::build(&ops);
+        let f = check_schedule(&ops, &g, &Schedule::from_permutation(&[1, 0]), "swapped");
+        assert_eq!(codes(&f), vec!["H001"]);
+    }
+
+    #[test]
+    fn concurrent_conflicting_ops_fire() {
+        let [a] = [BufId::fresh()];
+        let ops = vec![op("w", Phase::Forward, &[], &[a]), op("r", Phase::Forward, &[a], &[])];
+        let g = DepGraph::build(&ops);
+        let f = check_schedule(&ops, &g, &Schedule::from_steps(vec![0, 0]), "same-step");
+        assert_eq!(codes(&f), vec!["H001"]);
+        assert!(f[0].to_string().contains("concurrently"));
+    }
+
+    #[test]
+    fn war_and_waw_inversions_classify() {
+        let [a] = [BufId::fresh()];
+        let ops = vec![
+            op("w0", Phase::Forward, &[], &[a]),
+            op("r", Phase::Forward, &[a], &[]),
+            op("w1", Phase::Forward, &[], &[a]),
+        ];
+        let g = DepGraph::build(&ops);
+        // Run the second writer first: inverts WAR (r->w1) and WAW (w0->w1).
+        let f = check_schedule(&ops, &g, &Schedule::from_permutation(&[2, 0, 1]), "bad");
+        let mut c = codes(&f);
+        c.sort_unstable();
+        assert_eq!(c, vec!["H002", "H003"]);
+    }
+
+    #[test]
+    fn cross_phase_inversion_fires_h004() {
+        let [a] = [BufId::fresh()];
+        let ops = vec![op("fwd", Phase::Forward, &[], &[a]), op("bwd", Phase::Backward, &[a], &[])];
+        let g = DepGraph::build(&ops);
+        let f = check_schedule(&ops, &g, &Schedule::from_permutation(&[1, 0]), "bad");
+        assert_eq!(codes(&f), vec!["H004"]);
+    }
+
+    #[test]
+    fn comm_to_update_inversion_fires_h005() {
+        let [g_] = [BufId::fresh()];
+        let mut allreduce = op("allreduce.g", Phase::Communication, &[g_], &[g_]);
+        allreduce.kind = OpKind::Comm;
+        allreduce.category = Category::Comm;
+        let ops = vec![allreduce, op("adam", Phase::Update, &[g_], &[])];
+        let g = DepGraph::build(&ops);
+        let f = check_schedule(&ops, &g, &Schedule::from_permutation(&[1, 0]), "bad");
+        assert!(codes(&f).contains(&"H005"), "{f:?}");
+    }
+
+    #[test]
+    fn update_before_comm_in_program_order_fires_h005() {
+        let [g_] = [BufId::fresh()];
+        let mut allreduce = op("allreduce.g", Phase::Communication, &[g_], &[g_]);
+        allreduce.kind = OpKind::Comm;
+        let ops = vec![op("adam", Phase::Update, &[g_], &[]), allreduce];
+        let f = check_comm_ordering(&ops);
+        assert_eq!(codes(&f), vec!["H005"]);
+    }
+
+    #[test]
+    fn opaque_streams_are_vacuous() {
+        let ops = vec![op("a", Phase::Forward, &[], &[]), op("b", Phase::Backward, &[], &[])];
+        let g = DepGraph::build(&ops);
+        assert!(g.edges.is_empty());
+        assert!(check(&ops).is_empty());
+        // Even a fully reversed schedule is legal with no edges.
+        let f = check_schedule(&ops, &g, &Schedule::from_permutation(&[1, 0]), "rev");
+        assert!(f.is_empty());
+    }
+}

@@ -23,6 +23,18 @@
 //! * **Memory accounting** (`M` rules, via [`check_memory`]): the measured
 //!   memory profile must be internally consistent — live bytes never
 //!   negative, the peak at least the resident weights+gradients bound.
+//! * **Hazards** (`H` rules, via [`deps`] + [`hazard`]): from each op's
+//!   buffer read/write sets the checker reconstructs the true operator DAG
+//!   and verifies that a candidate parallel schedule respects every
+//!   RAW/WAR/WAW edge, never races across phase boundaries, and orders
+//!   gradient communication before the optimizer — statically, where a GPU
+//!   runtime would rely on stream/event dependency tracking. `cargo run -p
+//!   bertscope-check --bin racecheck` sweeps every paper configuration
+//!   under both program order and the max-parallel ASAP schedule.
+//! * **Lifetimes** (`L` rules, via [`lifetime`]): buffer provenance must
+//!   describe legal pooled lifetimes — no use after release, no double
+//!   release, no write into recycled storage, no leaked stream-local
+//!   allocation.
 //!
 //! The two sides of the suite's central cross-validation (`graph.rs` and
 //! the kernels crate) intentionally share their formulas; this checker is
@@ -63,7 +75,10 @@
     clippy::similar_names
 )]
 
+pub mod deps;
 pub mod finding;
+pub mod hazard;
+pub mod lifetime;
 pub mod rules;
 
 mod config_checks;
@@ -74,7 +89,9 @@ mod phase;
 mod scaler;
 
 pub use config_checks::check_iteration;
+pub use deps::{annotate_lifetimes, DagReport, DepEdge, DepGraph, DepKind, Lifetime, Schedule};
 pub use finding::{Finding, Severity};
+pub use hazard::{check_comm_ordering, check_schedule};
 pub use memory::check_memory;
 pub use rules::RuleId;
 
@@ -92,6 +109,8 @@ pub fn check_stream(ops: &[OpRecord]) -> Vec<Finding> {
     out.extend(dataflow::check(ops));
     out.extend(phase::check(ops));
     out.extend(scaler::check(ops));
+    out.extend(hazard::check(ops));
+    out.extend(lifetime::check(ops));
     finding::sort(&mut out);
     out
 }

@@ -1,0 +1,272 @@
+//! L-series rules: pooled buffer-lifetime verification.
+//!
+//! The pooled allocator (`bertscope_tensor::pool`) recycles device-sized
+//! buffers aggressively; the price is a family of temporal bugs the borrow
+//! checker cannot see across an *operator stream*: using a buffer after it
+//! went back to the pool, releasing it twice, or writing into storage a
+//! later allocation may already own. This module replays each buffer's
+//! access sequence through a small state machine:
+//!
+//! ```text
+//!            write/alloc            free
+//!   Unseen ─────────────▶ Live ───────────▶ Freed
+//!      │ read                │ read/write      │ read  → L001
+//!      ▼                     ▼                 │ write → L003
+//!   Foreign (weights/inputs: live across the stream, exempt)
+//!      ▲                                       │ free  → L002
+//!      └───────────────────────────────────────┘ (alloc revives to Live)
+//! ```
+//!
+//! Leak detection (L004) only arms when the stream records at least one
+//! explicit free — a stream with no lifetime events at all (e.g. the purely
+//! analytic graphs, which model steady-state iteration where activations
+//! persist) is not accused of leaking everything.
+
+use crate::deps::annotate_lifetimes;
+use crate::finding::Finding;
+use crate::rules::RuleId;
+use bertscope_tensor::{BufId, OpRecord};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Written (or explicitly allocated) inside the stream and not yet
+    /// released; carries the op index that made it live.
+    Live(usize),
+    /// Released to the pool at the recorded op index.
+    Freed(usize),
+    /// First touched by a read: a weight, input or RNG buffer owned outside
+    /// the stream. Exempt from lifetime rules.
+    Foreign,
+}
+
+/// Verify every buffer's access sequence describes a legal pooled lifetime.
+#[must_use]
+pub fn check(ops: &[OpRecord]) -> Vec<Finding> {
+    let mut state: BTreeMap<BufId, State> = BTreeMap::new();
+    let mut out = Vec::new();
+    let mut any_free = false;
+
+    for (i, op) in ops.iter().enumerate() {
+        for &b in &op.access.allocs {
+            // An alloc event always (re)vives the buffer, even after a free:
+            // the pool handed the id's logical slot back out.
+            state.insert(b, State::Live(i));
+        }
+        for &b in &op.access.reads {
+            match state.get(&b) {
+                None => {
+                    state.insert(b, State::Foreign);
+                }
+                Some(State::Freed(at)) => {
+                    out.push(
+                        Finding::err(
+                            RuleId::UseAfterFree,
+                            format!(
+                                "op `{}` reads buffer {b} released to the pool by op {at} \
+                                 (`{}`)",
+                                op.name, ops[*at].name
+                            ),
+                        )
+                        .at(i, op)
+                        .with_note("the pool may have recycled this storage already"),
+                    );
+                }
+                Some(State::Live(_) | State::Foreign) => {}
+            }
+        }
+        for &b in &op.access.writes {
+            match state.get(&b) {
+                Some(State::Freed(at)) => {
+                    out.push(
+                        Finding::err(
+                            RuleId::WriteAfterReuse,
+                            format!(
+                                "op `{}` writes buffer {b} whose storage re-entered the \
+                                 free list at op {at} (`{}`)",
+                                op.name, ops[*at].name
+                            ),
+                        )
+                        .at(i, op)
+                        .with_note(
+                            "a later allocation may own this memory — the write can \
+                             corrupt an unrelated tensor",
+                        ),
+                    );
+                    // One diagnosis per illegal write is enough; keep Freed so
+                    // further uses keep firing rather than masking the bug.
+                }
+                Some(State::Foreign | State::Live(_)) => {}
+                None => {
+                    state.insert(b, State::Live(i));
+                }
+            }
+        }
+        for &b in &op.access.frees {
+            any_free = true;
+            match state.get(&b) {
+                Some(State::Freed(at)) => {
+                    out.push(
+                        Finding::err(
+                            RuleId::DoubleFree,
+                            format!(
+                                "op `{}` releases buffer {b} to the pool again (first \
+                                 released by op {at} `{}`)",
+                                op.name, ops[*at].name
+                            ),
+                        )
+                        .at(i, op)
+                        .with_note("double release puts one storage block on the free list twice"),
+                    );
+                }
+                _ => {
+                    state.insert(b, State::Freed(i));
+                }
+            }
+        }
+    }
+
+    if any_free {
+        report_leaks(ops, &state, &mut out);
+    }
+    out
+}
+
+/// L004: every buffer still `Live` at stream end leaks (only called when the
+/// stream releases at least one buffer).
+fn report_leaks(ops: &[OpRecord], state: &BTreeMap<BufId, State>, out: &mut Vec<Finding>) {
+    let lifetimes = annotate_lifetimes(ops);
+    for (b, st) in state {
+        if let State::Live(at) = st {
+            let last = lifetimes.get(b).and_then(|lt| lt.last_use).unwrap_or(*at);
+            out.push(
+                Finding::warn(
+                    RuleId::BufferLeak,
+                    format!(
+                        "buffer {b} allocated by op {at} (`{}`) is still live at \
+                         stream end (last use: op {last})",
+                        ops[*at].name
+                    ),
+                )
+                .at(*at, &ops[*at])
+                .with_note(
+                    "streams that release buffers are expected to release all of \
+                     them; a persistent buffer should be foreign (read-first) or \
+                     freed",
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bertscope_tensor::{AccessSet, Category, DType, OpKind, Phase};
+
+    fn op(name: &str, access: AccessSet) -> OpRecord {
+        OpRecord {
+            access,
+            name: name.into(),
+            kind: OpKind::ElementWise,
+            category: Category::Gelu,
+            phase: Phase::Forward,
+            layer: None,
+            gemm: None,
+            flops: 1,
+            bytes_read: 4,
+            bytes_written: 4,
+            dtype: DType::F32,
+        }
+    }
+
+    fn codes(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule.code()).collect()
+    }
+
+    #[test]
+    fn legal_lifecycle_is_clean() {
+        let [w, x] = [BufId::fresh(), BufId::fresh()];
+        let ops = vec![
+            op("alloc", AccessSet::new(&[], &[x]).with_allocs(&[x])),
+            op("use", AccessSet::new(&[w, x], &[x])),
+            op("free", AccessSet::default().with_frees(&[x])),
+        ];
+        assert!(check(&ops).is_empty());
+    }
+
+    #[test]
+    fn read_after_free_fires_l001() {
+        let [x] = [BufId::fresh()];
+        let ops = vec![
+            op("alloc", AccessSet::new(&[], &[x])),
+            op("free", AccessSet::default().with_frees(&[x])),
+            op("read", AccessSet::new(&[x], &[])),
+        ];
+        assert_eq!(codes(&check(&ops)), vec!["L001"]);
+    }
+
+    #[test]
+    fn double_free_fires_l002() {
+        let [x] = [BufId::fresh()];
+        let ops = vec![
+            op("alloc", AccessSet::new(&[], &[x])),
+            op("free1", AccessSet::default().with_frees(&[x])),
+            op("free2", AccessSet::default().with_frees(&[x])),
+        ];
+        assert_eq!(codes(&check(&ops)), vec!["L002"]);
+    }
+
+    #[test]
+    fn write_after_free_fires_l003() {
+        let [x] = [BufId::fresh()];
+        let ops = vec![
+            op("alloc", AccessSet::new(&[], &[x])),
+            op("free", AccessSet::default().with_frees(&[x])),
+            op("write", AccessSet::new(&[], &[x])),
+        ];
+        assert_eq!(codes(&check(&ops)), vec!["L003"]);
+    }
+
+    #[test]
+    fn leak_fires_l004_only_when_stream_frees() {
+        let [x, y] = [BufId::fresh(), BufId::fresh()];
+        // No frees anywhere: steady-state analytic stream, no leak verdicts.
+        let quiet = vec![op("a", AccessSet::new(&[], &[x])), op("b", AccessSet::new(&[x], &[y]))];
+        assert!(check(&quiet).is_empty());
+        // One buffer freed, the other forgotten: leak warning.
+        let leaky = vec![
+            op("a", AccessSet::new(&[], &[x])),
+            op("b", AccessSet::new(&[x], &[y])),
+            op("free_x", AccessSet::default().with_frees(&[x])),
+        ];
+        let f = check(&leaky);
+        assert_eq!(codes(&f), vec!["L004"]);
+        assert!(!f[0].is_error(), "leaks are warnings, not errors");
+    }
+
+    #[test]
+    fn foreign_buffers_are_exempt() {
+        let [w, x] = [BufId::fresh(), BufId::fresh()];
+        // `w` is read first (a weight) and never freed — not a leak even
+        // though the stream frees `x`.
+        let ops = vec![
+            op("fwd", AccessSet::new(&[w], &[x])),
+            op("free_x", AccessSet::default().with_frees(&[x])),
+        ];
+        assert!(check(&ops).is_empty());
+    }
+
+    #[test]
+    fn realloc_after_free_revives_the_buffer() {
+        let [x] = [BufId::fresh()];
+        let ops = vec![
+            op("alloc1", AccessSet::new(&[], &[x]).with_allocs(&[x])),
+            op("free1", AccessSet::default().with_frees(&[x])),
+            op("alloc2", AccessSet::new(&[], &[x]).with_allocs(&[x])),
+            op("use", AccessSet::new(&[x], &[])),
+            op("free2", AccessSet::default().with_frees(&[x])),
+        ];
+        assert!(check(&ops).is_empty());
+    }
+}

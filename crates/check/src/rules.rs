@@ -21,6 +21,15 @@
 //! * **M-series (memory)**: the measured memory profile from the pooled
 //!   allocator must be internally consistent — live bytes never negative
 //!   and the peak at least the resident weights+gradients lower bound.
+//! * **H-series (hazard)**: a candidate parallel schedule must respect
+//!   every RAW/WAR/WAW dependence edge of the reconstructed operator DAG,
+//!   including edges crossing phase boundaries and the AllReduce→optimizer
+//!   ordering (the static stand-in for GPU stream/event dependency
+//!   tracking).
+//! * **L-series (lifetime)**: buffer provenance must describe legal pooled
+//!   lifetimes — no use after release, no double release, no write into
+//!   storage already back on the free list, and no leaked stream-local
+//!   allocation.
 
 /// Stable identifier of one lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -82,6 +91,34 @@ pub enum RuleId {
     /// M001: measured live bytes must never go negative, and the measured
     /// peak must be at least the weights+gradients lower bound.
     MemoryAccounting,
+    /// H001: a candidate schedule runs a reader at or before the step of the
+    /// writer it depends on (read-after-write hazard).
+    HazardRaw,
+    /// H002: a candidate schedule overwrites a buffer at or before the step
+    /// of a reader of its previous value (write-after-read hazard).
+    HazardWar,
+    /// H003: a candidate schedule reorders two writers of the same buffer
+    /// (write-after-write hazard).
+    HazardWaw,
+    /// H004: a dependence edge crossing a phase boundary (forward/backward/
+    /// recompute/update) is inverted by the candidate schedule — a
+    /// cross-phase race.
+    CrossPhaseRace,
+    /// H005: communication/update ordering — an update-phase op consumes a
+    /// gradient buffer before the communication op (AllReduce/ReduceScatter)
+    /// that produces its globally-reduced value.
+    CommUpdateOrder,
+    /// L001: an op uses a buffer after it was released to the pool.
+    UseAfterFree,
+    /// L002: a buffer is released to the pool twice without an intervening
+    /// reallocation.
+    DoubleFree,
+    /// L003: a buffer is written after its backing storage re-entered the
+    /// free list (write lands in memory a later allocation may own).
+    WriteAfterReuse,
+    /// L004: a buffer allocated inside the stream is still live when the
+    /// stream ends even though the stream releases other buffers (leak).
+    BufferLeak,
 }
 
 impl RuleId {
@@ -109,6 +146,15 @@ impl RuleId {
             RuleId::ScalerPlacement => "S001",
             RuleId::OverflowSkipsUpdate => "S002",
             RuleId::MemoryAccounting => "M001",
+            RuleId::HazardRaw => "H001",
+            RuleId::HazardWar => "H002",
+            RuleId::HazardWaw => "H003",
+            RuleId::CrossPhaseRace => "H004",
+            RuleId::CommUpdateOrder => "H005",
+            RuleId::UseAfterFree => "L001",
+            RuleId::DoubleFree => "L002",
+            RuleId::WriteAfterReuse => "L003",
+            RuleId::BufferLeak => "L004",
         }
     }
 
@@ -140,6 +186,15 @@ impl RuleId {
             RuleId::MemoryAccounting => {
                 "measured live bytes stay non-negative and peak covers weights+grads"
             }
+            RuleId::HazardRaw => "schedules never run a reader before its producing writer",
+            RuleId::HazardWar => "schedules never overwrite a buffer before its readers finish",
+            RuleId::HazardWaw => "schedules never reorder two writers of one buffer",
+            RuleId::CrossPhaseRace => "schedules never invert a dependence across phase boundaries",
+            RuleId::CommUpdateOrder => "updates consume gradients only after their reduction",
+            RuleId::UseAfterFree => "no buffer is used after its release to the pool",
+            RuleId::DoubleFree => "no buffer is released to the pool twice",
+            RuleId::WriteAfterReuse => "no write lands in storage already back on the free list",
+            RuleId::BufferLeak => "stream-allocated buffers are released by stream end",
         }
     }
 
@@ -167,6 +222,15 @@ impl RuleId {
             RuleId::ScalerPlacement,
             RuleId::OverflowSkipsUpdate,
             RuleId::MemoryAccounting,
+            RuleId::HazardRaw,
+            RuleId::HazardWar,
+            RuleId::HazardWaw,
+            RuleId::CrossPhaseRace,
+            RuleId::CommUpdateOrder,
+            RuleId::UseAfterFree,
+            RuleId::DoubleFree,
+            RuleId::WriteAfterReuse,
+            RuleId::BufferLeak,
         ]
     }
 }

@@ -96,6 +96,7 @@ mod tests {
 
     fn op(name: &str, category: Category, phase: Phase) -> OpRecord {
         OpRecord {
+            access: bertscope_tensor::AccessSet::default(),
             name: name.into(),
             kind: OpKind::ElementWise,
             category,

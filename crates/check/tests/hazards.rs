@@ -1,0 +1,297 @@
+//! Mutation and property coverage for the H- and L-series analyzers: every
+//! rule fires on a deliberately corrupted real stream, stays silent on the
+//! pristine one, and — property-tested — a randomly permuted schedule is
+//! flagged exactly when it inverts a true dependence edge.
+
+use bertscope_check::{
+    annotate_lifetimes, check_schedule, check_stream, hazard, lifetime, DepGraph, DepKind, Finding,
+    Schedule,
+};
+use bertscope_model::{build_iteration, BertConfig, GraphOptions, OptimizerChoice};
+use bertscope_tensor::{AccessSet, BufId, Category, DType, OpKind, OpRecord, Phase};
+use proptest::prelude::*;
+
+fn codes(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule.code()).collect()
+}
+
+fn pretrain() -> Vec<OpRecord> {
+    let cfg = BertConfig::tiny();
+    let opts = GraphOptions { optimizer: OptimizerChoice::Lamb, ..GraphOptions::default() };
+    build_iteration(&cfg, &opts)
+}
+
+/// A synthetic pool-release event: pure data-movement bookkeeping, exempt
+/// from the phase/dataflow families by its `Copy` kind.
+fn free_op(name: &str, phase: Phase, bufs: &[BufId]) -> OpRecord {
+    OpRecord {
+        access: AccessSet::default().with_frees(bufs),
+        name: name.into(),
+        kind: OpKind::Copy,
+        category: Category::DropResidualNorm,
+        phase,
+        layer: None,
+        gemm: None,
+        flops: 0,
+        bytes_read: 0,
+        bytes_written: 64,
+        dtype: DType::F32,
+    }
+}
+
+/// A synthetic `AllReduce` over `bufs` (in-place read+write).
+fn allreduce_op(name: &str, bufs: &[BufId]) -> OpRecord {
+    OpRecord {
+        access: AccessSet::new(bufs, bufs),
+        name: name.into(),
+        kind: OpKind::Comm,
+        category: Category::Comm,
+        phase: Phase::Communication,
+        layer: None,
+        gemm: None,
+        flops: 0,
+        bytes_read: 1024,
+        bytes_written: 1024,
+        dtype: DType::F32,
+    }
+}
+
+/// The identity schedule with the steps of ops `a` and `b` exchanged.
+fn swapped(n: usize, a: usize, b: usize) -> Schedule {
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.swap(a, b);
+    Schedule::from_permutation(&perm)
+}
+
+/// Find one dependence edge of `kind` whose endpoints satisfy `pred`.
+fn find_edge(
+    ops: &[OpRecord],
+    graph: &DepGraph,
+    kind: DepKind,
+    pred: impl Fn(&OpRecord, &OpRecord) -> bool,
+) -> (usize, usize) {
+    let e = graph
+        .edges
+        .iter()
+        .find(|e| e.kind == kind && pred(&ops[e.from], &ops[e.to]))
+        .unwrap_or_else(|| panic!("no {kind:?} edge matching predicate"));
+    (e.from, e.to)
+}
+
+#[test]
+fn pristine_stream_is_hazard_and_lifetime_clean() {
+    let ops = pretrain();
+    let graph = DepGraph::build(&ops);
+    assert!(graph.edges.len() > ops.len(), "analytic streams are densely annotated");
+    assert!(hazard::check(&ops).is_empty());
+    assert!(lifetime::check(&ops).is_empty());
+    // The max-parallel ASAP schedule is legal by construction and strictly
+    // shorter than serial execution.
+    let f = check_schedule(&ops, &graph, &Schedule::asap(&graph), "asap");
+    assert!(f.is_empty(), "{f:?}");
+    let rep = graph.report(&ops);
+    assert!(rep.depth < ops.len(), "ASAP must compress the stream");
+    assert!(rep.max_width > 1, "BERT exposes intra-step parallelism");
+    assert!(rep.critical_path_flops < rep.total_flops);
+}
+
+#[test]
+fn inverted_same_phase_raw_edge_fires_h001() {
+    let ops = pretrain();
+    let graph = DepGraph::build(&ops);
+    let (a, b) = find_edge(&ops, &graph, DepKind::Raw, |f, t| {
+        f.phase == t.phase && f.phase == Phase::Forward
+    });
+    let f = check_schedule(&ops, &graph, &swapped(ops.len(), a, b), "swapped");
+    assert!(codes(&f).contains(&"H001"), "{:?}", codes(&f));
+}
+
+#[test]
+fn inverted_same_phase_war_edge_fires_h002() {
+    let ops = pretrain();
+    let graph = DepGraph::build(&ops);
+    let (a, b) = find_edge(&ops, &graph, DepKind::War, |f, t| f.phase == t.phase);
+    let f = check_schedule(&ops, &graph, &swapped(ops.len(), a, b), "swapped");
+    assert!(codes(&f).contains(&"H002"), "{:?}", codes(&f));
+}
+
+#[test]
+fn inverted_same_phase_waw_edge_fires_h003() {
+    let ops = pretrain();
+    let graph = DepGraph::build(&ops);
+    let (a, b) = find_edge(&ops, &graph, DepKind::Waw, |f, t| f.phase == t.phase);
+    let f = check_schedule(&ops, &graph, &swapped(ops.len(), a, b), "swapped");
+    assert!(codes(&f).contains(&"H003"), "{:?}", codes(&f));
+}
+
+#[test]
+fn inverted_cross_phase_edge_fires_h004() {
+    let ops = pretrain();
+    let graph = DepGraph::build(&ops);
+    // A forward activation consumed by its backward: the classic edge the
+    // GPU runtime protects with an event between streams.
+    let (a, b) = find_edge(&ops, &graph, DepKind::Raw, |f, t| {
+        f.phase == Phase::Forward && t.phase == Phase::Backward
+    });
+    let f = check_schedule(&ops, &graph, &swapped(ops.len(), a, b), "swapped");
+    assert!(codes(&f).contains(&"H004"), "{:?}", codes(&f));
+}
+
+/// The first update-phase op with annotated gradient reads, plus those ids.
+fn update_reads(ops: &[OpRecord]) -> (usize, Vec<BufId>) {
+    let i = ops
+        .iter()
+        .position(|o| o.phase == Phase::Update && !o.access.reads.is_empty())
+        .expect("annotated update op");
+    (i, ops[i].access.reads.clone())
+}
+
+#[test]
+fn comm_scheduled_after_its_update_fires_h005() {
+    let mut ops = pretrain();
+    let (upd, grads) = update_reads(&ops);
+    // Insert the gradient AllReduce just before the optimizer (legal), then
+    // invert the pair in the candidate schedule.
+    ops.insert(upd, allreduce_op("allreduce.grads", &grads));
+    let graph = DepGraph::build(&ops);
+    assert!(check_schedule(&ops, &graph, &Schedule::program_order(ops.len()), "program").is_empty());
+    let f = check_schedule(&ops, &graph, &swapped(ops.len(), upd, upd + 1), "swapped");
+    assert!(codes(&f).contains(&"H005"), "{:?}", codes(&f));
+}
+
+#[test]
+fn update_consuming_unreduced_gradient_fires_h005_in_program_order() {
+    let mut ops = pretrain();
+    let (_, grads) = update_reads(&ops);
+    // The AllReduce lands after the optimizer already consumed the local
+    // gradients — the distributed-training bug H005 exists to catch.
+    ops.push(allreduce_op("allreduce.grads", &grads));
+    let f = hazard::check(&ops);
+    assert!(codes(&f).contains(&"H005"), "{:?}", codes(&f));
+    // The full lint front door surfaces it too.
+    assert!(codes(&check_stream(&ops)).contains(&"H005"));
+}
+
+/// Insert `op` at stream position `at`.
+fn inserted(mut ops: Vec<OpRecord>, at: usize, op: OpRecord) -> Vec<OpRecord> {
+    ops.insert(at, op);
+    ops
+}
+
+#[test]
+fn premature_release_fires_l001() {
+    let ops = pretrain();
+    let graph = DepGraph::build(&ops);
+    // Free a buffer right after its producer even though a later op still
+    // reads it.
+    let (w, r) = find_edge(&ops, &graph, DepKind::Raw, |_, _| true);
+    let buf = graph.edges.iter().find(|e| (e.from, e.to) == (w, r)).unwrap().buf;
+    let bad = inserted(ops, w + 1, free_op("pool.release.early", Phase::Forward, &[buf]));
+    let f = lifetime::check(&bad);
+    assert!(codes(&f).contains(&"L001"), "{:?}", codes(&f));
+    assert!(codes(&check_stream(&bad)).contains(&"L001"));
+}
+
+#[test]
+fn double_release_fires_l002() {
+    let mut ops = pretrain();
+    let local = *annotate_lifetimes(&ops)
+        .values()
+        .find(|lt| lt.alloc.is_some())
+        .map(|lt| &lt.buf)
+        .expect("stream-local buffer");
+    ops.push(free_op("pool.release.1", Phase::Update, &[local]));
+    ops.push(free_op("pool.release.2", Phase::Update, &[local]));
+    let f = lifetime::check(&ops);
+    assert!(codes(&f).contains(&"L002"), "{:?}", codes(&f));
+    assert!(codes(&check_stream(&ops)).contains(&"L002"));
+}
+
+#[test]
+fn write_into_released_storage_fires_l003() {
+    let ops = pretrain();
+    let graph = DepGraph::build(&ops);
+    // Release a buffer between two writers: the second write lands in
+    // storage the pool may already have handed to someone else.
+    let e = *graph.edges.iter().find(|e| e.kind == DepKind::Waw).expect("a WAW edge");
+    let bad = inserted(ops, e.from + 1, free_op("pool.release.early", Phase::Forward, &[e.buf]));
+    let f = lifetime::check(&bad);
+    assert!(codes(&f).contains(&"L003"), "{:?}", codes(&f));
+}
+
+#[test]
+fn leaked_local_buffer_fires_l004_as_warning() {
+    let mut ops = pretrain();
+    let lifetimes = annotate_lifetimes(&ops);
+    let mut locals = lifetimes.values().filter(|lt| lt.alloc.is_some()).map(|lt| lt.buf);
+    let released = locals.next().expect("stream-local buffer");
+    assert!(locals.next().is_some(), "need a second local buffer to leak");
+    // Releasing one local buffer arms leak detection; every other live
+    // local is now an L004 warning.
+    ops.push(free_op("pool.release.final", Phase::Update, &[released]));
+    let f = lifetime::check(&ops);
+    assert!(codes(&f).contains(&"L004"), "{:?}", codes(&f));
+    assert!(
+        f.iter().filter(|x| x.rule.code() == "L004").all(|x| !x.is_error()),
+        "leaks warn, they do not error"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Randomly permuting a legal stream's schedule is flagged by the
+    /// H-series exactly when the permutation inverts (or collapses) a true
+    /// dependence edge — no false positives on legal reorderings, no missed
+    /// races on illegal ones.
+    #[test]
+    fn hazards_fire_iff_a_dependence_edge_is_inverted(
+        swaps in proptest::collection::vec((0usize..10_000, 0usize..10_000), 0..12),
+    ) {
+        let cfg = BertConfig::tiny();
+        let opts = GraphOptions { optimizer: OptimizerChoice::Adam, ..GraphOptions::default() };
+        let ops = build_iteration(&cfg, &opts);
+        let graph = DepGraph::build(&ops);
+        let mut perm: Vec<usize> = (0..ops.len()).collect();
+        for (a, b) in swaps {
+            let n = perm.len();
+            perm.swap(a % n, b % n);
+        }
+        let schedule = Schedule::from_permutation(&perm);
+        let inverted = graph
+            .edges
+            .iter()
+            .any(|e| schedule.step_of[e.to] <= schedule.step_of[e.from]);
+        let findings = check_schedule(&ops, &graph, &schedule, "permuted");
+        prop_assert_eq!(
+            !findings.is_empty(),
+            inverted,
+            "schedule legality must match edge inversion; findings: {:?}",
+            codes(&findings)
+        );
+        // Every schedule finding is H-series, error severity.
+        for f in &findings {
+            prop_assert!(f.rule.code().starts_with('H'), "{}", f.rule.code());
+            prop_assert!(f.is_error());
+        }
+    }
+
+    /// Any ASAP-respecting coarsening of the DAG levels stays legal: ops
+    /// may be delayed, never hoisted above their dependences.
+    #[test]
+    fn delaying_ops_never_introduces_hazards(extra in proptest::collection::vec(0usize..3, 1..200)) {
+        let cfg = BertConfig::tiny();
+        let opts = GraphOptions::default();
+        let ops = build_iteration(&cfg, &opts);
+        let graph = DepGraph::build(&ops);
+        let mut steps = graph.asap_levels();
+        // Cumulative non-negative delays preserve every strict inequality.
+        let mut drift = 0usize;
+        for (i, s) in steps.iter_mut().enumerate() {
+            drift += extra[i % extra.len()];
+            *s += drift;
+        }
+        let findings = check_schedule(&ops, &graph, &Schedule::from_steps(steps), "delayed");
+        prop_assert!(findings.is_empty(), "{:?}", codes(&findings));
+    }
+}

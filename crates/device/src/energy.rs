@@ -87,6 +87,7 @@ mod tests {
     fn gemm_op(dtype: DType) -> OpRecord {
         let spec = GemmSpec::new(Transpose::No, Transpose::No, 4096, 4096, 1024);
         OpRecord {
+            access: bertscope_tensor::AccessSet::default(),
             name: "g".into(),
             kind: OpKind::Gemm,
             category: Category::FcGemm,
@@ -102,6 +103,7 @@ mod tests {
 
     fn lamb_op() -> OpRecord {
         OpRecord {
+            access: bertscope_tensor::AccessSet::default(),
             name: "lamb".into(),
             kind: OpKind::ElementWise,
             category: Category::LambStage1,

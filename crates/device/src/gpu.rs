@@ -232,6 +232,7 @@ mod tests {
 
     fn gemm_op(spec: GemmSpec, dtype: DType) -> OpRecord {
         OpRecord {
+            access: bertscope_tensor::AccessSet::default(),
             name: "g".into(),
             kind: if spec.batch > 1 { OpKind::BatchedGemm } else { OpKind::Gemm },
             category: Category::FcGemm,
@@ -248,6 +249,7 @@ mod tests {
     fn ew_op(numel: u64, dtype: DType) -> OpRecord {
         let es = dtype.size_bytes();
         OpRecord {
+            access: bertscope_tensor::AccessSet::default(),
             name: "ew".into(),
             kind: OpKind::ElementWise,
             category: Category::Gelu,

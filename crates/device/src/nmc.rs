@@ -102,6 +102,7 @@ mod tests {
 
     fn lamb_like_op(numel: u64) -> OpRecord {
         OpRecord {
+            access: bertscope_tensor::AccessSet::default(),
             name: "lamb.stage1".into(),
             kind: OpKind::ElementWise,
             category: Category::LambStage1,

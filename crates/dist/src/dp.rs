@@ -16,6 +16,7 @@ use bertscope_tensor::{Category, DType, OpKind, OpRecord, Phase};
 fn comm_op(label: &str, bytes: u64, time_us: f64) -> TimedOp {
     TimedOp {
         op: OpRecord {
+            access: bertscope_tensor::AccessSet::default(),
             name: label.to_owned(),
             kind: OpKind::Comm,
             category: Category::Comm,

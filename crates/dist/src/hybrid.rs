@@ -75,6 +75,7 @@ pub fn hybrid_profile(
             pos,
             TimedOp {
                 op: OpRecord {
+                    access: bertscope_tensor::AccessSet::default(),
                     name: "hybrid.dp.allreduce.exposed".into(),
                     kind: OpKind::Comm,
                     category: Category::Comm,

@@ -111,6 +111,7 @@ pub fn tensor_slice_ops(cfg: &BertConfig, opts: &GraphOptions, ways: usize) -> V
     let dt = opts.precision.activation_dtype();
     let act_bytes = (cfg.tokens() * cfg.d_model) as u64 * dt.size_bytes();
     let comm = |layer: usize, which: &str, phase: Phase| OpRecord {
+        access: bertscope_tensor::AccessSet::default(),
         name: format!("l{layer}.allreduce.{which}"),
         kind: OpKind::Comm,
         category: Category::Comm,

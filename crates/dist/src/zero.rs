@@ -90,6 +90,7 @@ pub fn zero_dp_profile(
 
 fn comm_record(name: &str, bytes: u64) -> OpRecord {
     OpRecord {
+        access: bertscope_tensor::AccessSet::default(),
         name: name.to_owned(),
         kind: OpKind::Comm,
         category: Category::Comm,

@@ -9,7 +9,7 @@
 use crate::ctx::KernelCtx;
 use crate::Result;
 use bertscope_tensor::Tracer;
-use bertscope_tensor::{OpKind, Tensor};
+use bertscope_tensor::{AccessSet, OpKind, Tensor};
 
 /// Abramowitz & Stegun 7.1.26 rational approximation of `erf`
 /// (max absolute error ~1.5e-7, far below f16 resolution).
@@ -57,7 +57,16 @@ pub fn gelu_fwd(tracer: &mut Tracer, ctx: &KernelCtx, x: &Tensor) -> Result<Tens
     let y = x.map(gelu_scalar);
     let es = ctx.dtype_of().size_bytes();
     let n = x.numel() as u64;
-    ctx.trace(tracer, "gelu", OpKind::ElementWise, GELU_FLOPS_PER_ELEMENT * n, n * es, n * es);
+    let access = AccessSet::new(&[x.buf_id()], &[y.buf_id()]);
+    ctx.trace_acc(
+        tracer,
+        "gelu",
+        OpKind::ElementWise,
+        GELU_FLOPS_PER_ELEMENT * n,
+        n * es,
+        n * es,
+        access,
+    );
     Ok(y)
 }
 
@@ -71,13 +80,14 @@ pub fn gelu_bwd(tracer: &mut Tracer, ctx: &KernelCtx, x: &Tensor, dy: &Tensor) -
     let es = ctx.dtype_of().size_bytes();
     let n = x.numel() as u64;
     // Reads the saved input and the incoming gradient, writes dx.
-    ctx.trace(
+    ctx.trace_acc(
         tracer,
         "gelu",
         OpKind::ElementWise,
         (GELU_FLOPS_PER_ELEMENT + 2) * n,
         2 * n * es,
         n * es,
+        AccessSet::new(&[x.buf_id(), dy.buf_id()], &[dx.buf_id()]),
     );
     Ok(dx)
 }
@@ -91,7 +101,8 @@ pub fn tanh_fwd(tracer: &mut Tracer, ctx: &KernelCtx, x: &Tensor) -> Result<Tens
     let y = x.map(f32::tanh);
     let es = ctx.dtype_of().size_bytes();
     let n = x.numel() as u64;
-    ctx.trace(tracer, "tanh", OpKind::ElementWise, 5 * n, n * es, n * es);
+    let access = AccessSet::new(&[x.buf_id()], &[y.buf_id()]);
+    ctx.trace_acc(tracer, "tanh", OpKind::ElementWise, 5 * n, n * es, n * es, access);
     Ok(y)
 }
 
@@ -104,7 +115,8 @@ pub fn tanh_bwd(tracer: &mut Tracer, ctx: &KernelCtx, y: &Tensor, dy: &Tensor) -
     let dx = y.zip_map(dy, |yv, dyv| dyv * (1.0 - yv * yv))?;
     let es = ctx.dtype_of().size_bytes();
     let n = y.numel() as u64;
-    ctx.trace(tracer, "tanh", OpKind::ElementWise, 3 * n, 2 * n * es, n * es);
+    let access = AccessSet::new(&[y.buf_id(), dy.buf_id()], &[dx.buf_id()]);
+    ctx.trace_acc(tracer, "tanh", OpKind::ElementWise, 3 * n, 2 * n * es, n * es, access);
     Ok(dx)
 }
 

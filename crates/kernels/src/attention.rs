@@ -14,8 +14,8 @@ use crate::linear::{linear_bwd, linear_fwd};
 use crate::norm::{softmax_bwd, softmax_fwd};
 use crate::Result;
 use bertscope_tensor::{
-    batched_gemm, Buffer, Category, DType, GemmSpec, OpKind, Phase, Tensor, TensorError, Tracer,
-    Transpose,
+    batched_gemm, AccessSet, Buffer, Category, DType, GemmSpec, OpKind, Phase, Tensor, TensorError,
+    Tracer, Transpose,
 };
 
 /// Learned parameters of one attention block.
@@ -139,7 +139,8 @@ fn split_heads(
     }
     let y = Tensor::from_buffer(out, &[b * h, n, dh])?;
     let bytes = x.numel() as u64 * ctx.dtype_of().size_bytes();
-    ctx.trace(tracer, "split_heads", OpKind::Copy, 0, bytes, bytes);
+    let access = AccessSet::new(&[x.buf_id()], &[y.buf_id()]);
+    ctx.trace_acc(tracer, "split_heads", OpKind::Copy, 0, bytes, bytes, access);
     Ok(y)
 }
 
@@ -164,7 +165,8 @@ fn merge_heads(
     }
     let y = Tensor::from_buffer(out, &[b * n, cfg.d_model])?;
     let bytes = x.numel() as u64 * ctx.dtype_of().size_bytes();
-    ctx.trace(tracer, "merge_heads", OpKind::Copy, 0, bytes, bytes);
+    let access = AccessSet::new(&[x.buf_id()], &[y.buf_id()]);
+    ctx.trace_acc(tracer, "merge_heads", OpKind::Copy, 0, bytes, bytes, access);
     Ok(y)
 }
 
@@ -270,7 +272,7 @@ pub fn attention_fwd(
     // 3. Attention scores: batched Q*K^T — paper Table 2b "Attn. Score FWD":
     //    n x n x (d/h), batch B*h.
     let scores = batched_gemm(Transpose::No, Transpose::Yes, 1.0, &q_h, &k_h)?;
-    bgemm_ctx.trace_gemm(
+    bgemm_ctx.trace_gemm_acc(
         tracer,
         "score",
         GemmSpec::batched(
@@ -281,6 +283,7 @@ pub fn attention_fwd(
             cfg.head_dim(),
             cfg.batch * cfg.heads,
         ),
+        AccessSet::new(&[q_h.buf_id(), k_h.buf_id()], &[scores.buf_id()]),
     );
 
     // 4-7. Scale, mask, softmax, dropout.
@@ -297,7 +300,7 @@ pub fn attention_fwd(
     // 8. Attention output: batched scores*V — paper "Attn. O/p FWD":
     //    (d/h) x n x n, batch B*h.
     let ctx_h = batched_gemm(Transpose::No, Transpose::No, 1.0, &probs, &v_h)?;
-    bgemm_ctx.trace_gemm(
+    bgemm_ctx.trace_gemm_acc(
         tracer,
         "context",
         GemmSpec::batched(
@@ -308,6 +311,7 @@ pub fn attention_fwd(
             cfg.seq,
             cfg.batch * cfg.heads,
         ),
+        AccessSet::new(&[probs.buf_id(), v_h.buf_id()], &[ctx_h.buf_id()]),
     );
 
     // 9-10. Merge heads and project out.
@@ -371,16 +375,18 @@ pub fn attention_bwd(
 
     // 8'. Context GEMM backward: dprobs = dctx * V^T; dV = probs^T * dctx.
     let dprobs = batched_gemm(Transpose::No, Transpose::Yes, 1.0, &dctx_h, &state.v_h)?;
-    bgemm_ctx.trace_gemm(
+    bgemm_ctx.trace_gemm_acc(
         tracer,
         "context.grad_act",
         GemmSpec::batched(Transpose::No, Transpose::Yes, dh, n, n, bh),
+        AccessSet::new(&[dctx_h.buf_id(), state.v_h.buf_id()], &[dprobs.buf_id()]),
     );
     let dv_h = batched_gemm(Transpose::Yes, Transpose::No, 1.0, &state.probs, &dctx_h)?;
-    bgemm_ctx.trace_gemm(
+    bgemm_ctx.trace_gemm_acc(
         tracer,
         "context.grad_v",
         GemmSpec::batched(Transpose::Yes, Transpose::No, n, n, dh, bh),
+        AccessSet::new(&[state.probs.buf_id(), dctx_h.buf_id()], &[dv_h.buf_id()]),
     );
 
     // 7'-4'. Dropout, softmax, mask (identity), scale backward.
@@ -392,16 +398,18 @@ pub fn attention_bwd(
     // 3'. Score GEMM backward — paper "Attn. Score BWD": dQ is
     //     n x (d/h) x n, dK is (d/h) x n x n, both batched B*h.
     let dq_h = batched_gemm(Transpose::No, Transpose::No, 1.0, &dscores, &state.k_h)?;
-    bgemm_ctx.trace_gemm(
+    bgemm_ctx.trace_gemm_acc(
         tracer,
         "score.grad_q",
         GemmSpec::batched(Transpose::No, Transpose::No, n, dh, n, bh),
+        AccessSet::new(&[dscores.buf_id(), state.k_h.buf_id()], &[dq_h.buf_id()]),
     );
     let dk_h = batched_gemm(Transpose::Yes, Transpose::No, 1.0, &dscores, &state.q_h)?;
-    bgemm_ctx.trace_gemm(
+    bgemm_ctx.trace_gemm_acc(
         tracer,
         "score.grad_k",
         GemmSpec::batched(Transpose::Yes, Transpose::No, dh, n, n, bh),
+        AccessSet::new(&[dscores.buf_id(), state.q_h.buf_id()], &[dk_h.buf_id()]),
     );
 
     // 2'. Merge head gradients back to [T, d].

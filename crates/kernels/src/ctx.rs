@@ -1,6 +1,6 @@
 //! Kernel invocation context: where in the network a kernel call sits.
 
-use bertscope_tensor::{Category, DType, GemmSpec, OpKind, OpRecord, Phase, Tracer};
+use bertscope_tensor::{AccessSet, Category, DType, GemmSpec, OpKind, OpRecord, Phase, Tracer};
 
 /// Describes the network position of a kernel invocation so the tracer can
 /// attribute it correctly (paper Fig. 3/4 groupings).
@@ -73,7 +73,7 @@ impl KernelCtx {
         }
     }
 
-    /// Emit a trace record for a non-GEMM kernel.
+    /// Emit a trace record for a non-GEMM kernel with unknown provenance.
     pub fn trace(
         &self,
         tracer: &mut Tracer,
@@ -82,6 +82,23 @@ impl KernelCtx {
         flops: u64,
         bytes_read: u64,
         bytes_written: u64,
+    ) {
+        self.trace_acc(tracer, op, kind, flops, bytes_read, bytes_written, AccessSet::default());
+    }
+
+    /// Emit a trace record for a non-GEMM kernel, carrying the buffer
+    /// read/write provenance the static hazard and lifetime analyses
+    /// (`bertscope-check`) consume.
+    #[allow(clippy::too_many_arguments)]
+    pub fn trace_acc(
+        &self,
+        tracer: &mut Tracer,
+        op: &str,
+        kind: OpKind,
+        flops: u64,
+        bytes_read: u64,
+        bytes_written: u64,
+        access: AccessSet,
     ) {
         if !tracer.is_enabled() {
             return;
@@ -97,12 +114,20 @@ impl KernelCtx {
             bytes_read,
             bytes_written,
             dtype: self.dtype,
+            access,
         });
     }
 
-    /// Emit a trace record for a (batched) GEMM kernel. FLOPs and bytes are
-    /// derived from the spec at this context's precision.
+    /// Emit a trace record for a (batched) GEMM kernel with unknown
+    /// provenance. FLOPs and bytes are derived from the spec at this
+    /// context's precision.
     pub fn trace_gemm(&self, tracer: &mut Tracer, op: &str, spec: GemmSpec) {
+        self.trace_gemm_acc(tracer, op, spec, AccessSet::default());
+    }
+
+    /// Emit a trace record for a (batched) GEMM kernel, carrying buffer
+    /// read/write provenance.
+    pub fn trace_gemm_acc(&self, tracer: &mut Tracer, op: &str, spec: GemmSpec, access: AccessSet) {
         if !tracer.is_enabled() {
             return;
         }
@@ -118,6 +143,7 @@ impl KernelCtx {
             bytes_read: spec.bytes_read(self.dtype),
             bytes_written: spec.bytes_written(self.dtype),
             dtype: self.dtype,
+            access,
         });
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::ctx::KernelCtx;
 use crate::Result;
-use bertscope_tensor::{Buffer, OpKind, Tensor, Tracer};
+use bertscope_tensor::{AccessSet, Buffer, OpKind, Tensor, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -68,7 +68,8 @@ pub fn dropout_fwd(
     let es = ctx.dtype_of().size_bytes();
     let n = x.numel() as u64;
     // Reads the activation + a 1-byte mask per element; writes the output.
-    ctx.trace(tracer, "dropout", OpKind::ElementWise, n, n * es + n, n * es);
+    let access = AccessSet::new(&[x.buf_id(), mask.buf_id()], &[y.buf_id()]);
+    ctx.trace_acc(tracer, "dropout", OpKind::ElementWise, n, n * es + n, n * es, access);
     Ok((y, DropoutMask { scale_per_keep: keep, mask }))
 }
 
@@ -86,7 +87,8 @@ pub fn dropout_bwd(
     let dx = dy.mul(&mask.mask)?;
     let es = ctx.dtype_of().size_bytes();
     let n = dy.numel() as u64;
-    ctx.trace(tracer, "dropout", OpKind::ElementWise, n, n * es + n, n * es);
+    let access = AccessSet::new(&[dy.buf_id(), mask.mask.buf_id()], &[dx.buf_id()]);
+    ctx.trace_acc(tracer, "dropout", OpKind::ElementWise, n, n * es + n, n * es, access);
     Ok(dx)
 }
 

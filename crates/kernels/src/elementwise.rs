@@ -6,7 +6,7 @@
 
 use crate::ctx::KernelCtx;
 use crate::Result;
-use bertscope_tensor::{OpKind, Tensor, Tracer};
+use bertscope_tensor::{AccessSet, OpKind, Tensor, Tracer};
 
 /// Multiply every element of `x` by the constant `alpha` (the attention
 /// score normalization `1/sqrt(d_model/h)`).
@@ -18,7 +18,8 @@ pub fn scale(tracer: &mut Tracer, ctx: &KernelCtx, x: &Tensor, alpha: f32) -> Re
     let y = x.scale(alpha);
     let es = ctx.dtype_of().size_bytes();
     let n = x.numel() as u64;
-    ctx.trace(tracer, "scale", OpKind::ElementWise, n, n * es, n * es);
+    let access = AccessSet::new(&[x.buf_id()], &[y.buf_id()]);
+    ctx.trace_acc(tracer, "scale", OpKind::ElementWise, n, n * es, n * es, access);
     Ok(y)
 }
 
@@ -35,7 +36,8 @@ pub fn mask_add(tracer: &mut Tracer, ctx: &KernelCtx, x: &Tensor, mask: &Tensor)
     let y = x.add(mask)?;
     let es = ctx.dtype_of().size_bytes();
     let n = x.numel() as u64;
-    ctx.trace(tracer, "mask", OpKind::ElementWise, n, 2 * n * es, n * es);
+    let access = AccessSet::new(&[x.buf_id(), mask.buf_id()], &[y.buf_id()]);
+    ctx.trace_acc(tracer, "mask", OpKind::ElementWise, n, 2 * n * es, n * es, access);
     Ok(y)
 }
 
@@ -53,7 +55,8 @@ pub fn residual_add(
     let out = x.add(y)?;
     let es = ctx.dtype_of().size_bytes();
     let n = x.numel() as u64;
-    ctx.trace(tracer, "residual", OpKind::ElementWise, n, 2 * n * es, n * es);
+    let access = AccessSet::new(&[x.buf_id(), y.buf_id()], &[out.buf_id()]);
+    ctx.trace_acc(tracer, "residual", OpKind::ElementWise, n, 2 * n * es, n * es, access);
     Ok(out)
 }
 

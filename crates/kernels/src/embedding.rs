@@ -7,7 +7,7 @@
 
 use crate::ctx::KernelCtx;
 use crate::Result;
-use bertscope_tensor::{pool, Buffer, OpKind, Tensor, TensorError, Tracer};
+use bertscope_tensor::{pool, AccessSet, Buffer, OpKind, Tensor, TensorError, Tracer};
 use std::collections::BTreeMap;
 
 /// Elements per pool task for the gather/scatter loops (shape-only grain,
@@ -48,7 +48,16 @@ pub fn embedding_fwd(
     let es = ctx.dtype_of().size_bytes();
     let moved = (ids.len() * d) as u64 * es;
     // Gather: reads the selected rows + 4-byte indices, writes the output.
-    ctx.trace(tracer, "gather", OpKind::ElementWise, 0, moved + ids.len() as u64 * 4, moved);
+    let access = AccessSet::new(&[table.buf_id()], &[y.buf_id()]);
+    ctx.trace_acc(
+        tracer,
+        "gather",
+        OpKind::ElementWise,
+        0,
+        moved + ids.len() as u64 * 4,
+        moved,
+        access,
+    );
     Ok(y)
 }
 
@@ -116,13 +125,14 @@ pub fn embedding_bwd(
     pool::run_tasks(tasks);
     let es = ctx.dtype_of().size_bytes();
     let moved = (ids.len() * d) as u64 * es;
-    ctx.trace(
+    ctx.trace_acc(
         tracer,
         "scatter_add",
         OpKind::ElementWise,
         (ids.len() * d) as u64,
         moved + ids.len() as u64 * 4,
         moved,
+        AccessSet::new(&[dy.buf_id()], &[grad.buf_id()]),
     );
     Ok(grad)
 }

@@ -8,7 +8,9 @@
 
 use crate::ctx::KernelCtx;
 use crate::Result;
-use bertscope_tensor::{gemm, Buffer, GemmSpec, OpKind, Tensor, TensorError, Tracer, Transpose};
+use bertscope_tensor::{
+    gemm, AccessSet, Buffer, GemmSpec, OpKind, Tensor, TensorError, Tracer, Transpose,
+};
 
 /// Linear forward: `y = x * W + b`.
 ///
@@ -43,7 +45,16 @@ pub fn linear_fwd(
             }
         }
     }
-    ctx.trace_gemm(tracer, "gemm", GemmSpec::new(Transpose::No, Transpose::No, d_out, t, d_in));
+    let mut access = AccessSet::new(&[x.buf_id(), w.buf_id()], &[y.buf_id()]);
+    if let Some(b) = b {
+        access.reads.push(b.buf_id());
+    }
+    ctx.trace_gemm_acc(
+        tracer,
+        "gemm",
+        GemmSpec::new(Transpose::No, Transpose::No, d_out, t, d_in),
+        access,
+    );
     Ok(y)
 }
 
@@ -72,14 +83,20 @@ pub fn linear_bwd(
     }
     // dx = dy * W^T
     let dx = gemm(Transpose::No, Transpose::Yes, 1.0, dy, w, 0.0, None)?;
-    ctx.trace_gemm(
+    ctx.trace_gemm_acc(
         tracer,
         "grad_act",
         GemmSpec::new(Transpose::No, Transpose::Yes, d_in, t, d_out),
+        AccessSet::new(&[dy.buf_id(), w.buf_id()], &[dx.buf_id()]),
     );
     // dW = x^T * dy
     let dw = gemm(Transpose::Yes, Transpose::No, 1.0, x, dy, 0.0, None)?;
-    ctx.trace_gemm(tracer, "grad_wt", GemmSpec::new(Transpose::Yes, Transpose::No, d_in, d_out, t));
+    ctx.trace_gemm_acc(
+        tracer,
+        "grad_wt",
+        GemmSpec::new(Transpose::Yes, Transpose::No, d_in, d_out, t),
+        AccessSet::new(&[x.buf_id(), dy.buf_id()], &[dw.buf_id()]),
+    );
     // db = column-sum(dy): a reduction kernel.
     let db = if has_bias {
         let mut acc = Buffer::zeroed(d_out);
@@ -89,13 +106,14 @@ pub fn linear_bwd(
             }
         }
         let es = ctx.dtype_of().size_bytes();
-        ctx.trace(
+        ctx.trace_acc(
             tracer,
             "grad_bias",
             OpKind::Reduction,
             (t * d_out) as u64,
             (t * d_out) as u64 * es,
             d_out as u64 * 4,
+            AccessSet::new(&[dy.buf_id()], &[acc.id()]),
         );
         Some(Tensor::from_buffer(acc, &[d_out])?)
     } else {

@@ -6,7 +6,7 @@
 
 use crate::ctx::KernelCtx;
 use crate::Result;
-use bertscope_tensor::{Buffer, OpKind, Tensor, TensorError, Tracer};
+use bertscope_tensor::{AccessSet, Buffer, OpKind, Tensor, TensorError, Tracer};
 
 /// Target value marking a position excluded from the loss.
 pub const IGNORE_INDEX: usize = usize::MAX;
@@ -86,7 +86,16 @@ pub fn cross_entropy_fwd(
     let mean_loss = if active == 0 { 0.0 } else { (loss / active as f64) as f32 };
     let es = ctx.dtype_of().size_bytes();
     let n = logits.numel() as u64;
-    ctx.trace(tracer, "xent", OpKind::Reduction, 6 * n, n * es + rows as u64 * 4, n * 4);
+    let access = AccessSet::new(&[logits.buf_id()], &[probs.id()]);
+    ctx.trace_acc(
+        tracer,
+        "xent",
+        OpKind::Reduction,
+        6 * n,
+        n * es + rows as u64 * 4,
+        n * 4,
+        access,
+    );
     let probs = Tensor::from_buffer(probs, logits.dims())?;
     Ok((mean_loss, CrossEntropyState { probs, targets: targets.to_vec(), active }))
 }
@@ -122,7 +131,16 @@ pub fn cross_entropy_bwd(
     }
     let es = ctx.dtype_of().size_bytes();
     let n = state.probs.numel() as u64;
-    ctx.trace(tracer, "xent", OpKind::ElementWise, 2 * n, n * 4 + rows as u64 * 4, n * es);
+    let access = AccessSet::new(&[state.probs.buf_id()], &[grad.id()]);
+    ctx.trace_acc(
+        tracer,
+        "xent",
+        OpKind::ElementWise,
+        2 * n,
+        n * 4 + rows as u64 * 4,
+        n * es,
+        access,
+    );
     Tensor::from_buffer(grad, state.probs.dims())
 }
 

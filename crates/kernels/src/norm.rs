@@ -6,7 +6,7 @@
 
 use crate::ctx::KernelCtx;
 use crate::Result;
-use bertscope_tensor::{pool, Buffer, OpKind, Tensor, TensorError, Tracer};
+use bertscope_tensor::{pool, AccessSet, Buffer, OpKind, Tensor, TensorError, Tracer};
 
 /// Elements per pool task for row-parallel norm kernels. Derived from the
 /// problem shape only, so chunk boundaries — and results — are identical at
@@ -65,7 +65,8 @@ pub fn softmax_fwd(tracer: &mut Tracer, ctx: &KernelCtx, x: &Tensor) -> Result<T
     let es = ctx.dtype_of().size_bytes();
     let n = x.numel() as u64;
     // max + sub + exp + sum + div: ~5 ops/element, two passes over the data.
-    ctx.trace(tracer, "softmax", OpKind::Reduction, 5 * n, n * es, n * es);
+    let access = AccessSet::new(&[x.buf_id()], &[y.buf_id()]);
+    ctx.trace_acc(tracer, "softmax", OpKind::Reduction, 5 * n, n * es, n * es, access);
     Ok(y)
 }
 
@@ -102,7 +103,8 @@ pub fn softmax_bwd(
     let dx = Tensor::from_buffer(out, y.dims())?;
     let es = ctx.dtype_of().size_bytes();
     let n = y.numel() as u64;
-    ctx.trace(tracer, "softmax", OpKind::Reduction, 4 * n, 2 * n * es, n * es);
+    let access = AccessSet::new(&[y.buf_id(), dy.buf_id()], &[dx.buf_id()]);
+    ctx.trace_acc(tracer, "softmax", OpKind::Reduction, 4 * n, 2 * n * es, n * es, access);
     Ok(dx)
 }
 
@@ -175,7 +177,16 @@ pub fn layernorm_fwd(
     let n = x.numel() as u64;
     let param_bytes = 2 * len as u64 * es;
     // mean + variance reductions plus normalize/scale/shift: ~8 ops/element.
-    ctx.trace(tracer, "layernorm", OpKind::Reduction, 8 * n, n * es + param_bytes, n * es);
+    let access = AccessSet::new(&[x.buf_id(), gamma.buf_id(), beta.buf_id()], &[y.buf_id()]);
+    ctx.trace_acc(
+        tracer,
+        "layernorm",
+        OpKind::Reduction,
+        8 * n,
+        n * es + param_bytes,
+        n * es,
+        access,
+    );
     Ok((y, LayerNormState { mean, rstd }))
 }
 
@@ -261,13 +272,17 @@ pub fn layernorm_bwd(
     let dbeta = Tensor::from_buffer(dbeta, gamma.dims())?;
     let es = ctx.dtype_of().size_bytes();
     let n = x.numel() as u64;
-    ctx.trace(
+    ctx.trace_acc(
         tracer,
         "layernorm",
         OpKind::Reduction,
         11 * n,
         2 * n * es + gamma.numel() as u64 * es,
         n * es + 2 * len as u64 * 4,
+        AccessSet::new(
+            &[x.buf_id(), gamma.buf_id(), dy.buf_id()],
+            &[dx.buf_id(), dgamma.buf_id(), dbeta.buf_id()],
+        ),
     );
     Ok((dx, dgamma, dbeta))
 }

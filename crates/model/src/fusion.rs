@@ -50,6 +50,7 @@ impl FusionCase {
 
 fn ew(name: &str, cat: Category, flops: u64, br: u64, bw: u64, dtype: DType) -> OpRecord {
     OpRecord {
+        access: bertscope_tensor::AccessSet::default(),
         name: name.to_owned(),
         kind: OpKind::ElementWise,
         category: cat,

@@ -17,7 +17,55 @@
 use crate::config::BertConfig;
 use crate::gemms::{fused_qkv_spec, gemm_spec, GemmPass, GemmSite};
 use crate::params::{parameter_tensors, ParamTensor};
-use bertscope_tensor::{Category, DType, GemmSpec, OpKind, OpRecord, Phase};
+use bertscope_tensor::{AccessSet, BufId, Category, DType, GemmSpec, OpKind, OpRecord, Phase};
+use std::collections::BTreeMap;
+
+/// Symbolic buffer environment: stable [`BufId`]s for the *named* logical
+/// buffers of the analytic graph (weights `w.*`, activations `act.*`,
+/// gradients `g.*`, optimizer state `opt.*`, external inputs `in.*`).
+///
+/// One environment is shared across every phase of an iteration so the
+/// backward and optimizer records reference the very same buffers the
+/// forward records produced — which is what lets `bertscope-check`'s
+/// dependence/hazard analyses treat a graph-built stream exactly like a
+/// traced one. Ids are minted from the same process-global counter real
+/// [`bertscope_tensor::Buffer`]s use, so symbolic and concrete ids never
+/// collide.
+#[derive(Debug, Default)]
+pub struct BufEnv {
+    ids: BTreeMap<String, BufId>,
+}
+
+impl BufEnv {
+    /// An empty environment.
+    #[must_use]
+    pub fn new() -> Self {
+        BufEnv::default()
+    }
+
+    /// Get-or-mint the id of a named logical buffer.
+    pub fn named(&mut self, name: &str) -> BufId {
+        *self.ids.entry(name.to_owned()).or_insert_with(BufId::fresh)
+    }
+
+    /// Ids of every buffer whose name starts with `prefix`, in name order.
+    #[must_use]
+    pub fn with_prefix(&self, prefix: &str) -> Vec<BufId> {
+        self.ids.iter().filter(|(n, _)| n.starts_with(prefix)).map(|(_, id)| *id).collect()
+    }
+
+    /// Number of distinct named buffers minted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether no buffer has been named yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
 
 /// Numeric precision mode of the iteration (paper §3.2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -89,8 +137,14 @@ pub struct GraphOptions {
 }
 
 /// Internal record builder bound to a category/phase/layer/dtype.
+///
+/// Call [`Emit::rw`] immediately before `gemm`/`op` to attach the named
+/// read/write buffer sets of the next record; the pending access set is
+/// consumed by the push, so an un-annotated record is opaque (empty set).
 struct Emit<'a> {
     out: &'a mut Vec<OpRecord>,
+    env: &'a mut BufEnv,
+    acc: AccessSet,
     phase: Phase,
     layer: Option<usize>,
     dtype: DType,
@@ -104,9 +158,19 @@ impl Emit<'_> {
         }
     }
 
+    /// Stage the read/write buffer names of the next emitted record.
+    fn rw(&mut self, reads: &[&str], writes: &[&str]) {
+        self.acc = AccessSet {
+            reads: reads.iter().map(|n| self.env.named(n)).collect(),
+            writes: writes.iter().map(|n| self.env.named(n)).collect(),
+            ..AccessSet::default()
+        };
+    }
+
     fn gemm(&mut self, prefix: &str, op: &str, cat: Category, spec: GemmSpec) {
         let kind = if spec.batch > 1 { OpKind::BatchedGemm } else { OpKind::Gemm };
         self.out.push(OpRecord {
+            access: std::mem::take(&mut self.acc),
             name: self.name(prefix, op),
             kind,
             category: cat,
@@ -132,6 +196,7 @@ impl Emit<'_> {
         bytes_written: u64,
     ) {
         self.out.push(OpRecord {
+            access: std::mem::take(&mut self.acc),
             name: self.name(prefix, op),
             kind,
             category: cat,
@@ -217,45 +282,99 @@ macro_rules! emit_op {
 
 /// Emit GeLU forward: one fused kernel, or the unfused five-kernel chain
 /// (`x/sqrt(2)`, `erf`, `1 + t`, `x * t`, `* 0.5`) the paper's baseline
-/// launches.
-fn emit_gelu_fwd(e: &mut Emit<'_>, k: &K, prefix: &str, cat: Category, n: u64, fused: bool) {
+/// launches. `x`/`y` name the input and output buffers; the unfused chain
+/// threads intermediates `{y}.t{i}`.
+#[allow(clippy::too_many_arguments)]
+fn emit_gelu_fwd(
+    e: &mut Emit<'_>,
+    k: &K,
+    prefix: &str,
+    cat: Category,
+    n: u64,
+    fused: bool,
+    x: &str,
+    y: &str,
+) {
     if fused {
+        e.rw(&[x], &[y]);
         emit_op!(e, prefix, "gelu", cat, OpKind::ElementWise, k.gelu_fwd(n));
     } else {
         let es = k.es;
-        let steps: [(&str, u64, u64); 5] = [
-            ("gelu.scale_in", n, 1), // x / sqrt(2)
-            ("gelu.erf", 8 * n, 1),  // erf(t)
-            ("gelu.add_one", n, 1),  // 1 + t
-            ("gelu.mul_x", n, 2),    // x * t
-            ("gelu.half", n, 1),     // * 0.5
+        // (name, flops, reads, extra input besides the previous temp)
+        let steps: [(&str, u64, u64, bool); 5] = [
+            ("gelu.scale_in", n, 1, false), // x / sqrt(2)
+            ("gelu.erf", 8 * n, 1, false),  // erf(t)
+            ("gelu.add_one", n, 1, false),  // 1 + t
+            ("gelu.mul_x", n, 2, true),     // x * t
+            ("gelu.half", n, 1, false),     // * 0.5
         ];
-        for (name, flops, reads) in steps {
+        let last = steps.len() - 1;
+        let mut prev = x.to_owned();
+        for (i, (name, flops, reads, takes_x)) in steps.into_iter().enumerate() {
+            let out = if i == last { y.to_owned() } else { format!("{y}.t{i}") };
+            if takes_x {
+                e.rw(&[&prev, x], &[&out]);
+            } else {
+                e.rw(&[&prev], &[&out]);
+            }
             e.op(prefix, name, cat, OpKind::ElementWise, flops, reads * n * es, n * es);
+            prev = out;
         }
     }
 }
 
 /// Emit GeLU backward: one fused kernel, or the unfused seven-kernel
 /// autograd chain (recompute the normal PDF and CDF terms, combine, apply
-/// the incoming gradient).
-fn emit_gelu_bwd(e: &mut Emit<'_>, k: &K, prefix: &str, cat: Category, n: u64, fused: bool) {
+/// the incoming gradient). `x` names the saved forward input, `dy` the
+/// incoming gradient and `dx` the produced gradient.
+#[allow(clippy::too_many_arguments)]
+fn emit_gelu_bwd(
+    e: &mut Emit<'_>,
+    k: &K,
+    prefix: &str,
+    cat: Category,
+    n: u64,
+    fused: bool,
+    x: &str,
+    dy: &str,
+    dx: &str,
+) {
     if fused {
+        e.rw(&[x, dy], &[dx]);
         emit_op!(e, prefix, "gelu", cat, OpKind::ElementWise, k.gelu_bwd(n));
     } else {
         let es = k.es;
-        let steps: [(&str, u64, u64); 7] = [
-            ("gelu.square", n, 1),  // -x^2/2
-            ("gelu.exp", 2 * n, 1), // exp
-            ("gelu.pdf_mul", n, 2), // x * pdf
-            ("gelu.erf", 8 * n, 1), // erf(x/sqrt(2)) again
-            ("gelu.cdf", 2 * n, 1), // 0.5 * (1 + erf)
-            ("gelu.sum", n, 2),     // cdf + x*pdf
-            ("gelu.dy_mul", n, 2),  // * dy
+        // (name, flops, reads, extra input: 0 = none, 1 = x, 2 = dy)
+        let steps: [(&str, u64, u64, u8); 7] = [
+            ("gelu.square", n, 1, 0),  // -x^2/2 (prev is already x)
+            ("gelu.exp", 2 * n, 1, 0), // exp
+            ("gelu.pdf_mul", n, 2, 1), // x * pdf
+            ("gelu.erf", 8 * n, 1, 1), // erf(x/sqrt(2)) again
+            ("gelu.cdf", 2 * n, 1, 0), // 0.5 * (1 + erf)
+            ("gelu.sum", n, 2, 0),     // cdf + x*pdf
+            ("gelu.dy_mul", n, 2, 2),  // * dy
         ];
-        for (name, flops, reads) in steps {
+        let last = steps.len() - 1;
+        let mut prev = x.to_owned();
+        for (i, (name, flops, reads, extra)) in steps.into_iter().enumerate() {
+            let out = if i == last { dx.to_owned() } else { format!("{dx}.t{i}") };
+            match extra {
+                1 => e.rw(&[&prev, x], &[&out]),
+                2 => e.rw(&[&prev, dy], &[&out]),
+                _ => e.rw(&[&prev], &[&out]),
+            }
             e.op(prefix, name, cat, OpKind::ElementWise, flops, reads * n * es, n * es);
+            prev = out;
         }
+    }
+}
+
+/// The buffer name of a Transformer layer's input activation.
+fn layer_input_name(layer: usize) -> String {
+    if layer == 0 {
+        "act.emb".to_owned()
+    } else {
+        format!("act.l{}.out", layer - 1)
     }
 }
 
@@ -268,10 +387,31 @@ pub fn layer_forward_ops(
     layer: usize,
     phase: Phase,
 ) -> Vec<OpRecord> {
+    let mut env = BufEnv::new();
+    layer_forward_ops_in(cfg, opts, layer, phase, &mut env)
+}
+
+/// [`layer_forward_ops`] against a caller-provided buffer environment, so
+/// ids stay consistent across the phases of one iteration.
+#[must_use]
+pub fn layer_forward_ops_in(
+    cfg: &BertConfig,
+    opts: &GraphOptions,
+    layer: usize,
+    phase: Phase,
+    env: &mut BufEnv,
+) -> Vec<OpRecord> {
     let dt = opts.precision.activation_dtype();
     let k = K::new(dt);
     let mut out = Vec::new();
-    let mut e = Emit { out: &mut out, phase, layer: Some(layer), dtype: dt };
+    let mut e = Emit {
+        out: &mut out,
+        env,
+        acc: AccessSet::default(),
+        phase,
+        layer: Some(layer),
+        dtype: dt,
+    };
     let t = cfg.tokens() as u64;
     let d = cfg.d_model as u64;
     let act = t * d; // [T, d] activation numel
@@ -281,11 +421,21 @@ pub fn layer_forward_ops(
     use Category as C;
     use OpKind as O;
 
+    let l = layer;
+    let x_in = layer_input_name(l);
+    let a = |s: &str| format!("act.l{l}.{s}");
+    let w = |s: &str| format!("w.l{l}.{s}");
+
     // Attention: Q/K/V projections.
     if opts.fused_qkv {
+        e.rw(&[&x_in, &w("attn.qkv"), &w("attn.qkv.bias")], &[&a("qkv")]);
         e.gemm("attn", "gemm", C::AttnLinear, fused_qkv_spec(cfg, GemmPass::Forward));
     } else {
-        for _ in 0..3 {
+        for i in 0..3 {
+            e.rw(
+                &[&x_in, &w(&format!("attn.qkv{i}")), &w(&format!("attn.qkv{i}.bias"))],
+                &[&a(&format!("qkv{i}"))],
+            );
             e.gemm(
                 "attn",
                 "gemm",
@@ -294,31 +444,51 @@ pub fn layer_forward_ops(
             );
         }
     }
+    let (q, key, v) = if opts.fused_qkv {
+        (a("qkv"), a("qkv"), a("qkv"))
+    } else {
+        (a("qkv0"), a("qkv1"), a("qkv2"))
+    };
     // Score B-GEMM, scale, mask, softmax, dropout.
+    e.rw(&[&q, &key], &[&a("scores")]);
     e.gemm("attn", "score", C::AttnBgemm, gemm_spec(cfg, GemmSite::AttnScore, GemmPass::Forward));
+    e.rw(&[&a("scores")], &[&a("scores_scaled")]);
     emit_op!(e, "attn", "scale", C::ScaleMaskSoftmaxDropout, O::ElementWise, k.scale(scores));
+    e.rw(&[&a("scores_scaled"), "in.attn_mask"], &[&a("scores_masked")]);
     emit_op!(e, "attn", "mask", C::ScaleMaskSoftmaxDropout, O::ElementWise, k.mask(scores));
+    e.rw(&[&a("scores_masked")], &[&a("probs")]);
     emit_op!(e, "attn", "softmax", C::ScaleMaskSoftmaxDropout, O::Reduction, k.softmax_fwd(scores));
+    e.rw(&[&a("probs"), &a("dropmask.attn")], &[&a("probs_d")]);
     emit_op!(e, "attn", "dropout", C::ScaleMaskSoftmaxDropout, O::ElementWise, k.dropout(scores));
     // Context B-GEMM and output projection.
+    e.rw(&[&a("probs_d"), &v], &[&a("ctx")]);
     e.gemm(
         "attn",
         "context",
         C::AttnBgemm,
         gemm_spec(cfg, GemmSite::AttnOutput, GemmPass::Forward),
     );
+    e.rw(&[&a("ctx"), &w("attn.out"), &w("attn.out.bias")], &[&a("attn_out")]);
     e.gemm("attn_out", "gemm", C::AttnLinear, gemm_spec(cfg, GemmSite::Linear, GemmPass::Forward));
     // Post-attention dropout + residual + LayerNorm.
+    e.rw(&[&a("attn_out"), &a("dropmask.post_attn")], &[&a("attn_drop")]);
     emit_op!(e, "post_attn", "dropout", C::DropResidualNorm, O::ElementWise, k.dropout(act));
+    e.rw(&[&a("attn_drop"), &x_in], &[&a("res1")]);
     emit_op!(e, "post_attn", "residual", C::DropResidualNorm, O::ElementWise, k.residual(act));
+    e.rw(&[&a("res1"), &w("ln1")], &[&a("ln1")]);
     emit_op!(e, "ln1", "layernorm", C::DropResidualNorm, O::Reduction, k.layernorm_fwd(act, d));
     // Feed-forward: FC-1, GeLU, FC-2.
+    e.rw(&[&a("ln1"), &w("fc1"), &w("fc1.bias")], &[&a("fc1")]);
     e.gemm("fc1", "gemm", C::FcGemm, gemm_spec(cfg, GemmSite::Fc1, GemmPass::Forward));
-    emit_gelu_fwd(&mut e, &k, "ffn", C::Gelu, inter, opts.fused_gelu);
+    emit_gelu_fwd(&mut e, &k, "ffn", C::Gelu, inter, opts.fused_gelu, &a("fc1"), &a("gelu"));
+    e.rw(&[&a("gelu"), &w("fc2"), &w("fc2.bias")], &[&a("fc2")]);
     e.gemm("fc2", "gemm", C::FcGemm, gemm_spec(cfg, GemmSite::Fc2, GemmPass::Forward));
     // Post-FC dropout + residual + LayerNorm.
+    e.rw(&[&a("fc2"), &a("dropmask.post_ffn")], &[&a("ffn_drop")]);
     emit_op!(e, "post_ffn", "dropout", C::DropResidualNorm, O::ElementWise, k.dropout(act));
+    e.rw(&[&a("ffn_drop"), &a("ln1")], &[&a("res2")]);
     emit_op!(e, "post_ffn", "residual", C::DropResidualNorm, O::ElementWise, k.residual(act));
+    e.rw(&[&a("res2"), &w("ln2")], &[&a("out")]);
     emit_op!(e, "ln2", "layernorm", C::DropResidualNorm, O::Reduction, k.layernorm_fwd(act, d));
     out
 }
@@ -326,10 +496,29 @@ pub fn layer_forward_ops(
 /// Backward ops of one Transformer layer.
 #[must_use]
 pub fn layer_backward_ops(cfg: &BertConfig, opts: &GraphOptions, layer: usize) -> Vec<OpRecord> {
+    let mut env = BufEnv::new();
+    layer_backward_ops_in(cfg, opts, layer, &mut env)
+}
+
+/// [`layer_backward_ops`] against a caller-provided buffer environment.
+#[must_use]
+pub fn layer_backward_ops_in(
+    cfg: &BertConfig,
+    opts: &GraphOptions,
+    layer: usize,
+    env: &mut BufEnv,
+) -> Vec<OpRecord> {
     let dt = opts.precision.activation_dtype();
     let k = K::new(dt);
     let mut out = Vec::new();
-    let mut e = Emit { out: &mut out, phase: Phase::Backward, layer: Some(layer), dtype: dt };
+    let mut e = Emit {
+        out: &mut out,
+        env,
+        acc: AccessSet::default(),
+        phase: Phase::Backward,
+        layer: Some(layer),
+        dtype: dt,
+    };
     let t = cfg.tokens() as u64;
     let d = cfg.d_model as u64;
     let act = t * d;
@@ -339,55 +528,94 @@ pub fn layer_backward_ops(cfg: &BertConfig, opts: &GraphOptions, layer: usize) -
     use Category as C;
     use OpKind as O;
 
+    let l = layer;
+    let x_in = layer_input_name(l);
+    let g_in = format!("g.{x_in}");
+    let a = |s: &str| format!("act.l{l}.{s}");
+    let g = |s: &str| format!("g.act.l{l}.{s}");
+    let w = |s: &str| format!("w.l{l}.{s}");
+    let gw = |s: &str| format!("g.w.l{l}.{s}");
+
     // Post-FC LN + dropout backward.
+    e.rw(&[&a("res2"), &w("ln2"), &g("out")], &[&g("res2"), &gw("ln2")]);
     emit_op!(e, "ln2", "layernorm", C::DropResidualNorm, O::Reduction, k.layernorm_bwd(act, d));
+    e.rw(&[&g("res2"), &a("dropmask.post_ffn")], &[&g("fc2")]);
     emit_op!(e, "post_ffn", "dropout", C::DropResidualNorm, O::ElementWise, k.dropout(act));
     // FC-2 backward: grad-activation GEMM, grad-weight GEMM, bias reduction.
+    e.rw(&[&g("fc2"), &w("fc2")], &[&g("gelu")]);
     e.gemm(
         "fc2",
         "grad_act",
         C::FcGemm,
         gemm_spec(cfg, GemmSite::Fc2, GemmPass::BwdGradActivation),
     );
+    e.rw(&[&a("gelu"), &g("fc2")], &[&gw("fc2")]);
     e.gemm("fc2", "grad_wt", C::FcGemm, gemm_spec(cfg, GemmSite::Fc2, GemmPass::BwdGradWeight));
+    e.rw(&[&g("fc2")], &[&gw("fc2.bias")]);
     emit_op!(e, "fc2", "grad_bias", C::FcGemm, O::Reduction, k.grad_bias(t, d));
     // GeLU backward.
-    emit_gelu_bwd(&mut e, &k, "ffn", C::Gelu, inter, opts.fused_gelu);
+    emit_gelu_bwd(
+        &mut e,
+        &k,
+        "ffn",
+        C::Gelu,
+        inter,
+        opts.fused_gelu,
+        &a("fc1"),
+        &g("gelu"),
+        &g("fc1"),
+    );
     // FC-1 backward.
+    e.rw(&[&g("fc1"), &w("fc1")], &[&g("ln1.ffn")]);
     e.gemm(
         "fc1",
         "grad_act",
         C::FcGemm,
         gemm_spec(cfg, GemmSite::Fc1, GemmPass::BwdGradActivation),
     );
+    e.rw(&[&a("ln1"), &g("fc1")], &[&gw("fc1")]);
     e.gemm("fc1", "grad_wt", C::FcGemm, gemm_spec(cfg, GemmSite::Fc1, GemmPass::BwdGradWeight));
+    e.rw(&[&g("fc1")], &[&gw("fc1.bias")]);
     emit_op!(e, "fc1", "grad_bias", C::FcGemm, O::Reduction, k.grad_bias(t, cfg.d_ff as u64));
     // Residual-path gradient accumulation for the FFN sub-layer.
+    e.rw(&[&g("res2"), &g("ln1.ffn")], &[&g("ln1")]);
     emit_op!(e, "post_ffn", "residual", C::DropResidualNorm, O::ElementWise, k.residual(act));
     // Post-attention LN + dropout backward.
+    e.rw(&[&a("res1"), &w("ln1"), &g("ln1")], &[&g("res1"), &gw("ln1")]);
     emit_op!(e, "ln1", "layernorm", C::DropResidualNorm, O::Reduction, k.layernorm_bwd(act, d));
+    e.rw(&[&g("res1"), &a("dropmask.post_attn")], &[&g("attn_out")]);
     emit_op!(e, "post_attn", "dropout", C::DropResidualNorm, O::ElementWise, k.dropout(act));
     // Attention backward: output projection.
+    e.rw(&[&g("attn_out"), &w("attn.out")], &[&g("ctx")]);
     e.gemm(
         "attn_out",
         "grad_act",
         C::AttnLinear,
         gemm_spec(cfg, GemmSite::Linear, GemmPass::BwdGradActivation),
     );
+    e.rw(&[&a("ctx"), &g("attn_out")], &[&gw("attn.out")]);
     e.gemm(
         "attn_out",
         "grad_wt",
         C::AttnLinear,
         gemm_spec(cfg, GemmSite::Linear, GemmPass::BwdGradWeight),
     );
+    e.rw(&[&g("attn_out")], &[&gw("attn.out.bias")]);
     emit_op!(e, "attn_out", "grad_bias", C::AttnLinear, O::Reduction, k.grad_bias(t, d));
     // Context B-GEMM backward.
+    let (q, key, v, gq, gk, gv) = if opts.fused_qkv {
+        (a("qkv"), a("qkv"), a("qkv"), g("qkv"), g("qkv"), g("qkv"))
+    } else {
+        (a("qkv0"), a("qkv1"), a("qkv2"), g("qkv0"), g("qkv1"), g("qkv2"))
+    };
+    e.rw(&[&g("ctx"), &v], &[&g("probs_d")]);
     e.gemm(
         "attn",
         "context.grad_act",
         C::AttnBgemm,
         gemm_spec(cfg, GemmSite::AttnOutput, GemmPass::BwdGradActivation),
     );
+    e.rw(&[&a("probs_d"), &g("ctx")], &[&gv]);
     e.gemm(
         "attn",
         "context.grad_v",
@@ -395,45 +623,59 @@ pub fn layer_backward_ops(cfg: &BertConfig, opts: &GraphOptions, layer: usize) -
         gemm_spec(cfg, GemmSite::AttnOutput, GemmPass::BwdGradWeight),
     );
     // Dropout, softmax, scale backward.
+    e.rw(&[&g("probs_d"), &a("dropmask.attn")], &[&g("probs")]);
     emit_op!(e, "attn", "dropout", C::ScaleMaskSoftmaxDropout, O::ElementWise, k.dropout(scores));
+    e.rw(&[&a("probs"), &g("probs")], &[&g("scores_masked")]);
     emit_op!(e, "attn", "softmax", C::ScaleMaskSoftmaxDropout, O::Reduction, k.softmax_bwd(scores));
+    e.rw(&[&g("scores_masked")], &[&g("scores")]);
     emit_op!(e, "attn", "scale", C::ScaleMaskSoftmaxDropout, O::ElementWise, k.scale(scores));
     // Score B-GEMM backward.
+    e.rw(&[&g("scores"), &key], &[&gq]);
     e.gemm(
         "attn",
         "score.grad_q",
         C::AttnBgemm,
         gemm_spec(cfg, GemmSite::AttnScore, GemmPass::BwdGradActivation),
     );
+    e.rw(&[&g("scores"), &q], &[&gk]);
     e.gemm(
         "attn",
         "score.grad_k",
         C::AttnBgemm,
         gemm_spec(cfg, GemmSite::AttnScore, GemmPass::BwdGradWeight),
     );
-    // Q/K/V projection backward.
+    // Q/K/V projection backward. Each projection's grad-activation GEMM
+    // accumulates into the shared layer-input gradient.
     if opts.fused_qkv {
+        e.rw(&[&g("qkv"), &w("attn.qkv")], &[&g("in")]);
         e.gemm("attn", "grad_act", C::AttnLinear, fused_qkv_spec(cfg, GemmPass::BwdGradActivation));
+        e.rw(&[&x_in, &g("qkv")], &[&gw("attn.qkv")]);
         e.gemm("attn", "grad_wt", C::AttnLinear, fused_qkv_spec(cfg, GemmPass::BwdGradWeight));
+        e.rw(&[&g("qkv")], &[&gw("attn.qkv.bias")]);
         emit_op!(e, "attn", "grad_bias", C::AttnLinear, O::Reduction, k.grad_bias(t, 3 * d));
     } else {
-        for _ in 0..3 {
+        for i in 0..3 {
+            let gi = g(&format!("qkv{i}"));
+            e.rw(&[&gi, &w(&format!("attn.qkv{i}"))], &[&g("in")]);
             e.gemm(
                 "attn",
                 "grad_act",
                 C::AttnLinear,
                 gemm_spec(cfg, GemmSite::Linear, GemmPass::BwdGradActivation),
             );
+            e.rw(&[&x_in, &gi], &[&gw(&format!("attn.qkv{i}"))]);
             e.gemm(
                 "attn",
                 "grad_wt",
                 C::AttnLinear,
                 gemm_spec(cfg, GemmSite::Linear, GemmPass::BwdGradWeight),
             );
+            e.rw(&[&gi], &[&gw(&format!("attn.qkv{i}.bias"))]);
             emit_op!(e, "attn", "grad_bias", C::AttnLinear, O::Reduction, k.grad_bias(t, d));
         }
     }
     // Residual-path gradient accumulation for the attention sub-layer.
+    e.rw(&[&g("res1"), &g("in")], &[&g_in]);
     emit_op!(e, "post_attn", "residual", C::DropResidualNorm, O::ElementWise, k.residual(act));
     out
 }
@@ -441,21 +683,44 @@ pub fn layer_backward_ops(cfg: &BertConfig, opts: &GraphOptions, layer: usize) -
 /// Forward ops of the input embedding layer.
 #[must_use]
 pub fn embedding_forward_ops(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord> {
+    let mut env = BufEnv::new();
+    embedding_forward_ops_in(cfg, opts, &mut env)
+}
+
+/// [`embedding_forward_ops`] against a caller-provided buffer environment.
+#[must_use]
+pub fn embedding_forward_ops_in(
+    cfg: &BertConfig,
+    opts: &GraphOptions,
+    env: &mut BufEnv,
+) -> Vec<OpRecord> {
     let dt = opts.precision.activation_dtype();
     let k = K::new(dt);
     let mut out = Vec::new();
-    let mut e = Emit { out: &mut out, phase: Phase::Forward, layer: None, dtype: dt };
+    let mut e = Emit {
+        out: &mut out,
+        env,
+        acc: AccessSet::default(),
+        phase: Phase::Forward,
+        layer: None,
+        dtype: dt,
+    };
     let t = cfg.tokens() as u64;
     let d = cfg.d_model as u64;
     let act = t * d;
     use Category as C;
     use OpKind as O;
     for name in ["word", "position", "segment"] {
+        e.rw(&[&format!("w.emb.{name}"), "in.ids"], &[&format!("act.emb.{name}")]);
         emit_op!(e, "emb", name, C::Embedding, O::ElementWise, k.gather(act, t));
     }
+    e.rw(&["act.emb.word", "act.emb.position"], &["act.emb.sum1"]);
     emit_op!(e, "emb", "add_pos", C::Embedding, O::ElementWise, k.residual(act));
+    e.rw(&["act.emb.sum1", "act.emb.segment"], &["act.emb.sum2"]);
     emit_op!(e, "emb", "add_seg", C::Embedding, O::ElementWise, k.residual(act));
+    e.rw(&["act.emb.sum2", "w.emb.ln"], &["act.emb.ln"]);
     emit_op!(e, "emb", "layernorm", C::Embedding, O::Reduction, k.layernorm_fwd(act, d));
+    e.rw(&["act.emb.ln", "act.emb.dropmask"], &["act.emb"]);
     emit_op!(e, "emb", "dropout", C::Embedding, O::ElementWise, k.dropout(act));
     out
 }
@@ -463,32 +728,82 @@ pub fn embedding_forward_ops(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRec
 /// Backward ops of the input embedding layer.
 #[must_use]
 pub fn embedding_backward_ops(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord> {
+    let mut env = BufEnv::new();
+    embedding_backward_ops_in(cfg, opts, &mut env)
+}
+
+/// [`embedding_backward_ops`] against a caller-provided buffer environment.
+#[must_use]
+pub fn embedding_backward_ops_in(
+    cfg: &BertConfig,
+    opts: &GraphOptions,
+    env: &mut BufEnv,
+) -> Vec<OpRecord> {
     let dt = opts.precision.activation_dtype();
     let k = K::new(dt);
     let mut out = Vec::new();
-    let mut e = Emit { out: &mut out, phase: Phase::Backward, layer: None, dtype: dt };
+    let mut e = Emit {
+        out: &mut out,
+        env,
+        acc: AccessSet::default(),
+        phase: Phase::Backward,
+        layer: None,
+        dtype: dt,
+    };
     let t = cfg.tokens() as u64;
     let d = cfg.d_model as u64;
     let act = t * d;
     use Category as C;
     use OpKind as O;
+    e.rw(&["g.act.emb", "act.emb.dropmask"], &["g.act.emb.ln"]);
     emit_op!(e, "emb", "dropout", C::Embedding, O::ElementWise, k.dropout(act));
+    e.rw(&["act.emb.sum2", "w.emb.ln", "g.act.emb.ln"], &["g.act.emb.sum2", "g.w.emb.ln"]);
     emit_op!(e, "emb", "layernorm", C::Embedding, O::Reduction, k.layernorm_bwd(act, d));
     for name in ["word", "position", "segment"] {
+        e.rw(&["g.act.emb.sum2", "in.ids"], &[&format!("g.w.emb.{name}")]);
         emit_op!(e, "emb", name, C::Embedding, O::ElementWise, k.scatter_add(act, t));
     }
     out
+}
+
+/// The buffer name of the last Transformer layer's output (the encoder's
+/// final activation, which the output heads consume).
+fn final_activation_name(cfg: &BertConfig) -> String {
+    if cfg.layers == 0 {
+        "act.emb".to_owned()
+    } else {
+        format!("act.l{}.out", cfg.layers - 1)
+    }
 }
 
 /// Forward ops of the output heads (masked-LM + next-sentence prediction)
 /// including the loss computations.
 #[must_use]
 pub fn output_forward_ops(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord> {
+    let mut env = BufEnv::new();
+    output_forward_ops_in(cfg, opts, &mut env)
+}
+
+/// [`output_forward_ops`] against a caller-provided buffer environment.
+#[must_use]
+pub fn output_forward_ops_in(
+    cfg: &BertConfig,
+    opts: &GraphOptions,
+    env: &mut BufEnv,
+) -> Vec<OpRecord> {
     let dt = opts.precision.activation_dtype();
     let k = K::new(dt);
     let k32 = K::new(DType::F32);
+    let final_act = final_activation_name(cfg);
     let mut out = Vec::new();
-    let mut e = Emit { out: &mut out, phase: Phase::Forward, layer: None, dtype: dt };
+    let mut e = Emit {
+        out: &mut out,
+        env,
+        acc: AccessSet::default(),
+        phase: Phase::Forward,
+        layer: None,
+        dtype: dt,
+    };
     let d = cfg.d_model;
     // The reference PyTorch implementation the paper profiles projects every
     // token position through the MLM head (unmasked positions are ignored by
@@ -500,8 +815,19 @@ pub fn output_forward_ops(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord
     use OpKind as O;
     // MLM head: dense d->d, GeLU, LayerNorm, tied-decoder projection
     // d->vocab, cross-entropy.
+    e.rw(&[&final_act, "w.out.mlm.dense", "w.out.mlm.dense.bias"], &["act.out.mlm.dense"]);
     e.gemm("mlm.dense", "gemm", C::Output, GemmSpec::new(No, No, d, p as usize, d));
-    emit_gelu_fwd(&mut e, &k, "mlm", C::Output, p * d as u64, opts.fused_gelu);
+    emit_gelu_fwd(
+        &mut e,
+        &k,
+        "mlm",
+        C::Output,
+        p * d as u64,
+        opts.fused_gelu,
+        "act.out.mlm.dense",
+        "act.out.mlm.gelu",
+    );
+    e.rw(&["act.out.mlm.gelu", "w.out.mlm.ln"], &["act.out.mlm.ln"]);
     emit_op!(
         e,
         "mlm",
@@ -510,16 +836,23 @@ pub fn output_forward_ops(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord
         O::Reduction,
         k.layernorm_fwd(p * d as u64, d as u64)
     );
+    // The decoder projection is tied to the word-embedding table.
+    e.rw(&["act.out.mlm.ln", "w.emb.word", "w.out.mlm.dec_bias"], &["act.out.mlm.logits"]);
     e.gemm("mlm.decoder", "gemm", C::Output, GemmSpec::new(No, Yes, cfg.vocab, p as usize, d));
     // Losses are computed in f32 in both precision modes.
     e.dtype = DType::F32;
+    e.rw(&["act.out.mlm.logits", "in.labels.mlm"], &["act.out.mlm.probs"]);
     emit_op!(e, "mlm", "xent", C::Output, O::Reduction, k32.xent_fwd(p * cfg.vocab as u64, p));
     e.dtype = dt;
     // NSP head: pooler on [CLS] tokens, tanh, classifier, cross-entropy.
+    e.rw(&[&final_act, "w.out.nsp.pooler", "w.out.nsp.pooler.bias"], &["act.out.nsp.pool"]);
     e.gemm("nsp.pooler", "gemm", C::Output, GemmSpec::new(No, No, d, cfg.batch, d));
+    e.rw(&["act.out.nsp.pool"], &["act.out.nsp.tanh"]);
     emit_op!(e, "nsp", "tanh", C::Output, O::ElementWise, k.tanh_fwd(b * d as u64));
+    e.rw(&["act.out.nsp.tanh", "w.out.nsp.cls", "w.out.nsp.cls.bias"], &["act.out.nsp.logits"]);
     e.gemm("nsp.classifier", "gemm", C::Output, GemmSpec::new(No, No, 2, cfg.batch, d));
     e.dtype = DType::F32;
+    e.rw(&["act.out.nsp.logits", "in.labels.nsp"], &["act.out.nsp.probs"]);
     emit_op!(e, "nsp", "xent", C::Output, O::Reduction, k32.xent_fwd(b * 2, b));
     out
 }
@@ -527,11 +860,31 @@ pub fn output_forward_ops(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord
 /// Backward ops of the output heads.
 #[must_use]
 pub fn output_backward_ops(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord> {
+    let mut env = BufEnv::new();
+    output_backward_ops_in(cfg, opts, &mut env)
+}
+
+/// [`output_backward_ops`] against a caller-provided buffer environment.
+#[must_use]
+pub fn output_backward_ops_in(
+    cfg: &BertConfig,
+    opts: &GraphOptions,
+    env: &mut BufEnv,
+) -> Vec<OpRecord> {
     let dt = opts.precision.activation_dtype();
     let k = K::new(dt);
     let k32 = K::new(DType::F32);
+    let final_act = final_activation_name(cfg);
+    let g_final = format!("g.{final_act}");
     let mut out = Vec::new();
-    let mut e = Emit { out: &mut out, phase: Phase::Backward, layer: None, dtype: DType::F32 };
+    let mut e = Emit {
+        out: &mut out,
+        env,
+        acc: AccessSet::default(),
+        phase: Phase::Backward,
+        layer: None,
+        dtype: DType::F32,
+    };
     let d = cfg.d_model;
     let p = cfg.tokens() as u64;
     let b = cfg.batch as u64;
@@ -539,21 +892,35 @@ pub fn output_backward_ops(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecor
     use Category as C;
     use OpKind as O;
     // NSP backward.
+    e.rw(&["act.out.nsp.probs", "in.labels.nsp"], &["g.act.out.nsp.logits"]);
     emit_op!(e, "nsp", "xent", C::Output, O::ElementWise, k32.xent_bwd(b * 2, b));
     e.dtype = dt;
+    e.rw(&["g.act.out.nsp.logits", "w.out.nsp.cls"], &["g.act.out.nsp.tanh"]);
     e.gemm("nsp.classifier", "grad_act", C::Output, GemmSpec::new(No, Yes, d, cfg.batch, 2));
+    e.rw(&["act.out.nsp.tanh", "g.act.out.nsp.logits"], &["g.w.out.nsp.cls"]);
     e.gemm("nsp.classifier", "grad_wt", C::Output, GemmSpec::new(Yes, No, d, 2, cfg.batch));
+    e.rw(&["g.act.out.nsp.logits"], &["g.w.out.nsp.cls.bias"]);
     emit_op!(e, "nsp.classifier", "grad_bias", C::Output, O::Reduction, k.grad_bias(b, 2));
+    e.rw(&["act.out.nsp.tanh", "g.act.out.nsp.tanh"], &["g.act.out.nsp.pool"]);
     emit_op!(e, "nsp", "tanh", C::Output, O::ElementWise, k.tanh_bwd(b * d as u64));
+    e.rw(&["g.act.out.nsp.pool", "w.out.nsp.pooler"], &[&g_final]);
     e.gemm("nsp.pooler", "grad_act", C::Output, GemmSpec::new(No, Yes, d, cfg.batch, d));
+    e.rw(&[&final_act, "g.act.out.nsp.pool"], &["g.w.out.nsp.pooler"]);
     e.gemm("nsp.pooler", "grad_wt", C::Output, GemmSpec::new(Yes, No, d, d, cfg.batch));
+    e.rw(&["g.act.out.nsp.pool"], &["g.w.out.nsp.pooler.bias"]);
     emit_op!(e, "nsp.pooler", "grad_bias", C::Output, O::Reduction, k.grad_bias(b, d as u64));
     // MLM backward.
     e.dtype = DType::F32;
+    e.rw(&["act.out.mlm.probs", "in.labels.mlm"], &["g.act.out.mlm.logits"]);
     emit_op!(e, "mlm", "xent", C::Output, O::ElementWise, k32.xent_bwd(p * cfg.vocab as u64, p));
     e.dtype = dt;
+    e.rw(&["g.act.out.mlm.logits", "w.emb.word"], &["g.act.out.mlm.ln"]);
     e.gemm("mlm.decoder", "grad_act", C::Output, GemmSpec::new(No, No, d, p as usize, cfg.vocab));
+    // Tied decoder: the weight gradient accumulates into the word-embedding
+    // table's gradient, alongside the embedding-backward scatter.
+    e.rw(&["act.out.mlm.ln", "g.act.out.mlm.logits"], &["g.w.emb.word"]);
     e.gemm("mlm.decoder", "grad_wt", C::Output, GemmSpec::new(Yes, No, cfg.vocab, d, p as usize));
+    e.rw(&["g.act.out.mlm.logits"], &["g.w.out.mlm.dec_bias"]);
     emit_op!(
         e,
         "mlm.decoder",
@@ -561,6 +928,10 @@ pub fn output_backward_ops(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecor
         C::Output,
         O::Reduction,
         k.grad_bias(p, cfg.vocab as u64)
+    );
+    e.rw(
+        &["act.out.mlm.gelu", "w.out.mlm.ln", "g.act.out.mlm.ln"],
+        &["g.act.out.mlm.gelu", "g.w.out.mlm.ln"],
     );
     emit_op!(
         e,
@@ -570,9 +941,23 @@ pub fn output_backward_ops(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecor
         O::Reduction,
         k.layernorm_bwd(p * d as u64, d as u64)
     );
-    emit_gelu_bwd(&mut e, &k, "mlm", C::Output, p * d as u64, opts.fused_gelu);
+    emit_gelu_bwd(
+        &mut e,
+        &k,
+        "mlm",
+        C::Output,
+        p * d as u64,
+        opts.fused_gelu,
+        "act.out.mlm.dense",
+        "g.act.out.mlm.gelu",
+        "g.act.out.mlm.dense",
+    );
+    // Accumulates onto the NSP-path gradient of the encoder output.
+    e.rw(&["g.act.out.mlm.dense", "w.out.mlm.dense", &g_final], &[&g_final]);
     e.gemm("mlm.dense", "grad_act", C::Output, GemmSpec::new(No, Yes, d, p as usize, d));
+    e.rw(&[&final_act, "g.act.out.mlm.dense"], &["g.w.out.mlm.dense"]);
     e.gemm("mlm.dense", "grad_wt", C::Output, GemmSpec::new(Yes, No, d, d, p as usize));
+    e.rw(&["g.act.out.mlm.dense"], &["g.w.out.mlm.dense.bias"]);
     emit_op!(e, "mlm.dense", "grad_bias", C::Output, O::Reduction, k.grad_bias(p, d as u64));
     out
 }
@@ -633,8 +1018,35 @@ pub fn update_groups(cfg: &BertConfig) -> Vec<UpdateGroup> {
 /// precision modes.
 #[must_use]
 pub fn optimizer_ops(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord> {
+    let mut env = BufEnv::new();
+    optimizer_ops_in(cfg, opts, &mut env)
+}
+
+/// The weight-buffer name prefix of an update group (`"l3"` -> `"w.l3."`).
+fn group_weight_prefix(group: &str) -> String {
+    match group {
+        "embeddings" => "w.emb.".to_owned(),
+        "output" => "w.out.".to_owned(),
+        layer => format!("w.{layer}."),
+    }
+}
+
+/// [`optimizer_ops`] against a caller-provided buffer environment. When the
+/// environment already holds the iteration's weight (`w.*`) and gradient
+/// (`g.w.*`) buffers, each fused update stage's access set references them,
+/// so the update is properly ordered after the backward pass that produced
+/// the gradients (and before any later read of the weights).
+#[must_use]
+pub fn optimizer_ops_in(cfg: &BertConfig, opts: &GraphOptions, env: &mut BufEnv) -> Vec<OpRecord> {
     let mut out = Vec::new();
-    let mut e = Emit { out: &mut out, phase: Phase::Update, layer: None, dtype: DType::F32 };
+    let mut e = Emit {
+        out: &mut out,
+        env,
+        acc: AccessSet::default(),
+        phase: Phase::Update,
+        layer: None,
+        dtype: DType::F32,
+    };
     let groups = update_groups(cfg);
     let total: u64 = groups.iter().map(|g| g.numel).sum();
     use Category as C;
@@ -644,10 +1056,22 @@ pub fn optimizer_ops(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord> {
         OptimizerChoice::Lamb => {
             // Global gradient L2 norm: reads every gradient once. This
             // serializes the update against the whole backprop (Takeaway 7).
+            let norm = e.env.named("opt.grad_norm");
+            e.acc = AccessSet::new(&e.env.with_prefix("g.w."), &[norm]);
             e.op("lamb", "grad_norm", C::GradNorm, O::Reduction, 2 * total, total * 4, 8);
             for g in &groups {
                 let n = g.numel;
                 e.layer = g.layer;
+                let wp = group_weight_prefix(&g.name);
+                let wids = e.env.with_prefix(&wp);
+                let gids = e.env.with_prefix(&format!("g.{wp}"));
+                let m = e.env.named(&format!("opt.m.{}", g.name));
+                let v = e.env.named(&format!("opt.v.{}", g.name));
+                let upd = e.env.named(&format!("opt.update.{}", g.name));
+                let mut a1 = AccessSet::new(&gids, &[m, v, upd]);
+                a1.reads.extend(wids.iter().copied());
+                a1.reads.extend([m, v, norm]);
+                e.acc = a1;
                 e.op(
                     &format!("lamb.{}", g.name),
                     "stage1",
@@ -657,6 +1081,9 @@ pub fn optimizer_ops(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord> {
                     4 * n * 4,
                     3 * n * 4,
                 );
+                let mut a2 = AccessSet::new(&[upd], &wids);
+                a2.reads.extend(wids.iter().copied());
+                e.acc = a2;
                 e.op(
                     &format!("lamb.{}", g.name),
                     "stage2",
@@ -672,6 +1099,16 @@ pub fn optimizer_ops(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord> {
             for g in &groups {
                 let n = g.numel;
                 e.layer = g.layer;
+                let wp = group_weight_prefix(&g.name);
+                let wids = e.env.with_prefix(&wp);
+                let gids = e.env.with_prefix(&format!("g.{wp}"));
+                let m = e.env.named(&format!("opt.m.{}", g.name));
+                let v = e.env.named(&format!("opt.v.{}", g.name));
+                let mut a = AccessSet::new(&gids, &wids);
+                a.reads.extend(wids.iter().copied());
+                a.reads.extend([m, v]);
+                a.writes.extend([m, v]);
+                e.acc = a;
                 e.op(
                     &format!("adam.{}", g.name),
                     "fused",
@@ -700,17 +1137,29 @@ pub fn build_finetune(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord> {
     let k32 = K::new(DType::F32);
     let t = cfg.tokens();
     let d = cfg.d_model;
+    let mut env = BufEnv::new();
+    let final_act = final_activation_name(cfg);
+    let g_final = format!("g.{final_act}");
 
     let mut out = Vec::new();
-    out.extend(embedding_forward_ops(cfg, opts));
+    out.extend(embedding_forward_ops_in(cfg, opts, &mut env));
     for l in 0..cfg.layers {
-        out.extend(layer_forward_ops(cfg, opts, l, Phase::Forward));
+        out.extend(layer_forward_ops_in(cfg, opts, l, Phase::Forward, &mut env));
     }
     // Task head forward: span projection + per-position 2-way losses.
     {
-        let mut e = Emit { out: &mut out, phase: Phase::Forward, layer: None, dtype: dt };
+        let mut e = Emit {
+            out: &mut out,
+            env: &mut env,
+            acc: AccessSet::default(),
+            phase: Phase::Forward,
+            layer: None,
+            dtype: dt,
+        };
+        e.rw(&[&final_act, "w.out.squad", "w.out.squad.bias"], &["act.out.squad.logits"]);
         e.gemm("squad.span", "gemm", Category::Output, GemmSpec::new(No, No, 2, t, d));
         e.dtype = DType::F32;
+        e.rw(&["act.out.squad.logits", "in.labels.squad"], &["act.out.squad.probs"]);
         emit_op!(
             e,
             "squad",
@@ -722,7 +1171,15 @@ pub fn build_finetune(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord> {
     }
     // Task head backward.
     {
-        let mut e = Emit { out: &mut out, phase: Phase::Backward, layer: None, dtype: DType::F32 };
+        let mut e = Emit {
+            out: &mut out,
+            env: &mut env,
+            acc: AccessSet::default(),
+            phase: Phase::Backward,
+            layer: None,
+            dtype: DType::F32,
+        };
+        e.rw(&["act.out.squad.probs", "in.labels.squad"], &["g.act.out.squad.logits"]);
         emit_op!(
             e,
             "squad",
@@ -732,9 +1189,12 @@ pub fn build_finetune(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord> {
             k32.xent_bwd(2 * t as u64, t as u64)
         );
         e.dtype = dt;
+        e.rw(&["g.act.out.squad.logits", "w.out.squad"], &[&g_final]);
         e.gemm("squad.span", "grad_act", Category::Output, GemmSpec::new(No, Yes, d, t, 2));
+        e.rw(&[&final_act, "g.act.out.squad.logits"], &["g.w.out.squad"]);
         e.gemm("squad.span", "grad_wt", Category::Output, GemmSpec::new(Yes, No, d, 2, t));
         let k = K::new(dt);
+        e.rw(&["g.act.out.squad.logits"], &["g.w.out.squad.bias"]);
         emit_op!(
             e,
             "squad.span",
@@ -745,10 +1205,10 @@ pub fn build_finetune(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord> {
         );
     }
     for l in (0..cfg.layers).rev() {
-        out.extend(layer_backward_ops(cfg, opts, l));
+        out.extend(layer_backward_ops_in(cfg, opts, l, &mut env));
     }
-    out.extend(embedding_backward_ops(cfg, opts));
-    out.extend(optimizer_ops(cfg, opts));
+    out.extend(embedding_backward_ops_in(cfg, opts, &mut env));
+    out.extend(optimizer_ops_in(cfg, opts, &mut env));
     out
 }
 
@@ -758,12 +1218,13 @@ pub fn build_finetune(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord> {
 #[must_use]
 pub fn build_inference(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord> {
     let fwd_opts = GraphOptions { optimizer: OptimizerChoice::None, checkpoint: false, ..*opts };
+    let mut env = BufEnv::new();
     let mut out = Vec::new();
-    out.extend(embedding_forward_ops(cfg, &fwd_opts));
+    out.extend(embedding_forward_ops_in(cfg, &fwd_opts, &mut env));
     for l in 0..cfg.layers {
-        out.extend(layer_forward_ops(cfg, &fwd_opts, l, Phase::Forward));
+        out.extend(layer_forward_ops_in(cfg, &fwd_opts, l, Phase::Forward, &mut env));
     }
-    out.extend(output_forward_ops(cfg, &fwd_opts));
+    out.extend(output_forward_ops_in(cfg, &fwd_opts, &mut env));
     out
 }
 
@@ -781,13 +1242,14 @@ pub fn checkpoint_segments(layers: usize) -> usize {
 /// enabled), embedding backward, optimizer update.
 #[must_use]
 pub fn build_iteration(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord> {
+    let mut env = BufEnv::new();
     let mut out = Vec::new();
-    out.extend(embedding_forward_ops(cfg, opts));
+    out.extend(embedding_forward_ops_in(cfg, opts, &mut env));
     for l in 0..cfg.layers {
-        out.extend(layer_forward_ops(cfg, opts, l, Phase::Forward));
+        out.extend(layer_forward_ops_in(cfg, opts, l, Phase::Forward, &mut env));
     }
-    out.extend(output_forward_ops(cfg, opts));
-    out.extend(output_backward_ops(cfg, opts));
+    out.extend(output_forward_ops_in(cfg, opts, &mut env));
+    out.extend(output_backward_ops_in(cfg, opts, &mut env));
     if opts.checkpoint {
         // sqrt(N) segments; backward walks segments last-to-first, re-running
         // each segment's forward before its backward (paper §4).
@@ -800,19 +1262,19 @@ pub fn build_iteration(cfg: &BertConfig, opts: &GraphOptions) -> Vec<OpRecord> {
         boundaries.reverse();
         for (start, end) in boundaries {
             for l in start..end {
-                out.extend(layer_forward_ops(cfg, opts, l, Phase::Recompute));
+                out.extend(layer_forward_ops_in(cfg, opts, l, Phase::Recompute, &mut env));
             }
             for l in (start..end).rev() {
-                out.extend(layer_backward_ops(cfg, opts, l));
+                out.extend(layer_backward_ops_in(cfg, opts, l, &mut env));
             }
         }
     } else {
         for l in (0..cfg.layers).rev() {
-            out.extend(layer_backward_ops(cfg, opts, l));
+            out.extend(layer_backward_ops_in(cfg, opts, l, &mut env));
         }
     }
-    out.extend(embedding_backward_ops(cfg, opts));
-    out.extend(optimizer_ops(cfg, opts));
+    out.extend(embedding_backward_ops_in(cfg, opts, &mut env));
+    out.extend(optimizer_ops_in(cfg, opts, &mut env));
     out
 }
 

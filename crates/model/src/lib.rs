@@ -34,8 +34,10 @@ pub use fusion::{adam_fusion_case, layernorm_fusion_case, FusionCase};
 pub use gemms::{fused_qkv_spec, gemm_spec, training_gemms, GemmPass, GemmSite};
 pub use graph::{
     build_finetune, build_inference, build_iteration, checkpoint_segments, embedding_backward_ops,
-    embedding_forward_ops, layer_backward_ops, layer_forward_ops, optimizer_ops,
-    output_backward_ops, output_forward_ops, update_groups, GraphOptions, OptimizerChoice,
-    Precision, UpdateGroup,
+    embedding_backward_ops_in, embedding_forward_ops, embedding_forward_ops_in, layer_backward_ops,
+    layer_backward_ops_in, layer_forward_ops, layer_forward_ops_in, optimizer_ops,
+    optimizer_ops_in, output_backward_ops, output_backward_ops_in, output_forward_ops,
+    output_forward_ops_in, update_groups, BufEnv, GraphOptions, OptimizerChoice, Precision,
+    UpdateGroup,
 };
 pub use params::{parameter_count, parameter_tensors, ParamTensor};

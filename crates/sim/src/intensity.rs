@@ -93,6 +93,7 @@ pub fn bandwidth_rows(gpu: &GpuModel, ops: &[OpRecord]) -> Vec<BandwidthRow> {
 #[must_use]
 pub fn reference_elementwise_op(numel: u64) -> OpRecord {
     OpRecord {
+        access: bertscope_tensor::AccessSet::default(),
         name: "ew.multiply".into(),
         kind: OpKind::ElementWise,
         category: Category::DropResidualNorm,

@@ -146,6 +146,7 @@ mod tests {
 
     fn op(cat: Category, flops: u64, bytes: u64) -> OpRecord {
         OpRecord {
+            access: bertscope_tensor::AccessSet::default(),
             name: format!("{cat}"),
             kind: OpKind::ElementWise,
             category: cat,

@@ -132,6 +132,7 @@ mod tests {
     fn ridge_point_is_higher_for_matrix_cores() {
         let gpu = GpuModel::mi100();
         let mk = |kind, dtype| OpRecord {
+            access: bertscope_tensor::AccessSet::default(),
             name: "x".into(),
             kind,
             category: Category::FcGemm,

@@ -87,6 +87,7 @@ pub fn figure12b_study(gpu: &GpuModel, batches: &[usize]) -> Vec<QkvFusionPoint>
     use bertscope_model::{fused_qkv_spec, gemm_spec, GemmPass, GemmSite};
     use bertscope_tensor::{Category, OpKind, OpRecord, Phase};
     let to_op = |spec: bertscope_tensor::GemmSpec, phase: Phase| OpRecord {
+        access: bertscope_tensor::AccessSet::default(),
         name: "qkv".into(),
         kind: OpKind::Gemm,
         category: Category::AttnLinear,

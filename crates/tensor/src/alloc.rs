@@ -21,6 +21,7 @@
 //! kernel launches, so each worker's scratch is recycled across calls
 //! without any cross-thread synchronization on the free path.
 
+use crate::trace::BufId;
 use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -215,10 +216,23 @@ pub fn trim_thread_pool() {
 /// An owned, accounted f32 buffer. Dereferences to `[f32]`; dropping it
 /// returns the storage to the allocating thread's pool and retires its
 /// bytes from the live count.
-#[derive(Debug, Default)]
+///
+/// Every acquisition carries a fresh [`BufId`] — including pool reuses,
+/// because identity follows the *logical* buffer, not the recycled
+/// storage. Kernels thread these ids into the [`crate::trace::AccessSet`]
+/// of the ops they record, which is what the static hazard/lifetime
+/// analyses in `bertscope-check` consume.
+#[derive(Debug)]
 pub struct Buffer {
     data: Vec<f32>,
     bytes: u64,
+    id: BufId,
+}
+
+impl Default for Buffer {
+    fn default() -> Buffer {
+        Buffer { data: Vec::new(), bytes: 0, id: BufId::fresh() }
+    }
 }
 
 impl Buffer {
@@ -227,7 +241,15 @@ impl Buffer {
     pub fn zeroed(len: usize) -> Buffer {
         let bytes = (len * 4) as u64;
         account_alloc(bytes);
-        Buffer { data: acquire(len), bytes }
+        Buffer { data: acquire(len), bytes, id: BufId::fresh() }
+    }
+
+    /// The stable identity of this buffer, for op provenance. Fresh at
+    /// every acquisition: a pooled-storage reuse is a new logical buffer
+    /// and therefore a new id.
+    #[must_use]
+    pub fn id(&self) -> BufId {
+        self.id
     }
 
     /// A buffer of `len` copies of `value`.
@@ -255,7 +277,7 @@ impl Buffer {
         let bytes = (data.len() * 4) as u64;
         count_fresh();
         account_alloc(bytes);
-        Buffer { data, bytes }
+        Buffer { data, bytes, id: BufId::fresh() }
     }
 
     /// Surrender the storage to the caller, retiring its bytes from the

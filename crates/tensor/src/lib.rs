@@ -56,7 +56,8 @@ pub use gemm::{batched_gemm, gemm, Transpose};
 pub use shape::Shape;
 pub use tensor::Tensor;
 pub use trace::{
-    summarize, Category, GemmSpec, Group, MemoryProfile, OpKind, OpRecord, Phase, Totals, Tracer,
+    summarize, AccessSet, BufId, Category, GemmSpec, Group, MemoryProfile, OpKind, OpRecord, Phase,
+    Totals, Tracer,
 };
 
 /// Result alias used across the tensor substrate.

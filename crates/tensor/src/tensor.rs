@@ -5,6 +5,7 @@ use crate::dtype::DType;
 use crate::error::TensorError;
 use crate::pool;
 use crate::shape::Shape;
+use crate::trace::BufId;
 use crate::Result;
 
 /// Elements per pool task for elementwise loops. A pure function of the
@@ -135,6 +136,13 @@ impl Tensor {
     #[must_use]
     pub fn dtype(&self) -> DType {
         self.dtype
+    }
+
+    /// The stable [`BufId`] of this tensor's backing buffer, for op
+    /// provenance (read/write sets in [`crate::trace::AccessSet`]).
+    #[must_use]
+    pub fn buf_id(&self) -> BufId {
+        self.data.id()
     }
 
     /// Size of this tensor in bytes at its logical precision.

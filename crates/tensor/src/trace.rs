@@ -17,6 +17,109 @@ use crate::dtype::DType;
 use crate::gemm::Transpose;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Stable identity of one *logical* buffer in the system.
+///
+/// Ids are minted from a process-global counter shared by the real
+/// allocator ([`crate::alloc::Buffer`]) and the analytic graph builder's
+/// symbolic buffer environment, so executed traces and analytically-built
+/// streams can never alias each other's buffers by accident. A pooled
+/// storage reuse mints a *new* id: identity follows the logical buffer,
+/// not the backing storage, which is exactly what makes
+/// use-after-release-to-pool statically detectable (rule family `L` in
+/// `bertscope-check`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufId(u64);
+
+static NEXT_BUF_ID: AtomicU64 = AtomicU64::new(1);
+
+impl BufId {
+    /// Mint a fresh, process-unique buffer id.
+    #[must_use]
+    pub fn fresh() -> BufId {
+        BufId(NEXT_BUF_ID.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The raw numeric id (stable within one process only).
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for BufId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// The buffer provenance of one op: which logical buffers it reads,
+/// writes, allocates and releases.
+///
+/// This is the input to the static dependence analyses in
+/// `bertscope-check`: RAW/WAR/WAW edges come from `reads`/`writes`, and
+/// the lifetime rules audit `allocs`/`frees` against every later use. An
+/// op whose sets are all empty has *unknown* provenance — the analyses
+/// treat it as opaque (no edges, no lifetime events) rather than as a
+/// proven-independent op.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AccessSet {
+    /// Buffers read by the op.
+    pub reads: Vec<BufId>,
+    /// Buffers written (fully or partially) by the op.
+    pub writes: Vec<BufId>,
+    /// Buffers whose lifetime begins at this op.
+    pub allocs: Vec<BufId>,
+    /// Buffers released (returned to the pool) by this op.
+    pub frees: Vec<BufId>,
+}
+
+impl AccessSet {
+    /// An access set with the given reads and writes and no lifetime
+    /// events.
+    #[must_use]
+    pub fn new(reads: &[BufId], writes: &[BufId]) -> AccessSet {
+        AccessSet {
+            reads: reads.to_vec(),
+            writes: writes.to_vec(),
+            allocs: Vec::new(),
+            frees: Vec::new(),
+        }
+    }
+
+    /// Attach buffers whose lifetime begins at this op.
+    #[must_use]
+    pub fn with_allocs(mut self, allocs: &[BufId]) -> AccessSet {
+        self.allocs = allocs.to_vec();
+        self
+    }
+
+    /// Attach buffers released by this op.
+    #[must_use]
+    pub fn with_frees(mut self, frees: &[BufId]) -> AccessSet {
+        self.frees = frees.to_vec();
+        self
+    }
+
+    /// Whether provenance is entirely unknown (all four sets empty).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+            && self.writes.is_empty()
+            && self.allocs.is_empty()
+            && self.frees.is_empty()
+    }
+
+    /// Whether the op touches `id` in any of the four sets.
+    #[must_use]
+    pub fn touches(&self, id: BufId) -> bool {
+        self.reads.contains(&id)
+            || self.writes.contains(&id)
+            || self.allocs.contains(&id)
+            || self.frees.contains(&id)
+    }
+}
 
 /// How an operation manifests on a device (paper §3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -325,6 +428,9 @@ pub struct OpRecord {
     pub bytes_written: u64,
     /// Element precision of the operation's data.
     pub dtype: DType,
+    /// Buffer provenance (read/write/alloc/free sets). Empty when unknown;
+    /// the static analyses treat such ops as opaque.
+    pub access: AccessSet,
 }
 
 impl OpRecord {
@@ -369,7 +475,7 @@ impl OpRecord {
 /// remain reproducible.
 ///
 /// ```
-/// use bertscope_tensor::{Tracer, OpRecord, OpKind, Category, Phase, DType};
+/// use bertscope_tensor::{AccessSet, Tracer, OpRecord, OpKind, Category, Phase, DType};
 /// let mut tr = Tracer::new();
 /// tr.record(OpRecord {
 ///     name: "gelu.fwd".into(),
@@ -382,6 +488,7 @@ impl OpRecord {
 ///     bytes_read: 4,
 ///     bytes_written: 4,
 ///     dtype: DType::F32,
+///     access: AccessSet::default(),
 /// });
 /// assert_eq!(tr.records().len(), 1);
 /// ```
@@ -681,6 +788,7 @@ mod tests {
             bytes_read: bytes,
             bytes_written: bytes,
             dtype: DType::F32,
+            access: AccessSet::default(),
         }
     }
 

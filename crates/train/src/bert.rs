@@ -19,7 +19,8 @@ use bertscope_kernels::{KernelCtx, Result};
 use bertscope_model::{checkpoint_segments, BertConfig, Precision};
 use bertscope_tensor::init::randn;
 use bertscope_tensor::{
-    gemm, Buffer, Category, DType, GemmSpec, OpKind, OpRecord, Phase, Tensor, Tracer, Transpose,
+    gemm, AccessSet, Buffer, Category, DType, GemmSpec, OpKind, OpRecord, Phase, Tensor, Tracer,
+    Transpose,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -385,10 +386,18 @@ impl Bert {
                 }
             }
             let dec_ctx = self.kctx("mlm.decoder", Category::Output, Phase::Forward);
-            dec_ctx.trace_gemm(
+            dec_ctx.trace_gemm_acc(
                 tracer,
                 "gemm",
                 GemmSpec::new(Transpose::No, Transpose::Yes, self.cfg.vocab, t, d),
+                AccessSet::new(
+                    &[
+                        mlm_n.buf_id(),
+                        self.heads.word_emb.buf_id(),
+                        self.heads.decoder_bias.buf_id(),
+                    ],
+                    &[logits.buf_id()],
+                ),
             );
         }
         let xent_ctx = KernelCtx::new("mlm", Category::Output, Phase::Forward).dtype(DType::F32);
@@ -456,17 +465,19 @@ impl Bert {
         let d_mlm_n =
             gemm(Transpose::No, Transpose::No, 1.0, &d_logits, &self.heads.word_emb, 0.0, None)?;
         let dec_bwd = self.kctx("mlm.decoder", Category::Output, Phase::Backward);
-        dec_bwd.trace_gemm(
+        dec_bwd.trace_gemm_acc(
             tracer,
             "grad_act",
             GemmSpec::new(Transpose::No, Transpose::No, d, t, self.cfg.vocab),
+            AccessSet::new(&[d_logits.buf_id(), self.heads.word_emb.buf_id()], &[d_mlm_n.buf_id()]),
         );
         let d_word_from_decoder =
             gemm(Transpose::Yes, Transpose::No, 1.0, &d_logits, &mlm_n, 0.0, None)?;
-        dec_bwd.trace_gemm(
+        dec_bwd.trace_gemm_acc(
             tracer,
             "grad_wt",
             GemmSpec::new(Transpose::Yes, Transpose::No, self.cfg.vocab, d, t),
+            AccessSet::new(&[d_logits.buf_id(), mlm_n.buf_id()], &[d_word_from_decoder.buf_id()]),
         );
         let d_decoder_bias = {
             let mut acc = Buffer::zeroed(self.cfg.vocab);
@@ -476,13 +487,14 @@ impl Bert {
                 }
             }
             let es = dt.size_bytes();
-            dec_bwd.trace(
+            dec_bwd.trace_acc(
                 tracer,
                 "grad_bias",
                 OpKind::Reduction,
                 (t * self.cfg.vocab) as u64,
                 (t * self.cfg.vocab) as u64 * es,
                 self.cfg.vocab as u64 * 4,
+                AccessSet::new(&[d_logits.buf_id()], &[acc.id()]),
             );
             Tensor::from_buffer(acc, &[self.cfg.vocab])?
         };
@@ -675,10 +687,18 @@ impl Bert {
                 }
             }
             let dec_ctx = self.kctx("mlm.decoder", Category::Output, Phase::Forward);
-            dec_ctx.trace_gemm(
+            dec_ctx.trace_gemm_acc(
                 tracer,
                 "gemm",
                 GemmSpec::new(Transpose::No, Transpose::Yes, self.cfg.vocab, t, d),
+                AccessSet::new(
+                    &[
+                        mlm_n.buf_id(),
+                        self.heads.word_emb.buf_id(),
+                        self.heads.decoder_bias.buf_id(),
+                    ],
+                    &[logits.buf_id()],
+                ),
             );
         }
         let xent_ctx = KernelCtx::new("mlm", Category::Output, Phase::Forward).dtype(DType::F32);
@@ -734,7 +754,8 @@ impl Bert {
         }
         let ctx = self.kctx("nsp", Category::Output, Phase::Forward);
         let bytes = (b * d) as u64 * self.act_dtype().size_bytes();
-        ctx.trace(tracer, "gather_cls", OpKind::Copy, 0, bytes, bytes);
+        let access = AccessSet::new(&[seq.buf_id()], &[out.id()]);
+        ctx.trace_acc(tracer, "gather_cls", OpKind::Copy, 0, bytes, bytes, access);
         Tensor::from_buffer(out, &[b, d])
     }
 
@@ -749,7 +770,8 @@ impl Bert {
         }
         let ctx = self.kctx("nsp", Category::Output, Phase::Backward);
         let bytes = (b * d) as u64 * self.act_dtype().size_bytes();
-        ctx.trace(tracer, "scatter_cls", OpKind::Copy, 0, bytes, bytes);
+        let access = AccessSet::new(&[d_cls.buf_id()], &[d_seq.buf_id()]);
+        ctx.trace_acc(tracer, "scatter_cls", OpKind::Copy, 0, bytes, bytes, access);
     }
 
     /// Enumerate `(name, parameter, gradient)` slots in the canonical

@@ -9,7 +9,9 @@
 use bertscope_model::graph::{
     ADAM_FLOPS_PER_PARAM, LAMB_STAGE1_FLOPS_PER_PARAM, LAMB_STAGE2_FLOPS_PER_PARAM,
 };
-use bertscope_tensor::{pool, Buffer, Category, DType, OpKind, OpRecord, Phase, Tensor, Tracer};
+use bertscope_tensor::{
+    pool, AccessSet, Buffer, Category, DType, OpKind, OpRecord, Phase, Tensor, Tracer,
+};
 use std::collections::HashMap;
 
 /// Parameters per pool task for the optimizer loops. A pure function of the
@@ -138,8 +140,16 @@ fn group_of(name: &str) -> String {
     }
 }
 
-fn update_rec(name: String, cat: Category, flops: u64, br: u64, bw: u64) -> OpRecord {
+fn update_rec(
+    name: String,
+    cat: Category,
+    flops: u64,
+    br: u64,
+    bw: u64,
+    access: AccessSet,
+) -> OpRecord {
     OpRecord {
+        access,
         name,
         kind: if cat == Category::GradNorm { OpKind::Reduction } else { OpKind::ElementWise },
         category: cat,
@@ -223,12 +233,14 @@ impl Lamb {
             slots.iter().map(|s| chunked_sq_sum(s.grad.as_slice(), f64::from(inv_scale))).sum();
         let global_norm = global_sq.sqrt() as f32;
         let clip = if global_norm > 1.0 { 1.0 / global_norm } else { 1.0 };
+        let grad_ids: Vec<_> = slots.iter().map(|s| s.grad.buf_id()).collect();
         tracer.record(update_rec(
             "lamb.grad_norm.update".into(),
             Category::GradNorm,
             2 * total_params,
             total_params * 4,
             8,
+            AccessSet::new(&grad_ids, &[]),
         ));
 
         // Group accounting for the two fused stages.
@@ -240,6 +252,10 @@ impl Lamb {
                 None => group_numel.push((g, s.grad.numel() as u64)),
             }
         }
+        // Per-group access sets for the fused stage records: stage 1 reads
+        // gradients + moments + master weights and rewrites the moments;
+        // stage 2 applies the trust-ratio step to masters and parameters.
+        let mut group_access: Vec<(String, AccessSet, AccessSet)> = Vec::new();
 
         let bc1 = 1.0 - self.beta1.powi(t);
         let bc2 = 1.0 - self.beta2.powi(t);
@@ -253,6 +269,22 @@ impl Lamb {
                 .state
                 .entry(s.name.to_owned())
                 .or_insert_with(|| Moments { m: Buffer::zeroed(n), v: Buffer::zeroed(n) });
+            {
+                let g = group_of(s.name);
+                let (stage1, stage2) = match group_access.iter_mut().find(|(name, _, _)| *name == g)
+                {
+                    Some((_, a1, a2)) => (a1, a2),
+                    None => {
+                        group_access.push((g, AccessSet::default(), AccessSet::default()));
+                        let last = group_access.last_mut().expect("just pushed");
+                        (&mut last.1, &mut last.2)
+                    }
+                };
+                stage1.reads.extend([s.grad.buf_id(), master.id(), st.m.id(), st.v.id()]);
+                stage1.writes.extend([st.m.id(), st.v.id()]);
+                stage2.reads.extend([st.m.id(), st.v.id(), master.id()]);
+                stage2.writes.extend([master.id(), s.value.buf_id()]);
+            }
             // Stage 1: update moments and form the update direction.
             // Chunked over the pool; each chunk owns its slices of m/v/update
             // and its own (w_sq, u_sq) partial, merged in chunk order below.
@@ -318,12 +350,18 @@ impl Lamb {
 
         // Trace the two fused stages per group, matching the analytic graph.
         for (g, n) in group_numel {
+            let (a1, a2) = group_access
+                .iter()
+                .find(|(name, _, _)| *name == g)
+                .map(|(_, a1, a2)| (a1.clone(), a2.clone()))
+                .unwrap_or_default();
             tracer.record(update_rec(
                 format!("lamb.{g}.stage1.update"),
                 Category::LambStage1,
                 LAMB_STAGE1_FLOPS_PER_PARAM * n,
                 4 * n * 4,
                 3 * n * 4,
+                a1,
             ));
             tracer.record(update_rec(
                 format!("lamb.{g}.stage2.update"),
@@ -331,6 +369,7 @@ impl Lamb {
                 LAMB_STAGE2_FLOPS_PER_PARAM * n,
                 2 * n * 4,
                 n * 4,
+                a2,
             ));
         }
     }
@@ -407,6 +446,7 @@ impl Adam {
         let bc2 = 1.0 - self.beta2.powi(t);
         let inv_scale = 1.0 / self.grad_scale;
         let mut group_numel: Vec<(String, u64)> = Vec::new();
+        let mut group_access: Vec<(String, AccessSet)> = Vec::new();
         for s in slots.iter_mut() {
             let n = s.value.numel();
             let master = self
@@ -449,8 +489,17 @@ impl Adam {
                 let g = group_of(s.name);
                 match group_numel.iter_mut().find(|(name, _)| *name == g) {
                     Some((_, c)) => *c += n as u64,
-                    None => group_numel.push((g, n as u64)),
+                    None => group_numel.push((g.clone(), n as u64)),
                 }
+                let access = match group_access.iter_mut().find(|(name, _)| *name == g) {
+                    Some((_, a)) => a,
+                    None => {
+                        group_access.push((g, AccessSet::default()));
+                        &mut group_access.last_mut().expect("just pushed").1
+                    }
+                };
+                access.reads.extend([s.grad.buf_id(), st.m.id(), st.v.id(), master.id()]);
+                access.writes.extend([st.m.id(), st.v.id(), master.id(), s.value.buf_id()]);
             } else {
                 // Ten primitive kernels per tensor (the eager path).
                 let b = n as u64 * 4;
@@ -473,17 +522,27 @@ impl Adam {
                         n as u64,
                         reads * b,
                         writes * b,
+                        AccessSet::new(
+                            &[s.grad.buf_id(), st.m.id(), st.v.id(), master.id()],
+                            &[st.m.id(), st.v.id(), master.id(), s.value.buf_id()],
+                        ),
                     ));
                 }
             }
         }
         for (g, n) in group_numel {
+            let access = group_access
+                .iter()
+                .find(|(name, _)| *name == g)
+                .map(|(_, a)| a.clone())
+                .unwrap_or_default();
             tracer.record(update_rec(
                 format!("adam.{g}.fused.update"),
                 Category::LambStage1,
                 ADAM_FLOPS_PER_PARAM * n,
                 4 * n * 4,
                 3 * n * 4,
+                access,
             ));
         }
     }
@@ -588,6 +647,7 @@ impl Sgd {
                 2 * n,
                 2 * n * 4,
                 n * 4,
+                AccessSet::new(&[s.grad.buf_id(), s.value.buf_id()], &[s.value.buf_id()]),
             ));
         }
     }

@@ -13,7 +13,7 @@
 //! itself to the tracer in [`Category::LossScale`], exactly where rocProf
 //! would see the `amp_update_scale` / `multi_tensor_scale` kernels.
 
-use bertscope_tensor::{Category, DType, OpKind, OpRecord, Phase, Tensor, Tracer};
+use bertscope_tensor::{AccessSet, Category, DType, OpKind, OpRecord, Phase, Tensor, Tracer};
 
 /// Portable serialized form of a scaler (what checkpoints store).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -159,15 +159,31 @@ impl LossScaler {
     #[must_use]
     pub fn unscale_check(&self, tracer: &mut Tracer, grads: &[Tensor]) -> bool {
         let total_params: u64 = grads.iter().map(|t| t.numel() as u64).sum();
-        self.trace_unscale_check(tracer, total_params);
+        let ids: Vec<_> = grads.iter().map(Tensor::buf_id).collect();
+        // The fused kernel unscales in place: every gradient buffer is both
+        // read and rewritten.
+        self.trace_unscale_check_acc(tracer, total_params, AccessSet::new(&ids, &ids));
         grads.iter().all(Tensor::all_finite)
+    }
+
+    /// Trace the fused unscale + finiteness reduction over `total_params`
+    /// gradient elements with unknown buffer provenance (analytic callers
+    /// that have no real gradient tensors in hand).
+    pub fn trace_unscale_check(&self, tracer: &mut Tracer, total_params: u64) {
+        self.trace_unscale_check_acc(tracer, total_params, AccessSet::default());
     }
 
     /// Trace the fused unscale + finiteness reduction over `total_params`
     /// gradient elements: one multiply and one isfinite test per element,
     /// writing back the unscaled gradients plus a scalar found-inf flag.
-    pub fn trace_unscale_check(&self, tracer: &mut Tracer, total_params: u64) {
+    pub fn trace_unscale_check_acc(
+        &self,
+        tracer: &mut Tracer,
+        total_params: u64,
+        access: AccessSet,
+    ) {
         tracer.record(OpRecord {
+            access,
             name: "scaler.unscale_check.update".into(),
             kind: OpKind::Reduction,
             category: Category::LossScale,
@@ -209,6 +225,7 @@ impl LossScaler {
 
 fn scalar_op(name: &str) -> OpRecord {
     OpRecord {
+        access: bertscope_tensor::AccessSet::default(),
         name: name.into(),
         kind: OpKind::ElementWise,
         category: Category::LossScale,

@@ -161,6 +161,7 @@ fn a_doctored_trace_with_an_update_after_overflow_fires_s002() {
     doctored.insert(
         first_opt,
         OpRecord {
+            access: Default::default(),
             name: "scaler.overflow.update".into(),
             kind: OpKind::ElementWise,
             category: Category::LossScale,

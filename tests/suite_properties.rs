@@ -191,6 +191,7 @@ proptest! {
         use bertscope_tensor::{Category, DType, OpKind, OpRecord};
         let gpu = GpuModel::mi100();
         let mk = |b: u64| OpRecord {
+            access: Default::default(),
             name: "ew".into(),
             kind: OpKind::ElementWise,
             category: Category::Gelu,
