@@ -85,6 +85,57 @@ fn check_one(tally: &mut Tally, model: &str, workload: &str, opts: GraphOptions,
     }
 }
 
+/// Check externally-captured operator streams (one per file), e.g. the
+/// per-rank traces a `dist::proc` worker dumps with
+/// `bertscope_tensor::tracefile`. Returns the process exit code.
+fn run_traces(paths: &[String], stats: bool) -> i32 {
+    let mut tally = Tally { streams: 0, errors: 0, warnings: 0, stats };
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("racecheck: cannot read {path}: {e}");
+                return 2;
+            }
+        };
+        let ops = match bertscope_tensor::tracefile::parse_records(&text) {
+            Ok(ops) => ops,
+            Err(e) => {
+                eprintln!("racecheck: {path}: {e}");
+                return 2;
+            }
+        };
+        if ops.is_empty() {
+            eprintln!("racecheck: {path}: empty trace");
+            return 2;
+        }
+        let (findings, graph) = analyze(&ops);
+        let errors = findings.iter().filter(|f| f.severity == Severity::Error).count();
+        let warnings = findings.len() - errors;
+        tally.streams += 1;
+        tally.errors += errors;
+        tally.warnings += warnings;
+        if findings.is_empty() {
+            println!("ok    {path:<44} ({} ops, {} edges)", ops.len(), graph.edges.len());
+        } else {
+            println!(
+                "FAIL  {path:<44} ({} ops, {} edges, {errors} errors, {warnings} warnings)",
+                ops.len(),
+                graph.edges.len()
+            );
+            println!("{}", report(&findings));
+        }
+        if tally.stats {
+            println!("      {}", graph.report(&ops));
+        }
+    }
+    println!(
+        "racecheck: {} traced streams checked under 2 schedules each, {} errors, {} warnings",
+        tally.streams, tally.errors, tally.warnings
+    );
+    i32::from(tally.errors > 0)
+}
+
 fn run(stats: bool) -> i32 {
     let mut tally = Tally { streams: 0, errors: 0, warnings: 0, stats };
     let models = [("BERT-Base", BertConfig::bert_base()), ("BERT-Large", BertConfig::bert_large())];
@@ -126,6 +177,22 @@ fn main() {
     match args.first().map(String::as_str) {
         None => std::process::exit(run(false)),
         Some("--stats") if args.len() == 1 => std::process::exit(run(true)),
+        Some("--trace") => {
+            let mut stats = false;
+            let mut paths: Vec<String> = Vec::new();
+            for a in &args[1..] {
+                if a == "--stats" {
+                    stats = true;
+                } else {
+                    paths.push(a.clone());
+                }
+            }
+            if paths.is_empty() {
+                eprintln!("racecheck: --trace needs at least one trace file");
+                std::process::exit(2);
+            }
+            std::process::exit(run_traces(&paths, stats));
+        }
         Some("--list-rules") if args.len() == 1 => {
             for rule in RuleId::all() {
                 let code = rule.code();
@@ -139,7 +206,7 @@ fn main() {
                 "racecheck: statically race- and lifetime-check the operator streams of\n\
                  every paper configuration\n\
                  \n\
-                 usage: racecheck [--stats | --list-rules]\n\
+                 usage: racecheck [--stats | --list-rules | --trace FILE... [--stats]]\n\
                  \n\
                  With no arguments, sweeps BERT-Base/Large x fp32/fp16/bf16 x checkpointing\n\
                  on/off x LAMB/Adam (pre-training, fine-tuning and inference), rebuilds each\n\
@@ -147,8 +214,10 @@ fn main() {
                  order and the max-parallel ASAP schedule against it. Exits 1 if any stream\n\
                  carries an error-severity finding.\n\
                  \n\
-                 --stats       also print DAG depth/width/critical-path parallelism\n\
-                 --list-rules  print the H- and L-series rule registry"
+                 --stats        also print DAG depth/width/critical-path parallelism\n\
+                 --list-rules   print the H- and L-series rule registry\n\
+                 --trace FILE   check externally-captured operator streams instead\n\
+                \u{20}               (the per-rank traces dist::proc workers dump)"
             );
         }
         Some(other) => {

@@ -16,12 +16,62 @@
 //! training runtime needs to trigger recovery.
 
 use bertscope_tensor::FaultKind;
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Tunables shared by every ring collective in the suite — the in-process
+/// threaded ring below and the multi-process socket ring in
+/// [`crate::proc`]. One config type keeps the two rings' timeout/retry
+/// semantics aligned, so a fault plan exercised against the cheap threaded
+/// ring predicts the socket ring's behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingConfig {
+    /// Per-hop receive (and, for the socket ring, acknowledgement) timeout.
+    pub timeout: Duration,
+    /// Bounded resend attempts per hop before the collective fails
+    /// (socket ring; the threaded ring has no retransmission).
+    pub max_retries: u32,
+    /// Base backoff between retries; doubled on each attempt
+    /// (exponential backoff, capped by `timeout`).
+    pub backoff: Duration,
+    /// Bucket granularity of the socket ring, in f32 elements per bucket.
+    pub bucket_elems: usize,
+    /// Maximum chunks in flight per hop: a sender blocks (bounded, with a
+    /// deadline) instead of queueing unboundedly ahead of a slow receiver.
+    pub max_inflight: usize,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig {
+            timeout: Duration::from_secs(30),
+            max_retries: 3,
+            backoff: Duration::from_millis(20),
+            bucket_elems: 1 << 18, // 1 MiB of f32s per bucket
+            max_inflight: 2,
+        }
+    }
+}
+
+impl RingConfig {
+    /// A config with the given per-hop timeout and defaults elsewhere.
+    #[must_use]
+    pub fn with_timeout(timeout: Duration) -> Self {
+        RingConfig { timeout, ..RingConfig::default() }
+    }
+
+    /// Backoff before retry attempt `attempt` (0-based), doubling per
+    /// attempt and capped at the hop timeout.
+    #[must_use]
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let exp = self.backoff.saturating_mul(1 << attempt.min(16));
+        exp.min(self.timeout)
+    }
+}
 
 /// Statistics from one AllReduce execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AllReduceStats {
     /// Number of participating devices.
     pub devices: usize,
@@ -29,6 +79,18 @@ pub struct AllReduceStats {
     pub bytes_sent_per_device: u64,
     /// Number of pipeline steps executed (`2 * (D - 1)`).
     pub steps: usize,
+    /// Hop-level retransmissions performed (socket ring: resends after a
+    /// lost or corrupted frame; always zero for the threaded ring, which
+    /// has no retransmission).
+    pub retries: u64,
+    /// Recoverable per-hop timeouts absorbed by retrying (a timeout that
+    /// exhausts its retries fails the collective instead and is reported
+    /// as an error, not counted here).
+    pub timeouts: u64,
+    /// Times a sender found its hop at the in-flight bound and had to
+    /// wait for the receiver to drain — back-pressure events, the
+    /// observable effect of bounding per-hop memory.
+    pub send_stalls: u64,
 }
 
 /// A structured failure of a fault-injected ring collective.
@@ -89,7 +151,7 @@ impl std::error::Error for AllReduceError {}
 ///
 /// Panics when buffers have mismatched lengths or `buffers` is empty.
 pub fn ring_allreduce(buffers: &mut [Vec<f32>]) -> AllReduceStats {
-    ring_allreduce_faulty(buffers, &[], Duration::from_secs(30))
+    ring_allreduce_with(buffers, &[], &RingConfig::default())
         .expect("fault-free allreduce cannot fail")
 }
 
@@ -124,6 +186,32 @@ pub fn ring_allreduce_faulty(
     faults: &[FaultKind],
     timeout: Duration,
 ) -> Result<AllReduceStats, AllReduceError> {
+    ring_allreduce_with(buffers, faults, &RingConfig::with_timeout(timeout))
+}
+
+/// [`ring_allreduce_faulty`] with the full [`RingConfig`] surface: the
+/// per-hop timeout *and* the in-flight bound are caller-controlled. A rank
+/// delayed by a [`FaultKind::DelayRank`] fault no longer causes unbounded
+/// channel growth: its predecessor may run at most
+/// [`RingConfig::max_inflight`] chunks ahead before stalling (bounded by
+/// the same timeout), and the stall count is surfaced in
+/// [`AllReduceStats::send_stalls`].
+///
+/// # Errors
+///
+/// Returns the root-cause [`AllReduceError`], as [`ring_allreduce_faulty`].
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`ring_allreduce_faulty`], or when
+/// `cfg.max_inflight` is zero.
+pub fn ring_allreduce_with(
+    buffers: &mut [Vec<f32>],
+    faults: &[FaultKind],
+    cfg: &RingConfig,
+) -> Result<AllReduceStats, AllReduceError> {
+    let timeout = cfg.timeout;
+    assert!(cfg.max_inflight > 0, "max_inflight must be non-zero");
     let d = buffers.len();
     assert!(d > 0, "at least one device required");
     let len = buffers[0].len();
@@ -154,7 +242,9 @@ pub fn ring_allreduce_faulty(
                     *v = f32::NAN;
                 }
             }
-            FaultKind::NanGradient { .. } | FaultKind::InfGradient { .. } => {}
+            // Gradient faults belong to the trainer; process/socket faults
+            // belong to the multi-process runtime (`proc`).
+            _ => {}
         }
     }
 
@@ -162,21 +252,28 @@ pub fn ring_allreduce_faulty(
         if killed[0] {
             return Err(AllReduceError::RankKilled { rank: 0 });
         }
-        return Ok(AllReduceStats { devices: d, bytes_sent_per_device: 0, steps: 0 });
+        return Ok(AllReduceStats { devices: d, ..AllReduceStats::default() });
     }
 
-    // Ring channels: device i sends to (i+1) % d. Unbounded, so a sender
-    // never blocks on a slow or dead receiver — all waiting happens in
-    // recv_timeout, where it is bounded.
-    let mut senders: Vec<Option<Sender<Vec<f32>>>> = Vec::with_capacity(d);
+    // Ring channels: device i sends to (i+1) % d. Bounded to
+    // `max_inflight` chunks so a straggling receiver exerts back-pressure
+    // instead of letting its predecessor queue the whole buffer; all
+    // waiting (send-side stalls and receives alike) carries a deadline, so
+    // a dead rank still degrades into a structured error.
+    let mut senders: Vec<Option<SyncSender<Vec<f32>>>> = Vec::with_capacity(d);
     let mut rx_store: Vec<Option<Receiver<Vec<f32>>>> = (0..d).map(|_| None).collect();
     for i in 0..d {
-        let (tx, rx) = channel::<Vec<f32>>();
+        let (tx, rx) = sync_channel::<Vec<f32>>(cfg.max_inflight);
         senders.push(Some(tx));
         rx_store[(i + 1) % d] = Some(rx);
     }
 
-    let mut outcomes: Vec<Result<u64, AllReduceError>> = Vec::with_capacity(d);
+    struct RankOutcome {
+        sent: u64,
+        stalls: u64,
+    }
+
+    let mut outcomes: Vec<Result<RankOutcome, AllReduceError>> = Vec::with_capacity(d);
     thread::scope(|scope| {
         let mut handles = Vec::with_capacity(d);
         for (rank, buf) in buffers.iter_mut().enumerate() {
@@ -185,7 +282,7 @@ pub fn ring_allreduce_faulty(
             let bounds = chunk_bounds.clone();
             let is_killed = killed[rank];
             let delay = delay_micros[rank];
-            handles.push(scope.spawn(move || -> Result<u64, AllReduceError> {
+            handles.push(scope.spawn(move || -> Result<RankOutcome, AllReduceError> {
                 if is_killed {
                     // Drop both endpoints without a single send: the
                     // predecessor's sends land in a closed channel and the
@@ -198,17 +295,37 @@ pub fn ring_allreduce_faulty(
                     thread::sleep(Duration::from_micros(delay));
                 }
                 let mut sent = 0u64;
-                let hop = |step: usize,
-                           send_chunk: usize,
-                           recv_chunk: usize,
-                           buf: &mut [f32],
-                           reduce: bool|
+                let mut stalls = 0u64;
+                let mut hop = |step: usize,
+                               send_chunk: usize,
+                               recv_chunk: usize,
+                               buf: &mut [f32],
+                               reduce: bool|
                  -> Result<u64, AllReduceError> {
                     let (a, b) = bounds[send_chunk];
-                    let payload = buf[a..b].to_vec();
+                    let mut payload = buf[a..b].to_vec();
                     let bytes = ((b - a) * 4) as u64;
-                    tx.send(payload)
-                        .map_err(|_| AllReduceError::PeerDisconnected { rank, step })?;
+                    // Bounded send: spin on try_send until the hop drains,
+                    // a deadline expires, or the peer hangs up.
+                    let deadline = Instant::now() + timeout;
+                    let mut stalled = false;
+                    loop {
+                        match tx.try_send(payload) {
+                            Ok(()) => break,
+                            Err(TrySendError::Full(p)) => {
+                                if Instant::now() >= deadline {
+                                    return Err(AllReduceError::Timeout { rank, step });
+                                }
+                                stalled = true;
+                                payload = p;
+                                thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(TrySendError::Disconnected(_)) => {
+                                return Err(AllReduceError::PeerDisconnected { rank, step });
+                            }
+                        }
+                    }
+                    stalls += u64::from(stalled);
                     let incoming = rx.recv_timeout(timeout).map_err(|e| match e {
                         RecvTimeoutError::Timeout => AllReduceError::Timeout { rank, step },
                         RecvTimeoutError::Disconnected => {
@@ -235,7 +352,7 @@ pub fn ring_allreduce_faulty(
                 for s in 0..d - 1 {
                     sent += hop(d - 1 + s, (rank + 1 + d - s) % d, (rank + d - s) % d, buf, false)?;
                 }
-                Ok(sent)
+                Ok(RankOutcome { sent, stalls })
             }));
         }
         for (rank, h) in handles.into_iter().enumerate() {
@@ -252,13 +369,24 @@ pub fn ring_allreduce_faulty(
         return Err(root);
     }
     let mut sent_max = 0u64;
+    let mut send_stalls = 0u64;
     for o in &outcomes {
         match o {
-            Ok(sent) => sent_max = sent_max.max(*sent),
+            Ok(out) => {
+                sent_max = sent_max.max(out.sent);
+                send_stalls += out.stalls;
+            }
             Err(e) => return Err(*e),
         }
     }
-    Ok(AllReduceStats { devices: d, bytes_sent_per_device: sent_max, steps: 2 * (d - 1) })
+    Ok(AllReduceStats {
+        devices: d,
+        bytes_sent_per_device: sent_max,
+        steps: 2 * (d - 1),
+        retries: 0,
+        timeouts: 0,
+        send_stalls,
+    })
 }
 
 /// Mean-AllReduce: sum then divide by the device count (the gradient
@@ -382,6 +510,70 @@ mod tests {
                 assert!((got - want).abs() < 1e-4);
             }
         }
+    }
+
+    #[test]
+    fn delayed_rank_bounds_inflight_chunks() {
+        // A straggler's predecessor must stall at the in-flight bound
+        // instead of queueing chunks unboundedly — the observable effect is
+        // a non-zero stall count, and the collective still sums correctly.
+        let d = 4;
+        let len = 64;
+        let bufs = random_buffers(d, len, 21);
+        let expected: Vec<f32> = (0..len).map(|i| bufs.iter().map(|b| b[i]).sum::<f32>()).collect();
+        let mut work = bufs.clone();
+        let cfg = RingConfig {
+            timeout: Duration::from_secs(5),
+            max_inflight: 1,
+            ..RingConfig::default()
+        };
+        let stats = ring_allreduce_with(
+            &mut work,
+            &[FaultKind::DelayRank { rank: 2, micros: 50_000 }],
+            &cfg,
+        )
+        .expect("a bounded stall must not break the collective");
+        assert!(stats.send_stalls > 0, "straggler must exert back-pressure");
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.timeouts, 0);
+        for b in &work {
+            for (got, want) in b.iter().zip(&expected) {
+                assert!((got - want).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn inflight_bound_deadline_fails_structured() {
+        // With max_inflight = 1 and a dead receiver downstream, the
+        // sender's bounded-send deadline converts the stall into a
+        // structured error instead of spinning forever.
+        let mut bufs = random_buffers(3, 30, 5);
+        let cfg = RingConfig {
+            timeout: Duration::from_millis(100),
+            max_inflight: 1,
+            ..RingConfig::default()
+        };
+        let start = Instant::now();
+        let err = ring_allreduce_with(&mut bufs, &[FaultKind::KillRank { rank: 0 }], &cfg)
+            .expect_err("dead rank must fail");
+        assert_eq!(err, AllReduceError::RankKilled { rank: 0 });
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn exponential_backoff_is_capped() {
+        let cfg = RingConfig {
+            timeout: Duration::from_millis(500),
+            backoff: Duration::from_millis(20),
+            ..RingConfig::default()
+        };
+        assert_eq!(cfg.backoff_for(0), Duration::from_millis(20));
+        assert_eq!(cfg.backoff_for(1), Duration::from_millis(40));
+        assert_eq!(cfg.backoff_for(3), Duration::from_millis(160));
+        // Capped at the hop timeout well before overflow territory.
+        assert_eq!(cfg.backoff_for(10), Duration::from_millis(500));
+        assert_eq!(cfg.backoff_for(60), Duration::from_millis(500));
     }
 
     #[test]

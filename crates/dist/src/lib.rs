@@ -9,19 +9,33 @@
 //! * [`zero`] — ZeRO-style optimizer-state sharding (the ZeRO (paper ref. 69) approach the
 //!   paper discusses, including LAMB's surviving grad-norm dependency);
 //! * [`hybrid`] — M-way slicing x D-way replication clusters (paper §2.5);
-//! * [`figure11_profiles`] — the complete Fig. 11 configuration set.
+//! * [`figure11_profiles`] — the complete Fig. 11 configuration set;
+//! * [`linkmodel`] — α/β interconnect parameters fitted from *measured*
+//!   AllReduce timings, bridging the socket runtime back to the analytic
+//!   [`Link`](bertscope_device::Link) model;
+//! * [`proc`] — a real multi-process elastic data-parallel runtime:
+//!   socket ring AllReduce, supervised membership, fault injection and
+//!   checkpoint/elastic recovery.
 
 pub mod allreduce;
 pub mod dp;
 pub mod hybrid;
+pub mod linkmodel;
+pub mod proc;
 pub mod ts;
 pub mod zero;
 
 pub use allreduce::{
-    ring_allreduce, ring_allreduce_faulty, ring_allreduce_mean, AllReduceError, AllReduceStats,
+    ring_allreduce, ring_allreduce_faulty, ring_allreduce_mean, ring_allreduce_with,
+    AllReduceError, AllReduceStats, RingConfig,
 };
 pub use dp::data_parallel_profile;
 pub use hybrid::{hybrid_profile, HybridPlan};
+pub use linkmodel::{LinkModel, LinkSample};
+pub use proc::{
+    run_process_cluster, run_thread_cluster, ClusterConfig, ClusterReport, DegradationEvent,
+    DistError, RecoveryMode, SocketRing, WorkerConfig, WorkerReport,
+};
 pub use ts::{tensor_slice_ops, tensor_slice_profile};
 pub use zero::zero_dp_profile;
 

@@ -1,0 +1,366 @@
+//! The socket ring AllReduce: the threaded ring's algorithm, promoted to
+//! TCP connections between genuinely separate workers.
+//!
+//! The hop structure is identical to [`crate::allreduce`] — `2(D-1)`
+//! pipeline steps of reduce-scatter + all-gather over `D` chunks — and the
+//! floating-point accumulation order is identical too, so the socket ring,
+//! the threaded ring and the serial [`reference_allreduce`] simulation all
+//! produce *bit-identical* results. That property is what makes the
+//! recovery tests meaningful: a restarted or shrunk run can be compared
+//! against an uninterrupted reference down to the last mantissa bit.
+//!
+//! Large payloads travel as [`plan_buckets`]-partitioned buckets
+//! (`RingConfig::bucket_elems` elements each), each reduced by its own
+//! ring pass; chunk frames ride the reliable transport, so socket faults
+//! surface only in the stats.
+
+use crate::allreduce::RingConfig;
+use crate::proc::transport::{FrameConn, SocketFaults, TransportStats};
+use crate::proc::DistError;
+use bertscope_tensor::bucket::{decode_f32s, encode_f32s, plan_buckets};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Handshake magic for ring data connections.
+const RING_MAGIC: &[u8; 4] = b"BSRG";
+
+/// Statistics of one socket-ring collective.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Participating ranks.
+    pub world: usize,
+    /// Pipeline steps executed per bucket (`2(world-1)`).
+    pub steps_per_bucket: usize,
+    /// Buckets the payload was partitioned into.
+    pub buckets: usize,
+    /// Payload bytes this rank pushed onto the wire (excluding resends).
+    pub bytes_sent: u64,
+    /// Transport reliability counters (resends, timeouts, corrupt frames).
+    pub transport: TransportStats,
+    /// Wall time of the collective, in microseconds.
+    pub elapsed_us: u64,
+}
+
+/// One rank's endpoints of a formed ring at a given membership epoch.
+#[derive(Debug)]
+pub struct SocketRing {
+    /// Membership epoch this ring was formed at (bumped by every elastic
+    /// reconfiguration).
+    pub epoch: u32,
+    /// This rank's position in the *active* member list (its ring index).
+    pub position: usize,
+    /// Active world size.
+    pub world: usize,
+    cfg: RingConfig,
+    to_succ: FrameConn,
+    from_pred: FrameConn,
+}
+
+fn io_err(e: &std::io::Error, what: &str) -> DistError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            DistError::Timeout { what: what.into() }
+        }
+        _ => DistError::Io(format!("{what}: {e}")),
+    }
+}
+
+/// Form a ring at `epoch` among `members` (listen ports on localhost, in
+/// ring order). `position` indexes this rank within `members`; `listener`
+/// is this rank's own accepting socket (bound once, reused across
+/// epochs). Stale connections from earlier epochs are drained and
+/// dropped.
+///
+/// # Errors
+///
+/// Returns a timeout when the successor never accepts or the predecessor
+/// never dials in, or a protocol error on a handshake mismatch.
+///
+/// # Panics
+///
+/// Panics when `position` is out of range of `members`.
+pub fn form_ring(
+    listener: &TcpListener,
+    members: &[u16],
+    position: usize,
+    epoch: u32,
+    cfg: &RingConfig,
+) -> Result<SocketRing, DistError> {
+    let world = members.len();
+    assert!(position < world, "position {position} out of {world}");
+    let succ_port = members[(position + 1) % world];
+    let deadline = Instant::now() + cfg.timeout;
+
+    // Dial the successor (retrying while it re-forms), sending the
+    // epoch-tagged handshake.
+    let to_succ = loop {
+        match TcpStream::connect(("127.0.0.1", succ_port)) {
+            Ok(mut s) => {
+                let mut hello = Vec::with_capacity(12);
+                hello.extend_from_slice(RING_MAGIC);
+                hello.extend_from_slice(&epoch.to_le_bytes());
+                hello.extend_from_slice(&u32::try_from(position).expect("small").to_le_bytes());
+                s.write_all(&hello).map_err(|e| io_err(&e, "ring handshake write"))?;
+                break s;
+            }
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(io_err(&e, "connect to ring successor"));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    };
+    to_succ.set_nodelay(true).map_err(|e| io_err(&e, "nodelay"))?;
+
+    // Accept the predecessor, discarding stale-epoch dials.
+    listener.set_nonblocking(false).map_err(|e| io_err(&e, "listener mode"))?;
+    let from_pred = loop {
+        if Instant::now() >= deadline {
+            return Err(DistError::Timeout { what: format!("ring predecessor at epoch {epoch}") });
+        }
+        // A short accept timeout via nonblocking + poll keeps the deadline
+        // honest without platform-specific socket options.
+        listener.set_nonblocking(true).map_err(|e| io_err(&e, "listener mode"))?;
+        let accepted = listener.accept();
+        listener.set_nonblocking(false).map_err(|e| io_err(&e, "listener mode"))?;
+        let mut stream = match accepted {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+            Err(e) => return Err(io_err(&e, "accept ring predecessor")),
+        };
+        stream.set_read_timeout(Some(cfg.timeout)).map_err(|e| io_err(&e, "handshake timeout"))?;
+        let mut hello = [0u8; 12];
+        if stream.read_exact(&mut hello).is_err() {
+            continue; // half-open stale dial; drop it
+        }
+        if &hello[0..4] != RING_MAGIC {
+            continue;
+        }
+        let peer_epoch = u32::from_le_bytes(hello[4..8].try_into().expect("4 bytes"));
+        if peer_epoch != epoch {
+            continue; // stale epoch: a member that has not reconfigured yet
+        }
+        break stream;
+    };
+
+    Ok(SocketRing {
+        epoch,
+        position,
+        world,
+        cfg: *cfg,
+        to_succ: FrameConn::new(to_succ, *cfg)?,
+        from_pred: FrameConn::new(from_pred, *cfg)?,
+    })
+}
+
+impl SocketRing {
+    /// Arm send-path faults for the next collective (reset afterwards).
+    pub fn arm_faults(&mut self, faults: SocketFaults) {
+        self.to_succ.faults = faults;
+    }
+
+    /// Sum-AllReduce `data` in place across the ring.
+    ///
+    /// Bit-exact against [`reference_allreduce`] with the same world size
+    /// and bucket plan. A world of one returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Structured [`DistError`]s on peer death, hop timeout or retry
+    /// exhaustion; on error the buffer contents are unspecified and the
+    /// ring should be considered broken (re-form before retrying).
+    pub fn allreduce(&mut self, data: &mut [f32]) -> Result<RingStats, DistError> {
+        let start = Instant::now();
+        let d = self.world;
+        let mut stats = RingStats {
+            world: d,
+            steps_per_bucket: if d > 1 { 2 * (d - 1) } else { 0 },
+            ..RingStats::default()
+        };
+        if d <= 1 || data.is_empty() {
+            stats.elapsed_us = instant_us(start);
+            return Ok(stats);
+        }
+        let rank = self.position;
+        for bucket in plan_buckets(data.len(), self.cfg.bucket_elems) {
+            stats.buckets += 1;
+            let buf = &mut data[bucket];
+            let len = buf.len();
+            let bounds: Vec<(usize, usize)> =
+                (0..d).map(|c| (c * len / d, (c + 1) * len / d)).collect();
+            // Reduce-scatter then all-gather, same chunk schedule as the
+            // threaded ring.
+            for s in 0..d - 1 {
+                let send_c = (rank + d - s) % d;
+                let recv_c = (rank + d - s - 1) % d;
+                stats.bytes_sent += self.hop(s, &bounds, send_c, recv_c, buf, true)?;
+            }
+            for s in 0..d - 1 {
+                let send_c = (rank + 1 + d - s) % d;
+                let recv_c = (rank + d - s) % d;
+                stats.bytes_sent += self.hop(d - 1 + s, &bounds, send_c, recv_c, buf, false)?;
+            }
+        }
+        // Faults are one-collective-scoped; a clean next step starts clean.
+        self.to_succ.faults = SocketFaults::default();
+        stats.transport.absorb(&self.to_succ.stats);
+        stats.transport.absorb(&self.from_pred.stats);
+        self.to_succ.stats = TransportStats::default();
+        self.from_pred.stats = TransportStats::default();
+        stats.elapsed_us = instant_us(start);
+        Ok(stats)
+    }
+
+    /// One pipeline hop: push the outgoing chunk, service the inbound
+    /// side, then reap the acknowledgement. The send-before-receive order
+    /// plus TCP buffering keeps the simultaneous ring deadlock-free.
+    fn hop(
+        &mut self,
+        step: usize,
+        bounds: &[(usize, usize)],
+        send_chunk: usize,
+        recv_chunk: usize,
+        buf: &mut [f32],
+        reduce: bool,
+    ) -> Result<u64, DistError> {
+        let (a, b) = bounds[send_chunk];
+        let payload = encode_f32s(&buf[a..b]);
+        let seq = self.to_succ.send_data(&payload)?;
+        let incoming = self.from_pred.recv_data()?;
+        let incoming = decode_f32s(&incoming).map_err(DistError::Protocol)?;
+        let (ra, rb) = bounds[recv_chunk];
+        if incoming.len() != rb - ra {
+            return Err(DistError::Protocol(format!(
+                "hop {step}: got {} elements for a {}-element chunk",
+                incoming.len(),
+                rb - ra
+            )));
+        }
+        if reduce {
+            for (dst, src) in buf[ra..rb].iter_mut().zip(&incoming) {
+                *dst += src;
+            }
+        } else {
+            buf[ra..rb].copy_from_slice(&incoming);
+        }
+        self.to_succ.await_ack(seq, &payload, step)?;
+        Ok(payload.len() as u64)
+    }
+}
+
+fn instant_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Serial lockstep simulation of the ring: applies the exact per-step
+/// chunk schedule and accumulation order of [`SocketRing::allreduce`] (and
+/// the threaded ring) to all buffers at once, giving the bit-exact
+/// expected result of the distributed collective.
+///
+/// # Panics
+///
+/// Panics when buffers have mismatched lengths or `buffers` is empty.
+pub fn reference_allreduce(buffers: &mut [Vec<f32>], bucket_elems: usize) {
+    let d = buffers.len();
+    assert!(d > 0, "at least one rank required");
+    let len = buffers[0].len();
+    assert!(buffers.iter().all(|b| b.len() == len), "buffer lengths must match");
+    if d == 1 || len == 0 {
+        return;
+    }
+    for bucket in plan_buckets(len, bucket_elems) {
+        let blen = bucket.len();
+        let bounds: Vec<(usize, usize)> =
+            (0..d).map(|c| (c * blen / d, (c + 1) * blen / d)).collect();
+        for s in 0..d - 1 {
+            // Snapshot every rank's outgoing chunk from pre-step state,
+            // then apply — the lockstep the parallel ring executes.
+            let payloads: Vec<Vec<f32>> = (0..d)
+                .map(|rank| {
+                    let (a, b) = bounds[(rank + d - s) % d];
+                    buffers[rank][bucket.start + a..bucket.start + b].to_vec()
+                })
+                .collect();
+            for rank in 0..d {
+                let from = (rank + d - 1) % d;
+                let (ra, rb) = bounds[(rank + d - s - 1) % d];
+                for (dst, src) in buffers[rank][bucket.start + ra..bucket.start + rb]
+                    .iter_mut()
+                    .zip(&payloads[from])
+                {
+                    *dst += src;
+                }
+            }
+        }
+        for s in 0..d - 1 {
+            let payloads: Vec<Vec<f32>> = (0..d)
+                .map(|rank| {
+                    let (a, b) = bounds[(rank + 1 + d - s) % d];
+                    buffers[rank][bucket.start + a..bucket.start + b].to_vec()
+                })
+                .collect();
+            for rank in 0..d {
+                let from = (rank + d - 1) % d;
+                let (ra, rb) = bounds[(rank + d - s) % d];
+                buffers[rank][bucket.start + ra..bucket.start + rb]
+                    .copy_from_slice(&payloads[from]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allreduce::ring_allreduce;
+
+    #[test]
+    fn reference_matches_threaded_ring_bitwise() {
+        // Non-associative f32 sums: agreement must be on bits, not within
+        // epsilon. One bucket spanning the buffer mirrors the threaded
+        // ring exactly.
+        for d in [2usize, 3, 4, 8] {
+            let len = 37;
+            let base: Vec<Vec<f32>> = (0..d)
+                .map(|r| (0..len).map(|i| ((r * len + i) as f32).sin() * 1.0e3).collect())
+                .collect();
+            let mut threaded = base.clone();
+            ring_allreduce(&mut threaded);
+            let mut reference = base.clone();
+            reference_allreduce(&mut reference, len.max(1));
+            for (rank, (t, r)) in threaded.iter().zip(&reference).enumerate() {
+                for (i, (a, b)) in t.iter().zip(r.iter()).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "d={d} rank={rank} elem {i}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reference_bucketing_keeps_ranks_in_agreement() {
+        // Bucketed chunk bounds differ from whole-buffer bounds, so the
+        // *values* may differ in the last bits between plans — but within
+        // one plan every rank must end bit-identical, and the result must
+        // be the correct sum to f32 accuracy.
+        let d = 4;
+        let len = 101;
+        let base: Vec<Vec<f32>> =
+            (0..d).map(|r| (0..len).map(|i| ((r + i * 7) as f32).cos()).collect()).collect();
+        let expected: Vec<f32> = (0..len).map(|i| base.iter().map(|b| b[i]).sum::<f32>()).collect();
+        let mut bucketed = base.clone();
+        reference_allreduce(&mut bucketed, 13);
+        for rank in 1..d {
+            for (i, (a, b)) in bucketed[0].iter().zip(&bucketed[rank]).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "rank {rank} elem {i} disagrees");
+            }
+        }
+        for (got, want) in bucketed[0].iter().zip(&expected) {
+            assert!((got - want).abs() < 1e-4, "{got} vs {want}");
+        }
+    }
+}

@@ -1,0 +1,592 @@
+//! The per-rank worker: a full training replica wired into the socket
+//! ring and the supervisor's control plane.
+//!
+//! Every rank builds the *same* model (same init seed), trains on
+//! rank-disjoint deterministic synthetic batches, and installs a
+//! [`GradSync`] bridge that AllReduces the window-averaged gradients over
+//! the [`SocketRing`] — so the replicas stay bit-identical, which the
+//! supervisor verifies by comparing the weight hashes every rank reports
+//! at the end of the run.
+//!
+//! Fault handling is two-layered: socket faults (drop/delay/corrupt) are
+//! armed into the transport and absorbed by its retransmission protocol;
+//! a `KillProcess` fault is fatal by design — the worker drops all its
+//! sockets without a word (process backend: `std::process::exit`), and
+//! *recovery is the supervisor's job*. When a sync fails because the ring
+//! died, the worker reports `syncfail` and blocks on the control plane
+//! for either a new membership (elastic shrink: re-form the ring, retry
+//! the preserved window) or a shutdown (restart recovery: exit, be
+//! relaunched from the last checkpoint).
+
+use crate::allreduce::RingConfig;
+use crate::proc::control::ControlMsg;
+use crate::proc::ring::{form_ring, RingStats, SocketRing};
+use crate::proc::transport::SocketFaults;
+use crate::proc::DistError;
+use bertscope_model::BertConfig;
+use bertscope_tensor::bucket::encode_f32s;
+use bertscope_tensor::{
+    AccessSet, Category, DType, FaultKind, FaultPlan, OpKind, OpRecord, Phase, Tensor, Tracer,
+};
+use bertscope_train::{
+    Bert, GradSync, Lamb, PretrainBatch, StepResult, SyncError, SyntheticCorpus, TrainCheckpoint,
+    TrainError, TrainOptions, Trainer,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything a worker needs to run — constructible from explicit values
+/// (thread backend) or from environment variables (process backend, where
+/// the launcher re-execs the binary).
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// This worker's original (spawn-time) rank.
+    pub orig_rank: usize,
+    /// Initial world size.
+    pub world: usize,
+    /// Supervisor control address, e.g. `127.0.0.1:41234`.
+    pub supervisor: String,
+    /// Seed for model init (shared) and data (per-rank-derived).
+    pub seed: u64,
+    /// Optimizer updates to run before reporting done.
+    pub total_updates: u64,
+    /// Gradient-accumulation window (micro-steps per update).
+    pub accumulation: usize,
+    /// Fault plan spec (see `FaultPlan::to_spec`).
+    pub fault_spec: String,
+    /// Ring tunables (timeouts, retries, bucket size).
+    pub ring: RingConfig,
+    /// Directory checkpoints are written into.
+    pub ckpt_dir: PathBuf,
+    /// Checkpoint to restore before training (restart recovery).
+    pub resume_from: Option<PathBuf>,
+    /// Heartbeat period on the control plane.
+    pub heartbeat: Duration,
+    /// Deadline for control-plane waits (membership, shutdown).
+    pub control_timeout: Duration,
+    /// Where to dump this rank's traced operator stream, if anywhere.
+    pub trace_out: Option<PathBuf>,
+    /// Whether a `KillProcess` fault exits the OS process (process
+    /// backend) or returns [`DistError::Killed`] (thread backend).
+    pub process_backend: bool,
+}
+
+/// Environment variable names of the process backend (all prefixed so a
+/// re-exec'd binary can detect the worker role).
+pub const ENV_ROLE: &str = "BERTSCOPE_PROC_ROLE";
+const ENV_RANK: &str = "BERTSCOPE_PROC_RANK";
+const ENV_WORLD: &str = "BERTSCOPE_PROC_WORLD";
+const ENV_SUPERVISOR: &str = "BERTSCOPE_PROC_SUPERVISOR";
+const ENV_SEED: &str = "BERTSCOPE_PROC_SEED";
+const ENV_UPDATES: &str = "BERTSCOPE_PROC_UPDATES";
+const ENV_ACCUM: &str = "BERTSCOPE_PROC_ACCUM";
+const ENV_FAULTS: &str = "BERTSCOPE_PROC_FAULTS";
+const ENV_CKPT_DIR: &str = "BERTSCOPE_PROC_CKPT_DIR";
+const ENV_RESUME: &str = "BERTSCOPE_PROC_RESUME";
+const ENV_TIMEOUT_MS: &str = "BERTSCOPE_PROC_TIMEOUT_MS";
+const ENV_RETRIES: &str = "BERTSCOPE_PROC_RETRIES";
+const ENV_BACKOFF_MS: &str = "BERTSCOPE_PROC_BACKOFF_MS";
+const ENV_BUCKET: &str = "BERTSCOPE_PROC_BUCKET";
+const ENV_HEARTBEAT_MS: &str = "BERTSCOPE_PROC_HEARTBEAT_MS";
+const ENV_CONTROL_TIMEOUT_MS: &str = "BERTSCOPE_PROC_CONTROL_TIMEOUT_MS";
+const ENV_TRACE_OUT: &str = "BERTSCOPE_PROC_TRACE_OUT";
+
+impl WorkerConfig {
+    /// Render as the environment a process-backend launcher passes to the
+    /// re-exec'd worker (paired with [`WorkerConfig::from_env`]).
+    #[must_use]
+    pub fn to_env(&self) -> Vec<(String, String)> {
+        let mut env = vec![
+            (ENV_ROLE.into(), "worker".into()),
+            (ENV_RANK.into(), self.orig_rank.to_string()),
+            (ENV_WORLD.into(), self.world.to_string()),
+            (ENV_SUPERVISOR.into(), self.supervisor.clone()),
+            (ENV_SEED.into(), self.seed.to_string()),
+            (ENV_UPDATES.into(), self.total_updates.to_string()),
+            (ENV_ACCUM.into(), self.accumulation.to_string()),
+            (ENV_FAULTS.into(), self.fault_spec.clone()),
+            (ENV_CKPT_DIR.into(), self.ckpt_dir.display().to_string()),
+            (ENV_TIMEOUT_MS.into(), self.ring.timeout.as_millis().to_string()),
+            (ENV_RETRIES.into(), self.ring.max_retries.to_string()),
+            (ENV_BACKOFF_MS.into(), self.ring.backoff.as_millis().to_string()),
+            (ENV_BUCKET.into(), self.ring.bucket_elems.to_string()),
+            (ENV_HEARTBEAT_MS.into(), self.heartbeat.as_millis().to_string()),
+            (ENV_CONTROL_TIMEOUT_MS.into(), self.control_timeout.as_millis().to_string()),
+        ];
+        if let Some(p) = &self.resume_from {
+            env.push((ENV_RESUME.into(), p.display().to_string()));
+        }
+        if let Some(p) = &self.trace_out {
+            env.push((ENV_TRACE_OUT.into(), p.display().to_string()));
+        }
+        env
+    }
+
+    /// Reconstruct from the environment (process backend).
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol error naming the first missing or malformed
+    /// variable.
+    pub fn from_env() -> Result<WorkerConfig, DistError> {
+        let get = |k: &str| -> Result<String, DistError> {
+            std::env::var(k).map_err(|_| DistError::Protocol(format!("missing env {k}")))
+        };
+        let num = |k: &str| -> Result<u64, DistError> {
+            get(k)?.parse::<u64>().map_err(|_| DistError::Protocol(format!("bad env {k}")))
+        };
+        Ok(WorkerConfig {
+            orig_rank: num(ENV_RANK)? as usize,
+            world: num(ENV_WORLD)? as usize,
+            supervisor: get(ENV_SUPERVISOR)?,
+            seed: num(ENV_SEED)?,
+            total_updates: num(ENV_UPDATES)?,
+            accumulation: num(ENV_ACCUM)? as usize,
+            fault_spec: std::env::var(ENV_FAULTS).unwrap_or_default(),
+            ring: RingConfig {
+                timeout: Duration::from_millis(num(ENV_TIMEOUT_MS)?),
+                max_retries: u32::try_from(num(ENV_RETRIES)?)
+                    .map_err(|_| DistError::Protocol(format!("bad env {ENV_RETRIES}")))?,
+                backoff: Duration::from_millis(num(ENV_BACKOFF_MS)?),
+                bucket_elems: num(ENV_BUCKET)? as usize,
+                ..RingConfig::default()
+            },
+            ckpt_dir: PathBuf::from(get(ENV_CKPT_DIR)?),
+            resume_from: std::env::var(ENV_RESUME).ok().map(PathBuf::from),
+            heartbeat: Duration::from_millis(num(ENV_HEARTBEAT_MS)?),
+            control_timeout: Duration::from_millis(num(ENV_CONTROL_TIMEOUT_MS)?),
+            trace_out: std::env::var(ENV_TRACE_OUT).ok().map(PathBuf::from),
+            process_backend: true,
+        })
+    }
+}
+
+/// What a worker accomplished (thread backend return value; the process
+/// backend communicates the same facts over the control plane).
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// The worker's original rank.
+    pub orig_rank: usize,
+    /// Optimizer updates applied.
+    pub updates: u64,
+    /// FNV-1a hash over all parameter names and bytes.
+    pub weights_hash: u64,
+    /// Whether the supervisor shut the worker down before it reached its
+    /// update target (restart recovery relaunches it).
+    pub early_shutdown: bool,
+    /// Per-collective ring statistics, in execution order.
+    pub ring_stats: Vec<RingStats>,
+}
+
+/// Shared ring state: the trainer's `GradSync` box and the worker's
+/// control loop both reach it (sync uses it, reconfiguration replaces
+/// it).
+#[derive(Debug, Default)]
+struct RingShared {
+    ring: Option<SocketRing>,
+    pending_faults: SocketFaults,
+    stats_log: Vec<RingStats>,
+}
+
+/// The trainer-facing bridge: flattens the averaged gradients, AllReduces
+/// them over the socket ring, rescales by the active world size and
+/// writes them back — tracing the whole exchange as a `Comm` op over the
+/// gradient buffers so the hazard analyzer sees the
+/// AllReduce-before-optimizer ordering.
+#[derive(Debug)]
+struct RingGradSync {
+    shared: Arc<Mutex<RingShared>>,
+}
+
+impl GradSync for RingGradSync {
+    fn world(&self) -> usize {
+        self.shared.lock().expect("ring lock").ring.as_ref().map_or(1, |r| r.world)
+    }
+
+    fn sync(&mut self, tracer: &mut Tracer, grads: &mut [Tensor]) -> Result<(), SyncError> {
+        let mut shared = self.shared.lock().expect("ring lock");
+        let faults = std::mem::take(&mut shared.pending_faults);
+        let Some(ring) = shared.ring.as_mut() else {
+            // World of one (or no ring yet): the local mean is the global
+            // mean.
+            return Ok(());
+        };
+        let world = ring.world;
+        let mut flat: Vec<f32> = Vec::with_capacity(grads.iter().map(|g| g.as_slice().len()).sum());
+        for g in grads.iter() {
+            flat.extend_from_slice(g.as_slice());
+        }
+        ring.arm_faults(faults);
+        let stats = match ring.allreduce(&mut flat) {
+            Ok(s) => s,
+            Err(e) => {
+                // The ring is broken; a reconfiguration must replace it
+                // before the window close is retried.
+                shared.ring = None;
+                return Err(SyncError::new(e.to_string()));
+            }
+        };
+        let inv = 1.0 / world as f32;
+        for v in &mut flat {
+            *v *= inv;
+        }
+        let mut at = 0;
+        let mut ids = Vec::with_capacity(grads.len());
+        for g in grads.iter_mut() {
+            let dst = g.as_mut_slice();
+            dst.copy_from_slice(&flat[at..at + dst.len()]);
+            at += dst.len();
+            ids.push(g.buf_id());
+        }
+        tracer.record(OpRecord {
+            name: format!("proc.allreduce epoch{} w{world}", ring.epoch),
+            kind: OpKind::Comm,
+            category: Category::Comm,
+            phase: Phase::Communication,
+            layer: None,
+            gemm: None,
+            flops: flat.len() as u64 * (world as u64 - 1),
+            bytes_read: stats.bytes_sent,
+            bytes_written: stats.bytes_sent,
+            dtype: DType::F32,
+            access: AccessSet { reads: ids.clone(), writes: ids, allocs: vec![], frees: vec![] },
+        });
+        shared.stats_log.push(stats);
+        Ok(())
+    }
+}
+
+/// FNV-1a over parameter names and raw f32 bytes — the replica-agreement
+/// fingerprint every rank reports in its `done` message.
+#[must_use]
+pub fn weights_hash(bert: &mut Bert) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let extend = |h: &mut u64, bytes: &[u8]| {
+        for &b in bytes {
+            *h ^= u64::from(b);
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (name, t) in bert.param_values_mut() {
+        extend(&mut h, name.as_bytes());
+        extend(&mut h, &encode_f32s(t.as_slice()));
+    }
+    h
+}
+
+/// The deterministic batch for `(seed, rank, attempt)` — every rank draws
+/// from a disjoint, reproducible stream, so an interrupted run re-executes
+/// the identical data order after restart.
+#[must_use]
+pub fn batch_for(
+    corpus: &SyntheticCorpus,
+    cfg: &BertConfig,
+    seed: u64,
+    rank: usize,
+    attempt: u64,
+) -> PretrainBatch {
+    let mixed = seed
+        ^ (rank as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ attempt.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    let mut rng = StdRng::seed_from_u64(mixed);
+    corpus.generate_batch(&mut rng, cfg)
+}
+
+fn send_ctrl(w: &Arc<Mutex<TcpStream>>, msg: &ControlMsg) -> Result<(), DistError> {
+    let mut line = msg.to_line();
+    line.push('\n');
+    let mut stream = w.lock().expect("control lock");
+    stream.write_all(line.as_bytes())?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Read the next control message, tolerating read-timeout ticks until
+/// `deadline`.
+fn read_ctrl(
+    reader: &mut BufReader<TcpStream>,
+    deadline: Instant,
+    what: &str,
+) -> Result<ControlMsg, DistError> {
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Err(DistError::Io("supervisor hung up".into())),
+            Ok(_) => return ControlMsg::from_line(&line),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() >= deadline {
+                    return Err(DistError::Timeout { what: what.into() });
+                }
+            }
+            Err(e) => return Err(DistError::Io(e.to_string())),
+        }
+    }
+}
+
+/// Run one worker to completion (or supervised shutdown). This is the
+/// entry point of both backends: the thread backend calls it directly,
+/// the process backend calls it from `main` after
+/// [`WorkerConfig::from_env`].
+///
+/// # Errors
+///
+/// Structured [`DistError`]s: unrecoverable training failures, protocol
+/// violations, control-plane timeouts, or [`DistError::Killed`] when the
+/// fault plan kills this rank (thread backend).
+///
+/// # Panics
+///
+/// Panics when the fault spec is unparseable (a launcher bug, not a
+/// runtime condition).
+pub fn worker_main(cfg: &WorkerConfig) -> Result<WorkerReport, DistError> {
+    let plan = FaultPlan::from_spec(&cfg.fault_spec).expect("fault spec must parse");
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let data_port = listener.local_addr()?.port();
+
+    let control = TcpStream::connect(&cfg.supervisor)?;
+    control.set_nodelay(true)?;
+    control.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let ctrl_w = Arc::new(Mutex::new(control.try_clone()?));
+    let mut ctrl_r = BufReader::new(control);
+    send_ctrl(&ctrl_w, &ControlMsg::Hello { rank: cfg.orig_rank, data_port })?;
+
+    // Heartbeats ride the same socket; the write mutex keeps lines atomic.
+    let stop = Arc::new(AtomicBool::new(false));
+    let hb_handle = {
+        let stop = stop.clone();
+        let w = ctrl_w.clone();
+        let period = cfg.heartbeat;
+        std::thread::spawn(move || {
+            let mut beats: u64 = 0;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(period);
+                beats += 1;
+                if send_ctrl(&w, &ControlMsg::Heartbeat { micro_steps: beats }).is_err() {
+                    return;
+                }
+            }
+        })
+    };
+    // Everything after this point must stop the heartbeat before
+    // returning; a small guard keeps the paths honest.
+    let finish = |stop: &Arc<AtomicBool>, ctrl_w: &Arc<Mutex<TcpStream>>| {
+        stop.store(true, Ordering::Relaxed);
+        if let Ok(s) = ctrl_w.lock() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    };
+
+    let result = run_worker(cfg, &plan, &listener, &ctrl_w, &mut ctrl_r);
+    finish(&stop, &ctrl_w);
+    let _ = hb_handle.join();
+    result
+}
+
+/// Await a `members` instruction and (re)form the data ring from it.
+fn await_and_form_ring(
+    cfg: &WorkerConfig,
+    listener: &TcpListener,
+    ctrl_r: &mut BufReader<TcpStream>,
+    shared: &Arc<Mutex<RingShared>>,
+) -> Result<MembershipOutcome, DistError> {
+    let deadline = Instant::now() + cfg.control_timeout;
+    loop {
+        match read_ctrl(ctrl_r, deadline, "ring membership")? {
+            ControlMsg::Members { epoch, members } => {
+                let Some(position) = members.iter().position(|(r, _)| *r == cfg.orig_rank) else {
+                    // Evicted (shouldn't happen to a live rank): exit.
+                    return Ok(MembershipOutcome::Shutdown);
+                };
+                let ports: Vec<u16> = members.iter().map(|(_, p)| *p).collect();
+                let ring = if members.len() > 1 {
+                    Some(form_ring(listener, &ports, position, epoch, &cfg.ring)?)
+                } else {
+                    None
+                };
+                let lowest = members.iter().map(|(r, _)| *r).min().expect("non-empty");
+                shared.lock().expect("ring lock").ring = ring;
+                return Ok(MembershipOutcome::Formed { checkpoint_duty: lowest == cfg.orig_rank });
+            }
+            ControlMsg::Shutdown => return Ok(MembershipOutcome::Shutdown),
+            // Ignore anything else (stale broadcasts).
+            _ => {}
+        }
+    }
+}
+
+enum MembershipOutcome {
+    Formed {
+        /// Whether this rank writes the checkpoints (lowest live rank).
+        checkpoint_duty: bool,
+    },
+    Shutdown,
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_worker(
+    cfg: &WorkerConfig,
+    plan: &FaultPlan,
+    listener: &TcpListener,
+    ctrl_w: &Arc<Mutex<TcpStream>>,
+    ctrl_r: &mut BufReader<TcpStream>,
+) -> Result<WorkerReport, DistError> {
+    let shared = Arc::new(Mutex::new(RingShared::default()));
+    let mut checkpoint_duty = match await_and_form_ring(cfg, listener, ctrl_r, &shared)? {
+        MembershipOutcome::Formed { checkpoint_duty } => checkpoint_duty,
+        MembershipOutcome::Shutdown => {
+            return Ok(WorkerReport {
+                orig_rank: cfg.orig_rank,
+                updates: 0,
+                weights_hash: 0,
+                early_shutdown: true,
+                ring_stats: Vec::new(),
+            });
+        }
+    };
+
+    // Same config + same seed on every rank: identical initial replicas.
+    let bert_cfg = BertConfig::tiny();
+    let corpus = SyntheticCorpus::new(bert_cfg.vocab);
+    let mut bert = Bert::new(bert_cfg, TrainOptions::default(), cfg.seed);
+    let mut trainer = Trainer::new(Lamb::new(0.01), cfg.accumulation)
+        .with_sync(Box::new(RingGradSync { shared: shared.clone() }));
+    let mut tracer = if cfg.trace_out.is_some() { Tracer::new() } else { Tracer::disabled() };
+    if let Some(path) = &cfg.resume_from {
+        let ckpt = TrainCheckpoint::load(path).map_err(|e| DistError::Train(e.to_string()))?;
+        trainer.restore(&ckpt, &mut bert).map_err(|e| DistError::Train(e.to_string()))?;
+    }
+
+    let mut early_shutdown = false;
+    'train: while trainer.updates() < cfg.total_updates {
+        let attempt = trainer.micro_steps() + 1;
+        // Arm this step's process faults.
+        {
+            let mut sf = SocketFaults::default();
+            for fault in plan.process_faults_at(attempt) {
+                match *fault {
+                    FaultKind::KillProcess { rank } if rank == cfg.orig_rank => {
+                        if cfg.process_backend {
+                            // An abrupt, word-less death: sockets reset,
+                            // no farewell. 113 distinguishes the injected
+                            // kill from genuine crashes in CI logs.
+                            std::process::exit(113);
+                        }
+                        return Err(DistError::Killed { rank: cfg.orig_rank });
+                    }
+                    FaultKind::DropSend { rank, count } if rank == cfg.orig_rank => {
+                        sf.drop_sends += count;
+                    }
+                    FaultKind::DelaySend { rank, micros } if rank == cfg.orig_rank => {
+                        sf.delay_send_micros += micros;
+                    }
+                    FaultKind::CorruptPayload { rank, count } if rank == cfg.orig_rank => {
+                        sf.corrupt_sends += count;
+                    }
+                    _ => {}
+                }
+            }
+            shared.lock().expect("ring lock").pending_faults = sf;
+        }
+
+        let batch = batch_for(&corpus, &bert_cfg, cfg.seed, cfg.orig_rank, attempt);
+        let mut outcome = trainer.micro_step(&mut tracer, &mut bert, &batch).map(|(_, r)| r);
+        // A failed sync is retryable after the supervisor repairs the
+        // membership; everything else is fatal for this worker.
+        loop {
+            match outcome {
+                Ok(StepResult::Updated) => {
+                    on_update(cfg, &mut trainer, &mut bert, ctrl_w, checkpoint_duty)?;
+                    break;
+                }
+                Ok(_) => break,
+                Err(TrainError::Sync { ref reason, .. }) => {
+                    send_ctrl(ctrl_w, &ControlMsg::SyncFail { reason: reason.clone() })?;
+                    match await_and_form_ring(cfg, listener, ctrl_r, &shared)? {
+                        MembershipOutcome::Formed { checkpoint_duty: duty } => {
+                            checkpoint_duty = duty;
+                            outcome = trainer.close_window(&mut tracer, &mut bert);
+                        }
+                        MembershipOutcome::Shutdown => {
+                            early_shutdown = true;
+                            break 'train;
+                        }
+                    }
+                }
+                Err(e) => return Err(DistError::Train(e.to_string())),
+            }
+        }
+    }
+
+    if let (Some(path), true) = (&cfg.trace_out, tracer.is_enabled()) {
+        std::fs::write(path, bertscope_tensor::tracefile::dump_records(tracer.records()))?;
+    }
+
+    let hash = if early_shutdown { 0 } else { weights_hash(&mut bert) };
+    if !early_shutdown {
+        send_ctrl(ctrl_w, &ControlMsg::Done { updates: trainer.updates(), weights_hash: hash })?;
+        // Wait (bounded) for the supervisor's shutdown so the control
+        // socket closes in order; a timeout here is not an error.
+        let deadline = Instant::now() + cfg.control_timeout;
+        loop {
+            match read_ctrl(ctrl_r, deadline, "final shutdown") {
+                Ok(ControlMsg::Shutdown) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+    let ring_stats = std::mem::take(&mut shared.lock().expect("ring lock").stats_log);
+    Ok(WorkerReport {
+        orig_rank: cfg.orig_rank,
+        updates: trainer.updates(),
+        weights_hash: hash,
+        early_shutdown,
+        ring_stats,
+    })
+}
+
+/// Post-update duties: report progress; on the checkpointing rank, write
+/// the bit-exact checkpoint atomically (tmp + rename) and announce it.
+fn on_update(
+    cfg: &WorkerConfig,
+    trainer: &mut Trainer<Lamb>,
+    bert: &mut Bert,
+    ctrl_w: &Arc<Mutex<TcpStream>>,
+    checkpoint_duty: bool,
+) -> Result<(), DistError> {
+    let updates = trainer.updates();
+    send_ctrl(ctrl_w, &ControlMsg::Update { updates })?;
+    if checkpoint_duty {
+        std::fs::create_dir_all(&cfg.ckpt_dir)?;
+        let final_path = cfg.ckpt_dir.join(format!("step_{updates}.bsck"));
+        // The tmp name must be unique per worker *incarnation*: around a
+        // restart, the dying generation's checkpoint rank can still be
+        // mid-write while its replacement reaches the same update, and a
+        // shared tmp path would let one incarnation rename the other's
+        // file away (a release-timing ENOENT). The rename target may be
+        // overwritten concurrently, but both incarnations produce the
+        // bit-identical checkpoint, so last-writer-wins is safe.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = cfg.ckpt_dir.join(format!(
+            ".step_{updates}.{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let ckpt = trainer.checkpoint(bert).map_err(|e| DistError::Train(e.to_string()))?;
+        ckpt.save(&tmp).map_err(|e| DistError::Train(e.to_string()))?;
+        std::fs::rename(&tmp, &final_path)?;
+        send_ctrl(
+            ctrl_w,
+            &ControlMsg::Checkpoint { updates, path: final_path.display().to_string() },
+        )?;
+    }
+    Ok(())
+}

@@ -1,0 +1,190 @@
+//! Thread-backend cluster tests: clean convergence with replica
+//! agreement, both fault-recovery modes (elastic shrink and bit-exact
+//! restart-from-checkpoint), a kill-at-every-step property sweep, and
+//! hazard analysis of per-rank traced operator streams.
+
+use bertscope_check::{check_schedule, hazard, DepGraph, Schedule, Severity};
+use bertscope_dist::{run_thread_cluster, ClusterConfig, RecoveryMode};
+use bertscope_tensor::{FaultKind, FaultPlan, OpKind};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch directory per call (no tempfile dependency).
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bertscope-proc-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn base_config(world: usize, updates: u64, tag: &str) -> ClusterConfig {
+    ClusterConfig::new(world, updates, scratch(tag))
+}
+
+#[test]
+fn clean_run_converges_with_agreeing_replicas() {
+    let cfg = base_config(3, 2, "clean");
+    let report = run_thread_cluster(&cfg).expect("clean cluster");
+    assert_eq!(report.updates, 2);
+    assert_eq!(report.final_world, 3);
+    assert_eq!(report.restarts, 0);
+    assert!(report.events.is_empty(), "{:?}", report.events);
+    assert_ne!(report.weights_hash, 0);
+    let ckpt = report.final_checkpoint.expect("a checkpoint must have been written");
+    assert!(ckpt.exists(), "checkpoint {} must exist", ckpt.display());
+    assert_eq!(report.worker_reports.len(), 3);
+    for w in &report.worker_reports {
+        assert_eq!(w.updates, 2, "rank {}", w.orig_rank);
+        assert_eq!(w.weights_hash, report.weights_hash, "rank {}", w.orig_rank);
+        assert!(
+            !w.ring_stats.is_empty(),
+            "rank {} must have driven collectives through the ring",
+            w.orig_rank
+        );
+    }
+}
+
+#[test]
+fn elastic_shrink_survives_a_mid_window_kill() {
+    let mut cfg = base_config(3, 3, "elastic");
+    cfg.recovery = RecoveryMode::Elastic;
+    // Accumulation 2: updates complete at micro-steps 2/4/6. Kill rank 1
+    // at micro-step 3 — mid-window of the second update.
+    cfg.faults = FaultPlan::new().with(3, FaultKind::KillProcess { rank: 1 });
+    let report = run_thread_cluster(&cfg).expect("elastic recovery");
+    assert_eq!(report.updates, 3, "training must still reach the target");
+    assert_eq!(report.final_world, 2, "survivors continue at N-1");
+    assert_eq!(report.restarts, 0, "elastic mode never restarts");
+    assert_eq!(report.events.len(), 1, "{:?}", report.events);
+    let ev = &report.events[0];
+    assert_eq!(ev.dead_rank, 1);
+    assert!(ev.action.contains("elastic-shrink to world 2"), "{}", ev.action);
+    assert!(report.epochs >= 2, "the ring must have re-formed (epochs {})", report.epochs);
+    // The killed rank produced no report; both survivors agree.
+    assert_eq!(report.worker_reports.len(), 2);
+    for w in &report.worker_reports {
+        assert_ne!(w.orig_rank, 1);
+        assert_eq!(w.weights_hash, report.weights_hash);
+    }
+}
+
+#[test]
+fn restart_recovery_is_bit_exact_with_an_unfaulted_run() {
+    let baseline = run_thread_cluster(&base_config(3, 3, "restart-base")).expect("baseline");
+    assert_eq!(baseline.updates, 3);
+
+    let mut cfg = base_config(3, 3, "restart-faulted");
+    cfg.recovery = RecoveryMode::Restart;
+    // Kill rank 0 at micro-step 4 — after the first checkpoint (update 1,
+    // micro-step 2) exists, at the close of the second window.
+    cfg.faults = FaultPlan::new().with(4, FaultKind::KillProcess { rank: 0 });
+    let report = run_thread_cluster(&cfg).expect("restart recovery");
+    assert_eq!(report.updates, 3);
+    assert_eq!(report.final_world, 3, "restart relaunches the full world");
+    assert_eq!(report.restarts, 1);
+    assert_eq!(report.events.len(), 1, "{:?}", report.events);
+    assert!(report.events[0].action.contains("restart from"), "{}", report.events[0].action);
+    // The heart of the claim: deterministic per-(seed, rank, step) batches
+    // plus a bit-exact checkpoint make the recovered run indistinguishable
+    // from one that never faulted.
+    assert_eq!(
+        report.weights_hash, baseline.weights_hash,
+        "restart-from-checkpoint must be bit-exact"
+    );
+}
+
+/// Kill-at-every-step sweep (satellite: proptest-style coverage): for
+/// every micro-step k of a world-2 run and both recovery modes, the
+/// cluster must complete — bit-exact under restart, shrunk-to-one with a
+/// logged degradation under elastic. The sweep is exhaustive rather than
+/// sampled: the space (4 steps x 2 modes) is small enough to enumerate,
+/// which is strictly stronger than proptest sampling.
+#[test]
+fn kill_at_every_step_recovers_under_both_modes() {
+    let baseline = run_thread_cluster(&base_config(2, 2, "sweep-base")).expect("baseline");
+    for k in 1..=4u64 {
+        for restart in [true, false] {
+            let tag = format!("sweep-k{k}-{}", if restart { "restart" } else { "elastic" });
+            let mut cfg = base_config(2, 2, &tag);
+            cfg.recovery = if restart { RecoveryMode::Restart } else { RecoveryMode::Elastic };
+            cfg.faults = FaultPlan::new().with(k, FaultKind::KillProcess { rank: 1 });
+            let report = run_thread_cluster(&cfg)
+                .unwrap_or_else(|e| panic!("kill at step {k} ({tag}): {e}"));
+            assert_eq!(report.updates, 2, "{tag}");
+            if restart {
+                assert_eq!(report.final_world, 2, "{tag}");
+                assert_eq!(report.restarts, 1, "{tag}");
+                assert_eq!(
+                    report.weights_hash, baseline.weights_hash,
+                    "{tag}: restart must be bit-exact with the unfaulted run"
+                );
+            } else {
+                assert_eq!(report.final_world, 1, "{tag}");
+                assert_eq!(report.events.len(), 1, "{tag}: {:?}", report.events);
+                assert_eq!(report.events[0].dead_rank, 1, "{tag}");
+            }
+        }
+    }
+}
+
+#[test]
+fn socket_faults_are_absorbed_without_recovery_events() {
+    let mut cfg = base_config(2, 2, "sockfaults");
+    // One dropped and one corrupted frame from rank 0, plus a straggler
+    // delay on rank 1 — all absorbed by the transport protocol.
+    cfg.faults = FaultPlan::new()
+        .with(2, FaultKind::DropSend { rank: 0, count: 1 })
+        .with(2, FaultKind::CorruptPayload { rank: 0, count: 1 })
+        .with(4, FaultKind::DelaySend { rank: 1, micros: 2_000 });
+    let baseline = run_thread_cluster(&base_config(2, 2, "sockfaults-base")).expect("baseline");
+    let report = run_thread_cluster(&cfg).expect("faults must be absorbed");
+    assert_eq!(report.updates, 2);
+    assert_eq!(report.final_world, 2);
+    assert!(report.events.is_empty(), "{:?}", report.events);
+    assert_eq!(
+        report.weights_hash, baseline.weights_hash,
+        "absorbed transport faults must not perturb training"
+    );
+    let retries: u64 =
+        report.worker_reports.iter().flat_map(|w| &w.ring_stats).map(|s| s.transport.retries).sum();
+    assert!(retries >= 1, "the dropped/corrupted frames must show up as retries");
+}
+
+#[test]
+fn traced_rank_streams_pass_hazard_analysis() {
+    let mut cfg = base_config(2, 1, "trace");
+    let trace_dir = scratch("trace-out");
+    cfg.trace_dir = Some(trace_dir.clone());
+    let report = run_thread_cluster(&cfg).expect("traced cluster");
+    assert_eq!(report.updates, 1);
+
+    for rank in 0..2 {
+        let path = trace_dir.join(format!("rank{rank}.trace"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing trace {}: {e}", path.display()));
+        let ops = bertscope_tensor::tracefile::parse_records(&text).expect("parse trace");
+        assert!(!ops.is_empty(), "rank {rank} trace is empty");
+        assert!(
+            ops.iter().any(|o| o.kind == OpKind::Comm && o.name.starts_with("proc.allreduce")),
+            "rank {rank} stream must contain the ring AllReduce"
+        );
+
+        // The H-series analyses the racecheck CLI runs: program-order and
+        // ASAP schedules against the dependence DAG, plus the
+        // communication contract (H005: optimizer reads only
+        // globally-reduced gradients; H004: cross-phase edges respect
+        // phase barriers).
+        let graph = DepGraph::build(&ops);
+        let mut findings =
+            check_schedule(&ops, &graph, &Schedule::program_order(ops.len()), "program");
+        findings.extend(check_schedule(&ops, &graph, &Schedule::asap(&graph), "asap"));
+        findings.extend(hazard::check_comm_ordering(&ops));
+        let errors: Vec<_> = findings.iter().filter(|f| f.severity == Severity::Error).collect();
+        assert!(errors.is_empty(), "rank {rank} stream has hazard errors: {errors:?}");
+    }
+}

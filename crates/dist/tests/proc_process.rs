@@ -1,0 +1,113 @@
+//! Real multi-process cluster test: the supervisor re-execs *this test
+//! binary* as the worker processes (rank role selected via environment),
+//! kills one rank mid-step with a process-level fault, and proves the
+//! restart recovery is bit-exact against an in-process baseline.
+//!
+//! The worker path runs when the harness is launched with
+//! `BERTSCOPE_PROC_ROLE=worker` in the environment — the spawner passes
+//! `--exact <this test> --test-threads=1` so the child enters the same
+//! function, detects the role, runs [`worker_main`] and exits before the
+//! harness machinery matters.
+
+use bertscope_dist::proc::worker::{worker_main, WorkerConfig, ENV_ROLE};
+use bertscope_dist::{run_process_cluster, run_thread_cluster, ClusterConfig, RecoveryMode};
+use bertscope_tensor::{FaultKind, FaultPlan};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bertscope-procproc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// If this invocation is a spawned rank process, run the worker and never
+/// return. Exit code 0 = clean, 113 = injected kill (set inside
+/// `worker_main`), 1 = genuine failure.
+fn maybe_run_worker_role() {
+    if std::env::var(ENV_ROLE).as_deref() != Ok("worker") {
+        return;
+    }
+    let cfg = WorkerConfig::from_env().expect("worker env");
+    match worker_main(&cfg) {
+        Ok(_) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("rank {} failed: {e}", cfg.orig_rank);
+            std::process::exit(1);
+        }
+    }
+}
+
+#[test]
+fn four_process_cluster_survives_a_kill_bit_exactly() {
+    maybe_run_worker_role();
+
+    // In-process baseline: same seed, same world, no faults.
+    let baseline =
+        run_thread_cluster(&ClusterConfig::new(4, 2, scratch("baseline"))).expect("baseline");
+    assert_eq!(baseline.updates, 2);
+
+    let mut cfg = ClusterConfig::new(4, 2, scratch("cluster"));
+    cfg.recovery = RecoveryMode::Restart;
+    // Kill rank 2 at micro-step 3: after the first checkpoint (update 1 at
+    // micro-step 2), mid-window of the second update.
+    cfg.faults = FaultPlan::new().with(3, FaultKind::KillProcess { rank: 2 });
+
+    let exe = std::env::current_exe().expect("current exe");
+    let mut spawner = |wcfg: &WorkerConfig| {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--exact")
+            .arg("four_process_cluster_survives_a_kill_bit_exactly")
+            .arg("--test-threads=1")
+            .arg("--nocapture")
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit());
+        for (k, v) in wcfg.to_env() {
+            cmd.env(k, v);
+        }
+        cmd.spawn()
+    };
+    let report = run_process_cluster(&cfg, &mut spawner).expect("process cluster");
+
+    assert_eq!(report.updates, 2);
+    assert_eq!(report.final_world, 4, "restart relaunches the full world");
+    assert_eq!(report.restarts, 1, "{:?}", report.events);
+    assert_eq!(report.events.len(), 1);
+    assert_eq!(report.events[0].dead_rank, 2);
+    assert_eq!(
+        report.weights_hash, baseline.weights_hash,
+        "process-backend restart recovery must be bit-exact with the in-process baseline"
+    );
+    assert!(report.worker_reports.is_empty(), "process backend reports via the control plane");
+}
+
+#[test]
+fn two_process_elastic_shrink_completes() {
+    maybe_run_worker_role();
+
+    let mut cfg = ClusterConfig::new(2, 2, scratch("elastic"));
+    cfg.recovery = RecoveryMode::Elastic;
+    cfg.faults = FaultPlan::new().with(3, FaultKind::KillProcess { rank: 0 });
+
+    let exe = std::env::current_exe().expect("current exe");
+    let mut spawner = |wcfg: &WorkerConfig| {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--exact")
+            .arg("two_process_elastic_shrink_completes")
+            .arg("--test-threads=1")
+            .arg("--nocapture")
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit());
+        for (k, v) in wcfg.to_env() {
+            cmd.env(k, v);
+        }
+        cmd.spawn()
+    };
+    let report = run_process_cluster(&cfg, &mut spawner).expect("elastic process cluster");
+    assert_eq!(report.updates, 2);
+    assert_eq!(report.final_world, 1, "the survivor finishes alone");
+    assert_eq!(report.events.len(), 1);
+    assert_eq!(report.events[0].dead_rank, 0);
+    assert!(report.events[0].action.contains("elastic-shrink"), "{}", report.events[0].action);
+}

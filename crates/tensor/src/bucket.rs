@@ -1,0 +1,130 @@
+//! Gradient-bucket serialization for multi-process collectives.
+//!
+//! Real data-parallel stacks (DDP, Horovod) do not AllReduce one tensor at
+//! a time: gradients are packed into fixed-size *buckets* so communication
+//! can start while the backward pass is still producing earlier layers, and
+//! each bucket travels as one contiguous payload. This module is the wire
+//! side of that: a deterministic little-endian f32 codec with a cheap
+//! content checksum (FNV-1a over the raw bytes), so a corrupted or torn
+//! frame is *detected* by the receiver instead of silently poisoning the
+//! reduction, plus the bucket partition helper shared by the socket ring
+//! and its bit-exactness tests.
+
+use std::ops::Range;
+
+/// FNV-1a 64-bit hash — the frame integrity checksum. Not cryptographic;
+/// it exists to catch bit flips and truncation, the fault classes
+/// `FaultKind::CorruptPayload` injects.
+#[must_use]
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serialize an f32 slice as little-endian bytes (the payload of one ring
+/// hop).
+#[must_use]
+pub fn encode_f32s(data: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 4);
+    for &x in data {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Deserialize little-endian bytes back into f32s.
+///
+/// # Errors
+///
+/// Returns an error when the byte length is not a multiple of four.
+pub fn decode_f32s(bytes: &[u8]) -> Result<Vec<f32>, String> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!("payload length {} is not a multiple of 4", bytes.len()));
+    }
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+}
+
+/// Partition a flat buffer of `total` elements into contiguous buckets of
+/// at most `bucket_elems` elements each. The partition is a pure function
+/// of its inputs, so every rank of a collective computes the identical
+/// layout without negotiation, and a serial reference implementation can
+/// reproduce the exact reduction order.
+///
+/// # Panics
+///
+/// Panics when `bucket_elems` is zero.
+#[must_use]
+pub fn plan_buckets(total: usize, bucket_elems: usize) -> Vec<Range<usize>> {
+    assert!(bucket_elems > 0, "bucket size must be non-zero");
+    let mut out = Vec::new();
+    let mut at = 0;
+    while at < total {
+        let end = (at + bucket_elems).min(total);
+        out.push(at..end);
+        at = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrip_is_bit_exact() {
+        let data = vec![0.0f32, -1.5, f32::MIN_POSITIVE, f32::MAX, f32::NEG_INFINITY, 3.25e-7];
+        let bytes = encode_f32s(&data);
+        assert_eq!(bytes.len(), data.len() * 4);
+        let back = decode_f32s(&bytes).expect("decode");
+        for (a, b) in data.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // NaN payloads survive too (bit pattern, not value, is compared).
+        let nan = encode_f32s(&[f32::NAN]);
+        assert!(decode_f32s(&nan).expect("nan")[0].is_nan());
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        assert!(decode_f32s(&[1, 2, 3]).is_err());
+        assert!(decode_f32s(&[]).expect("empty is legal").is_empty());
+    }
+
+    #[test]
+    fn checksum_detects_single_bit_flips() {
+        let bytes = encode_f32s(&[1.0, 2.0, 3.0]);
+        let clean = checksum64(&bytes);
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(checksum64(&flipped), clean, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_plan_covers_exactly_once() {
+        for (total, cap) in [(0usize, 4usize), (7, 3), (12, 4), (5, 100), (9, 1)] {
+            let plan = plan_buckets(total, cap);
+            let mut covered = 0;
+            for (i, r) in plan.iter().enumerate() {
+                assert_eq!(r.start, covered, "bucket {i} must be contiguous");
+                assert!(r.end - r.start <= cap);
+                assert!(!r.is_empty());
+                covered = r.end;
+            }
+            assert_eq!(covered, total);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_bucket_size_panics() {
+        let _ = plan_buckets(8, 0);
+    }
+}

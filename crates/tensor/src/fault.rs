@@ -48,6 +48,39 @@ pub enum FaultKind {
         /// Ring rank to kill.
         rank: usize,
     },
+    /// Kill one *worker process* mid-step: the process exits abruptly
+    /// (no farewell message, sockets reset), modelling a crashed or
+    /// OOM-killed rank. Consumed by `dist::proc` workers.
+    KillProcess {
+        /// Worker rank whose process dies.
+        rank: usize,
+    },
+    /// Silently drop the next `count` socket writes of one rank — a lossy
+    /// or firewalled link. The reliable hop protocol must recover by
+    /// resending after an ack timeout.
+    DropSend {
+        /// Worker rank whose outgoing frames are dropped.
+        rank: usize,
+        /// Number of consecutive frames to drop.
+        count: u32,
+    },
+    /// Delay every socket write of one rank at the affected step — a
+    /// congested link or a descheduled sender.
+    DelaySend {
+        /// Worker rank whose writes are delayed.
+        rank: usize,
+        /// Delay per write, in microseconds.
+        micros: u64,
+    },
+    /// Corrupt the payload bytes of the next `count` socket writes after
+    /// their checksum is computed — a bit-flipped or torn frame. The
+    /// receiver must detect the checksum mismatch and request a resend.
+    CorruptPayload {
+        /// Worker rank whose frames are corrupted.
+        rank: usize,
+        /// Number of consecutive frames to corrupt.
+        count: u32,
+    },
 }
 
 impl FaultKind {
@@ -57,10 +90,29 @@ impl FaultKind {
         matches!(self, FaultKind::NanGradient { .. } | FaultKind::InfGradient { .. })
     }
 
-    /// Whether this fault targets the AllReduce ring (consumed by `dist`).
+    /// Whether this fault targets the in-process AllReduce ring (consumed
+    /// by `dist::ring_allreduce_faulty`).
     #[must_use]
     pub fn is_ring_fault(&self) -> bool {
-        !self.is_gradient_fault()
+        matches!(
+            self,
+            FaultKind::CorruptSegment { .. }
+                | FaultKind::DelayRank { .. }
+                | FaultKind::KillRank { .. }
+        )
+    }
+
+    /// Whether this fault targets a worker process or its sockets
+    /// (consumed by `dist::proc`).
+    #[must_use]
+    pub fn is_process_fault(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::KillProcess { .. }
+                | FaultKind::DropSend { .. }
+                | FaultKind::DelaySend { .. }
+                | FaultKind::CorruptPayload { .. }
+        )
     }
 }
 
@@ -145,6 +197,121 @@ impl FaultPlan {
             .map(|f| &f.kind)
             .collect()
     }
+
+    /// Process/socket faults firing at `step` (kill process, drop/delay/
+    /// corrupt socket writes).
+    #[must_use]
+    pub fn process_faults_at(&self, step: u64) -> Vec<&FaultKind> {
+        self.faults
+            .iter()
+            .filter(|f| f.step == step && f.kind.is_process_fault())
+            .map(|f| &f.kind)
+            .collect()
+    }
+
+    /// Render the plan as a compact spec string — the wire format a
+    /// launcher uses to hand a fault script to re-exec'd worker processes
+    /// (an environment variable cannot carry a struct). One
+    /// `;`-separated entry per fault:
+    ///
+    /// ```text
+    /// nan:STEP:PARAM | inf:STEP:PARAM | corrupt:STEP:RANK:CHUNK
+    /// delay:STEP:RANK:MICROS | kill:STEP:RANK | pkill:STEP:RANK
+    /// pdrop:STEP:RANK:COUNT | pdelay:STEP:RANK:MICROS | pcorrupt:STEP:RANK:COUNT
+    /// ```
+    #[must_use]
+    pub fn to_spec(&self) -> String {
+        self.faults
+            .iter()
+            .map(|f| {
+                let s = f.step;
+                match &f.kind {
+                    FaultKind::NanGradient { param } => format!("nan:{s}:{param}"),
+                    FaultKind::InfGradient { param } => format!("inf:{s}:{param}"),
+                    FaultKind::CorruptSegment { rank, chunk } => {
+                        format!("corrupt:{s}:{rank}:{chunk}")
+                    }
+                    FaultKind::DelayRank { rank, micros } => format!("delay:{s}:{rank}:{micros}"),
+                    FaultKind::KillRank { rank } => format!("kill:{s}:{rank}"),
+                    FaultKind::KillProcess { rank } => format!("pkill:{s}:{rank}"),
+                    FaultKind::DropSend { rank, count } => format!("pdrop:{s}:{rank}:{count}"),
+                    FaultKind::DelaySend { rank, micros } => format!("pdelay:{s}:{rank}:{micros}"),
+                    FaultKind::CorruptPayload { rank, count } => {
+                        format!("pcorrupt:{s}:{rank}:{count}")
+                    }
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// Parse a spec string produced by [`FaultPlan::to_spec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry.
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new();
+        for entry in spec.split(';').filter(|e| !e.is_empty()) {
+            let parts: Vec<&str> = entry.split(':').collect();
+            let num = |i: usize| -> Result<u64, String> {
+                parts
+                    .get(i)
+                    .ok_or_else(|| format!("fault entry `{entry}`: missing field {i}"))?
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault entry `{entry}`: bad number in field {i}"))
+            };
+            let step = num(1)?;
+            let arity = |want: usize| -> Result<(), String> {
+                if parts.len() == want {
+                    Ok(())
+                } else {
+                    Err(format!("fault entry `{entry}`: expected {want} fields"))
+                }
+            };
+            let kind = match parts.first().copied() {
+                Some("nan") => {
+                    arity(3)?;
+                    FaultKind::NanGradient { param: parts[2].to_string() }
+                }
+                Some("inf") => {
+                    arity(3)?;
+                    FaultKind::InfGradient { param: parts[2].to_string() }
+                }
+                Some("corrupt") => {
+                    arity(4)?;
+                    FaultKind::CorruptSegment { rank: num(2)? as usize, chunk: num(3)? as usize }
+                }
+                Some("delay") => {
+                    arity(4)?;
+                    FaultKind::DelayRank { rank: num(2)? as usize, micros: num(3)? }
+                }
+                Some("kill") => {
+                    arity(3)?;
+                    FaultKind::KillRank { rank: num(2)? as usize }
+                }
+                Some("pkill") => {
+                    arity(3)?;
+                    FaultKind::KillProcess { rank: num(2)? as usize }
+                }
+                Some("pdrop") => {
+                    arity(4)?;
+                    FaultKind::DropSend { rank: num(2)? as usize, count: num(3)? as u32 }
+                }
+                Some("pdelay") => {
+                    arity(4)?;
+                    FaultKind::DelaySend { rank: num(2)? as usize, micros: num(3)? }
+                }
+                Some("pcorrupt") => {
+                    arity(4)?;
+                    FaultKind::CorruptPayload { rank: num(2)? as usize, count: num(3)? as u32 }
+                }
+                other => return Err(format!("unknown fault kind {other:?} in `{entry}`")),
+            };
+            plan = plan.with(step, kind);
+        }
+        Ok(plan)
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +340,54 @@ mod tests {
         assert!(FaultKind::CorruptSegment { rank: 0, chunk: 0 }.is_ring_fault());
         assert!(FaultKind::DelayRank { rank: 0, micros: 10 }.is_ring_fault());
         assert!(FaultKind::KillRank { rank: 0 }.is_ring_fault());
+        for kind in [
+            FaultKind::KillProcess { rank: 1 },
+            FaultKind::DropSend { rank: 1, count: 2 },
+            FaultKind::DelaySend { rank: 1, micros: 100 },
+            FaultKind::CorruptPayload { rank: 1, count: 1 },
+        ] {
+            assert!(kind.is_process_fault(), "{kind:?}");
+            assert!(!kind.is_ring_fault(), "{kind:?}");
+            assert!(!kind.is_gradient_fault(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn process_faults_fire_only_at_their_step() {
+        let plan = FaultPlan::new()
+            .with(3, FaultKind::KillProcess { rank: 2 })
+            .with(3, FaultKind::DropSend { rank: 0, count: 1 })
+            .with(4, FaultKind::KillRank { rank: 1 });
+        assert_eq!(plan.process_faults_at(3).len(), 2);
+        assert!(plan.process_faults_at(4).is_empty(), "KillRank is a ring fault");
+        assert!(plan.process_faults_at(1).is_empty());
+    }
+
+    #[test]
+    fn spec_roundtrips_every_fault_kind() {
+        let plan = FaultPlan::new()
+            .with(1, FaultKind::NanGradient { param: "l0.fc1.weight".into() })
+            .with(2, FaultKind::InfGradient { param: "mlm.dense.bias".into() })
+            .with(3, FaultKind::CorruptSegment { rank: 1, chunk: 2 })
+            .with(4, FaultKind::DelayRank { rank: 0, micros: 500 })
+            .with(5, FaultKind::KillRank { rank: 3 })
+            .with(6, FaultKind::KillProcess { rank: 2 })
+            .with(7, FaultKind::DropSend { rank: 1, count: 3 })
+            .with(8, FaultKind::DelaySend { rank: 0, micros: 250 })
+            .with(9, FaultKind::CorruptPayload { rank: 3, count: 1 });
+        let spec = plan.to_spec();
+        let back = FaultPlan::from_spec(&spec).expect("roundtrip");
+        assert_eq!(plan, back);
+        // An empty spec is the empty plan.
+        assert_eq!(FaultPlan::from_spec("").expect("empty"), FaultPlan::new());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        assert!(FaultPlan::from_spec("bogus:1:0").is_err());
+        assert!(FaultPlan::from_spec("pkill:notanumber:0").is_err());
+        assert!(FaultPlan::from_spec("pdrop:1:0").is_err(), "missing count field");
+        assert!(FaultPlan::from_spec("kill:1:0:9").is_err(), "extra field");
     }
 
     #[test]

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod alloc;
+pub mod bucket;
 pub mod dtype;
 pub mod error;
 pub mod fault;
@@ -47,6 +48,7 @@ pub mod pool;
 pub mod shape;
 pub mod tensor;
 pub mod trace;
+pub mod tracefile;
 
 pub use alloc::{AllocStats, Buffer};
 pub use dtype::DType;

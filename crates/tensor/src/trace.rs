@@ -46,6 +46,14 @@ impl BufId {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// Reconstruct an id from its raw number — trace deserialization only.
+    /// Raw ids are meaningful solely within the stream they were dumped
+    /// from; mixing them with freshly minted ids aliases buffers.
+    #[must_use]
+    pub fn from_raw(raw: u64) -> BufId {
+        BufId(raw)
+    }
 }
 
 impl fmt::Display for BufId {

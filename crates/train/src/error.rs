@@ -37,6 +37,17 @@ pub enum TrainError {
     },
     /// Checkpoint serialization or deserialization failed.
     Checkpoint(String),
+    /// The gradient synchronizer (the data-parallel collective) failed at
+    /// the close of an accumulation window. The window's gradient sums are
+    /// preserved: after repairing the communicator (e.g. an elastic ring
+    /// re-formation) the caller may retry
+    /// [`Trainer::close_window`](crate::Trainer::close_window).
+    Sync {
+        /// Micro-step counter at the failed window close.
+        step: u64,
+        /// Human-readable failure from the synchronizer.
+        reason: String,
+    },
     /// The runtime was asked to do something its state cannot support
     /// (e.g. checkpoint mid-accumulation-window, corrupt an unknown
     /// parameter).
@@ -57,6 +68,9 @@ impl fmt::Display for TrainError {
                 write!(f, "micro-step {step} still non-finite after {attempts} attempts")
             }
             TrainError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            TrainError::Sync { step, reason } => {
+                write!(f, "gradient sync failed at micro-step {step}: {reason}")
+            }
             TrainError::InvalidState(msg) => write!(f, "invalid trainer state: {msg}"),
         }
     }

@@ -25,6 +25,7 @@ pub mod error;
 pub mod layer;
 pub mod optim;
 pub mod scaler;
+pub mod sync;
 pub mod trainer;
 
 pub use bert::{non_copy_records, Bert, EvalOutput, StepOutput, TrainOptions};
@@ -34,6 +35,7 @@ pub use error::{RecoveryPolicy, TrainError};
 pub use layer::{layer_bwd, layer_fwd, LayerActivations, LayerCtx, LayerGrads, LayerParams};
 pub use optim::{Adam, Lamb, Optimizer, OptimizerState, ParamSlot, Sgd, SlotState, WarmupSchedule};
 pub use scaler::{LossScaler, ScalerState};
+pub use sync::{GradSync, SyncError};
 pub use trainer::{StepResult, Trainer};
 
 /// Result alias re-used from the tensor substrate.

@@ -11,6 +11,7 @@ use crate::checkpoint::{ParamRecord, TrainCheckpoint};
 use crate::error::{RecoveryPolicy, TrainError};
 use crate::optim::{Optimizer, ParamSlot};
 use crate::scaler::LossScaler;
+use crate::sync::GradSync;
 use bertscope_tensor::{FaultPlan, Tensor, Tracer};
 
 /// What one [`Trainer::micro_step`] call did.
@@ -43,6 +44,7 @@ pub struct Trainer<O> {
     scaler: LossScaler,
     policy: RecoveryPolicy,
     faults: FaultPlan,
+    sync: Option<Box<dyn GradSync>>,
     sums: Vec<Tensor>,
     pending: usize,
     micro_steps: u64,
@@ -67,6 +69,7 @@ impl<O: Optimizer> Trainer<O> {
             scaler: LossScaler::none(),
             policy: RecoveryPolicy::default(),
             faults: FaultPlan::new(),
+            sync: None,
             sums: Vec::new(),
             pending: 0,
             micro_steps: 0,
@@ -95,6 +98,22 @@ impl<O: Optimizer> Trainer<O> {
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// Install a data-parallel gradient synchronizer: at every window
+    /// close the locally averaged gradients are synchronized (globally
+    /// averaged across ranks) *before* the scaler's finiteness check, so
+    /// all replicas reach identical overflow decisions.
+    #[must_use]
+    pub fn with_sync(mut self, sync: Box<dyn GradSync>) -> Self {
+        self.sync = Some(sync);
+        self
+    }
+
+    /// Replace (or remove) the gradient synchronizer — the elastic
+    /// recovery path, where a re-formed ring supersedes the old one.
+    pub fn set_sync(&mut self, sync: Option<Box<dyn GradSync>>) {
+        self.sync = sync;
     }
 
     /// Number of optimizer updates applied so far.
@@ -208,17 +227,54 @@ impl<O: Optimizer> Trainer<O> {
         if self.pending < self.accumulation_steps {
             return Ok((out, StepResult::Accumulated));
         }
+        let result = self.close_window(tracer, bert)?;
+        Ok((out, result))
+    }
 
-        // Window close: average, unscale-check, then update or skip.
+    /// Close the open accumulation window: average the gradient sums,
+    /// synchronize across ranks (when a [`GradSync`] is installed), run
+    /// the scaler's unscale/finiteness check, and apply or skip the
+    /// optimizer update.
+    ///
+    /// [`micro_step`](Trainer::micro_step) calls this automatically when
+    /// the window fills; the method is public because a *failed* sync
+    /// leaves the window's sums intact, so a distributed runtime can
+    /// repair its communicator (elastic ring re-formation) and call
+    /// `close_window` again to finish the interrupted step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::InvalidState`] when no window is open, and
+    /// [`TrainError::Sync`] when the synchronizer fails — the window
+    /// survives that error and the close is retryable.
+    pub fn close_window(
+        &mut self,
+        tracer: &mut Tracer,
+        bert: &mut Bert,
+    ) -> Result<StepResult, TrainError> {
+        if self.pending == 0 {
+            return Err(TrainError::InvalidState(
+                "close_window with no accumulated micro-steps".into(),
+            ));
+        }
+        // Average locally, then across ranks. Any sync failure before the
+        // scaler check leaves `sums`/`pending` untouched: retryable.
         let inv = 1.0 / self.pending as f32;
-        let averaged: Vec<Tensor> = self.sums.iter().map(|t| t.scale(inv)).collect();
+        let mut averaged: Vec<Tensor> = self.sums.iter().map(|t| t.scale(inv)).collect();
+        if let Some(sync) = &mut self.sync {
+            sync.sync(tracer, &mut averaged)
+                .map_err(|e| TrainError::Sync { step: self.micro_steps, reason: e.reason })?;
+        }
+        // The finiteness check runs on the *post-reduce* gradients, which
+        // are bit-identical on every rank — so the replicas agree on the
+        // skip decision without a separate vote.
         if !self.scaler.unscale_check(tracer, &averaged) {
             self.scaler.trace_overflow(tracer);
             self.scaler.on_overflow();
             self.sums.clear();
             self.pending = 0;
             self.skipped_updates += 1;
-            return Ok((out, StepResult::SkippedOverflow));
+            return Ok(StepResult::SkippedOverflow);
         }
         // The optimizer must divide out the scale these gradients were
         // computed under; growth (if any) only affects the next window.
@@ -239,7 +295,7 @@ impl<O: Optimizer> Trainer<O> {
         self.sums.clear();
         self.pending = 0;
         self.updates += 1;
-        Ok((out, StepResult::Updated))
+        Ok(StepResult::Updated)
     }
 
     /// First non-finite quantity of the just-executed micro-step, if any.
@@ -505,6 +561,113 @@ mod tests {
         let err = trainer.micro_step(&mut tr, &mut bert, &batch).unwrap_err();
         assert_eq!(err, TrainError::RetriesExhausted { step: 2, attempts: 2 });
         assert_eq!(trainer.retries(), 1);
+    }
+
+    #[derive(Debug)]
+    struct MockSync {
+        calls: std::rc::Rc<std::cell::Cell<u64>>,
+        fail_next: std::rc::Rc<std::cell::Cell<bool>>,
+        zero_grads: bool,
+    }
+
+    impl crate::sync::GradSync for MockSync {
+        fn world(&self) -> usize {
+            2
+        }
+
+        fn sync(
+            &mut self,
+            _tracer: &mut Tracer,
+            grads: &mut [Tensor],
+        ) -> Result<(), crate::sync::SyncError> {
+            if self.fail_next.replace(false) {
+                return Err(crate::sync::SyncError::new("injected ring failure"));
+            }
+            self.calls.set(self.calls.get() + 1);
+            if self.zero_grads {
+                for g in grads {
+                    *g = g.scale(0.0);
+                }
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sync_runs_once_per_window_close() {
+        let (mut bert, _, batch) = setup();
+        let calls = std::rc::Rc::new(std::cell::Cell::new(0));
+        let sync = MockSync {
+            calls: calls.clone(),
+            fail_next: std::rc::Rc::new(std::cell::Cell::new(false)),
+            zero_grads: false,
+        };
+        let mut trainer = Trainer::new(Sgd::new(0.01), 2).with_sync(Box::new(sync));
+        let mut tr = Tracer::disabled();
+        for _ in 0..6 {
+            trainer.micro_step(&mut tr, &mut bert, &batch).expect("micro-step");
+        }
+        assert_eq!(calls.get(), 3, "one sync per closed window");
+        assert_eq!(trainer.updates(), 3);
+    }
+
+    #[test]
+    fn synced_zero_gradients_freeze_the_weights() {
+        // If the collective replaces every gradient with zeros, the
+        // optimizer update is a no-op — proof the synced values (not the
+        // local ones) are what the optimizer consumes.
+        let (mut bert, _, batch) = setup();
+        let before: Vec<Vec<f32>> =
+            bert.param_values_mut().iter().map(|(_, t)| t.as_slice().to_vec()).collect();
+        let sync = MockSync {
+            calls: std::rc::Rc::new(std::cell::Cell::new(0)),
+            fail_next: std::rc::Rc::new(std::cell::Cell::new(false)),
+            zero_grads: true,
+        };
+        let mut trainer = Trainer::new(Sgd::new(0.5), 1).with_sync(Box::new(sync));
+        let mut tr = Tracer::disabled();
+        let (_, r) = trainer.micro_step(&mut tr, &mut bert, &batch).expect("micro-step");
+        assert_eq!(r, StepResult::Updated);
+        for (slot, want) in bert.param_slots().iter().zip(&before) {
+            for (got, want) in slot.value.as_slice().iter().zip(want) {
+                assert!((got - want).abs() < 1e-7, "{} moved on zero gradients", slot.name);
+            }
+        }
+    }
+
+    #[test]
+    fn failed_sync_preserves_the_window_and_close_is_retryable() {
+        let (mut bert, _, batch) = setup();
+        let calls = std::rc::Rc::new(std::cell::Cell::new(0));
+        let fail_next = std::rc::Rc::new(std::cell::Cell::new(true));
+        let sync =
+            MockSync { calls: calls.clone(), fail_next: fail_next.clone(), zero_grads: false };
+        let mut trainer = Trainer::new(Sgd::new(0.01), 2).with_sync(Box::new(sync));
+        let mut tr = Tracer::disabled();
+        trainer.micro_step(&mut tr, &mut bert, &batch).expect("first micro-step");
+        let err = trainer.micro_step(&mut tr, &mut bert, &batch).unwrap_err();
+        assert!(
+            matches!(err, TrainError::Sync { step: 2, ref reason } if reason.contains("ring")),
+            "{err}"
+        );
+        // The window survived the failure...
+        assert_eq!(trainer.pending(), 2);
+        assert_eq!(trainer.updates(), 0);
+        // ...and the retried close (communicator "repaired") completes it.
+        let r = trainer.close_window(&mut tr, &mut bert).expect("retried close");
+        assert_eq!(r, StepResult::Updated);
+        assert_eq!(trainer.pending(), 0);
+        assert_eq!(trainer.updates(), 1);
+        assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn close_without_a_window_is_invalid() {
+        let (mut bert, _, _) = setup();
+        let mut trainer = Trainer::new(Sgd::new(0.01), 2);
+        let mut tr = Tracer::disabled();
+        let err = trainer.close_window(&mut tr, &mut bert).unwrap_err();
+        assert!(matches!(err, TrainError::InvalidState(_)), "{err}");
     }
 
     #[test]
