@@ -68,6 +68,21 @@ impl RingConfig {
         let exp = self.backoff.saturating_mul(1 << attempt.min(16));
         exp.min(self.timeout)
     }
+
+    /// Deadline for forming (or re-forming) a socket ring. A surviving
+    /// peer may only notice the old ring died after exhausting its full
+    /// receive/acknowledgement retry budget — `(max_retries + 1)` hop
+    /// timeouts plus the backoffs between them — so a rank that failed
+    /// fast must out-wait that worst case (plus one hop timeout of
+    /// margin for the handshake itself), not a single hop timeout.
+    #[must_use]
+    pub fn formation_timeout(&self) -> Duration {
+        let mut t = self.timeout.saturating_mul(self.max_retries.saturating_add(2));
+        for attempt in 0..self.max_retries {
+            t = t.saturating_add(self.backoff_for(attempt));
+        }
+        t
+    }
 }
 
 /// Statistics from one AllReduce execution.

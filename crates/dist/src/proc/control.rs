@@ -11,7 +11,8 @@
 //!   hb <micro_steps>                  heartbeat (liveness + progress)
 //!   update <updates>                  an optimizer update was applied
 //!   ckpt <updates> <path>             a checkpoint was written
-//!   syncfail <reason...>              window-close sync failed; awaiting
+//!   syncfail <epoch> <reason...>      window-close sync failed at the
+//!                                     given membership epoch; awaiting
 //!                                     a members (elastic) or shutdown
 //!                                     (restart) instruction
 //!   done <updates> <weights_hash>     target reached; hash of all
@@ -56,6 +57,10 @@ pub enum ControlMsg {
     },
     /// The worker's window-close gradient sync failed.
     SyncFail {
+        /// Membership epoch the failed ring was formed at. The supervisor
+        /// uses this to discard stale syncfails that are really responses
+        /// to an already-handled (and already-rebroadcast) incident.
+        epoch: u32,
         /// Human-readable failure.
         reason: String,
     },
@@ -86,8 +91,8 @@ impl ControlMsg {
             ControlMsg::Heartbeat { micro_steps } => format!("hb {micro_steps}"),
             ControlMsg::Update { updates } => format!("update {updates}"),
             ControlMsg::Checkpoint { updates, path } => format!("ckpt {updates} {path}"),
-            ControlMsg::SyncFail { reason } => {
-                format!("syncfail {}", reason.replace('\n', " "))
+            ControlMsg::SyncFail { epoch, reason } => {
+                format!("syncfail {epoch} {}", reason.replace('\n', " "))
             }
             ControlMsg::Done { updates, weights_hash } => {
                 format!("done {updates} {weights_hash}")
@@ -126,14 +131,10 @@ impl ControlMsg {
             "ckpt" => {
                 ControlMsg::Checkpoint { updates: num(a)?, path: b.ok_or_else(bad)?.to_string() }
             }
-            "syncfail" => {
-                let mut reason = a.unwrap_or("").to_string();
-                if let Some(rest) = b {
-                    reason.push(' ');
-                    reason.push_str(rest);
-                }
-                ControlMsg::SyncFail { reason }
-            }
+            "syncfail" => ControlMsg::SyncFail {
+                epoch: u32::try_from(num(a)?).map_err(|_| bad())?,
+                reason: b.unwrap_or("").to_string(),
+            },
             "done" => ControlMsg::Done { updates: num(a)?, weights_hash: num(b)? },
             "members" => {
                 let epoch = u32::try_from(num(a)?).map_err(|_| bad())?;
@@ -167,7 +168,10 @@ mod tests {
             ControlMsg::Heartbeat { micro_steps: 17 },
             ControlMsg::Update { updates: 4 },
             ControlMsg::Checkpoint { updates: 4, path: "/tmp/ck/step_4.bsck".into() },
-            ControlMsg::SyncFail { reason: "rank 1 lost its ring neighbour at step 2".into() },
+            ControlMsg::SyncFail {
+                epoch: 1,
+                reason: "rank 1 lost its ring neighbour at step 2".into(),
+            },
             ControlMsg::Done { updates: 8, weights_hash: 0xdead_beef_cafe },
             ControlMsg::Members { epoch: 2, members: vec![(0, 4000), (2, 4002), (3, 4003)] },
             ControlMsg::Shutdown,
@@ -189,8 +193,10 @@ mod tests {
 
     #[test]
     fn syncfail_reasons_survive_spaces() {
-        let m =
-            ControlMsg::SyncFail { reason: "hop at ring step 3 failed after 4 attempts".into() };
+        let m = ControlMsg::SyncFail {
+            epoch: 3,
+            reason: "hop at ring step 3 failed after 4 attempts".into(),
+        };
         assert_eq!(ControlMsg::from_line(&m.to_line()).expect("parse"), m);
     }
 }

@@ -72,6 +72,12 @@ fn io_err(e: &std::io::Error, what: &str) -> DistError {
 /// epochs). Stale connections from earlier epochs are drained and
 /// dropped.
 ///
+/// The whole formation runs under [`RingConfig::formation_timeout`]
+/// rather than one hop timeout: after a fault, a surviving member may
+/// only discover the re-formation once its receive/ack retry budget on
+/// the dead ring is exhausted, and a fast-failing peer must keep
+/// listening until then.
+///
 /// # Errors
 ///
 /// Returns a timeout when the successor never accepts or the predecessor
@@ -90,7 +96,7 @@ pub fn form_ring(
     let world = members.len();
     assert!(position < world, "position {position} out of {world}");
     let succ_port = members[(position + 1) % world];
-    let deadline = Instant::now() + cfg.timeout;
+    let deadline = Instant::now() + cfg.formation_timeout();
 
     // Dial the successor (retrying while it re-forms), sending the
     // epoch-tagged handshake.

@@ -228,16 +228,32 @@ fn spawn_worker(backend: &mut Backend<'_>, wcfg: WorkerConfig) -> Result<Handle,
     }
 }
 
-/// Drop `pkill` entries aimed at `dead_rank` from a fault spec: the kill
-/// has fired, and a restarted worker replaying the same micro-steps must
-/// not walk into it again.
+/// Drop the one `pkill` entry that just fired against `dead_rank` from a
+/// fault spec: the kill has fired, and a restarted worker replaying the
+/// same micro-steps must not walk into it again. Faults fire in step
+/// order, so the fired kill is the earliest-step `pkill` still in the
+/// spec for that rank; later kills for the same rank are preserved.
 fn scrub_fired_kills(spec: &str, dead_rank: usize) -> String {
-    spec.split(';')
-        .filter(|e| !e.is_empty())
-        .filter(|e| {
+    let entries: Vec<&str> = spec.split(';').filter(|e| !e.is_empty()).collect();
+    let fired: Option<usize> = entries
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| {
             let parts: Vec<&str> = e.split(':').collect();
-            !(parts.len() == 3 && parts[0] == "pkill" && parts[2].parse::<usize>() == Ok(dead_rank))
+            if parts.len() == 3 && parts[0] == "pkill" && parts[2].parse::<usize>() == Ok(dead_rank)
+            {
+                parts[1].parse::<u64>().ok().map(|step| (step, i))
+            } else {
+                None
+            }
         })
+        .min()
+        .map(|(_, i)| i);
+    entries
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| Some(*i) != fired)
+        .map(|(_, e)| *e)
         .collect::<Vec<_>>()
         .join(";")
 }
@@ -421,7 +437,17 @@ fn supervise(cfg: &ClusterConfig, mut backend: Backend<'_>) -> Result<ClusterRep
                             ControlMsg::Checkpoint { path, .. } => {
                                 latest_ckpt = Some(PathBuf::from(path));
                             }
-                            ControlMsg::SyncFail { .. } if !awaiting.contains(&rank) => {
+                            // Only syncfails at the *current* epoch count
+                            // toward the all-awaiting re-form: a stale
+                            // epoch means the rank is reacting to an
+                            // incident that already triggered a Members
+                            // broadcast, and answering it again would
+                            // queue a second membership no survivor reads
+                            // until the next failure — poisoning that
+                            // recovery with outdated members.
+                            ControlMsg::SyncFail { epoch: e, .. }
+                                if e == epoch && !awaiting.contains(&rank) =>
+                            {
                                 awaiting.push(rank);
                             }
                             ControlMsg::SyncFail { .. } => {}
@@ -435,7 +461,10 @@ fn supervise(cfg: &ClusterConfig, mut backend: Backend<'_>) -> Result<ClusterRep
                     }
                 }
                 Ok(Ev::Gone { gen: g, rank }) if g == cur_gen => {
-                    if live.contains_key(&rank) {
+                    // A rank that already reported done may close its
+                    // socket after giving up on a laggy Shutdown — that is
+                    // a completion, not a death.
+                    if live.get(&rank).is_some_and(|w| w.done.is_none()) {
                         dead = Some(rank);
                     }
                 }
@@ -591,6 +620,16 @@ mod tests {
         assert_eq!(scrub_fired_kills(spec, 1), "pdrop:2:1:1;pkill:5:2");
         assert_eq!(scrub_fired_kills(spec, 2), "pkill:3:1;pdrop:2:1:1");
         assert_eq!(scrub_fired_kills("", 0), "");
+    }
+
+    #[test]
+    fn only_the_earliest_kill_for_a_rank_is_scrubbed() {
+        // Two kills aimed at the same rank at different steps: the first
+        // restart scrubs only the step-3 kill (the one that fired); the
+        // step-9 kill must survive to fire against the relaunched worker.
+        let spec = "pkill:9:1;pdrop:2:1:1;pkill:3:1";
+        assert_eq!(scrub_fired_kills(spec, 1), "pkill:9:1;pdrop:2:1:1");
+        assert_eq!(scrub_fired_kills("pkill:9:1;pdrop:2:1:1", 1), "pdrop:2:1:1");
     }
 
     #[test]

@@ -242,9 +242,11 @@ impl FrameConn {
         loop {
             match read_frame(&mut self.stream) {
                 Ok(f) if f.tag == TAG_ACK && f.seq == seq => return Ok(()),
-                // A stale ACK (for an earlier, already-satisfied seq —
-                // e.g. our resend crossed the original ACK in flight).
-                Ok(f) if f.tag == TAG_ACK && f.seq < seq => {}
+                // A stale ACK or NACK (for an earlier, already-satisfied
+                // seq — e.g. our resend crossed the original ACK in
+                // flight, or a corrupted duplicate of an already-delivered
+                // frame drew a NACK). Both are about history, not `seq`.
+                Ok(f) if (f.tag == TAG_ACK || f.tag == TAG_NACK) && f.seq < seq => {}
                 Ok(f) if f.tag == TAG_NACK && f.seq == seq => {
                     attempt += 1;
                     if attempt > self.cfg.max_retries {
@@ -305,16 +307,19 @@ impl FrameConn {
                     f.tag
                 )));
             }
+            if f.seq < self.next_recv_seq {
+                // Duplicate of an already-delivered frame: its ACK was
+                // lost or late. Re-ACK so the sender can move on — before
+                // the checksum check, so a *corrupted* duplicate is
+                // re-ACKed rather than NACKed (the clean copy was already
+                // delivered; a NACK would demand a pointless resend).
+                self.stats.duplicates += 1;
+                write_frame(&mut self.stream, TAG_ACK, f.seq, 0, &[])?;
+                continue;
+            }
             if checksum64(&f.payload) != f.crc {
                 self.stats.corrupt_frames += 1;
                 write_frame(&mut self.stream, TAG_NACK, f.seq, 0, &[])?;
-                continue;
-            }
-            if f.seq < self.next_recv_seq {
-                // Duplicate of an already-delivered frame: its ACK was
-                // lost or late. Re-ACK so the sender can move on.
-                self.stats.duplicates += 1;
-                write_frame(&mut self.stream, TAG_ACK, f.seq, 0, &[])?;
                 continue;
             }
             if f.seq > self.next_recv_seq {

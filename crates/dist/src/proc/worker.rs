@@ -391,17 +391,23 @@ pub fn worker_main(cfg: &WorkerConfig) -> Result<WorkerReport, DistError> {
     result
 }
 
-/// Await a `members` instruction and (re)form the data ring from it.
+/// Await a `members` instruction newer than `last_epoch` and (re)form the
+/// data ring from it, advancing `last_epoch` to the formed epoch.
+/// Membership lines at or below `last_epoch` are stale broadcasts from an
+/// incident this worker already recovered from; acting on one would form
+/// a ring against dead or reconfigured peers, so they are drained and
+/// dropped.
 fn await_and_form_ring(
     cfg: &WorkerConfig,
     listener: &TcpListener,
     ctrl_r: &mut BufReader<TcpStream>,
     shared: &Arc<Mutex<RingShared>>,
+    last_epoch: &mut u32,
 ) -> Result<MembershipOutcome, DistError> {
     let deadline = Instant::now() + cfg.control_timeout;
     loop {
         match read_ctrl(ctrl_r, deadline, "ring membership")? {
-            ControlMsg::Members { epoch, members } => {
+            ControlMsg::Members { epoch, members } if epoch > *last_epoch => {
                 let Some(position) = members.iter().position(|(r, _)| *r == cfg.orig_rank) else {
                     // Evicted (shouldn't happen to a live rank): exit.
                     return Ok(MembershipOutcome::Shutdown);
@@ -414,6 +420,7 @@ fn await_and_form_ring(
                 };
                 let lowest = members.iter().map(|(r, _)| *r).min().expect("non-empty");
                 shared.lock().expect("ring lock").ring = ring;
+                *last_epoch = epoch;
                 return Ok(MembershipOutcome::Formed { checkpoint_duty: lowest == cfg.orig_rank });
             }
             ControlMsg::Shutdown => return Ok(MembershipOutcome::Shutdown),
@@ -440,18 +447,20 @@ fn run_worker(
     ctrl_r: &mut BufReader<TcpStream>,
 ) -> Result<WorkerReport, DistError> {
     let shared = Arc::new(Mutex::new(RingShared::default()));
-    let mut checkpoint_duty = match await_and_form_ring(cfg, listener, ctrl_r, &shared)? {
-        MembershipOutcome::Formed { checkpoint_duty } => checkpoint_duty,
-        MembershipOutcome::Shutdown => {
-            return Ok(WorkerReport {
-                orig_rank: cfg.orig_rank,
-                updates: 0,
-                weights_hash: 0,
-                early_shutdown: true,
-                ring_stats: Vec::new(),
-            });
-        }
-    };
+    let mut last_epoch: u32 = 0;
+    let mut checkpoint_duty =
+        match await_and_form_ring(cfg, listener, ctrl_r, &shared, &mut last_epoch)? {
+            MembershipOutcome::Formed { checkpoint_duty } => checkpoint_duty,
+            MembershipOutcome::Shutdown => {
+                return Ok(WorkerReport {
+                    orig_rank: cfg.orig_rank,
+                    updates: 0,
+                    weights_hash: 0,
+                    early_shutdown: true,
+                    ring_stats: Vec::new(),
+                });
+            }
+        };
 
     // Same config + same seed on every rank: identical initial replicas.
     let bert_cfg = BertConfig::tiny();
@@ -509,8 +518,11 @@ fn run_worker(
                 }
                 Ok(_) => break,
                 Err(TrainError::Sync { ref reason, .. }) => {
-                    send_ctrl(ctrl_w, &ControlMsg::SyncFail { reason: reason.clone() })?;
-                    match await_and_form_ring(cfg, listener, ctrl_r, &shared)? {
+                    send_ctrl(
+                        ctrl_w,
+                        &ControlMsg::SyncFail { epoch: last_epoch, reason: reason.clone() },
+                    )?;
+                    match await_and_form_ring(cfg, listener, ctrl_r, &shared, &mut last_epoch)? {
                         MembershipOutcome::Formed { checkpoint_duty: duty } => {
                             checkpoint_duty = duty;
                             outcome = trainer.close_window(&mut tracer, &mut bert);

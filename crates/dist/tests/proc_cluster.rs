@@ -73,6 +73,53 @@ fn elastic_shrink_survives_a_mid_window_kill() {
     }
 }
 
+/// Regression: a second fault after an elastic shrink. The first death's
+/// syncfails from the survivors are stale responses to an incident the
+/// supervisor already answered; if they triggered another membership
+/// broadcast, every survivor would consume that stale membership first on
+/// the *next* failure and try to form a ring containing the newly-dead
+/// rank — cascading a recoverable second kill into a lost cluster.
+#[test]
+fn elastic_recovers_from_two_sequential_kills() {
+    let mut cfg = base_config(4, 3, "elastic-twice");
+    cfg.recovery = RecoveryMode::Elastic;
+    // Accumulation 2: kills land mid-window of updates 2 and 3.
+    cfg.faults = FaultPlan::new()
+        .with(3, FaultKind::KillProcess { rank: 3 })
+        .with(5, FaultKind::KillProcess { rank: 1 });
+    let report = run_thread_cluster(&cfg).expect("second elastic recovery");
+    assert_eq!(report.updates, 3);
+    assert_eq!(report.final_world, 2, "4 -> 3 -> 2 across the two incidents");
+    assert_eq!(report.restarts, 0);
+    assert_eq!(report.events.len(), 2, "{:?}", report.events);
+    assert_eq!(report.events[0].dead_rank, 3);
+    assert_eq!(report.events[1].dead_rank, 1);
+    assert_eq!(report.worker_reports.len(), 2);
+    for w in &report.worker_reports {
+        assert!(w.orig_rank == 0 || w.orig_rank == 2);
+        assert_eq!(w.weights_hash, report.weights_hash, "rank {}", w.orig_rank);
+    }
+}
+
+/// Regression: two kills aimed at the *same* rank at different steps
+/// under restart recovery. Scrubbing must remove only the kill that
+/// fired, so the relaunched worker still walks into the later one — two
+/// full restarts, still bit-exact.
+#[test]
+fn restart_survives_repeated_kills_of_one_rank() {
+    let baseline = run_thread_cluster(&base_config(2, 3, "rekill-base")).expect("baseline");
+    let mut cfg = base_config(2, 3, "rekill");
+    cfg.recovery = RecoveryMode::Restart;
+    cfg.faults = FaultPlan::new()
+        .with(3, FaultKind::KillProcess { rank: 1 })
+        .with(5, FaultKind::KillProcess { rank: 1 });
+    let report = run_thread_cluster(&cfg).expect("both kills must be recovered");
+    assert_eq!(report.updates, 3);
+    assert_eq!(report.restarts, 2, "each kill must trigger its own restart");
+    assert_eq!(report.events.len(), 2, "{:?}", report.events);
+    assert_eq!(report.weights_hash, baseline.weights_hash, "still bit-exact after two restarts");
+}
+
 #[test]
 fn restart_recovery_is_bit_exact_with_an_unfaulted_run() {
     let baseline = run_thread_cluster(&base_config(3, 3, "restart-base")).expect("baseline");
