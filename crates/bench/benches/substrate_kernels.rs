@@ -122,6 +122,7 @@ fn bench_attention_fused_vs_serial(c: &mut Criterion) {
             d_model: d,
             dropout_p: 0.0,
             fused_qkv: fused,
+            fused_epilogue: false,
             dtype: DType::F32,
             layer: 0,
         };

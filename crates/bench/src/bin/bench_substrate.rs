@@ -10,16 +10,26 @@
 //! - `--smoke`: 1 iteration per shape — cheap enough for CI.
 //! - `--check FILE`: instead of writing, compare this run against a
 //!   previously committed baseline file. Exits non-zero when the file is
-//!   malformed or any shared shape regressed by more than `--max-regression`
-//!   (default 2.0×).
+//!   malformed, any shared shape regressed by more than `--max-regression`
+//!   (default 2.0×), or — when the pool is configured with one thread —
+//!   either `gemm_nn` shape runs slower than the committed pre-pool serial
+//!   baseline (the pooled path must cost nothing at one thread).
 //!
 //! The JSON also carries the pre-pool *serial* baseline captured on the
 //! reference host before the parallel runtime landed, so the speedup from
 //! the pooled substrate stays auditable from the committed artifact alone.
+//! The v3 schema adds per-shape `flops`/`gflops` (achieved throughput of
+//! the microkernel) and the fused-epilogue entries
+//! `linear_bias_gelu_512x4096x1024` / `attn_scores_fused_b256`, whose
+//! unfused counterparts are `gemm_nn_512x4096x1024` and
+//! `bgemm_nt_384x384x64_b256`.
 
 use bertscope_model::BertConfig;
 use bertscope_tensor::init::randn;
-use bertscope_tensor::{alloc, batched_gemm, gemm, pool, Tensor, Tracer, Transpose};
+use bertscope_tensor::{
+    alloc, batched_gemm, batched_gemm_ep, gemm, gemm_bias_gelu, pool, GemmEpilogue, Tensor, Tracer,
+    Transpose,
+};
 use bertscope_train::{Bert, Lamb, ParamSlot, SyntheticCorpus, TrainOptions, Trainer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -59,6 +69,9 @@ struct Sample {
     iters: u32,
     best_ns: u64,
     mean_ns: u64,
+    /// FLOPs one iteration performs (MACs plus any fused epilogue work);
+    /// zero for composite workloads where a single count is not meaningful.
+    flops: u64,
     /// Steady-state system-allocator hits in one iteration (pool misses).
     allocs: u64,
     /// Steady-state buffer requests in one iteration — what a pool-less
@@ -69,7 +82,20 @@ struct Sample {
     peak_bytes: u64,
 }
 
-fn time_best<F: FnMut()>(label: &'static str, iters: u32, mut body: F) -> Sample {
+impl Sample {
+    /// Achieved throughput in GFLOP/s (FLOPs per nanosecond of the best
+    /// iteration), or zero when no FLOP count is attached.
+    #[allow(clippy::cast_precision_loss)]
+    fn gflops(&self) -> f64 {
+        if self.flops == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.best_ns.max(1) as f64
+        }
+    }
+}
+
+fn time_best<F: FnMut()>(label: &'static str, iters: u32, flops: u64, mut body: F) -> Sample {
     // One untimed warmup populates the thread-local free lists so the
     // measured allocation counts are steady-state (the caching-allocator
     // regime the paper's ROCm runtime operates in), not cold-start.
@@ -97,6 +123,7 @@ fn time_best<F: FnMut()>(label: &'static str, iters: u32, mut body: F) -> Sample
         iters,
         best_ns: best,
         mean_ns: total / u64::from(iters.max(1)),
+        flops,
         allocs,
         acquisitions,
         peak_bytes,
@@ -111,22 +138,38 @@ fn run_all(iters: u32) -> Vec<Sample> {
     // attention context (scores·V).
     let a = randn(&mut r, &[512, 1024], 1.0);
     let b = randn(&mut r, &[1024, 1024], 0.05);
-    samples.push(time_best("gemm_nn_512x1024x1024", iters, || {
+    samples.push(time_best("gemm_nn_512x1024x1024", iters, 2 * 512 * 1024 * 1024, || {
         let _ = gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, None).unwrap();
     }));
     let w = randn(&mut r, &[1024, 4096], 0.05);
-    samples.push(time_best("gemm_nn_512x4096x1024", iters, || {
+    samples.push(time_best("gemm_nn_512x4096x1024", iters, 2 * 512 * 4096 * 1024, || {
         let _ = gemm(Transpose::No, Transpose::No, 1.0, &a, &w, 0.0, None).unwrap();
     }));
     let q = randn(&mut r, &[256, 384, 64], 1.0);
     let k = randn(&mut r, &[256, 384, 64], 1.0);
-    samples.push(time_best("bgemm_nt_384x384x64_b256", iters, || {
+    samples.push(time_best("bgemm_nt_384x384x64_b256", iters, 2 * 384 * 384 * 64 * 256, || {
         let _ = batched_gemm(Transpose::No, Transpose::Yes, 1.0, &q, &k).unwrap();
     }));
     let s = randn(&mut r, &[256, 384, 384], 1.0);
     let v = randn(&mut r, &[256, 384, 64], 1.0);
-    samples.push(time_best("bgemm_nn_384x64x384_b256", iters, || {
+    samples.push(time_best("bgemm_nn_384x64x384_b256", iters, 2 * 384 * 64 * 384 * 256, || {
         let _ = batched_gemm(Transpose::No, Transpose::No, 1.0, &s, &v).unwrap();
+    }));
+
+    // Fused-epilogue counterparts (paper §6.1.3): the same FC-1 and
+    // attention-score GEMMs with the bias+GeLU / scale+mask tails applied
+    // at writeback instead of as separate elementwise kernels.
+    let bias = Tensor::full(&[4096], 0.01);
+    let fc1_flops = 2 * 512 * 4096 * 1024 + 13 * 512 * 4096;
+    samples.push(time_best("linear_bias_gelu_512x4096x1024", iters, fc1_flops, || {
+        let _ = gemm_bias_gelu(Transpose::No, Transpose::No, 1.0, &a, &w, &bias).unwrap();
+    }));
+    let mask: Vec<f32> =
+        (0..256 * 384 * 384).map(|i| if i % 7 == 0 { -10_000.0 } else { 0.0 }).collect();
+    let score_flops = 2 * 384 * 384 * 64 * 256 + 2 * 384 * 384 * 256;
+    samples.push(time_best("attn_scores_fused_b256", iters, score_flops, || {
+        let ep = GemmEpilogue::ScaleMask { scale: 0.125, mask: &mask };
+        let _ = batched_gemm_ep(Transpose::No, Transpose::Yes, 1.0, &q, &k, ep).unwrap();
     }));
 
     // Full training micro-step on a small BERT.
@@ -145,7 +188,7 @@ fn run_all(iters: u32) -> Vec<Sample> {
     let batch = corpus.generate_batch(&mut rng, &cfg);
     let mut bert = Bert::new(cfg, TrainOptions::default(), 3);
     let mut trainer = Trainer::new(Lamb::new(0.001), 1);
-    samples.push(time_best("micro_step_tiny_bert", iters, || {
+    samples.push(time_best("micro_step_tiny_bert", iters, 0, || {
         let mut tr = Tracer::disabled();
         trainer.micro_step(&mut tr, &mut bert, &batch).unwrap();
     }));
@@ -155,7 +198,7 @@ fn run_all(iters: u32) -> Vec<Sample> {
     let mut wt = Tensor::ones(&[n]);
     let g = Tensor::full(&[n], 0.01);
     let mut opt = Lamb::new(0.001);
-    samples.push(time_best("lamb_update_1m", iters, || {
+    samples.push(time_best("lamb_update_1m", iters, 0, || {
         let mut tr = Tracer::disabled();
         opt.step(&mut tr, &mut [ParamSlot { name: "l0.w", value: &mut wt, grad: &g }]);
     }));
@@ -165,7 +208,7 @@ fn run_all(iters: u32) -> Vec<Sample> {
 
 fn render_json(mode: &str, samples: &[Sample]) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"bertscope-bench-substrate-v2\",");
+    let _ = writeln!(out, "  \"schema\": \"bertscope-bench-substrate-v3\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     let _ = writeln!(out, "  \"pool_threads\": {},", pool::configured_threads());
     let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -175,8 +218,15 @@ fn render_json(mode: &str, samples: &[Sample]) -> String {
         let _ = write!(
             out,
             "    {{\"label\": \"{}\", \"iters\": {}, \"best_ns\": {}, \"mean_ns\": {}, \
-             \"allocs\": {}, \"peak_bytes\": {}}}",
-            s.label, s.iters, s.best_ns, s.mean_ns, s.allocs, s.peak_bytes
+             \"flops\": {}, \"gflops\": {:.2}, \"allocs\": {}, \"peak_bytes\": {}}}",
+            s.label,
+            s.iters,
+            s.best_ns,
+            s.mean_ns,
+            s.flops,
+            s.gflops(),
+            s.allocs,
+            s.peak_bytes
         );
         out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
     }
@@ -226,12 +276,12 @@ fn scan_field(rest: &mut &str, label: &str, field: &str, allow_zero: bool) -> Re
 
 /// Pull the shape entries out of a baseline document with a scan — enough
 /// structure-checking to catch a truncated or hand-mangled file without a
-/// JSON parser. Every shape must carry `best_ns`, `allocs` and
-/// `peak_bytes` (the v2 schema); a missing or non-numeric field fails the
+/// JSON parser. Every shape must carry `best_ns`, `flops`, `allocs` and
+/// `peak_bytes` (the v3 schema); a missing or non-numeric field fails the
 /// whole document.
 fn parse_baseline(doc: &str) -> Result<Vec<BaselineShape>, String> {
-    if !doc.contains("\"schema\": \"bertscope-bench-substrate-v2\"") {
-        return Err("missing or unexpected schema marker (want v2)".into());
+    if !doc.contains("\"schema\": \"bertscope-bench-substrate-v3\"") {
+        return Err("missing or unexpected schema marker (want v3)".into());
     }
     let shapes_at =
         doc.find("\"shapes\"").ok_or_else(|| String::from("missing \"shapes\" section"))?;
@@ -242,6 +292,7 @@ fn parse_baseline(doc: &str) -> Result<Vec<BaselineShape>, String> {
         let end = rest.find('"').ok_or_else(|| String::from("unterminated label"))?;
         let label = rest[..end].to_string();
         let best_ns = scan_field(&mut rest, &label, "best_ns", false)?;
+        let _flops = scan_field(&mut rest, &label, "flops", true)?;
         let allocs = scan_field(&mut rest, &label, "allocs", true)?;
         let _peak = scan_field(&mut rest, &label, "peak_bytes", false)?;
         entries.push(BaselineShape { label, best_ns, allocs });
@@ -297,6 +348,32 @@ fn check(baseline_path: &str, samples: &[Sample], max_regression: f64) -> Result
             ));
         }
     }
+    // At one pool thread the pooled substrate must be at least as fast as
+    // the committed pre-pool serial baseline on the plain GEMM shapes: the
+    // microkernel dispatches serially below the parallel threshold, so
+    // pack-and-pool overhead at one thread is a regression, not a cost of
+    // doing business.
+    if pool::configured_threads() == 1 {
+        for (label, serial_ns) in SERIAL_BASELINE_NS {
+            if !label.starts_with("gemm_nn_") {
+                continue;
+            }
+            let Some(now) = samples.iter().find(|s| s.label == *label) else {
+                continue;
+            };
+            println!(
+                "{label}: serial baseline {serial_ns} ns, pooled at 1 thread {} ns",
+                now.best_ns
+            );
+            if now.best_ns > *serial_ns {
+                failures.push(format!(
+                    "{label} pooled-at-1-thread is slower than the serial baseline: \
+                     {} ns vs {serial_ns} ns",
+                    now.best_ns
+                ));
+            }
+        }
+    }
     if failures.is_empty() {
         Ok(())
     } else {
@@ -337,9 +414,16 @@ fn main() -> ExitCode {
     let samples = run_all(iters);
     for s in &samples {
         eprintln!(
-            "  {}: best {} ns, mean {} ns ({} iters); {} fresh allocs of {} requests, \
-             peak {} bytes",
-            s.label, s.best_ns, s.mean_ns, s.iters, s.allocs, s.acquisitions, s.peak_bytes
+            "  {}: best {} ns, mean {} ns ({} iters, {:.2} GFLOP/s); {} fresh allocs of \
+             {} requests, peak {} bytes",
+            s.label,
+            s.best_ns,
+            s.mean_ns,
+            s.iters,
+            s.gflops(),
+            s.allocs,
+            s.acquisitions,
+            s.peak_bytes
         );
     }
 
@@ -383,6 +467,7 @@ mod tests {
             iters: 3,
             best_ns,
             mean_ns: best_ns,
+            flops: 1000,
             allocs,
             acquisitions: allocs,
             peak_bytes: 1024,
@@ -406,18 +491,25 @@ mod tests {
         assert!(parse_baseline("{}").is_err(), "missing schema");
         let v1 = "{\"schema\": \"bertscope-bench-substrate-v1\"}";
         assert!(parse_baseline(v1).is_err(), "v1 schema is rejected");
-        let no_shapes = "{\"schema\": \"bertscope-bench-substrate-v2\"}";
+        let v2 = "{\"schema\": \"bertscope-bench-substrate-v2\"}";
+        assert!(parse_baseline(v2).is_err(), "v2 schema (no flops fields) is rejected");
+        let no_shapes = "{\"schema\": \"bertscope-bench-substrate-v3\"}";
         assert!(parse_baseline(no_shapes).is_err(), "missing shapes");
-        let zero = "{\n  \"schema\": \"bertscope-bench-substrate-v2\",\n  \"shapes\": [\n    \
+        let zero = "{\n  \"schema\": \"bertscope-bench-substrate-v3\",\n  \"shapes\": [\n    \
                     {\"label\": \"x\", \"iters\": 1, \"best_ns\": 0, \"mean_ns\": 0, \
-                    \"allocs\": 0, \"peak_bytes\": 1}\n  ]\n}";
+                    \"flops\": 0, \"allocs\": 0, \"peak_bytes\": 1}\n  ]\n}";
         assert!(parse_baseline(zero).is_err(), "zero best_ns");
-        let no_allocs = "{\n  \"schema\": \"bertscope-bench-substrate-v2\",\n  \"shapes\": [\n    \
-                         {\"label\": \"x\", \"iters\": 1, \"best_ns\": 5, \"mean_ns\": 5}\n  ]\n}";
+        let no_flops = "{\n  \"schema\": \"bertscope-bench-substrate-v3\",\n  \"shapes\": [\n    \
+                        {\"label\": \"x\", \"iters\": 1, \"best_ns\": 5, \"mean_ns\": 5, \
+                        \"allocs\": 1, \"peak_bytes\": 1}\n  ]\n}";
+        assert!(parse_baseline(no_flops).is_err(), "missing flops field");
+        let no_allocs = "{\n  \"schema\": \"bertscope-bench-substrate-v3\",\n  \"shapes\": [\n    \
+                         {\"label\": \"x\", \"iters\": 1, \"best_ns\": 5, \"mean_ns\": 5, \
+                         \"flops\": 7}\n  ]\n}";
         assert!(parse_baseline(no_allocs).is_err(), "missing allocs field");
-        let no_peak = "{\n  \"schema\": \"bertscope-bench-substrate-v2\",\n  \"shapes\": [\n    \
+        let no_peak = "{\n  \"schema\": \"bertscope-bench-substrate-v3\",\n  \"shapes\": [\n    \
                        {\"label\": \"x\", \"iters\": 1, \"best_ns\": 5, \"mean_ns\": 5, \
-                       \"allocs\": 1}\n  ]\n}";
+                       \"flops\": 7, \"allocs\": 1}\n  ]\n}";
         assert!(parse_baseline(no_peak).is_err(), "missing peak_bytes field");
     }
 

@@ -34,13 +34,33 @@ fn macs(s: GemmSpec) -> u64 {
 
 /// The Table 2b closed form for one layer's forward GEMM FLOPs: four linear
 /// projections (Q/K/V/output — identical whether or not Q/K/V are fused),
-/// the two attention B-GEMMs, and the two FC GEMMs.
+/// the two attention B-GEMMs, and the two FC GEMMs. MACs only; fused
+/// epilogue work is accounted separately by [`forward_epilogue_flops`].
 fn expected_forward_gemm_flops(cfg: &BertConfig) -> u64 {
     4 * macs(gemm_spec(cfg, GemmSite::Linear, GemmPass::Forward))
         + macs(gemm_spec(cfg, GemmSite::AttnScore, GemmPass::Forward))
         + macs(gemm_spec(cfg, GemmSite::AttnOutput, GemmPass::Forward))
         + macs(gemm_spec(cfg, GemmSite::Fc1, GemmPass::Forward))
         + macs(gemm_spec(cfg, GemmSite::Fc2, GemmPass::Forward))
+}
+
+/// Epilogue FLOPs folded into one layer's forward GEMMs. Bias adds ride
+/// along unconditionally (one FLOP per output element of the six biased
+/// linears: Q, K, V, attention-output, FC-1, FC-2); under
+/// `fused_epilogue` FC-1's bias becomes a 13-FLOP bias+GeLU tail and the
+/// score B-GEMM absorbs the two-FLOP scale+mask pair.
+fn forward_epilogue_flops(cfg: &BertConfig, opts: GraphOptions) -> u64 {
+    let act = cfg.tokens() as u64 * cfg.d_model as u64;
+    let inter = cfg.tokens() as u64 * cfg.d_ff as u64;
+    let scores = (cfg.batch * cfg.heads * cfg.seq_len * cfg.seq_len) as u64;
+    // Q/K/V (3x) + attention output + FC-2 outputs are [T, d]; FC-1's
+    // output is [T, d_ff].
+    let bias_linears = 5 * act;
+    if opts.fused_epilogue {
+        bias_linears + 13 * inter + 2 * scores
+    } else {
+        bias_linears + inter
+    }
 }
 
 /// C005: every layer's per-phase GEMM FLOPs and non-GEMM activation FLOPs
@@ -53,7 +73,10 @@ fn layer_closed_forms(
     ops: &[OpRecord],
     out: &mut Vec<Finding>,
 ) {
-    let expect_fwd = expected_forward_gemm_flops(cfg);
+    let expect_macs = expected_forward_gemm_flops(cfg);
+    // Forward (and recompute) GEMMs carry fused epilogues; backward GEMMs
+    // never do, so the 2x relation holds against the MAC-only form.
+    let expect_fwd = expect_macs + forward_epilogue_flops(cfg, opts);
     let has_bwd = ops.iter().any(|o| o.phase == Phase::Backward);
     let scores = (cfg.batch * cfg.heads * cfg.seq_len * cfg.seq_len) as u64;
     let inter = cfg.tokens() as u64 * cfg.d_ff as u64;
@@ -79,12 +102,12 @@ fn layer_closed_forms(
         }
         if has_bwd {
             let bwd = gemm_flops(Phase::Backward);
-            if bwd != 2 * expect_fwd {
+            if bwd != 2 * expect_macs {
                 out.push(
                     Finding::err(RuleId::LayerClosedForm, format!("layer {l} backward GEMM FLOPs"))
                         .with_note(format!(
-                            "stream has {bwd}, Table 2b implies 2x forward = {}",
-                            2 * expect_fwd
+                            "stream has {bwd}, Table 2b implies 2x forward MACs = {}",
+                            2 * expect_macs
                         )),
                 );
             }
@@ -106,26 +129,30 @@ fn layer_closed_forms(
         // Activation closed forms: the GeLU forward chain performs 12 FLOPs
         // per intermediate element whether fused or not, and the
         // scale/mask/softmax/dropout forward chain 8 per score element.
+        // Under `fused_epilogue` the GeLU and the scale+mask pair move into
+        // the producing GEMM's record (verified above), leaving no
+        // standalone GeLU kernel and only softmax+dropout (6 FLOPs per
+        // score element) in the SMSD category.
+        let expect_gelu = if opts.fused_epilogue { 0 } else { 12 * inter };
         let gelu = cat_flops(Phase::Forward, Category::Gelu);
-        if gelu != 12 * inter {
+        if gelu != expect_gelu {
             out.push(
                 Finding::err(RuleId::LayerClosedForm, format!("layer {l} forward GeLU FLOPs"))
                     .with_note(format!(
-                        "stream has {gelu}, {inter} intermediate elements imply {}",
-                        12 * inter
+                        "stream has {gelu}, {inter} intermediate elements imply {expect_gelu}"
                     )),
             );
         }
+        let expect_smsd = if opts.fused_epilogue { 6 * scores } else { 8 * scores };
         let smsd = cat_flops(Phase::Forward, Category::ScaleMaskSoftmaxDropout);
-        if smsd != 8 * scores {
+        if smsd != expect_smsd {
             out.push(
                 Finding::err(
                     RuleId::LayerClosedForm,
                     format!("layer {l} forward scale/mask/softmax/dropout FLOPs"),
                 )
                 .with_note(format!(
-                    "stream has {smsd}, {scores} score elements imply {}",
-                    8 * scores
+                    "stream has {smsd}, {scores} score elements imply {expect_smsd}"
                 )),
             );
         }

@@ -9,7 +9,7 @@
 
 use crate::finding::Finding;
 use crate::rules::RuleId;
-use bertscope_tensor::{Category, DType, OpRecord, Phase};
+use bertscope_tensor::{Category, DType, Epilogue, OpRecord, Phase};
 
 /// Element size in bytes, independent of `DType::size_bytes`.
 pub(crate) fn elem_size(dtype: DType) -> u64 {
@@ -28,36 +28,65 @@ const LAMB_STAGE2_FLOPS: u64 = 4;
 /// FLOPs per parameter of a fused Adam kernel.
 const ADAM_FLOPS: u64 = 12;
 
+/// Per-output-element FLOPs of a fused epilogue, recomputed from the
+/// variant's arithmetic rather than `Epilogue::flops_per_element`: a bias
+/// add or scale is one op, residual-add and scale+mask are two, bias+GeLU
+/// is the add plus the 12-FLOP `GeLU` chain.
+fn epilogue_flops_per_element(ep: Epilogue) -> u64 {
+    match ep {
+        Epilogue::None => 0,
+        Epilogue::Bias | Epilogue::Scale => 1,
+        Epilogue::BiasGelu => 13,
+        Epilogue::BiasResidual | Epilogue::ScaleMask => 2,
+    }
+}
+
+/// Extra elements a fused epilogue reads beyond the two GEMM operands:
+/// a bias vector is one element per output row per batch slice; residual
+/// and mask operands are full output-sized tensors.
+fn epilogue_read_elements(ep: Epilogue, m: u64, n: u64, b: u64) -> u64 {
+    match ep {
+        Epilogue::None | Epilogue::Scale => 0,
+        Epilogue::Bias | Epilogue::BiasGelu => m * b,
+        Epilogue::BiasResidual => m * b + m * n * b,
+        Epilogue::ScaleMask => m * n * b,
+    }
+}
+
 pub(crate) fn check(ops: &[OpRecord]) -> Vec<Finding> {
     let mut out = Vec::new();
     for (i, op) in ops.iter().enumerate() {
         if let Some(spec) = op.gemm {
             let (m, n, k, b) = (spec.m as u64, spec.n as u64, spec.k as u64, spec.batch as u64);
-            let flops = 2 * m * n * k * b;
+            let ep = spec.epilogue;
+            let flops = 2 * m * n * k * b + epilogue_flops_per_element(ep) * m * n * b;
             if op.flops != flops {
                 out.push(
                     Finding::err(RuleId::GemmFlops, "recorded FLOPs disagree with the GEMM spec")
                         .at(i, op)
                         .with_note(format!(
-                            "recorded {} FLOPs, spec {spec} implies 2*{m}*{n}*{k}*{b} = {flops}",
+                            "recorded {} FLOPs, spec {spec} implies 2*{m}*{n}*{k}*{b} \
+                             + epilogue = {flops}",
                             op.flops
                         )),
                 );
             }
             let es = elem_size(op.dtype);
-            let read = (m * k + k * n) * b * es;
+            let read = ((m * k + k * n) * b + epilogue_read_elements(ep, m, n, b)) * es;
             if op.bytes_read != read {
                 out.push(
                     Finding::err(RuleId::GemmBytes, "recorded read bytes disagree with the spec")
                         .at(i, op)
                         .with_note(format!(
                             "recorded {} bytes read, spec {spec} at {} implies \
-                             ({m}*{k} + {k}*{n})*{b}*{es} = {read}",
+                             (({m}*{k} + {k}*{n})*{b} + epilogue operands)*{es} = {read}",
                             op.bytes_read, op.dtype
                         )),
                 );
             }
-            let written = m * n * b * es;
+            // Bias+GeLU stores both the pre-activation and the activation.
+            let copies = if ep == Epilogue::BiasGelu { 2 } else { 1 };
+            let written = m * n * b * copies * es;
             if op.bytes_written != written {
                 out.push(
                     Finding::err(
@@ -67,7 +96,7 @@ pub(crate) fn check(ops: &[OpRecord]) -> Vec<Finding> {
                     .at(i, op)
                     .with_note(format!(
                         "recorded {} bytes written, spec {spec} at {} implies \
-                             {m}*{n}*{b}*{es} = {written}",
+                             {m}*{n}*{b}*{copies}*{es} = {written}",
                         op.bytes_written, op.dtype
                     )),
                 );

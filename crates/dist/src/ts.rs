@@ -17,7 +17,7 @@
 use bertscope_device::{GpuModel, Link};
 use bertscope_model::{build_iteration, BertConfig, GraphOptions};
 use bertscope_sim::{IterationProfile, TimedOp};
-use bertscope_tensor::{Category, GemmSpec, OpKind, OpRecord, Phase};
+use bertscope_tensor::{Category, Epilogue, GemmSpec, OpKind, OpRecord, Phase};
 
 /// How a sliced op's dimensions change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,7 +91,13 @@ fn rescale_gemm(spec: GemmSpec, slice: Slice, m: usize) -> GemmSpec {
     match slice {
         Slice::M => s.m = (s.m / m).max(1),
         Slice::N => s.n = (s.n / m).max(1),
-        Slice::K => s.k = (s.k / m).max(1),
+        Slice::K => {
+            s.k = (s.k / m).max(1);
+            // A row-parallel GEMM emits partial sums: no epilogue can be
+            // fused before the AllReduce combines them, so the bias is
+            // applied downstream of the reduction instead.
+            s.epilogue = Epilogue::None;
+        }
         Slice::Batch => s.batch = (s.batch / m).max(1),
         Slice::Elements | Slice::Replicated => {}
     }

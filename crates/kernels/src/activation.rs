@@ -11,42 +11,10 @@ use crate::Result;
 use bertscope_tensor::Tracer;
 use bertscope_tensor::{AccessSet, OpKind, Tensor};
 
-/// Abramowitz & Stegun 7.1.26 rational approximation of `erf`
-/// (max absolute error ~1.5e-7, far below f16 resolution).
-#[must_use]
-pub fn erf(x: f32) -> f32 {
-    const A1: f32 = 0.254_829_6;
-    const A2: f32 = -0.284_496_72;
-    const A3: f32 = 1.421_413_8;
-    const A4: f32 = -1.453_152_1;
-    const A5: f32 = 1.061_405_4;
-    const P: f32 = 0.327_591_1;
-
-    let sign = if x < 0.0 { -1.0 } else { 1.0 };
-    let x = x.abs();
-    let t = 1.0 / (1.0 + P * x);
-    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
-    sign * y
-}
-
-/// The exact GeLU of Equation 1 for a scalar.
-#[must_use]
-pub fn gelu_scalar(x: f32) -> f32 {
-    x * 0.5 * (1.0 + erf(x / std::f32::consts::SQRT_2))
-}
-
-/// Derivative of GeLU: `Phi(x) + x * phi(x)` with the standard-normal CDF
-/// `Phi` and PDF `phi`.
-#[must_use]
-pub fn gelu_grad_scalar(x: f32) -> f32 {
-    let phi_cdf = 0.5 * (1.0 + erf(x / std::f32::consts::SQRT_2));
-    let pdf = (-0.5 * x * x).exp() / (2.0 * std::f32::consts::PI).sqrt();
-    phi_cdf + x * pdf
-}
-
-/// Approximate per-element FLOP cost of the erf-based GeLU chain
-/// (mul, add, div, exp and the polynomial), used for trace accounting.
-pub const GELU_FLOPS_PER_ELEMENT: u64 = 12;
+// The scalar GeLU/erf chain lives in the tensor crate so the fused GEMM
+// epilogue (`gemm_bias_gelu`) evaluates the exact same approximation as the
+// standalone kernels below; re-exported here for existing callers.
+pub use bertscope_tensor::mathfn::{erf, gelu_grad_scalar, gelu_scalar, GELU_FLOPS_PER_ELEMENT};
 
 /// GeLU forward: elementwise over `x`.
 ///

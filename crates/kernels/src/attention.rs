@@ -14,8 +14,8 @@ use crate::linear::{linear_bwd, linear_fwd};
 use crate::norm::{softmax_bwd, softmax_fwd};
 use crate::Result;
 use bertscope_tensor::{
-    batched_gemm, AccessSet, Buffer, Category, DType, GemmSpec, OpKind, Phase, Tensor, TensorError,
-    Tracer, Transpose,
+    batched_gemm, batched_gemm_ep, AccessSet, Buffer, Category, DType, Epilogue, GemmEpilogue,
+    GemmSpec, OpKind, Phase, Tensor, TensorError, Tracer, Transpose,
 };
 
 /// Learned parameters of one attention block.
@@ -78,6 +78,10 @@ pub struct AttentionConfig {
     /// Execute the Q/K/V projections as a single fused GEMM (paper §6.1.2)
     /// instead of three serial GEMMs.
     pub fused_qkv: bool,
+    /// Fuse the score scale (and additive mask, when present) into the
+    /// attention-score GEMM's writeback epilogue instead of launching
+    /// separate memory-bound elementwise kernels (paper §6.1.3 fusion).
+    pub fused_epilogue: bool,
     /// Execution precision.
     pub dtype: DType,
     /// Transformer layer index for trace attribution.
@@ -270,29 +274,49 @@ pub fn attention_fwd(
     let v_h = split_heads(tracer, &lin_ctx, &v, cfg)?;
 
     // 3. Attention scores: batched Q*K^T — paper Table 2b "Attn. Score FWD":
-    //    n x n x (d/h), batch B*h.
-    let scores = batched_gemm(Transpose::No, Transpose::Yes, 1.0, &q_h, &k_h)?;
-    bgemm_ctx.trace_gemm_acc(
-        tracer,
-        "score",
-        GemmSpec::batched(
-            Transpose::No,
-            Transpose::Yes,
-            cfg.seq,
-            cfg.seq,
-            cfg.head_dim(),
-            cfg.batch * cfg.heads,
-        ),
-        AccessSet::new(&[q_h.buf_id(), k_h.buf_id()], &[scores.buf_id()]),
-    );
-
-    // 4-7. Scale, mask, softmax, dropout.
+    //    n x n x (d/h), batch B*h. When epilogue fusion is on, the score
+    //    scale (and mask) are applied at GEMM writeback and their separate
+    //    elementwise kernels disappear from the stream.
     let alpha = 1.0 / (cfg.head_dim() as f32).sqrt();
-    let scaled = scale(tracer, &sm_ctx, &scores, alpha)?;
-    let masked = match attn_mask {
-        Some(m) => mask_add(tracer, &sm_ctx, &scaled, m)?,
-        None => scaled,
+    let score_spec = GemmSpec::batched(
+        Transpose::No,
+        Transpose::Yes,
+        cfg.seq,
+        cfg.seq,
+        cfg.head_dim(),
+        cfg.batch * cfg.heads,
+    );
+    let masked = if cfg.fused_epilogue {
+        let (ep, tag) = match attn_mask {
+            Some(m) => {
+                (GemmEpilogue::ScaleMask { scale: alpha, mask: m.as_slice() }, Epilogue::ScaleMask)
+            }
+            None => (GemmEpilogue::Scale(alpha), Epilogue::Scale),
+        };
+        let scores = batched_gemm_ep(Transpose::No, Transpose::Yes, 1.0, &q_h, &k_h, ep)?;
+        let mut access = AccessSet::new(&[q_h.buf_id(), k_h.buf_id()], &[scores.buf_id()]);
+        if let Some(m) = attn_mask {
+            access.reads.push(m.buf_id());
+        }
+        bgemm_ctx.trace_gemm_acc(tracer, "score", score_spec.with_epilogue(tag), access);
+        scores
+    } else {
+        let scores = batched_gemm(Transpose::No, Transpose::Yes, 1.0, &q_h, &k_h)?;
+        bgemm_ctx.trace_gemm_acc(
+            tracer,
+            "score",
+            score_spec,
+            AccessSet::new(&[q_h.buf_id(), k_h.buf_id()], &[scores.buf_id()]),
+        );
+        // 4-5. Scale, mask as separate elementwise kernels.
+        let scaled = scale(tracer, &sm_ctx, &scores, alpha)?;
+        match attn_mask {
+            Some(m) => mask_add(tracer, &sm_ctx, &scaled, m)?,
+            None => scaled,
+        }
     };
+
+    // 6-7. Softmax, dropout.
     let probs_pre_drop = softmax_fwd(tracer, &sm_ctx, &masked)?;
     let (probs, drop_mask) =
         dropout_fwd(tracer, &sm_ctx, &probs_pre_drop, cfg.dropout_p, dropout_seed)?;
@@ -488,6 +512,7 @@ mod tests {
             d_model: 4,
             dropout_p: 0.0,
             fused_qkv: fused,
+            fused_epilogue: false,
             dtype: DType::F32,
             layer: 0,
         }

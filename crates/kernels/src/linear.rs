@@ -9,13 +9,16 @@
 use crate::ctx::KernelCtx;
 use crate::Result;
 use bertscope_tensor::{
-    gemm, AccessSet, Buffer, GemmSpec, OpKind, Tensor, TensorError, Tracer, Transpose,
+    gemm, gemm_bias_gelu, gemm_ep, AccessSet, Buffer, Epilogue, GemmEpilogue, GemmSpec, OpKind,
+    Tensor, TensorError, Tracer, Transpose,
 };
 
 /// Linear forward: `y = x * W + b`.
 ///
-/// The bias add is executed as a GEMM epilogue (a single fused kernel), as
-/// BLAS libraries do, so only one GEMM record is traced.
+/// The bias add is executed as a GEMM epilogue — applied to each output
+/// tile at microkernel writeback while it is cache-hot, as BLAS epilogue
+/// fusion does — so only one GEMM record is traced and the record's
+/// [`Epilogue`] marks the fusion for FLOP/byte accounting.
 ///
 /// # Errors
 ///
@@ -32,30 +35,62 @@ pub fn linear_fwd(
     if d_in != wd_in {
         return Err(TensorError::shape("linear_fwd", x.dims(), w.dims()));
     }
-    let mut y = gemm(Transpose::No, Transpose::No, 1.0, x, w, 0.0, None)?;
-    if let Some(b) = b {
-        if b.numel() != d_out {
+    let ep = match b {
+        Some(b) if b.numel() != d_out => {
             return Err(TensorError::shape("linear_fwd bias", &[d_out], b.dims()));
         }
-        let bs = b.as_slice();
-        let dt = ctx.dtype_of();
-        for row in y.as_mut_slice().chunks_mut(d_out) {
-            for (v, &bv) in row.iter_mut().zip(bs) {
-                *v = dt.quantize(*v + bv);
-            }
-        }
-    }
+        Some(b) => GemmEpilogue::Bias(b.as_slice()),
+        None => GemmEpilogue::None,
+    };
+    let y = gemm_ep(Transpose::No, Transpose::No, 1.0, x, w, 0.0, None, ep)?;
     let mut access = AccessSet::new(&[x.buf_id(), w.buf_id()], &[y.buf_id()]);
+    let mut spec = GemmSpec::new(Transpose::No, Transpose::No, d_out, t, d_in);
     if let Some(b) = b {
         access.reads.push(b.buf_id());
+        spec = spec.with_epilogue(Epilogue::Bias);
     }
+    ctx.trace_gemm_acc(tracer, "gemm", spec, access);
+    Ok(y)
+}
+
+/// Fused linear + GeLU forward: `pre = x * W + b`, `act = GeLU(pre)`, as a
+/// single kernel whose epilogue evaluates the activation on each output
+/// tile while it is register-resident. Returns `(pre, act)` — the backward
+/// pass consumes the pre-activation.
+///
+/// One GEMM record is traced with the [`Epilogue::BiasGelu`] tag (the
+/// separate GeLU elementwise record disappears; its FLOPs fold into the
+/// GEMM record, and `bytes_written` doubles for the second output).
+///
+/// # Errors
+///
+/// Returns shape errors when `x`/`w`/`b` disagree.
+pub fn linear_gelu_fwd(
+    tracer: &mut Tracer,
+    ctx: &KernelCtx,
+    x: &Tensor,
+    w: &Tensor,
+    b: &Tensor,
+) -> Result<(Tensor, Tensor)> {
+    let (t, d_in) = (x.dims()[0], x.dims()[1]);
+    let (wd_in, d_out) = (w.dims()[0], w.dims()[1]);
+    if d_in != wd_in {
+        return Err(TensorError::shape("linear_gelu_fwd", x.dims(), w.dims()));
+    }
+    if b.numel() != d_out {
+        return Err(TensorError::shape("linear_gelu_fwd bias", &[d_out], b.dims()));
+    }
+    let (pre, act) = gemm_bias_gelu(Transpose::No, Transpose::No, 1.0, x, w, b)?;
+    let mut access = AccessSet::new(&[x.buf_id(), w.buf_id()], &[pre.buf_id(), act.buf_id()]);
+    access.reads.push(b.buf_id());
     ctx.trace_gemm_acc(
         tracer,
         "gemm",
-        GemmSpec::new(Transpose::No, Transpose::No, d_out, t, d_in),
+        GemmSpec::new(Transpose::No, Transpose::No, d_out, t, d_in)
+            .with_epilogue(Epilogue::BiasGelu),
         access,
     );
-    Ok(y)
+    Ok((pre, act))
 }
 
 /// Linear backward. Returns `(dx, dw, db)` where `db` is `None` when the
@@ -162,6 +197,32 @@ mod tests {
         let gw = tr.records()[2].gemm.unwrap();
         assert_eq!((gw.m, gw.n, gw.k), (d_in, d_out, t), "grad-weight GEMM");
         assert_eq!(tr.records()[3].kind, OpKind::Reduction, "bias grad");
+    }
+
+    #[test]
+    fn fused_linear_gelu_matches_unfused_sequence() {
+        use crate::activation::gelu_fwd;
+        let mut tr = Tracer::new();
+        let (t, d_in, d_out) = (6, 5, 7);
+        let x = rand_tensor(11, &[t, d_in]);
+        let w = rand_tensor(12, &[d_in, d_out]);
+        let b = rand_tensor(13, &[d_out]);
+        let (pre, act) = linear_gelu_fwd(&mut tr, &fwd_ctx(), &x, &w, &b).unwrap();
+        let mut tr2 = Tracer::new();
+        let want_pre = linear_fwd(&mut tr2, &fwd_ctx(), &x, &w, Some(&b)).unwrap();
+        let gelu_ctx = KernelCtx::new("gelu", Category::Gelu, Phase::Forward);
+        let want_act = gelu_fwd(&mut tr2, &gelu_ctx, &want_pre).unwrap();
+        // Fused path is bit-identical to the unfused chain...
+        assert_eq!(pre.as_slice(), want_pre.as_slice());
+        assert_eq!(act.as_slice(), want_act.as_slice());
+        // ...but traces one record instead of two, with merged accounting.
+        assert_eq!(tr.kernel_count(), 1);
+        assert_eq!(tr2.kernel_count(), 2);
+        let r = &tr.records()[0];
+        let spec = r.gemm.unwrap();
+        assert_eq!(spec.epilogue, bertscope_tensor::Epilogue::BiasGelu);
+        assert_eq!(r.flops, 2 * (t * d_in * d_out) as u64 + 13 * (t * d_out) as u64);
+        assert_eq!(r.bytes_written, 2 * (t * d_out) as u64 * 4);
     }
 
     #[test]

@@ -1,13 +1,27 @@
 //! Blocked general matrix multiplication (GEMM) and batched GEMM.
 //!
 //! These are the substrate for every linear, attention and fully-connected
-//! layer in BERT. Accumulation is always performed in `f32` (matching the
-//! behaviour of GPU matrix cores, which accumulate half-precision products in
-//! single precision); the result is quantized to the left operand's logical
-//! [`DType`](crate::DType).
+//! layer in BERT. The inner loop is a register-blocked [`MR`]`x`[`NR`]
+//! microkernel over packed operand panels — AVX2+FMA `core::arch`
+//! intrinsics on `x86_64` hosts that support them, with a portable
+//! unrolled-array fallback selected once at runtime. Half-precision
+//! operands are packed as raw f16/bf16 bit panels (half the panel traffic)
+//! and widened lane-wise inside the microkernel.
+//!
+//! Accumulation is always performed in `f32` (matching the behaviour of GPU
+//! matrix cores, which accumulate half-precision products in single
+//! precision) over the full contraction depth in strictly ascending `k`
+//! order for every output element, on both the serial and the pooled path —
+//! results are therefore bit-identical at any thread count. The result is
+//! quantized to the left operand's logical [`DType`](crate::DType) at tile
+//! writeback, where a fused [`GemmEpilogue`] (bias / residual / scale+mask,
+//! plus the bias+GeLU pair of [`gemm_bias_gelu`]) is applied while the tile
+//! is still cache-hot.
 
 use crate::alloc::Buffer;
+use crate::dtype::{bf16_bits_to_f32, f32_to_bf16_bits, f32_to_f16_bits, DType};
 use crate::error::TensorError;
+use crate::mathfn::gelu_scalar;
 use crate::pool;
 use crate::tensor::Tensor;
 use crate::Result;
@@ -35,22 +49,622 @@ impl Transpose {
     }
 }
 
-/// Tile edge used by the blocked inner kernel.
-const BLOCK: usize = 32;
+/// Register-tile rows of the microkernel (one accumulator vector per row).
+const MR: usize = 8;
+/// Register-tile columns of the microkernel (one 8-lane f32 vector).
+const NR: usize = 8;
 /// Work threshold (in multiply-accumulates) above which rows are split
-/// across the worker pool.
+/// across the worker pool. Below it the microkernel runs inline on the
+/// calling thread and pays no task-dispatch overhead.
 const PARALLEL_THRESHOLD: usize = 1 << 21;
 /// Target multiply-accumulates per pool task. The row grain derived from
 /// this depends only on the problem shape — never on the thread count — so
 /// chunk boundaries (and therefore results) are identical at any pool size.
-const GRAIN_MACS: usize = 1 << 18;
+const GRAIN_MACS: usize = 1 << 22;
 /// Batch count at or above which `batched_gemm` parallelizes across whole
 /// slices only (one task per slice) instead of also splitting rows.
 const BATCH_SLICE_PARALLEL: usize = 8;
 
-/// Rows per pool task for an `m x n x k` GEMM, derived only from the shape.
+/// Rows per pool task for an `m x n x k` GEMM, derived only from the shape
+/// and rounded up to a whole number of [`MR`]-row panels so every task owns
+/// complete register tiles.
 fn row_grain(m: usize, n: usize, k: usize) -> usize {
-    (GRAIN_MACS / (n * k).max(1)).clamp(1, m.max(1))
+    let g = (GRAIN_MACS / (n * k).max(1)).clamp(1, m.max(1));
+    g.div_ceil(MR) * MR
+}
+
+/// An elementwise tail fused into the GEMM's tile writeback, applied while
+/// each output tile is still register/cache resident instead of as separate
+/// memory-bound kernels afterwards.
+///
+/// The fused arithmetic rounds through the output dtype between steps in
+/// exactly the order the unfused kernel sequence would (`quantize(gemm)`,
+/// then `quantize(+bias)`, ...), so a fused path is *bit-identical* to its
+/// unfused equivalent — fusion changes kernel counts and bytes moved, never
+/// numerics. The bias+GeLU epilogue is exposed separately as
+/// [`gemm_bias_gelu`] because it produces two outputs (backward needs the
+/// pre-activation).
+#[derive(Debug, Clone, Copy, Default)]
+pub enum GemmEpilogue<'e> {
+    /// Plain GEMM.
+    #[default]
+    None,
+    /// `out[i][j] += bias[j]` — bias over the output columns.
+    Bias(&'e [f32]),
+    /// `out += bias`, then `out += residual` (the residual-add that feeds
+    /// LayerNorm). `residual` is the full `m x n` output-shaped tensor.
+    BiasResidual {
+        /// Per-column bias, length `n`.
+        bias: &'e [f32],
+        /// Output-shaped residual input, length `m * n`.
+        residual: &'e [f32],
+    },
+    /// `out *= scale` (attention-score scaling by `1/sqrt(d_h)`).
+    Scale(f32),
+    /// `out = out * scale + mask` — the fused scale+mask pair feeding the
+    /// attention softmax. `mask` covers the full (batched) output,
+    /// `batch * m * n` elements.
+    ScaleMask {
+        /// Score scale factor.
+        scale: f32,
+        /// Additive mask, length `batch * m * n`.
+        mask: &'e [f32],
+    },
+}
+
+/// Internal per-slice epilogue view: like [`GemmEpilogue`] but validated,
+/// sliced to one batch slice, and including the dual-output bias+GeLU.
+#[derive(Clone, Copy)]
+enum EpView<'e> {
+    None,
+    Bias(&'e [f32]),
+    BiasGelu(&'e [f32]),
+    BiasResidual { bias: &'e [f32], residual: &'e [f32] },
+    Scale(f32),
+    ScaleMask { scale: f32, mask: &'e [f32] },
+}
+
+impl<'e> GemmEpilogue<'e> {
+    /// Validate operand lengths against the output shape and build the
+    /// executable view for batch slice 0.
+    fn validate(&self, m: usize, n: usize, batch: usize) -> Result<EpView<'e>> {
+        let check = |name: &str, len: usize, want: usize| -> Result<()> {
+            if len == want {
+                Ok(())
+            } else {
+                Err(TensorError::InvalidArgument(format!(
+                    "gemm epilogue {name} has {len} elements, output needs {want}"
+                )))
+            }
+        };
+        Ok(match *self {
+            GemmEpilogue::None => EpView::None,
+            GemmEpilogue::Bias(b) => {
+                check("bias", b.len(), n)?;
+                EpView::Bias(b)
+            }
+            GemmEpilogue::BiasResidual { bias, residual } => {
+                check("bias", bias.len(), n)?;
+                check("residual", residual.len(), batch * m * n)?;
+                EpView::BiasResidual { bias, residual }
+            }
+            GemmEpilogue::Scale(s) => EpView::Scale(s),
+            GemmEpilogue::ScaleMask { scale, mask } => {
+                check("mask", mask.len(), batch * m * n)?;
+                EpView::ScaleMask { scale, mask }
+            }
+        })
+    }
+}
+
+impl<'e> EpView<'e> {
+    /// The view for batch slice `i`: output-shaped operands (residual,
+    /// mask) are narrowed to the slice; broadcast operands are shared.
+    fn slice(self, i: usize, m: usize, n: usize) -> EpView<'e> {
+        let span = m * n;
+        match self {
+            EpView::BiasResidual { bias, residual } => {
+                EpView::BiasResidual { bias, residual: &residual[i * span..(i + 1) * span] }
+            }
+            EpView::ScaleMask { scale, mask } => {
+                EpView::ScaleMask { scale, mask: &mask[i * span..(i + 1) * span] }
+            }
+            other => other,
+        }
+    }
+
+    /// Apply the fused tail to one accumulated output value at (`row`,
+    /// `col`) of the slice, rounding through `dt` between steps exactly as
+    /// the unfused kernel chain would. `BiasGelu` is handled by the caller
+    /// (it writes two outputs).
+    #[inline]
+    fn apply(self, dt: DType, v: f32, row: usize, col: usize, n: usize) -> f32 {
+        match self {
+            EpView::None | EpView::BiasGelu(_) => dt.quantize(v),
+            EpView::Bias(b) => dt.quantize(dt.quantize(v) + b[col]),
+            EpView::BiasResidual { bias, residual } => {
+                let x = dt.quantize(dt.quantize(v) + bias[col]);
+                dt.quantize(x + residual[row * n + col])
+            }
+            EpView::Scale(s) => dt.quantize(dt.quantize(v) * s),
+            EpView::ScaleMask { scale, mask } => {
+                let x = dt.quantize(dt.quantize(v) * scale);
+                dt.quantize(x + mask[row * n + col])
+            }
+        }
+    }
+}
+
+/// The element encoding of a packed panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PanelKind {
+    /// One f32 per element.
+    F32,
+    /// Raw IEEE f16 bits, two per f32 storage slot.
+    F16,
+    /// Raw bfloat16 bits, two per f32 storage slot.
+    Bf16,
+}
+
+impl PanelKind {
+    /// Half-bit panels are used only when *both* operands share the same
+    /// half dtype; mixed-precision operand pairs fall back to f32 panels so
+    /// packing never rounds an operand below its own precision.
+    fn for_operands(a: DType, b: DType) -> PanelKind {
+        match (a, b) {
+            (DType::F16, DType::F16) => PanelKind::F16,
+            (DType::BF16, DType::BF16) => PanelKind::Bf16,
+            _ => PanelKind::F32,
+        }
+    }
+
+    /// f32 storage slots per panel of depth `k`.
+    fn panel_slots(self, k: usize) -> usize {
+        match self {
+            PanelKind::F32 => k * MR,
+            PanelKind::F16 | PanelKind::Bf16 => k * MR / 2,
+        }
+    }
+}
+
+/// A packed operand: [`MR`]-row (A) or [`NR`]-column (B) panels, k-major
+/// within each panel, zero-padded at ragged edges. Half-precision panels
+/// store raw 16-bit patterns, two per f32 slot, and are widened lane-wise
+/// inside the microkernel.
+struct PanelBuf {
+    buf: Buffer,
+    k: usize,
+    kind: PanelKind,
+}
+
+impl PanelBuf {
+    fn panel(&self, p: usize) -> &[f32] {
+        let w = self.kind.panel_slots(self.k);
+        &self.buf[p * w..(p + 1) * w]
+    }
+}
+
+/// Encode one value as the panel's 16-bit pattern.
+#[inline]
+fn half_bits(kind: PanelKind, v: f32) -> u16 {
+    match kind {
+        PanelKind::F16 => f32_to_f16_bits(v),
+        PanelKind::Bf16 => f32_to_bf16_bits(v),
+        PanelKind::F32 => unreachable!("f32 panels store full words"),
+    }
+}
+
+/// Pack `op(A)` (`m x k` logical) into [`MR`]-row panels: for each panel
+/// and each `kk`, the panel's `MR` row values are contiguous.
+fn pack_a(
+    x: &[f32],
+    stride: usize,
+    ta: Transpose,
+    m: usize,
+    k: usize,
+    kind: PanelKind,
+) -> PanelBuf {
+    let panels = m.div_ceil(MR);
+    let get = |i: usize, kk: usize| -> f32 {
+        if i >= m {
+            return 0.0;
+        }
+        match ta {
+            Transpose::No => x[i * stride + kk],
+            Transpose::Yes => x[kk * stride + i],
+        }
+    };
+    let mut buf = Buffer::zeroed(panels * kind.panel_slots(k));
+    match kind {
+        PanelKind::F32 => {
+            for p in 0..panels {
+                let base = p * k * MR;
+                for kk in 0..k {
+                    for r in 0..MR {
+                        buf[base + kk * MR + r] = get(p * MR + r, kk);
+                    }
+                }
+            }
+        }
+        PanelKind::F16 | PanelKind::Bf16 => {
+            for p in 0..panels {
+                let base = p * k * MR / 2;
+                for kk in 0..k {
+                    for s in 0..MR / 2 {
+                        let lo = half_bits(kind, get(p * MR + 2 * s, kk));
+                        let hi = half_bits(kind, get(p * MR + 2 * s + 1, kk));
+                        buf[base + kk * MR / 2 + s] =
+                            f32::from_bits(u32::from(lo) | (u32::from(hi) << 16));
+                    }
+                }
+            }
+        }
+    }
+    PanelBuf { buf, k, kind }
+}
+
+/// Pack `op(B)` (`k x n` logical) into [`NR`]-column panels: for each panel
+/// and each `kk`, the panel's `NR` column values are contiguous.
+fn pack_b(
+    x: &[f32],
+    stride: usize,
+    tb: Transpose,
+    n: usize,
+    k: usize,
+    kind: PanelKind,
+) -> PanelBuf {
+    let panels = n.div_ceil(NR);
+    let get = |kk: usize, j: usize| -> f32 {
+        if j >= n {
+            return 0.0;
+        }
+        match tb {
+            Transpose::No => x[kk * stride + j],
+            Transpose::Yes => x[j * stride + kk],
+        }
+    };
+    let mut buf = Buffer::zeroed(panels * kind.panel_slots(k));
+    match kind {
+        PanelKind::F32 => {
+            for q in 0..panels {
+                let base = q * k * NR;
+                for kk in 0..k {
+                    for c in 0..NR {
+                        buf[base + kk * NR + c] = get(kk, q * NR + c);
+                    }
+                }
+            }
+        }
+        PanelKind::F16 | PanelKind::Bf16 => {
+            for q in 0..panels {
+                let base = q * k * NR / 2;
+                for kk in 0..k {
+                    for s in 0..NR / 2 {
+                        let lo = half_bits(kind, get(kk, q * NR + 2 * s));
+                        let hi = half_bits(kind, get(kk, q * NR + 2 * s + 1));
+                        buf[base + kk * NR / 2 + s] =
+                            f32::from_bits(u32::from(lo) | (u32::from(hi) << 16));
+                    }
+                }
+            }
+        }
+    }
+    PanelBuf { buf, k, kind }
+}
+
+/// Instruction sets the microkernel can target, detected once per process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Isa {
+    Portable,
+    Avx2,
+    Avx2F16c,
+}
+
+fn isa() -> Isa {
+    static ISA: std::sync::OnceLock<Isa> = std::sync::OnceLock::new();
+    *ISA.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return if std::arch::is_x86_feature_detected!("f16c") {
+                    Isa::Avx2F16c
+                } else {
+                    Isa::Avx2
+                };
+            }
+        }
+        Isa::Portable
+    })
+}
+
+/// AVX2+FMA microkernels: one 8-lane accumulator vector per tile row,
+/// broadcast-A x vector-B outer products over the full depth.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod simd {
+    use super::{MR, NR};
+    #[allow(clippy::wildcard_imports)]
+    use std::arch::x86_64::*;
+
+    /// f32 panels: `a`/`b` point at `k * 8` floats each.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn mk_f32(
+        alpha: f32,
+        a: *const f32,
+        b: *const f32,
+        k: usize,
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        let mut c = [_mm256_setzero_ps(); MR];
+        for kk in 0..k {
+            let bv = _mm256_loadu_ps(b.add(kk * NR));
+            let ap = a.add(kk * MR);
+            for (r, cr) in c.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(alpha * *ap.add(r));
+                *cr = _mm256_fmadd_ps(av, bv, *cr);
+            }
+        }
+        for (row, cr) in acc.iter_mut().zip(&c) {
+            _mm256_storeu_ps(row.as_mut_ptr(), *cr);
+        }
+    }
+
+    /// Widen 8 bf16 bit patterns (4 f32 slots) to an f32 vector: zero-extend
+    /// each u16 lane and shift into the high half of the f32 word.
+    #[inline]
+    unsafe fn widen_bf16(p: *const f32) -> __m256 {
+        let h = _mm_loadu_si128(p.cast());
+        _mm256_castsi256_ps(_mm256_slli_epi32(_mm256_cvtepu16_epi32(h), 16))
+    }
+
+    /// bf16 panels: `a`/`b` point at `k * 4` f32 slots (two bit patterns
+    /// per slot).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn mk_bf16(
+        alpha: f32,
+        a: *const f32,
+        b: *const f32,
+        k: usize,
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        let mut c = [_mm256_setzero_ps(); MR];
+        let mut arow = [0.0f32; MR];
+        for kk in 0..k {
+            let bv = widen_bf16(b.add(kk * NR / 2));
+            _mm256_storeu_ps(arow.as_mut_ptr(), widen_bf16(a.add(kk * MR / 2)));
+            for (r, cr) in c.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(alpha * arow[r]);
+                *cr = _mm256_fmadd_ps(av, bv, *cr);
+            }
+        }
+        for (row, cr) in acc.iter_mut().zip(&c) {
+            _mm256_storeu_ps(row.as_mut_ptr(), *cr);
+        }
+    }
+
+    /// f16 panels (requires F16C for the 8-lane half-to-single convert).
+    #[target_feature(enable = "avx2,fma,f16c")]
+    pub unsafe fn mk_f16(
+        alpha: f32,
+        a: *const f32,
+        b: *const f32,
+        k: usize,
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        let mut c = [_mm256_setzero_ps(); MR];
+        let mut arow = [0.0f32; MR];
+        for kk in 0..k {
+            let bv = _mm256_cvtph_ps(_mm_loadu_si128(b.add(kk * NR / 2).cast()));
+            let av8 = _mm256_cvtph_ps(_mm_loadu_si128(a.add(kk * MR / 2).cast()));
+            _mm256_storeu_ps(arow.as_mut_ptr(), av8);
+            for (r, cr) in c.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(alpha * arow[r]);
+                *cr = _mm256_fmadd_ps(av, bv, *cr);
+            }
+        }
+        for (row, cr) in acc.iter_mut().zip(&c) {
+            _mm256_storeu_ps(row.as_mut_ptr(), *cr);
+        }
+    }
+}
+
+/// Portable microkernel: the same outer-product loop over fixed-width
+/// `[f32; 8]` arrays (auto-vectorizable), with identical per-element
+/// accumulation order to the SIMD variants.
+mod portable {
+    use super::{bf16_bits_to_f32, PanelKind, MR, NR};
+    use crate::dtype::f16_bits_to_f32;
+
+    /// Decode the 8 panel values at depth `kk`.
+    #[inline]
+    fn load8(panel: &[f32], kk: usize, kind: PanelKind) -> [f32; 8] {
+        match kind {
+            PanelKind::F32 => panel[kk * 8..kk * 8 + 8].try_into().expect("panel width"),
+            PanelKind::F16 | PanelKind::Bf16 => {
+                let mut out = [0.0f32; 8];
+                for s in 0..4 {
+                    let bits = panel[kk * 4 + s].to_bits();
+                    let (lo, hi) = ((bits & 0xFFFF) as u16, (bits >> 16) as u16);
+                    let (lo, hi) = if kind == PanelKind::F16 {
+                        (f16_bits_to_f32(lo), f16_bits_to_f32(hi))
+                    } else {
+                        (bf16_bits_to_f32(lo), bf16_bits_to_f32(hi))
+                    };
+                    out[2 * s] = lo;
+                    out[2 * s + 1] = hi;
+                }
+                out
+            }
+        }
+    }
+
+    pub fn mk(
+        kind: PanelKind,
+        alpha: f32,
+        a: &[f32],
+        b: &[f32],
+        k: usize,
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        let mut c = [[0.0f32; NR]; MR];
+        for kk in 0..k {
+            let b8 = load8(b, kk, kind);
+            let a8 = load8(a, kk, kind);
+            for (r, cr) in c.iter_mut().enumerate() {
+                let av = alpha * a8[r];
+                for (x, bv) in cr.iter_mut().zip(&b8) {
+                    *x += av * bv;
+                }
+            }
+        }
+        *acc = c;
+    }
+}
+
+/// Compute one full-depth [`MR`]`x`[`NR`] register tile into `acc`,
+/// dispatching to the best microkernel for this host and panel encoding.
+#[inline]
+fn micro_tile(
+    kind: PanelKind,
+    alpha: f32,
+    apan: &[f32],
+    bpan: &[f32],
+    k: usize,
+    acc: &mut [[f32; NR]; MR],
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let is = isa();
+        // SAFETY: the target features were verified by `isa()` at runtime,
+        // and each panel slice holds exactly `panel_slots(k)` f32 words, so
+        // every `kk`-indexed load below stays in bounds.
+        #[allow(unsafe_code)]
+        match kind {
+            PanelKind::F32 if is >= Isa::Avx2 => {
+                unsafe { simd::mk_f32(alpha, apan.as_ptr(), bpan.as_ptr(), k, acc) };
+                return;
+            }
+            PanelKind::Bf16 if is >= Isa::Avx2 => {
+                unsafe { simd::mk_bf16(alpha, apan.as_ptr(), bpan.as_ptr(), k, acc) };
+                return;
+            }
+            PanelKind::F16 if is >= Isa::Avx2F16c => {
+                unsafe { simd::mk_f16(alpha, apan.as_ptr(), bpan.as_ptr(), k, acc) };
+                return;
+            }
+            _ => {}
+        }
+    }
+    portable::mk(kind, alpha, apan, bpan, k, acc);
+}
+
+/// Compute the output rows `[row0, row0 + out.len() / n)` of one slice from
+/// packed panels, accumulating each tile over the full depth and applying
+/// `beta`-preloaded values, the epilogue, and output quantization at
+/// writeback. `act` receives the activated second output for the
+/// bias+GeLU epilogue.
+#[allow(clippy::too_many_arguments)]
+fn compute_rows(
+    alpha: f32,
+    apan: &PanelBuf,
+    bpan: &PanelBuf,
+    out: &mut [f32],
+    mut act: Option<&mut [f32]>,
+    row0: usize,
+    n: usize,
+    k: usize,
+    dt: DType,
+    ep: EpView<'_>,
+) {
+    debug_assert_eq!(row0 % MR, 0, "tasks own whole register-tile row panels");
+    let rows = out.len() / n;
+    let p0 = row0 / MR;
+    let p1 = (row0 + rows).div_ceil(MR);
+    let nq = n.div_ceil(NR);
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in p0..p1 {
+        let gr0 = p * MR;
+        let tile_rows = (row0 + rows - gr0).min(MR);
+        for q in 0..nq {
+            let j0 = q * NR;
+            let tile_cols = (n - j0).min(NR);
+            micro_tile(apan.kind, alpha, apan.panel(p), bpan.panel(q), k, &mut acc);
+            for (r, arow) in acc.iter().enumerate().take(tile_rows) {
+                let gi = gr0 + r;
+                let base = (gi - row0) * n + j0;
+                if let EpView::BiasGelu(bias) = ep {
+                    let act = act.as_deref_mut().expect("bias+gelu needs a second output");
+                    for (c, &av) in arow.iter().enumerate().take(tile_cols) {
+                        let pre = dt.quantize(dt.quantize(out[base + c] + av) + bias[j0 + c]);
+                        out[base + c] = pre;
+                        act[base + c] = dt.quantize(gelu_scalar(pre));
+                    }
+                } else {
+                    for (c, &av) in arow.iter().enumerate().take(tile_cols) {
+                        out[base + c] = ep.apply(dt, out[base + c] + av, gi, j0 + c, n);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pack both operands and run the microkernel over one 2-D slice,
+/// splitting row panels across the worker pool for large problems.
+#[allow(clippy::too_many_arguments)]
+fn gemm_into(
+    ta: Transpose,
+    tb: Transpose,
+    alpha: f32,
+    a: &[f32],
+    a_stride: usize,
+    b: &[f32],
+    b_stride: usize,
+    out: &mut [f32],
+    act: Option<&mut [f32]>,
+    m: usize,
+    n: usize,
+    k: usize,
+    kind: PanelKind,
+    dt: DType,
+    ep: EpView<'_>,
+) {
+    let apan = pack_a(a, a_stride, ta, m, k, kind);
+    let bpan = pack_b(b, b_stride, tb, n, k, kind);
+    if m * n * k >= PARALLEL_THRESHOLD && m >= 2 {
+        let grain = row_grain(m, n, k);
+        if let Some(act) = act {
+            // Dual-output (bias+GeLU): split both outputs into matching
+            // row chunks and dispatch them as one task wave.
+            let apan = &apan;
+            let bpan = &bpan;
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
+                Vec::with_capacity(m.div_ceil(grain));
+            for (ci, (oc, ac)) in
+                out.chunks_mut(grain * n).zip(act.chunks_mut(grain * n)).enumerate()
+            {
+                tasks.push(Box::new(move || {
+                    compute_rows(alpha, apan, bpan, oc, Some(ac), ci * grain, n, k, dt, ep);
+                }));
+            }
+            pool::run_tasks(tasks);
+        } else {
+            pool::parallel_for_mut(out, grain * n, |offset, chunk| {
+                compute_rows(alpha, &apan, &bpan, chunk, None, offset / n, n, k, dt, ep);
+            });
+        }
+    } else {
+        compute_rows(alpha, &apan, &bpan, out, act, 0, n, k, dt, ep);
+    }
+}
+
+fn op_dims(rows: usize, cols: usize, t: Transpose) -> (usize, usize) {
+    match t {
+        Transpose::No => (rows, cols),
+        Transpose::Yes => (cols, rows),
+    }
 }
 
 /// Compute `alpha * op(A) * op(B) + beta * C` for 2-D tensors.
@@ -84,6 +698,27 @@ pub fn gemm(
     beta: f32,
     c: Option<&Tensor>,
 ) -> Result<Tensor> {
+    gemm_ep(ta, tb, alpha, a, b, beta, c, GemmEpilogue::None)
+}
+
+/// [`gemm`] with a fused [`GemmEpilogue`] applied to output tiles at
+/// writeback, while they are still cache-hot.
+///
+/// # Errors
+///
+/// As [`gemm`], plus [`TensorError::InvalidArgument`] when an epilogue
+/// operand's length does not match the output shape.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_ep(
+    ta: Transpose,
+    tb: Transpose,
+    alpha: f32,
+    a: &Tensor,
+    b: &Tensor,
+    beta: f32,
+    c: Option<&Tensor>,
+    ep: GemmEpilogue<'_>,
+) -> Result<Tensor> {
     if a.shape().rank() != 2 || b.shape().rank() != 2 {
         return Err(TensorError::InvalidArgument(format!(
             "gemm requires 2-d operands, got ranks {} and {}",
@@ -96,6 +731,7 @@ pub fn gemm(
     if ka != kb {
         return Err(TensorError::shape("gemm inner dimension", a.dims(), b.dims()));
     }
+    let view = ep.validate(m, n, 1)?;
     let mut out = Buffer::zeroed(m * n);
     if let Some(c) = c {
         if c.dims() != [m, n] {
@@ -107,13 +743,93 @@ pub fn gemm(
             }
         }
     }
-    gemm_into(ta, tb, alpha, a.as_slice(), a.dims(), b.as_slice(), b.dims(), &mut out, m, n, ka);
-    let mut t = Tensor::from_buffer(out, &[m, n])?;
     let dt = a.dtype();
-    if dt.is_half() {
-        t = t.to_dtype(dt);
-    }
+    let kind = PanelKind::for_operands(dt, b.dtype());
+    gemm_into(
+        ta,
+        tb,
+        alpha,
+        a.as_slice(),
+        a.dims()[1],
+        b.as_slice(),
+        b.dims()[1],
+        &mut out,
+        None,
+        m,
+        n,
+        ka,
+        kind,
+        dt,
+        view,
+    );
+    let mut t = Tensor::from_buffer(out, &[m, n])?;
+    t.set_dtype_raw(dt);
     Ok(t)
+}
+
+/// Fused `linear + GeLU`: `pre = op(A) * op(B) + bias`, `act = GeLU(pre)`,
+/// both produced by one kernel launch — the activation is evaluated on each
+/// output tile while it is register-resident, and the pre-activation is
+/// stored too because the backward pass consumes it.
+///
+/// Returns `(pre, act)`, both in `a`'s logical dtype, with values
+/// bit-identical to the unfused `gemm` → bias-add → `gelu` sequence.
+///
+/// # Errors
+///
+/// As [`gemm`], plus a length check on `bias` (`n` elements).
+pub fn gemm_bias_gelu(
+    ta: Transpose,
+    tb: Transpose,
+    alpha: f32,
+    a: &Tensor,
+    b: &Tensor,
+    bias: &Tensor,
+) -> Result<(Tensor, Tensor)> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(TensorError::InvalidArgument(format!(
+            "gemm requires 2-d operands, got ranks {} and {}",
+            a.shape().rank(),
+            b.shape().rank()
+        )));
+    }
+    let (m, ka) = op_dims(a.dims()[0], a.dims()[1], ta);
+    let (kb, n) = op_dims(b.dims()[0], b.dims()[1], tb);
+    if ka != kb {
+        return Err(TensorError::shape("gemm inner dimension", a.dims(), b.dims()));
+    }
+    if bias.numel() != n {
+        return Err(TensorError::InvalidArgument(format!(
+            "gemm bias+gelu epilogue: bias has {} elements, output needs {n}",
+            bias.numel()
+        )));
+    }
+    let mut pre = Buffer::zeroed(m * n);
+    let mut act = Buffer::zeroed(m * n);
+    let dt = a.dtype();
+    let kind = PanelKind::for_operands(dt, b.dtype());
+    gemm_into(
+        ta,
+        tb,
+        alpha,
+        a.as_slice(),
+        a.dims()[1],
+        b.as_slice(),
+        b.dims()[1],
+        &mut pre,
+        Some(&mut act),
+        m,
+        n,
+        ka,
+        kind,
+        dt,
+        EpView::BiasGelu(bias.as_slice()),
+    );
+    let mut pre = Tensor::from_buffer(pre, &[m, n])?;
+    pre.set_dtype_raw(dt);
+    let mut act = Tensor::from_buffer(act, &[m, n])?;
+    act.set_dtype_raw(dt);
+    Ok((pre, act))
 }
 
 /// Compute a batched GEMM over 3-D tensors `[batch, rows, cols]`.
@@ -133,6 +849,23 @@ pub fn batched_gemm(
     a: &Tensor,
     b: &Tensor,
 ) -> Result<Tensor> {
+    batched_gemm_ep(ta, tb, alpha, a, b, GemmEpilogue::None)
+}
+
+/// [`batched_gemm`] with a fused [`GemmEpilogue`]. Output-shaped epilogue
+/// operands (residual, mask) cover the whole `[batch, m, n]` output.
+///
+/// # Errors
+///
+/// As [`batched_gemm`], plus epilogue operand length checks.
+pub fn batched_gemm_ep(
+    ta: Transpose,
+    tb: Transpose,
+    alpha: f32,
+    a: &Tensor,
+    b: &Tensor,
+    ep: GemmEpilogue<'_>,
+) -> Result<Tensor> {
     if a.shape().rank() != 3 || b.shape().rank() != 3 {
         return Err(TensorError::InvalidArgument(format!(
             "batched_gemm requires 3-d operands, got ranks {} and {}",
@@ -149,11 +882,12 @@ pub fn batched_gemm(
     if ka != kb {
         return Err(TensorError::shape("batched_gemm inner dimension", a.dims(), b.dims()));
     }
+    let view = ep.validate(m, n, batch)?;
     let a_stride = a.dims()[1] * a.dims()[2];
     let b_stride = b.dims()[1] * b.dims()[2];
     let mut out = Buffer::zeroed(batch * m * n);
-    let a_dims2 = [a.dims()[1], a.dims()[2]];
-    let b_dims2 = [b.dims()[1], b.dims()[2]];
+    let dt = a.dtype();
+    let kind = PanelKind::for_operands(dt, b.dtype());
     if batch * m * n * ka >= PARALLEL_THRESHOLD {
         // Parallelize across batch x row-chunks: this is the `B*h`-wide
         // attention shape of the paper (§3.2.2), where the batch dimension
@@ -163,18 +897,18 @@ pub fn batched_gemm(
         let grain = if batch >= BATCH_SLICE_PARALLEL { m } else { row_grain(m, n, ka) };
         let a_sl = a.as_slice();
         let b_sl = b.as_slice();
+        let (a_rs, b_rs) = (a.dims()[2], b.dims()[2]);
         let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
             Vec::with_capacity(batch * m.div_ceil(grain));
         for (i, slice_out) in out.chunks_mut(m * n).enumerate() {
             let a_s = &a_sl[i * a_stride..(i + 1) * a_stride];
             let b_s = &b_sl[i * b_stride..(i + 1) * b_stride];
+            let ep_s = view.slice(i, m, n);
             for (ci, chunk) in slice_out.chunks_mut(grain * n).enumerate() {
                 tasks.push(Box::new(move || {
-                    let ap = pack(a_s, &a_dims2, ta);
-                    let bp = pack(b_s, &b_dims2, tb);
-                    let row0 = ci * grain;
-                    let rows = chunk.len() / n;
-                    kernel(alpha, &ap[row0 * ka..(row0 + rows) * ka], &bp, chunk, rows, n, ka);
+                    let apan = pack_a(a_s, a_rs, ta, m, ka, kind);
+                    let bpan = pack_b(b_s, b_rs, tb, n, ka, kind);
+                    compute_rows(alpha, &apan, &bpan, chunk, None, ci * grain, n, ka, dt, ep_s);
                 }));
             }
         }
@@ -186,130 +920,23 @@ pub fn batched_gemm(
                 tb,
                 alpha,
                 &a.as_slice()[i * a_stride..(i + 1) * a_stride],
-                &a_dims2,
+                a.dims()[2],
                 &b.as_slice()[i * b_stride..(i + 1) * b_stride],
-                &b_dims2,
+                b.dims()[2],
                 chunk,
+                None,
                 m,
                 n,
                 ka,
+                kind,
+                dt,
+                view.slice(i, m, n),
             );
         }
     }
     let mut t = Tensor::from_buffer(out, &[batch, m, n])?;
-    let dt = a.dtype();
-    if dt.is_half() {
-        t = t.to_dtype(dt);
-    }
+    t.set_dtype_raw(dt);
     Ok(t)
-}
-
-fn op_dims(rows: usize, cols: usize, t: Transpose) -> (usize, usize) {
-    match t {
-        Transpose::No => (rows, cols),
-        Transpose::Yes => (cols, rows),
-    }
-}
-
-/// A packed GEMM operand: either the original slice (untransposed operands
-/// are already row-major) or a pooled transposed copy. The owned variant
-/// recycles through [`crate::alloc`], so each worker thread's pack scratch
-/// is reused across kernel launches instead of reallocated.
-enum Packed<'x> {
-    Borrowed(&'x [f32]),
-    Owned(Buffer),
-}
-
-impl std::ops::Deref for Packed<'_> {
-    type Target = [f32];
-    fn deref(&self) -> &[f32] {
-        match self {
-            Packed::Borrowed(s) => s,
-            Packed::Owned(b) => b,
-        }
-    }
-}
-
-/// Pack `op(X)` as a row-major `rows x cols` buffer. Untransposed operands
-/// are already in that layout, so they are borrowed as-is (zero-copy); only
-/// `Transpose::Yes` operands are materialized into a transposed copy.
-fn pack<'x>(x: &'x [f32], dims: &[usize; 2], t: Transpose) -> Packed<'x> {
-    match t {
-        Transpose::No => Packed::Borrowed(x),
-        Transpose::Yes => {
-            let (r, c) = (dims[0], dims[1]);
-            let mut out = Buffer::zeroed(r * c);
-            for i in 0..r {
-                for j in 0..c {
-                    out[j * r + i] = x[i * c + j];
-                }
-            }
-            Packed::Owned(out)
-        }
-    }
-}
-
-/// Accumulate `alpha * op(A) * op(B)` into `out` (`m x n`, row-major).
-///
-/// Large problems are split into row chunks executed on the persistent
-/// worker pool; each output row is produced by exactly one chunk with an
-/// accumulation order independent of the chunking, so results are
-/// bit-identical to the serial path at any thread count.
-#[allow(clippy::too_many_arguments)]
-fn gemm_into(
-    ta: Transpose,
-    tb: Transpose,
-    alpha: f32,
-    a: &[f32],
-    a_dims: &[usize],
-    b: &[f32],
-    b_dims: &[usize],
-    out: &mut [f32],
-    m: usize,
-    n: usize,
-    k: usize,
-) {
-    let a_packed = pack(a, &[a_dims[0], a_dims[1]], ta);
-    let b_packed = pack(b, &[b_dims[0], b_dims[1]], tb);
-    let a_packed: &[f32] = &a_packed;
-    let b_packed: &[f32] = &b_packed;
-    if m * n * k >= PARALLEL_THRESHOLD && m >= 2 {
-        let grain = row_grain(m, n, k);
-        pool::parallel_for_mut(out, grain * n, |offset, chunk| {
-            let row0 = offset / n;
-            let rows = chunk.len() / n;
-            kernel(alpha, &a_packed[row0 * k..(row0 + rows) * k], b_packed, chunk, rows, n, k);
-        });
-    } else {
-        kernel(alpha, a_packed, b_packed, out, m, n, k);
-    }
-}
-
-/// Blocked i-k-j micro kernel on packed row-major operands.
-fn kernel(alpha: f32, a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
-    for i0 in (0..m).step_by(BLOCK) {
-        let i1 = (i0 + BLOCK).min(m);
-        for k0 in (0..k).step_by(BLOCK) {
-            let k1 = (k0 + BLOCK).min(k);
-            for j0 in (0..n).step_by(BLOCK) {
-                let j1 = (j0 + BLOCK).min(n);
-                for i in i0..i1 {
-                    let arow = &a[i * k..(i + 1) * k];
-                    let orow = &mut out[i * n..(i + 1) * n];
-                    for kk in k0..k1 {
-                        let av = alpha * arow[kk];
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let brow = &b[kk * n..(kk + 1) * n];
-                        for j in j0..j1 {
-                            orow[j] += av * brow[j];
-                        }
-                    }
-                }
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -397,6 +1024,49 @@ mod tests {
     }
 
     #[test]
+    fn rejects_epilogue_operand_mismatches() {
+        let a = Tensor::zeros(&[4, 3]);
+        let b = Tensor::zeros(&[3, 5]);
+        let short = vec![0.0f32; 4];
+        assert!(gemm_ep(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            None,
+            GemmEpilogue::Bias(&short)
+        )
+        .is_err());
+        let bias = vec![0.0f32; 5];
+        assert!(gemm_ep(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            None,
+            GemmEpilogue::BiasResidual { bias: &bias, residual: &short }
+        )
+        .is_err());
+        let ab = Tensor::zeros(&[2, 4, 3]);
+        let bb = Tensor::zeros(&[2, 3, 5]);
+        assert!(batched_gemm_ep(
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &ab,
+            &bb,
+            GemmEpilogue::ScaleMask { scale: 1.0, mask: &bias }
+        )
+        .is_err());
+        let bad_bias = Tensor::zeros(&[4]);
+        assert!(gemm_bias_gelu(Transpose::No, Transpose::No, 1.0, &a, &b, &bad_bias).is_err());
+    }
+
+    #[test]
     fn large_gemm_uses_parallel_path_and_matches() {
         let mut rng = StdRng::seed_from_u64(11);
         let (m, n, k) = (160, 96, 150); // m*n*k > PARALLEL_THRESHOLD
@@ -462,8 +1132,152 @@ mod tests {
     }
 
     #[test]
+    fn half_panel_packing_is_bit_lossless() {
+        // Pre-quantized half values survive the u16 panel round trip
+        // exactly: a half GEMM against the identity returns the input.
+        for dt in [DType::F16, DType::BF16] {
+            let mut rng = StdRng::seed_from_u64(23);
+            let a = rand_tensor(&mut rng, &[11, 11]).to_dtype(dt);
+            let eye = Tensor::eye(11).to_dtype(dt);
+            let out = gemm(Transpose::No, Transpose::No, 1.0, &a, &eye, 0.0, None).unwrap();
+            assert_eq!(out.as_slice(), a.as_slice(), "{dt:?}");
+        }
+    }
+
+    /// The unfused reference chain for each epilogue, rounding through `dt`
+    /// between steps exactly like the standalone kernels do.
+    fn unfused_reference(base: &Tensor, ep: &GemmEpilogue<'_>, dt: DType) -> Vec<f32> {
+        let n = *base.dims().last().unwrap();
+        let out: Vec<f32> = match *ep {
+            GemmEpilogue::None => base.as_slice().to_vec(),
+            GemmEpilogue::Bias(b) => base
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| dt.quantize(v + b[i % n]))
+                .collect(),
+            GemmEpilogue::BiasResidual { bias, residual } => base
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| dt.quantize(dt.quantize(v + bias[i % n]) + residual[i]))
+                .collect(),
+            GemmEpilogue::Scale(s) => base.as_slice().iter().map(|&v| dt.quantize(v * s)).collect(),
+            GemmEpilogue::ScaleMask { scale, mask } => base
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| dt.quantize(dt.quantize(v * scale) + mask[i]))
+                .collect(),
+        };
+        out
+    }
+
+    #[test]
+    fn fused_epilogues_match_unfused_chain_bitwise() {
+        let (m, n, k) = (13, 10, 21);
+        for dt in [DType::F32, DType::F16, DType::BF16] {
+            let mut rng = StdRng::seed_from_u64(31);
+            let a = rand_tensor(&mut rng, &[m, k]).to_dtype(dt);
+            let b = rand_tensor(&mut rng, &[k, n]).to_dtype(dt);
+            let bias: Vec<f32> = (0..n).map(|_| dt.quantize(rng.gen_range(-1.0..1.0))).collect();
+            let res: Vec<f32> = (0..m * n).map(|_| dt.quantize(rng.gen_range(-1.0..1.0))).collect();
+            let base = gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, None).unwrap();
+            let eps = [
+                GemmEpilogue::Bias(&bias),
+                GemmEpilogue::BiasResidual { bias: &bias, residual: &res },
+                GemmEpilogue::Scale(0.125),
+                GemmEpilogue::ScaleMask { scale: 0.125, mask: &res },
+            ];
+            for ep in eps {
+                let fused =
+                    gemm_ep(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, None, ep).unwrap();
+                let want = unfused_reference(&base, &ep, dt);
+                assert_eq!(fused.as_slice(), &want[..], "{dt:?} {ep:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_bias_gelu_matches_unfused_sequence_bitwise() {
+        let (m, n, k) = (9, 14, 17);
+        for dt in [DType::F32, DType::F16] {
+            let mut rng = StdRng::seed_from_u64(41);
+            let a = rand_tensor(&mut rng, &[m, k]).to_dtype(dt);
+            let b = rand_tensor(&mut rng, &[k, n]).to_dtype(dt);
+            let bias_v: Vec<f32> = (0..n).map(|_| dt.quantize(rng.gen_range(-1.0..1.0))).collect();
+            let bias = Tensor::from_vec(bias_v.clone(), &[n]).unwrap();
+            let (pre, act) =
+                gemm_bias_gelu(Transpose::No, Transpose::No, 1.0, &a, &b, &bias).unwrap();
+            let base = gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, None).unwrap();
+            for (i, (&p, &g)) in pre.as_slice().iter().zip(act.as_slice()).enumerate() {
+                let want_pre = dt.quantize(base.as_slice()[i] + bias_v[i % n]);
+                assert_eq!(p, want_pre, "{dt:?} pre[{i}]");
+                assert_eq!(g, dt.quantize(gelu_scalar(want_pre)), "{dt:?} act[{i}]");
+            }
+            assert_eq!(pre.dtype(), dt);
+            assert_eq!(act.dtype(), dt);
+        }
+    }
+
+    #[test]
+    fn batched_scale_mask_epilogue_slices_the_mask() {
+        let (batch, m, n, k) = (3, 5, 4, 6);
+        let mut rng = StdRng::seed_from_u64(47);
+        let a = rand_tensor(&mut rng, &[batch, m, k]);
+        let b = rand_tensor(&mut rng, &[batch, n, k]);
+        let mask: Vec<f32> = (0..batch * m * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let scale = 0.5;
+        let fused = batched_gemm_ep(
+            Transpose::No,
+            Transpose::Yes,
+            1.0,
+            &a,
+            &b,
+            GemmEpilogue::ScaleMask { scale, mask: &mask },
+        )
+        .unwrap();
+        let base = batched_gemm(Transpose::No, Transpose::Yes, 1.0, &a, &b).unwrap();
+        for (i, (&f, &v)) in fused.as_slice().iter().zip(base.as_slice()).enumerate() {
+            assert!((f - (v * scale + mask[i])).abs() < 1e-5, "[{i}]");
+        }
+    }
+
+    #[test]
+    fn ragged_shapes_match_naive_for_all_dtypes() {
+        // Shapes deliberately not multiples of the 8x8 register tile.
+        let shapes = [(1, 1, 1), (7, 9, 5), (8, 8, 8), (17, 23, 31), (9, 65, 12)];
+        for dt in [DType::F32, DType::F16, DType::BF16] {
+            for &(m, n, k) in &shapes {
+                let mut rng = StdRng::seed_from_u64(m as u64 * 31 + n as u64);
+                let a = rand_tensor(&mut rng, &[m, k]).to_dtype(dt);
+                let b = rand_tensor(&mut rng, &[k, n]).to_dtype(dt);
+                let got = gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, None).unwrap();
+                let want = naive(Transpose::No, Transpose::No, &a, &b, m, n, k);
+                let tol = match dt {
+                    DType::F32 => 1e-4 * (k as f32).max(1.0),
+                    DType::F16 => 3e-3 * (k as f32).max(1.0),
+                    DType::BF16 => 2e-2 * (k as f32).max(1.0),
+                };
+                for (g, w) in got.as_slice().iter().zip(&want) {
+                    assert!((g - w).abs() < tol, "{dt:?} ({m},{n},{k}): {g} vs {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn transpose_letters() {
         assert_eq!(Transpose::No.letter(), 'n');
         assert_eq!(Transpose::Yes.letter(), 't');
+    }
+
+    #[test]
+    fn row_grain_is_tile_aligned() {
+        for (m, n, k) in [(1, 1, 1), (512, 1024, 1024), (100, 64, 64), (4096, 64, 64)] {
+            let g = row_grain(m, n, k);
+            assert_eq!(g % MR, 0, "grain {g} not a multiple of MR for ({m},{n},{k})");
+            assert!(g >= 1);
+        }
     }
 }

@@ -44,6 +44,7 @@ pub mod error;
 pub mod fault;
 pub mod gemm;
 pub mod init;
+pub mod mathfn;
 pub mod pool;
 pub mod shape;
 pub mod tensor;
@@ -55,11 +56,12 @@ pub use dtype::DType;
 pub use error::TensorError;
 pub use fault::{Fault, FaultKind, FaultPlan};
 pub use gemm::{batched_gemm, gemm, Transpose};
+pub use gemm::{batched_gemm_ep, gemm_bias_gelu, gemm_ep, GemmEpilogue};
 pub use shape::Shape;
 pub use tensor::Tensor;
 pub use trace::{
-    summarize, AccessSet, BufId, Category, GemmSpec, Group, MemoryProfile, OpKind, OpRecord, Phase,
-    Totals, Tracer,
+    summarize, AccessSet, BufId, Category, Epilogue, GemmSpec, Group, MemoryProfile, OpKind,
+    OpRecord, Phase, Totals, Tracer,
 };
 
 /// Result alias used across the tensor substrate.

@@ -194,6 +194,14 @@ impl Tensor {
         Ok(())
     }
 
+    /// Stamp the logical dtype without touching the stored values — for
+    /// kernels (the fused GEMM writeback) that already rounded every
+    /// element through `dtype` as it was produced, making a further
+    /// [`Tensor::to_dtype`] pass a pure waste of bandwidth.
+    pub(crate) fn set_dtype_raw(&mut self, dtype: DType) {
+        self.dtype = dtype;
+    }
+
     /// Return a copy cast to `dtype` (values rounded through the target
     /// representation).
     #[must_use]

@@ -322,8 +322,64 @@ impl fmt::Display for Phase {
     }
 }
 
+/// An epilogue fused into a GEMM kernel: extra elementwise work applied to
+/// each output tile while it is still register/cache resident, instead of
+/// being launched as separate kernels afterwards (the companion accelerator
+/// paper's bias+activation / residual / scale+mask fusions).
+///
+/// The variant determines the *merged* FLOP and byte accounting of a fused
+/// [`GemmSpec`]: extra FLOPs per output element plus any extra operand
+/// reads, so conservation rules keep balancing over fused streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Epilogue {
+    /// Plain GEMM, no fused tail.
+    #[default]
+    None,
+    /// `out += bias` (bias broadcast over the token dimension).
+    Bias,
+    /// `out += bias` followed by GeLU. The kernel writes *two* outputs:
+    /// the pre-activation (needed by the backward pass) and the activated
+    /// tensor, so written bytes double.
+    BiasGelu,
+    /// `out += bias; out += residual` — the residual-add feeding LayerNorm.
+    BiasResidual,
+    /// `out *= scale` (attention score scaling by `1/sqrt(d_h)`).
+    Scale,
+    /// `out = out * scale + mask` — the attention scale+mask pair fused
+    /// ahead of softmax.
+    ScaleMask,
+}
+
+impl Epilogue {
+    /// Extra FLOPs per output element contributed by the fused tail.
+    #[must_use]
+    pub const fn flops_per_element(self) -> u64 {
+        match self {
+            Epilogue::None => 0,
+            Epilogue::Bias | Epilogue::Scale => 1,
+            // bias add + the 12-FLOP GeLU evaluation.
+            Epilogue::BiasGelu => 13,
+            Epilogue::BiasResidual | Epilogue::ScaleMask => 2,
+        }
+    }
+
+    /// Trace-label suffix (empty for [`Epilogue::None`]).
+    #[must_use]
+    pub const fn label_suffix(self) -> &'static str {
+        match self {
+            Epilogue::None => "",
+            Epilogue::Bias => "+bias",
+            Epilogue::BiasGelu => "+bias+gelu",
+            Epilogue::BiasResidual => "+bias+res",
+            Epilogue::Scale => "+scale",
+            Epilogue::ScaleMask => "+scale+mask",
+        }
+    }
+}
+
 /// The `(transposeA, transposeB, M, N, K, batch)` descriptor of a GEMM —
-/// exactly the label format of the paper's Fig. 6.
+/// exactly the label format of the paper's Fig. 6 — plus the fused
+/// [`Epilogue`], if any.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GemmSpec {
     /// Whether operand A is transposed.
@@ -339,13 +395,16 @@ pub struct GemmSpec {
     /// Number of independent GEMMs launched as one batched kernel
     /// (1 for a plain GEMM).
     pub batch: usize,
+    /// Elementwise tail fused into the kernel ([`Epilogue::None`] for a
+    /// plain GEMM).
+    pub epilogue: Epilogue,
 }
 
 impl GemmSpec {
     /// A plain (non-batched) GEMM descriptor.
     #[must_use]
     pub fn new(ta: Transpose, tb: Transpose, m: usize, n: usize, k: usize) -> Self {
-        GemmSpec { ta, tb, m, n, k, batch: 1 }
+        GemmSpec { ta, tb, m, n, k, batch: 1, epilogue: Epilogue::None }
     }
 
     /// A batched GEMM descriptor.
@@ -358,27 +417,66 @@ impl GemmSpec {
         k: usize,
         batch: usize,
     ) -> Self {
-        GemmSpec { ta, tb, m, n, k, batch }
+        GemmSpec { ta, tb, m, n, k, batch, epilogue: Epilogue::None }
     }
 
-    /// Multiply-accumulate FLOP count: `2 * m * n * k * batch`.
+    /// The same descriptor with a fused epilogue attached.
     #[must_use]
-    pub fn flops(&self) -> u64 {
+    pub fn with_epilogue(mut self, epilogue: Epilogue) -> Self {
+        self.epilogue = epilogue;
+        self
+    }
+
+    /// Output elements across the whole batch: `m * n * batch`.
+    #[must_use]
+    pub fn out_elements(&self) -> u64 {
+        self.m as u64 * self.n as u64 * self.batch as u64
+    }
+
+    /// Multiply-accumulate FLOP count of the contraction alone:
+    /// `2 * m * n * k * batch` — independent of any fused epilogue.
+    #[must_use]
+    pub fn mac_flops(&self) -> u64 {
         2 * self.m as u64 * self.n as u64 * self.k as u64 * self.batch as u64
     }
 
+    /// Total FLOP count: the contraction plus the fused epilogue's
+    /// per-output-element work.
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        self.mac_flops() + self.epilogue.flops_per_element() * self.out_elements()
+    }
+
+    /// Extra operand elements the fused epilogue reads beyond the two GEMM
+    /// operands: bias vectors are `m` per batch slice; residual and mask
+    /// tensors are full `m x n` per slice.
+    #[must_use]
+    pub fn epilogue_read_elements(&self) -> u64 {
+        let bias = (self.m * self.batch) as u64;
+        let full = self.out_elements();
+        match self.epilogue {
+            Epilogue::None | Epilogue::Scale => 0,
+            Epilogue::Bias | Epilogue::BiasGelu => bias,
+            Epilogue::BiasResidual => bias + full,
+            Epilogue::ScaleMask => full,
+        }
+    }
+
     /// Bytes read from memory: both operands once (ideal reuse within the
-    /// kernel), at the given input precision.
+    /// kernel) plus the fused epilogue's operands, at the given precision.
     #[must_use]
     pub fn bytes_read(&self, dtype: DType) -> u64 {
         let per_batch = (self.m * self.k + self.k * self.n) as u64;
-        per_batch * self.batch as u64 * dtype.size_bytes()
+        (per_batch * self.batch as u64 + self.epilogue_read_elements()) * dtype.size_bytes()
     }
 
-    /// Bytes written: the output matrix, at the given output precision.
+    /// Bytes written: the output matrix at the given precision —
+    /// doubled for [`Epilogue::BiasGelu`], whose kernel stores both the
+    /// pre-activation and the activated output.
     #[must_use]
     pub fn bytes_written(&self, dtype: DType) -> u64 {
-        (self.m * self.n * self.batch) as u64 * dtype.size_bytes()
+        let copies = if self.epilogue == Epilogue::BiasGelu { 2 } else { 1 };
+        self.out_elements() * copies * dtype.size_bytes()
     }
 
     /// Arithmetic intensity in ops/byte at a uniform precision — the y-axis
@@ -388,12 +486,14 @@ impl GemmSpec {
         self.flops() as f64 / (self.bytes_read(dtype) + self.bytes_written(dtype)) as f64
     }
 
-    /// The paper's Fig. 6 label format: `ta,tb,M,N,K[,batch]`.
+    /// The paper's Fig. 6 label format: `ta,tb,M,N,K[,batch]`, with the
+    /// fused-epilogue suffix appended when one is present.
     #[must_use]
     pub fn label(&self) -> String {
+        let ep = self.epilogue.label_suffix();
         if self.batch > 1 {
             format!(
-                "{}{},{},{},{},b{}",
+                "{}{},{},{},{},b{}{ep}",
                 self.ta.letter(),
                 self.tb.letter(),
                 self.m,
@@ -402,7 +502,7 @@ impl GemmSpec {
                 self.batch
             )
         } else {
-            format!("{}{},{},{},{}", self.ta.letter(), self.tb.letter(), self.m, self.n, self.k)
+            format!("{}{},{},{},{}{ep}", self.ta.letter(), self.tb.letter(), self.m, self.n, self.k)
         }
     }
 }
@@ -582,9 +682,11 @@ impl Tracer {
                 rec.name
             );
             if let Some(spec) = rec.gemm {
+                let macs = 2 * spec.m as u64 * spec.n as u64 * spec.k as u64 * spec.batch as u64;
+                let out = spec.m as u64 * spec.n as u64 * spec.batch as u64;
                 debug_assert_eq!(
                     rec.flops,
-                    2 * spec.m as u64 * spec.n as u64 * spec.k as u64 * spec.batch as u64,
+                    macs + spec.epilogue.flops_per_element() * out,
                     "op `{}`: recorded FLOPs disagree with GEMM spec {}",
                     rec.name,
                     spec
@@ -811,6 +913,38 @@ mod tests {
         let ai32 = g.arithmetic_intensity(DType::F32);
         let ai16 = g.arithmetic_intensity(DType::F16);
         assert!((ai16 / ai32 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fused_epilogue_accounting() {
+        // FC-1 forward with fused bias+GeLU: paper-layout m = d_out, n = tokens.
+        let base = GemmSpec::new(Transpose::No, Transpose::No, 4096, 512, 1024);
+        let fused = base.with_epilogue(Epilogue::BiasGelu);
+        let out = 4096u64 * 512;
+        assert_eq!(fused.mac_flops(), base.flops());
+        assert_eq!(fused.flops(), base.flops() + 13 * out);
+        // Reads gain the bias vector; writes double (pre-act + activation).
+        assert_eq!(fused.bytes_read(DType::F32), base.bytes_read(DType::F32) + 4096 * 4);
+        assert_eq!(fused.bytes_written(DType::F32), 2 * base.bytes_written(DType::F32));
+        assert!(fused.label().ends_with("+bias+gelu"));
+
+        // Scale+mask on the batched attention-score shape.
+        let scores = GemmSpec::batched(Transpose::No, Transpose::Yes, 128, 128, 64, 512)
+            .with_epilogue(Epilogue::ScaleMask);
+        let elems = 128u64 * 128 * 512;
+        assert_eq!(scores.flops(), scores.mac_flops() + 2 * elems);
+        assert_eq!(scores.epilogue_read_elements(), elems);
+        assert!(scores.label().ends_with("b512+scale+mask"));
+
+        // Bias+residual reads bias and the full residual tensor.
+        let fc2 = GemmSpec::new(Transpose::No, Transpose::No, 1024, 512, 4096)
+            .with_epilogue(Epilogue::BiasResidual);
+        assert_eq!(fc2.epilogue_read_elements(), 1024 + 1024 * 512);
+        assert_eq!(fc2.bytes_written(DType::F16), 1024 * 512 * 2);
+        // Plain scale adds flops but no reads.
+        let sc = base.with_epilogue(Epilogue::Scale);
+        assert_eq!(sc.epilogue_read_elements(), 0);
+        assert_eq!(sc.flops(), base.flops() + out);
     }
 
     #[test]

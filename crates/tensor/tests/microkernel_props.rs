@@ -1,0 +1,251 @@
+//! Property-based tests for the register-blocked SIMD microkernel GEMM:
+//! agreement with an f64 reference across transpose combinations, ragged
+//! shapes and dtypes, fused-vs-unfused bit identity, and bit-identical
+//! results across thread counts.
+
+use bertscope_tensor::{
+    batched_gemm_ep, gemm, gemm_bias_gelu, gemm_ep, pool, DType, GemmEpilogue, Tensor, Transpose,
+};
+use proptest::prelude::*;
+
+/// Plain-loop f64 reference for `alpha * op(A) * op(B)`.
+#[allow(clippy::too_many_arguments)]
+fn naive_f64(
+    ta: Transpose,
+    tb: Transpose,
+    alpha: f32,
+    a: &Tensor,
+    b: &Tensor,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> Vec<f64> {
+    let get_a = |i: usize, kk: usize| match ta {
+        Transpose::No => a.as_slice()[i * a.dims()[1] + kk],
+        Transpose::Yes => a.as_slice()[kk * a.dims()[1] + i],
+    };
+    let get_b = |kk: usize, j: usize| match tb {
+        Transpose::No => b.as_slice()[kk * b.dims()[1] + j],
+        Transpose::Yes => b.as_slice()[j * b.dims()[1] + kk],
+    };
+    let mut out = vec![0.0f64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for kk in 0..k {
+                acc += f64::from(get_a(i, kk)) * f64::from(get_b(kk, j));
+            }
+            out[i * n + j] = f64::from(alpha) * acc;
+        }
+    }
+    out
+}
+
+fn dim() -> impl Strategy<Value = usize> {
+    1usize..40
+}
+
+fn dtype() -> impl Strategy<Value = DType> {
+    prop_oneof![Just(DType::F32), Just(DType::F16), Just(DType::BF16)]
+}
+
+fn transpose() -> impl Strategy<Value = Transpose> {
+    prop_oneof![Just(Transpose::No), Just(Transpose::Yes)]
+}
+
+/// Worst-case absolute error budget for a depth-`k` dot product of values
+/// in [-2, 2] accumulated in f32 from operands rounded to `dt`.
+fn tol(dt: DType, k: usize) -> f64 {
+    let k = k as f64;
+    match dt {
+        // f32 operands are exact; error is f32 accumulation order only.
+        DType::F32 => 1e-5 * k.max(1.0) * 4.0,
+        // Half operands round at ~2^-11 (f16) / ~2^-8 (bf16) per element;
+        // the reference sees the *rounded* values so this only covers
+        // accumulation differences, but keep slack for FMA contraction.
+        DType::F16 => 2e-4 * k.max(1.0) * 4.0,
+        DType::BF16 => 2e-4 * k.max(1.0) * 4.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Microkernel output matches the f64 reference for every transpose
+    /// combination, ragged shape, and dtype.
+    #[test]
+    fn microkernel_matches_f64_reference(
+        m in dim(), n in dim(), k in dim(),
+        ta in transpose(), tb in transpose(),
+        dt in dtype(),
+        alpha in -2.0f32..2.0,
+        seed in proptest::collection::vec(-2.0f32..2.0, 40 * 40 * 2),
+    ) {
+        let a_dims = if ta == Transpose::No { [m, k] } else { [k, m] };
+        let b_dims = if tb == Transpose::No { [k, n] } else { [n, k] };
+        let a = Tensor::from_vec(seed[..m * k].to_vec(), &a_dims).unwrap().to_dtype(dt);
+        let b = Tensor::from_vec(seed[m * k..m * k + k * n].to_vec(), &b_dims).unwrap().to_dtype(dt);
+        let got = gemm(ta, tb, alpha, &a, &b, 0.0, None).unwrap();
+        let want = naive_f64(ta, tb, alpha, &a, &b, m, n, k);
+        let budget = tol(dt, k);
+        for (i, (&g, &w)) in got.as_slice().iter().zip(&want).enumerate() {
+            // The output itself is rounded to dt; round the reference too.
+            let w = f64::from(dt.quantize(w as f32));
+            prop_assert!(
+                (f64::from(g) - w).abs() <= budget,
+                "{dt:?} ta={ta:?} tb={tb:?} ({m},{n},{k})[{i}]: {g} vs {w} (tol {budget})"
+            );
+        }
+    }
+
+    /// Fused epilogues are bit-identical to the unfused kernel sequence
+    /// (GEMM, then separate rounding elementwise steps) for every dtype.
+    #[test]
+    fn fused_epilogue_is_bit_identical_to_unfused(
+        m in dim(), n in dim(), k in dim(),
+        dt in dtype(),
+        which in 0usize..4,
+        seed in proptest::collection::vec(-2.0f32..2.0, 40 * 40 * 3 + 40),
+    ) {
+        let a = Tensor::from_vec(seed[..m * k].to_vec(), &[m, k]).unwrap().to_dtype(dt);
+        let b = Tensor::from_vec(seed[m * k..m * k + k * n].to_vec(), &[k, n]).unwrap().to_dtype(dt);
+        let aux_base = m * k + k * n;
+        let bias: Vec<f32> = seed[aux_base..aux_base + n].iter().map(|&v| dt.quantize(v)).collect();
+        let big: Vec<f32> =
+            seed[aux_base..aux_base + m * n].iter().map(|&v| dt.quantize(v)).collect();
+        let base = gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, None).unwrap();
+        let (ep, want): (GemmEpilogue<'_>, Vec<f32>) = match which {
+            0 => (
+                GemmEpilogue::Bias(&bias),
+                base.as_slice().iter().enumerate()
+                    .map(|(i, &v)| dt.quantize(v + bias[i % n])).collect(),
+            ),
+            1 => (
+                GemmEpilogue::BiasResidual { bias: &bias, residual: &big },
+                base.as_slice().iter().enumerate()
+                    .map(|(i, &v)| dt.quantize(dt.quantize(v + bias[i % n]) + big[i])).collect(),
+            ),
+            2 => (
+                GemmEpilogue::Scale(0.125),
+                base.as_slice().iter().map(|&v| dt.quantize(v * 0.125)).collect(),
+            ),
+            _ => (
+                GemmEpilogue::ScaleMask { scale: 0.125, mask: &big },
+                base.as_slice().iter().enumerate()
+                    .map(|(i, &v)| dt.quantize(dt.quantize(v * 0.125) + big[i])).collect(),
+            ),
+        };
+        let fused = gemm_ep(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, None, ep).unwrap();
+        for (i, (&f, &w)) in fused.as_slice().iter().zip(&want).enumerate() {
+            prop_assert_eq!(
+                f.to_bits(), w.to_bits(),
+                "{:?} ep#{} ({},{},{})[{}]: {} vs {}", dt, which, m, n, k, i, f, w
+            );
+        }
+    }
+
+    /// The dual-output bias+GeLU fusion reproduces the unfused
+    /// linear -> bias -> GeLU chain bit-for-bit on both outputs.
+    #[test]
+    fn fused_bias_gelu_is_bit_identical(
+        m in dim(), n in dim(), k in dim(),
+        dt in dtype(),
+        seed in proptest::collection::vec(-2.0f32..2.0, 40 * 40 * 2 + 40),
+    ) {
+        let a = Tensor::from_vec(seed[..m * k].to_vec(), &[m, k]).unwrap().to_dtype(dt);
+        let b = Tensor::from_vec(seed[m * k..m * k + k * n].to_vec(), &[k, n]).unwrap().to_dtype(dt);
+        let bias_v: Vec<f32> =
+            seed[m * k + k * n..m * k + k * n + n].iter().map(|&v| dt.quantize(v)).collect();
+        let bias = Tensor::from_vec(bias_v.clone(), &[n]).unwrap();
+        let (pre, act) = gemm_bias_gelu(Transpose::No, Transpose::No, 1.0, &a, &b, &bias).unwrap();
+        let base = gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, None).unwrap();
+        for (i, &v) in base.as_slice().iter().enumerate() {
+            let want_pre = dt.quantize(v + bias_v[i % n]);
+            prop_assert_eq!(pre.as_slice()[i].to_bits(), want_pre.to_bits());
+            let want_act = dt.quantize(bertscope_tensor::mathfn::gelu_scalar(want_pre));
+            prop_assert_eq!(act.as_slice()[i].to_bits(), want_act.to_bits());
+        }
+    }
+}
+
+/// Fused and unfused GEMM results must be bit-identical at 1, 2 and 8
+/// threads — the microkernel's fixed-width accumulation order does not
+/// depend on how rows are split across the pool.
+#[test]
+fn gemm_is_bit_identical_across_thread_counts() {
+    // Big enough to cross PARALLEL_THRESHOLD and span several row grains.
+    let (m, n, k) = (160, 130, 110);
+    let data_a: Vec<f32> =
+        (0..m * k).map(|i| ((i * 2_654_435_761) % 1000) as f32 / 500.0 - 1.0).collect();
+    let data_b: Vec<f32> =
+        (0..k * n).map(|i| ((i * 2_246_822_519) % 1000) as f32 / 500.0 - 1.0).collect();
+    let bias: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+    for dt in [DType::F32, DType::F16, DType::BF16] {
+        let a = Tensor::from_vec(data_a.clone(), &[m, k]).unwrap().to_dtype(dt);
+        let b = Tensor::from_vec(data_b.clone(), &[k, n]).unwrap().to_dtype(dt);
+        let bias_q: Vec<f32> = bias.iter().map(|&v| dt.quantize(v)).collect();
+        let bias_t = Tensor::from_vec(bias_q.clone(), &[n]).unwrap();
+        let run = |threads: usize| {
+            pool::with_threads(threads, || {
+                let plain = gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, None).unwrap();
+                let fused = gemm_ep(
+                    Transpose::No,
+                    Transpose::No,
+                    1.0,
+                    &a,
+                    &b,
+                    0.0,
+                    None,
+                    GemmEpilogue::Bias(&bias_q),
+                )
+                .unwrap();
+                let (pre, act) =
+                    gemm_bias_gelu(Transpose::No, Transpose::No, 1.0, &a, &b, &bias_t).unwrap();
+                [plain, fused, pre, act]
+                    .iter()
+                    .map(|t| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<u32>>())
+                    .collect::<Vec<_>>()
+            })
+        };
+        let at1 = run(1);
+        let at2 = run(2);
+        let at8 = run(8);
+        assert_eq!(at1, at2, "{dt:?}: 1-thread vs 2-thread bits differ");
+        assert_eq!(at1, at8, "{dt:?}: 1-thread vs 8-thread bits differ");
+    }
+}
+
+/// Batched fused attention-score epilogue (scale+mask) is bit-identical
+/// across thread counts, including the per-slice mask slicing.
+#[test]
+fn batched_fused_scale_mask_is_bit_identical_across_thread_counts() {
+    let (batch, m, n, k) = (12, 32, 32, 24);
+    let data_q: Vec<f32> =
+        (0..batch * m * k).map(|i| ((i * 40_503) % 997) as f32 / 498.5 - 1.0).collect();
+    let data_k: Vec<f32> =
+        (0..batch * n * k).map(|i| ((i * 65_537) % 991) as f32 / 495.5 - 1.0).collect();
+    let mask: Vec<f32> =
+        (0..batch * m * n).map(|i| if i % 7 == 0 { -10_000.0 } else { 0.0 }).collect();
+    let q = Tensor::from_vec(data_q, &[batch, m, k]).unwrap();
+    let kt = Tensor::from_vec(data_k, &[batch, n, k]).unwrap();
+    let run = |threads: usize| {
+        pool::with_threads(threads, || {
+            batched_gemm_ep(
+                Transpose::No,
+                Transpose::Yes,
+                1.0,
+                &q,
+                &kt,
+                GemmEpilogue::ScaleMask { scale: 0.204_124, mask: &mask },
+            )
+            .unwrap()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<u32>>()
+        })
+    };
+    let at1 = run(1);
+    assert_eq!(at1, run(2), "1-thread vs 2-thread bits differ");
+    assert_eq!(at1, run(8), "1-thread vs 8-thread bits differ");
+}

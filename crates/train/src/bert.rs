@@ -19,8 +19,8 @@ use bertscope_kernels::{KernelCtx, Result};
 use bertscope_model::{checkpoint_segments, BertConfig, Precision};
 use bertscope_tensor::init::randn;
 use bertscope_tensor::{
-    gemm, AccessSet, Buffer, Category, DType, GemmSpec, OpKind, OpRecord, Phase, Tensor, Tracer,
-    Transpose,
+    gemm, gemm_ep, AccessSet, Buffer, Category, DType, Epilogue, GemmEpilogue, GemmSpec, OpKind,
+    OpRecord, Phase, Tensor, Tracer, Transpose,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,6 +37,10 @@ pub struct TrainOptions {
     pub checkpoint: bool,
     /// Execute Q/K/V projections as one fused GEMM (paper §6.1.2).
     pub fused_qkv: bool,
+    /// Fuse elementwise tails into GEMM writeback epilogues (paper §6.1.3):
+    /// FC1's bias+GeLU and the attention-score scale+mask execute inside
+    /// the producing GEMM instead of as separate memory-bound kernels.
+    pub fused_epilogue: bool,
     /// Loss scale applied to gradients in mixed precision.
     pub loss_scale: f32,
     /// Use decoder-style causal attention (paper §2.3: masks future tokens;
@@ -51,6 +55,7 @@ impl Default for TrainOptions {
             dropout_p: 0.0,
             checkpoint: false,
             fused_qkv: false,
+            fused_epilogue: false,
             loss_scale: 1.0,
             causal_attention: false,
         }
@@ -283,7 +288,14 @@ impl Bert {
     }
 
     fn layer_ctx(&self, layer: usize) -> LayerCtx {
-        LayerCtx::new(&self.cfg, layer, self.act_dtype(), self.opts.dropout_p, self.opts.fused_qkv)
+        LayerCtx::new(
+            &self.cfg,
+            layer,
+            self.act_dtype(),
+            self.opts.dropout_p,
+            self.opts.fused_qkv,
+            self.opts.fused_epilogue,
+        )
     }
 
     /// Embedding forward: gather + sum + LayerNorm + dropout.
@@ -376,20 +388,23 @@ impl Bert {
             1e-5,
         )?;
         // Tied decoder: logits = x * W_word^T + b.
-        let mut logits =
-            gemm(Transpose::No, Transpose::Yes, 1.0, &mlm_n, &self.heads.word_emb, 0.0, None)?;
+        let logits = gemm_ep(
+            Transpose::No,
+            Transpose::Yes,
+            1.0,
+            &mlm_n,
+            &self.heads.word_emb,
+            0.0,
+            None,
+            GemmEpilogue::Bias(self.heads.decoder_bias.as_slice()),
+        )?;
         {
-            let bs = self.heads.decoder_bias.as_slice();
-            for row in logits.as_mut_slice().chunks_mut(self.cfg.vocab) {
-                for (v, &b) in row.iter_mut().zip(bs) {
-                    *v = dt.quantize(*v + b);
-                }
-            }
             let dec_ctx = self.kctx("mlm.decoder", Category::Output, Phase::Forward);
             dec_ctx.trace_gemm_acc(
                 tracer,
                 "gemm",
-                GemmSpec::new(Transpose::No, Transpose::Yes, self.cfg.vocab, t, d),
+                GemmSpec::new(Transpose::No, Transpose::Yes, self.cfg.vocab, t, d)
+                    .with_epilogue(Epilogue::Bias),
                 AccessSet::new(
                     &[
                         mlm_n.buf_id(),
@@ -633,7 +648,6 @@ impl Bert {
     pub fn evaluate(&self, tracer: &mut Tracer, batch: &PretrainBatch) -> Result<EvalOutput> {
         let t = self.cfg.tokens();
         let d = self.cfg.d_model;
-        let dt = self.act_dtype();
         // Embedding forward (dropout still launched, with p = 0).
         let ctx = self.kctx("emb", Category::Embedding, Phase::Forward);
         let word = embedding_fwd(tracer, &ctx, &self.heads.word_emb, &batch.input_ids)?;
@@ -677,20 +691,23 @@ impl Bert {
             &self.heads.mlm_ln_beta,
             1e-5,
         )?;
-        let mut logits =
-            gemm(Transpose::No, Transpose::Yes, 1.0, &mlm_n, &self.heads.word_emb, 0.0, None)?;
+        let logits = gemm_ep(
+            Transpose::No,
+            Transpose::Yes,
+            1.0,
+            &mlm_n,
+            &self.heads.word_emb,
+            0.0,
+            None,
+            GemmEpilogue::Bias(self.heads.decoder_bias.as_slice()),
+        )?;
         {
-            let bs = self.heads.decoder_bias.as_slice();
-            for row in logits.as_mut_slice().chunks_mut(self.cfg.vocab) {
-                for (v, &b) in row.iter_mut().zip(bs) {
-                    *v = dt.quantize(*v + b);
-                }
-            }
             let dec_ctx = self.kctx("mlm.decoder", Category::Output, Phase::Forward);
             dec_ctx.trace_gemm_acc(
                 tracer,
                 "gemm",
-                GemmSpec::new(Transpose::No, Transpose::Yes, self.cfg.vocab, t, d),
+                GemmSpec::new(Transpose::No, Transpose::Yes, self.cfg.vocab, t, d)
+                    .with_epilogue(Epilogue::Bias),
                 AccessSet::new(
                     &[
                         mlm_n.buf_id(),

@@ -7,7 +7,7 @@ use bertscope_kernels::attention::{
 };
 use bertscope_kernels::dropout::{dropout_bwd, dropout_fwd, DropoutMask};
 use bertscope_kernels::elementwise::residual_add;
-use bertscope_kernels::linear::{linear_bwd, linear_fwd};
+use bertscope_kernels::linear::{linear_bwd, linear_fwd, linear_gelu_fwd};
 use bertscope_kernels::norm::{layernorm_bwd, layernorm_fwd, LayerNormState};
 use bertscope_kernels::KernelCtx;
 use bertscope_kernels::Result;
@@ -36,6 +36,7 @@ impl LayerCtx {
         dtype: DType,
         dropout_p: f32,
         fused_qkv: bool,
+        fused_epilogue: bool,
     ) -> Self {
         LayerCtx {
             attn: AttentionConfig {
@@ -45,6 +46,7 @@ impl LayerCtx {
                 d_model: cfg.d_model,
                 dropout_p,
                 fused_qkv,
+                fused_epilogue,
                 dtype,
                 layer,
             },
@@ -195,9 +197,16 @@ pub fn layer_fwd(
     let (ln1_out, ln1) = layernorm_fwd(tracer, &ln1_ctx, &res1, &p.ln1_gamma, &p.ln1_beta, 1e-5)?;
 
     let fc1_ctx = lc.kctx("fc1", Category::FcGemm, fwd);
-    let fc1_out = linear_fwd(tracer, &fc1_ctx, &ln1_out, &p.fc1_w, Some(&p.fc1_b))?;
-    let gelu_ctx = lc.kctx("ffn", Category::Gelu, fwd);
-    let gelu_out = gelu_fwd(tracer, &gelu_ctx, &fc1_out)?;
+    let (fc1_out, gelu_out) = if lc.attn.fused_epilogue {
+        // Fused FC1 + bias + GeLU: one kernel, GeLU evaluated on
+        // register-resident tiles; the pre-activation is kept for backward.
+        linear_gelu_fwd(tracer, &fc1_ctx, &ln1_out, &p.fc1_w, &p.fc1_b)?
+    } else {
+        let fc1_out = linear_fwd(tracer, &fc1_ctx, &ln1_out, &p.fc1_w, Some(&p.fc1_b))?;
+        let gelu_ctx = lc.kctx("ffn", Category::Gelu, fwd);
+        let gelu_out = gelu_fwd(tracer, &gelu_ctx, &fc1_out)?;
+        (fc1_out, gelu_out)
+    };
     let fc2_ctx = lc.kctx("fc2", Category::FcGemm, fwd);
     let fc2_out = linear_fwd(tracer, &fc2_ctx, &gelu_out, &p.fc2_w, Some(&p.fc2_b))?;
 
@@ -288,7 +297,7 @@ mod tests {
 
     fn setup() -> (BertConfig, LayerCtx, LayerParams, Tensor) {
         let cfg = BertConfig::tiny();
-        let lc = LayerCtx::new(&cfg, 0, DType::F32, 0.0, false);
+        let lc = LayerCtx::new(&cfg, 0, DType::F32, 0.0, false, false);
         let mut rng = StdRng::seed_from_u64(42);
         let p = LayerParams::init(&mut rng, &cfg);
         let x = randn(&mut rng, &[cfg.tokens(), cfg.d_model], 1.0);
@@ -352,6 +361,30 @@ mod tests {
     }
 
     #[test]
+    fn fused_epilogue_layer_matches_unfused_bitwise_with_fewer_kernels() {
+        let (cfg, lc, p, x) = setup();
+        let lc_fused = LayerCtx::new(&cfg, 0, DType::F32, 0.0, false, true);
+        let mask = {
+            let mut rng = StdRng::seed_from_u64(9);
+            randn(&mut rng, &[cfg.batch * cfg.heads, cfg.seq_len, cfg.seq_len], 1.0)
+        };
+        let mut tr_u = Tracer::new();
+        let (y_u, _) = layer_fwd(&mut tr_u, &lc, &p, &x, Some(&mask), 0).unwrap();
+        let mut tr_f = Tracer::new();
+        let (y_f, acts_f) = layer_fwd(&mut tr_f, &lc_fused, &p, &x, Some(&mask), 0).unwrap();
+        // Fusion never changes numerics — outputs are bit-identical.
+        assert_eq!(y_u.as_slice(), y_f.as_slice());
+        // Fusion removes three kernels from the forward stream: the score
+        // scale, the mask add, and the standalone GeLU.
+        assert_eq!(tr_u.kernel_count() - tr_f.kernel_count(), 3);
+        // Backward still works off the fused activations.
+        let dy = Tensor::ones(y_f.dims());
+        let mut tr_b = Tracer::disabled();
+        let (dx, _) = layer_bwd(&mut tr_b, &lc_fused, &p, &acts_f, &dy).unwrap();
+        assert!(dx.all_finite());
+    }
+
+    #[test]
     fn dropout_seeds_make_execution_deterministic() {
         let (_, lc2, p, x) = setup();
         let lc = LayerCtx {
@@ -370,7 +403,7 @@ mod tests {
     #[test]
     fn half_precision_layer_runs_and_stays_finite() {
         let (cfg, _, p, x) = setup();
-        let lc = LayerCtx::new(&cfg, 0, DType::F16, 0.0, false);
+        let lc = LayerCtx::new(&cfg, 0, DType::F16, 0.0, false, false);
         let p16 = p.to_dtype(DType::F16);
         let x16 = x.to_dtype(DType::F16);
         let mut tr = Tracer::new();

@@ -7,7 +7,10 @@
 use bertscope_kernels::norm::{layernorm_bwd, layernorm_fwd};
 use bertscope_kernels::KernelCtx;
 use bertscope_tensor::init::randn;
-use bertscope_tensor::{batched_gemm, gemm, pool, Category, Phase, Tracer, Transpose};
+use bertscope_tensor::{
+    batched_gemm, batched_gemm_ep, gemm, gemm_bias_gelu, gemm_ep, pool, Category, DType,
+    GemmEpilogue, Phase, Tracer, Transpose,
+};
 use bertscope_train::{Lamb, ParamSlot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -59,6 +62,48 @@ fn batched_gemm_is_bit_identical_across_thread_counts() {
     let s = randn(&mut r, &[32, 48, 48], 1.0);
     assert_identical_across_threads("batched_gemm nn", || {
         batched_gemm(Transpose::No, Transpose::No, 1.0, &s, &v).unwrap().as_slice().to_vec()
+    });
+}
+
+#[test]
+fn fused_epilogue_gemm_is_bit_identical_across_thread_counts() {
+    let mut r = StdRng::seed_from_u64(17);
+    for dt in [DType::F32, DType::F16, DType::BF16] {
+        let a = randn(&mut r, &[128, 160], 1.0).to_dtype(dt);
+        let b = randn(&mut r, &[160, 128], 1.0).to_dtype(dt);
+        let bias: Vec<f32> =
+            randn(&mut r, &[128], 1.0).as_slice().iter().map(|&v| dt.quantize(v)).collect();
+        let bias_t = bertscope_tensor::Tensor::from_vec(bias.clone(), &[128]).unwrap();
+        assert_identical_across_threads(&format!("gemm+bias {dt:?}"), || {
+            gemm_ep(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, None, GemmEpilogue::Bias(&bias))
+                .unwrap()
+                .as_slice()
+                .to_vec()
+        });
+        assert_identical_across_threads(&format!("gemm+bias+gelu {dt:?}"), || {
+            let (pre, act) =
+                gemm_bias_gelu(Transpose::No, Transpose::No, 1.0, &a, &b, &bias_t).unwrap();
+            let mut out = pre.as_slice().to_vec();
+            out.extend_from_slice(act.as_slice());
+            out
+        });
+    }
+    let q = randn(&mut r, &[32, 48, 32], 1.0);
+    let k = randn(&mut r, &[32, 48, 32], 1.0);
+    let mask: Vec<f32> =
+        (0..32 * 48 * 48).map(|i| if i % 5 == 0 { -10_000.0 } else { 0.0 }).collect();
+    assert_identical_across_threads("batched_gemm nt +scale+mask", || {
+        batched_gemm_ep(
+            Transpose::No,
+            Transpose::Yes,
+            1.0,
+            &q,
+            &k,
+            GemmEpilogue::ScaleMask { scale: 0.176_776_7, mask: &mask },
+        )
+        .unwrap()
+        .as_slice()
+        .to_vec()
     });
 }
 

@@ -72,6 +72,7 @@ fn graph_opts(precision: Precision, checkpoint: bool, fused_qkv: bool) -> GraphO
         fused_qkv,
         // The executable substrate runs the fused GeLU kernel.
         fused_gelu: true,
+        fused_epilogue: false,
     }
 }
 
@@ -95,6 +96,28 @@ fn fused_qkv_trace_matches_graph() {
         BertConfig::tiny(),
         TrainOptions { fused_qkv: true, ..TrainOptions::default() },
         graph_opts(Precision::Fp32, false, true),
+    );
+}
+
+#[test]
+fn fused_epilogue_trace_matches_graph() {
+    // Bias+GeLU folds into FC-1 and scale+mask into the score B-GEMM on
+    // both sides; the graph must mirror every epilogue tag exactly.
+    compare(
+        BertConfig::tiny(),
+        TrainOptions { fused_epilogue: true, ..TrainOptions::default() },
+        GraphOptions { fused_epilogue: true, ..graph_opts(Precision::Fp32, false, false) },
+    );
+}
+
+#[test]
+fn fused_epilogue_checkpointed_trace_matches_graph() {
+    // Recomputed forwards must carry the same fused epilogues as the
+    // original forward pass.
+    compare(
+        BertConfig::tiny(),
+        TrainOptions { fused_epilogue: true, checkpoint: true, ..TrainOptions::default() },
+        GraphOptions { fused_epilogue: true, ..graph_opts(Precision::Fp32, true, false) },
     );
 }
 
