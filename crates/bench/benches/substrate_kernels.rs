@@ -123,6 +123,7 @@ fn bench_attention_fused_vs_serial(c: &mut Criterion) {
             dropout_p: 0.0,
             fused_qkv: fused,
             fused_epilogue: false,
+            deferred: false,
             dtype: DType::F32,
             layer: 0,
         };

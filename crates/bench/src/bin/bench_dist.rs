@@ -2,8 +2,11 @@
 //! 2/4/8 (and `--wide` 16) ranks over several payload sizes, fits the
 //! α/β link parameters of [`bertscope_dist::LinkModel`] from the measured
 //! timings, and reports measured-vs-modelled collective time for the
-//! multi-process training runtime. Emits `BENCH_dist.json` so scaling
-//! changes are visible in review.
+//! multi-process training runtime — both the eager aggregate sync and,
+//! bucket by bucket, the overlapped path that AllReduces each gradient
+//! bucket while backward still computes (with the per-update *exposed*
+//! communication time that overlap could not hide). Emits
+//! `BENCH_dist.json` so scaling changes are visible in review.
 //!
 //! Modes:
 //!
@@ -87,55 +90,136 @@ fn tiny_grad_bytes() -> u64 {
     bert.param_values_mut().iter().map(|(_, t)| t.as_slice().len() as u64 * 4).sum()
 }
 
+/// One gradient bucket's measured-vs-modelled collective time, from the
+/// overlapped training run. `bucket` is the firing position within an
+/// update (backward retirement order, identical on every rank and
+/// update), not the flat-layout index.
+struct BucketGap {
+    bucket: usize,
+    payload_bytes: u64,
+    measured_us: u64,
+    modelled_us: u64,
+}
+
 struct TrainPoint {
     world: usize,
     grad_bytes: u64,
-    /// Mean in-training collective time across ranks and updates.
+    /// Mean in-training collective time across ranks and updates, eager
+    /// path (one aggregate AllReduce after backward).
     measured_us: u64,
     modelled_us: u64,
     /// Wall time per optimizer update, including spawn/teardown amortized
     /// over the run (an upper bound on steady-state step time).
     wall_ms_per_update: u64,
+    /// Mean *exposed* (unhidden) communication time per update when the
+    /// per-bucket collectives overlap backward — the wait that remains
+    /// after backward retires the last bucket.
+    exposed_allreduce_us: u64,
+    /// Per-bucket measured-vs-modelled gap from the overlapped run.
+    buckets: Vec<BucketGap>,
 }
 
+/// Bucket granularity of the training measurement: small enough that the
+/// tiny model's gradients span several buckets, so the overlapped run has
+/// collectives to hide behind backward.
+const TRAIN_BUCKET_ELEMS: usize = 4096;
+
+fn train_cluster_config(
+    world: usize,
+    updates: u64,
+    overlap: bool,
+) -> (ClusterConfig, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "bertscope-bench-dist-{}-{world}-{}",
+        std::process::id(),
+        u8::from(overlap)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let mut cfg = ClusterConfig::new(world, updates, dir.clone());
+    cfg.accumulation = 1;
+    cfg.overlap = overlap;
+    cfg.ring.bucket_elems = TRAIN_BUCKET_ELEMS;
+    (cfg, dir)
+}
+
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_precision_loss)]
 fn measure_training(
     world: usize,
     updates: u64,
     model: Option<&LinkModel>,
     trace_dir: Option<&str>,
 ) -> TrainPoint {
-    let dir =
-        std::env::temp_dir().join(format!("bertscope-bench-dist-{}-{world}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).expect("scratch dir");
-    let mut cfg = ClusterConfig::new(world, updates, dir.clone());
-    cfg.accumulation = 1;
-    if let Some(td) = trace_dir {
-        std::fs::create_dir_all(td).expect("trace dir");
-        cfg.trace_dir = Some(std::path::PathBuf::from(td));
-    }
+    // Eager run: the aggregate post-backward collective (one ring stats
+    // entry per update per rank).
+    let (eager_cfg, eager_dir) = train_cluster_config(world, updates, false);
     let t = std::time::Instant::now();
-    let report = run_thread_cluster(&cfg).expect("bench cluster");
+    let eager = run_thread_cluster(&eager_cfg).expect("bench cluster");
     let wall_ms = u64::try_from(t.elapsed().as_millis()).unwrap_or(u64::MAX);
-    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&eager_dir);
     let (mut total_us, mut n) = (0u64, 0u64);
-    for w in &report.worker_reports {
+    for w in &eager.worker_reports {
         for s in &w.ring_stats {
             total_us += s.elapsed_us;
             n += 1;
         }
     }
+
+    // Overlapped run: per-bucket collectives fired mid-backward. Stats
+    // arrive in firing order, `buckets_per_update` entries per update, so
+    // position `k` is the same bucket on every rank and update.
+    let (mut ov_cfg, ov_dir) = train_cluster_config(world, updates, true);
+    if let Some(td) = trace_dir {
+        std::fs::create_dir_all(td).expect("trace dir");
+        ov_cfg.trace_dir = Some(std::path::PathBuf::from(td));
+    }
+    let overlapped = run_thread_cluster(&ov_cfg).expect("bench cluster (overlap)");
+    let _ = std::fs::remove_dir_all(&ov_dir);
+    let (mut exposed_total, mut exposed_n) = (0u64, 0u64);
+    for w in &overlapped.worker_reports {
+        for &us in &w.exposed_comm_us {
+            exposed_total += us;
+            exposed_n += 1;
+        }
+    }
+    let per_update = overlapped
+        .worker_reports
+        .first()
+        .map_or(0, |w| w.ring_stats.len() / usize::try_from(updates.max(1)).unwrap_or(1));
+    let mut buckets = Vec::with_capacity(per_update);
+    for k in 0..per_update {
+        let (mut sum_us, mut sum_wire, mut m) = (0u64, 0u64, 0u64);
+        for w in &overlapped.worker_reports {
+            for u in 0..w.ring_stats.len() / per_update.max(1) {
+                let s = &w.ring_stats[u * per_update + k];
+                sum_us += s.elapsed_us;
+                sum_wire += s.bytes_sent;
+                m += 1;
+            }
+        }
+        // Invert the ring wire volume (2(D-1)/D x payload) back to the
+        // bucket's payload bytes for the link-model prediction.
+        let wire = sum_wire.checked_div(m).unwrap_or(0);
+        let payload_bytes =
+            if world > 1 { wire * world as u64 / (2 * (world as u64 - 1)) } else { 0 };
+        buckets.push(BucketGap {
+            bucket: k,
+            payload_bytes,
+            measured_us: sum_us.checked_div(m).unwrap_or(0),
+            modelled_us: model
+                .map_or(0, |lm| lm.predict_us(payload_bytes, world).round().max(0.0) as u64),
+        });
+    }
+
     let grad_bytes = tiny_grad_bytes();
     TrainPoint {
         world,
         grad_bytes,
         measured_us: total_us.checked_div(n).unwrap_or(0),
-        modelled_us: model.map_or(0, |m| {
-            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-            let p = m.predict_us(grad_bytes, world).round().max(0.0) as u64;
-            p
-        }),
+        modelled_us: model.map_or(0, |m| m.predict_us(grad_bytes, world).round().max(0.0) as u64),
         wall_ms_per_update: wall_ms / updates.max(1),
+        exposed_allreduce_us: exposed_total.checked_div(exposed_n).unwrap_or(0),
+        buckets,
     }
 }
 
@@ -160,7 +244,7 @@ fn render_json(
     gate_mbps: u64,
 ) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"bertscope-bench-dist-v1\",");
+    let _ = writeln!(out, "  \"schema\": \"bertscope-bench-dist-v2\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let _ = writeln!(out, "  \"host_parallelism\": {host},");
@@ -200,9 +284,28 @@ fn render_json(
         let _ = write!(
             out,
             "    {{\"world\": {}, \"grad_bytes\": {}, \"measured_allreduce_us\": {}, \
-             \"modelled_allreduce_us\": {}, \"wall_ms_per_update\": {}}}",
-            t.world, t.grad_bytes, t.measured_us, t.modelled_us, t.wall_ms_per_update
+             \"modelled_allreduce_us\": {}, \"wall_ms_per_update\": {}, \
+             \"exposed_allreduce_us\": {},\n     \"buckets\": [",
+            t.world,
+            t.grad_bytes,
+            t.measured_us,
+            t.modelled_us,
+            t.wall_ms_per_update,
+            t.exposed_allreduce_us
         );
+        for (j, b) in t.buckets.iter().enumerate() {
+            let _ = write!(
+                out,
+                "\n      {{\"bucket\": {}, \"payload_bytes\": {}, \"measured_us\": {}, \
+                 \"modelled_us\": {}}}{}",
+                b.bucket,
+                b.payload_bytes,
+                b.measured_us,
+                b.modelled_us,
+                if j + 1 < t.buckets.len() { "," } else { "" }
+            );
+        }
+        out.push_str("]}");
         out.push_str(if i + 1 < train.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ],\n");
@@ -213,8 +316,8 @@ fn render_json(
 
 /// Pull the 4-rank bandwidth gate out of a committed baseline document.
 fn parse_gate(doc: &str) -> Result<u64, String> {
-    if !doc.contains("\"schema\": \"bertscope-bench-dist-v1\"") {
-        return Err("missing or unexpected schema marker (want bertscope-bench-dist-v1)".into());
+    if !doc.contains("\"schema\": \"bertscope-bench-dist-v2\"") {
+        return Err("missing or unexpected schema marker (want bertscope-bench-dist-v2)".into());
     }
     let marker = "\"gate_four_rank_bw_mbps\": ";
     let at = doc.find(marker).ok_or_else(|| String::from("missing bandwidth gate field"))?;
@@ -335,10 +438,13 @@ fn main() -> ExitCode {
             let td = if Some(w) == trace_world { trace_dir.as_deref() } else { None };
             let t = measure_training(w, 2, fit.as_ref(), td);
             eprintln!(
-                "  train D={w}: grads {} KiB, measured {} us, modelled {} us, {} ms/update",
+                "  train D={w}: grads {} KiB, measured {} us, modelled {} us, \
+                 exposed {} us over {} buckets, {} ms/update",
                 t.grad_bytes / 1024,
                 t.measured_us,
                 t.modelled_us,
+                t.exposed_allreduce_us,
+                t.buckets.len(),
                 t.wall_ms_per_update
             );
             t

@@ -22,7 +22,11 @@
 //! the microkernel) and the fused-epilogue entries
 //! `linear_bias_gelu_512x4096x1024` / `attn_scores_fused_b256`, whose
 //! unfused counterparts are `gemm_nn_512x4096x1024` and
-//! `bgemm_nt_384x384x64_b256`.
+//! `bgemm_nt_384x384x64_b256`. The v4 schema adds `micro_step_sched` —
+//! the same training micro-step recorded and executed through the
+//! deferred operator-graph scheduler — and `--check` gates it against
+//! this run's eager `micro_step_tiny_bert` (deferred must not be
+//! meaningfully slower than eager).
 
 use bertscope_model::BertConfig;
 use bertscope_tensor::init::randn;
@@ -193,6 +197,19 @@ fn run_all(iters: u32) -> Vec<Sample> {
         trainer.micro_step(&mut tr, &mut bert, &batch).unwrap();
     }));
 
+    // The same micro-step through the deferred operator-graph scheduler
+    // (QKV projections and their gradients recorded as a task graph and
+    // dispatched with inter-op parallelism). Bit-identical results; the
+    // check gates this entry against the eager one so scheduling overhead
+    // stays a rounding error.
+    let opts = TrainOptions { deferred: true, ..TrainOptions::default() };
+    let mut bert_sched = Bert::new(cfg, opts, 3);
+    let mut trainer_sched = Trainer::new(Lamb::new(0.001), 1);
+    samples.push(time_best("micro_step_sched", iters, 0, || {
+        let mut tr = Tracer::disabled();
+        trainer_sched.micro_step(&mut tr, &mut bert_sched, &batch).unwrap();
+    }));
+
     // LAMB update over 1M parameters (the optimizer hot loop).
     let n = 1 << 20;
     let mut wt = Tensor::ones(&[n]);
@@ -208,7 +225,7 @@ fn run_all(iters: u32) -> Vec<Sample> {
 
 fn render_json(mode: &str, samples: &[Sample]) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"bertscope-bench-substrate-v3\",");
+    let _ = writeln!(out, "  \"schema\": \"bertscope-bench-substrate-v4\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     let _ = writeln!(out, "  \"pool_threads\": {},", pool::configured_threads());
     let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -277,11 +294,11 @@ fn scan_field(rest: &mut &str, label: &str, field: &str, allow_zero: bool) -> Re
 /// Pull the shape entries out of a baseline document with a scan — enough
 /// structure-checking to catch a truncated or hand-mangled file without a
 /// JSON parser. Every shape must carry `best_ns`, `flops`, `allocs` and
-/// `peak_bytes` (the v3 schema); a missing or non-numeric field fails the
-/// whole document.
+/// `peak_bytes` (since the v3 schema); a missing or non-numeric field
+/// fails the whole document.
 fn parse_baseline(doc: &str) -> Result<Vec<BaselineShape>, String> {
-    if !doc.contains("\"schema\": \"bertscope-bench-substrate-v3\"") {
-        return Err("missing or unexpected schema marker (want v3)".into());
+    if !doc.contains("\"schema\": \"bertscope-bench-substrate-v4\"") {
+        return Err("missing or unexpected schema marker (want v4)".into());
     }
     let shapes_at =
         doc.find("\"shapes\"").ok_or_else(|| String::from("missing \"shapes\" section"))?;
@@ -372,6 +389,30 @@ fn check(baseline_path: &str, samples: &[Sample], max_regression: f64) -> Result
                     now.best_ns
                 ));
             }
+        }
+    }
+    // Deferred-vs-eager gate: the operator-graph scheduler must not make
+    // the micro-step meaningfully slower than eager execution *in this
+    // run* (same host, same load). The 15% tolerance absorbs measurement
+    // noise on contended CI hosts; anything beyond it means the graph
+    // build or dispatch grew a real cost.
+    if let (Some(sched), Some(eager)) = (
+        samples.iter().find(|s| s.label == "micro_step_sched"),
+        samples.iter().find(|s| s.label == "micro_step_tiny_bert"),
+    ) {
+        #[allow(clippy::cast_precision_loss)]
+        let ratio = sched.best_ns as f64 / eager.best_ns.max(1) as f64;
+        println!(
+            "micro_step_sched: deferred {} ns vs eager {} ns ({ratio:.2}x{})",
+            sched.best_ns,
+            eager.best_ns,
+            if ratio > 1.15 { " — REGRESSION" } else { "" }
+        );
+        if ratio > 1.15 {
+            failures.push(format!(
+                "deferred micro-step is {ratio:.2}x the eager one ({} ns vs {} ns, limit 1.15x)",
+                sched.best_ns, eager.best_ns
+            ));
         }
     }
     if failures.is_empty() {
@@ -493,24 +534,40 @@ mod tests {
         assert!(parse_baseline(v1).is_err(), "v1 schema is rejected");
         let v2 = "{\"schema\": \"bertscope-bench-substrate-v2\"}";
         assert!(parse_baseline(v2).is_err(), "v2 schema (no flops fields) is rejected");
-        let no_shapes = "{\"schema\": \"bertscope-bench-substrate-v3\"}";
+        let v3 = "{\"schema\": \"bertscope-bench-substrate-v3\"}";
+        assert!(parse_baseline(v3).is_err(), "v3 schema (no micro_step_sched) is rejected");
+        let no_shapes = "{\"schema\": \"bertscope-bench-substrate-v4\"}";
         assert!(parse_baseline(no_shapes).is_err(), "missing shapes");
-        let zero = "{\n  \"schema\": \"bertscope-bench-substrate-v3\",\n  \"shapes\": [\n    \
+        let zero = "{\n  \"schema\": \"bertscope-bench-substrate-v4\",\n  \"shapes\": [\n    \
                     {\"label\": \"x\", \"iters\": 1, \"best_ns\": 0, \"mean_ns\": 0, \
                     \"flops\": 0, \"allocs\": 0, \"peak_bytes\": 1}\n  ]\n}";
         assert!(parse_baseline(zero).is_err(), "zero best_ns");
-        let no_flops = "{\n  \"schema\": \"bertscope-bench-substrate-v3\",\n  \"shapes\": [\n    \
+        let no_flops = "{\n  \"schema\": \"bertscope-bench-substrate-v4\",\n  \"shapes\": [\n    \
                         {\"label\": \"x\", \"iters\": 1, \"best_ns\": 5, \"mean_ns\": 5, \
                         \"allocs\": 1, \"peak_bytes\": 1}\n  ]\n}";
         assert!(parse_baseline(no_flops).is_err(), "missing flops field");
-        let no_allocs = "{\n  \"schema\": \"bertscope-bench-substrate-v3\",\n  \"shapes\": [\n    \
+        let no_allocs = "{\n  \"schema\": \"bertscope-bench-substrate-v4\",\n  \"shapes\": [\n    \
                          {\"label\": \"x\", \"iters\": 1, \"best_ns\": 5, \"mean_ns\": 5, \
                          \"flops\": 7}\n  ]\n}";
         assert!(parse_baseline(no_allocs).is_err(), "missing allocs field");
-        let no_peak = "{\n  \"schema\": \"bertscope-bench-substrate-v3\",\n  \"shapes\": [\n    \
+        let no_peak = "{\n  \"schema\": \"bertscope-bench-substrate-v4\",\n  \"shapes\": [\n    \
                        {\"label\": \"x\", \"iters\": 1, \"best_ns\": 5, \"mean_ns\": 5, \
                        \"flops\": 7, \"allocs\": 1}\n  ]\n}";
         assert!(parse_baseline(no_peak).is_err(), "missing peak_bytes field");
+    }
+
+    #[test]
+    fn deferred_slower_than_eager_fails_the_check() {
+        let doc = doc_for(&[sample("micro_step_tiny_bert", 1000, 1)]);
+        let path = std::env::temp_dir().join("bertscope_bench_sched_gate.json");
+        std::fs::write(&path, doc).unwrap();
+        let path = path.to_str().unwrap();
+        // Within tolerance passes; 2x the eager time fails.
+        let ok = [sample("micro_step_tiny_bert", 1000, 1), sample("micro_step_sched", 1100, 1)];
+        assert!(check(path, &ok, 2.0).is_ok());
+        let bad = [sample("micro_step_tiny_bert", 1000, 1), sample("micro_step_sched", 2000, 1)];
+        let err = check(path, &bad, 2.0).unwrap_err();
+        assert!(err.contains("deferred micro-step is 2.00x the eager one"), "{err}");
     }
 
     #[test]

@@ -136,6 +136,99 @@ fn run_traces(paths: &[String], stats: bool) -> i32 {
     i32::from(tally.errors > 0)
 }
 
+/// Verify the operator-graph scheduler's *emitted* orders: for a sample
+/// of the paper configurations, plan a completion order with
+/// `bertscope_tensor::sched::plan_order` at several worker counts, then
+/// re-check that order against the stream's dependence DAG (H-series) and
+/// replay the reordered stream through the communication-ordering and
+/// L-series lifetime rules. This is the closed loop the scheduler claims:
+/// every schedule it emits is one the static analyzer accepts.
+fn run_sched(stats: bool) -> i32 {
+    let mut tally = Tally { streams: 0, errors: 0, warnings: 0, stats };
+    let base = BertConfig::bert_base();
+    let large = BertConfig::bert_large();
+    let opts = |precision, optimizer, checkpoint| GraphOptions {
+        precision,
+        optimizer,
+        checkpoint,
+        ..GraphOptions::default()
+    };
+    let sample: Vec<(&str, &str, GraphOptions, Vec<OpRecord>)> = vec![
+        {
+            let o = opts(Precision::Fp32, OptimizerChoice::Lamb, false);
+            ("BERT-Base", "pretrain", o, build_iteration(&base, &o))
+        },
+        {
+            let o = opts(Precision::Mixed, OptimizerChoice::Lamb, true);
+            ("BERT-Base", "pretrain", o, build_iteration(&base, &o))
+        },
+        {
+            let o = opts(Precision::MixedBf16, OptimizerChoice::Adam, false);
+            ("BERT-Base", "pretrain", o, build_iteration(&base, &o))
+        },
+        {
+            let o = opts(Precision::Fp32, OptimizerChoice::Lamb, true);
+            ("BERT-Large", "pretrain", o, build_iteration(&large, &o))
+        },
+        {
+            let o = opts(Precision::Mixed, OptimizerChoice::Lamb, false);
+            ("BERT-Base", "finetune", o, build_finetune(&base, &o))
+        },
+        {
+            let o = opts(Precision::Fp32, OptimizerChoice::None, false);
+            ("BERT-Base", "inference", o, build_inference(&base, &o))
+        },
+        {
+            let o = opts(Precision::MixedBf16, OptimizerChoice::None, false);
+            ("BERT-Large", "inference", o, build_inference(&large, &o))
+        },
+    ];
+    for (model, workload, o, ops) in &sample {
+        let accesses: Vec<&bertscope_tensor::AccessSet> = ops.iter().map(|op| &op.access).collect();
+        let graph = DepGraph::build(ops);
+        for workers in [1usize, 2, 8] {
+            let order = bertscope_tensor::sched::plan_order(&accesses, workers);
+            let sched = Schedule::from_completion_order(&order);
+            let mut findings = check_schedule(ops, &graph, &sched, &format!("sched-w{workers}"));
+            // Replay the emitted order as a stream: the communication
+            // contract and lifetime state machine must hold in that order
+            // too, not just the dependence edges.
+            let permuted: Vec<OpRecord> = order.iter().map(|&i| ops[i].clone()).collect();
+            findings.extend(hazard::check_comm_ordering(&permuted));
+            findings.extend(lifetime::check(&permuted));
+            let errors = findings.iter().filter(|f| f.severity == Severity::Error).count();
+            let warnings = findings.len() - errors;
+            tally.streams += 1;
+            tally.errors += errors;
+            tally.warnings += warnings;
+            let label = format!(
+                "{model} {workload} {} {}{} w{workers}",
+                precision_label(o.precision),
+                optimizer_label(o.optimizer),
+                if o.checkpoint { " ckpt" } else { "" },
+            );
+            if findings.is_empty() {
+                println!("ok    {label:<44} ({} ops, {} edges)", ops.len(), graph.edges.len());
+            } else {
+                println!(
+                    "FAIL  {label:<44} ({} ops, {} edges, {errors} errors, {warnings} warnings)",
+                    ops.len(),
+                    graph.edges.len()
+                );
+                println!("{}", report(&findings));
+            }
+        }
+        if tally.stats {
+            println!("      {}", graph.report(ops));
+        }
+    }
+    println!(
+        "racecheck: {} scheduler-emitted orders checked, {} errors, {} warnings",
+        tally.streams, tally.errors, tally.warnings
+    );
+    i32::from(tally.errors > 0)
+}
+
 fn run(stats: bool) -> i32 {
     let mut tally = Tally { streams: 0, errors: 0, warnings: 0, stats };
     let models = [("BERT-Base", BertConfig::bert_base()), ("BERT-Large", BertConfig::bert_large())];
@@ -177,6 +270,14 @@ fn main() {
     match args.first().map(String::as_str) {
         None => std::process::exit(run(false)),
         Some("--stats") if args.len() == 1 => std::process::exit(run(true)),
+        Some("--sched") if args.len() <= 2 => {
+            let stats = args.get(1).map(String::as_str) == Some("--stats");
+            if args.len() == 2 && !stats {
+                eprintln!("racecheck: unrecognized argument after --sched (try --help)");
+                std::process::exit(2);
+            }
+            std::process::exit(run_sched(stats));
+        }
         Some("--trace") => {
             let mut stats = false;
             let mut paths: Vec<String> = Vec::new();
@@ -206,7 +307,8 @@ fn main() {
                 "racecheck: statically race- and lifetime-check the operator streams of\n\
                  every paper configuration\n\
                  \n\
-                 usage: racecheck [--stats | --list-rules | --trace FILE... [--stats]]\n\
+                 usage: racecheck [--stats | --sched [--stats] | --list-rules |\n\
+                \u{20}                 --trace FILE... [--stats]]\n\
                  \n\
                  With no arguments, sweeps BERT-Base/Large x fp32/fp16/bf16 x checkpointing\n\
                  on/off x LAMB/Adam (pre-training, fine-tuning and inference), rebuilds each\n\
@@ -215,6 +317,9 @@ fn main() {
                  carries an error-severity finding.\n\
                  \n\
                  --stats        also print DAG depth/width/critical-path parallelism\n\
+                 --sched        plan completion orders with the operator-graph scheduler\n\
+                \u{20}               at 1/2/8 workers for a sample of the configurations and\n\
+                \u{20}               re-check each emitted order against the H- and L-rules\n\
                  --list-rules   print the H- and L-series rule registry\n\
                  --trace FILE   check externally-captured operator streams instead\n\
                 \u{20}               (the per-rank traces dist::proc workers dump)"

@@ -302,15 +302,42 @@ impl Schedule {
     ///
     /// # Panics
     ///
-    /// Panics when `perm` is not a permutation of `0..len`.
+    /// Panics when `perm` is not a permutation of `0..len` — an op index
+    /// out of range, or the same op at two steps.
     #[must_use]
     pub fn from_permutation(perm: &[usize]) -> Self {
         let mut step_of = vec![usize::MAX; perm.len()];
         for (step, &op) in perm.iter().enumerate() {
-            assert!(op < perm.len() && step_of[op] == usize::MAX, "not a permutation");
+            assert!(
+                op < perm.len(),
+                "not a permutation: op {op} at step {step} out of range for {} ops",
+                perm.len()
+            );
+            assert!(
+                step_of[op] == usize::MAX,
+                "not a permutation: op {op} appears at step {} and again at step {step}",
+                step_of[op]
+            );
             step_of[op] = step;
         }
         Schedule { step_of }
+    }
+
+    /// The serial schedule replaying an executor's observed *completion
+    /// order* — e.g. [`bertscope_tensor::sched::RunReport::completion_order`]
+    /// from the deferred operator-graph scheduler — so an emitted schedule
+    /// can be re-checked against the very hazard rules that gate program
+    /// order.
+    ///
+    /// Semantically [`Schedule::from_permutation`]; the separate name
+    /// records intent (a measured retirement order, not a hypothetical).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `order` is not a permutation of `0..len`.
+    #[must_use]
+    pub fn from_completion_order(order: &[usize]) -> Self {
+        Self::from_permutation(order)
     }
 
     /// The max-parallel ASAP schedule of a dependence graph.
@@ -504,8 +531,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a permutation")]
+    #[should_panic(expected = "not a permutation: op 0 appears at step 0 and again at step 1")]
     fn bad_permutation_is_rejected() {
         let _ = Schedule::from_permutation(&[0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation: op 7 at step 2 out of range for 3 ops")]
+    fn out_of_range_op_is_rejected() {
+        let _ = Schedule::from_permutation(&[0, 1, 7]);
+    }
+
+    #[test]
+    fn completion_order_replays_as_a_serial_schedule() {
+        let s = Schedule::from_completion_order(&[2, 0, 1]);
+        assert_eq!(s, Schedule::from_permutation(&[2, 0, 1]));
     }
 }

@@ -51,6 +51,9 @@ pub struct ClusterConfig {
     pub total_updates: u64,
     /// Gradient-accumulation window (micro-steps per update).
     pub accumulation: usize,
+    /// Overlap backward with communication on every rank (see
+    /// [`WorkerConfig::overlap`]).
+    pub overlap: bool,
     /// Model-init seed (shared by all ranks) and data-seed base.
     pub seed: u64,
     /// Faults to inject (kills, socket drops/delays/corruption).
@@ -83,6 +86,7 @@ impl ClusterConfig {
             world,
             total_updates,
             accumulation: 2,
+            overlap: false,
             seed: 42,
             faults: FaultPlan::new(),
             recovery: RecoveryMode::Elastic,
@@ -203,6 +207,7 @@ fn worker_config(
         seed: cfg.seed,
         total_updates: cfg.total_updates,
         accumulation: cfg.accumulation,
+        overlap: cfg.overlap,
         fault_spec: fault_spec.to_string(),
         ring: cfg.ring,
         ckpt_dir: cfg.ckpt_dir.clone(),

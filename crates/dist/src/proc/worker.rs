@@ -26,19 +26,21 @@ use crate::proc::DistError;
 use bertscope_model::BertConfig;
 use bertscope_tensor::bucket::encode_f32s;
 use bertscope_tensor::{
-    AccessSet, Category, DType, FaultKind, FaultPlan, OpKind, OpRecord, Phase, Tensor, Tracer,
+    AccessSet, BufId, Category, DType, FaultKind, FaultPlan, OpKind, OpRecord, Phase, Tensor,
+    Tracer,
 };
 use bertscope_train::{
-    Bert, GradSync, Lamb, PretrainBatch, StepResult, SyncError, SyntheticCorpus, TrainCheckpoint,
-    TrainError, TrainOptions, Trainer,
+    Bert, BucketSink, BucketedAverager, GradSync, Lamb, PretrainBatch, StepResult, SyncError,
+    SyntheticCorpus, TrainCheckpoint, TrainError, TrainOptions, Trainer,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
+use std::ops::Range;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Everything a worker needs to run — constructible from explicit values
@@ -58,6 +60,12 @@ pub struct WorkerConfig {
     pub total_updates: u64,
     /// Gradient-accumulation window (micro-steps per update).
     pub accumulation: usize,
+    /// Overlap backward with communication: record backward through the
+    /// deferred operator-graph scheduler and AllReduce each gradient
+    /// bucket on a communication thread the moment its last producing op
+    /// retires, instead of one aggregate collective after backward.
+    /// Bit-identical results either way.
+    pub overlap: bool,
     /// Fault plan spec (see `FaultPlan::to_spec`).
     pub fault_spec: String,
     /// Ring tunables (timeouts, retries, bucket size).
@@ -86,6 +94,7 @@ const ENV_SUPERVISOR: &str = "BERTSCOPE_PROC_SUPERVISOR";
 const ENV_SEED: &str = "BERTSCOPE_PROC_SEED";
 const ENV_UPDATES: &str = "BERTSCOPE_PROC_UPDATES";
 const ENV_ACCUM: &str = "BERTSCOPE_PROC_ACCUM";
+const ENV_OVERLAP: &str = "BERTSCOPE_PROC_OVERLAP";
 const ENV_FAULTS: &str = "BERTSCOPE_PROC_FAULTS";
 const ENV_CKPT_DIR: &str = "BERTSCOPE_PROC_CKPT_DIR";
 const ENV_RESUME: &str = "BERTSCOPE_PROC_RESUME";
@@ -110,6 +119,7 @@ impl WorkerConfig {
             (ENV_SEED.into(), self.seed.to_string()),
             (ENV_UPDATES.into(), self.total_updates.to_string()),
             (ENV_ACCUM.into(), self.accumulation.to_string()),
+            (ENV_OVERLAP.into(), u32::from(self.overlap).to_string()),
             (ENV_FAULTS.into(), self.fault_spec.clone()),
             (ENV_CKPT_DIR.into(), self.ckpt_dir.display().to_string()),
             (ENV_TIMEOUT_MS.into(), self.ring.timeout.as_millis().to_string()),
@@ -148,6 +158,7 @@ impl WorkerConfig {
             seed: num(ENV_SEED)?,
             total_updates: num(ENV_UPDATES)?,
             accumulation: num(ENV_ACCUM)? as usize,
+            overlap: std::env::var(ENV_OVERLAP).is_ok_and(|v| v == "1"),
             fault_spec: std::env::var(ENV_FAULTS).unwrap_or_default(),
             ring: RingConfig {
                 timeout: Duration::from_millis(num(ENV_TIMEOUT_MS)?),
@@ -180,8 +191,14 @@ pub struct WorkerReport {
     /// Whether the supervisor shut the worker down before it reached its
     /// update target (restart recovery relaunches it).
     pub early_shutdown: bool,
-    /// Per-collective ring statistics, in execution order.
+    /// Per-collective ring statistics, in execution order. Overlapped
+    /// window closes contribute one entry *per gradient bucket*; the
+    /// eager path contributes one aggregate entry per window.
     pub ring_stats: Vec<RingStats>,
+    /// For each overlapped window close, the microseconds the close had
+    /// to wait on the communication thread after backward retired the
+    /// last bucket — the *exposed* (unhidden) communication time.
+    pub exposed_comm_us: Vec<u64>,
 }
 
 /// Shared ring state: the trainer's `GradSync` box and the worker's
@@ -260,6 +277,165 @@ impl GradSync for RingGradSync {
         shared.stats_log.push(stats);
         Ok(())
     }
+}
+
+/// Streams fired gradient buckets from the backward pass to the
+/// per-window communication thread. The payload is copied out of the
+/// averager's flat buffer so backward never waits on the wire.
+struct ChannelSink(mpsc::Sender<(usize, Range<usize>, Vec<f32>)>);
+
+impl BucketSink for ChannelSink {
+    fn bucket_ready(&mut self, bucket: usize, range: Range<usize>, data: &[f32]) {
+        // The receiver is only gone after a ring failure; the join in
+        // `overlapped_close` surfaces that, so a send error is ignorable.
+        let _ = self.0.send((bucket, range, data.to_vec()));
+    }
+}
+
+/// One bucket's synced payload: `(bucket index, flat range, averaged
+/// data, collective stats)`.
+type BucketResult = (usize, Range<usize>, Vec<f32>, RingStats);
+
+/// Body of the per-window communication thread: AllReduce each gradient
+/// bucket as backward fires it, while backward keeps computing the next.
+///
+/// Each bucket's payload is at most `bucket_elems` long and starts on a
+/// plan boundary, so the per-bucket collective performs the bit-identical
+/// reduction the aggregate post-backward call would. On a transport error
+/// the ring is torn down (as in the eager path) and the error string
+/// returned; the caller converts it into the retryable
+/// [`TrainError::Sync`] — the trainer's gradient sums are untouched by
+/// this thread, so the eager `close_window` retry remains exact.
+fn comm_thread(
+    shared: &Arc<Mutex<RingShared>>,
+    rx: &mpsc::Receiver<(usize, Range<usize>, Vec<f32>)>,
+) -> Result<Vec<BucketResult>, String> {
+    let mut out: Vec<BucketResult> = Vec::new();
+    let mut armed = false;
+    while let Ok((bucket, range, mut data)) = rx.recv() {
+        let mut sh = shared.lock().expect("ring lock");
+        if !armed {
+            // This window's socket faults arm once, like the eager path.
+            let faults = std::mem::take(&mut sh.pending_faults);
+            if let Some(ring) = sh.ring.as_mut() {
+                ring.arm_faults(faults);
+            }
+            armed = true;
+        }
+        let Some(ring) = sh.ring.as_mut() else {
+            return Err("ring lost before bucket collective".into());
+        };
+        let world = ring.world;
+        match ring.allreduce(&mut data) {
+            Ok(stats) => {
+                let inv = 1.0 / world as f32;
+                for v in &mut data {
+                    *v *= inv;
+                }
+                sh.stats_log.push(stats);
+                out.push((bucket, range, data, stats));
+            }
+            Err(e) => {
+                sh.ring = None;
+                return Err(e.to_string());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Run the window-closing micro-step with backward/AllReduce overlap.
+///
+/// Backward runs on the caller thread and fires each gradient bucket —
+/// already window-averaged by the trainer's observer — into the
+/// communication thread the moment its last producing op retires. After
+/// backward the caller blocks only for whatever wire time backward could
+/// not hide; that wait is recorded in `exposed_log` as the window's
+/// exposed communication time. The synced buckets are reassembled into
+/// per-slot tensors, traced as per-bucket `Comm` ops (so the hazard rules
+/// see each bucket's AllReduce-before-optimizer order), and handed to
+/// [`Trainer::close_window_presynced`] for the optimizer step.
+fn overlapped_close(
+    trainer: &mut Trainer<Lamb>,
+    bert: &mut Bert,
+    tracer: &mut Tracer,
+    batch: &PretrainBatch,
+    shared: &Arc<Mutex<RingShared>>,
+    bucket_elems: usize,
+    exposed_log: &mut Vec<u64>,
+) -> Result<StepResult, TrainError> {
+    let (dims, lens): (Vec<Vec<usize>>, Vec<usize>) = bert
+        .param_values_mut()
+        .iter()
+        .map(|(_, t)| (t.dims().to_vec(), t.as_slice().len()))
+        .unzip();
+    let (tx, rx) = mpsc::channel();
+    let comm = {
+        let shared = shared.clone();
+        std::thread::spawn(move || comm_thread(&shared, &rx))
+    };
+    let mut averager = BucketedAverager::new(&lens, bucket_elems, ChannelSink(tx));
+    let step = trainer.micro_step_observed(tracer, bert, batch, &mut averager);
+    let (_, window_full) = match step {
+        Ok(v) => v,
+        Err(e) => {
+            // Close the channel without the all-buckets-fired assertion
+            // and let the comm thread drain; the error itself is fatal.
+            drop(averager);
+            let _ = comm.join();
+            return Err(e);
+        }
+    };
+    debug_assert!(window_full, "overlap gate only fires on the window-closing micro-step");
+    drop(averager.into_sink());
+    let wait = Instant::now();
+    let results = comm
+        .join()
+        .expect("comm thread panicked")
+        .map_err(|reason| TrainError::Sync { step: trainer.micro_steps(), reason })?;
+    exposed_log.push(u64::try_from(wait.elapsed().as_micros()).unwrap_or(u64::MAX));
+
+    // Reassemble the flat synced vector into canonical per-slot tensors.
+    let total: usize = lens.iter().sum();
+    let mut flat = vec![0.0f32; total];
+    for (_, range, data, _) in &results {
+        flat[range.clone()].copy_from_slice(data);
+    }
+    let mut offsets = Vec::with_capacity(lens.len() + 1);
+    offsets.push(0usize);
+    for &len in &lens {
+        offsets.push(offsets.last().expect("non-empty") + len);
+    }
+    let averaged: Vec<Tensor> = dims
+        .iter()
+        .zip(offsets.windows(2))
+        .map(|(d, w)| Tensor::from_vec(flat[w[0]..w[1]].to_vec(), d).expect("slot shape"))
+        .collect();
+
+    // One Comm op per bucket, over exactly the gradient buffers the
+    // bucket covers, recorded before the optimizer reads them.
+    for (b, range, _, stats) in &results {
+        let ids: Vec<BufId> = averaged
+            .iter()
+            .zip(offsets.windows(2))
+            .filter(|(_, w)| w[0] < range.end && range.start < w[1])
+            .map(|(t, _)| t.buf_id())
+            .collect();
+        tracer.record(OpRecord {
+            name: format!("proc.allreduce.bucket{b} w{}", stats.world),
+            kind: OpKind::Comm,
+            category: Category::Comm,
+            phase: Phase::Communication,
+            layer: None,
+            gemm: None,
+            flops: range.len() as u64 * (stats.world as u64 - 1),
+            bytes_read: stats.bytes_sent,
+            bytes_written: stats.bytes_sent,
+            dtype: DType::F32,
+            access: AccessSet { reads: ids.clone(), writes: ids, allocs: vec![], frees: vec![] },
+        });
+    }
+    trainer.close_window_presynced(tracer, bert, averaged)
 }
 
 /// FNV-1a over parameter names and raw f32 bytes — the replica-agreement
@@ -458,6 +634,7 @@ fn run_worker(
                     weights_hash: 0,
                     early_shutdown: true,
                     ring_stats: Vec::new(),
+                    exposed_comm_us: Vec::new(),
                 });
             }
         };
@@ -465,7 +642,11 @@ fn run_worker(
     // Same config + same seed on every rank: identical initial replicas.
     let bert_cfg = BertConfig::tiny();
     let corpus = SyntheticCorpus::new(bert_cfg.vocab);
-    let mut bert = Bert::new(bert_cfg, TrainOptions::default(), cfg.seed);
+    // `overlap` also records attention through the deferred scheduler —
+    // inter-op QKV parallelism rides the same operator graph, and both
+    // modes are bit-identical to eager execution.
+    let opts = TrainOptions { deferred: cfg.overlap, ..TrainOptions::default() };
+    let mut bert = Bert::new(bert_cfg, opts, cfg.seed);
     let mut trainer = Trainer::new(Lamb::new(0.01), cfg.accumulation)
         .with_sync(Box::new(RingGradSync { shared: shared.clone() }));
     let mut tracer = if cfg.trace_out.is_some() { Tracer::new() } else { Tracer::disabled() };
@@ -475,6 +656,7 @@ fn run_worker(
     }
 
     let mut early_shutdown = false;
+    let mut exposed_log: Vec<u64> = Vec::new();
     'train: while trainer.updates() < cfg.total_updates {
         let attempt = trainer.micro_steps() + 1;
         // Arm this step's process faults.
@@ -507,7 +689,25 @@ fn run_worker(
         }
 
         let batch = batch_for(&corpus, &bert_cfg, cfg.seed, cfg.orig_rank, attempt);
-        let mut outcome = trainer.micro_step(&mut tracer, &mut bert, &batch).map(|(_, r)| r);
+        // Overlap fires on the window-closing micro-step of a live ring;
+        // everything else (accumulating steps, world of one, post-failure
+        // retries) takes the eager path.
+        let overlap_now = cfg.overlap
+            && trainer.pending() + 1 == cfg.accumulation
+            && shared.lock().expect("ring lock").ring.is_some();
+        let mut outcome = if overlap_now {
+            overlapped_close(
+                &mut trainer,
+                &mut bert,
+                &mut tracer,
+                &batch,
+                &shared,
+                cfg.ring.bucket_elems,
+                &mut exposed_log,
+            )
+        } else {
+            trainer.micro_step(&mut tracer, &mut bert, &batch).map(|(_, r)| r)
+        };
         // A failed sync is retryable after the supervisor repairs the
         // membership; everything else is fatal for this worker.
         loop {
@@ -562,6 +762,7 @@ fn run_worker(
         weights_hash: hash,
         early_shutdown,
         ring_stats,
+        exposed_comm_us: exposed_log,
     })
 }
 

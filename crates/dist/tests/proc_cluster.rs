@@ -235,3 +235,77 @@ fn traced_rank_streams_pass_hazard_analysis() {
         assert!(errors.is_empty(), "rank {rank} stream has hazard errors: {errors:?}");
     }
 }
+
+/// The tentpole property of backward/AllReduce overlap: per-bucket
+/// collectives fired mid-backward must leave the replicas bit-identical
+/// to the eager aggregate sync, expose per-update wait measurements, and
+/// emit traces the hazard rules (including H005's
+/// AllReduce-before-optimizer contract) accept.
+#[test]
+fn overlapped_close_is_bit_identical_and_hazard_clean() {
+    // Small buckets so the tiny model's gradients span several of them;
+    // both runs use the same plan so the reduction order matches.
+    let mut eager = base_config(2, 2, "overlap-eager");
+    eager.ring.bucket_elems = 4096;
+    let base = run_thread_cluster(&eager).expect("eager cluster");
+
+    let mut ov = base_config(2, 2, "overlap-on");
+    ov.overlap = true;
+    ov.ring.bucket_elems = 4096;
+    let trace_dir = scratch("overlap-trace");
+    ov.trace_dir = Some(trace_dir.clone());
+    let report = run_thread_cluster(&ov).expect("overlapped cluster");
+
+    assert_eq!(report.updates, 2);
+    assert_eq!(
+        report.weights_hash, base.weights_hash,
+        "overlapped training must be bit-identical to the eager sync"
+    );
+    for w in &report.worker_reports {
+        assert_eq!(
+            w.exposed_comm_us.len(),
+            2,
+            "rank {}: one exposed-time sample per overlapped update",
+            w.orig_rank
+        );
+        let eager_buckets: usize = base
+            .worker_reports
+            .iter()
+            .find(|b| b.orig_rank == w.orig_rank)
+            .expect("matching eager rank")
+            .ring_stats
+            .iter()
+            .map(|s| s.buckets)
+            .sum();
+        assert_eq!(
+            w.ring_stats.len(),
+            eager_buckets,
+            "rank {}: one collective per gradient bucket",
+            w.orig_rank
+        );
+        assert!(
+            w.ring_stats.iter().all(|s| s.buckets == 1),
+            "rank {}: overlapped collectives carry single buckets",
+            w.orig_rank
+        );
+    }
+
+    for rank in 0..2 {
+        let path = trace_dir.join(format!("rank{rank}.trace"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing trace {}: {e}", path.display()));
+        let ops = bertscope_tensor::tracefile::parse_records(&text).expect("parse trace");
+        let bucket_comms = ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Comm && o.name.starts_with("proc.allreduce.bucket"))
+            .count();
+        assert!(bucket_comms > 1, "rank {rank}: expected per-bucket Comm ops, got {bucket_comms}");
+        let graph = DepGraph::build(&ops);
+        let mut findings =
+            check_schedule(&ops, &graph, &Schedule::program_order(ops.len()), "program");
+        findings.extend(check_schedule(&ops, &graph, &Schedule::asap(&graph), "asap"));
+        findings.extend(hazard::check_comm_ordering(&ops));
+        let errors: Vec<_> = findings.iter().filter(|f| f.severity == Severity::Error).collect();
+        assert!(errors.is_empty(), "rank {rank} overlapped stream has hazard errors: {errors:?}");
+    }
+}

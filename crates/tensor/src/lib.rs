@@ -17,6 +17,10 @@
 //!   workspace routes through (the CPU stand-in for the ROCm caching
 //!   allocator), with global live/peak byte accounting that feeds the
 //!   measured [`MemoryProfile`];
+//! * [`sched`] — the deferred operator-graph scheduler: tasks recorded
+//!   with `AccessSet` provenance, executed as a dependence DAG over the
+//!   worker pool with inter-op parallelism (the CPU stand-in for HIP
+//!   stream/event scheduling), bit-identical to eager program order;
 //! * [`trace`] — the operation tracer that records, for every kernel
 //!   invocation, its manifestation (GEMM / batched-GEMM / elementwise /
 //!   reduction), shape, FLOP count and bytes moved. The tracer plays the role
@@ -46,6 +50,7 @@ pub mod gemm;
 pub mod init;
 pub mod mathfn;
 pub mod pool;
+pub mod sched;
 pub mod shape;
 pub mod tensor;
 pub mod trace;

@@ -150,6 +150,26 @@ fn in_worker() -> bool {
     IN_WORKER.with(std::cell::Cell::get)
 }
 
+/// Run `f` with every nested `parallel_*`/[`run_tasks`] call forced inline
+/// on the current thread, exactly as if it were a pool worker.
+///
+/// The operator-graph scheduler ([`crate::sched`]) needs this: its executor
+/// loops occupy the pool's worker threads *and* the submitting thread, so a
+/// task body that re-entered [`run_tasks`] from the submitting thread would
+/// queue chunks behind executor loops that never drain — a deadlock. Forcing
+/// the body inline also pins it to the 1-thread reference chunking, which is
+/// the behaviour every kernel is bit-identical against.
+pub fn run_isolated<R>(f: impl FnOnce() -> R) -> R {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            IN_WORKER.with(|w| w.set(self.0));
+        }
+    }
+    let _reset = Reset(IN_WORKER.with(|w| w.replace(true)));
+    f()
+}
+
 /// Ensure at least `n` workers exist, spawning any missing ones.
 fn ensure_workers(n: usize) {
     let mut workers = pool().workers.lock().expect("pool worker list poisoned");

@@ -1,0 +1,721 @@
+//! Deferred operator-graph scheduler: record first, run the DAG second.
+//!
+//! The rest of the substrate executes kernels *eagerly* — each call runs at
+//! its call site, internally data-parallel over the worker pool, and the
+//! program order is the schedule. This module inverts that model the way a
+//! GPU stream/graph runtime does: callers *record* named tasks into a
+//! [`TaskGraph`], each task carrying the same [`AccessSet`] read/write
+//! provenance the tracer already threads through every kernel. [`TaskGraph::run`]
+//! derives the dependence DAG from that provenance (the same
+//! last-writer/readers-since construction as `bertscope-check`'s
+//! `DepGraph::build`), then dispatches *ready* tasks onto the worker pool —
+//! independent ops (the three Q/K/V projections, per-layer gradient
+//! computations) retire concurrently instead of serially.
+//!
+//! # Determinism and safety
+//!
+//! * **Bit-identical results.** Every task body runs under
+//!   [`pool::run_isolated`], i.e. internally serial with the 1-thread
+//!   reference chunking each kernel is already bit-identical against.
+//!   Parallelism comes only from the DAG, and the DAG never lets two tasks
+//!   race on a buffer (RAW/WAR/WAW all become edges), so outputs are
+//!   bit-identical to eager program order at any worker count.
+//! * **Deterministic traces.** Each task records into a private tracer;
+//!   [`TaskGraph::run`] merges the fragments back in *submission* order, so
+//!   the merged trace equals the eager trace regardless of retirement
+//!   order. What actually varies — the completion order — is returned in
+//!   the [`RunReport`] so `bertscope-check` can re-verify the *emitted
+//!   schedule* against the H001–H005 hazard rules.
+//! * **Opaque tasks are barriers.** A task whose [`AccessSet`] is empty has
+//!   unknown provenance; the scheduler orders it after every earlier task
+//!   and before every later one rather than guessing independence.
+//!
+//! # Example
+//!
+//! ```
+//! use bertscope_tensor::sched::{Slot, TaskGraph};
+//! use bertscope_tensor::{AccessSet, BufId, Tracer};
+//!
+//! let a = BufId::fresh();
+//! let b = BufId::fresh();
+//! let out = Slot::new();
+//! let mut graph = TaskGraph::new();
+//! // Two independent producers and a consumer joined by RAW edges.
+//! graph.submit("produce_a", AccessSet::new(&[], &[a]), |_| {});
+//! graph.submit("produce_b", AccessSet::new(&[], &[b]), |_| {});
+//! graph.submit("consume", AccessSet::new(&[a, b], &[]), |_| out.put(42));
+//! let report = graph.run(&mut Tracer::disabled());
+//! assert_eq!(report.completion_order.len(), 3);
+//! assert_eq!(*report.completion_order.last().unwrap(), 2);
+//! assert_eq!(out.take(), Some(42));
+//! ```
+
+use crate::pool;
+use crate::trace::{AccessSet, BufId, OpRecord, Tracer};
+use std::collections::{HashMap, VecDeque};
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+
+/// A recorded task body: runs once, records its kernels into the private
+/// tracer it is handed.
+pub type TaskBody<'scope> = Box<dyn FnOnce(&mut Tracer) + Send + 'scope>;
+
+struct Task<'scope> {
+    label: String,
+    access: AccessSet,
+    body: TaskBody<'scope>,
+}
+
+/// A single-value rendezvous cell for passing a task's result back to the
+/// recording scope (task bodies are `FnOnce() + Send`, so they cannot
+/// return values directly).
+#[derive(Debug)]
+pub struct Slot<T>(Mutex<Option<T>>);
+
+impl<T> Slot<T> {
+    /// An empty slot.
+    #[must_use]
+    pub const fn new() -> Self {
+        Slot(Mutex::new(None))
+    }
+
+    /// Store a value (overwrites any previous one).
+    pub fn put(&self, value: T) {
+        *self.0.lock().expect("sched slot poisoned") = Some(value);
+    }
+
+    /// Take the stored value out, if any.
+    pub fn take(&self) -> Option<T> {
+        self.0.lock().expect("sched slot poisoned").take()
+    }
+}
+
+impl<T> Default for Slot<T> {
+    fn default() -> Self {
+        Slot::new()
+    }
+}
+
+/// What one [`TaskGraph::run`] actually did: the retirement order the
+/// executor emitted, and where the merged records landed in the destination
+/// tracer. This is the hand-off to `bertscope-check`: `record_order` is a
+/// permutation of the run's record indices suitable for
+/// `Schedule::from_completion_order`, so every emitted schedule can be
+/// re-verified against the static hazard rules.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Task ids in the order they retired.
+    pub completion_order: Vec<usize>,
+    /// Index in the destination tracer of this run's first merged record
+    /// (0 when the tracer was disabled).
+    pub first_record: usize,
+    /// Absolute record range each task contributed to the destination
+    /// tracer, indexed by task id. Records are merged in submission order,
+    /// so the ranges are contiguous and ascending.
+    pub task_records: Vec<Range<usize>>,
+    /// Absolute indices of this run's records in *retirement* order: tasks
+    /// in `completion_order`, each task's records in the order it recorded
+    /// them. Empty when the tracer was disabled.
+    pub record_order: Vec<usize>,
+    /// Worker count the executor ran with.
+    pub workers: usize,
+}
+
+/// A deferred execution graph: tasks recorded with buffer provenance, run
+/// as a dependence DAG over the worker pool.
+#[derive(Default)]
+pub struct TaskGraph<'scope> {
+    tasks: Vec<Task<'scope>>,
+}
+
+impl std::fmt::Debug for TaskGraph<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskGraph").field("tasks", &self.tasks.len()).finish()
+    }
+}
+
+impl<'scope> TaskGraph<'scope> {
+    /// An empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        TaskGraph { tasks: Vec::new() }
+    }
+
+    /// Number of recorded tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether no tasks have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Record a task. `access` declares every buffer the body reads and
+    /// writes — the dependence DAG is derived from these sets, so an
+    /// undeclared access is a correctness bug (an *empty* set is safe: the
+    /// task is then treated as a full barrier). Returns the task id.
+    pub fn submit(
+        &mut self,
+        label: impl Into<String>,
+        access: AccessSet,
+        body: impl FnOnce(&mut Tracer) + Send + 'scope,
+    ) -> usize {
+        self.tasks.push(Task { label: label.into(), access, body: Box::new(body) });
+        self.tasks.len() - 1
+    }
+
+    /// Execute the graph: derive the dependence DAG from the recorded
+    /// access sets and dispatch ready tasks onto the worker pool until all
+    /// retire. Task bodies run isolated (internally serial), so results are
+    /// bit-identical to eager program order at any thread count. Records
+    /// are merged into `tracer` in submission order; the actual retirement
+    /// order is returned for hazard re-verification.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first task panic after the whole graph has quiesced
+    /// (no borrow escapes the call).
+    pub fn run(self, tracer: &mut Tracer) -> RunReport {
+        let n = self.tasks.len();
+        let workers = pool::current_threads().min(n).max(1);
+        if n == 0 {
+            return RunReport {
+                completion_order: Vec::new(),
+                first_record: tracer.records().len(),
+                task_records: Vec::new(),
+                record_order: Vec::new(),
+                workers,
+            };
+        }
+        let accesses: Vec<&AccessSet> = self.tasks.iter().map(|t| &t.access).collect();
+        let preds = dependence_preds(&accesses);
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indeg = vec![0usize; n];
+        for (i, ps) in preds.iter().enumerate() {
+            indeg[i] = ps.len();
+            for &p in ps {
+                succs[p].push(i);
+            }
+        }
+        let ready: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let shared = ExecShared {
+            state: Mutex::new(ExecState {
+                ready,
+                indeg,
+                remaining: n,
+                completed: Vec::with_capacity(n),
+                panic: None,
+            }),
+            work: Condvar::new(),
+        };
+        let enabled = tracer.is_enabled();
+        let labels: Vec<String> = self.tasks.iter().map(|t| t.label.clone()).collect();
+        let bodies: Vec<Mutex<Option<TaskBody<'scope>>>> =
+            self.tasks.into_iter().map(|t| Mutex::new(Some(t.body))).collect();
+        let outputs: Vec<Mutex<Vec<OpRecord>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+
+        // One executor loop per participating thread. Each loop claims a
+        // ready task, runs its body isolated, retires it and wakes the
+        // others; loops exit when the graph is drained (or poisoned by a
+        // panic). `pool::run_tasks` runs loop 0 on the calling thread.
+        let exec_loop = || loop {
+            let t = {
+                let mut st = shared.state.lock().expect("sched state poisoned");
+                loop {
+                    if st.panic.is_some() || st.remaining == 0 {
+                        return;
+                    }
+                    if let Some(t) = st.ready.pop_front() {
+                        break t;
+                    }
+                    st = shared.work.wait(st).expect("sched state poisoned");
+                }
+            };
+            let body = bodies[t]
+                .lock()
+                .expect("sched body poisoned")
+                .take()
+                .expect("task dispatched twice");
+            let mut local = if enabled { Tracer::new() } else { Tracer::disabled() };
+            let result = catch_unwind(AssertUnwindSafe(|| pool::run_isolated(|| body(&mut local))));
+            *outputs[t].lock().expect("sched output poisoned") = local.into_records();
+            let mut st = shared.state.lock().expect("sched state poisoned");
+            match result {
+                Ok(()) => {
+                    st.completed.push(t);
+                    st.remaining -= 1;
+                    for &s in &succs[t] {
+                        st.indeg[s] -= 1;
+                        if st.indeg[s] == 0 {
+                            st.ready.push_back(s);
+                        }
+                    }
+                }
+                Err(payload) => {
+                    if st.panic.is_none() {
+                        st.panic = Some((t, payload));
+                    }
+                }
+            }
+            drop(st);
+            shared.work.notify_all();
+        };
+        let loops: Vec<Box<dyn FnOnce() + Send + '_>> =
+            (0..workers).map(|_| Box::new(exec_loop) as Box<dyn FnOnce() + Send + '_>).collect();
+        pool::run_tasks(loops);
+
+        let mut st = shared.state.into_inner().expect("sched state poisoned");
+        if let Some((t, payload)) = st.panic.take() {
+            // Surface which task died, then re-raise the original payload
+            // so assertion messages survive.
+            eprintln!("bertscope-sched: task {t} `{}` panicked", labels[t]);
+            std::panic::resume_unwind(payload);
+        }
+        let completion_order = st.completed;
+        debug_assert_eq!(completion_order.len(), n, "scheduler retired every task");
+
+        // Merge per-task records back in submission order: the merged trace
+        // is identical to the eager trace, and each task's records occupy a
+        // contiguous range.
+        let first_record = tracer.records().len();
+        let mut task_records = Vec::with_capacity(n);
+        let mut next = first_record;
+        for out in &outputs {
+            let mut records = out.lock().expect("sched output poisoned");
+            let count = records.len();
+            tracer.extend(records.drain(..));
+            task_records.push(next..next + count);
+            next += count;
+        }
+        let record_order: Vec<usize> = if enabled {
+            completion_order.iter().flat_map(|&t| task_records[t].clone()).collect()
+        } else {
+            Vec::new()
+        };
+        let report =
+            RunReport { completion_order, first_record, task_records, record_order, workers };
+        log_run(&report);
+        report
+    }
+}
+
+struct ExecShared {
+    state: Mutex<ExecState>,
+    work: Condvar,
+}
+
+struct ExecState {
+    ready: VecDeque<usize>,
+    indeg: Vec<usize>,
+    remaining: usize,
+    completed: Vec<usize>,
+    panic: Option<(usize, Box<dyn std::any::Any + Send>)>,
+}
+
+/// Per-task predecessor lists derived from access sets — the same
+/// last-writer/readers-since construction as `bertscope-check`'s
+/// `DepGraph::build` (RAW from the last writer, WAR from readers since
+/// that writer, WAW between writers), with two scheduler-side
+/// conservatisms: `allocs`/`frees` order like writes (a free must not
+/// overtake a reader), and a task with empty provenance is a full barrier.
+#[must_use]
+pub fn dependence_preds(accesses: &[&AccessSet]) -> Vec<Vec<usize>> {
+    let mut last_writer: HashMap<BufId, usize> = HashMap::new();
+    let mut readers_since: HashMap<BufId, Vec<usize>> = HashMap::new();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); accesses.len()];
+    let mut barrier: Option<usize> = None;
+    for (i, acc) in accesses.iter().enumerate() {
+        if acc.is_empty() {
+            preds[i].extend(0..i);
+            barrier = Some(i);
+            continue;
+        }
+        if let Some(b) = barrier {
+            preds[i].push(b);
+        }
+        for &r in &acc.reads {
+            if let Some(&w) = last_writer.get(&r) {
+                if w != i {
+                    preds[i].push(w);
+                }
+            }
+            readers_since.entry(r).or_default().push(i);
+        }
+        for &w in acc.writes.iter().chain(&acc.allocs).chain(&acc.frees) {
+            if let Some(readers) = readers_since.get(&w) {
+                preds[i].extend(readers.iter().copied().filter(|&r| r != i));
+            }
+            if let Some(&lw) = last_writer.get(&w) {
+                if lw != i {
+                    preds[i].push(lw);
+                }
+            }
+            last_writer.insert(w, i);
+            readers_since.insert(w, Vec::new());
+        }
+        preds[i].sort_unstable();
+        preds[i].dedup();
+    }
+    preds
+}
+
+/// Deterministically simulate the executor's scheduling policy over a
+/// stream of access sets, one task per entry, with `workers` virtual
+/// executor loops of unit task duration: a FIFO ready queue seeded in
+/// submission order, up to `workers` tasks in flight, in-flight tasks
+/// retiring in ascending id order each tick. Returns the completion
+/// order — a topological order of the dependence DAG, usable with
+/// `Schedule::from_completion_order` to re-verify the policy against the
+/// hazard rules without executing anything (`racecheck --sched` does this
+/// over the analytic streams of all 42 paper configurations).
+///
+/// # Panics
+///
+/// Panics when `workers` is zero.
+#[must_use]
+pub fn plan_order(accesses: &[&AccessSet], workers: usize) -> Vec<usize> {
+    assert!(workers >= 1, "worker count must be at least 1");
+    let n = accesses.len();
+    let preds = dependence_preds(accesses);
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for (i, ps) in preds.iter().enumerate() {
+        indeg[i] = ps.len();
+        for &p in ps {
+            succs[p].push(i);
+        }
+    }
+    let mut ready: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut running: Vec<usize> = Vec::with_capacity(workers);
+    let mut order = Vec::with_capacity(n);
+    while order.len() < n {
+        while running.len() < workers {
+            let Some(t) = ready.pop_front() else { break };
+            running.push(t);
+        }
+        assert!(!running.is_empty(), "dependence graph has a cycle");
+        running.sort_unstable();
+        for t in running.drain(..) {
+            order.push(t);
+            for &s in &succs[t] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready.push_back(s);
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Expand a set of deferred-group [`RunReport`]s into a completion order
+/// for a whole trace of `total_records` records: records outside any group
+/// retire in program order; records inside a group retire in the order the
+/// group's executor emitted. The result is a permutation of
+/// `0..total_records` — the live schedule of a traced step, ready for
+/// `Schedule::from_completion_order`.
+///
+/// # Panics
+///
+/// Panics when the reports' record ranges overlap or exceed the trace.
+#[must_use]
+pub fn splice_order(total_records: usize, runs: &[RunReport]) -> Vec<usize> {
+    let mut sorted: Vec<&RunReport> = runs.iter().filter(|r| !r.record_order.is_empty()).collect();
+    sorted.sort_by_key(|r| r.first_record);
+    let mut order = Vec::with_capacity(total_records);
+    let mut next_run = sorted.iter().peekable();
+    let mut i = 0;
+    while i < total_records {
+        if let Some(run) = next_run.peek() {
+            if run.first_record == i {
+                let len = run.record_order.len();
+                assert!(
+                    i + len <= total_records,
+                    "deferred group records [{i}, {}) exceed the trace ({total_records} records)",
+                    i + len
+                );
+                order.extend_from_slice(&run.record_order);
+                i += len;
+                next_run.next();
+                continue;
+            }
+            assert!(run.first_record > i, "deferred group record ranges overlap at record {i}");
+        }
+        order.push(i);
+        i += 1;
+    }
+    assert!(next_run.peek().is_none(), "deferred group starts past the end of the trace");
+    order
+}
+
+thread_local! {
+    /// Capture buffer for [`RunReport`]s, used by tests and `racecheck` to
+    /// collect the live schedules a traced step emitted.
+    static RUN_LOG: std::cell::RefCell<Option<Vec<RunReport>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Start capturing every subsequent [`TaskGraph::run`] report on this
+/// thread (clears any previous capture).
+pub fn start_capture() {
+    RUN_LOG.with(|l| *l.borrow_mut() = Some(Vec::new()));
+}
+
+/// Stop capturing and return the reports collected since
+/// [`start_capture`]. Returns an empty vec when capture was never started.
+#[must_use]
+pub fn take_captured() -> Vec<RunReport> {
+    RUN_LOG.with(|l| l.borrow_mut().take()).unwrap_or_default()
+}
+
+fn log_run(report: &RunReport) {
+    RUN_LOG.with(|l| {
+        if let Some(log) = l.borrow_mut().as_mut() {
+            log.push(report.clone());
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::with_threads;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn acc(reads: &[BufId], writes: &[BufId]) -> AccessSet {
+        AccessSet::new(reads, writes)
+    }
+
+    /// Assert `order` is a permutation respecting every dependence edge.
+    fn assert_valid(order: &[usize], accesses: &[&AccessSet]) {
+        let n = accesses.len();
+        let mut step = vec![usize::MAX; n];
+        for (s, &t) in order.iter().enumerate() {
+            assert_eq!(step[t], usize::MAX, "task {t} retired twice");
+            step[t] = s;
+        }
+        assert!(step.iter().all(|&s| s != usize::MAX), "not a permutation");
+        for (i, preds) in dependence_preds(accesses).iter().enumerate() {
+            for &p in preds {
+                assert!(step[p] < step[i], "edge {p} -> {i} violated");
+            }
+        }
+    }
+
+    #[test]
+    fn raw_war_waw_edges_order_execution() {
+        let x = BufId::fresh();
+        let y = BufId::fresh();
+        // 0 writes x; 1 reads x (RAW on 0); 2 rewrites x (WAR on 1, WAW on
+        // 0); 3 writes y (independent of all).
+        let sets = [acc(&[], &[x]), acc(&[x], &[y]), acc(&[y], &[x]), acc(&[], &[BufId::fresh()])];
+        let refs: Vec<&AccessSet> = sets.iter().collect();
+        let preds = dependence_preds(&refs);
+        assert_eq!(preds[0], vec![]);
+        assert_eq!(preds[1], vec![0]);
+        assert_eq!(preds[2], vec![0, 1]);
+        assert_eq!(preds[3], vec![]);
+    }
+
+    #[test]
+    fn frees_and_allocs_order_like_writes() {
+        let x = BufId::fresh();
+        // 0 allocs+writes x, 1 reads it, 2 frees it: the free must come last.
+        let sets = [
+            AccessSet::new(&[], &[x]).with_allocs(&[x]),
+            acc(&[x], &[]),
+            AccessSet::new(&[], &[]).with_frees(&[x]),
+        ];
+        let refs: Vec<&AccessSet> = sets.iter().collect();
+        let preds = dependence_preds(&refs);
+        assert_eq!(preds[2], vec![0, 1]);
+    }
+
+    #[test]
+    fn opaque_task_is_a_full_barrier() {
+        let x = BufId::fresh();
+        let y = BufId::fresh();
+        let sets = [acc(&[], &[x]), AccessSet::default(), acc(&[], &[y])];
+        let refs: Vec<&AccessSet> = sets.iter().collect();
+        let preds = dependence_preds(&refs);
+        assert_eq!(preds[1], vec![0], "barrier waits for every earlier task");
+        assert_eq!(preds[2], vec![1], "later tasks wait for the barrier");
+    }
+
+    #[test]
+    fn graph_runs_chain_in_order_and_parallel_group_completely() {
+        for threads in [1, 2, 8] {
+            with_threads(threads, || {
+                let data = Mutex::new(vec![0i64; 4]);
+                let x = BufId::fresh();
+                let outs: Vec<BufId> = (0..3).map(|_| BufId::fresh()).collect();
+                let mut g = TaskGraph::new();
+                // A producer, three independent consumers, and a reducer.
+                g.submit("produce", acc(&[], &[x]), |_| {
+                    data.lock().unwrap()[0] = 7;
+                });
+                for (i, &o) in outs.iter().enumerate() {
+                    let data = &data;
+                    g.submit(format!("consume{i}"), acc(&[x], &[o]), move |_| {
+                        let mut d = data.lock().unwrap();
+                        d[1 + i] = d[0] * (i as i64 + 1);
+                    });
+                }
+                let report = g.run(&mut Tracer::disabled());
+                assert_eq!(report.completion_order[0], 0, "producer retires first");
+                assert_eq!(*data.lock().unwrap(), vec![7, 7, 14, 21], "threads={threads}");
+                let sets = [
+                    acc(&[], &[x]),
+                    acc(&[x], &[outs[0]]),
+                    acc(&[x], &[outs[1]]),
+                    acc(&[x], &[outs[2]]),
+                ];
+                let refs: Vec<&AccessSet> = sets.iter().collect();
+                assert_valid(&report.completion_order, &refs);
+            });
+        }
+    }
+
+    #[test]
+    fn run_merges_records_in_submission_order_and_reports_retirement() {
+        use crate::trace::{Category, OpKind, Phase};
+        use crate::DType;
+        let mk = |name: &str| OpRecord {
+            name: name.into(),
+            kind: OpKind::ElementWise,
+            category: Category::Gelu,
+            phase: Phase::Forward,
+            layer: None,
+            gemm: None,
+            flops: 1,
+            bytes_read: 4,
+            bytes_written: 4,
+            dtype: DType::F32,
+            access: AccessSet::default(),
+        };
+        with_threads(4, || {
+            let x = BufId::fresh();
+            let y = BufId::fresh();
+            let mut tracer = Tracer::new();
+            let mut g = TaskGraph::new();
+            g.submit("a", acc(&[], &[x]), |tr: &mut Tracer| {
+                tr.record(mk("a0"));
+                tr.record(mk("a1"));
+            });
+            g.submit("b", acc(&[], &[y]), |tr: &mut Tracer| tr.record(mk("b0")));
+            g.submit("c", acc(&[x, y], &[]), |tr: &mut Tracer| tr.record(mk("c0")));
+            let report = g.run(&mut tracer);
+            let names: Vec<&str> = tracer.records().iter().map(|r| r.name.as_str()).collect();
+            assert_eq!(names, vec!["a0", "a1", "b0", "c0"], "submission-order merge");
+            assert_eq!(report.task_records, vec![0..2, 2..3, 3..4]);
+            // record_order is a permutation ending with the join's record.
+            let mut sorted = report.record_order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+            assert_eq!(*report.record_order.last().unwrap(), 3);
+        });
+    }
+
+    #[test]
+    fn task_panic_propagates_after_quiescing() {
+        let hits = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            with_threads(4, || {
+                let x = BufId::fresh();
+                let mut g = TaskGraph::new();
+                g.submit("ok", acc(&[], &[x]), |_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+                g.submit("boom", acc(&[x], &[]), |_| panic!("task exploded"));
+                g.run(&mut Tracer::disabled());
+            });
+        }));
+        assert!(result.is_err(), "panic must reach the caller");
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn nested_kernels_in_task_bodies_do_not_deadlock() {
+        // A task body that itself calls parallel_for: must run inline.
+        with_threads(4, || {
+            let sums = Mutex::new(vec![0usize; 2]);
+            let mut g = TaskGraph::new();
+            for i in 0..2 {
+                let b = BufId::fresh();
+                let sums = &sums;
+                g.submit(format!("nested{i}"), acc(&[], &[b]), move |_| {
+                    let total: usize =
+                        pool::parallel_map(100, 10, |r| r.sum::<usize>()).into_iter().sum();
+                    sums.lock().unwrap()[i] = total;
+                });
+            }
+            g.run(&mut Tracer::disabled());
+            assert_eq!(*sums.lock().unwrap(), vec![4950, 4950]);
+        });
+    }
+
+    #[test]
+    fn plan_order_is_deterministic_and_valid() {
+        // A small pseudo-random graph: 20 tasks over 6 buffers.
+        let bufs: Vec<BufId> = (0..6).map(|_| BufId::fresh()).collect();
+        let mut state = 0x9e37_79b9u64;
+        let mut rand = || {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        let sets: Vec<AccessSet> = (0..20)
+            .map(|_| {
+                let r = bufs[rand() % 6];
+                let w = bufs[rand() % 6];
+                acc(&[r], &[w])
+            })
+            .collect();
+        let refs: Vec<&AccessSet> = sets.iter().collect();
+        for workers in [1, 2, 8] {
+            let a = plan_order(&refs, workers);
+            let b = plan_order(&refs, workers);
+            assert_eq!(a, b, "plan_order must be deterministic");
+            assert_valid(&a, &refs);
+        }
+        // One virtual worker reproduces a serial FIFO elaboration.
+        assert_eq!(plan_order(&refs, 1).len(), 20);
+    }
+
+    #[test]
+    fn splice_order_interleaves_groups_with_program_order() {
+        let run = RunReport {
+            completion_order: vec![1, 0],
+            first_record: 2,
+            task_records: vec![2..3, 3..4],
+            record_order: vec![3, 2],
+            workers: 2,
+        };
+        let order = splice_order(6, &[run]);
+        assert_eq!(order, vec![0, 1, 3, 2, 4, 5]);
+        assert_eq!(splice_order(3, &[]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn capture_collects_run_reports() {
+        start_capture();
+        let x = BufId::fresh();
+        let mut g = TaskGraph::new();
+        g.submit("t", acc(&[], &[x]), |_| {});
+        g.run(&mut Tracer::new());
+        let runs = take_captured();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].completion_order, vec![0]);
+        assert!(take_captured().is_empty(), "capture is consumed");
+    }
+
+    #[test]
+    fn empty_graph_is_a_no_op() {
+        let report = TaskGraph::new().run(&mut Tracer::new());
+        assert!(report.completion_order.is_empty());
+        assert!(report.record_order.is_empty());
+    }
+}

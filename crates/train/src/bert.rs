@@ -41,6 +41,10 @@ pub struct TrainOptions {
     /// FC1's bias+GeLU and the attention-score scale+mask execute inside
     /// the producing GEMM instead of as separate memory-bound kernels.
     pub fused_epilogue: bool,
+    /// Defer independent kernel groups (the Q/K/V projections and their
+    /// backward passes) to the operator-graph scheduler so they retire
+    /// concurrently. Bit-identical to eager execution at any thread count.
+    pub deferred: bool,
     /// Loss scale applied to gradients in mixed precision.
     pub loss_scale: f32,
     /// Use decoder-style causal attention (paper §2.3: masks future tokens;
@@ -56,6 +60,7 @@ impl Default for TrainOptions {
             checkpoint: false,
             fused_qkv: false,
             fused_epilogue: false,
+            deferred: false,
             loss_scale: 1.0,
             causal_attention: false,
         }
@@ -295,6 +300,7 @@ impl Bert {
             self.opts.dropout_p,
             self.opts.fused_qkv,
             self.opts.fused_epilogue,
+            self.opts.deferred,
         )
     }
 
@@ -330,14 +336,60 @@ impl Bert {
         Ok((x0, EmbeddingActs { sum2, ln_state, drop }))
     }
 
+    /// Report layer `l`'s sixteen gradients in canonical
+    /// [`Bert::param_slots`] order (base slot `5 + l * 16`).
+    fn observe_layer(obs: &mut dyn crate::defer::GradObserver, l: usize, g: &LayerGrads) {
+        obs.group_ready(
+            5 + l * 16,
+            &[
+                &g.attn.wq,
+                &g.attn.bq,
+                &g.attn.wk,
+                &g.attn.bk,
+                &g.attn.wv,
+                &g.attn.bv,
+                &g.attn.wo,
+                &g.attn.bo,
+                &g.ln1_gamma,
+                &g.ln1_beta,
+                &g.fc1_w,
+                &g.fc1_b,
+                &g.fc2_w,
+                &g.fc2_b,
+                &g.ln2_gamma,
+                &g.ln2_beta,
+            ],
+        );
+    }
+
     /// One full training step: forward, loss, backward. Gradients are stored
     /// on the model; apply them with [`Bert::param_slots`] + an optimizer.
     ///
     /// # Errors
     ///
     /// Propagates kernel errors (shape mismatches indicate a bug).
-    #[allow(clippy::too_many_lines)]
     pub fn train_step(&mut self, tracer: &mut Tracer, batch: &PretrainBatch) -> Result<StepOutput> {
+        self.train_step_observed(tracer, batch, None)
+    }
+
+    /// [`train_step`](Bert::train_step) with gradient-readiness reporting:
+    /// as each gradient group retires during backward — the output heads,
+    /// each transformer layer (last to first), finally the embeddings —
+    /// `observer` is told the group's canonical slot base and final
+    /// tensors. This is the hook backward/AllReduce overlap hangs off:
+    /// a bucket's collective can start the moment its last writer retires,
+    /// while backward continues on earlier layers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (shape mismatches indicate a bug).
+    #[allow(clippy::too_many_lines)]
+    pub fn train_step_observed(
+        &mut self,
+        tracer: &mut Tracer,
+        batch: &PretrainBatch,
+        mut observer: Option<&mut dyn crate::defer::GradObserver>,
+    ) -> Result<StepOutput> {
         self.step += 1;
         let seed0 = self.step * 1_000_003;
         let t = self.cfg.tokens();
@@ -458,6 +510,7 @@ impl Bert {
             &d_nsp_logits,
             true,
         )?;
+        let d_cls_b = d_cls_b.expect("bias requested");
         let nsp_bwd = self.kctx("nsp", Category::Output, Phase::Backward);
         let d_pooled_pre = tanh_bwd(tracer, &nsp_bwd, &pooled, &d_pooled)?;
         let (d_cls_rows, d_pooler_w, d_pooler_b) = linear_bwd(
@@ -468,6 +521,7 @@ impl Bert {
             &d_pooled_pre,
             true,
         )?;
+        let d_pooler_b = d_pooler_b.expect("bias requested");
 
         let mlm_bwd_ctx =
             KernelCtx::new("mlm", Category::Output, Phase::Backward).dtype(DType::F32);
@@ -531,8 +585,27 @@ impl Bert {
             &d_mlm_h,
             true,
         )?;
+        let d_mlm_dense_b = d_mlm_dense_b.expect("bias requested");
         // Scatter the NSP gradient back into the [CLS] rows.
         self.scatter_cls(tracer, &mut d_seq, &d_cls_rows);
+        // All nine head gradients are final here (the tied decoder weight
+        // gradient belongs to the *embedding* group, reported last).
+        if let Some(obs) = observer.as_mut() {
+            obs.group_ready(
+                5 + self.cfg.layers * 16,
+                &[
+                    &d_mlm_dense_w,
+                    &d_mlm_dense_b,
+                    &d_mlm_ln_gamma,
+                    &d_mlm_ln_beta,
+                    &d_decoder_bias,
+                    &d_pooler_w,
+                    &d_pooler_b,
+                    &d_cls_w,
+                    &d_cls_b,
+                ],
+            );
+        }
 
         // ---- Transformer backward (with recomputation when checkpointing) ----
         let mut layer_grads: Vec<Option<LayerGrads>> = vec![None; self.cfg.layers];
@@ -572,6 +645,9 @@ impl Bert {
                         acts[l].as_ref().expect("recomputed"),
                         &dy,
                     )?;
+                    if let Some(obs) = observer.as_mut() {
+                        Self::observe_layer(&mut **obs, l, &g);
+                    }
                     layer_grads[l] = Some(g);
                     dy = dx;
                     acts[l] = None;
@@ -587,6 +663,9 @@ impl Bert {
                     acts[l].as_ref().expect("activations saved"),
                     &dy,
                 )?;
+                if let Some(obs) = observer.as_mut() {
+                    Self::observe_layer(&mut **obs, l, &g);
+                }
                 layer_grads[l] = Some(g);
                 dy = dx;
             }
@@ -616,6 +695,11 @@ impl Bert {
         let d_seg = embedding_bwd(tracer, &emb_bwd, &[2, d], &batch.segment_ids, &d_sum2)?;
         // Tied decoder weight gradient accumulates into the word embedding.
         d_word.axpy(1.0, &d_word_from_decoder)?;
+        // The embedding group retires last: the word-embedding gradient is
+        // only final after the tied-decoder fold above.
+        if let Some(obs) = observer.as_mut() {
+            obs.group_ready(0, &[&d_word, &d_pos, &d_seg, &d_emb_ln_gamma, &d_emb_ln_beta]);
+        }
 
         self.layer_grads = layer_grads;
         self.head_grads = Some(HeadGrads {
@@ -625,14 +709,14 @@ impl Bert {
             emb_ln_gamma: d_emb_ln_gamma,
             emb_ln_beta: d_emb_ln_beta,
             mlm_dense_w: d_mlm_dense_w,
-            mlm_dense_b: d_mlm_dense_b.expect("bias"),
+            mlm_dense_b: d_mlm_dense_b,
             mlm_ln_gamma: d_mlm_ln_gamma,
             mlm_ln_beta: d_mlm_ln_beta,
             decoder_bias: d_decoder_bias,
             pooler_w: d_pooler_w,
-            pooler_b: d_pooler_b.expect("bias"),
+            pooler_b: d_pooler_b,
             cls_w: d_cls_w,
-            cls_b: d_cls_b.expect("bias"),
+            cls_b: d_cls_b,
         });
 
         Ok(StepOutput { loss: mlm_loss + nsp_loss, mlm_loss, nsp_loss })

@@ -21,6 +21,7 @@
 pub mod bert;
 pub mod checkpoint;
 pub mod data;
+pub mod defer;
 pub mod error;
 pub mod layer;
 pub mod optim;
@@ -31,6 +32,7 @@ pub mod trainer;
 pub use bert::{non_copy_records, Bert, EvalOutput, StepOutput, TrainOptions};
 pub use checkpoint::{ParamRecord, TrainCheckpoint};
 pub use data::{PretrainBatch, SyntheticCorpus};
+pub use defer::{BucketSink, BucketedAverager, GradObserver};
 pub use error::{RecoveryPolicy, TrainError};
 pub use layer::{layer_bwd, layer_fwd, LayerActivations, LayerCtx, LayerGrads, LayerParams};
 pub use optim::{Adam, Lamb, Optimizer, OptimizerState, ParamSlot, Sgd, SlotState, WarmupSchedule};

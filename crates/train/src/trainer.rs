@@ -231,6 +231,79 @@ impl<O: Optimizer> Trainer<O> {
         Ok((out, result))
     }
 
+    /// [`micro_step`](Trainer::micro_step) with gradient-readiness
+    /// reporting for backward/AllReduce overlap. As each gradient group
+    /// retires during backward, `observer` receives the group's
+    /// *window-averaged* gradients — `(sums + grad) / (pending + 1)`,
+    /// computed with the same tensor ops the eager close performs, so a
+    /// collective fired from the observer reduces bit-identical values.
+    ///
+    /// Unlike `micro_step`, a full window is **not** closed automatically:
+    /// the caller overlaps the collectives with this very backward pass
+    /// and must finish with either
+    /// [`close_window_presynced`](Trainer::close_window_presynced) (the
+    /// overlapped collectives succeeded) or
+    /// [`close_window`](Trainer::close_window) (fallback: re-sync
+    /// eagerly — the window's sums are intact). Returns the losses and
+    /// whether the window is now full.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors and non-finite failures like `micro_step`;
+    /// additionally returns [`TrainError::InvalidState`] under
+    /// [`RecoveryPolicy::RetryMicrobatch`] — a retry would re-fire bucket
+    /// collectives that are already in flight on other ranks, so per-rank
+    /// micro-batch retry and overlap are mutually exclusive (real DDP has
+    /// the same constraint).
+    pub fn micro_step_observed(
+        &mut self,
+        tracer: &mut Tracer,
+        bert: &mut Bert,
+        batch: &crate::data::PretrainBatch,
+        observer: &mut dyn crate::defer::GradObserver,
+    ) -> Result<(StepOutput, bool), TrainError> {
+        if matches!(self.policy, RecoveryPolicy::RetryMicrobatch { .. }) {
+            return Err(TrainError::InvalidState(
+                "overlapped micro-step cannot retry micro-batches: bucket collectives \
+                 fired during backward cannot be unfired"
+                    .into(),
+            ));
+        }
+        bert.set_loss_scale(self.scaler.scale());
+        let out = {
+            let inv = 1.0 / (self.pending + 1) as f32;
+            let mut averager = WindowAverager { sums: &self.sums, inv, inner: observer };
+            bert.train_step_observed(tracer, batch, Some(&mut averager))?
+        };
+        self.micro_steps += 1;
+        for (param, value) in self.faults.gradient_faults_at(self.micro_steps) {
+            assert!(
+                bert.corrupt_gradient(param, value),
+                "fault plan names unknown parameter `{param}`"
+            );
+        }
+        // Abort on non-finite numbers; under SkipStep the post-sync scaler
+        // check skips the update on every rank consistently (the poisoned
+        // values were already reduced identically everywhere).
+        if let Some(err) = self.first_non_finite(bert, out) {
+            if matches!(self.policy, RecoveryPolicy::Abort) {
+                return Err(err);
+            }
+        }
+        {
+            let slots = bert.param_slots();
+            if self.sums.is_empty() {
+                self.sums = slots.iter().map(|s| (*s.grad).clone()).collect();
+            } else {
+                for (sum, slot) in self.sums.iter_mut().zip(&slots) {
+                    sum.axpy(1.0, slot.grad)?;
+                }
+            }
+        }
+        self.pending += 1;
+        Ok((out, self.pending >= self.accumulation_steps))
+    }
+
     /// Close the open accumulation window: average the gradient sums,
     /// synchronize across ranks (when a [`GradSync`] is installed), run
     /// the scaler's unscale/finiteness check, and apply or skip the
@@ -278,6 +351,67 @@ impl<O: Optimizer> Trainer<O> {
         }
         // The optimizer must divide out the scale these gradients were
         // computed under; growth (if any) only affects the next window.
+        let window_scale = self.scaler.scale();
+        if self.scaler.on_clean_step() {
+            self.scaler.trace_rescale(tracer);
+        }
+        {
+            let mut slots = bert.param_slots();
+            let mut avg_slots: Vec<ParamSlot<'_>> = slots
+                .iter_mut()
+                .zip(&averaged)
+                .map(|(s, g)| ParamSlot { name: s.name, value: s.value, grad: g })
+                .collect();
+            self.optimizer.set_grad_scale(window_scale);
+            self.optimizer.step(tracer, &mut avg_slots);
+        }
+        self.sums.clear();
+        self.pending = 0;
+        self.updates += 1;
+        Ok(StepResult::Updated)
+    }
+
+    /// The post-sync half of [`close_window`](Trainer::close_window), for
+    /// callers that already synchronized the window's averaged gradients —
+    /// the backward/AllReduce-overlap path, where bucket collectives
+    /// completed during backward and `synced` is their reassembled result.
+    /// Runs the scaler's unscale/finiteness check and applies or skips the
+    /// optimizer update, exactly as the eager close would after
+    /// [`GradSync::sync`] returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::InvalidState`] when no window is open or when
+    /// `synced` does not match the window's slot shapes. On error the
+    /// window is left intact, so the eager `close_window` remains a valid
+    /// fallback.
+    pub fn close_window_presynced(
+        &mut self,
+        tracer: &mut Tracer,
+        bert: &mut Bert,
+        synced: Vec<Tensor>,
+    ) -> Result<StepResult, TrainError> {
+        if self.pending == 0 {
+            return Err(TrainError::InvalidState(
+                "close_window_presynced with no accumulated micro-steps".into(),
+            ));
+        }
+        if synced.len() != self.sums.len()
+            || synced.iter().zip(&self.sums).any(|(a, b)| a.dims() != b.dims())
+        {
+            return Err(TrainError::InvalidState(
+                "pre-synced gradients do not match the window's parameter slots".into(),
+            ));
+        }
+        let averaged = synced;
+        if !self.scaler.unscale_check(tracer, &averaged) {
+            self.scaler.trace_overflow(tracer);
+            self.scaler.on_overflow();
+            self.sums.clear();
+            self.pending = 0;
+            self.skipped_updates += 1;
+            return Ok(StepResult::SkippedOverflow);
+        }
         let window_scale = self.scaler.scale();
         if self.scaler.on_clean_step() {
             self.scaler.trace_rescale(tracer);
@@ -391,6 +525,38 @@ impl<O: Optimizer> Trainer<O> {
         self.sums.clear();
         self.pending = 0;
         Ok(())
+    }
+}
+
+/// Turns raw micro-step gradient groups into window-averaged ones before
+/// forwarding them: `(sums[slot] + grad) * inv`, computed with the exact
+/// tensor-op sequence (`clone` + `axpy` + `scale`) the eager window close
+/// performs, so downstream collectives reduce bit-identical values.
+struct WindowAverager<'a> {
+    sums: &'a [Tensor],
+    inv: f32,
+    inner: &'a mut dyn crate::defer::GradObserver,
+}
+
+impl crate::defer::GradObserver for WindowAverager<'_> {
+    fn group_ready(&mut self, base_slot: usize, grads: &[&Tensor]) {
+        let averaged: Vec<Tensor> = grads
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                let mut sum = if self.sums.is_empty() {
+                    (*g).clone()
+                } else {
+                    let mut s = self.sums[base_slot + i].clone();
+                    s.axpy(1.0, g).expect("gradient shapes are stable across micro-steps");
+                    s
+                };
+                sum = sum.scale(self.inv);
+                sum
+            })
+            .collect();
+        let refs: Vec<&Tensor> = averaged.iter().collect();
+        self.inner.group_ready(base_slot, &refs);
     }
 }
 
