@@ -26,15 +26,24 @@
 //! the same training micro-step recorded and executed through the
 //! deferred operator-graph scheduler — and `--check` gates it against
 //! this run's eager `micro_step_tiny_bert` (deferred must not be
-//! meaningfully slower than eager).
+//! meaningfully slower than eager). The v5 schema adds
+//! `micro_step_graph` — the *whole-model* task-graph execution mode
+//! (`TrainOptions::graph`), every op of forward, loss and backward
+//! recorded as one dependence DAG per micro-step — gated against eager
+//! the same way, plus a `sched` section with the recorded graph's shape
+//! (task count, depth, max width, achieved parallelism) and its
+//! per-phase wall time split (forward/backward task time, remaining
+//! optimizer + dispatch time).
 
 use bertscope_model::BertConfig;
 use bertscope_tensor::init::randn;
 use bertscope_tensor::{
-    alloc, batched_gemm, batched_gemm_ep, gemm, gemm_bias_gelu, pool, GemmEpilogue, Tensor, Tracer,
-    Transpose,
+    alloc, batched_gemm, batched_gemm_ep, gemm, gemm_bias_gelu, pool, sched, GemmEpilogue, Tensor,
+    Tracer, Transpose,
 };
-use bertscope_train::{Bert, Lamb, ParamSlot, SyntheticCorpus, TrainOptions, Trainer};
+use bertscope_train::{
+    Bert, Lamb, ParamSlot, PretrainBatch, SyntheticCorpus, TrainOptions, Trainer,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -134,6 +143,86 @@ fn time_best<F: FnMut()>(label: &'static str, iters: u32, flops: u64, mut body: 
     }
 }
 
+/// The small-BERT configuration and deterministic batch every micro-step
+/// entry trains on.
+fn bench_model() -> (BertConfig, PretrainBatch) {
+    let cfg = BertConfig {
+        layers: 2,
+        d_model: 128,
+        heads: 8,
+        d_ff: 512,
+        vocab: 1000,
+        max_position: 128,
+        seq_len: 128,
+        batch: 8,
+    };
+    let corpus = SyntheticCorpus::new(cfg.vocab);
+    let mut rng = StdRng::seed_from_u64(1);
+    let batch = corpus.generate_batch(&mut rng, &cfg);
+    (cfg, batch)
+}
+
+/// Shape and phase split of the whole-model task graph one training
+/// micro-step records (`micro_step_graph`'s workload), measured from the
+/// executor's own run report: per-task wall time summed by label prefix
+/// (`fwd.` / `bwd.`), everything outside the graph dispatch — optimizer
+/// and step bookkeeping — as the remainder.
+struct SchedStats {
+    workers: usize,
+    tasks: usize,
+    depth: usize,
+    max_width: usize,
+    achieved_parallelism: f64,
+    fwd_ns: u64,
+    bwd_ns: u64,
+    opt_ns: u64,
+}
+
+fn graph_sched_stats() -> SchedStats {
+    let (cfg, batch) = bench_model();
+    let opts = TrainOptions { graph: true, ..TrainOptions::default() };
+    let mut bert = Bert::new(cfg, opts, 3);
+    let mut trainer = Trainer::new(Lamb::new(0.001), 1);
+    let mut tr = Tracer::disabled();
+    // Warmed-up single step under capture: the executor logs its run
+    // report (task labels, per-task wall time, DAG shape) as it retires.
+    trainer.micro_step(&mut tr, &mut bert, &batch).unwrap();
+    sched::start_capture();
+    let t = Instant::now();
+    trainer.micro_step(&mut tr, &mut bert, &batch).unwrap();
+    let step_ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let runs = sched::take_captured();
+    let (mut fwd_ns, mut bwd_ns, mut graph_ns, mut busy_ns) = (0u64, 0u64, 0u64, 0u64);
+    let (mut tasks, mut depth, mut max_width, mut workers) = (0usize, 0usize, 0usize, 1usize);
+    for r in &runs {
+        for (label, ns) in r.labels.iter().zip(&r.task_ns) {
+            if label.starts_with("fwd.") {
+                fwd_ns += ns;
+            } else if label.starts_with("bwd.") {
+                bwd_ns += ns;
+            }
+            busy_ns += ns;
+        }
+        graph_ns += r.elapsed_ns;
+        tasks += r.labels.len();
+        depth = depth.max(r.depth);
+        max_width = max_width.max(r.max_width);
+        workers = workers.max(r.workers);
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let achieved_parallelism = if graph_ns == 0 { 0.0 } else { busy_ns as f64 / graph_ns as f64 };
+    SchedStats {
+        workers,
+        tasks,
+        depth,
+        max_width,
+        achieved_parallelism,
+        fwd_ns,
+        bwd_ns,
+        opt_ns: step_ns.saturating_sub(graph_ns),
+    }
+}
+
 fn run_all(iters: u32) -> Vec<Sample> {
     let mut r = StdRng::seed_from_u64(42);
     let mut samples = Vec::new();
@@ -177,19 +266,7 @@ fn run_all(iters: u32) -> Vec<Sample> {
     }));
 
     // Full training micro-step on a small BERT.
-    let cfg = BertConfig {
-        layers: 2,
-        d_model: 128,
-        heads: 8,
-        d_ff: 512,
-        vocab: 1000,
-        max_position: 128,
-        seq_len: 128,
-        batch: 8,
-    };
-    let corpus = SyntheticCorpus::new(cfg.vocab);
-    let mut rng = StdRng::seed_from_u64(1);
-    let batch = corpus.generate_batch(&mut rng, &cfg);
+    let (cfg, batch) = bench_model();
     let mut bert = Bert::new(cfg, TrainOptions::default(), 3);
     let mut trainer = Trainer::new(Lamb::new(0.001), 1);
     samples.push(time_best("micro_step_tiny_bert", iters, 0, || {
@@ -210,6 +287,19 @@ fn run_all(iters: u32) -> Vec<Sample> {
         trainer_sched.micro_step(&mut tr, &mut bert_sched, &batch).unwrap();
     }));
 
+    // The whole micro-step — embeddings, every layer, heads, loss and the
+    // full backward chain — recorded as one task graph per step
+    // (`TrainOptions::graph`) and dispatched through the operator-graph
+    // scheduler. Bit-identical to eager; gated against the eager entry the
+    // same way the deferred one is.
+    let opts = TrainOptions { graph: true, ..TrainOptions::default() };
+    let mut bert_graph = Bert::new(cfg, opts, 3);
+    let mut trainer_graph = Trainer::new(Lamb::new(0.001), 1);
+    samples.push(time_best("micro_step_graph", iters, 0, || {
+        let mut tr = Tracer::disabled();
+        trainer_graph.micro_step(&mut tr, &mut bert_graph, &batch).unwrap();
+    }));
+
     // LAMB update over 1M parameters (the optimizer hot loop).
     let n = 1 << 20;
     let mut wt = Tensor::ones(&[n]);
@@ -223,9 +313,9 @@ fn run_all(iters: u32) -> Vec<Sample> {
     samples
 }
 
-fn render_json(mode: &str, samples: &[Sample]) -> String {
+fn render_json(mode: &str, samples: &[Sample], sched_stats: Option<&SchedStats>) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"bertscope-bench-substrate-v4\",");
+    let _ = writeln!(out, "  \"schema\": \"bertscope-bench-substrate-v5\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     let _ = writeln!(out, "  \"pool_threads\": {},", pool::configured_threads());
     let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -248,6 +338,18 @@ fn render_json(mode: &str, samples: &[Sample]) -> String {
         out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ],\n");
+    if let Some(st) = sched_stats {
+        out.push_str("  \"sched\": {\n");
+        let _ = writeln!(out, "    \"workers\": {},", st.workers);
+        let _ = writeln!(out, "    \"tasks\": {},", st.tasks);
+        let _ = writeln!(out, "    \"depth\": {},", st.depth);
+        let _ = writeln!(out, "    \"max_width\": {},", st.max_width);
+        let _ = writeln!(out, "    \"achieved_parallelism\": {:.3},", st.achieved_parallelism);
+        let _ = writeln!(out, "    \"fwd_ns\": {},", st.fwd_ns);
+        let _ = writeln!(out, "    \"bwd_ns\": {},", st.bwd_ns);
+        let _ = writeln!(out, "    \"opt_ns\": {}", st.opt_ns);
+        out.push_str("  },\n");
+    }
     out.push_str("  \"serial_baseline_ns\": {\n");
     for (i, (label, ns)) in SERIAL_BASELINE_NS.iter().enumerate() {
         let _ = write!(out, "    \"{label}\": {ns}");
@@ -297,8 +399,8 @@ fn scan_field(rest: &mut &str, label: &str, field: &str, allow_zero: bool) -> Re
 /// `peak_bytes` (since the v3 schema); a missing or non-numeric field
 /// fails the whole document.
 fn parse_baseline(doc: &str) -> Result<Vec<BaselineShape>, String> {
-    if !doc.contains("\"schema\": \"bertscope-bench-substrate-v4\"") {
-        return Err("missing or unexpected schema marker (want v4)".into());
+    if !doc.contains("\"schema\": \"bertscope-bench-substrate-v5\"") {
+        return Err("missing or unexpected schema marker (want v5)".into());
     }
     let shapes_at =
         doc.find("\"shapes\"").ok_or_else(|| String::from("missing \"shapes\" section"))?;
@@ -391,28 +493,34 @@ fn check(baseline_path: &str, samples: &[Sample], max_regression: f64) -> Result
             }
         }
     }
-    // Deferred-vs-eager gate: the operator-graph scheduler must not make
-    // the micro-step meaningfully slower than eager execution *in this
-    // run* (same host, same load). The 15% tolerance absorbs measurement
-    // noise on contended CI hosts; anything beyond it means the graph
-    // build or dispatch grew a real cost.
-    if let (Some(sched), Some(eager)) = (
-        samples.iter().find(|s| s.label == "micro_step_sched"),
-        samples.iter().find(|s| s.label == "micro_step_tiny_bert"),
-    ) {
-        #[allow(clippy::cast_precision_loss)]
-        let ratio = sched.best_ns as f64 / eager.best_ns.max(1) as f64;
-        println!(
-            "micro_step_sched: deferred {} ns vs eager {} ns ({ratio:.2}x{})",
-            sched.best_ns,
-            eager.best_ns,
-            if ratio > 1.15 { " — REGRESSION" } else { "" }
-        );
-        if ratio > 1.15 {
-            failures.push(format!(
-                "deferred micro-step is {ratio:.2}x the eager one ({} ns vs {} ns, limit 1.15x)",
-                sched.best_ns, eager.best_ns
-            ));
+    // Scheduler-vs-eager gates: neither the deferred attention islands
+    // (`micro_step_sched`) nor whole-model task-graph execution
+    // (`micro_step_graph`) may make the micro-step meaningfully slower
+    // than eager execution *in this run* (same host, same load). The 15%
+    // tolerance absorbs measurement noise on contended CI hosts; anything
+    // beyond it means the graph build or dispatch grew a real cost.
+    if let Some(eager) = samples.iter().find(|s| s.label == "micro_step_tiny_bert") {
+        for (label, what) in
+            [("micro_step_sched", "deferred"), ("micro_step_graph", "whole-model graph")]
+        {
+            let Some(sched) = samples.iter().find(|s| s.label == label) else {
+                continue;
+            };
+            #[allow(clippy::cast_precision_loss)]
+            let ratio = sched.best_ns as f64 / eager.best_ns.max(1) as f64;
+            println!(
+                "{label}: {what} {} ns vs eager {} ns ({ratio:.2}x{})",
+                sched.best_ns,
+                eager.best_ns,
+                if ratio > 1.15 { " — REGRESSION" } else { "" }
+            );
+            if ratio > 1.15 {
+                failures.push(format!(
+                    "{what} micro-step is {ratio:.2}x the eager one ({} ns vs {} ns, \
+                     limit 1.15x)",
+                    sched.best_ns, eager.best_ns
+                ));
+            }
         }
     }
     if failures.is_empty() {
@@ -453,6 +561,19 @@ fn main() -> ExitCode {
     let iters = if smoke { 1 } else { 3 };
     eprintln!("bench_substrate: mode={mode} pool_threads={}", pool::configured_threads());
     let samples = run_all(iters);
+    let sched_stats = graph_sched_stats();
+    eprintln!(
+        "  graph: {} tasks, depth {}, max width {}, {:.3} achieved parallelism at {} workers; \
+         fwd {} ns, bwd {} ns, opt+dispatch {} ns",
+        sched_stats.tasks,
+        sched_stats.depth,
+        sched_stats.max_width,
+        sched_stats.achieved_parallelism,
+        sched_stats.workers,
+        sched_stats.fwd_ns,
+        sched_stats.bwd_ns,
+        sched_stats.opt_ns
+    );
     for s in &samples {
         eprintln!(
             "  {}: best {} ns, mean {} ns ({} iters, {:.2} GFLOP/s); {} fresh allocs of \
@@ -485,7 +606,7 @@ fn main() -> ExitCode {
         }
     });
     if let Some(path) = write_to {
-        if let Err(e) = std::fs::write(&path, render_json(mode, &samples)) {
+        if let Err(e) = std::fs::write(&path, render_json(mode, &samples, Some(&sched_stats))) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -499,7 +620,17 @@ mod tests {
     use super::*;
 
     fn doc_for(samples: &[Sample]) -> String {
-        render_json("full", samples)
+        let sched_stats = SchedStats {
+            workers: 1,
+            tasks: 11,
+            depth: 9,
+            max_width: 2,
+            achieved_parallelism: 1.0,
+            fwd_ns: 100,
+            bwd_ns: 200,
+            opt_ns: 50,
+        };
+        render_json("full", samples, Some(&sched_stats))
     }
 
     fn sample(label: &'static str, best_ns: u64, allocs: u64) -> Sample {
@@ -536,21 +667,23 @@ mod tests {
         assert!(parse_baseline(v2).is_err(), "v2 schema (no flops fields) is rejected");
         let v3 = "{\"schema\": \"bertscope-bench-substrate-v3\"}";
         assert!(parse_baseline(v3).is_err(), "v3 schema (no micro_step_sched) is rejected");
-        let no_shapes = "{\"schema\": \"bertscope-bench-substrate-v4\"}";
+        let v4 = "{\"schema\": \"bertscope-bench-substrate-v4\"}";
+        assert!(parse_baseline(v4).is_err(), "v4 schema (no micro_step_graph) is rejected");
+        let no_shapes = "{\"schema\": \"bertscope-bench-substrate-v5\"}";
         assert!(parse_baseline(no_shapes).is_err(), "missing shapes");
-        let zero = "{\n  \"schema\": \"bertscope-bench-substrate-v4\",\n  \"shapes\": [\n    \
+        let zero = "{\n  \"schema\": \"bertscope-bench-substrate-v5\",\n  \"shapes\": [\n    \
                     {\"label\": \"x\", \"iters\": 1, \"best_ns\": 0, \"mean_ns\": 0, \
                     \"flops\": 0, \"allocs\": 0, \"peak_bytes\": 1}\n  ]\n}";
         assert!(parse_baseline(zero).is_err(), "zero best_ns");
-        let no_flops = "{\n  \"schema\": \"bertscope-bench-substrate-v4\",\n  \"shapes\": [\n    \
+        let no_flops = "{\n  \"schema\": \"bertscope-bench-substrate-v5\",\n  \"shapes\": [\n    \
                         {\"label\": \"x\", \"iters\": 1, \"best_ns\": 5, \"mean_ns\": 5, \
                         \"allocs\": 1, \"peak_bytes\": 1}\n  ]\n}";
         assert!(parse_baseline(no_flops).is_err(), "missing flops field");
-        let no_allocs = "{\n  \"schema\": \"bertscope-bench-substrate-v4\",\n  \"shapes\": [\n    \
+        let no_allocs = "{\n  \"schema\": \"bertscope-bench-substrate-v5\",\n  \"shapes\": [\n    \
                          {\"label\": \"x\", \"iters\": 1, \"best_ns\": 5, \"mean_ns\": 5, \
                          \"flops\": 7}\n  ]\n}";
         assert!(parse_baseline(no_allocs).is_err(), "missing allocs field");
-        let no_peak = "{\n  \"schema\": \"bertscope-bench-substrate-v4\",\n  \"shapes\": [\n    \
+        let no_peak = "{\n  \"schema\": \"bertscope-bench-substrate-v5\",\n  \"shapes\": [\n    \
                        {\"label\": \"x\", \"iters\": 1, \"best_ns\": 5, \"mean_ns\": 5, \
                        \"flops\": 7, \"allocs\": 1}\n  ]\n}";
         assert!(parse_baseline(no_peak).is_err(), "missing peak_bytes field");
@@ -568,6 +701,19 @@ mod tests {
         let bad = [sample("micro_step_tiny_bert", 1000, 1), sample("micro_step_sched", 2000, 1)];
         let err = check(path, &bad, 2.0).unwrap_err();
         assert!(err.contains("deferred micro-step is 2.00x the eager one"), "{err}");
+    }
+
+    #[test]
+    fn whole_model_graph_slower_than_eager_fails_the_check() {
+        let doc = doc_for(&[sample("micro_step_tiny_bert", 1000, 1)]);
+        let path = std::env::temp_dir().join("bertscope_bench_graph_gate.json");
+        std::fs::write(&path, doc).unwrap();
+        let path = path.to_str().unwrap();
+        let ok = [sample("micro_step_tiny_bert", 1000, 1), sample("micro_step_graph", 1100, 1)];
+        assert!(check(path, &ok, 2.0).is_ok());
+        let bad = [sample("micro_step_tiny_bert", 1000, 1), sample("micro_step_graph", 3000, 1)];
+        let err = check(path, &bad, 2.0).unwrap_err();
+        assert!(err.contains("whole-model graph micro-step is 3.00x the eager one"), "{err}");
     }
 
     #[test]

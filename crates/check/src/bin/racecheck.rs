@@ -17,13 +17,15 @@
 //! exposes.
 
 use bertscope_check::{
-    check_schedule, hazard, lifetime, report, DepGraph, Finding, RuleId, Schedule, Severity,
+    check_fusion, check_schedule, hazard, lifetime, report, DepGraph, Finding, RuleId, Schedule,
+    Severity,
 };
 use bertscope_model::{
     build_finetune, build_inference, build_iteration, BertConfig, GraphOptions, OptimizerChoice,
     Precision,
 };
-use bertscope_tensor::OpRecord;
+use bertscope_tensor::sched::{self, FusePattern};
+use bertscope_tensor::{AccessSet, OpRecord};
 
 fn precision_label(p: Precision) -> &'static str {
     match p {
@@ -138,11 +140,16 @@ fn run_traces(paths: &[String], stats: bool) -> i32 {
 
 /// Verify the operator-graph scheduler's *emitted* orders: for a sample
 /// of the paper configurations, plan a completion order with
-/// `bertscope_tensor::sched::plan_order` at several worker counts, then
-/// re-check that order against the stream's dependence DAG (H-series) and
-/// replay the reordered stream through the communication-ordering and
-/// L-series lifetime rules. This is the closed loop the scheduler claims:
-/// every schedule it emits is one the static analyzer accepts.
+/// `bertscope_tensor::sched::plan_order` at several worker counts — with
+/// the fusion pass off and on — then re-check that order against the
+/// stream's dependence DAG (H-series), verify any fusion grouping with the
+/// F-series legality rules, and replay the reordered stream through the
+/// communication-ordering and L-series lifetime rules. This is the closed
+/// loop the scheduler claims: every schedule it emits, fused or not, is
+/// one the static analyzer accepts. A malformed emitted order (not a
+/// permutation) is surfaced with the offending task's name instead of a
+/// panic.
+#[allow(clippy::too_many_lines)]
 fn run_sched(stats: bool) -> i32 {
     let mut tally = Tally { streams: 0, errors: 0, warnings: 0, stats };
     let base = BertConfig::bert_base();
@@ -184,38 +191,82 @@ fn run_sched(stats: bool) -> i32 {
         },
     ];
     for (model, workload, o, ops) in &sample {
-        let accesses: Vec<&bertscope_tensor::AccessSet> = ops.iter().map(|op| &op.access).collect();
+        let accesses: Vec<&AccessSet> = ops.iter().map(|op| &op.access).collect();
         let graph = DepGraph::build(ops);
+        // Plan the legal fusion grouping over the stream's own labels —
+        // the same patterns the whole-model task graph uses. Training
+        // streams decline every pair (backward keeps the intermediates
+        // multi-successor); inference streams merge residual+LayerNorm
+        // chains. Either way the grouping must pass the F-rules and the
+        // fused emitted orders must still satisfy the per-op DAG.
+        let labels: Vec<String> = ops.iter().map(|op| op.name.clone()).collect();
+        let patterns = [FusePattern::new("fc1", "gelu"), FusePattern::new("residual", "layernorm")];
+        let groups = sched::plan_fusion(&labels, &accesses, &patterns);
+        let fused_pairs: usize = groups.iter().map(|g| g.len() - 1).sum();
+        let merged: Vec<AccessSet> = groups
+            .iter()
+            .map(|g| {
+                let ga: Vec<&AccessSet> = g.iter().map(|&i| &ops[i].access).collect();
+                sched::merge_accesses(&ga)
+            })
+            .collect();
+        let merged_refs: Vec<&AccessSet> = merged.iter().collect();
         for workers in [1usize, 2, 8] {
-            let order = bertscope_tensor::sched::plan_order(&accesses, workers);
-            let sched = Schedule::from_completion_order(&order);
-            let mut findings = check_schedule(ops, &graph, &sched, &format!("sched-w{workers}"));
-            // Replay the emitted order as a stream: the communication
-            // contract and lifetime state machine must hold in that order
-            // too, not just the dependence edges.
-            let permuted: Vec<OpRecord> = order.iter().map(|&i| ops[i].clone()).collect();
-            findings.extend(hazard::check_comm_ordering(&permuted));
-            findings.extend(lifetime::check(&permuted));
-            let errors = findings.iter().filter(|f| f.severity == Severity::Error).count();
-            let warnings = findings.len() - errors;
-            tally.streams += 1;
-            tally.errors += errors;
-            tally.warnings += warnings;
-            let label = format!(
-                "{model} {workload} {} {}{} w{workers}",
-                precision_label(o.precision),
-                optimizer_label(o.optimizer),
-                if o.checkpoint { " ckpt" } else { "" },
-            );
-            if findings.is_empty() {
-                println!("ok    {label:<44} ({} ops, {} edges)", ops.len(), graph.edges.len());
-            } else {
-                println!(
-                    "FAIL  {label:<44} ({} ops, {} edges, {errors} errors, {warnings} warnings)",
-                    ops.len(),
-                    graph.edges.len()
+            for fuse in [false, true] {
+                let order = if fuse {
+                    sched::expand_order(&groups, &sched::plan_order(&merged_refs, workers))
+                } else {
+                    sched::plan_order(&accesses, workers)
+                };
+                let tag = if fuse {
+                    format!("sched-w{workers}-fused")
+                } else {
+                    format!("sched-w{workers}")
+                };
+                let sched = match Schedule::try_from_completion_order(&order) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        let name = ops.get(e.op()).map_or("<out of range>", |op| op.name.as_str());
+                        eprintln!(
+                            "racecheck: {model} {workload} {tag}: rejected emitted order: \
+                             {e} (task `{name}`)"
+                        );
+                        return 2;
+                    }
+                };
+                let mut findings = check_schedule(ops, &graph, &sched, &tag);
+                if fuse {
+                    findings.extend(check_fusion(ops, &groups));
+                }
+                // Replay the emitted order as a stream: the communication
+                // contract and lifetime state machine must hold in that
+                // order too, not just the dependence edges.
+                let permuted: Vec<OpRecord> = order.iter().map(|&i| ops[i].clone()).collect();
+                findings.extend(hazard::check_comm_ordering(&permuted));
+                findings.extend(lifetime::check(&permuted));
+                let errors = findings.iter().filter(|f| f.severity == Severity::Error).count();
+                let warnings = findings.len() - errors;
+                tally.streams += 1;
+                tally.errors += errors;
+                tally.warnings += warnings;
+                let label = format!(
+                    "{model} {workload} {} {}{} w{workers}{}",
+                    precision_label(o.precision),
+                    optimizer_label(o.optimizer),
+                    if o.checkpoint { " ckpt" } else { "" },
+                    if fuse { format!(" fused({fused_pairs})") } else { String::new() },
                 );
-                println!("{}", report(&findings));
+                if findings.is_empty() {
+                    println!("ok    {label:<44} ({} ops, {} edges)", ops.len(), graph.edges.len());
+                } else {
+                    println!(
+                        "FAIL  {label:<44} ({} ops, {} edges, {errors} errors, \
+                         {warnings} warnings)",
+                        ops.len(),
+                        graph.edges.len()
+                    );
+                    println!("{}", report(&findings));
+                }
             }
         }
         if tally.stats {
@@ -223,7 +274,7 @@ fn run_sched(stats: bool) -> i32 {
         }
     }
     println!(
-        "racecheck: {} scheduler-emitted orders checked, {} errors, {} warnings",
+        "racecheck: {} scheduler-emitted orders checked (fusion off/on), {} errors, {} warnings",
         tally.streams, tally.errors, tally.warnings
     );
     i32::from(tally.errors > 0)
@@ -297,7 +348,7 @@ fn main() {
         Some("--list-rules") if args.len() == 1 => {
             for rule in RuleId::all() {
                 let code = rule.code();
-                if code.starts_with('H') || code.starts_with('L') {
+                if code.starts_with('H') || code.starts_with('L') || code.starts_with('F') {
                     println!("{code}  {}", rule.summary());
                 }
             }
@@ -318,9 +369,12 @@ fn main() {
                  \n\
                  --stats        also print DAG depth/width/critical-path parallelism\n\
                  --sched        plan completion orders with the operator-graph scheduler\n\
-                \u{20}               at 1/2/8 workers for a sample of the configurations and\n\
-                \u{20}               re-check each emitted order against the H- and L-rules\n\
-                 --list-rules   print the H- and L-series rule registry\n\
+                \u{20}               at 1/2/8 workers (fusion pass off and on) for a sample of\n\
+                \u{20}               the configurations, verify any fusion grouping with the\n\
+                \u{20}               F-rules, and re-check each emitted order against the H-\n\
+                \u{20}               and L-rules; malformed orders are reported with the\n\
+                \u{20}               offending task's name\n\
+                 --list-rules   print the H-, L- and F-series rule registry\n\
                  --trace FILE   check externally-captured operator streams instead\n\
                 \u{20}               (the per-rank traces dist::proc workers dump)"
             );

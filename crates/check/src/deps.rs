@@ -276,6 +276,61 @@ impl std::fmt::Display for DagReport {
     }
 }
 
+/// Why a claimed permutation cannot be turned into a [`Schedule`]: the
+/// executor (or a corrupted report) emitted an order that is not a
+/// permutation of `0..len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// An op index exceeds the stream length.
+    OutOfRange {
+        /// The offending op index.
+        op: usize,
+        /// The step it was claimed to run at.
+        step: usize,
+        /// Number of ops in the stream.
+        len: usize,
+    },
+    /// The same op appears at two steps.
+    Duplicate {
+        /// The offending op index.
+        op: usize,
+        /// The step it first appeared at.
+        first_step: usize,
+        /// The later step it reappeared at.
+        second_step: usize,
+    },
+}
+
+impl ScheduleError {
+    /// The op index the error is about — callers with the stream in hand
+    /// can name the offending task in their diagnostics.
+    #[must_use]
+    pub fn op(&self) -> usize {
+        match *self {
+            ScheduleError::OutOfRange { op, .. } | ScheduleError::Duplicate { op, .. } => op,
+        }
+    }
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ScheduleError::OutOfRange { op, step, len } => {
+                write!(f, "not a permutation: op {op} at step {step} out of range for {len} ops")
+            }
+            ScheduleError::Duplicate { op, first_step, second_step } => {
+                write!(
+                    f,
+                    "not a permutation: op {op} appears at step {first_step} and again at \
+                     step {second_step}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 /// A candidate execution schedule: the step at which each op starts. Ops
 /// sharing a step are claimed to run concurrently.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -303,24 +358,40 @@ impl Schedule {
     /// # Panics
     ///
     /// Panics when `perm` is not a permutation of `0..len` — an op index
-    /// out of range, or the same op at two steps.
+    /// out of range, or the same op at two steps. Use
+    /// [`Schedule::try_from_permutation`] to handle that structurally.
     #[must_use]
     pub fn from_permutation(perm: &[usize]) -> Self {
+        match Self::try_from_permutation(perm) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Schedule::from_permutation`]: returns a structured
+    /// [`ScheduleError`] instead of panicking when `perm` is not a
+    /// permutation of `0..len`.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::OutOfRange`] when an op index exceeds the stream,
+    /// [`ScheduleError::Duplicate`] when an op appears at two steps.
+    pub fn try_from_permutation(perm: &[usize]) -> Result<Self, ScheduleError> {
         let mut step_of = vec![usize::MAX; perm.len()];
         for (step, &op) in perm.iter().enumerate() {
-            assert!(
-                op < perm.len(),
-                "not a permutation: op {op} at step {step} out of range for {} ops",
-                perm.len()
-            );
-            assert!(
-                step_of[op] == usize::MAX,
-                "not a permutation: op {op} appears at step {} and again at step {step}",
-                step_of[op]
-            );
+            if op >= perm.len() {
+                return Err(ScheduleError::OutOfRange { op, step, len: perm.len() });
+            }
+            if step_of[op] != usize::MAX {
+                return Err(ScheduleError::Duplicate {
+                    op,
+                    first_step: step_of[op],
+                    second_step: step,
+                });
+            }
             step_of[op] = step;
         }
-        Schedule { step_of }
+        Ok(Schedule { step_of })
     }
 
     /// The serial schedule replaying an executor's observed *completion
@@ -334,10 +405,23 @@ impl Schedule {
     ///
     /// # Panics
     ///
-    /// Panics when `order` is not a permutation of `0..len`.
+    /// Panics when `order` is not a permutation of `0..len`. Use
+    /// [`Schedule::try_from_completion_order`] to handle that structurally.
     #[must_use]
     pub fn from_completion_order(order: &[usize]) -> Self {
         Self::from_permutation(order)
+    }
+
+    /// Fallible [`Schedule::from_completion_order`]: a malformed executor
+    /// report (duplicate or out-of-range task index) becomes a structured
+    /// [`ScheduleError`] naming the offending op instead of a panic —
+    /// `racecheck --sched` surfaces it with the task's name.
+    ///
+    /// # Errors
+    ///
+    /// See [`Schedule::try_from_permutation`].
+    pub fn try_from_completion_order(order: &[usize]) -> Result<Self, ScheduleError> {
+        Self::try_from_permutation(order)
     }
 
     /// The max-parallel ASAP schedule of a dependence graph.
@@ -546,5 +630,24 @@ mod tests {
     fn completion_order_replays_as_a_serial_schedule() {
         let s = Schedule::from_completion_order(&[2, 0, 1]);
         assert_eq!(s, Schedule::from_permutation(&[2, 0, 1]));
+    }
+
+    #[test]
+    fn try_constructors_return_structured_errors() {
+        let dup = Schedule::try_from_completion_order(&[0, 0, 1]).unwrap_err();
+        assert_eq!(dup, ScheduleError::Duplicate { op: 0, first_step: 0, second_step: 1 });
+        assert_eq!(dup.op(), 0);
+        assert_eq!(
+            dup.to_string(),
+            "not a permutation: op 0 appears at step 0 and again at step 1"
+        );
+        let oor = Schedule::try_from_permutation(&[0, 1, 7]).unwrap_err();
+        assert_eq!(oor, ScheduleError::OutOfRange { op: 7, step: 2, len: 3 });
+        assert_eq!(oor.op(), 7);
+        assert_eq!(oor.to_string(), "not a permutation: op 7 at step 2 out of range for 3 ops");
+        assert_eq!(
+            Schedule::try_from_completion_order(&[2, 0, 1]).unwrap(),
+            Schedule::from_completion_order(&[2, 0, 1])
+        );
     }
 }

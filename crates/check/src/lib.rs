@@ -35,6 +35,10 @@
 //!   describe legal pooled lifetimes — no use after release, no double
 //!   release, no write into recycled storage, no leaked stream-local
 //!   allocation.
+//! * **Fusion legality** (`F` rules, via [`fusion`]): every task pair the
+//!   operator-graph scheduler's fusion pass merges must be provable on the
+//!   dependence DAG — adjacent in submission order, the producer's sole
+//!   successor its fused consumer, both sides carrying provenance.
 //!
 //! The two sides of the suite's central cross-validation (`graph.rs` and
 //! the kernels crate) intentionally share their formulas; this checker is
@@ -77,6 +81,7 @@
 
 pub mod deps;
 pub mod finding;
+pub mod fusion;
 pub mod hazard;
 pub mod lifetime;
 pub mod rules;
@@ -89,8 +94,11 @@ mod phase;
 mod scaler;
 
 pub use config_checks::check_iteration;
-pub use deps::{annotate_lifetimes, DagReport, DepEdge, DepGraph, DepKind, Lifetime, Schedule};
+pub use deps::{
+    annotate_lifetimes, DagReport, DepEdge, DepGraph, DepKind, Lifetime, Schedule, ScheduleError,
+};
 pub use finding::{Finding, Severity};
+pub use fusion::check_fusion;
 pub use hazard::{check_comm_ordering, check_schedule};
 pub use memory::check_memory;
 pub use rules::RuleId;

@@ -30,6 +30,10 @@
 //!   lifetimes — no use after release, no double release, no write into
 //!   storage already back on the free list, and no leaked stream-local
 //!   allocation.
+//! * **F-series (fusion legality)**: a claimed task fusion must be provable
+//!   on the dependence DAG — the merged ops adjacent in submission order,
+//!   each producer's sole successor its fused consumer, and every side
+//!   carrying buffer provenance.
 
 /// Stable identifier of one lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -119,6 +123,11 @@ pub enum RuleId {
     /// L004: a buffer allocated inside the stream is still live when the
     /// stream ends even though the stream releases other buffers (leak).
     BufferLeak,
+    /// F001: a claimed task fusion is illegal — the fused pair is not
+    /// adjacent in submission order, the producer has dependence successors
+    /// other than its fused consumer, or a side has opaque (empty)
+    /// provenance and must remain a scheduling barrier.
+    FusionLegality,
 }
 
 impl RuleId {
@@ -155,6 +164,7 @@ impl RuleId {
             RuleId::DoubleFree => "L002",
             RuleId::WriteAfterReuse => "L003",
             RuleId::BufferLeak => "L004",
+            RuleId::FusionLegality => "F001",
         }
     }
 
@@ -195,6 +205,9 @@ impl RuleId {
             RuleId::DoubleFree => "no buffer is released to the pool twice",
             RuleId::WriteAfterReuse => "no write lands in storage already back on the free list",
             RuleId::BufferLeak => "stream-allocated buffers are released by stream end",
+            RuleId::FusionLegality => {
+                "fused task pairs are adjacent, sole-successor and fully annotated"
+            }
         }
     }
 
@@ -231,6 +244,7 @@ impl RuleId {
             RuleId::DoubleFree,
             RuleId::WriteAfterReuse,
             RuleId::BufferLeak,
+            RuleId::FusionLegality,
         ]
     }
 }

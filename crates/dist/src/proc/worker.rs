@@ -642,10 +642,11 @@ fn run_worker(
     // Same config + same seed on every rank: identical initial replicas.
     let bert_cfg = BertConfig::tiny();
     let corpus = SyntheticCorpus::new(bert_cfg.vocab);
-    // `overlap` also records attention through the deferred scheduler —
-    // inter-op QKV parallelism rides the same operator graph, and both
-    // modes are bit-identical to eager execution.
-    let opts = TrainOptions { deferred: cfg.overlap, ..TrainOptions::default() };
+    // `overlap` also records the whole micro-step as a task graph
+    // (`graph`) so backward/AllReduce overlap composes with inter-op
+    // parallelism; both modes are bit-identical to eager execution.
+    let opts =
+        TrainOptions { deferred: cfg.overlap, graph: cfg.overlap, ..TrainOptions::default() };
     let mut bert = Bert::new(bert_cfg, opts, cfg.seed);
     let mut trainer = Trainer::new(Lamb::new(0.01), cfg.accumulation)
         .with_sync(Box::new(RingGradSync { shared: shared.clone() }));

@@ -55,7 +55,9 @@ use crate::trace::{AccessSet, BufId, OpRecord, Tracer};
 use std::collections::{HashMap, VecDeque};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// A recorded task body: runs once, records its kernels into the private
 /// tracer it is handed.
@@ -120,6 +122,50 @@ pub struct RunReport {
     pub record_order: Vec<usize>,
     /// Worker count the executor ran with.
     pub workers: usize,
+    /// Task labels, indexed by task id.
+    pub labels: Vec<String>,
+    /// Wall-clock nanoseconds each task body spent executing, indexed by
+    /// task id.
+    pub task_ns: Vec<u64>,
+    /// Wall-clock nanoseconds the whole dispatch took, from first ready
+    /// task to quiescence.
+    pub elapsed_ns: u64,
+    /// Length of the longest dependence chain (number of ASAP levels).
+    pub depth: usize,
+    /// Largest number of tasks sharing one ASAP level — the DAG's width.
+    pub max_width: usize,
+}
+
+impl RunReport {
+    /// Effective worker occupancy: total per-task busy time over the run's
+    /// wall time. 1.0 means perfectly serial; `workers` is the ceiling.
+    #[must_use]
+    pub fn achieved_parallelism(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.task_ns.iter().sum::<u64>() as f64 / self.elapsed_ns as f64
+    }
+}
+
+/// Depth (ASAP level count) and maximum width (largest level population)
+/// of a dependence DAG given per-task predecessor lists.
+#[must_use]
+pub fn dag_shape(preds: &[Vec<usize>]) -> (usize, usize) {
+    if preds.is_empty() {
+        return (0, 0);
+    }
+    let mut level = vec![0usize; preds.len()];
+    let mut depth = 0usize;
+    for (i, ps) in preds.iter().enumerate() {
+        level[i] = ps.iter().map(|&p| level[p] + 1).max().unwrap_or(0);
+        depth = depth.max(level[i] + 1);
+    }
+    let mut width = vec![0usize; depth];
+    for &l in &level {
+        width[l] += 1;
+    }
+    (depth, width.into_iter().max().unwrap_or(0))
 }
 
 /// A deferred execution graph: tasks recorded with buffer provenance, run
@@ -189,10 +235,16 @@ impl<'scope> TaskGraph<'scope> {
                 task_records: Vec::new(),
                 record_order: Vec::new(),
                 workers,
+                labels: Vec::new(),
+                task_ns: Vec::new(),
+                elapsed_ns: 0,
+                depth: 0,
+                max_width: 0,
             };
         }
         let accesses: Vec<&AccessSet> = self.tasks.iter().map(|t| &t.access).collect();
         let preds = dependence_preds(&accesses);
+        let (depth, max_width) = dag_shape(&preds);
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut indeg = vec![0usize; n];
         for (i, ps) in preds.iter().enumerate() {
@@ -217,6 +269,7 @@ impl<'scope> TaskGraph<'scope> {
         let bodies: Vec<Mutex<Option<TaskBody<'scope>>>> =
             self.tasks.into_iter().map(|t| Mutex::new(Some(t.body))).collect();
         let outputs: Vec<Mutex<Vec<OpRecord>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        let timings: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
 
         // One executor loop per participating thread. Each loop claims a
         // ready task, runs its body isolated, retires it and wakes the
@@ -241,7 +294,9 @@ impl<'scope> TaskGraph<'scope> {
                 .take()
                 .expect("task dispatched twice");
             let mut local = if enabled { Tracer::new() } else { Tracer::disabled() };
+            let began = Instant::now();
             let result = catch_unwind(AssertUnwindSafe(|| pool::run_isolated(|| body(&mut local))));
+            timings[t].store(began.elapsed().as_nanos() as u64, Ordering::Relaxed);
             *outputs[t].lock().expect("sched output poisoned") = local.into_records();
             let mut st = shared.state.lock().expect("sched state poisoned");
             match result {
@@ -266,7 +321,9 @@ impl<'scope> TaskGraph<'scope> {
         };
         let loops: Vec<Box<dyn FnOnce() + Send + '_>> =
             (0..workers).map(|_| Box::new(exec_loop) as Box<dyn FnOnce() + Send + '_>).collect();
+        let dispatch_began = Instant::now();
         pool::run_tasks(loops);
+        let elapsed_ns = dispatch_began.elapsed().as_nanos() as u64;
 
         let mut st = shared.state.into_inner().expect("sched state poisoned");
         if let Some((t, payload)) = st.panic.take() {
@@ -296,10 +353,58 @@ impl<'scope> TaskGraph<'scope> {
         } else {
             Vec::new()
         };
-        let report =
-            RunReport { completion_order, first_record, task_records, record_order, workers };
+        let task_ns: Vec<u64> = timings.iter().map(|t| t.load(Ordering::Relaxed)).collect();
+        let report = RunReport {
+            completion_order,
+            first_record,
+            task_records,
+            record_order,
+            workers,
+            labels,
+            task_ns,
+            elapsed_ns,
+            depth,
+            max_width,
+        };
         log_run(&report);
         report
+    }
+
+    /// Apply the legal fusion pass: merge chains of adjacent tasks where
+    /// the dependence DAG shows the earlier task's *sole* successor is the
+    /// next submitted task and the pair's labels match one of `patterns`
+    /// (see [`plan_fusion`] for the exact legality conditions). A fused
+    /// task runs the original bodies back to back under one dispatch, with
+    /// the merged (union) access set, so the executed dataflow — and the
+    /// merged trace — are unchanged; only the task grain coarsens.
+    #[must_use]
+    pub fn fuse(self, patterns: &[FusePattern]) -> (TaskGraph<'scope>, FusionReport) {
+        let labels: Vec<String> = self.tasks.iter().map(|t| t.label.clone()).collect();
+        let accesses: Vec<&AccessSet> = self.tasks.iter().map(|t| &t.access).collect();
+        let groups = plan_fusion(&labels, &accesses, patterns);
+        let merged: Vec<AccessSet> = groups
+            .iter()
+            .map(|g| merge_accesses(&g.iter().map(|&i| accesses[i]).collect::<Vec<_>>()))
+            .collect();
+        let mut bodies: Vec<Option<TaskBody<'scope>>> =
+            self.tasks.into_iter().map(|t| Some(t.body)).collect();
+        let mut out = TaskGraph::new();
+        let mut fused = Vec::new();
+        for (group, access) in groups.iter().zip(merged) {
+            let label: String =
+                group.iter().map(|&i| labels[i].as_str()).collect::<Vec<_>>().join("+");
+            if group.len() > 1 {
+                fused.push(label.clone());
+            }
+            let parts: Vec<TaskBody<'scope>> =
+                group.iter().map(|&i| bodies[i].take().expect("task fused twice")).collect();
+            out.submit(label, access, move |tracer: &mut Tracer| {
+                for body in parts {
+                    body(tracer);
+                }
+            });
+        }
+        (out, FusionReport { groups: groups.clone(), fused })
     }
 }
 
@@ -361,6 +466,134 @@ pub fn dependence_preds(accesses: &[&AccessSet]) -> Vec<Vec<usize>> {
         preds[i].dedup();
     }
     preds
+}
+
+/// One producer→consumer task-pair shape the fusion pass may merge: both
+/// fields are label substrings (`"fc1"` + `"gelu"` fuses the bias+GeLU
+/// chain, `"res"` + `"ln"` the residual+LayerNorm chain). Matching labels
+/// is *necessary but not sufficient* — the dependence DAG must also prove
+/// the pair legal (see [`plan_fusion`]).
+#[derive(Debug, Clone)]
+pub struct FusePattern {
+    /// Substring the producer task's label must contain.
+    pub producer: String,
+    /// Substring the consumer task's label must contain.
+    pub consumer: String,
+}
+
+impl FusePattern {
+    /// A pattern matching producer labels containing `producer` followed by
+    /// consumer labels containing `consumer`.
+    #[must_use]
+    pub fn new(producer: impl Into<String>, consumer: impl Into<String>) -> Self {
+        FusePattern { producer: producer.into(), consumer: consumer.into() }
+    }
+}
+
+/// What [`TaskGraph::fuse`] did: how the original tasks were grouped into
+/// post-fusion tasks, and the labels of the groups that actually merged.
+#[derive(Debug, Clone)]
+pub struct FusionReport {
+    /// Original task ids comprising each post-fusion task, in submission
+    /// order. Singleton groups are unfused tasks.
+    pub groups: Vec<Vec<usize>>,
+    /// `"producer+consumer"` labels of each multi-task group.
+    pub fused: Vec<String>,
+}
+
+impl FusionReport {
+    /// Number of original tasks eliminated by merging.
+    #[must_use]
+    pub fn pairs_merged(&self) -> usize {
+        self.groups.iter().map(|g| g.len() - 1).sum()
+    }
+}
+
+/// Plan the legal fusion grouping for a recorded task list. Tasks `i` and
+/// `i + 1` may merge only when *all* of the following hold, proven on the
+/// dependence DAG derived from the access sets:
+///
+/// 1. **Adjacency**: the consumer is the very next submitted task, so the
+///    merged node occupies a contiguous span and every remaining edge
+///    still points forward — fusion can never create a cycle.
+/// 2. **Sole successor**: the consumer is the producer's *only* dependence
+///    successor (RAW, WAR and WAW all counted). Nothing else is waiting on
+///    the producer, so serializing the pair forfeits no parallelism and no
+///    third task can observe the intermediate state.
+/// 3. **Known provenance**: neither side has an empty [`AccessSet`] — an
+///    opaque task is a scheduling barrier and must stay one.
+/// 4. **Shape**: the pair's labels match one of `patterns` in order.
+///
+/// Chains extend greedily: `a→b→c` collapses to one task when both links
+/// qualify. Returns the groups covering every task id exactly once, in
+/// submission order (singletons included).
+#[must_use]
+pub fn plan_fusion(
+    labels: &[String],
+    accesses: &[&AccessSet],
+    patterns: &[FusePattern],
+) -> Vec<Vec<usize>> {
+    let n = accesses.len();
+    let preds = dependence_preds(accesses);
+    let mut succ_count = vec![0usize; n];
+    let mut sole_succ: Vec<Option<usize>> = vec![None; n];
+    for (i, ps) in preds.iter().enumerate() {
+        for &p in ps {
+            succ_count[p] += 1;
+            sole_succ[p] = Some(i);
+        }
+    }
+    let matches = |producer: usize, consumer: usize| {
+        patterns.iter().any(|pat| {
+            labels[producer].contains(&pat.producer) && labels[consumer].contains(&pat.consumer)
+        })
+    };
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let mut group = vec![i];
+        let mut last = i;
+        while last + 1 < n
+            && succ_count[last] == 1
+            && sole_succ[last] == Some(last + 1)
+            && !accesses[last].is_empty()
+            && !accesses[last + 1].is_empty()
+            && matches(last, last + 1)
+        {
+            last += 1;
+            group.push(last);
+        }
+        i = last + 1;
+        groups.push(group);
+    }
+    groups
+}
+
+/// Union of several access sets — the conservative provenance of a fused
+/// task (a buffer both produced and consumed inside the group stays in
+/// both sets; self-dependences are filtered during DAG construction).
+#[must_use]
+pub fn merge_accesses(accesses: &[&AccessSet]) -> AccessSet {
+    let union = |pick: fn(&AccessSet) -> &Vec<BufId>| {
+        let mut v: Vec<BufId> = accesses.iter().flat_map(|a| pick(a).iter().copied()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let reads = union(|a| &a.reads);
+    let writes = union(|a| &a.writes);
+    let allocs = union(|a| &a.allocs);
+    let frees = union(|a| &a.frees);
+    AccessSet::new(&reads, &writes).with_allocs(&allocs).with_frees(&frees)
+}
+
+/// Expand a post-fusion completion order back to original task ids: each
+/// group retires as a unit, its members in submission order — the order to
+/// hand `Schedule::from_completion_order` when re-verifying a fused
+/// schedule against the per-task dependence DAG.
+#[must_use]
+pub fn expand_order(groups: &[Vec<usize>], group_order: &[usize]) -> Vec<usize> {
+    group_order.iter().flat_map(|&g| groups[g].iter().copied()).collect()
 }
 
 /// Deterministically simulate the executor's scheduling policy over a
@@ -693,6 +926,11 @@ mod tests {
             task_records: vec![2..3, 3..4],
             record_order: vec![3, 2],
             workers: 2,
+            labels: vec!["a".into(), "b".into()],
+            task_ns: vec![1, 1],
+            elapsed_ns: 2,
+            depth: 1,
+            max_width: 2,
         };
         let order = splice_order(6, &[run]);
         assert_eq!(order, vec![0, 1, 3, 2, 4, 5]);
@@ -717,5 +955,159 @@ mod tests {
         let report = TaskGraph::new().run(&mut Tracer::new());
         assert!(report.completion_order.is_empty());
         assert!(report.record_order.is_empty());
+        assert_eq!((report.depth, report.max_width), (0, 0));
+    }
+
+    #[test]
+    fn report_carries_dag_shape_and_labels() {
+        let x = BufId::fresh();
+        let y = BufId::fresh();
+        let z = BufId::fresh();
+        let mut g = TaskGraph::new();
+        // A producer feeding two independent consumers: depth 2, width 2.
+        g.submit("src", acc(&[], &[x]), |_| {});
+        g.submit("left", acc(&[x], &[y]), |_| {});
+        g.submit("right", acc(&[x], &[z]), |_| {});
+        let report = g.run(&mut Tracer::disabled());
+        assert_eq!(report.depth, 2);
+        assert_eq!(report.max_width, 2);
+        assert_eq!(report.labels, vec!["src", "left", "right"]);
+        assert_eq!(report.task_ns.len(), 3);
+    }
+
+    #[test]
+    fn fusion_merges_adjacent_sole_consumer_pairs() {
+        let a = BufId::fresh();
+        let b = BufId::fresh();
+        let c = BufId::fresh();
+        let labels: Vec<String> = vec!["fc1".into(), "gelu".into(), "fc2".into()];
+        let sets = [acc(&[], &[a]), acc(&[a], &[b]), acc(&[b], &[c])];
+        let refs: Vec<&AccessSet> = sets.iter().collect();
+        let groups = plan_fusion(&labels, &refs, &[FusePattern::new("fc1", "gelu")]);
+        assert_eq!(groups, vec![vec![0, 1], vec![2]]);
+        // The merged access set is the union.
+        let merged = merge_accesses(&[refs[0], refs[1]]);
+        assert_eq!(merged.reads, vec![a]);
+        let mut writes = merged.writes.clone();
+        writes.sort_unstable();
+        assert_eq!(writes, {
+            let mut v = vec![a, b];
+            v.sort_unstable();
+            v
+        });
+    }
+
+    #[test]
+    fn fusion_declines_multi_consumer_producers() {
+        // `fc1`'s output is read by both `gelu` and a second consumer
+        // (backward will need the pre-activation): not a sole successor,
+        // so the pattern must not fire.
+        let a = BufId::fresh();
+        let b = BufId::fresh();
+        let c = BufId::fresh();
+        let labels: Vec<String> = vec!["fc1".into(), "gelu".into(), "saver".into()];
+        let sets = [acc(&[], &[a]), acc(&[a], &[b]), acc(&[a], &[c])];
+        let refs: Vec<&AccessSet> = sets.iter().collect();
+        let groups = plan_fusion(&labels, &refs, &[FusePattern::new("fc1", "gelu")]);
+        assert_eq!(groups, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn fusion_never_merges_opaque_barriers() {
+        let a = BufId::fresh();
+        let labels: Vec<String> = vec!["fc1".into(), "gelu".into()];
+        let sets = [acc(&[], &[a]), AccessSet::default()];
+        let refs: Vec<&AccessSet> = sets.iter().collect();
+        let groups = plan_fusion(&labels, &refs, &[FusePattern::new("fc1", "gelu")]);
+        assert_eq!(groups, vec![vec![0], vec![1]], "barriers must stay barriers");
+    }
+
+    #[test]
+    fn fusion_extends_chains_greedily() {
+        let a = BufId::fresh();
+        let b = BufId::fresh();
+        let c = BufId::fresh();
+        let d = BufId::fresh();
+        let labels: Vec<String> = vec!["res1".into(), "ln1".into(), "fc1".into(), "gelu".into()];
+        let sets = [acc(&[], &[a]), acc(&[a], &[b]), acc(&[b], &[c]), acc(&[c], &[d])];
+        let refs: Vec<&AccessSet> = sets.iter().collect();
+        let patterns = [
+            FusePattern::new("res", "ln"),
+            FusePattern::new("ln", "fc1"),
+            FusePattern::new("fc1", "gelu"),
+        ];
+        let groups = plan_fusion(&labels, &refs, &patterns);
+        assert_eq!(groups, vec![vec![0, 1, 2, 3]]);
+        assert_eq!(expand_order(&groups, &[0]), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fused_run_matches_unfused_trace_and_results() {
+        use crate::trace::{Category, OpKind, Phase};
+        use crate::DType;
+        fn mk(name: &str) -> OpRecord {
+            OpRecord {
+                name: name.into(),
+                kind: OpKind::ElementWise,
+                category: Category::Gelu,
+                phase: Phase::Forward,
+                layer: None,
+                gemm: None,
+                flops: 1,
+                bytes_read: 4,
+                bytes_written: 4,
+                dtype: DType::F32,
+                access: AccessSet::default(),
+            }
+        }
+        fn build(cells: &Mutex<Vec<f32>>) -> TaskGraph<'_> {
+            let a = BufId::fresh();
+            let b = BufId::fresh();
+            let c = BufId::fresh();
+            let mut g = TaskGraph::new();
+            g.submit("fc1", acc(&[], &[a]), move |tr: &mut Tracer| {
+                cells.lock().unwrap()[0] = 2.0;
+                tr.record(mk("fc1"));
+            });
+            g.submit("gelu", acc(&[a], &[b]), move |tr: &mut Tracer| {
+                let mut d = cells.lock().unwrap();
+                d[1] = d[0] * 3.0;
+                tr.record(mk("gelu"));
+            });
+            g.submit("fc2", acc(&[b], &[c]), move |tr: &mut Tracer| {
+                let mut d = cells.lock().unwrap();
+                d[2] = d[1] + 1.0;
+                tr.record(mk("fc2"));
+            });
+            g
+        }
+        for threads in [1usize, 2, 8] {
+            with_threads(threads, || {
+                let eager_cells = Mutex::new(vec![0.0f32; 3]);
+                let mut eager_tr = Tracer::new();
+                build(&eager_cells).run(&mut eager_tr);
+
+                let fused_cells = Mutex::new(vec![0.0f32; 3]);
+                let mut fused_tr = Tracer::new();
+                let (fused, fr) = build(&fused_cells).fuse(&[FusePattern::new("fc1", "gelu")]);
+                assert_eq!(fused.len(), 2, "fc1+gelu merged into one task");
+                assert_eq!(fr.fused, vec!["fc1+gelu"]);
+                assert_eq!(fr.pairs_merged(), 1);
+                fused.run(&mut fused_tr);
+
+                assert_eq!(
+                    bits(&eager_cells.lock().unwrap()),
+                    bits(&fused_cells.lock().unwrap()),
+                    "fused results diverged at {threads} threads"
+                );
+                let names =
+                    |tr: &Tracer| tr.records().iter().map(|r| r.name.clone()).collect::<Vec<_>>();
+                assert_eq!(names(&eager_tr), names(&fused_tr), "fused trace diverged");
+            });
+        }
+    }
+
+    fn bits(vals: &[f32]) -> Vec<u32> {
+        vals.iter().map(|v| v.to_bits()).collect()
     }
 }

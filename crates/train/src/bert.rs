@@ -25,6 +25,23 @@ use bertscope_tensor::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Granularity of the tasks the whole-model graph recorder emits
+/// ([`TrainOptions::graph`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TaskGrain {
+    /// One task per model-level unit: the embedding block, each
+    /// transformer layer (forward and backward), each output head. The
+    /// default — coarse enough that per-task dispatch overhead vanishes.
+    #[default]
+    Layer,
+    /// One task per op stage inside each layer's *forward* (attention,
+    /// dropout+residual, LayerNorm, FC1, GeLU, FC2, ...). Backward always
+    /// stays at layer grain, and checkpointed steps fall back to layer
+    /// grain (the recompute segment is inherently a unit). This is the
+    /// grain the fusion pass operates at.
+    Op,
+}
+
 /// Execution options for the trainable model.
 #[derive(Debug, Clone, Copy)]
 pub struct TrainOptions {
@@ -50,6 +67,20 @@ pub struct TrainOptions {
     /// Use decoder-style causal attention (paper §2.3: masks future tokens;
     /// identical kernel structure and cost to the encoder).
     pub causal_attention: bool,
+    /// Record the *whole* step — forward, loss, backward, observer
+    /// boundaries — as one task graph per micro-step and execute it through
+    /// `bertscope_tensor::sched` instead of eagerly. Bit-identical to eager
+    /// at any thread count; the merged trace equals the eager trace.
+    pub graph: bool,
+    /// Task granularity under [`TrainOptions::graph`].
+    pub grain: TaskGrain,
+    /// Apply the verified fusion pass (`TaskGraph::fuse`) to recorded
+    /// graphs: adjacent sole-successor pairs like FC1→GeLU and
+    /// residual→LayerNorm merge into single dispatches. Only forward-only
+    /// graphs at [`TaskGrain::Op`] have fusable pairs — training graphs
+    /// keep every intermediate alive for backward, which the legality
+    /// check correctly refuses.
+    pub fuse: bool,
 }
 
 impl Default for TrainOptions {
@@ -63,6 +94,9 @@ impl Default for TrainOptions {
             deferred: false,
             loss_scale: 1.0,
             causal_attention: false,
+            graph: false,
+            grain: TaskGrain::Layer,
+            fuse: false,
         }
     }
 }
@@ -94,7 +128,7 @@ pub struct EvalOutput {
 /// Top-1 accuracy of `logits` (`[rows, classes]`) against targets, skipping
 /// [`bertscope_kernels::loss::IGNORE_INDEX`] rows. Returns 0 when no row is
 /// active.
-fn top1_accuracy(logits: &Tensor, classes: usize, targets: &[usize]) -> f32 {
+pub(crate) fn top1_accuracy(logits: &Tensor, classes: usize, targets: &[usize]) -> f32 {
     use bertscope_kernels::loss::IGNORE_INDEX;
     let mut correct = 0usize;
     let mut active = 0usize;
@@ -117,53 +151,53 @@ fn top1_accuracy(logits: &Tensor, classes: usize, targets: &[usize]) -> f32 {
 
 /// Embedding and output-head parameters (everything outside the layers).
 #[derive(Debug, Clone)]
-struct HeadParams {
-    word_emb: Tensor,
-    pos_emb: Tensor,
-    seg_emb: Tensor,
-    emb_ln_gamma: Tensor,
-    emb_ln_beta: Tensor,
-    mlm_dense_w: Tensor,
-    mlm_dense_b: Tensor,
-    mlm_ln_gamma: Tensor,
-    mlm_ln_beta: Tensor,
-    decoder_bias: Tensor,
-    pooler_w: Tensor,
-    pooler_b: Tensor,
-    cls_w: Tensor,
-    cls_b: Tensor,
+pub(crate) struct HeadParams {
+    pub(crate) word_emb: Tensor,
+    pub(crate) pos_emb: Tensor,
+    pub(crate) seg_emb: Tensor,
+    pub(crate) emb_ln_gamma: Tensor,
+    pub(crate) emb_ln_beta: Tensor,
+    pub(crate) mlm_dense_w: Tensor,
+    pub(crate) mlm_dense_b: Tensor,
+    pub(crate) mlm_ln_gamma: Tensor,
+    pub(crate) mlm_ln_beta: Tensor,
+    pub(crate) decoder_bias: Tensor,
+    pub(crate) pooler_w: Tensor,
+    pub(crate) pooler_b: Tensor,
+    pub(crate) cls_w: Tensor,
+    pub(crate) cls_b: Tensor,
 }
 
 /// Gradients mirroring [`HeadParams`].
 #[derive(Debug, Clone)]
-struct HeadGrads {
-    word_emb: Tensor,
-    pos_emb: Tensor,
-    seg_emb: Tensor,
-    emb_ln_gamma: Tensor,
-    emb_ln_beta: Tensor,
-    mlm_dense_w: Tensor,
-    mlm_dense_b: Tensor,
-    mlm_ln_gamma: Tensor,
-    mlm_ln_beta: Tensor,
-    decoder_bias: Tensor,
-    pooler_w: Tensor,
-    pooler_b: Tensor,
-    cls_w: Tensor,
-    cls_b: Tensor,
+pub(crate) struct HeadGrads {
+    pub(crate) word_emb: Tensor,
+    pub(crate) pos_emb: Tensor,
+    pub(crate) seg_emb: Tensor,
+    pub(crate) emb_ln_gamma: Tensor,
+    pub(crate) emb_ln_beta: Tensor,
+    pub(crate) mlm_dense_w: Tensor,
+    pub(crate) mlm_dense_b: Tensor,
+    pub(crate) mlm_ln_gamma: Tensor,
+    pub(crate) mlm_ln_beta: Tensor,
+    pub(crate) decoder_bias: Tensor,
+    pub(crate) pooler_w: Tensor,
+    pub(crate) pooler_b: Tensor,
+    pub(crate) cls_w: Tensor,
+    pub(crate) cls_b: Tensor,
 }
 
 /// The executable BERT pre-training model.
 #[derive(Debug)]
 pub struct Bert {
-    cfg: BertConfig,
-    opts: TrainOptions,
-    heads: HeadParams,
-    layers: Vec<LayerParams>,
+    pub(crate) cfg: BertConfig,
+    pub(crate) opts: TrainOptions,
+    pub(crate) heads: HeadParams,
+    pub(crate) layers: Vec<LayerParams>,
     layer_param_names: Vec<Vec<String>>,
-    layer_grads: Vec<Option<LayerGrads>>,
-    head_grads: Option<HeadGrads>,
-    step: u64,
+    pub(crate) layer_grads: Vec<Option<LayerGrads>>,
+    pub(crate) head_grads: Option<HeadGrads>,
+    pub(crate) step: u64,
 }
 
 impl Bert {
@@ -284,15 +318,15 @@ impl Bert {
         self.step = step;
     }
 
-    fn act_dtype(&self) -> DType {
+    pub(crate) fn act_dtype(&self) -> DType {
         self.opts.precision.activation_dtype()
     }
 
-    fn kctx(&self, name: &str, cat: Category, phase: Phase) -> KernelCtx {
+    pub(crate) fn kctx(&self, name: &str, cat: Category, phase: Phase) -> KernelCtx {
         KernelCtx::new(name, cat, phase).dtype(self.act_dtype())
     }
 
-    fn layer_ctx(&self, layer: usize) -> LayerCtx {
+    pub(crate) fn layer_ctx(&self, layer: usize) -> LayerCtx {
         LayerCtx::new(
             &self.cfg,
             layer,
@@ -305,7 +339,7 @@ impl Bert {
     }
 
     /// Embedding forward: gather + sum + LayerNorm + dropout.
-    fn embedding_fwd_pass(
+    pub(crate) fn embedding_fwd_pass(
         &self,
         tracer: &mut Tracer,
         batch: &PretrainBatch,
@@ -338,7 +372,11 @@ impl Bert {
 
     /// Report layer `l`'s sixteen gradients in canonical
     /// [`Bert::param_slots`] order (base slot `5 + l * 16`).
-    fn observe_layer(obs: &mut dyn crate::defer::GradObserver, l: usize, g: &LayerGrads) {
+    pub(crate) fn observe_layer(
+        obs: &mut dyn crate::defer::GradObserver,
+        l: usize,
+        g: &LayerGrads,
+    ) {
         obs.group_ready(
             5 + l * 16,
             &[
@@ -390,6 +428,12 @@ impl Bert {
         batch: &PretrainBatch,
         mut observer: Option<&mut dyn crate::defer::GradObserver>,
     ) -> Result<StepOutput> {
+        if self.opts.graph {
+            // Graph-first execution spine: record the whole step as a task
+            // graph and run it through the operator-graph scheduler. The
+            // eager path below stays as the bit-identical reference mode.
+            return self.train_step_graph(tracer, batch, observer);
+        }
         self.step += 1;
         let seed0 = self.step * 1_000_003;
         let t = self.cfg.tokens();
@@ -730,6 +774,9 @@ impl Bert {
     ///
     /// Propagates kernel shape errors.
     pub fn evaluate(&self, tracer: &mut Tracer, batch: &PretrainBatch) -> Result<EvalOutput> {
+        if self.opts.graph {
+            return self.evaluate_graph(tracer, batch);
+        }
         let t = self.cfg.tokens();
         let d = self.cfg.d_model;
         // Embedding forward (dropout still launched, with p = 0).
@@ -834,7 +881,7 @@ impl Bert {
     /// Build the additive attention mask for a batch: padding visibility
     /// from the batch's sequence lengths, combined with the causal mask for
     /// decoder-style models.
-    fn attention_mask(&self, batch: &PretrainBatch) -> Result<Tensor> {
+    pub(crate) fn attention_mask(&self, batch: &PretrainBatch) -> Result<Tensor> {
         use bertscope_kernels::masks::{causal_mask, combine, padding_mask};
         let dt = self.act_dtype();
         let pad = padding_mask(&batch.lengths, self.cfg.seq_len, self.cfg.heads, dt)?;
@@ -847,7 +894,7 @@ impl Bert {
     }
 
     /// Gather the [CLS] (position 0) rows into `[B, d]`.
-    fn gather_cls(&self, tracer: &mut Tracer, seq: &Tensor) -> Result<Tensor> {
+    pub(crate) fn gather_cls(&self, tracer: &mut Tracer, seq: &Tensor) -> Result<Tensor> {
         let (n, d, b) = (self.cfg.seq_len, self.cfg.d_model, self.cfg.batch);
         let mut out = Buffer::zeroed(b * d);
         for s in 0..b {
@@ -861,7 +908,7 @@ impl Bert {
     }
 
     /// Scatter [CLS]-row gradients back into the sequence gradient.
-    fn scatter_cls(&self, tracer: &mut Tracer, d_seq: &mut Tensor, d_cls: &Tensor) {
+    pub(crate) fn scatter_cls(&self, tracer: &mut Tracer, d_seq: &mut Tensor, d_cls: &Tensor) {
         let (n, d, b) = (self.cfg.seq_len, self.cfg.d_model, self.cfg.batch);
         for s in 0..b {
             let dst = &mut d_seq.as_mut_slice()[s * n * d..s * n * d + d];
@@ -1113,10 +1160,10 @@ impl Bert {
 
 /// Saved embedding-layer activations.
 #[derive(Debug, Clone)]
-struct EmbeddingActs {
-    sum2: Tensor,
-    ln_state: bertscope_kernels::norm::LayerNormState,
-    drop: bertscope_kernels::dropout::DropoutMask,
+pub(crate) struct EmbeddingActs {
+    pub(crate) sum2: Tensor,
+    pub(crate) ln_state: bertscope_kernels::norm::LayerNormState,
+    pub(crate) drop: bertscope_kernels::dropout::DropoutMask,
 }
 
 /// Strip pure data movements from a trace: the analytic graph does not model

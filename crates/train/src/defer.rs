@@ -32,15 +32,21 @@ use std::ops::Range;
 /// then layers from last to first, the embeddings last — and every tensor
 /// is final when reported (the tied decoder gradient is already folded
 /// into the word embedding's).
-pub trait GradObserver {
+///
+/// `Send` is a supertrait: under whole-model graph execution
+/// (`TrainOptions::graph`) the observer fires from inside backward *tasks*
+/// running on pool threads — in the same deterministic retirement order,
+/// since the backward chain is serialized by its dataflow.
+pub trait GradObserver: Send {
     /// Called once per group, in retirement order.
     fn group_ready(&mut self, base_slot: usize, grads: &[&Tensor]);
 }
 
 /// Consumer of completed gradient buckets — the scheduler-facing half of
 /// the overlap: typically a channel into a communication thread that
-/// AllReduces each bucket while backward keeps computing.
-pub trait BucketSink {
+/// AllReduces each bucket while backward keeps computing. `Send` for the
+/// same reason as [`GradObserver`]: buckets may fire from graph tasks.
+pub trait BucketSink: Send {
     /// `bucket` is the index into the [`plan_buckets`] plan, `range` its
     /// element range in the flat gradient vector, `data` the averaged
     /// gradient payload for exactly that range.

@@ -1,0 +1,1310 @@
+//! Whole-model task-graph execution: the training step and the inference
+//! pass recorded as one dependence DAG per micro-step and executed through
+//! the operator-graph scheduler (`bertscope_tensor::sched`).
+//!
+//! The eager spine in [`crate::bert`] stays the reference semantics; this
+//! module *records* the same computation — embeddings, every transformer
+//! layer, both output heads, the loss, the full backward chain, the
+//! gradient-observer boundaries — as named tasks with buffer provenance
+//! ([`AccessSet`]s over fresh dataflow tokens), then hands the graph to
+//! [`TaskGraph::run`]. Three properties carry over by construction:
+//!
+//! * **Bit identity.** Task bodies execute the *same* kernel calls the
+//!   eager path makes (the forward stages are literally shared functions,
+//!   [`crate::layer`]), each body runs internally serial, and values move
+//!   between tasks through rendezvous cells — so losses, gradients and the
+//!   merged trace are bit-identical to eager at any worker count.
+//! * **Deterministic observer order.** The backward chain is serialized by
+//!   its `dy` dataflow, so gradient groups retire heads → layers (last to
+//!   first) → embeddings exactly as in eager execution, and
+//!   backward/AllReduce overlap ([`crate::defer`]) composes with inter-op
+//!   parallelism unchanged.
+//! * **Verified fusion.** With [`crate::TrainOptions::fuse`], the recorded
+//!   graph passes through [`TaskGraph::fuse`] before running; the merge is
+//!   legal only where the dependence DAG proves a sole-successor chain
+//!   (FC1→GeLU, residual→LayerNorm), which `bertscope-check`'s F-rules
+//!   re-verify independently.
+//!
+//! Task grain defaults to one task per model unit ([`TaskGrain::Layer`]);
+//! [`TaskGrain::Op`] splits each layer's *forward* into its stages, which
+//! is the grain the fusion pass operates at. Checkpointed steps always
+//! record at layer grain — a recompute segment is inherently one unit.
+
+use crate::bert::{
+    top1_accuracy, Bert, EmbeddingActs, EvalOutput, HeadGrads, StepOutput, TaskGrain,
+};
+use crate::data::PretrainBatch;
+use crate::defer::GradObserver;
+use crate::layer::{
+    layer_bwd, layer_fwd, stage_attn, stage_fc1, stage_fc2, stage_gelu, stage_ln1, stage_ln2,
+    stage_res1, stage_res2, LayerActivations, LayerCtx, LayerGrads,
+};
+use bertscope_kernels::activation::{gelu_bwd, gelu_fwd, tanh_bwd, tanh_fwd};
+use bertscope_kernels::attention::AttentionState;
+use bertscope_kernels::dropout::{dropout_bwd, dropout_fwd, DropoutMask};
+use bertscope_kernels::elementwise::residual_add;
+use bertscope_kernels::embedding::{embedding_bwd, embedding_fwd};
+use bertscope_kernels::linear::{linear_bwd, linear_fwd};
+use bertscope_kernels::loss::{cross_entropy_bwd, cross_entropy_fwd, CrossEntropyState};
+use bertscope_kernels::norm::{layernorm_bwd, layernorm_fwd, LayerNormState};
+use bertscope_kernels::{KernelCtx, Result};
+use bertscope_model::checkpoint_segments;
+use bertscope_tensor::sched::{FusePattern, FusionReport, Slot, TaskGraph};
+use bertscope_tensor::{
+    gemm, gemm_ep, AccessSet, BufId, Buffer, Category, DType, Epilogue, GemmEpilogue, GemmSpec,
+    OpKind, Phase, Tensor, TensorError, Tracer, Transpose,
+};
+use std::sync::Mutex;
+
+/// The task-pair label patterns the fusion pass is allowed to merge:
+/// FC1→GeLU (the bias+GeLU tail runs inside the producing dispatch) and
+/// residual→LayerNorm. Legality is still proven per-instance on the
+/// dependence DAG — a pattern match alone never fuses anything.
+#[must_use]
+pub fn fusion_patterns() -> Vec<FusePattern> {
+    vec![FusePattern::new("fc1", "gelu"), FusePattern::new("residual", "layernorm")]
+}
+
+/// Multi-consumer rendezvous cell: `put` once, every `get` clones. Used
+/// for values with more than one downstream task (sequence output feeding
+/// both heads; a layer input feeding attention and its residual).
+#[derive(Debug)]
+struct Shared<T>(Mutex<Option<T>>);
+
+impl<T: Clone> Shared<T> {
+    fn new() -> Self {
+        Shared(Mutex::new(None))
+    }
+
+    fn put(&self, value: T) {
+        *self.0.lock().expect("graph cell poisoned") = Some(value);
+    }
+
+    fn get(&self) -> Option<T> {
+        self.0.lock().expect("graph cell poisoned").clone()
+    }
+}
+
+/// First-error-wins cell shared by every task body. Once set, downstream
+/// bodies fast-fail without executing kernels, and the error surfaces as
+/// the step's `Err` after the graph quiesces.
+#[derive(Debug)]
+struct ErrCell(Mutex<Option<TensorError>>);
+
+impl ErrCell {
+    fn new() -> Self {
+        ErrCell(Mutex::new(None))
+    }
+
+    fn set(&self, e: TensorError) {
+        let mut slot = self.0.lock().expect("error cell poisoned");
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    fn is_set(&self) -> bool {
+        self.0.lock().expect("error cell poisoned").is_some()
+    }
+
+    fn take(&self) -> Option<TensorError> {
+        self.0.lock().expect("error cell poisoned").take()
+    }
+}
+
+/// Wrap a fallible task body: skip execution when an earlier task already
+/// failed, and record the first error instead of panicking.
+fn guarded<'s>(
+    err: &'s ErrCell,
+    body: impl FnOnce(&mut Tracer) -> Result<()> + Send + 's,
+) -> impl FnOnce(&mut Tracer) + Send + 's {
+    move |tr| {
+        if err.is_set() {
+            return;
+        }
+        if let Err(e) = body(tr) {
+            err.set(e);
+        }
+    }
+}
+
+/// The layer context every graph task builds: nested kernel-group deferral
+/// is disabled (the whole-model graph subsumes the attention islands), and
+/// evaluation zeroes dropout exactly like the eager inference path.
+fn graph_layer_ctx(this: &Bert, l: usize, eval: bool) -> LayerCtx {
+    let mut lc = this.layer_ctx(l);
+    lc.attn.deferred = false;
+    if eval {
+        lc.dropout_p = 0.0;
+        lc.attn.dropout_p = 0.0;
+    }
+    lc
+}
+
+/// MLM-head forward results the MLM backward task consumes.
+struct MlmFwd {
+    mlm_h: Tensor,
+    mlm_g: Tensor,
+    mlm_n: Tensor,
+    ln_state: LayerNormState,
+    xent: CrossEntropyState,
+}
+
+/// NSP-head forward results the NSP backward task consumes.
+struct NspFwd {
+    cls_rows: Tensor,
+    pooled: Tensor,
+    xent: CrossEntropyState,
+}
+
+/// NSP-head gradients, handed to the MLM backward task (which scatters the
+/// [CLS]-row gradient and reports the combined heads group).
+struct NspBwd {
+    d_cls_rows: Tensor,
+    d_pooler_w: Tensor,
+    d_pooler_b: Tensor,
+    d_cls_w: Tensor,
+    d_cls_b: Tensor,
+}
+
+/// The nine head gradients finalized by the MLM backward task.
+struct HeadsPartial {
+    d_mlm_dense_w: Tensor,
+    d_mlm_dense_b: Tensor,
+    d_mlm_ln_gamma: Tensor,
+    d_mlm_ln_beta: Tensor,
+    d_decoder_bias: Tensor,
+    d_pooler_w: Tensor,
+    d_pooler_b: Tensor,
+    d_cls_w: Tensor,
+    d_cls_b: Tensor,
+}
+
+/// Embedding-backward outputs (the word gradient already carries the tied
+/// decoder fold).
+struct EmbBwdOut {
+    d_word: Tensor,
+    d_pos: Tensor,
+    d_seg: Tensor,
+    d_emb_ln_gamma: Tensor,
+    d_emb_ln_beta: Tensor,
+}
+
+/// Per-layer rendezvous cells and dataflow tokens for [`TaskGrain::Op`]
+/// forward stages.
+struct LayerPieces {
+    attn_out: Slot<Tensor>,
+    attn_state: Slot<AttentionState>,
+    attn_drop: Slot<DropoutMask>,
+    res1: Shared<Tensor>,
+    ln1_state: Slot<LayerNormState>,
+    ln1_out: Shared<Tensor>,
+    fc1_out: Shared<Tensor>,
+    gelu_out: Shared<Tensor>,
+    fc2_out: Slot<Tensor>,
+    ffn_drop: Slot<DropoutMask>,
+    res2: Slot<Tensor>,
+    b_attn: BufId,
+    b_res1: BufId,
+    b_ln1: BufId,
+    b_fc1: BufId,
+    b_gelu: BufId,
+    b_fc2: BufId,
+    b_res2: BufId,
+}
+
+impl LayerPieces {
+    fn new() -> Self {
+        LayerPieces {
+            attn_out: Slot::new(),
+            attn_state: Slot::new(),
+            attn_drop: Slot::new(),
+            res1: Shared::new(),
+            ln1_state: Slot::new(),
+            ln1_out: Shared::new(),
+            fc1_out: Shared::new(),
+            gelu_out: Shared::new(),
+            fc2_out: Slot::new(),
+            ffn_drop: Slot::new(),
+            res2: Slot::new(),
+            b_attn: BufId::fresh(),
+            b_res1: BufId::fresh(),
+            b_ln1: BufId::fresh(),
+            b_fc1: BufId::fresh(),
+            b_gelu: BufId::fresh(),
+            b_fc2: BufId::fresh(),
+            b_res2: BufId::fresh(),
+        }
+    }
+}
+
+/// Record one layer's forward at op grain: a task per stage, in the exact
+/// order `layer_fwd` executes them, so the merged trace stays identical to
+/// eager. In training the final LayerNorm task also assembles the saved
+/// [`LayerActivations`] from the stage cells — that assembly *reads* every
+/// stage output, which makes the intermediates multi-successor and lets the
+/// fusion legality check correctly refuse to merge them; the forward-only
+/// graph has no assembler and its FC1→GeLU / residual→LayerNorm pairs fuse.
+#[allow(clippy::too_many_arguments)]
+fn submit_op_grain_layer<'s>(
+    graph: &mut TaskGraph<'s>,
+    this: &'s Bert,
+    mask: &'s Tensor,
+    err: &'s ErrCell,
+    x_slots: &'s [Shared<Tensor>],
+    b_x: &[BufId],
+    p: &'s LayerPieces,
+    l: usize,
+    seed: u64,
+    eval: bool,
+    acts: Option<(&'s Slot<LayerActivations>, BufId)>,
+) {
+    graph.submit(
+        format!("fwd.l{l}.attn"),
+        AccessSet::new(&[b_x[l]], &[p.b_attn]),
+        guarded(err, move |tr| {
+            let Some(x) = x_slots[l].get() else { return Ok(()) };
+            let lc = graph_layer_ctx(this, l, eval);
+            let (attn_out, state) = stage_attn(tr, &lc, &this.layers[l], &x, Some(mask), seed)?;
+            p.attn_out.put(attn_out);
+            p.attn_state.put(state);
+            Ok(())
+        }),
+    );
+    graph.submit(
+        format!("fwd.l{l}.residual1"),
+        AccessSet::new(&[b_x[l], p.b_attn], &[p.b_res1]),
+        guarded(err, move |tr| {
+            let Some(x) = x_slots[l].get() else { return Ok(()) };
+            let Some(attn_out) = p.attn_out.take() else { return Ok(()) };
+            let lc = graph_layer_ctx(this, l, eval);
+            let (res1, drop) = stage_res1(tr, &lc, &x, &attn_out, seed)?;
+            p.res1.put(res1);
+            p.attn_drop.put(drop);
+            Ok(())
+        }),
+    );
+    graph.submit(
+        format!("fwd.l{l}.layernorm1"),
+        AccessSet::new(&[p.b_res1], &[p.b_ln1]),
+        guarded(err, move |tr| {
+            let Some(res1) = p.res1.get() else { return Ok(()) };
+            let lc = graph_layer_ctx(this, l, eval);
+            let (ln1_out, state) = stage_ln1(tr, &lc, &this.layers[l], &res1)?;
+            p.ln1_out.put(ln1_out);
+            p.ln1_state.put(state);
+            Ok(())
+        }),
+    );
+    let fused = this.options().fused_epilogue;
+    let fc1_writes: Vec<BufId> = if fused { vec![p.b_fc1, p.b_gelu] } else { vec![p.b_fc1] };
+    graph.submit(
+        format!("fwd.l{l}.fc1"),
+        AccessSet::new(&[p.b_ln1], &fc1_writes),
+        guarded(err, move |tr| {
+            let Some(ln1_out) = p.ln1_out.get() else { return Ok(()) };
+            let lc = graph_layer_ctx(this, l, eval);
+            match stage_fc1(tr, &lc, &this.layers[l], &ln1_out)? {
+                (fc1_out, Some(gelu_out)) => {
+                    p.fc1_out.put(fc1_out);
+                    p.gelu_out.put(gelu_out);
+                }
+                (fc1_out, None) => p.fc1_out.put(fc1_out),
+            }
+            Ok(())
+        }),
+    );
+    if !fused {
+        graph.submit(
+            format!("fwd.l{l}.gelu"),
+            AccessSet::new(&[p.b_fc1], &[p.b_gelu]),
+            guarded(err, move |tr| {
+                let Some(fc1_out) = p.fc1_out.get() else { return Ok(()) };
+                let lc = graph_layer_ctx(this, l, eval);
+                p.gelu_out.put(stage_gelu(tr, &lc, &fc1_out)?);
+                Ok(())
+            }),
+        );
+    }
+    graph.submit(
+        format!("fwd.l{l}.fc2"),
+        AccessSet::new(&[p.b_gelu], &[p.b_fc2]),
+        guarded(err, move |tr| {
+            let Some(gelu_out) = p.gelu_out.get() else { return Ok(()) };
+            let lc = graph_layer_ctx(this, l, eval);
+            p.fc2_out.put(stage_fc2(tr, &lc, &this.layers[l], &gelu_out)?);
+            Ok(())
+        }),
+    );
+    graph.submit(
+        format!("fwd.l{l}.residual2"),
+        AccessSet::new(&[p.b_ln1, p.b_fc2], &[p.b_res2]),
+        guarded(err, move |tr| {
+            let Some(ln1_out) = p.ln1_out.get() else { return Ok(()) };
+            let Some(fc2_out) = p.fc2_out.take() else { return Ok(()) };
+            let lc = graph_layer_ctx(this, l, eval);
+            let (res2, drop) = stage_res2(tr, &lc, &ln1_out, &fc2_out, seed)?;
+            p.res2.put(res2);
+            p.ffn_drop.put(drop);
+            Ok(())
+        }),
+    );
+    // The training variant reads every stage token: the activation
+    // assembly depends on all of them (and keeps them multi-successor).
+    let ln2_reads: Vec<BufId> = if acts.is_some() {
+        vec![p.b_res2, p.b_attn, p.b_res1, p.b_ln1, p.b_fc1, p.b_gelu]
+    } else {
+        vec![p.b_res2]
+    };
+    let ln2_writes: Vec<BufId> = match acts {
+        Some((_, b_act)) => vec![b_x[l + 1], b_act],
+        None => vec![b_x[l + 1]],
+    };
+    let act_slot = acts.map(|(s, _)| s);
+    graph.submit(
+        format!("fwd.l{l}.layernorm2"),
+        AccessSet::new(&ln2_reads, &ln2_writes),
+        guarded(err, move |tr| {
+            let Some(res2) = p.res2.take() else { return Ok(()) };
+            let lc = graph_layer_ctx(this, l, eval);
+            let (y, ln2) = stage_ln2(tr, &lc, &this.layers[l], &res2)?;
+            if let Some(acts) = act_slot {
+                acts.put(LayerActivations {
+                    attn: p.attn_state.take().expect("attention state recorded"),
+                    attn_drop: p.attn_drop.take().expect("attention dropout recorded"),
+                    res1: p.res1.get().expect("res1 recorded"),
+                    ln1: p.ln1_state.take().expect("ln1 state recorded"),
+                    ln1_out: p.ln1_out.get().expect("ln1 output recorded"),
+                    fc1_out: p.fc1_out.get().expect("fc1 output recorded"),
+                    gelu_out: p.gelu_out.get().expect("gelu output recorded"),
+                    ffn_drop: p.ffn_drop.take().expect("ffn dropout recorded"),
+                    res2,
+                    ln2,
+                });
+            }
+            x_slots[l + 1].put(y);
+            Ok(())
+        }),
+    );
+}
+
+/// Rendezvous cells and dataflow tokens for one recorded training step.
+struct TrainStorage {
+    x: Vec<Shared<Tensor>>,
+    emb_acts: Slot<EmbeddingActs>,
+    acts: Vec<Slot<LayerActivations>>,
+    segs: Vec<Slot<Tensor>>,
+    pieces: Vec<LayerPieces>,
+    mlm_fwd: Slot<MlmFwd>,
+    nsp_fwd: Slot<NspFwd>,
+    nsp_bwd: Slot<NspBwd>,
+    dy: Vec<Slot<Tensor>>,
+    dwd: Slot<Tensor>,
+    grads: Vec<Slot<LayerGrads>>,
+    heads: Slot<HeadsPartial>,
+    emb_out: Slot<EmbBwdOut>,
+    loss_mlm: Slot<f32>,
+    loss_nsp: Slot<f32>,
+    err: ErrCell,
+    b_x: Vec<BufId>,
+    b_act: Vec<BufId>,
+    b_seg: Vec<BufId>,
+    b_dy: Vec<BufId>,
+    b_grad: Vec<BufId>,
+    b_emb_acts: BufId,
+    b_mlm: BufId,
+    b_nsp: BufId,
+    b_nsp_bwd: BufId,
+    b_dwd: BufId,
+    b_heads: BufId,
+    b_emb_out: BufId,
+}
+
+impl TrainStorage {
+    fn new(layers: usize, segs: usize, op_grain: bool) -> Self {
+        TrainStorage {
+            x: (0..=layers).map(|_| Shared::new()).collect(),
+            emb_acts: Slot::new(),
+            acts: (0..layers).map(|_| Slot::new()).collect(),
+            segs: (0..segs).map(|_| Slot::new()).collect(),
+            pieces: if op_grain {
+                (0..layers).map(|_| LayerPieces::new()).collect()
+            } else {
+                Vec::new()
+            },
+            mlm_fwd: Slot::new(),
+            nsp_fwd: Slot::new(),
+            nsp_bwd: Slot::new(),
+            dy: (0..=layers).map(|_| Slot::new()).collect(),
+            dwd: Slot::new(),
+            grads: (0..layers).map(|_| Slot::new()).collect(),
+            heads: Slot::new(),
+            emb_out: Slot::new(),
+            loss_mlm: Slot::new(),
+            loss_nsp: Slot::new(),
+            err: ErrCell::new(),
+            b_x: (0..=layers).map(|_| BufId::fresh()).collect(),
+            b_act: (0..layers).map(|_| BufId::fresh()).collect(),
+            b_seg: (0..segs).map(|_| BufId::fresh()).collect(),
+            b_dy: (0..=layers).map(|_| BufId::fresh()).collect(),
+            b_grad: (0..layers).map(|_| BufId::fresh()).collect(),
+            b_emb_acts: BufId::fresh(),
+            b_mlm: BufId::fresh(),
+            b_nsp: BufId::fresh(),
+            b_nsp_bwd: BufId::fresh(),
+            b_dwd: BufId::fresh(),
+            b_heads: BufId::fresh(),
+            b_emb_out: BufId::fresh(),
+        }
+    }
+}
+
+impl Bert {
+    /// Graph-mode [`Bert::train_step_observed`]: record the full step as a
+    /// task graph and execute it through the operator-graph scheduler.
+    pub(crate) fn train_step_graph(
+        &mut self,
+        tracer: &mut Tracer,
+        batch: &PretrainBatch,
+        observer: Option<&mut dyn GradObserver>,
+    ) -> Result<StepOutput> {
+        self.step += 1;
+        let seed0 = self.step * 1_000_003;
+        // The mask is untraced constant data (same as eager, where
+        // `attention_mask` records nothing): compute it before recording.
+        let mask = self.attention_mask(batch)?;
+        let (out, layer_grads, head_grads) =
+            run_train_graph(self, tracer, batch, &mask, seed0, observer)?;
+        self.layer_grads = layer_grads;
+        self.head_grads = Some(head_grads);
+        Ok(out)
+    }
+
+    /// Graph-mode [`Bert::evaluate`]: the forward-only pass recorded as a
+    /// task graph, with the fusion pass applied when
+    /// [`crate::TrainOptions::fuse`] is set.
+    pub(crate) fn evaluate_graph(
+        &self,
+        tracer: &mut Tracer,
+        batch: &PretrainBatch,
+    ) -> Result<EvalOutput> {
+        let mask = self.attention_mask(batch)?;
+        let st = EvalStorage::new(self);
+        let graph = build_eval_graph(self, batch, &mask, &st);
+        let _report = if self.opts.fuse {
+            let (fused, _plan) = graph.fuse(&fusion_patterns());
+            fused.run(tracer)
+        } else {
+            graph.run(tracer)
+        };
+        if let Some(e) = st.err.take() {
+            return Err(e);
+        }
+        let (mlm_loss, mlm_accuracy) = st.mlm_out.take().expect("mlm head retired");
+        let (nsp_loss, nsp_accuracy) = st.nsp_out.take().expect("nsp head retired");
+        Ok(EvalOutput { mlm_loss, nsp_loss, mlm_accuracy, nsp_accuracy })
+    }
+
+    /// Record the forward-only graph for `batch` and plan — without
+    /// executing any kernel — which task pairs the fusion pass would merge.
+    /// This is the inspection surface the fusion tests and benchmarks pin:
+    /// at [`TaskGrain::Op`] the plan fuses FC1→GeLU and residual→LayerNorm
+    /// chains; at [`TaskGrain::Layer`] nothing matches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mask-construction shape errors.
+    pub fn plan_eval_fusion(&self, batch: &PretrainBatch) -> Result<FusionReport> {
+        let mask = self.attention_mask(batch)?;
+        let st = EvalStorage::new(self);
+        let graph = build_eval_graph(self, batch, &mask, &st);
+        let (_fused, plan) = graph.fuse(&fusion_patterns());
+        Ok(plan)
+    }
+}
+
+/// Record and run the whole-model training graph. Shared-borrows the model
+/// throughout (task bodies capture `&Bert`); the caller applies the
+/// returned gradients to the model afterwards.
+#[allow(clippy::too_many_lines)]
+fn run_train_graph(
+    this: &Bert,
+    tracer: &mut Tracer,
+    batch: &PretrainBatch,
+    mask: &Tensor,
+    seed0: u64,
+    observer: Option<&mut dyn GradObserver>,
+) -> Result<(StepOutput, Vec<Option<LayerGrads>>, HeadGrads)> {
+    let layers = this.cfg.layers;
+    let checkpoint = this.opts.checkpoint;
+    // Checkpointed steps record at layer grain: the recompute segment is a
+    // unit, and its activations only exist transiently during backward.
+    let grain = if checkpoint { TaskGrain::Layer } else { this.opts.grain };
+    let n_segs = checkpoint_segments(layers);
+    let per_seg = layers.div_ceil(n_segs);
+    let st = TrainStorage::new(layers, n_segs, grain == TaskGrain::Op);
+    let st = &st;
+    let obs = Mutex::new(observer);
+    let obs = &obs;
+    let err = &st.err;
+
+    let mut graph = TaskGraph::new();
+
+    // ---- Forward ----
+    graph.submit(
+        "fwd.emb",
+        AccessSet::new(&[], &[st.b_x[0], st.b_emb_acts]),
+        guarded(err, move |tr| {
+            let (x0, ea) = this.embedding_fwd_pass(tr, batch, seed0)?;
+            st.x[0].put(x0);
+            st.emb_acts.put(ea);
+            Ok(())
+        }),
+    );
+    for l in 0..layers {
+        if grain == TaskGrain::Op {
+            submit_op_grain_layer(
+                &mut graph,
+                this,
+                mask,
+                err,
+                &st.x,
+                &st.b_x,
+                &st.pieces[l],
+                l,
+                seed0 + l as u64,
+                false,
+                Some((&st.acts[l], st.b_act[l])),
+            );
+            continue;
+        }
+        let boundary = checkpoint && l % per_seg == 0;
+        let mut writes = vec![st.b_x[l + 1]];
+        if boundary {
+            writes.push(st.b_seg[l / per_seg]);
+        }
+        if !checkpoint {
+            writes.push(st.b_act[l]);
+        }
+        graph.submit(
+            format!("fwd.l{l}"),
+            AccessSet::new(&[st.b_x[l]], &writes),
+            guarded(err, move |tr| {
+                let Some(x) = st.x[l].get() else { return Ok(()) };
+                if boundary {
+                    st.segs[l / per_seg].put(x.clone());
+                }
+                let lc = graph_layer_ctx(this, l, false);
+                let (y, a) = layer_fwd(tr, &lc, &this.layers[l], &x, Some(mask), seed0 + l as u64)?;
+                if !checkpoint {
+                    st.acts[l].put(a);
+                }
+                st.x[l + 1].put(y);
+                Ok(())
+            }),
+        );
+    }
+
+    // ---- Output heads forward ----
+    graph.submit(
+        "fwd.heads.mlm",
+        AccessSet::new(&[st.b_x[layers]], &[st.b_mlm]),
+        guarded(err, move |tr| {
+            let Some(seq_out) = st.x[layers].get() else { return Ok(()) };
+            let t = this.cfg.tokens();
+            let d = this.cfg.d_model;
+            let out_ctx = this.kctx("mlm", Category::Output, Phase::Forward);
+            let mlm_h = linear_fwd(
+                tr,
+                &this.kctx("mlm.dense", Category::Output, Phase::Forward),
+                &seq_out,
+                &this.heads.mlm_dense_w,
+                Some(&this.heads.mlm_dense_b),
+            )?;
+            let mlm_g = gelu_fwd(tr, &out_ctx, &mlm_h)?;
+            let (mlm_n, ln_state) = layernorm_fwd(
+                tr,
+                &out_ctx,
+                &mlm_g,
+                &this.heads.mlm_ln_gamma,
+                &this.heads.mlm_ln_beta,
+                1e-5,
+            )?;
+            let logits = gemm_ep(
+                Transpose::No,
+                Transpose::Yes,
+                1.0,
+                &mlm_n,
+                &this.heads.word_emb,
+                0.0,
+                None,
+                GemmEpilogue::Bias(this.heads.decoder_bias.as_slice()),
+            )?;
+            {
+                let dec_ctx = this.kctx("mlm.decoder", Category::Output, Phase::Forward);
+                dec_ctx.trace_gemm_acc(
+                    tr,
+                    "gemm",
+                    GemmSpec::new(Transpose::No, Transpose::Yes, this.cfg.vocab, t, d)
+                        .with_epilogue(Epilogue::Bias),
+                    AccessSet::new(
+                        &[
+                            mlm_n.buf_id(),
+                            this.heads.word_emb.buf_id(),
+                            this.heads.decoder_bias.buf_id(),
+                        ],
+                        &[logits.buf_id()],
+                    ),
+                );
+            }
+            let xent_ctx =
+                KernelCtx::new("mlm", Category::Output, Phase::Forward).dtype(DType::F32);
+            let (mlm_loss, xent) = cross_entropy_fwd(tr, &xent_ctx, &logits, &batch.mlm_targets)?;
+            st.loss_mlm.put(mlm_loss);
+            st.mlm_fwd.put(MlmFwd { mlm_h, mlm_g, mlm_n, ln_state, xent });
+            Ok(())
+        }),
+    );
+    graph.submit(
+        "fwd.heads.nsp",
+        AccessSet::new(&[st.b_x[layers]], &[st.b_nsp]),
+        guarded(err, move |tr| {
+            let Some(seq_out) = st.x[layers].get() else { return Ok(()) };
+            let nsp_ctx = this.kctx("nsp", Category::Output, Phase::Forward);
+            let cls_rows = this.gather_cls(tr, &seq_out)?;
+            let pooled_pre = linear_fwd(
+                tr,
+                &this.kctx("nsp.pooler", Category::Output, Phase::Forward),
+                &cls_rows,
+                &this.heads.pooler_w,
+                Some(&this.heads.pooler_b),
+            )?;
+            let pooled = tanh_fwd(tr, &nsp_ctx, &pooled_pre)?;
+            let nsp_logits = linear_fwd(
+                tr,
+                &this.kctx("nsp.classifier", Category::Output, Phase::Forward),
+                &pooled,
+                &this.heads.cls_w,
+                Some(&this.heads.cls_b),
+            )?;
+            let nsp_xent_ctx =
+                KernelCtx::new("nsp", Category::Output, Phase::Forward).dtype(DType::F32);
+            let (nsp_loss, xent) =
+                cross_entropy_fwd(tr, &nsp_xent_ctx, &nsp_logits, &batch.nsp_labels)?;
+            st.loss_nsp.put(nsp_loss);
+            st.nsp_fwd.put(NspFwd { cls_rows, pooled, xent });
+            Ok(())
+        }),
+    );
+
+    // ---- Backward: heads (NSP first, as in eager program order) ----
+    graph.submit(
+        "bwd.heads.nsp",
+        AccessSet::new(&[st.b_nsp], &[st.b_nsp_bwd]),
+        guarded(err, move |tr| {
+            let Some(NspFwd { cls_rows, pooled, xent }) = st.nsp_fwd.take() else {
+                return Ok(());
+            };
+            let scale = this.opts.loss_scale;
+            let nsp_bwd_ctx =
+                KernelCtx::new("nsp", Category::Output, Phase::Backward).dtype(DType::F32);
+            let mut d_nsp_logits = cross_entropy_bwd(tr, &nsp_bwd_ctx, &xent)?;
+            if scale != 1.0 {
+                d_nsp_logits = d_nsp_logits.scale(scale);
+            }
+            let (d_pooled, d_cls_w, d_cls_b) = linear_bwd(
+                tr,
+                &this.kctx("nsp.classifier", Category::Output, Phase::Backward),
+                &pooled,
+                &this.heads.cls_w,
+                &d_nsp_logits,
+                true,
+            )?;
+            let d_cls_b = d_cls_b.expect("bias requested");
+            let nsp_bwd = this.kctx("nsp", Category::Output, Phase::Backward);
+            let d_pooled_pre = tanh_bwd(tr, &nsp_bwd, &pooled, &d_pooled)?;
+            let (d_cls_rows, d_pooler_w, d_pooler_b) = linear_bwd(
+                tr,
+                &this.kctx("nsp.pooler", Category::Output, Phase::Backward),
+                &cls_rows,
+                &this.heads.pooler_w,
+                &d_pooled_pre,
+                true,
+            )?;
+            let d_pooler_b = d_pooler_b.expect("bias requested");
+            st.nsp_bwd.put(NspBwd { d_cls_rows, d_pooler_w, d_pooler_b, d_cls_w, d_cls_b });
+            Ok(())
+        }),
+    );
+    graph.submit(
+        "bwd.heads.mlm",
+        AccessSet::new(
+            &[st.b_mlm, st.b_x[layers], st.b_nsp_bwd],
+            &[st.b_dy[layers], st.b_dwd, st.b_heads],
+        ),
+        guarded(err, move |tr| {
+            let Some(MlmFwd { mlm_h, mlm_g, mlm_n, ln_state, xent }) = st.mlm_fwd.take() else {
+                return Ok(());
+            };
+            let Some(seq_out) = st.x[layers].get() else { return Ok(()) };
+            let Some(nsp) = st.nsp_bwd.take() else { return Ok(()) };
+            let t = this.cfg.tokens();
+            let d = this.cfg.d_model;
+            let dt = this.act_dtype();
+            let scale = this.opts.loss_scale;
+            let mlm_bwd_ctx =
+                KernelCtx::new("mlm", Category::Output, Phase::Backward).dtype(DType::F32);
+            let mut d_logits = cross_entropy_bwd(tr, &mlm_bwd_ctx, &xent)?;
+            if scale != 1.0 {
+                d_logits = d_logits.scale(scale);
+            }
+            let d_mlm_n = gemm(
+                Transpose::No,
+                Transpose::No,
+                1.0,
+                &d_logits,
+                &this.heads.word_emb,
+                0.0,
+                None,
+            )?;
+            let dec_bwd = this.kctx("mlm.decoder", Category::Output, Phase::Backward);
+            dec_bwd.trace_gemm_acc(
+                tr,
+                "grad_act",
+                GemmSpec::new(Transpose::No, Transpose::No, d, t, this.cfg.vocab),
+                AccessSet::new(
+                    &[d_logits.buf_id(), this.heads.word_emb.buf_id()],
+                    &[d_mlm_n.buf_id()],
+                ),
+            );
+            let d_word_from_decoder =
+                gemm(Transpose::Yes, Transpose::No, 1.0, &d_logits, &mlm_n, 0.0, None)?;
+            dec_bwd.trace_gemm_acc(
+                tr,
+                "grad_wt",
+                GemmSpec::new(Transpose::Yes, Transpose::No, this.cfg.vocab, d, t),
+                AccessSet::new(
+                    &[d_logits.buf_id(), mlm_n.buf_id()],
+                    &[d_word_from_decoder.buf_id()],
+                ),
+            );
+            let d_decoder_bias = {
+                let mut acc = Buffer::zeroed(this.cfg.vocab);
+                for row in d_logits.as_slice().chunks(this.cfg.vocab) {
+                    for (a, &v) in acc.iter_mut().zip(row) {
+                        *a += v;
+                    }
+                }
+                let es = dt.size_bytes();
+                dec_bwd.trace_acc(
+                    tr,
+                    "grad_bias",
+                    OpKind::Reduction,
+                    (t * this.cfg.vocab) as u64,
+                    (t * this.cfg.vocab) as u64 * es,
+                    this.cfg.vocab as u64 * 4,
+                    AccessSet::new(&[d_logits.buf_id()], &[acc.id()]),
+                );
+                Tensor::from_buffer(acc, &[this.cfg.vocab])?
+            };
+            let out_bwd = this.kctx("mlm", Category::Output, Phase::Backward);
+            let (d_mlm_g, d_mlm_ln_gamma, d_mlm_ln_beta) =
+                layernorm_bwd(tr, &out_bwd, &mlm_g, &this.heads.mlm_ln_gamma, &ln_state, &d_mlm_n)?;
+            let d_mlm_h = gelu_bwd(tr, &out_bwd, &mlm_h, &d_mlm_g)?;
+            let (mut d_seq, d_mlm_dense_w, d_mlm_dense_b) = linear_bwd(
+                tr,
+                &this.kctx("mlm.dense", Category::Output, Phase::Backward),
+                &seq_out,
+                &this.heads.mlm_dense_w,
+                &d_mlm_h,
+                true,
+            )?;
+            let d_mlm_dense_b = d_mlm_dense_b.expect("bias requested");
+            this.scatter_cls(tr, &mut d_seq, &nsp.d_cls_rows);
+            let partial = HeadsPartial {
+                d_mlm_dense_w,
+                d_mlm_dense_b,
+                d_mlm_ln_gamma,
+                d_mlm_ln_beta,
+                d_decoder_bias,
+                d_pooler_w: nsp.d_pooler_w,
+                d_pooler_b: nsp.d_pooler_b,
+                d_cls_w: nsp.d_cls_w,
+                d_cls_b: nsp.d_cls_b,
+            };
+            // The heads group retires here — first, exactly as in eager.
+            if let Some(o) = obs.lock().expect("observer cell poisoned").as_deref_mut() {
+                o.group_ready(
+                    5 + this.cfg.layers * 16,
+                    &[
+                        &partial.d_mlm_dense_w,
+                        &partial.d_mlm_dense_b,
+                        &partial.d_mlm_ln_gamma,
+                        &partial.d_mlm_ln_beta,
+                        &partial.d_decoder_bias,
+                        &partial.d_pooler_w,
+                        &partial.d_pooler_b,
+                        &partial.d_cls_w,
+                        &partial.d_cls_b,
+                    ],
+                );
+            }
+            st.dy[layers].put(d_seq);
+            st.dwd.put(d_word_from_decoder);
+            st.heads.put(partial);
+            Ok(())
+        }),
+    );
+
+    // ---- Backward: transformer layers ----
+    // One task per layer in both modes; the dy dataflow serializes the
+    // chain, which is what keeps observer retirement deterministic.
+    macro_rules! submit_bwd_layer {
+        ($l:expr) => {{
+            let l = $l;
+            graph.submit(
+                format!("bwd.l{l}"),
+                AccessSet::new(&[st.b_act[l], st.b_dy[l + 1]], &[st.b_dy[l], st.b_grad[l]]),
+                guarded(err, move |tr| {
+                    let Some(a) = st.acts[l].take() else { return Ok(()) };
+                    let Some(dy) = st.dy[l + 1].take() else { return Ok(()) };
+                    let lc = graph_layer_ctx(this, l, false);
+                    let (dx, g) = layer_bwd(tr, &lc, &this.layers[l], &a, &dy)?;
+                    if let Some(o) = obs.lock().expect("observer cell poisoned").as_deref_mut() {
+                        Bert::observe_layer(o, l, &g);
+                    }
+                    st.grads[l].put(g);
+                    st.dy[l].put(dx);
+                    Ok(())
+                }),
+            );
+        }};
+    }
+    if checkpoint {
+        let mut starts: Vec<usize> = (0..layers).step_by(per_seg).collect();
+        starts.reverse();
+        for start in starts {
+            let end = (start + per_seg).min(layers);
+            let seg = start / per_seg;
+            let writes: Vec<BufId> = (start..end).map(|l| st.b_act[l]).collect();
+            graph.submit(
+                format!("bwd.recompute.s{start}"),
+                AccessSet::new(&[st.b_seg[seg]], &writes),
+                guarded(err, move |tr| {
+                    let Some(mut xin) = st.segs[seg].take() else { return Ok(()) };
+                    let mut tmp = Tracer::new();
+                    for l in start..end {
+                        let lc = graph_layer_ctx(this, l, false);
+                        let (y, a) = layer_fwd(
+                            &mut tmp,
+                            &lc,
+                            &this.layers[l],
+                            &xin,
+                            Some(mask),
+                            seed0 + l as u64,
+                        )?;
+                        st.acts[l].put(a);
+                        xin = y;
+                    }
+                    tr.extend(tmp.into_records().into_iter().map(|mut r| {
+                        r.phase = Phase::Recompute;
+                        r
+                    }));
+                    Ok(())
+                }),
+            );
+            for l in (start..end).rev() {
+                submit_bwd_layer!(l);
+            }
+        }
+    } else {
+        for l in (0..layers).rev() {
+            submit_bwd_layer!(l);
+        }
+    }
+
+    // ---- Backward: embeddings (retires last) ----
+    graph.submit(
+        "bwd.emb",
+        AccessSet::new(&[st.b_dy[0], st.b_emb_acts, st.b_dwd], &[st.b_emb_out]),
+        guarded(err, move |tr| {
+            let Some(dy) = st.dy[0].take() else { return Ok(()) };
+            let Some(ea) = st.emb_acts.take() else { return Ok(()) };
+            let Some(dwd) = st.dwd.take() else { return Ok(()) };
+            let d = this.cfg.d_model;
+            let emb_bwd = this.kctx("emb", Category::Embedding, Phase::Backward);
+            let d_normed = dropout_bwd(tr, &emb_bwd, &ea.drop, &dy)?;
+            let (d_sum2, d_emb_ln_gamma, d_emb_ln_beta) = layernorm_bwd(
+                tr,
+                &emb_bwd,
+                &ea.sum2,
+                &this.heads.emb_ln_gamma,
+                &ea.ln_state,
+                &d_normed,
+            )?;
+            let mut d_word =
+                embedding_bwd(tr, &emb_bwd, &[this.cfg.vocab, d], &batch.input_ids, &d_sum2)?;
+            let d_pos = embedding_bwd(
+                tr,
+                &emb_bwd,
+                &[this.cfg.max_position, d],
+                &batch.position_ids,
+                &d_sum2,
+            )?;
+            let d_seg = embedding_bwd(tr, &emb_bwd, &[2, d], &batch.segment_ids, &d_sum2)?;
+            d_word.axpy(1.0, &dwd)?;
+            if let Some(o) = obs.lock().expect("observer cell poisoned").as_deref_mut() {
+                o.group_ready(0, &[&d_word, &d_pos, &d_seg, &d_emb_ln_gamma, &d_emb_ln_beta]);
+            }
+            st.emb_out.put(EmbBwdOut { d_word, d_pos, d_seg, d_emb_ln_gamma, d_emb_ln_beta });
+            Ok(())
+        }),
+    );
+
+    // ---- Execute ----
+    let _report = if this.opts.fuse {
+        // Training graphs have no legally fusable pairs (backward keeps
+        // every intermediate multi-successor), but routing through the
+        // planner keeps the code path uniform and exercised.
+        let (fused, _plan) = graph.fuse(&fusion_patterns());
+        fused.run(tracer)
+    } else {
+        graph.run(tracer)
+    };
+
+    if let Some(e) = st.err.take() {
+        return Err(e);
+    }
+    let mlm_loss = st.loss_mlm.take().expect("mlm head retired");
+    let nsp_loss = st.loss_nsp.take().expect("nsp head retired");
+    let partial = st.heads.take().expect("heads backward retired");
+    let emb = st.emb_out.take().expect("embedding backward retired");
+    let layer_grads: Vec<Option<LayerGrads>> =
+        st.grads.iter().map(|s| Some(s.take().expect("layer backward retired"))).collect();
+    let head_grads = HeadGrads {
+        word_emb: emb.d_word,
+        pos_emb: emb.d_pos,
+        seg_emb: emb.d_seg,
+        emb_ln_gamma: emb.d_emb_ln_gamma,
+        emb_ln_beta: emb.d_emb_ln_beta,
+        mlm_dense_w: partial.d_mlm_dense_w,
+        mlm_dense_b: partial.d_mlm_dense_b,
+        mlm_ln_gamma: partial.d_mlm_ln_gamma,
+        mlm_ln_beta: partial.d_mlm_ln_beta,
+        decoder_bias: partial.d_decoder_bias,
+        pooler_w: partial.d_pooler_w,
+        pooler_b: partial.d_pooler_b,
+        cls_w: partial.d_cls_w,
+        cls_b: partial.d_cls_b,
+    };
+    Ok((StepOutput { loss: mlm_loss + nsp_loss, mlm_loss, nsp_loss }, layer_grads, head_grads))
+}
+
+/// Rendezvous cells and dataflow tokens for one recorded inference pass.
+struct EvalStorage {
+    x: Vec<Shared<Tensor>>,
+    pieces: Vec<LayerPieces>,
+    mlm_out: Slot<(f32, f32)>,
+    nsp_out: Slot<(f32, f32)>,
+    err: ErrCell,
+    b_x: Vec<BufId>,
+    b_mlm: BufId,
+    b_nsp: BufId,
+}
+
+impl EvalStorage {
+    fn new(this: &Bert) -> Self {
+        let layers = this.config().layers;
+        EvalStorage {
+            x: (0..=layers).map(|_| Shared::new()).collect(),
+            pieces: if this.options().grain == TaskGrain::Op {
+                (0..layers).map(|_| LayerPieces::new()).collect()
+            } else {
+                Vec::new()
+            },
+            mlm_out: Slot::new(),
+            nsp_out: Slot::new(),
+            err: ErrCell::new(),
+            b_x: (0..=layers).map(|_| BufId::fresh()).collect(),
+            b_mlm: BufId::fresh(),
+            b_nsp: BufId::fresh(),
+        }
+    }
+}
+
+/// Record the forward-only graph (dropout disabled, no activations saved),
+/// mirroring the eager `evaluate` kernel sequence exactly.
+fn build_eval_graph<'s>(
+    this: &'s Bert,
+    batch: &'s PretrainBatch,
+    mask: &'s Tensor,
+    st: &'s EvalStorage,
+) -> TaskGraph<'s> {
+    let layers = this.cfg.layers;
+    let err = &st.err;
+    let mut graph = TaskGraph::new();
+    graph.submit(
+        "fwd.emb",
+        AccessSet::new(&[], &[st.b_x[0]]),
+        guarded(err, move |tr| {
+            let ctx = this.kctx("emb", Category::Embedding, Phase::Forward);
+            let word = embedding_fwd(tr, &ctx, &this.heads.word_emb, &batch.input_ids)?;
+            let pos = embedding_fwd(tr, &ctx, &this.heads.pos_emb, &batch.position_ids)?;
+            let seg = embedding_fwd(tr, &ctx, &this.heads.seg_emb, &batch.segment_ids)?;
+            let sum1 = residual_add(tr, &ctx, &word, &pos)?;
+            let sum2 = residual_add(tr, &ctx, &sum1, &seg)?;
+            let (normed, _) = layernorm_fwd(
+                tr,
+                &ctx,
+                &sum2,
+                &this.heads.emb_ln_gamma,
+                &this.heads.emb_ln_beta,
+                1e-5,
+            )?;
+            let (x0, _) = dropout_fwd(tr, &ctx, &normed, 0.0, 0)?;
+            st.x[0].put(x0);
+            Ok(())
+        }),
+    );
+    for l in 0..layers {
+        if this.opts.grain == TaskGrain::Op {
+            submit_op_grain_layer(
+                &mut graph,
+                this,
+                mask,
+                err,
+                &st.x,
+                &st.b_x,
+                &st.pieces[l],
+                l,
+                0,
+                true,
+                None,
+            );
+            continue;
+        }
+        graph.submit(
+            format!("fwd.l{l}"),
+            AccessSet::new(&[st.b_x[l]], &[st.b_x[l + 1]]),
+            guarded(err, move |tr| {
+                let Some(x) = st.x[l].get() else { return Ok(()) };
+                let lc = graph_layer_ctx(this, l, true);
+                let (y, _) = layer_fwd(tr, &lc, &this.layers[l], &x, Some(mask), 0)?;
+                st.x[l + 1].put(y);
+                Ok(())
+            }),
+        );
+    }
+    graph.submit(
+        "fwd.heads.mlm",
+        AccessSet::new(&[st.b_x[layers]], &[st.b_mlm]),
+        guarded(err, move |tr| {
+            let Some(seq_out) = st.x[layers].get() else { return Ok(()) };
+            let t = this.cfg.tokens();
+            let d = this.cfg.d_model;
+            let out_ctx = this.kctx("mlm", Category::Output, Phase::Forward);
+            let mlm_h = linear_fwd(
+                tr,
+                &this.kctx("mlm.dense", Category::Output, Phase::Forward),
+                &seq_out,
+                &this.heads.mlm_dense_w,
+                Some(&this.heads.mlm_dense_b),
+            )?;
+            let mlm_g = gelu_fwd(tr, &out_ctx, &mlm_h)?;
+            let (mlm_n, _) = layernorm_fwd(
+                tr,
+                &out_ctx,
+                &mlm_g,
+                &this.heads.mlm_ln_gamma,
+                &this.heads.mlm_ln_beta,
+                1e-5,
+            )?;
+            let logits = gemm_ep(
+                Transpose::No,
+                Transpose::Yes,
+                1.0,
+                &mlm_n,
+                &this.heads.word_emb,
+                0.0,
+                None,
+                GemmEpilogue::Bias(this.heads.decoder_bias.as_slice()),
+            )?;
+            {
+                let dec_ctx = this.kctx("mlm.decoder", Category::Output, Phase::Forward);
+                dec_ctx.trace_gemm_acc(
+                    tr,
+                    "gemm",
+                    GemmSpec::new(Transpose::No, Transpose::Yes, this.cfg.vocab, t, d)
+                        .with_epilogue(Epilogue::Bias),
+                    AccessSet::new(
+                        &[
+                            mlm_n.buf_id(),
+                            this.heads.word_emb.buf_id(),
+                            this.heads.decoder_bias.buf_id(),
+                        ],
+                        &[logits.buf_id()],
+                    ),
+                );
+            }
+            let xent_ctx =
+                KernelCtx::new("mlm", Category::Output, Phase::Forward).dtype(DType::F32);
+            let (mlm_loss, _) = cross_entropy_fwd(tr, &xent_ctx, &logits, &batch.mlm_targets)?;
+            let acc = top1_accuracy(&logits, this.cfg.vocab, &batch.mlm_targets);
+            st.mlm_out.put((mlm_loss, acc));
+            Ok(())
+        }),
+    );
+    graph.submit(
+        "fwd.heads.nsp",
+        AccessSet::new(&[st.b_x[layers]], &[st.b_nsp]),
+        guarded(err, move |tr| {
+            let Some(seq_out) = st.x[layers].get() else { return Ok(()) };
+            let cls_rows = this.gather_cls(tr, &seq_out)?;
+            let nsp_ctx = this.kctx("nsp", Category::Output, Phase::Forward);
+            let pooled_pre = linear_fwd(
+                tr,
+                &this.kctx("nsp.pooler", Category::Output, Phase::Forward),
+                &cls_rows,
+                &this.heads.pooler_w,
+                Some(&this.heads.pooler_b),
+            )?;
+            let pooled = tanh_fwd(tr, &nsp_ctx, &pooled_pre)?;
+            let nsp_logits = linear_fwd(
+                tr,
+                &this.kctx("nsp.classifier", Category::Output, Phase::Forward),
+                &pooled,
+                &this.heads.cls_w,
+                Some(&this.heads.cls_b),
+            )?;
+            let nsp_xent_ctx =
+                KernelCtx::new("nsp", Category::Output, Phase::Forward).dtype(DType::F32);
+            let (nsp_loss, _) =
+                cross_entropy_fwd(tr, &nsp_xent_ctx, &nsp_logits, &batch.nsp_labels)?;
+            let acc = top1_accuracy(&nsp_logits, 2, &batch.nsp_labels);
+            st.nsp_out.put((nsp_loss, acc));
+            Ok(())
+        }),
+    );
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bert::TrainOptions;
+    use crate::data::SyntheticCorpus;
+    use bertscope_model::BertConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(opts: TrainOptions) -> (Bert, PretrainBatch) {
+        let cfg = BertConfig::tiny();
+        let corpus = SyntheticCorpus::new(cfg.vocab);
+        let mut rng = StdRng::seed_from_u64(11);
+        let batch = corpus.generate_batch(&mut rng, &cfg);
+        (Bert::new(cfg, opts, 5), batch)
+    }
+
+    fn grads_of(bert: &mut Bert) -> Vec<Tensor> {
+        bert.param_slots().iter().map(|s| s.grad.clone()).collect()
+    }
+
+    #[test]
+    fn graph_step_is_bit_identical_to_eager() {
+        for grain in [TaskGrain::Layer, TaskGrain::Op] {
+            let (mut eager, batch) = setup(TrainOptions::default());
+            let (mut graphed, _) =
+                setup(TrainOptions { graph: true, grain, ..TrainOptions::default() });
+            let mut tr = Tracer::disabled();
+            let oe = eager.train_step(&mut tr, &batch).unwrap();
+            let og = graphed.train_step(&mut tr, &batch).unwrap();
+            assert_eq!(oe.loss.to_bits(), og.loss.to_bits(), "{grain:?}");
+            assert_eq!(oe.mlm_loss.to_bits(), og.mlm_loss.to_bits());
+            assert_eq!(oe.nsp_loss.to_bits(), og.nsp_loss.to_bits());
+            let (ge, gg) = (grads_of(&mut eager), grads_of(&mut graphed));
+            for (a, b) in ge.iter().zip(&gg) {
+                assert_eq!(a.as_slice(), b.as_slice(), "{grain:?} gradient mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointed_graph_step_matches_eager_checkpointed() {
+        let opts = TrainOptions { checkpoint: true, ..TrainOptions::default() };
+        let (mut eager, batch) = setup(opts);
+        // Op grain is requested but checkpointing forces layer grain.
+        let (mut graphed, _) = setup(TrainOptions {
+            graph: true,
+            grain: TaskGrain::Op,
+            checkpoint: true,
+            ..TrainOptions::default()
+        });
+        let mut tr_e = Tracer::new();
+        let mut tr_g = Tracer::new();
+        let oe = eager.train_step(&mut tr_e, &batch).unwrap();
+        let og = graphed.train_step(&mut tr_g, &batch).unwrap();
+        assert_eq!(oe.loss.to_bits(), og.loss.to_bits());
+        assert_eq!(tr_e.kernel_count(), tr_g.kernel_count());
+        assert!(tr_g.records().iter().any(|r| r.phase == Phase::Recompute));
+        for (a, b) in grads_of(&mut eager).iter().zip(&grads_of(&mut graphed)) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn graph_evaluate_matches_eager_with_and_without_fusion() {
+        let (eager, batch) = setup(TrainOptions::default());
+        let mut tr = Tracer::disabled();
+        let base = eager.evaluate(&mut tr, &batch).unwrap();
+        for (grain, fuse) in
+            [(TaskGrain::Layer, false), (TaskGrain::Op, false), (TaskGrain::Op, true)]
+        {
+            let (graphed, _) =
+                setup(TrainOptions { graph: true, grain, fuse, ..TrainOptions::default() });
+            let out = graphed.evaluate(&mut tr, &batch).unwrap();
+            assert_eq!(base.mlm_loss.to_bits(), out.mlm_loss.to_bits(), "{grain:?} fuse={fuse}");
+            assert_eq!(base.nsp_loss.to_bits(), out.nsp_loss.to_bits());
+            assert_eq!(base.mlm_accuracy.to_bits(), out.mlm_accuracy.to_bits());
+            assert_eq!(base.nsp_accuracy.to_bits(), out.nsp_accuracy.to_bits());
+        }
+    }
+
+    #[test]
+    fn eval_fusion_plan_merges_both_patterns_per_layer() {
+        let (bert, batch) = setup(TrainOptions {
+            graph: true,
+            grain: TaskGrain::Op,
+            fuse: true,
+            ..TrainOptions::default()
+        });
+        let plan = bert.plan_eval_fusion(&batch).unwrap();
+        // Per layer: fc1+gelu, residual1+layernorm1, residual2+layernorm2.
+        let layers = bert.config().layers;
+        assert_eq!(plan.pairs_merged(), 3 * layers, "{plan:?}");
+        let merged: Vec<&Vec<usize>> = plan.groups.iter().filter(|g| g.len() > 1).collect();
+        assert_eq!(merged.len(), 3 * layers);
+        // Layer grain has nothing to fuse.
+        let (coarse, _) = setup(TrainOptions { graph: true, ..TrainOptions::default() });
+        assert_eq!(coarse.plan_eval_fusion(&batch).unwrap().pairs_merged(), 0);
+    }
+
+    #[test]
+    fn graph_mode_observer_order_matches_eager() {
+        #[derive(Default)]
+        struct Record(Vec<usize>);
+        impl GradObserver for Record {
+            fn group_ready(&mut self, base_slot: usize, _grads: &[&Tensor]) {
+                self.0.push(base_slot);
+            }
+        }
+        let (mut eager, batch) = setup(TrainOptions::default());
+        let (mut graphed, _) = setup(TrainOptions { graph: true, ..TrainOptions::default() });
+        let mut tr = Tracer::disabled();
+        let mut oe = Record::default();
+        let mut og = Record::default();
+        eager.train_step_observed(&mut tr, &batch, Some(&mut oe)).unwrap();
+        graphed.train_step_observed(&mut tr, &batch, Some(&mut og)).unwrap();
+        assert!(!oe.0.is_empty());
+        assert_eq!(oe.0, og.0, "group retirement order must match eager");
+    }
+}

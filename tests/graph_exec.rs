@@ -1,0 +1,167 @@
+//! Whole-model task-graph execution, verified from the outside: recording
+//! the full training step (and the inference pass) as a scheduled DAG must
+//! change *when* work runs, never *what* it computes — at any worker
+//! count, at either task grain, and with the fusion pass on.
+//!
+//! The fusion pass itself is pinned through `Bert::plan_eval_fusion`: at
+//! op grain the plan must merge both legal patterns (FC1→GeLU and
+//! residual→LayerNorm), and at layer grain it must merge nothing.
+
+use bertscope_model::BertConfig;
+use bertscope_tensor::{pool, Tracer};
+use bertscope_train::{Bert, Lamb, SyntheticCorpus, TaskGrain, TrainOptions, Trainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Two structurally different configurations: the canonical tiny BERT and
+/// an asymmetric deeper one (odd vocab, layers not a power of two) so the
+/// graph's task layout is exercised beyond one shape.
+fn configs() -> Vec<BertConfig> {
+    vec![
+        BertConfig::tiny(),
+        BertConfig {
+            layers: 3,
+            d_model: 48,
+            heads: 6,
+            d_ff: 96,
+            vocab: 131,
+            max_position: 40,
+            seq_len: 20,
+            batch: 3,
+        },
+    ]
+}
+
+/// Run a few optimizer updates and return every loss and parameter bit.
+fn run_training(cfg: BertConfig, opts: TrainOptions) -> (Vec<u32>, Vec<u32>) {
+    let corpus = SyntheticCorpus::new(cfg.vocab);
+    let mut rng = StdRng::seed_from_u64(17);
+    let batches: Vec<_> = (0..2).map(|_| corpus.generate_batch(&mut rng, &cfg)).collect();
+    let mut bert = Bert::new(cfg, opts, 9);
+    let mut trainer = Trainer::new(Lamb::new(0.01), 1);
+    let mut tr = Tracer::disabled();
+    let mut losses = Vec::new();
+    for step in 0..3 {
+        let (out, _) = trainer
+            .micro_step(&mut tr, &mut bert, &batches[step % batches.len()])
+            .expect("micro step");
+        losses.push(out.loss.to_bits());
+    }
+    let params = bert
+        .param_values_mut()
+        .iter()
+        .flat_map(|(_, t)| t.as_slice().iter().map(|v| v.to_bits()))
+        .collect();
+    (losses, params)
+}
+
+/// The tentpole bit-identity claim: for two configurations, the micro-step
+/// driven through the whole-model task graph (Trainer + LAMB included)
+/// leaves exactly the losses and parameter bits of the eager 1-thread
+/// reference, at 1, 2 and 8 worker threads.
+#[test]
+fn graph_training_is_bit_identical_to_eager_across_threads_and_configs() {
+    for cfg in configs() {
+        let base = pool::with_threads(1, || run_training(cfg, TrainOptions::default()));
+        for threads in [1usize, 2, 8] {
+            let graphed = pool::with_threads(threads, || {
+                run_training(cfg, TrainOptions { graph: true, ..TrainOptions::default() })
+            });
+            assert_eq!(
+                graphed, base,
+                "graph-mode training diverged from eager at {threads} threads \
+                 ({} layers, d_model {})",
+                cfg.layers, cfg.d_model
+            );
+        }
+    }
+}
+
+/// Op-grain recording (one task per forward stage) computes the same bits
+/// as eager; checkpointing composes too (it forces layer grain for the
+/// recompute segments).
+#[test]
+fn op_grain_and_checkpointed_graph_training_match_eager() {
+    let cfg = BertConfig::tiny();
+    let variants = [
+        TrainOptions { graph: true, grain: TaskGrain::Op, ..TrainOptions::default() },
+        TrainOptions { graph: true, checkpoint: true, ..TrainOptions::default() },
+    ];
+    let eager_plain = pool::with_threads(1, || run_training(cfg, TrainOptions::default()));
+    let eager_ckpt = pool::with_threads(1, || {
+        run_training(cfg, TrainOptions { checkpoint: true, ..TrainOptions::default() })
+    });
+    for opts in variants {
+        let reference = if opts.checkpoint { &eager_ckpt } else { &eager_plain };
+        for threads in [1usize, 2, 8] {
+            let graphed = pool::with_threads(threads, || run_training(cfg, opts));
+            assert_eq!(
+                &graphed, reference,
+                "graph variant (grain {:?}, checkpoint {}) diverged at {threads} threads",
+                opts.grain, opts.checkpoint
+            );
+        }
+    }
+}
+
+/// Inference through the fused graph: the fusion pass merges task pairs
+/// but every loss and accuracy bit matches the eager evaluation, at every
+/// thread count.
+#[test]
+fn fused_graph_evaluation_matches_eager_across_threads() {
+    let cfg = BertConfig::tiny();
+    let corpus = SyntheticCorpus::new(cfg.vocab);
+    let mut rng = StdRng::seed_from_u64(23);
+    let batch = corpus.generate_batch(&mut rng, &cfg);
+    let eager = Bert::new(cfg, TrainOptions::default(), 9);
+    let mut tr = Tracer::disabled();
+    let base = eager.evaluate(&mut tr, &batch).expect("eager evaluate");
+    for threads in [1usize, 2, 8] {
+        for fuse in [false, true] {
+            let opts =
+                TrainOptions { graph: true, grain: TaskGrain::Op, fuse, ..TrainOptions::default() };
+            let graphed = Bert::new(cfg, opts, 9);
+            let out = pool::with_threads(threads, || {
+                let mut tr = Tracer::disabled();
+                graphed.evaluate(&mut tr, &batch).expect("graph evaluate")
+            });
+            assert_eq!(base.mlm_loss.to_bits(), out.mlm_loss.to_bits(), "fuse={fuse}");
+            assert_eq!(base.nsp_loss.to_bits(), out.nsp_loss.to_bits(), "fuse={fuse}");
+            assert_eq!(base.mlm_accuracy.to_bits(), out.mlm_accuracy.to_bits(), "fuse={fuse}");
+            assert_eq!(base.nsp_accuracy.to_bits(), out.nsp_accuracy.to_bits(), "fuse={fuse}");
+        }
+    }
+}
+
+/// The fusion plan merges both distinct task-pair patterns — FC1→GeLU and
+/// residual→LayerNorm — on every layer at op grain, and nothing at layer
+/// grain (no label matches a pattern there).
+#[test]
+fn eval_fusion_plan_pins_both_patterns() {
+    let cfg = BertConfig::tiny();
+    let corpus = SyntheticCorpus::new(cfg.vocab);
+    let mut rng = StdRng::seed_from_u64(29);
+    let batch = corpus.generate_batch(&mut rng, &cfg);
+    let opts =
+        TrainOptions { graph: true, grain: TaskGrain::Op, fuse: true, ..TrainOptions::default() };
+    let bert = Bert::new(cfg, opts, 9);
+    let plan = bert.plan_eval_fusion(&batch).expect("fusion plan");
+    // fc1+gelu, residual1+layernorm1, residual2+layernorm2 per layer.
+    assert_eq!(plan.pairs_merged(), 3 * cfg.layers, "fused groups: {:?}", plan.fused);
+    assert!(
+        plan.fused.iter().any(|l| l.contains("fc1") && l.contains("gelu")),
+        "FC1+GeLU pattern missing: {:?}",
+        plan.fused
+    );
+    assert!(
+        plan.fused.iter().any(|l| l.contains("residual") && l.contains("layernorm")),
+        "residual+LayerNorm pattern missing: {:?}",
+        plan.fused
+    );
+    let coarse = Bert::new(cfg, TrainOptions { graph: true, ..TrainOptions::default() }, 9);
+    assert_eq!(
+        coarse.plan_eval_fusion(&batch).expect("coarse plan").pairs_merged(),
+        0,
+        "layer-grain graphs have nothing to fuse"
+    );
+}

@@ -45,13 +45,13 @@ fn param_bits(bert: &mut Bert) -> Vec<u32> {
         .collect()
 }
 
-/// Train a few windows and return the final parameter bits.
-fn run_params(deferred: bool) -> Vec<u32> {
+/// Train a few windows under the given options and return the final
+/// parameter bits.
+fn run_params_with(opts: TrainOptions) -> Vec<u32> {
     let cfg = small_cfg();
     let corpus = SyntheticCorpus::new(cfg.vocab);
     let mut rng = StdRng::seed_from_u64(11);
     let batches: Vec<_> = (0..2).map(|_| corpus.generate_batch(&mut rng, &cfg)).collect();
-    let opts = TrainOptions { deferred, ..TrainOptions::default() };
     let mut bert = Bert::new(cfg, opts, 7);
     let mut trainer = Trainer::new(Lamb::new(0.01), 2);
     let mut tr = Tracer::disabled();
@@ -62,6 +62,10 @@ fn run_params(deferred: bool) -> Vec<u32> {
         assert!(out.loss.is_finite(), "step {step} diverged");
     }
     param_bits(&mut bert)
+}
+
+fn run_params(deferred: bool) -> Vec<u32> {
+    run_params_with(TrainOptions { deferred, ..TrainOptions::default() })
 }
 
 /// Deferred execution is a scheduling change only: at every thread count
@@ -76,6 +80,62 @@ fn deferred_micro_step_is_bit_identical_to_eager_across_threads() {
             deferred, base,
             "deferred micro-step diverged from the eager reference at {threads} threads"
         );
+    }
+}
+
+/// Whole-model task-graph execution composes with the overlap machinery:
+/// recording the full step as a DAG (with and without the deferred flag
+/// that the distributed worker pairs it with) leaves the exact parameter
+/// bits of the eager 1-thread reference at every thread count.
+#[test]
+fn graph_micro_step_is_bit_identical_to_eager_across_threads() {
+    let base = pool::with_threads(1, || run_params(false));
+    for threads in [1usize, 2, 8] {
+        for deferred in [false, true] {
+            let graphed = pool::with_threads(threads, || {
+                run_params_with(TrainOptions { graph: true, deferred, ..TrainOptions::default() })
+            });
+            assert_eq!(
+                graphed, base,
+                "graph-mode micro-step diverged at {threads} threads (deferred={deferred})"
+            );
+        }
+    }
+}
+
+/// Under graph execution the observer fires from inside backward tasks,
+/// but the dy dataflow serializes the chain — so the bucket sequence (and
+/// every payload) must be exactly the eager one. This is the precondition
+/// for ring collectives: all ranks enter bucket AllReduces in one order.
+#[test]
+fn graph_mode_buckets_fire_in_eager_order() {
+    let fire = |graph: bool| {
+        let cfg = small_cfg();
+        let corpus = SyntheticCorpus::new(cfg.vocab);
+        let mut rng = StdRng::seed_from_u64(13);
+        let batch = corpus.generate_batch(&mut rng, &cfg);
+        let opts = TrainOptions { graph, ..TrainOptions::default() };
+        let mut bert = Bert::new(cfg, opts, 3);
+        let mut trainer = Trainer::new(Lamb::new(0.01), 1);
+        let lens: Vec<usize> =
+            bert.param_values_mut().iter().map(|(_, t)| t.as_slice().len()).collect();
+        let mut averager = BucketedAverager::new(&lens, 4096, Collect::default());
+        let mut tracer = Tracer::disabled();
+        trainer
+            .micro_step_observed(&mut tracer, &mut bert, &batch, &mut averager)
+            .expect("observed micro step");
+        averager.into_sink().fired
+    };
+    let eager = fire(false);
+    let graphed = fire(true);
+    assert!(!eager.is_empty(), "buckets must fire");
+    assert_eq!(eager.len(), graphed.len());
+    for (e, g) in eager.iter().zip(&graphed) {
+        assert_eq!(e.0, g.0, "bucket order diverged");
+        assert_eq!(e.1, g.1, "bucket range diverged");
+        let (eb, gb): (Vec<u32>, Vec<u32>) =
+            (e.2.iter().map(|v| v.to_bits()).collect(), g.2.iter().map(|v| v.to_bits()).collect());
+        assert_eq!(eb, gb, "bucket {} payload diverged bitwise", e.0);
     }
 }
 
